@@ -1,0 +1,42 @@
+//! # c4cam-arch — architecture specification & technology models
+//!
+//! C4CAM takes two inputs: the application (TorchScript) and an
+//! *architecture specification* describing the CAM accelerator hierarchy
+//! (banks → mats → arrays → subarrays), per-level access modes and the
+//! optimization target (paper §III-B). This crate provides:
+//!
+//! * [`ArchSpec`] — the validated in-memory form plus a builder,
+//! * [`parse_spec`]/[`ArchSpec::to_text`] — the flat `key: value` file
+//!   format shown in the paper's Fig. 3,
+//! * [`tech::TechnologyModel`] — the Eva-CAM-derived energy/latency cost
+//!   model for 2FeFET CAM arrays at 45 nm (paper §IV-A1), used by the
+//!   simulator.
+//!
+//! ## Example
+//!
+//! ```
+//! use c4cam_arch::{ArchSpec, Optimization};
+//!
+//! let spec = ArchSpec::builder()
+//!     .subarray(32, 32)
+//!     .hierarchy(4, 4, 8)
+//!     .optimization(Optimization::Power)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(spec.subarrays_per_bank(), 128);
+//! let text = spec.to_text();
+//! let reparsed = c4cam_arch::parse_spec(&text).unwrap();
+//! assert_eq!(spec, reparsed);
+//! ```
+
+#![warn(missing_docs)]
+
+mod parse;
+mod spec;
+pub mod tech;
+
+pub use parse::{parse_spec, SpecParseError};
+pub use spec::{
+    AccessMode, ArchSpec, ArchSpecBuilder, CamKind, LevelAccess, MatchKind, Metric, Optimization,
+    SpecError,
+};

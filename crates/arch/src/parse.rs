@@ -1,0 +1,256 @@
+//! The flat `key: value` specification file format (paper Fig. 3 shows
+//! the architecture specification as such a file: `ProcessNode: 45`,
+//! `Wordwidth (bit): 64`, `Rows per array: 256`, ...).
+//!
+//! We use snake_case keys; `#` starts a comment; unknown keys are errors
+//! (typos in experiment sweeps should fail loudly).
+
+use crate::spec::{AccessMode, ArchSpec, CamKind, Optimization};
+use std::error::Error;
+use std::fmt;
+
+/// Parse failure for spec files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for SpecParseError {}
+
+fn parse_usize(line: usize, key: &str, value: &str) -> Result<usize, SpecParseError> {
+    value.parse().map_err(|_| SpecParseError {
+        line,
+        message: format!("key '{key}': expected integer, got '{value}'"),
+    })
+}
+
+fn parse_bool(line: usize, key: &str, value: &str) -> Result<bool, SpecParseError> {
+    match value {
+        "true" | "yes" | "on" => Ok(true),
+        "false" | "no" | "off" => Ok(false),
+        _ => Err(SpecParseError {
+            line,
+            message: format!("key '{key}': expected boolean, got '{value}'"),
+        }),
+    }
+}
+
+fn parse_access(line: usize, key: &str, value: &str) -> Result<AccessMode, SpecParseError> {
+    match value {
+        "parallel" => Ok(AccessMode::Parallel),
+        "sequential" => Ok(AccessMode::Sequential),
+        _ => Err(SpecParseError {
+            line,
+            message: format!("key '{key}': expected parallel|sequential, got '{value}'"),
+        }),
+    }
+}
+
+/// Parse an architecture specification file.
+///
+/// # Errors
+/// Fails on malformed lines, unknown keys, bad values, or if the resulting
+/// spec does not validate.
+pub fn parse_spec(text: &str) -> Result<ArchSpec, SpecParseError> {
+    let mut spec = ArchSpec::default();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once(':').ok_or_else(|| SpecParseError {
+            line: lineno,
+            message: format!("expected 'key: value', got '{line}'"),
+        })?;
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "cam_kind" => {
+                spec.cam_kind = match value {
+                    "tcam" => CamKind::Tcam,
+                    "mcam" => CamKind::Mcam,
+                    "acam" => CamKind::Acam,
+                    _ => {
+                        return Err(SpecParseError {
+                            line: lineno,
+                            message: format!("unknown cam_kind '{value}'"),
+                        })
+                    }
+                }
+            }
+            "bits_per_cell" => spec.bits_per_cell = parse_usize(lineno, key, value)? as u32,
+            "process_node" => spec.process_node_nm = parse_usize(lineno, key, value)? as u32,
+            "word_width" => spec.word_width = parse_usize(lineno, key, value)? as u32,
+            "rows_per_subarray" => spec.rows_per_subarray = parse_usize(lineno, key, value)?,
+            "cols_per_subarray" => spec.cols_per_subarray = parse_usize(lineno, key, value)?,
+            "subarrays_per_array" => spec.subarrays_per_array = parse_usize(lineno, key, value)?,
+            "arrays_per_mat" => spec.arrays_per_mat = parse_usize(lineno, key, value)?,
+            "mats_per_bank" => spec.mats_per_bank = parse_usize(lineno, key, value)?,
+            "banks" => {
+                spec.banks = if value == "auto" {
+                    None
+                } else {
+                    Some(parse_usize(lineno, key, value)?)
+                }
+            }
+            "access.bank" => spec.access.bank = parse_access(lineno, key, value)?,
+            "access.mat" => spec.access.mat = parse_access(lineno, key, value)?,
+            "access.array" => spec.access.array = parse_access(lineno, key, value)?,
+            "access.subarray" => spec.access.subarray = parse_access(lineno, key, value)?,
+            "selective_rows" => spec.selective_rows = parse_bool(lineno, key, value)?,
+            "optimization" => {
+                spec.optimization =
+                    Optimization::from_keyword(value).ok_or_else(|| SpecParseError {
+                        line: lineno,
+                        message: format!("unknown optimization '{value}'"),
+                    })?
+            }
+            _ => {
+                return Err(SpecParseError {
+                    line: lineno,
+                    message: format!("unknown key '{key}'"),
+                })
+            }
+        }
+    }
+    spec.validate().map_err(|e| SpecParseError {
+        line: 0,
+        message: e.message,
+    })?;
+    Ok(spec)
+}
+
+impl ArchSpec {
+    /// Render to the spec file format (round-trips through
+    /// [`parse_spec`]).
+    pub fn to_text(&self) -> String {
+        let banks = match self.banks {
+            None => "auto".to_string(),
+            Some(b) => b.to_string(),
+        };
+        format!(
+            "# C4CAM architecture specification\n\
+             cam_kind: {}\n\
+             bits_per_cell: {}\n\
+             process_node: {}\n\
+             word_width: {}\n\
+             rows_per_subarray: {}\n\
+             cols_per_subarray: {}\n\
+             subarrays_per_array: {}\n\
+             arrays_per_mat: {}\n\
+             mats_per_bank: {}\n\
+             banks: {}\n\
+             access.bank: {}\n\
+             access.mat: {}\n\
+             access.array: {}\n\
+             access.subarray: {}\n\
+             selective_rows: {}\n\
+             optimization: {}\n",
+            self.cam_kind,
+            self.bits_per_cell,
+            self.process_node_nm,
+            self.word_width,
+            self.rows_per_subarray,
+            self.cols_per_subarray,
+            self.subarrays_per_array,
+            self.arrays_per_mat,
+            self.mats_per_bank,
+            banks,
+            self.access.bank,
+            self.access.mat,
+            self.access.array,
+            self.access.subarray,
+            self.selective_rows,
+            self.optimization,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Optimization;
+
+    #[test]
+    fn parses_full_spec() {
+        let text = "\
+# example
+cam_kind: mcam
+bits_per_cell: 2
+rows_per_subarray: 64
+cols_per_subarray: 128
+subarrays_per_array: 8
+arrays_per_mat: 4
+mats_per_bank: 4
+banks: 16
+access.subarray: sequential
+selective_rows: true
+optimization: power
+";
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(spec.cam_kind, CamKind::Mcam);
+        assert_eq!(spec.bits_per_cell, 2);
+        assert_eq!(spec.rows_per_subarray, 64);
+        assert_eq!(spec.cols_per_subarray, 128);
+        assert_eq!(spec.banks, Some(16));
+        assert_eq!(spec.access.subarray, AccessMode::Sequential);
+        assert_eq!(spec.access.bank, AccessMode::Parallel);
+        assert_eq!(spec.optimization, Optimization::Power);
+    }
+
+    #[test]
+    fn defaults_apply_for_missing_keys() {
+        let spec = parse_spec("rows_per_subarray: 16\ncols_per_subarray: 16\n").unwrap();
+        assert_eq!(spec.mats_per_bank, 4);
+        assert_eq!(spec.banks, None);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_values() {
+        assert!(parse_spec("rows: 3\n").is_err());
+        assert!(parse_spec("cam_kind: dram\n").is_err());
+        assert!(parse_spec("banks: many\n").is_err());
+        assert!(parse_spec("access.bank: diagonal\n").is_err());
+        assert!(parse_spec("selective_rows: maybe\n").is_err());
+        assert!(parse_spec("just a line\n").is_err());
+        let err = parse_spec("\n\nbanks: zero\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn rejects_invalid_final_spec() {
+        // density without selective rows
+        let e = parse_spec("optimization: density\nselective_rows: false\n").unwrap_err();
+        assert!(e.message.contains("selective_rows"), "{e}");
+    }
+
+    #[test]
+    fn to_text_round_trips() {
+        let spec = ArchSpec::builder()
+            .subarray(128, 16)
+            .hierarchy(2, 8, 4)
+            .banks(3)
+            .cam_kind(CamKind::Acam)
+            .bits_per_cell(2)
+            .optimization(Optimization::PowerDensity)
+            .build()
+            .unwrap();
+        let text = spec.to_text();
+        let reparsed = parse_spec(&text).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+}

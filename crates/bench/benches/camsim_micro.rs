@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks of the CAM simulator: raw subarray search
+//! throughput across geometries and metrics — the inner loop of every
+//! experiment in the evaluation.
+
+use c4cam::arch::{ArchSpec, MatchKind, Metric};
+use c4cam::camsim::{CamMachine, SearchSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn programmed_machine(rows: usize, cols: usize) -> CamMachine {
+    let spec = ArchSpec::builder()
+        .subarray(rows, cols)
+        .hierarchy(1, 1, 1)
+        .build()
+        .unwrap();
+    let mut machine = CamMachine::new(&spec);
+    let sub = machine.alloc_chain().unwrap();
+    let data: Vec<Vec<f32>> = (0..rows)
+        .map(|r| (0..cols).map(|c| ((r * 7 + c) % 2) as f32).collect())
+        .collect();
+    machine.write_rows(sub, 0, &data).unwrap();
+    machine
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subarray-search");
+    for (rows, cols) in [(32usize, 32usize), (256, 256)] {
+        let mut machine = programmed_machine(rows, cols);
+        let query: Vec<f32> = (0..cols).map(|c| (c % 2) as f32).collect();
+        let sub = c4cam::camsim::SubarrayId(0);
+        group.bench_function(format!("best-hamming-{rows}x{cols}"), |b| {
+            b.iter(|| {
+                machine
+                    .search(sub, &query, SearchSpec::new(MatchKind::Best, Metric::Hamming))
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("exact-{rows}x{cols}"), |b| {
+            b.iter(|| {
+                machine
+                    .search(sub, &query, SearchSpec::new(MatchKind::Exact, Metric::Hamming))
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("best-euclidean-{rows}x{cols}"), |b| {
+            b.iter(|| {
+                machine
+                    .search(
+                        sub,
+                        &query,
+                        SearchSpec::new(MatchKind::Best, Metric::Euclidean),
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subarray-write");
+    group.bench_function("write-32x32", |b| {
+        let spec = ArchSpec::builder()
+            .subarray(32, 32)
+            .hierarchy(1, 1, 1)
+            .build()
+            .unwrap();
+        let mut machine = CamMachine::new(&spec);
+        let sub = machine.alloc_chain().unwrap();
+        let data: Vec<Vec<f32>> = (0..32)
+            .map(|r| (0..32).map(|c| ((r + c) % 2) as f32).collect())
+            .collect();
+        b.iter(|| machine.write_rows(sub, 0, &data).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_write);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the compiler itself: full-pipeline
+//! compile time for the HDC kernel across architectures, plus the IR
+//! printer/parser round-trip (relevant because the paper positions
+//! C4CAM as a tool to "quickly explore CAM configurations" — compile
+//! time is the exploration loop's inner cost).
+
+use c4cam::arch::{ArchSpec, Optimization};
+use c4cam::compiler::dialects::torch;
+use c4cam::compiler::pipeline::C4camPipeline;
+use c4cam::ir::parse::parse_module;
+use c4cam::ir::print::print_module;
+use c4cam::ir::Module;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn spec(n: usize, opt: Optimization) -> ArchSpec {
+    ArchSpec::builder()
+        .subarray(n, n)
+        .hierarchy(4, 4, 8)
+        .optimization(opt)
+        .build()
+        .unwrap()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline-compile-hdc");
+    group.sample_size(20);
+    for (label, n, opt) in [
+        ("base-32", 32usize, Optimization::Base),
+        ("base-256", 256usize, Optimization::Base),
+        ("density-32", 32usize, Optimization::Density),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut m = Module::new();
+                    torch::build_hdc_dot(&mut m, 16, 10, 8192, 1);
+                    m
+                },
+                |m| C4camPipeline::new(spec(n, opt)).compile(m).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_printer_parser(c: &mut Criterion) {
+    let mut m = Module::new();
+    torch::build_hdc_dot(&mut m, 16, 10, 8192, 1);
+    let compiled = C4camPipeline::new(spec(32, Optimization::Base))
+        .compile(m)
+        .unwrap();
+    let text = print_module(&compiled.module);
+    let mut group = c.benchmark_group("ir-text");
+    group.sample_size(30);
+    group.bench_function("print-cam-module", |b| {
+        b.iter(|| print_module(&compiled.module))
+    });
+    group.bench_function("parse-cam-module", |b| {
+        b.iter(|| parse_module(&text).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_printer_parser);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! **Figure 7 (a, b)** — validation of C4CAM-generated code against the
+//! hand-optimized manual mapping of \[22\].
+//!
+//! HDC (10 classes × 8192 dims) on 32×C subarrays, C ∈ {16, 32, 64,
+//! 128}, binary (1-bit TCAM) and multi-bit (2-bit MCAM). The paper
+//! reports geomean deviations of 0.9% (latency) and 5.5% (energy);
+//! the shape requirements are: latency grows with C, energy falls with
+//! C, and 2-bit costs more energy than 1-bit.
+
+use c4cam::arch::{ArchSpec, CamKind, Optimization};
+use c4cam::driver::{run_hdc, HdcConfig};
+use c4cam::workloads::HdcModel;
+use c4cam_bench::{run_manual_hdc, section};
+
+fn arch_32xc(c: usize, bits: u32) -> ArchSpec {
+    ArchSpec::builder()
+        .subarray(32, c)
+        .hierarchy(4, 4, 8)
+        .cam_kind(if bits > 1 { CamKind::Mcam } else { CamKind::Tcam })
+        .bits_per_cell(bits)
+        .optimization(Optimization::Base)
+        .build()
+        .expect("spec")
+}
+
+fn main() {
+    let queries = 32usize;
+    section("Figure 7: C4CAM vs hand-optimized manual mapping (HDC, 32xC subarrays)");
+    println!(
+        "{:<8} {:>4} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}",
+        "variant", "C", "C4CAM lat ns", "manual lat ns", "dev %", "C4CAM E pJ", "manual E pJ", "dev %"
+    );
+
+    let mut lat_devs = Vec::new();
+    let mut energy_devs = Vec::new();
+    let mut rows: Vec<(u32, usize, f64, f64)> = Vec::new();
+
+    for bits in [1u32, 2] {
+        for c in [16usize, 32, 64, 128] {
+            let spec = arch_32xc(c, bits);
+            // C4CAM path: TorchScript-level kernel through the pipeline.
+            let config = HdcConfig {
+                spec: spec.clone(),
+                classes: 10,
+                dims: 8192,
+                queries,
+                flip_rate: 0.1,
+                seed: 42,
+                wta_window: None,
+                canonicalize: false,
+            };
+            let out = run_hdc(&config).expect("compiled run");
+            let c4_lat = out.query_phase.latency_ns / queries as f64;
+            let c4_energy = out.query_phase.energy_pj() / queries as f64;
+
+            // Manual baseline: same model, hand-driven simulator.
+            let model = HdcModel::random(10, 8192, bits, 42);
+            let (qs, _) = model.queries(queries, 0.1, 42);
+            let manual = run_manual_hdc(&spec, &model, &qs);
+            let m_lat = manual.latency_ns / queries as f64;
+            let m_energy = manual.energy_pj() / queries as f64;
+
+            let lat_dev = 100.0 * (c4_lat - m_lat).abs() / m_lat;
+            let energy_dev = 100.0 * (c4_energy - m_energy).abs() / m_energy;
+            lat_devs.push(lat_dev);
+            energy_devs.push(energy_dev);
+            rows.push((bits, c, c4_lat, c4_energy));
+
+            println!(
+                "{:<8} {:>4} {:>14.3} {:>14.3} {:>8.2}% {:>14.2} {:>14.2} {:>8.2}%",
+                format!("{bits}-bit"),
+                c,
+                c4_lat,
+                m_lat,
+                lat_dev,
+                c4_energy,
+                m_energy,
+                energy_dev
+            );
+        }
+    }
+
+    let geo = |v: &[f64]| {
+        (v.iter().map(|d| (d / 100.0 + 1.0).ln()).sum::<f64>() / v.len() as f64).exp() * 100.0
+            - 100.0
+    };
+    println!(
+        "\ngeomean deviation: latency {:.2}% (paper: 0.9%), energy {:.2}% (paper: 5.5%)",
+        geo(&lat_devs),
+        geo(&energy_devs)
+    );
+
+    // Shape assertions (who wins / monotonicity), mirroring §IV-B.
+    for bits in [1u32, 2] {
+        let series: Vec<_> = rows.iter().filter(|r| r.0 == bits).collect();
+        for w in series.windows(2) {
+            assert!(
+                w[1].2 > w[0].2,
+                "latency must grow with C ({}-bit: C={} {:.2} -> C={} {:.2})",
+                bits,
+                w[0].1,
+                w[0].2,
+                w[1].1,
+                w[1].2
+            );
+            assert!(w[1].3 < w[0].3, "energy must fall with C ({}-bit)", bits);
+        }
+    }
+    for c in [16usize, 32, 64, 128] {
+        let e1 = rows.iter().find(|r| r.0 == 1 && r.1 == c).unwrap().3;
+        let e2 = rows.iter().find(|r| r.0 == 2 && r.1 == c).unwrap().3;
+        assert!(e2 > e1, "multi-bit must cost more energy (C={c})");
+    }
+    println!("shape checks passed: latency grows with C, energy falls with C, 2-bit > 1-bit energy");
+}

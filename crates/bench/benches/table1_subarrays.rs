@@ -1,0 +1,57 @@
+//! **Table I** — number of subarrays used to implement HDC (10 classes
+//! × 8192 dims) for square subarrays N ∈ {16, 32, 64, 128, 256}, under
+//! the standard placement (`cam-based`) and with selective-search
+//! packing (`cam-density`).
+//!
+//! These counts are produced by the same `mapping::place` function that
+//! drives the `cam-map` code generator, and are asserted to match the
+//! paper's published integers *exactly*.
+
+use c4cam::arch::Optimization;
+use c4cam::compiler::mapping::{place, MappingProblem};
+use c4cam::driver::paper_arch;
+use c4cam_bench::section;
+
+fn main() {
+    let problem = MappingProblem {
+        stored_rows: 10,
+        feature_dims: 8192,
+        queries: 1,
+    };
+    let sizes = [16usize, 32, 64, 128, 256];
+    let paper_based = [512usize, 256, 128, 64, 32];
+    let paper_density = [512usize, 86, 22, 6, 2];
+
+    section("Table I: subarrays used to implement HDC");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "", "16x16", "32x32", "64x64", "128x128", "256x256"
+    );
+
+    let mut based = Vec::new();
+    let mut density = Vec::new();
+    for &n in &sizes {
+        based.push(
+            place(&paper_arch(n, Optimization::Base, 1), &problem)
+                .expect("place")
+                .physical_subarrays,
+        );
+        density.push(
+            place(&paper_arch(n, Optimization::Density, 1), &problem)
+                .expect("place")
+                .physical_subarrays,
+        );
+    }
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "cam-based", based[0], based[1], based[2], based[3], based[4]
+    );
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "cam-density", density[0], density[1], density[2], density[3], density[4]
+    );
+
+    assert_eq!(based, paper_based, "cam-based counts must match Table I");
+    assert_eq!(density, paper_density, "cam-density counts must match Table I");
+    println!("\nexact match with the paper's Table I on all 10 entries");
+}

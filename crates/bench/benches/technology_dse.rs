@@ -1,0 +1,67 @@
+//! **Technology retargetability** (paper abstract & §I): "Depending on
+//! the type and technology, CAM arrays exhibit varying latencies and
+//! power profiles. Our framework allows analyzing the impact of such
+//! differences in terms of system-level performance and energy
+//! consumption, and thus supports designers in selecting appropriate
+//! designs for a given application."
+//!
+//! This bench re-runs the identical HDC application on two CAM
+//! technologies — the paper's 2FeFET CAM @45 nm and a CMOS TCAM
+//! @16 nm — across subarray sizes, with zero application changes.
+//! Expected shape: CMOS is faster per query; FeFET is substantially
+//! more energy-efficient (the NVM advantage §II-B describes).
+
+use c4cam::arch::tech::TechnologyModel;
+use c4cam::arch::Optimization;
+use c4cam::driver::{paper_arch, run_hdc_with_tech, HdcConfig};
+use c4cam_bench::section;
+
+fn main() {
+    let queries = 16usize;
+    let sizes = [16usize, 32, 64, 128];
+    let technologies = [
+        ("FeFET-45nm", TechnologyModel::fefet_45nm()),
+        ("CMOS-16nm", TechnologyModel::cmos_tcam_16nm()),
+    ];
+
+    section("Technology DSE: same HDC application, two CAM technologies");
+    println!(
+        "{:<12} {:>6} {:>14} {:>14} {:>12}",
+        "technology", "N", "lat/query ns", "E/query pJ", "power mW"
+    );
+    let mut results = std::collections::HashMap::new();
+    for (name, tech) in &technologies {
+        for &n in &sizes {
+            let config = HdcConfig::paper(paper_arch(n, Optimization::Base, 1), queries);
+            let out = run_hdc_with_tech(&config, tech.clone()).expect("run");
+            println!(
+                "{:<12} {:>6} {:>14.3} {:>14.2} {:>12.3}",
+                name,
+                n,
+                out.latency_per_query_ns(),
+                out.energy_per_query_pj(),
+                out.query_phase.power_mw()
+            );
+            results.insert((*name, n), out);
+        }
+        println!();
+    }
+
+    for &n in &sizes {
+        let fefet = &results[&("FeFET-45nm", n)];
+        let cmos = &results[&("CMOS-16nm", n)];
+        assert_eq!(
+            fefet.predictions, cmos.predictions,
+            "technology must not change functional results (N={n})"
+        );
+        assert!(
+            cmos.latency_per_query_ns() < fefet.latency_per_query_ns(),
+            "CMOS must be faster (N={n})"
+        );
+        assert!(
+            cmos.energy_per_query_pj() > fefet.energy_per_query_pj() * 1.5,
+            "FeFET must be substantially more energy-efficient (N={n})"
+        );
+    }
+    println!("shape checks passed: CMOS faster, FeFET >1.5x more energy-efficient, results identical");
+}

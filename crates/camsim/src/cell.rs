@@ -1,0 +1,155 @@
+//! CAM cell models: ternary (TCAM), multi-bit (MCAM) and analog (ACAM)
+//! cells, with their per-cell match/distance semantics (paper §II-B).
+
+/// One CAM cell's stored content.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CamCell {
+    /// TCAM bit: stored `0`.
+    Zero,
+    /// TCAM bit: stored `1`.
+    One,
+    /// TCAM wildcard `x`: matches both 0 and 1 and contributes zero
+    /// distance.
+    DontCare,
+    /// Multi-bit cell storing a small integer level (MCAM).
+    Multi(u8),
+    /// Analog cell accepting the closed range `[lo, hi]` (ACAM).
+    Range(f32, f32),
+}
+
+impl CamCell {
+    /// Encode an `f32` datum as a cell with `bits_per_cell` resolution.
+    ///
+    /// 1-bit cells map nonzero → [`CamCell::One`]; multi-bit cells clamp
+    /// to the representable level range `0..2^bits`.
+    pub fn encode(value: f32, bits_per_cell: u32) -> CamCell {
+        if bits_per_cell <= 1 {
+            if value != 0.0 {
+                CamCell::One
+            } else {
+                CamCell::Zero
+            }
+        } else {
+            let levels = (1u32 << bits_per_cell) - 1;
+            let v = value.round().clamp(0.0, levels as f32) as u8;
+            CamCell::Multi(v)
+        }
+    }
+
+    /// Whether this cell *matches* query element `q` exactly.
+    ///
+    /// TCAM bits compare against the thresholded query; don't-care
+    /// matches anything; multi-bit compares rounded levels; analog cells
+    /// test range membership.
+    pub fn matches(&self, q: f32) -> bool {
+        match *self {
+            CamCell::Zero => q == 0.0,
+            CamCell::One => q != 0.0,
+            CamCell::DontCare => true,
+            CamCell::Multi(v) => q.round() as i64 == v as i64,
+            CamCell::Range(lo, hi) => (lo..=hi).contains(&q),
+        }
+    }
+
+    /// Hamming contribution: 0 if matching, 1 otherwise.
+    pub fn hamming(&self, q: f32) -> u32 {
+        u32::from(!self.matches(q))
+    }
+
+    /// Squared-Euclidean contribution.
+    ///
+    /// Don't-care and in-range analog cells contribute zero; out-of-range
+    /// analog cells contribute the squared distance to the nearest bound
+    /// (how ACAMs grade mismatch, cf. \[6\]).
+    pub fn squared_distance(&self, q: f32) -> f64 {
+        match *self {
+            CamCell::Zero => {
+                let d = q as f64;
+                d * d
+            }
+            CamCell::One => {
+                let d = q as f64 - 1.0;
+                d * d
+            }
+            CamCell::DontCare => 0.0,
+            CamCell::Multi(v) => {
+                let d = q as f64 - v as f64;
+                d * d
+            }
+            CamCell::Range(lo, hi) => {
+                if q < lo {
+                    let d = (lo - q) as f64;
+                    d * d
+                } else if q > hi {
+                    let d = (q - hi) as f64;
+                    d * d
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_binary_thresholds() {
+        assert_eq!(CamCell::encode(0.0, 1), CamCell::Zero);
+        assert_eq!(CamCell::encode(1.0, 1), CamCell::One);
+        assert_eq!(CamCell::encode(0.7, 1), CamCell::One);
+    }
+
+    #[test]
+    fn encode_multibit_clamps_to_levels() {
+        assert_eq!(CamCell::encode(2.0, 2), CamCell::Multi(2));
+        assert_eq!(CamCell::encode(9.0, 2), CamCell::Multi(3)); // clamp to 2^2-1
+        assert_eq!(CamCell::encode(-1.0, 2), CamCell::Multi(0));
+        assert_eq!(CamCell::encode(5.0, 3), CamCell::Multi(5));
+    }
+
+    #[test]
+    fn tcam_matching_and_wildcards() {
+        assert!(CamCell::Zero.matches(0.0));
+        assert!(!CamCell::Zero.matches(1.0));
+        assert!(CamCell::One.matches(1.0));
+        assert!(CamCell::DontCare.matches(0.0));
+        assert!(CamCell::DontCare.matches(1.0));
+        assert_eq!(CamCell::DontCare.hamming(1.0), 0);
+        assert_eq!(CamCell::Zero.hamming(1.0), 1);
+    }
+
+    #[test]
+    fn multibit_distances() {
+        let c = CamCell::Multi(2);
+        assert!(c.matches(2.0));
+        assert!(!c.matches(1.0));
+        assert_eq!(c.squared_distance(4.0), 4.0);
+        assert_eq!(c.squared_distance(2.0), 0.0);
+    }
+
+    #[test]
+    fn analog_range_semantics() {
+        let c = CamCell::Range(1.0, 2.0);
+        assert!(c.matches(1.5));
+        assert!(c.matches(1.0));
+        assert!(!c.matches(2.5));
+        assert_eq!(c.squared_distance(1.5), 0.0);
+        assert_eq!(c.squared_distance(3.0), 1.0);
+        assert_eq!(c.squared_distance(0.0), 1.0);
+    }
+
+    #[test]
+    fn binary_squared_distance_equals_hamming() {
+        for (cell, q) in [
+            (CamCell::Zero, 0.0f32),
+            (CamCell::Zero, 1.0),
+            (CamCell::One, 0.0),
+            (CamCell::One, 1.0),
+        ] {
+            assert_eq!(cell.squared_distance(q), cell.hamming(q) as f64);
+        }
+    }
+}

@@ -1,0 +1,753 @@
+//! The hierarchical CAM machine: allocation bookkeeping, functional
+//! dispatch to subarrays, and cost accounting with timing scopes.
+//!
+//! ## Timing scopes
+//!
+//! The compiler's `cam-map` pass encodes its mapping policy as a loop
+//! nest: `scf.parallel` loops over units that operate concurrently and
+//! `scf.for` loops over units activated one after another (e.g. the
+//! `cam-power` configuration serializes subarrays within an array). The
+//! runtime mirrors that structure onto the machine with
+//! [`CamMachine::push_parallel`] / [`CamMachine::push_sequential`] /
+//! [`CamMachine::pop_scope`]: latency contributions inside a parallel
+//! scope fold as `max`, inside a sequential scope as `sum`. Energy always
+//! sums — concurrency changes time, not work.
+
+use crate::stats::ExecStats;
+use crate::subarray::{RowSelection, SearchResult, Subarray};
+use c4cam_arch::tech::{Level, TechnologyModel};
+use c4cam_arch::{ArchSpec, MatchKind, Metric};
+use std::error::Error;
+use std::fmt;
+
+/// Handle to an allocated bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BankId(pub usize);
+
+/// Handle to an allocated mat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatId(pub usize);
+
+/// Handle to an allocated array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayId(pub usize);
+
+/// Handle to an allocated subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubarrayId(pub usize);
+
+/// Simulator error (bad handle, capacity exceeded, functional misuse).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl SimError {
+    fn new(message: impl Into<String>) -> SimError {
+        SimError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error: {}", self.message)
+    }
+}
+
+impl Error for SimError {}
+
+/// Parameters of one search operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchSpec {
+    /// Match scheme (exact / best / threshold).
+    pub kind: MatchKind,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Row participation (selective precharge).
+    pub selection: RowSelection,
+    /// Distance threshold for [`MatchKind::Threshold`].
+    pub threshold: f64,
+    /// Fraction of the query-broadcast periphery energy this search
+    /// pays (selective-search batch cycles share one broadcast).
+    pub broadcast_share: f64,
+}
+
+impl SearchSpec {
+    /// Search over all rows with the given scheme and metric.
+    pub fn new(kind: MatchKind, metric: Metric) -> SearchSpec {
+        SearchSpec {
+            kind,
+            metric,
+            selection: RowSelection::All,
+            threshold: 0.0,
+            broadcast_share: 1.0,
+        }
+    }
+
+    /// Restrict to a row window (selective search).
+    pub fn with_selection(mut self, selection: RowSelection) -> SearchSpec {
+        self.selection = selection;
+        self
+    }
+
+    /// Set the threshold-match radius.
+    pub fn with_threshold(mut self, threshold: f64) -> SearchSpec {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Set the broadcast-share fraction (see [`SearchSpec::broadcast_share`]).
+    pub fn with_broadcast_share(mut self, share: f64) -> SearchSpec {
+        self.broadcast_share = share.clamp(0.0, 1.0);
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScopeKind {
+    Sequential,
+    Parallel,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scope {
+    kind: ScopeKind,
+    elapsed_ns: f64,
+}
+
+#[derive(Debug, Default)]
+struct BankState {
+    mats: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct MatState {
+    #[allow(dead_code)]
+    bank: usize,
+    arrays: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct ArrayState {
+    #[allow(dead_code)]
+    mat: usize,
+    subarrays: Vec<usize>,
+}
+
+/// The simulated CAM accelerator.
+#[derive(Debug)]
+pub struct CamMachine {
+    tech: TechnologyModel,
+    bits_per_cell: u32,
+    rows: usize,
+    cols: usize,
+    mats_per_bank: usize,
+    arrays_per_mat: usize,
+    subarrays_per_array: usize,
+    max_banks: Option<usize>,
+    wta_window: Option<u32>,
+    banks: Vec<BankState>,
+    mats: Vec<MatState>,
+    arrays: Vec<ArrayState>,
+    subs: Vec<Subarray>,
+    scopes: Vec<Scope>,
+    stats: ExecStats,
+    phases: Vec<(String, ExecStats)>,
+}
+
+impl CamMachine {
+    /// Build a machine for the given architecture with the default
+    /// technology model.
+    pub fn new(spec: &ArchSpec) -> CamMachine {
+        CamMachine::with_tech(spec, TechnologyModel::fefet_45nm())
+    }
+
+    /// Build a machine with an explicit technology model.
+    pub fn with_tech(spec: &ArchSpec, tech: TechnologyModel) -> CamMachine {
+        CamMachine {
+            tech,
+            bits_per_cell: spec.bits_per_cell,
+            rows: spec.rows_per_subarray,
+            cols: spec.cols_per_subarray,
+            mats_per_bank: spec.mats_per_bank,
+            arrays_per_mat: spec.arrays_per_mat,
+            subarrays_per_array: spec.subarrays_per_array,
+            max_banks: spec.banks,
+            wta_window: None,
+            banks: Vec::new(),
+            mats: Vec::new(),
+            arrays: Vec::new(),
+            subs: Vec::new(),
+            scopes: vec![Scope {
+                kind: ScopeKind::Sequential,
+                elapsed_ns: 0.0,
+            }],
+            stats: ExecStats::default(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Model a bounded winner-take-all sensing circuit: best-match
+    /// distances saturate at `window` mismatches (paper \[19\]).
+    pub fn set_wta_window(&mut self, window: Option<u32>) {
+        self.wta_window = window;
+    }
+
+    /// Subarray geometry `(rows, cols)` of this machine.
+    pub fn geometry(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocate a bank.
+    ///
+    /// # Errors
+    /// Fails if a fixed bank budget is exhausted.
+    pub fn alloc_bank(&mut self) -> Result<BankId, SimError> {
+        if let Some(max) = self.max_banks {
+            if self.banks.len() >= max {
+                return Err(SimError::new(format!("bank budget ({max}) exhausted")));
+            }
+        }
+        self.banks.push(BankState::default());
+        self.stats.banks_allocated = self.banks.len();
+        Ok(BankId(self.banks.len() - 1))
+    }
+
+    /// Allocate a mat within `bank`.
+    ///
+    /// # Errors
+    /// Fails on an invalid handle or when the bank's mat budget is full.
+    pub fn alloc_mat(&mut self, bank: BankId) -> Result<MatId, SimError> {
+        let b = self
+            .banks
+            .get(bank.0)
+            .ok_or_else(|| SimError::new(format!("invalid bank handle {}", bank.0)))?;
+        if b.mats.len() >= self.mats_per_bank {
+            return Err(SimError::new(format!(
+                "bank {} already has {} mats",
+                bank.0, self.mats_per_bank
+            )));
+        }
+        self.mats.push(MatState {
+            bank: bank.0,
+            arrays: Vec::new(),
+        });
+        let id = self.mats.len() - 1;
+        self.banks[bank.0].mats.push(id);
+        self.stats.mats_allocated = self.mats.len();
+        Ok(MatId(id))
+    }
+
+    /// Allocate an array within `mat`.
+    ///
+    /// # Errors
+    /// Fails on an invalid handle or when the mat's array budget is full.
+    pub fn alloc_array(&mut self, mat: MatId) -> Result<ArrayId, SimError> {
+        let m = self
+            .mats
+            .get(mat.0)
+            .ok_or_else(|| SimError::new(format!("invalid mat handle {}", mat.0)))?;
+        if m.arrays.len() >= self.arrays_per_mat {
+            return Err(SimError::new(format!(
+                "mat {} already has {} arrays",
+                mat.0, self.arrays_per_mat
+            )));
+        }
+        self.arrays.push(ArrayState {
+            mat: mat.0,
+            subarrays: Vec::new(),
+        });
+        let id = self.arrays.len() - 1;
+        self.mats[mat.0].arrays.push(id);
+        self.stats.arrays_allocated = self.arrays.len();
+        Ok(ArrayId(id))
+    }
+
+    /// Allocate a subarray within `array`.
+    ///
+    /// # Errors
+    /// Fails on an invalid handle or when the array's subarray budget is
+    /// full.
+    pub fn alloc_subarray(&mut self, array: ArrayId) -> Result<SubarrayId, SimError> {
+        let a = self
+            .arrays
+            .get(array.0)
+            .ok_or_else(|| SimError::new(format!("invalid array handle {}", array.0)))?;
+        if a.subarrays.len() >= self.subarrays_per_array {
+            return Err(SimError::new(format!(
+                "array {} already has {} subarrays",
+                array.0, self.subarrays_per_array
+            )));
+        }
+        self.subs.push(Subarray::new(self.rows, self.cols));
+        let id = self.subs.len() - 1;
+        self.arrays[array.0].subarrays.push(id);
+        self.stats.subarrays_allocated = self.subs.len();
+        Ok(SubarrayId(id))
+    }
+
+    /// Allocate one full chain bank→mat→array→subarray (convenience for
+    /// tests and simple kernels).
+    ///
+    /// # Errors
+    /// Propagates any allocation failure.
+    pub fn alloc_chain(&mut self) -> Result<SubarrayId, SimError> {
+        let bank = self.alloc_bank()?;
+        let mat = self.alloc_mat(bank)?;
+        let array = self.alloc_array(mat)?;
+        self.alloc_subarray(array)
+    }
+
+    fn sub_mut(&mut self, id: SubarrayId) -> Result<&mut Subarray, SimError> {
+        self.subs
+            .get_mut(id.0)
+            .ok_or_else(|| SimError::new(format!("invalid subarray handle {}", id.0)))
+    }
+
+    fn sub(&self, id: SubarrayId) -> Result<&Subarray, SimError> {
+        self.subs
+            .get(id.0)
+            .ok_or_else(|| SimError::new(format!("invalid subarray handle {}", id.0)))
+    }
+
+    // ------------------------------------------------------------------
+    // Timing scopes
+    // ------------------------------------------------------------------
+
+    /// Open a parallel scope: nested latency folds as `max`.
+    pub fn push_parallel(&mut self) {
+        self.scopes.push(Scope {
+            kind: ScopeKind::Parallel,
+            elapsed_ns: 0.0,
+        });
+    }
+
+    /// Open a sequential scope: nested latency folds as `sum`.
+    pub fn push_sequential(&mut self) {
+        self.scopes.push(Scope {
+            kind: ScopeKind::Sequential,
+            elapsed_ns: 0.0,
+        });
+    }
+
+    /// Close the innermost scope, folding its elapsed time into the
+    /// parent.
+    ///
+    /// # Panics
+    /// Panics when called with only the root scope open (scope
+    /// mismatch — a runtime bug, not a data error).
+    pub fn pop_scope(&mut self) {
+        assert!(self.scopes.len() > 1, "pop_scope on root scope");
+        let child = self.scopes.pop().unwrap();
+        let parent = self.scopes.last_mut().unwrap();
+        match parent.kind {
+            ScopeKind::Sequential => parent.elapsed_ns += child.elapsed_ns,
+            ScopeKind::Parallel => parent.elapsed_ns = parent.elapsed_ns.max(child.elapsed_ns),
+        }
+    }
+
+    /// Depth of the scope stack (root = 1).
+    pub fn scope_depth(&self) -> usize {
+        self.scopes.len()
+    }
+
+    fn add_latency(&mut self, ns: f64) {
+        let scope = self.scopes.last_mut().unwrap();
+        match scope.kind {
+            ScopeKind::Sequential => scope.elapsed_ns += ns,
+            ScopeKind::Parallel => scope.elapsed_ns = scope.elapsed_ns.max(ns),
+        }
+    }
+
+    /// Latency observed so far, folding any open scopes (non-destructive
+    /// snapshot).
+    pub fn current_latency_ns(&self) -> f64 {
+        let mut acc = 0.0;
+        for scope in self.scopes.iter().rev() {
+            match scope.kind {
+                ScopeKind::Sequential => acc += scope.elapsed_ns,
+                ScopeKind::Parallel => acc = scope.elapsed_ns.max(acc),
+            }
+        }
+        acc
+    }
+
+    // ------------------------------------------------------------------
+    // Device operations
+    // ------------------------------------------------------------------
+
+    /// Program `data` rows starting at `row_offset` (`cam.write_value`).
+    ///
+    /// # Errors
+    /// Fails on invalid handles or geometry violations.
+    pub fn write_rows(
+        &mut self,
+        id: SubarrayId,
+        row_offset: usize,
+        data: &[Vec<f32>],
+    ) -> Result<(), SimError> {
+        let bits = self.bits_per_cell;
+        self.sub_mut(id)?
+            .write_rows(row_offset, data, bits)
+            .map_err(SimError::new)?;
+        let rows = data.len();
+        let cols = self.cols;
+        self.stats.write_ops += 1;
+        self.stats.write_energy_fj += self.tech.write_energy_fj(rows, cols, bits);
+        let lat = self.tech.write_latency_ns(rows);
+        self.add_latency(lat);
+        Ok(())
+    }
+
+    /// Program raw cells (wildcard patterns) starting at `row_offset`.
+    ///
+    /// # Errors
+    /// Fails on invalid handles or geometry violations.
+    pub fn write_cells(
+        &mut self,
+        id: SubarrayId,
+        row_offset: usize,
+        data: &[Vec<crate::cell::CamCell>],
+    ) -> Result<(), SimError> {
+        self.sub_mut(id)?
+            .write_cells(row_offset, data)
+            .map_err(SimError::new)?;
+        let rows = data.len();
+        let cols = self.cols;
+        let bits = self.bits_per_cell;
+        self.stats.write_ops += 1;
+        self.stats.write_energy_fj += self.tech.write_energy_fj(rows, cols, bits);
+        let lat = self.tech.write_latency_ns(rows);
+        self.add_latency(lat);
+        Ok(())
+    }
+
+    /// Search one subarray (`cam.search`) and return the functional
+    /// result. Costs are charged to the current timing scope.
+    ///
+    /// # Errors
+    /// Fails on invalid handles or if the query exceeds the geometry.
+    pub fn search(
+        &mut self,
+        id: SubarrayId,
+        query: &[f32],
+        spec: SearchSpec,
+    ) -> Result<SearchResult, SimError> {
+        let wta = self.wta_window;
+        let bits = self.bits_per_cell;
+        let rows = self.rows;
+        let cols = self.cols;
+        let selective = spec.selection != RowSelection::All;
+        let result = self
+            .sub_mut(id)?
+            .search(
+                query,
+                spec.kind,
+                spec.metric,
+                spec.selection,
+                spec.threshold,
+                wta,
+            )
+            .map_err(SimError::new)?
+            .clone();
+        let active_rows = result.rows.len();
+        self.stats.search_ops += 1;
+        self.stats.cell_energy_fj += self.tech.search_cell_energy_fj(active_rows, cols, bits);
+        self.stats.periph_energy_fj +=
+            self.tech
+                .periph_energy_fj(active_rows.max(1), cols, bits, spec.broadcast_share);
+        let mut lat = self.tech.search_latency_ns(cols, bits)
+            + self.tech.sense_latency_ns(spec.kind, rows, cols);
+        if selective {
+            lat += self.tech.selective_cycle_ns;
+        }
+        self.add_latency(lat);
+        Ok(result)
+    }
+
+    /// Read back the latest search result (`cam.read`).
+    ///
+    /// # Errors
+    /// Fails if no search was performed on this subarray yet.
+    pub fn read(&mut self, id: SubarrayId) -> Result<SearchResult, SimError> {
+        let result = self
+            .sub(id)?
+            .last_result()
+            .cloned()
+            .ok_or_else(|| SimError::new("read before any search on this subarray"))?;
+        self.stats.read_ops += 1;
+        Ok(result)
+    }
+
+    /// Charge one partial-result merge at `level` over `elems` elements
+    /// (`cam.merge_partial_subarray` and the cim-level merges).
+    pub fn merge(&mut self, level: Level, elems: usize) {
+        self.stats.merge_ops += 1;
+        self.stats.merge_energy_fj += self.tech.merge_energy_fj(elems);
+        let lat = self.tech.merge_latency_ns(level);
+        self.add_latency(lat);
+    }
+
+    // ------------------------------------------------------------------
+    // Stats
+    // ------------------------------------------------------------------
+
+    /// Snapshot of the statistics, with latency folded from any open
+    /// scopes and static (leakage) energy derived from the provisioned
+    /// hardware and elapsed time.
+    pub fn stats(&self) -> ExecStats {
+        let mut s = self.stats.clone();
+        s.latency_ns = self.current_latency_ns();
+        s.static_energy_fj =
+            self.tech.static_power_uw(self.banks.len(), self.subs.len()) * s.latency_ns;
+        s
+    }
+
+    /// Reset cost counters (keep contents and allocations) — used by
+    /// harnesses to exclude one-time setup (data loading) from per-query
+    /// measurements.
+    pub fn reset_stats(&mut self) {
+        let banks = self.stats.banks_allocated;
+        let mats = self.stats.mats_allocated;
+        let arrays = self.stats.arrays_allocated;
+        let subs = self.stats.subarrays_allocated;
+        self.stats = ExecStats {
+            banks_allocated: banks,
+            mats_allocated: mats,
+            arrays_allocated: arrays,
+            subarrays_allocated: subs,
+            ..ExecStats::default()
+        };
+        for s in self.scopes.iter_mut() {
+            s.elapsed_ns = 0.0;
+        }
+        self.phases.clear();
+    }
+
+    /// The technology model in use.
+    pub fn tech(&self) -> &TechnologyModel {
+        &self.tech
+    }
+
+    /// Record a named snapshot of the cumulative statistics (used by the
+    /// generated code's `cam.phase_marker` to separate the one-time
+    /// setup/program phase from the per-query phase).
+    pub fn mark_phase(&mut self, name: &str) {
+        let snapshot = self.stats();
+        self.phases.push((name.to_string(), snapshot));
+    }
+
+    /// All recorded phase snapshots, in order.
+    pub fn phases(&self) -> &[(String, ExecStats)] {
+        &self.phases
+    }
+
+    /// The snapshot recorded under `name`, if any.
+    pub fn phase(&self, name: &str) -> Option<&ExecStats> {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4cam_arch::ArchSpec;
+
+    fn machine() -> CamMachine {
+        CamMachine::new(&ArchSpec::default())
+    }
+
+    #[test]
+    fn allocation_respects_hierarchy_budgets() {
+        let spec = ArchSpec::builder()
+            .hierarchy(1, 1, 2)
+            .banks(1)
+            .build()
+            .unwrap();
+        let mut m = CamMachine::new(&spec);
+        let bank = m.alloc_bank().unwrap();
+        assert!(m.alloc_bank().is_err(), "bank budget is 1");
+        let mat = m.alloc_mat(bank).unwrap();
+        assert!(m.alloc_mat(bank).is_err(), "mats/bank is 1");
+        let array = m.alloc_array(mat).unwrap();
+        assert!(m.alloc_array(mat).is_err(), "arrays/mat is 1");
+        m.alloc_subarray(array).unwrap();
+        m.alloc_subarray(array).unwrap();
+        assert!(m.alloc_subarray(array).is_err(), "subarrays/array is 2");
+        let stats = m.stats();
+        assert_eq!(stats.banks_allocated, 1);
+        assert_eq!(stats.subarrays_allocated, 2);
+    }
+
+    #[test]
+    fn invalid_handles_error() {
+        let mut m = machine();
+        assert!(m.alloc_mat(BankId(9)).is_err());
+        assert!(m.alloc_array(MatId(9)).is_err());
+        assert!(m.alloc_subarray(ArrayId(9)).is_err());
+        assert!(m.write_rows(SubarrayId(9), 0, &[vec![0.0]]).is_err());
+        assert!(m.read(SubarrayId(9)).is_err());
+    }
+
+    #[test]
+    fn search_is_functional_and_charged() {
+        let mut m = machine();
+        let sub = m.alloc_chain().unwrap();
+        m.write_rows(sub, 0, &[vec![1.0, 0.0, 1.0], vec![0.0, 0.0, 0.0]])
+            .unwrap();
+        let before = m.stats();
+        let r = m
+            .search(
+                sub,
+                &[1.0, 0.0, 1.0],
+                SearchSpec::new(MatchKind::Exact, Metric::Hamming),
+            )
+            .unwrap();
+        assert_eq!(r.matching_rows(), vec![0]);
+        let after = m.stats();
+        assert_eq!(after.search_ops, before.search_ops + 1);
+        assert!(after.total_energy_fj() > before.total_energy_fj());
+        assert!(after.latency_ns > before.latency_ns);
+        // read returns the same result
+        let read = m.read(sub).unwrap();
+        assert_eq!(read, r);
+    }
+
+    #[test]
+    fn read_before_search_fails() {
+        let mut m = machine();
+        let sub = m.alloc_chain().unwrap();
+        assert!(m.read(sub).is_err());
+    }
+
+    #[test]
+    fn parallel_scope_takes_max_latency() {
+        let mut m = machine();
+        let s1 = m.alloc_chain().unwrap();
+        let bank2 = m.alloc_bank().unwrap();
+        let mat2 = m.alloc_mat(bank2).unwrap();
+        let arr2 = m.alloc_array(mat2).unwrap();
+        let s2 = m.alloc_subarray(arr2).unwrap();
+        m.write_rows(s1, 0, &[vec![1.0, 0.0]]).unwrap();
+        m.write_rows(s2, 0, &[vec![0.0, 1.0]]).unwrap();
+        m.reset_stats();
+
+        let spec = SearchSpec::new(MatchKind::Exact, Metric::Hamming);
+        // Sequential: two searches sum.
+        m.search(s1, &[1.0, 0.0], spec).unwrap();
+        m.search(s2, &[1.0, 0.0], spec).unwrap();
+        let seq = m.stats().latency_ns;
+
+        m.reset_stats();
+        m.push_parallel();
+        m.push_sequential();
+        m.search(s1, &[1.0, 0.0], spec).unwrap();
+        m.pop_scope();
+        m.push_sequential();
+        m.search(s2, &[1.0, 0.0], spec).unwrap();
+        m.pop_scope();
+        m.pop_scope();
+        let par = m.stats().latency_ns;
+        assert!((par - seq / 2.0).abs() < 1e-9, "par={par} seq={seq}");
+        // Energy is identical regardless of concurrency.
+        assert_eq!(m.stats().search_ops, 2);
+    }
+
+    #[test]
+    fn nested_scopes_fold_correctly() {
+        let mut m = machine();
+        // outer sequential { parallel { seq(3) ; seq(5) } ; 2 } = 5 + 2
+        m.push_parallel();
+        m.push_sequential();
+        m.add_latency(3.0);
+        m.pop_scope();
+        m.push_sequential();
+        m.add_latency(5.0);
+        m.pop_scope();
+        m.pop_scope();
+        m.add_latency(2.0);
+        assert!((m.current_latency_ns() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_latency_snapshots_open_scopes() {
+        let mut m = machine();
+        m.add_latency(1.0);
+        m.push_parallel();
+        m.push_sequential();
+        m.add_latency(4.0);
+        // open scopes: root-seq(1.0) > par(0) > seq(4.0) → 1 + max(4) = 5
+        assert!((m.current_latency_ns() - 5.0).abs() < 1e-12);
+        assert_eq!(m.scope_depth(), 3);
+    }
+
+    #[test]
+    fn selective_search_costs_less_energy_but_extra_cycle_latency() {
+        let spec = ArchSpec::builder().subarray(32, 16).build().unwrap();
+        let mut m = CamMachine::new(&spec);
+        let sub = m.alloc_chain().unwrap();
+        let rows: Vec<Vec<f32>> = (0..32).map(|i| vec![(i % 2) as f32; 16]).collect();
+        m.write_rows(sub, 0, &rows).unwrap();
+        m.reset_stats();
+        let q = vec![1.0f32; 16];
+        let all = SearchSpec::new(MatchKind::Best, Metric::Hamming);
+        m.search(sub, &q, all).unwrap();
+        let full = m.stats();
+        m.reset_stats();
+        let sel = all.with_selection(RowSelection::Window { start: 0, len: 8 });
+        m.search(sub, &q, sel).unwrap();
+        let windowed = m.stats();
+        assert!(windowed.cell_energy_fj < full.cell_energy_fj);
+        assert!(windowed.latency_ns > full.latency_ns, "selective adds a cycle");
+    }
+
+    #[test]
+    fn merge_charges_level_latency() {
+        let mut m = machine();
+        m.merge(Level::Array, 10);
+        m.merge(Level::Bank, 10);
+        let s = m.stats();
+        assert_eq!(s.merge_ops, 2);
+        let expected =
+            m.tech().merge_latency_ns(Level::Array) + m.tech().merge_latency_ns(Level::Bank);
+        assert!((s.latency_ns - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_stats_preserves_allocations() {
+        let mut m = machine();
+        m.alloc_chain().unwrap();
+        m.merge(Level::Bank, 4);
+        m.reset_stats();
+        let s = m.stats();
+        assert_eq!(s.merge_ops, 0);
+        assert_eq!(s.latency_ns, 0.0);
+        assert_eq!(s.subarrays_allocated, 1);
+    }
+
+    #[test]
+    fn wta_window_flows_through_machine() {
+        let mut m = machine();
+        m.set_wta_window(Some(1));
+        let sub = m.alloc_chain().unwrap();
+        m.write_rows(sub, 0, &[vec![0.0, 0.0, 0.0, 0.0]]).unwrap();
+        let r = m
+            .search(
+                sub,
+                &[1.0, 1.0, 1.0, 1.0],
+                SearchSpec::new(MatchKind::Best, Metric::Hamming),
+            )
+            .unwrap();
+        assert_eq!(r.distances, vec![1.0]); // saturated at window
+    }
+}

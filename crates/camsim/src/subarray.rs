@@ -1,0 +1,491 @@
+//! Functional model of one CAM subarray: an `R × C` grid of cells with
+//! parallel search over all (or a selected window of) rows.
+
+use crate::cell::CamCell;
+use c4cam_arch::{MatchKind, Metric};
+
+/// Which rows participate in a search.
+///
+/// [`RowSelection::Window`] models *selective row precharging* (paper
+/// \[27\], used by the `cam-density` configuration): only the selected rows
+/// are precharged and sensed, so a query can target one stored batch out
+/// of several sharing the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowSelection {
+    /// All valid rows participate.
+    All,
+    /// Only rows `start..start+len` participate.
+    Window {
+        /// First selected row.
+        start: usize,
+        /// Number of selected rows.
+        len: usize,
+    },
+}
+
+impl RowSelection {
+    /// Resolve into a concrete row range bounded by `rows`.
+    pub fn range(&self, rows: usize) -> std::ops::Range<usize> {
+        match *self {
+            RowSelection::All => 0..rows,
+            RowSelection::Window { start, len } => {
+                let start = start.min(rows);
+                start..(start + len).min(rows)
+            }
+        }
+    }
+
+    /// Number of rows activated.
+    pub fn active_rows(&self, rows: usize) -> usize {
+        self.range(rows).len()
+    }
+}
+
+/// Outcome of one subarray search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Absolute row indices that participated, in order.
+    pub rows: Vec<usize>,
+    /// Distance per participating row (Hamming count or squared
+    /// Euclidean, per the metric).
+    pub distances: Vec<f64>,
+    /// Match flag per participating row under the requested match kind.
+    pub matched: Vec<bool>,
+}
+
+impl SearchResult {
+    /// Rows flagged as matches.
+    pub fn matching_rows(&self) -> Vec<usize> {
+        self.rows
+            .iter()
+            .zip(&self.matched)
+            .filter_map(|(&r, &m)| if m { Some(r) } else { None })
+            .collect()
+    }
+
+    /// Rows achieving the minimum distance (the best-match winners).
+    pub fn best_rows(&self) -> Vec<usize> {
+        let min = self
+            .distances
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        self.rows
+            .iter()
+            .zip(&self.distances)
+            .filter_map(|(&r, &d)| if d == min { Some(r) } else { None })
+            .collect()
+    }
+}
+
+/// A single `rows × cols` CAM subarray.
+#[derive(Debug, Clone)]
+pub struct Subarray {
+    rows: usize,
+    cols: usize,
+    cells: Vec<CamCell>,
+    valid: Vec<bool>,
+    /// Result of the most recent search (for `cam.read`).
+    last_result: Option<SearchResult>,
+}
+
+impl Subarray {
+    /// New subarray with all rows invalid (unprogrammed).
+    pub fn new(rows: usize, cols: usize) -> Subarray {
+        Subarray {
+            rows,
+            cols,
+            cells: vec![CamCell::DontCare; rows * cols],
+            valid: vec![false; rows],
+            last_result: None,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of programmed (valid) rows.
+    pub fn valid_rows(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+
+    /// Program `data` rows starting at `row_offset`, encoding each datum
+    /// with `bits_per_cell` resolution. Short rows are padded with
+    /// don't-care cells (they never mismatch).
+    ///
+    /// # Errors
+    /// Fails if the rows don't fit or a row is wider than the subarray.
+    pub fn write_rows(
+        &mut self,
+        row_offset: usize,
+        data: &[Vec<f32>],
+        bits_per_cell: u32,
+    ) -> Result<(), String> {
+        if row_offset + data.len() > self.rows {
+            return Err(format!(
+                "write of {} rows at offset {row_offset} exceeds {} rows",
+                data.len(),
+                self.rows
+            ));
+        }
+        for (i, row) in data.iter().enumerate() {
+            if row.len() > self.cols {
+                return Err(format!(
+                    "row {} has {} elements but subarray has {} columns",
+                    row_offset + i,
+                    row.len(),
+                    self.cols
+                ));
+            }
+            let r = row_offset + i;
+            for c in 0..self.cols {
+                self.cells[r * self.cols + c] = match row.get(c) {
+                    Some(&v) => CamCell::encode(v, bits_per_cell),
+                    None => CamCell::DontCare,
+                };
+            }
+            self.valid[r] = true;
+        }
+        Ok(())
+    }
+
+    /// Program raw cells (for wildcard patterns) starting at `row_offset`.
+    ///
+    /// # Errors
+    /// Fails if the rows don't fit or a row is wider than the subarray.
+    pub fn write_cells(
+        &mut self,
+        row_offset: usize,
+        data: &[Vec<CamCell>],
+    ) -> Result<(), String> {
+        if row_offset + data.len() > self.rows {
+            return Err("cell write exceeds subarray rows".to_string());
+        }
+        for (i, row) in data.iter().enumerate() {
+            if row.len() > self.cols {
+                return Err("cell row wider than subarray".to_string());
+            }
+            let r = row_offset + i;
+            for c in 0..self.cols {
+                self.cells[r * self.cols + c] =
+                    row.get(c).copied().unwrap_or(CamCell::DontCare);
+            }
+            self.valid[r] = true;
+        }
+        Ok(())
+    }
+
+    /// Search all selected valid rows against `query`.
+    ///
+    /// `threshold` is only meaningful for [`MatchKind::Threshold`];
+    /// `wta_window` models a winner-take-all sensing circuit that can
+    /// only discriminate best matches within a bounded mismatch count
+    /// (paper \[19\]) — rows beyond the window saturate to the window
+    /// value.
+    ///
+    /// # Errors
+    /// Fails if the query is wider than the subarray.
+    pub fn search(
+        &mut self,
+        query: &[f32],
+        kind: MatchKind,
+        metric: Metric,
+        selection: RowSelection,
+        threshold: f64,
+        wta_window: Option<u32>,
+    ) -> Result<&SearchResult, String> {
+        if query.len() > self.cols {
+            return Err(format!(
+                "query width {} exceeds {} columns",
+                query.len(),
+                self.cols
+            ));
+        }
+        let mut rows = Vec::new();
+        let mut distances = Vec::new();
+        for r in selection.range(self.rows) {
+            if !self.valid[r] {
+                continue;
+            }
+            let cells = &self.cells[r * self.cols..r * self.cols + query.len()];
+            let mut dist = match metric {
+                Metric::Hamming => cells
+                    .iter()
+                    .zip(query)
+                    .map(|(c, &q)| c.hamming(q) as f64)
+                    .sum::<f64>(),
+                Metric::Euclidean => cells
+                    .iter()
+                    .zip(query)
+                    .map(|(c, &q)| c.squared_distance(q))
+                    .sum::<f64>(),
+                // A dot-product similarity is realized on CAM hardware by
+                // bit-encoding such that Hamming distance is inversely
+                // proportional to the dot product (cf. [22]); functionally
+                // we count matching positions and negate so that "smaller
+                // is better" holds uniformly.
+                Metric::Dot => {
+                    -(cells
+                        .iter()
+                        .zip(query)
+                        .filter(|(c, &q)| c.matches(q))
+                        .count() as f64)
+                }
+            };
+            if let Some(window) = wta_window {
+                if metric == Metric::Hamming {
+                    dist = dist.min(window as f64);
+                }
+            }
+            rows.push(r);
+            distances.push(dist);
+        }
+        let matched = match kind {
+            MatchKind::Exact => distances.iter().map(|&d| d == 0.0).collect(),
+            MatchKind::Threshold => distances.iter().map(|&d| d <= threshold).collect(),
+            MatchKind::Best => {
+                let min = distances.iter().cloned().fold(f64::INFINITY, f64::min);
+                distances.iter().map(|&d| d == min).collect()
+            }
+        };
+        self.last_result = Some(SearchResult {
+            rows,
+            distances,
+            matched,
+        });
+        Ok(self.last_result.as_ref().unwrap())
+    }
+
+    /// Result of the most recent search (`cam.read` semantics).
+    pub fn last_result(&self) -> Option<&SearchResult> {
+        self.last_result.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn programmed() -> Subarray {
+        let mut s = Subarray::new(4, 4);
+        s.write_rows(
+            0,
+            &[
+                vec![1.0, 0.0, 1.0, 0.0],
+                vec![1.0, 1.0, 1.0, 1.0],
+                vec![0.0, 0.0, 0.0, 0.0],
+            ],
+            1,
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn exact_match_finds_identical_row() {
+        let mut s = programmed();
+        let r = s
+            .search(
+                &[1.0, 1.0, 1.0, 1.0],
+                MatchKind::Exact,
+                Metric::Hamming,
+                RowSelection::All,
+                0.0,
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.matching_rows(), vec![1]);
+        assert_eq!(r.distances, vec![2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn unprogrammed_rows_are_excluded() {
+        let mut s = programmed();
+        let r = s
+            .search(
+                &[0.0; 4],
+                MatchKind::Exact,
+                Metric::Hamming,
+                RowSelection::All,
+                0.0,
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![0, 1, 2]); // row 3 never written
+    }
+
+    #[test]
+    fn best_match_reports_minimum_distance_rows() {
+        let mut s = programmed();
+        let r = s
+            .search(
+                &[1.0, 0.0, 1.0, 1.0],
+                MatchKind::Best,
+                Metric::Hamming,
+                RowSelection::All,
+                0.0,
+                None,
+            )
+            .unwrap();
+        // Rows 0 and 1 are both at Hamming distance 1 — both win.
+        assert_eq!(r.best_rows(), vec![0, 1]);
+        assert_eq!(r.matching_rows(), vec![0, 1]);
+        assert_eq!(r.distances, vec![1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn threshold_match_selects_within_radius() {
+        let mut s = programmed();
+        let r = s
+            .search(
+                &[1.0, 0.0, 1.0, 1.0],
+                MatchKind::Threshold,
+                Metric::Hamming,
+                RowSelection::All,
+                1.0,
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.matching_rows(), vec![0, 1]); // distances 1 and 1
+    }
+
+    #[test]
+    fn selective_window_restricts_rows() {
+        let mut s = programmed();
+        let r = s
+            .search(
+                &[1.0, 0.0, 1.0, 0.0],
+                MatchKind::Best,
+                Metric::Hamming,
+                RowSelection::Window { start: 1, len: 2 },
+                0.0,
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![1, 2]);
+        // Rows 1 and 2 are both at distance 2 from the query.
+        assert_eq!(r.best_rows(), vec![1, 2]);
+        assert_eq!(RowSelection::Window { start: 2, len: 9 }.active_rows(4), 2);
+    }
+
+    #[test]
+    fn dont_care_cells_never_mismatch() {
+        let mut s = Subarray::new(2, 4);
+        s.write_cells(
+            0,
+            &[vec![
+                CamCell::One,
+                CamCell::DontCare,
+                CamCell::Zero,
+                CamCell::DontCare,
+            ]],
+        )
+        .unwrap();
+        let r = s
+            .search(
+                &[1.0, 1.0, 0.0, 0.0],
+                MatchKind::Exact,
+                Metric::Hamming,
+                RowSelection::All,
+                0.0,
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.matching_rows(), vec![0]);
+    }
+
+    #[test]
+    fn euclidean_metric_on_multibit_rows() {
+        let mut s = Subarray::new(2, 3);
+        s.write_rows(0, &[vec![1.0, 2.0, 3.0], vec![3.0, 3.0, 3.0]], 2)
+            .unwrap();
+        let r = s
+            .search(
+                &[1.0, 2.0, 2.0],
+                MatchKind::Best,
+                Metric::Euclidean,
+                RowSelection::All,
+                0.0,
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.distances, vec![1.0, 6.0]);
+        assert_eq!(r.best_rows(), vec![0]);
+    }
+
+    #[test]
+    fn dot_metric_prefers_most_overlap() {
+        let mut s = Subarray::new(2, 4);
+        s.write_rows(0, &[vec![1.0, 1.0, 0.0, 0.0], vec![1.0, 1.0, 1.0, 1.0]], 1)
+            .unwrap();
+        let r = s
+            .search(
+                &[1.0, 1.0, 1.0, 1.0],
+                MatchKind::Best,
+                Metric::Dot,
+                RowSelection::All,
+                0.0,
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.best_rows(), vec![1]);
+    }
+
+    #[test]
+    fn wta_window_saturates_distances() {
+        let mut s = programmed();
+        let r = s
+            .search(
+                &[1.0, 1.0, 1.0, 1.0],
+                MatchKind::Best,
+                Metric::Hamming,
+                RowSelection::All,
+                0.0,
+                Some(2),
+            )
+            .unwrap();
+        // row2's true distance 4 saturates to 2.
+        assert_eq!(r.distances, vec![2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn write_errors_are_reported() {
+        let mut s = Subarray::new(2, 2);
+        assert!(s.write_rows(1, &[vec![0.0], vec![1.0]], 1).is_err());
+        assert!(s.write_rows(0, &[vec![0.0, 1.0, 0.5]], 1).is_err());
+        assert!(s
+            .search(
+                &[0.0, 1.0, 0.0],
+                MatchKind::Exact,
+                Metric::Hamming,
+                RowSelection::All,
+                0.0,
+                None
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn padded_columns_do_not_affect_distance() {
+        let mut s = Subarray::new(1, 8);
+        s.write_rows(0, &[vec![1.0, 0.0]], 1).unwrap();
+        let r = s
+            .search(
+                &[1.0, 0.0],
+                MatchKind::Exact,
+                Metric::Hamming,
+                RowSelection::All,
+                0.0,
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.distances, vec![0.0]);
+    }
+}

@@ -1,0 +1,171 @@
+//! `arith` dialect: constants and the scalar/index arithmetic the
+//! mapping passes generate for offset computations.
+
+use c4cam_ir::verify::{Arity, DialectRegistry, OpSpec};
+use c4cam_ir::{Attribute, Module, OpId};
+
+/// Register the `arith` ops.
+pub fn register(r: &mut DialectRegistry) {
+    r.register(
+        OpSpec::new("arith.constant", "compile-time constant")
+            .operands(Arity::Exact(0))
+            .results(Arity::Exact(1))
+            .verifier(verify_constant),
+    );
+    for name in [
+        "arith.addi",
+        "arith.subi",
+        "arith.muli",
+        "arith.divui",
+        "arith.remui",
+        "arith.minui",
+        "arith.maxui",
+    ] {
+        r.register(
+            OpSpec::new(binary_name(name), "integer/index binary arithmetic")
+                .operands(Arity::Exact(2))
+                .results(Arity::Exact(1))
+                .verifier(verify_same_type_binary),
+        );
+    }
+    r.register(
+        OpSpec::new("arith.cmpi", "integer comparison")
+            .operands(Arity::Exact(2))
+            .results(Arity::Exact(1))
+            .verifier(verify_cmpi),
+    );
+    for name in ["arith.addf", "arith.subf", "arith.mulf", "arith.divf"] {
+        r.register(
+            OpSpec::new(binary_name(name), "float binary arithmetic")
+                .operands(Arity::Exact(2))
+                .results(Arity::Exact(1))
+                .verifier(verify_same_type_binary),
+        );
+    }
+    r.register(
+        OpSpec::new("arith.index_cast", "index <-> integer cast")
+            .operands(Arity::Exact(1))
+            .results(Arity::Exact(1)),
+    );
+}
+
+/// Map a runtime string to its registered `&'static str` name.
+fn binary_name(name: &str) -> &'static str {
+    match name {
+        "arith.addi" => "arith.addi",
+        "arith.subi" => "arith.subi",
+        "arith.muli" => "arith.muli",
+        "arith.divui" => "arith.divui",
+        "arith.remui" => "arith.remui",
+        "arith.minui" => "arith.minui",
+        "arith.maxui" => "arith.maxui",
+        "arith.addf" => "arith.addf",
+        "arith.subf" => "arith.subf",
+        "arith.mulf" => "arith.mulf",
+        "arith.divf" => "arith.divf",
+        _ => unreachable!("unknown arith op {name}"),
+    }
+}
+
+fn verify_constant(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    match data.attr("value") {
+        Some(Attribute::Int(_)) | Some(Attribute::Float(_)) | Some(Attribute::Dense { .. })
+        | Some(Attribute::Bool(_)) => Ok(()),
+        Some(_) => Err("arith.constant 'value' must be int, float, bool or dense".into()),
+        None => Err("arith.constant requires a 'value' attribute".into()),
+    }
+}
+
+fn verify_same_type_binary(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    let lhs = m.value_type(data.operands[0]);
+    let rhs = m.value_type(data.operands[1]);
+    let res = m.value_type(data.results[0]);
+    if lhs != rhs || lhs != res {
+        return Err("binary arith op requires matching operand/result types".into());
+    }
+    Ok(())
+}
+
+fn verify_cmpi(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    let pred = data
+        .str_attr("predicate")
+        .ok_or("arith.cmpi requires a 'predicate' attribute")?;
+    match pred {
+        "eq" | "ne" | "slt" | "sle" | "sgt" | "sge" | "ult" | "ule" | "ugt" | "uge" => Ok(()),
+        other => Err(format!("unknown cmpi predicate '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4cam_ir::builder::{build_func, OpBuilder};
+    use c4cam_ir::verify::verify_module;
+    use c4cam_ir::Module;
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        r.allow_unregistered = true;
+        register(&mut r);
+        r
+    }
+
+    #[test]
+    fn constants_and_arith_verify() {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let c1 = b.const_index(4);
+        let c2 = b.const_index(8);
+        let idx = b.module().index_ty();
+        b.op("arith.addi", &[c1, c2], &[idx], vec![]);
+        b.op("arith.muli", &[c1, c2], &[idx], vec![]);
+        b.op("arith.divui", &[c2, c1], &[idx], vec![]);
+        b.op("arith.remui", &[c2, c1], &[idx], vec![]);
+        verify_module(&m, &registry()).unwrap();
+    }
+
+    #[test]
+    fn mixed_type_binary_is_rejected() {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let c1 = b.const_index(4);
+        let c2 = b.const_i64(8);
+        let idx = b.module().index_ty();
+        b.op("arith.addi", &[c1, c2], &[idx], vec![]);
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("matching"), "{e}");
+    }
+
+    #[test]
+    fn constant_requires_value() {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let idx = m.index_ty();
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("arith.constant", &[], &[idx], vec![]);
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("value"), "{e}");
+    }
+
+    #[test]
+    fn cmpi_validates_predicate() {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let c1 = b.const_index(4);
+        let i1 = b.module().i1_ty();
+        b.op(
+            "arith.cmpi",
+            &[c1, c1],
+            &[i1],
+            vec![("predicate", "weird".into())],
+        );
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("predicate"), "{e}");
+    }
+}

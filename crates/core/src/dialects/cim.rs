@@ -1,0 +1,513 @@
+//! `cim` dialect: the device-agnostic compute-in-memory abstraction
+//! (extended from CINM \[16\], paper §III-D1).
+//!
+//! The programming model is acquire / execute / release: `cim.acquire`
+//! returns a device handle, `cim.execute` wraps a region of
+//! device-amenable ops, `cim.release` frees the handle. The C4CAM
+//! extension adds the similarity analyses: after fusion, execute regions
+//! matching Algorithm 1's patterns are rewritten to `cim.similarity`,
+//! partials are combined with `cim.merge_partial`, and `cim.reduce`
+//! performs the final top-k selection over accumulated scores.
+
+use c4cam_ir::builder::OpBuilder;
+use c4cam_ir::verify::{Arity, DialectRegistry, OpSpec};
+use c4cam_ir::{Attribute, Module, OpId, TypeKind, ValueId};
+
+/// Known similarity metrics for `cim.similarity` (paper Algorithm 1).
+pub const SIMILARITY_METRICS: [&str; 3] = ["dot", "eucl", "cos"];
+
+/// Register the `cim` ops.
+pub fn register(r: &mut DialectRegistry) {
+    r.register(
+        OpSpec::new("cim.acquire", "acquire a CIM device handle")
+            .operands(Arity::Exact(0))
+            .results(Arity::Exact(1))
+            .verifier(|m, op| match m.kind(m.value_type(m.op(op).results[0])) {
+                TypeKind::Index => Ok(()),
+                _ => Err("cim.acquire returns an index handle".into()),
+            }),
+    );
+    r.register(
+        OpSpec::new("cim.execute", "run a region on an acquired device")
+            .operands(Arity::AtLeast(1))
+            .regions(Arity::Exact(1))
+            .requires_terminator()
+            .verifier(verify_execute),
+    );
+    r.register(
+        OpSpec::new("cim.yield", "execute-region terminator")
+            .results(Arity::Exact(0))
+            .terminator(),
+    );
+    r.register(
+        OpSpec::new("cim.release", "release a device handle")
+            .operands(Arity::Exact(1))
+            .results(Arity::Exact(0)),
+    );
+    // Device-compatible compute ops (mirrors of the torch subset).
+    for (name, summary) in [
+        ("cim.transpose", "device transpose"),
+        ("cim.norm", "device row-wise L2 norm"),
+    ] {
+        r.register(
+            OpSpec::new(name_static(name), summary)
+                .operands(Arity::Exact(1))
+                .results(Arity::Exact(1)),
+        );
+    }
+    for (name, summary) in [
+        ("cim.matmul", "device matrix multiplication"),
+        ("cim.sub", "device (broadcasting) subtraction"),
+    ] {
+        r.register(
+            OpSpec::new(name_static(name), summary)
+                .operands(Arity::Exact(2))
+                .results(Arity::Exact(1)),
+        );
+    }
+    r.register(
+        OpSpec::new("cim.div", "device division (2 or 3 operands for cosine)")
+            .operands(Arity::AtLeast(2))
+            .results(Arity::Exact(1)),
+    );
+    r.register(
+        OpSpec::new("cim.topk", "device top-k")
+            .operands(Arity::Exact(2))
+            .results(Arity::Exact(2)),
+    );
+    r.register(
+        OpSpec::new("cim.similarity", "fused similarity search (Algorithm 1)")
+            .operands(Arity::Exact(3))
+            .results(Arity::Exact(2))
+            .verifier(verify_similarity),
+    );
+    r.register(
+        OpSpec::new(
+            "cim.similarity_scores",
+            "partial similarity: per-(query,stored) score matrix",
+        )
+        .operands(Arity::Exact(2))
+        .results(Arity::Exact(1))
+        .verifier(verify_similarity_scores),
+    );
+    r.register(
+        OpSpec::new("cim.init_acc", "zero-initialized score accumulator")
+            .operands(Arity::Exact(0))
+            .results(Arity::Exact(1)),
+    );
+    r.register(
+        OpSpec::new(
+            "cim.merge_partial",
+            "accumulate partial scores (acc, partial, column offset)",
+        )
+        .operands(Arity::Exact(3))
+        .results(Arity::Exact(1))
+        .verifier(verify_merge_partial),
+    );
+    r.register(
+        OpSpec::new("cim.reduce", "final top-k over accumulated scores")
+            .operands(Arity::Exact(2))
+            .results(Arity::Exact(2))
+            .verifier(verify_reduce),
+    );
+}
+
+fn name_static(name: &str) -> &'static str {
+    match name {
+        "cim.transpose" => "cim.transpose",
+        "cim.norm" => "cim.norm",
+        "cim.matmul" => "cim.matmul",
+        "cim.sub" => "cim.sub",
+        _ => unreachable!(),
+    }
+}
+
+fn verify_execute(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    match m.kind(m.value_type(data.operands[0])) {
+        TypeKind::Index => {}
+        _ => return Err("cim.execute operand 0 must be the device handle (index)".into()),
+    }
+    let block = data.regions[0]
+        .first()
+        .copied()
+        .ok_or("cim.execute requires a body block")?;
+    if let Some(&last) = m.block(block).ops.last() {
+        let term = m.op(last);
+        if term.name != "cim.yield" {
+            return Err("cim.execute body must end with cim.yield".into());
+        }
+        if term.operands.len() != data.results.len() {
+            return Err(format!(
+                "cim.yield carries {} values but execute has {} results",
+                term.operands.len(),
+                data.results.len()
+            ));
+        }
+        for (i, (&y, &r)) in term.operands.iter().zip(&data.results).enumerate() {
+            if m.value_type(y) != m.value_type(r) {
+                return Err(format!("cim.yield value {i} type mismatch with result"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn metric_attr(m: &Module, op: OpId) -> Result<String, String> {
+    let metric = m
+        .op(op)
+        .str_attr("metric")
+        .ok_or("similarity op requires a 'metric' attribute")?;
+    if !SIMILARITY_METRICS.contains(&metric) {
+        return Err(format!("unknown similarity metric '{metric}'"));
+    }
+    Ok(metric.to_string())
+}
+
+fn verify_similarity(m: &Module, op: OpId) -> Result<(), String> {
+    metric_attr(m, op)?;
+    let data = m.op(op);
+    if data.attr("largest").and_then(Attribute::as_bool).is_none() {
+        return Err("cim.similarity requires a boolean 'largest' attribute".into());
+    }
+    match m.kind(m.value_type(data.operands[2])) {
+        TypeKind::Integer { .. } => {}
+        _ => return Err("cim.similarity 'k' operand must be an integer".into()),
+    }
+    let stored = m.kind(m.value_type(data.operands[0])).clone();
+    let query = m.kind(m.value_type(data.operands[1])).clone();
+    match (stored.shape(), query.shape()) {
+        (Some(s), Some(q)) if s.len() == 2 && q.len() == 2 => {
+            if s[1] != q[1] {
+                return Err(format!(
+                    "similarity feature dims differ: stored {} vs query {}",
+                    s[1], q[1]
+                ));
+            }
+            Ok(())
+        }
+        _ => Err("similarity operands must be rank-2 tensors".into()),
+    }
+}
+
+fn verify_similarity_scores(m: &Module, op: OpId) -> Result<(), String> {
+    metric_attr(m, op)?;
+    let data = m.op(op);
+    let stored = m.kind(m.value_type(data.operands[0])).clone();
+    let query = m.kind(m.value_type(data.operands[1])).clone();
+    let res = m.kind(m.value_type(data.results[0])).clone();
+    match (stored.shape(), query.shape(), res.shape()) {
+        (Some(s), Some(q), Some(r)) if s.len() == 2 && q.len() == 2 && r.len() == 2 => {
+            if s[1] != q[1] {
+                return Err("similarity_scores feature dims differ".into());
+            }
+            if r[0] != q[0] || r[1] != s[0] {
+                return Err(format!(
+                    "similarity_scores result must be [queries={}, stored={}], got {:?}",
+                    q[0], s[0], r
+                ));
+            }
+            Ok(())
+        }
+        _ => Err("similarity_scores operands/result must be rank-2 tensors".into()),
+    }
+}
+
+fn verify_merge_partial(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    let dir = data
+        .str_attr("dir")
+        .ok_or("cim.merge_partial requires a 'dir' attribute")?;
+    if dir != "horizontal" && dir != "vertical" {
+        return Err(format!("unknown merge direction '{dir}'"));
+    }
+    let acc = m.value_type(data.operands[0]);
+    if m.value_type(data.results[0]) != acc {
+        return Err("merge_partial result type must match accumulator".into());
+    }
+    Ok(())
+}
+
+fn verify_reduce(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    if data.attr("largest").and_then(Attribute::as_bool).is_none() {
+        return Err("cim.reduce requires a boolean 'largest' attribute".into());
+    }
+    metric_attr(m, op)?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Builders
+// ----------------------------------------------------------------------
+
+/// Build `cim.acquire` returning the handle value.
+pub fn build_acquire(b: &mut OpBuilder<'_>) -> ValueId {
+    let idx = b.module().index_ty();
+    let op = b.op("cim.acquire", &[], &[idx], vec![]);
+    b.module().result(op, 0)
+}
+
+/// Build `cim.release`.
+pub fn build_release(b: &mut OpBuilder<'_>, handle: ValueId) {
+    b.op("cim.release", &[handle], &[], vec![]);
+}
+
+/// Build an empty `cim.execute` with the given operands and result
+/// types; returns `(op, body_block)`. The caller fills the body and must
+/// terminate it with `cim.yield`.
+pub fn build_execute(
+    b: &mut OpBuilder<'_>,
+    handle: ValueId,
+    inputs: &[ValueId],
+    result_types: &[c4cam_ir::Type],
+) -> (OpId, c4cam_ir::BlockId) {
+    let mut operands = vec![handle];
+    operands.extend_from_slice(inputs);
+    let op = b.op_with_regions("cim.execute", &operands, result_types, vec![], 1);
+    let body = b.module().add_block(op, 0, &[]);
+    (op, body)
+}
+
+/// Append a `cim.yield` to an execute body.
+pub fn build_yield(m: &mut Module, body: c4cam_ir::BlockId, values: &[ValueId]) {
+    let y = m.create_op("cim.yield", values, &[], vec![], 0);
+    m.push_op(body, y);
+}
+
+/// Build `cim.similarity` with inferred `[nq, k] × 2` results.
+pub fn build_similarity(
+    b: &mut OpBuilder<'_>,
+    metric: &str,
+    stored: ValueId,
+    query: ValueId,
+    k_value: ValueId,
+    k_static: i64,
+    largest: bool,
+) -> (ValueId, ValueId) {
+    let query_ty = b.module_ref().value_type(query);
+    let q = b
+        .module_ref()
+        .kind(query_ty)
+        .shape()
+        .expect("query must be shaped")[0];
+    let f32t = b.module().f32_ty();
+    let out = b.module().tensor_ty(&[q, k_static], f32t);
+    let op = b.op(
+        "cim.similarity",
+        &[stored, query, k_value],
+        &[out, out],
+        vec![
+            ("metric", metric.into()),
+            ("largest", Attribute::Bool(largest)),
+            ("k", Attribute::Int(k_static)),
+        ],
+    );
+    (b.module().result(op, 0), b.module().result(op, 1))
+}
+
+/// Build a complete function holding a fused similarity kernel — the IR
+/// shape `cim-fuse-ops` produces (Fig. 5c) — directly at the `cim`
+/// level. Used by drivers/benches that enter the pipeline below torch
+/// (e.g. batched KNN, whose torch-level expression is single-query).
+///
+/// Signature: `(stored [n, dims], queries [nq, dims]) ->
+/// (values [nq, k], indices [nq, k])`.
+pub fn build_similarity_kernel(
+    m: &mut Module,
+    name: &str,
+    metric: &str,
+    stored_rows: i64,
+    dims: i64,
+    queries: i64,
+    k: i64,
+    largest: bool,
+) -> OpId {
+    let f32t = m.f32_ty();
+    let stored_ty = m.tensor_ty(&[stored_rows, dims], f32t);
+    let query_ty = m.tensor_ty(&[queries, dims], f32t);
+    let out_ty = m.tensor_ty(&[queries, k], f32t);
+    let (func, entry) =
+        c4cam_ir::builder::build_func(m, name, &[stored_ty, query_ty], &[out_ty, out_ty]);
+    let stored = m.block(entry).args[0];
+    let query = m.block(entry).args[1];
+    let mut b = OpBuilder::at_end(m, entry);
+    let k_value = crate::dialects::torch::build_constant_int(&mut b, k);
+    let handle = build_acquire(&mut b);
+    let (exec, body) = build_execute(&mut b, handle, &[stored, query, k_value], &[out_ty, out_ty]);
+    build_release(&mut b, handle);
+    let exec_res = [m.result(exec, 0), m.result(exec, 1)];
+    let ret = m.create_op("func.return", &exec_res, &[], vec![], 0);
+    m.push_op(entry, ret);
+    let sim = m.create_op(
+        "cim.similarity",
+        &[stored, query, k_value],
+        &[out_ty, out_ty],
+        vec![
+            ("metric", metric.into()),
+            ("largest", Attribute::Bool(largest)),
+            ("k", Attribute::Int(k)),
+        ],
+        0,
+    );
+    m.push_op(body, sim);
+    let sim_res = m.op(sim).results.clone();
+    build_yield(m, body, &sim_res);
+    func
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4cam_ir::builder::build_func;
+    use c4cam_ir::verify::verify_module;
+    use c4cam_ir::Module;
+
+    #[test]
+    fn similarity_kernel_builder_verifies() {
+        let mut m = Module::new();
+        let func = build_similarity_kernel(&mut m, "knn", "eucl", 100, 64, 8, 3, false);
+        let mut r = DialectRegistry::new();
+        r.allow_unregistered = true;
+        register(&mut r);
+        crate::dialects::torch::register(&mut r);
+        verify_module(&m, &r).unwrap();
+        let names: Vec<String> = m
+            .walk(func)
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
+        assert!(names.contains(&"cim.similarity".to_string()));
+    }
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        r.allow_unregistered = true;
+        register(&mut r);
+        crate::dialects::torch::register(&mut r);
+        r
+    }
+
+    #[test]
+    fn acquire_execute_release_roundtrip() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let t = m.tensor_ty(&[4, 8], f32t);
+        let tt = m.tensor_ty(&[8, 4], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[t], &[]);
+        let arg = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let h = build_acquire(&mut b);
+        let (exec, body) = build_execute(&mut b, h, &[arg], &[tt]);
+        build_release(&mut b, h);
+        b.op("func.return", &[], &[], vec![]);
+        // fill execute body
+        let tr = m.create_op("cim.transpose", &[arg], &[tt], vec![], 0);
+        m.push_op(body, tr);
+        let tr_res = m.result(tr, 0);
+        build_yield(&mut m, body, &[tr_res]);
+        verify_module(&m, &registry()).unwrap();
+        assert_eq!(m.op(exec).name, "cim.execute");
+    }
+
+    #[test]
+    fn execute_yield_arity_mismatch_rejected() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let t = m.tensor_ty(&[4, 8], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[t], &[]);
+        let arg = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let h = build_acquire(&mut b);
+        let (_, body) = build_execute(&mut b, h, &[arg], &[t]);
+        b.op("func.return", &[], &[], vec![]);
+        build_yield(&mut m, body, &[]); // yields nothing, result expects 1
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("cim.yield"), "{e}");
+    }
+
+    #[test]
+    fn similarity_builder_and_verifier() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let stored_ty = m.tensor_ty(&[10, 64], f32t);
+        let query_ty = m.tensor_ty(&[3, 64], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[stored_ty, query_ty], &[]);
+        let stored = m.block(entry).args[0];
+        let query = m.block(entry).args[1];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let k = crate::dialects::torch::build_constant_int(&mut b, 1);
+        let (vals, idx) = build_similarity(&mut b, "dot", stored, query, k, 1, false);
+        assert_eq!(m.kind(m.value_type(vals)).shape(), Some(&[3i64, 1][..]));
+        assert_eq!(m.kind(m.value_type(idx)).shape(), Some(&[3i64, 1][..]));
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[], &[], vec![]);
+        verify_module(&m, &registry()).unwrap();
+    }
+
+    #[test]
+    fn similarity_rejects_bad_metric_and_dims() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let stored_ty = m.tensor_ty(&[10, 64], f32t);
+        let query_ty = m.tensor_ty(&[3, 32], f32t);
+        let out = m.tensor_ty(&[3, 1], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[stored_ty, query_ty], &[]);
+        let stored = m.block(entry).args[0];
+        let query = m.block(entry).args[1];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let k = crate::dialects::torch::build_constant_int(&mut b, 1);
+        b.op(
+            "cim.similarity",
+            &[stored, query, k],
+            &[out, out],
+            vec![
+                ("metric", "dot".into()),
+                ("largest", Attribute::Bool(false)),
+            ],
+        );
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("feature dims"), "{e}");
+    }
+
+    #[test]
+    fn similarity_scores_shape_is_checked() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let stored_ty = m.tensor_ty(&[10, 64], f32t);
+        let query_ty = m.tensor_ty(&[3, 64], f32t);
+        let bad = m.tensor_ty(&[10, 3], f32t); // transposed
+        let (_, entry) = build_func(&mut m, "f", &[stored_ty, query_ty], &[]);
+        let stored = m.block(entry).args[0];
+        let query = m.block(entry).args[1];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op(
+            "cim.similarity_scores",
+            &[stored, query],
+            &[bad],
+            vec![("metric", "eucl".into())],
+        );
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("similarity_scores result"), "{e}");
+    }
+
+    #[test]
+    fn merge_partial_checks_direction() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let t = m.tensor_ty(&[3, 10], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[t, t], &[]);
+        let a = m.block(entry).args[0];
+        let p = m.block(entry).args[1];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let off = b.const_index(0);
+        b.op(
+            "cim.merge_partial",
+            &[a, p, off],
+            &[t],
+            vec![("dir", "diagonal".into())],
+        );
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("merge direction"), "{e}");
+    }
+}

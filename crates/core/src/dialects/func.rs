@@ -1,0 +1,173 @@
+//! `func` dialect: functions, returns and calls.
+
+use c4cam_ir::verify::{Arity, DialectRegistry, OpSpec};
+use c4cam_ir::{Module, OpId, TypeKind};
+
+/// Register the `func` ops.
+pub fn register(r: &mut DialectRegistry) {
+    r.register(
+        OpSpec::new("func.func", "function definition")
+            .operands(Arity::Exact(0))
+            .results(Arity::Exact(0))
+            .regions(Arity::Exact(1))
+            .requires_terminator()
+            .verifier(verify_func),
+    );
+    r.register(
+        OpSpec::new("func.return", "function terminator")
+            .results(Arity::Exact(0))
+            .terminator()
+            .verifier(verify_return),
+    );
+    r.register(OpSpec::new("func.call", "direct call").verifier(verify_call));
+}
+
+fn verify_func(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    if data.str_attr("sym_name").is_none() {
+        return Err("func.func requires a 'sym_name' string attribute".into());
+    }
+    let fty = data
+        .attr("function_type")
+        .and_then(|a| a.as_type())
+        .ok_or("func.func requires a 'function_type' attribute")?;
+    let (inputs, _) = match m.kind(fty) {
+        TypeKind::Function { inputs, results } => (inputs.clone(), results.clone()),
+        _ => return Err("'function_type' must be a function type".into()),
+    };
+    let entry = match data.regions[0].first() {
+        Some(&b) => b,
+        None => return Err("func.func requires an entry block".into()),
+    };
+    let args = &m.block(entry).args;
+    if args.len() != inputs.len() {
+        return Err(format!(
+            "entry block has {} args but function type has {} inputs",
+            args.len(),
+            inputs.len()
+        ));
+    }
+    for (i, (&a, &t)) in args.iter().zip(&inputs).enumerate() {
+        if m.value_type(a) != t {
+            return Err(format!("entry block arg {i} type differs from function type"));
+        }
+    }
+    Ok(())
+}
+
+fn verify_return(m: &Module, op: OpId) -> Result<(), String> {
+    // Result types must match the enclosing function's result types.
+    let block = match m.op(op).parent {
+        Some(b) => b,
+        None => return Ok(()), // detached; structural checks handle this
+    };
+    let parent_op = match m.block(block).parent {
+        Some((p, _)) => p,
+        None => return Err("func.return outside a function".into()),
+    };
+    if m.op(parent_op).name != "func.func" {
+        // Returns may appear in nested regions of other dialect tests.
+        return Ok(());
+    }
+    let fty = match m.op(parent_op).attr("function_type").and_then(|a| a.as_type()) {
+        Some(t) => t,
+        None => return Ok(()),
+    };
+    let results = match m.kind(fty) {
+        TypeKind::Function { results, .. } => results.clone(),
+        _ => return Ok(()),
+    };
+    let operands = &m.op(op).operands;
+    if operands.len() != results.len() {
+        return Err(format!(
+            "func.return has {} operands but function returns {} values",
+            operands.len(),
+            results.len()
+        ));
+    }
+    for (i, (&v, &t)) in operands.iter().zip(&results).enumerate() {
+        if m.value_type(v) != t {
+            return Err(format!("func.return operand {i} type mismatch"));
+        }
+    }
+    Ok(())
+}
+
+fn verify_call(m: &Module, op: OpId) -> Result<(), String> {
+    if m.op(op).str_attr("callee").is_none() {
+        return Err("func.call requires a 'callee' string attribute".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4cam_ir::builder::{build_func, OpBuilder};
+    use c4cam_ir::verify::verify_module;
+    use c4cam_ir::Module;
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        r.allow_unregistered = true;
+        register(&mut r);
+        r
+    }
+
+    #[test]
+    fn well_formed_function_verifies() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let (_, entry) = build_func(&mut m, "f", &[f32t], &[f32t]);
+        let arg = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[arg], &[], vec![]);
+        verify_module(&m, &registry()).unwrap();
+    }
+
+    #[test]
+    fn return_arity_mismatch_is_caught() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let (_, entry) = build_func(&mut m, "f", &[f32t], &[f32t]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[], &[], vec![]);
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("operands"), "{e}");
+    }
+
+    #[test]
+    fn return_type_mismatch_is_caught() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let i64t = m.i64_ty();
+        let (_, entry) = build_func(&mut m, "f", &[i64t], &[f32t]);
+        let arg = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[arg], &[], vec![]);
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("type mismatch"), "{e}");
+    }
+
+    #[test]
+    fn func_requires_sym_name_and_type() {
+        let mut m = Module::new();
+        let func = m.create_op("func.func", &[], &[], vec![], 1);
+        let body = m.body();
+        m.push_op(body, func);
+        m.add_block(func, 0, &[]);
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("sym_name"), "{e}");
+    }
+
+    #[test]
+    fn call_requires_callee() {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.call", &[], &[], vec![]);
+        b.op("func.return", &[], &[], vec![]);
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("callee"), "{e}");
+    }
+}

@@ -1,0 +1,137 @@
+//! `memref` dialect subset: the buffers introduced by bufferization in
+//! the `cim`-to-`cam` lowering (paper §III-D2: "The cim to cam
+//! conversion pass also performs bufferization of tensors").
+
+use c4cam_ir::verify::{Arity, DialectRegistry, OpSpec};
+use c4cam_ir::{Module, OpId, TypeKind, ValueId};
+
+/// Register the `memref` ops.
+pub fn register(r: &mut DialectRegistry) {
+    r.register(
+        OpSpec::new("memref.alloc", "allocate a zero-initialized buffer")
+            .operands(Arity::Exact(0))
+            .results(Arity::Exact(1))
+            .verifier(verify_alloc),
+    );
+    r.register(
+        OpSpec::new("memref.alloc_copy", "allocate a buffer holding a tensor copy")
+            .operands(Arity::Exact(1))
+            .results(Arity::Exact(1))
+            .verifier(verify_alloc_copy),
+    );
+    r.register(
+        OpSpec::new("memref.to_tensor", "read a buffer back into a tensor value")
+            .operands(Arity::Exact(1))
+            .results(Arity::Exact(1))
+            .verifier(verify_to_tensor),
+    );
+}
+
+fn verify_alloc(m: &Module, op: OpId) -> Result<(), String> {
+    match m.kind(m.value_type(m.op(op).results[0])) {
+        TypeKind::MemRef { .. } => Ok(()),
+        _ => Err("memref.alloc result must be a memref".into()),
+    }
+}
+
+fn verify_alloc_copy(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    let src = m.kind(m.value_type(data.operands[0])).clone();
+    let dst = m.kind(m.value_type(data.results[0])).clone();
+    match (&src, &dst) {
+        (
+            TypeKind::RankedTensor { shape: s, elem: se },
+            TypeKind::MemRef { shape: d, elem: de },
+        ) if s == d && se == de => Ok(()),
+        _ => Err("alloc_copy must copy tensor<S> into memref<S>".into()),
+    }
+}
+
+fn verify_to_tensor(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    let src = m.kind(m.value_type(data.operands[0])).clone();
+    let dst = m.kind(m.value_type(data.results[0])).clone();
+    match (&src, &dst) {
+        (
+            TypeKind::MemRef { shape: s, elem: se },
+            TypeKind::RankedTensor { shape: d, elem: de },
+        ) if s == d && se == de => Ok(()),
+        _ => Err("to_tensor must read memref<S> into tensor<S>".into()),
+    }
+}
+
+/// Build `memref.alloc` of the given f32 shape.
+pub fn build_alloc_f32(
+    b: &mut c4cam_ir::builder::OpBuilder<'_>,
+    shape: &[i64],
+) -> ValueId {
+    let f32t = b.module().f32_ty();
+    let ty = b.module().memref_ty(shape, f32t);
+    let op = b.op("memref.alloc", &[], &[ty], vec![]);
+    b.module().result(op, 0)
+}
+
+/// Build `memref.to_tensor`.
+pub fn build_to_tensor(b: &mut c4cam_ir::builder::OpBuilder<'_>, buf: ValueId) -> ValueId {
+    let buf_ty = b.module_ref().value_type(buf);
+    let kind = b.module_ref().kind(buf_ty).clone();
+    let (shape, elem) = match kind {
+        TypeKind::MemRef { shape, elem } => (shape, elem),
+        _ => panic!("build_to_tensor expects a memref value"),
+    };
+    let ty = b.module().tensor_ty(&shape, elem);
+    let op = b.op("memref.to_tensor", &[buf], &[ty], vec![]);
+    b.module().result(op, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4cam_ir::builder::{build_func, OpBuilder};
+    use c4cam_ir::verify::verify_module;
+    use c4cam_ir::Module;
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        r.allow_unregistered = true;
+        register(&mut r);
+        r
+    }
+
+    #[test]
+    fn alloc_and_to_tensor_roundtrip_types() {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let buf = build_alloc_f32(&mut b, &[10, 16]);
+        let t = build_to_tensor(&mut b, buf);
+        assert_eq!(m.kind(m.value_type(t)).shape(), Some(&[10i64, 16][..]));
+        verify_module(&m, &registry()).unwrap();
+    }
+
+    #[test]
+    fn alloc_copy_shape_mismatch_rejected() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let src_ty = m.tensor_ty(&[4, 4], f32t);
+        let bad = m.memref_ty(&[4, 5], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[src_ty], &[]);
+        let src = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("memref.alloc_copy", &[src], &[bad], vec![]);
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("alloc_copy"), "{e}");
+    }
+
+    #[test]
+    fn alloc_result_must_be_memref() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let t = m.tensor_ty(&[2], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("memref.alloc", &[], &[t], vec![]);
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("memref"), "{e}");
+    }
+}

@@ -1,0 +1,316 @@
+//! `scf` dialect: structured control flow. The `cam-map` pass expresses
+//! its mapping policy with these loops — `scf.parallel` over hardware
+//! units that operate concurrently, `scf.for` over units activated
+//! sequentially (paper Fig. 6).
+
+use c4cam_ir::verify::{Arity, DialectRegistry, OpSpec};
+use c4cam_ir::{Attribute, BlockId, Module, OpId, TypeKind, ValueId};
+
+/// Register the `scf` ops.
+pub fn register(r: &mut DialectRegistry) {
+    r.register(
+        OpSpec::new("scf.for", "sequential counted loop with iter-args")
+            .operands(Arity::AtLeast(3))
+            .regions(Arity::Exact(1))
+            .requires_terminator()
+            .verifier(verify_for),
+    );
+    r.register(
+        OpSpec::new("scf.parallel", "parallel counted loop")
+            .operands(Arity::Exact(3))
+            .results(Arity::Exact(0))
+            .regions(Arity::Exact(1))
+            .requires_terminator()
+            .verifier(verify_parallel),
+    );
+    r.register(
+        OpSpec::new("scf.yield", "loop yield terminator")
+            .results(Arity::Exact(0))
+            .terminator(),
+    );
+    r.register(
+        OpSpec::new("scf.if", "conditional execution (no results)")
+            .operands(Arity::Exact(1))
+            .results(Arity::Exact(0))
+            .regions(Arity::AtLeast(1))
+            .requires_terminator(),
+    );
+}
+
+fn is_index(m: &Module, v: ValueId) -> bool {
+    matches!(m.kind(m.value_type(v)), TypeKind::Index)
+}
+
+fn verify_for(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    for i in 0..3 {
+        if !is_index(m, data.operands[i]) {
+            return Err(format!("scf.for bound {i} must be index-typed"));
+        }
+    }
+    let n_iter = data.operands.len() - 3;
+    if data.results.len() != n_iter {
+        return Err(format!(
+            "scf.for carries {n_iter} iter-args but has {} results",
+            data.results.len()
+        ));
+    }
+    let block = data.regions[0]
+        .first()
+        .copied()
+        .ok_or("scf.for requires a body block")?;
+    let args = &m.block(block).args;
+    if args.len() != n_iter + 1 {
+        return Err(format!(
+            "scf.for body must take [iv, {n_iter} iter-args], has {}",
+            args.len()
+        ));
+    }
+    if !is_index(m, args[0]) {
+        return Err("scf.for induction variable must be index-typed".into());
+    }
+    for i in 0..n_iter {
+        let init_ty = m.value_type(data.operands[3 + i]);
+        if m.value_type(args[1 + i]) != init_ty {
+            return Err(format!("scf.for iter-arg {i} type mismatch with init"));
+        }
+        if m.value_type(data.results[i]) != init_ty {
+            return Err(format!("scf.for result {i} type mismatch with init"));
+        }
+    }
+    // Body must end in scf.yield carrying the iter values.
+    if let Some(&last) = m.block(block).ops.last() {
+        let term = m.op(last);
+        if term.name != "scf.yield" {
+            return Err("scf.for body must end with scf.yield".into());
+        }
+        if term.operands.len() != n_iter {
+            return Err(format!(
+                "scf.for yield must carry {n_iter} values, has {}",
+                term.operands.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn verify_parallel(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    for i in 0..3 {
+        if !is_index(m, data.operands[i]) {
+            return Err(format!("scf.parallel bound {i} must be index-typed"));
+        }
+    }
+    let block = data.regions[0]
+        .first()
+        .copied()
+        .ok_or("scf.parallel requires a body block")?;
+    let args = &m.block(block).args;
+    if args.len() != 1 || !is_index(m, args[0]) {
+        return Err("scf.parallel body must take exactly one index iv".into());
+    }
+    if let Some(&last) = m.block(block).ops.last() {
+        let term = m.op(last);
+        if term.name != "scf.yield" || !term.operands.is_empty() {
+            return Err("scf.parallel body must end with an empty scf.yield".into());
+        }
+    }
+    Ok(())
+}
+
+/// Build an `scf.for` (no iter-args): returns `(loop_op, body_block, iv)`.
+/// The body is created *without* a terminator; the caller fills it and
+/// must append `scf.yield` (see [`end_body`]).
+pub fn build_for(
+    b: &mut c4cam_ir::builder::OpBuilder<'_>,
+    lb: ValueId,
+    ub: ValueId,
+    step: ValueId,
+) -> (OpId, BlockId, ValueId) {
+    let op = b.op_with_regions("scf.for", &[lb, ub, step], &[], vec![], 1);
+    let idx = b.module().index_ty();
+    let body = b.module().add_block(op, 0, &[idx]);
+    let iv = b.module().block(body).args[0];
+    (op, body, iv)
+}
+
+/// Build an `scf.for` with iter-args: returns
+/// `(loop_op, body_block, iv, carried_args)`.
+pub fn build_for_iter(
+    b: &mut c4cam_ir::builder::OpBuilder<'_>,
+    lb: ValueId,
+    ub: ValueId,
+    step: ValueId,
+    inits: &[ValueId],
+) -> (OpId, BlockId, ValueId, Vec<ValueId>) {
+    let mut operands = vec![lb, ub, step];
+    operands.extend_from_slice(inits);
+    let result_tys: Vec<_> = inits
+        .iter()
+        .map(|&v| b.module().value_type(v))
+        .collect();
+    let op = b.op_with_regions("scf.for", &operands, &result_tys, vec![], 1);
+    let idx = b.module().index_ty();
+    let mut arg_tys = vec![idx];
+    arg_tys.extend(result_tys.iter().copied());
+    let body = b.module().add_block(op, 0, &arg_tys);
+    let args = b.module().block(body).args.clone();
+    (op, body, args[0], args[1..].to_vec())
+}
+
+/// Build an `scf.parallel`: returns `(loop_op, body_block, iv)`.
+pub fn build_parallel(
+    b: &mut c4cam_ir::builder::OpBuilder<'_>,
+    lb: ValueId,
+    ub: ValueId,
+    step: ValueId,
+) -> (OpId, BlockId, ValueId) {
+    let op = b.op_with_regions("scf.parallel", &[lb, ub, step], &[], vec![], 1);
+    let idx = b.module().index_ty();
+    let body = b.module().add_block(op, 0, &[idx]);
+    let iv = b.module().block(body).args[0];
+    (op, body, iv)
+}
+
+/// Append the `scf.yield` terminator carrying `values` to `body`.
+pub fn end_body(m: &mut Module, body: BlockId, values: &[ValueId]) {
+    let y = m.create_op("scf.yield", values, &[], vec![], 0);
+    m.push_op(body, y);
+}
+
+/// Read the constant trip parameters of a loop whose bounds come from
+/// `arith.constant` ops. Returns `(lb, ub, step)`.
+pub fn const_bounds(m: &Module, op: OpId) -> Option<(i64, i64, i64)> {
+    let data = m.op(op);
+    let mut out = [0i64; 3];
+    for i in 0..3 {
+        let v = data.operands[i];
+        let def = match m.value(v).def {
+            c4cam_ir::ValueDef::OpResult { op, .. } => op,
+            _ => return None,
+        };
+        let d = m.op(def);
+        if d.name != "arith.constant" {
+            return None;
+        }
+        out[i] = match d.attr("value") {
+            Some(Attribute::Int(x)) => *x,
+            _ => return None,
+        };
+    }
+    Some((out[0], out[1], out[2]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4cam_ir::builder::{build_func, OpBuilder};
+    use c4cam_ir::verify::verify_module;
+    use c4cam_ir::Module;
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        r.allow_unregistered = true;
+        register(&mut r);
+        crate::dialects::arith::register(&mut r);
+        r
+    }
+
+    #[test]
+    fn build_for_produces_valid_loop() {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let lb = b.const_index(0);
+        let ub = b.const_index(8192);
+        let step = b.const_index(32);
+        let (loop_op, body, _iv) = build_for(&mut b, lb, ub, step);
+        end_body(&mut m, body, &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[], &[], vec![]);
+        verify_module(&m, &registry()).unwrap();
+        assert_eq!(const_bounds(&m, loop_op), Some((0, 8192, 32)));
+    }
+
+    #[test]
+    fn for_with_iter_args_verifies_and_checks_yield() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let acc_ty = m.tensor_ty(&[4, 4], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[acc_ty], &[]);
+        let init = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let lb = b.const_index(0);
+        let ub = b.const_index(4);
+        let step = b.const_index(1);
+        let (_, body, _iv, carried) = build_for_iter(&mut b, lb, ub, step, &[init]);
+        end_body(&mut m, body, &[carried[0]]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[], &[], vec![]);
+        verify_module(&m, &registry()).unwrap();
+    }
+
+    #[test]
+    fn for_missing_yield_values_is_rejected() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let acc_ty = m.tensor_ty(&[4, 4], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[acc_ty], &[]);
+        let init = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let lb = b.const_index(0);
+        let ub = b.const_index(4);
+        let step = b.const_index(1);
+        let (_, body, _, _) = build_for_iter(&mut b, lb, ub, step, &[init]);
+        end_body(&mut m, body, &[]); // should carry 1 value
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[], &[], vec![]);
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("yield"), "{e}");
+    }
+
+    #[test]
+    fn parallel_loop_verifies() {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let lb = b.const_index(0);
+        let ub = b.const_index(4);
+        let step = b.const_index(1);
+        let (_, body, _) = build_parallel(&mut b, lb, ub, step);
+        end_body(&mut m, body, &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[], &[], vec![]);
+        verify_module(&m, &registry()).unwrap();
+    }
+
+    #[test]
+    fn non_index_bounds_are_rejected() {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let lb = b.const_i64(0);
+        let ub = b.const_i64(4);
+        let step = b.const_i64(1);
+        let op = b.op_with_regions("scf.parallel", &[lb, ub, step], &[], vec![], 1);
+        let idx = m.index_ty();
+        let body = m.add_block(op, 0, &[idx]);
+        end_body(&mut m, body, &[]);
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("index"), "{e}");
+    }
+
+    #[test]
+    fn const_bounds_returns_none_for_dynamic() {
+        let mut m = Module::new();
+        let idx = m.index_ty();
+        let (_, entry) = build_func(&mut m, "f", &[idx], &[]);
+        let dynamic = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let lb = b.const_index(0);
+        let step = b.const_index(1);
+        let (loop_op, body, _) = build_parallel(&mut b, lb, dynamic, step);
+        end_body(&mut m, body, &[]);
+        assert_eq!(const_bounds(&m, loop_op), None);
+    }
+}

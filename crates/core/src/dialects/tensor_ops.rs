@@ -1,0 +1,218 @@
+//! `tensor` dialect subset: rectangular slicing used by the partitioning
+//! and mapping passes (paper Fig. 5d).
+//!
+//! Our `tensor.extract_slice` supports *clamped* semantics: when the
+//! window (driven by a dynamic loop offset) reaches past the tensor's
+//! extent, the runtime clamps the window to the tensor and zero-pads the
+//! remainder. This mirrors what the CAM hardware does with unused
+//! columns (don't-care cells never mismatch) and lets the mapping passes
+//! emit fully static loop nests for non-divisible sizes.
+
+use c4cam_ir::verify::{Arity, DialectRegistry, OpSpec};
+use c4cam_ir::{Attribute, Module, OpId, TypeKind, ValueId};
+
+/// Sentinel in `static_offsets` marking "offset supplied as operand".
+pub const DYNAMIC_OFFSET: i64 = i64::MIN;
+
+/// Register the `tensor` ops.
+pub fn register(r: &mut DialectRegistry) {
+    r.register(
+        OpSpec::new("tensor.extract_slice", "rectangular slice (clamp + zero-pad)")
+            .operands(Arity::AtLeast(1))
+            .results(Arity::Exact(1))
+            .verifier(verify_extract_slice),
+    );
+    r.register(
+        OpSpec::new("tensor.insert_slice", "write a patch into a tensor")
+            .operands(Arity::AtLeast(2))
+            .results(Arity::Exact(1)),
+    );
+}
+
+fn verify_extract_slice(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    let src_ty = m.kind(m.value_type(data.operands[0])).clone();
+    let rank = match &src_ty {
+        TypeKind::RankedTensor { shape, .. } => shape.len(),
+        _ => return Err("extract_slice source must be a ranked tensor".into()),
+    };
+    let offsets = data
+        .attr("static_offsets")
+        .and_then(Attribute::as_int_array)
+        .ok_or("extract_slice requires 'static_offsets'")?;
+    let sizes = data
+        .attr("sizes")
+        .and_then(Attribute::as_int_array)
+        .ok_or("extract_slice requires 'sizes'")?;
+    if offsets.len() != rank || sizes.len() != rank {
+        return Err(format!(
+            "extract_slice offsets/sizes must have rank {rank}"
+        ));
+    }
+    let dynamic = offsets.iter().filter(|&&o| o == DYNAMIC_OFFSET).count();
+    if data.operands.len() != 1 + dynamic {
+        return Err(format!(
+            "extract_slice has {dynamic} dynamic offsets but {} offset operands",
+            data.operands.len() - 1
+        ));
+    }
+    let res_ty = m.kind(m.value_type(data.results[0])).clone();
+    match &res_ty {
+        TypeKind::RankedTensor { shape, .. } => {
+            if shape.as_slice() != sizes.as_slice() {
+                return Err("extract_slice result shape must equal 'sizes'".into());
+            }
+        }
+        _ => return Err("extract_slice result must be a ranked tensor".into()),
+    }
+    Ok(())
+}
+
+/// Build a 2-D `tensor.extract_slice` with dynamic offsets.
+///
+/// `offsets` supplies one [`OffsetSpec`] per dimension; `sizes` are the
+/// static window sizes.
+pub fn build_extract_slice_2d(
+    b: &mut c4cam_ir::builder::OpBuilder<'_>,
+    src: ValueId,
+    offsets: [OffsetSpec; 2],
+    sizes: [i64; 2],
+) -> ValueId {
+    let src_ty = b.module_ref().value_type(src);
+    let elem = b
+        .module_ref()
+        .kind(src_ty)
+        .elem()
+        .expect("shaped source");
+    let res_ty = b.module().tensor_ty(&sizes, elem);
+    let mut static_offsets = Vec::new();
+    let mut operands = vec![src];
+    for off in offsets {
+        match off {
+            OffsetSpec::Static(v) => static_offsets.push(Attribute::Int(v)),
+            OffsetSpec::Dynamic(v) => {
+                static_offsets.push(Attribute::Int(DYNAMIC_OFFSET));
+                operands.push(v);
+            }
+        }
+    }
+    let op = b.op(
+        "tensor.extract_slice",
+        &operands,
+        &[res_ty],
+        vec![
+            ("static_offsets", Attribute::Array(static_offsets)),
+            (
+                "sizes",
+                Attribute::Array(sizes.iter().map(|&s| Attribute::Int(s)).collect()),
+            ),
+        ],
+    );
+    b.module().result(op, 0)
+}
+
+/// A per-dimension slice offset: compile-time constant or SSA value.
+#[derive(Debug, Clone, Copy)]
+pub enum OffsetSpec {
+    /// Known at compile time.
+    Static(i64),
+    /// Supplied by an index-typed SSA value (loop iv).
+    Dynamic(ValueId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4cam_ir::builder::{build_func, OpBuilder};
+    use c4cam_ir::verify::verify_module;
+    use c4cam_ir::Module;
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        r.allow_unregistered = true;
+        register(&mut r);
+        crate::dialects::arith::register(&mut r);
+        r
+    }
+
+    #[test]
+    fn static_and_dynamic_offsets_verify() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let src_ty = m.tensor_ty(&[10, 8192], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[src_ty], &[]);
+        let src = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let iv = b.const_index(64);
+        let slice = build_extract_slice_2d(
+            &mut b,
+            src,
+            [OffsetSpec::Static(0), OffsetSpec::Dynamic(iv)],
+            [10, 32],
+        );
+        assert_eq!(
+            m.kind(m.value_type(slice)).shape(),
+            Some(&[10i64, 32][..])
+        );
+        verify_module(&m, &registry()).unwrap();
+    }
+
+    #[test]
+    fn operand_count_mismatch_is_rejected() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let src_ty = m.tensor_ty(&[10, 64], f32t);
+        let slice_ty = m.tensor_ty(&[10, 32], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[src_ty], &[]);
+        let src = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op(
+            "tensor.extract_slice",
+            &[src],
+            &[slice_ty],
+            vec![
+                (
+                    "static_offsets",
+                    Attribute::Array(vec![
+                        Attribute::Int(0),
+                        Attribute::Int(DYNAMIC_OFFSET), // claims dynamic, no operand
+                    ]),
+                ),
+                (
+                    "sizes",
+                    Attribute::Array(vec![Attribute::Int(10), Attribute::Int(32)]),
+                ),
+            ],
+        );
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("dynamic"), "{e}");
+    }
+
+    #[test]
+    fn result_shape_must_match_sizes() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let src_ty = m.tensor_ty(&[10, 64], f32t);
+        let bad_ty = m.tensor_ty(&[10, 16], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[src_ty], &[]);
+        let src = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op(
+            "tensor.extract_slice",
+            &[src],
+            &[bad_ty],
+            vec![
+                (
+                    "static_offsets",
+                    Attribute::Array(vec![Attribute::Int(0), Attribute::Int(0)]),
+                ),
+                (
+                    "sizes",
+                    Attribute::Array(vec![Attribute::Int(10), Attribute::Int(32)]),
+                ),
+            ],
+        );
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("result shape"), "{e}");
+    }
+}

@@ -1,0 +1,436 @@
+//! `torch` dialect: the ATen subset that reaches C4CAM from the
+//! TorchScript front end (paper §III-C), including the front-end
+//! extensions for the search primitives `norm` and `topk`.
+
+use c4cam_ir::builder::{build_func, OpBuilder};
+use c4cam_ir::verify::{Arity, DialectRegistry, OpSpec};
+use c4cam_ir::{Attribute, Module, OpId, TypeKind, ValueId};
+
+/// Register the `torch` ops.
+pub fn register(r: &mut DialectRegistry) {
+    r.register(
+        OpSpec::new("torch.constant", "dense tensor literal (weights)")
+            .operands(Arity::Exact(0))
+            .results(Arity::Exact(1))
+            .verifier(verify_constant),
+    );
+    r.register(
+        OpSpec::new("torch.constant_int", "integer literal")
+            .operands(Arity::Exact(0))
+            .results(Arity::Exact(1))
+            .verifier(|m, op| {
+                m.op(op)
+                    .int_attr("value")
+                    .map(|_| ())
+                    .ok_or_else(|| "torch.constant_int requires 'value'".to_string())
+            }),
+    );
+    r.register(
+        OpSpec::new("torch.transpose", "swap two tensor dimensions")
+            .operands(Arity::Exact(1))
+            .results(Arity::Exact(1))
+            .verifier(verify_transpose),
+    );
+    r.register(
+        OpSpec::new("torch.matmul", "matrix multiplication")
+            .operands(Arity::Exact(2))
+            .results(Arity::Exact(1))
+            .verifier(verify_matmul),
+    );
+    r.register(
+        OpSpec::new("torch.mm", "matrix multiplication (aten.mm)")
+            .operands(Arity::Exact(2))
+            .results(Arity::Exact(1))
+            .verifier(verify_matmul),
+    );
+    r.register(
+        OpSpec::new("torch.sub", "elementwise (broadcasting) subtraction")
+            .operands(Arity::Exact(2))
+            .results(Arity::Exact(1)),
+    );
+    r.register(
+        OpSpec::new("torch.div", "elementwise (broadcasting) division")
+            .operands(Arity::AtLeast(2))
+            .results(Arity::Exact(1)),
+    );
+    r.register(
+        OpSpec::new("torch.norm", "row-wise L2 norm (front-end extension)")
+            .operands(Arity::Exact(1))
+            .results(Arity::Exact(1))
+            .verifier(verify_norm),
+    );
+    r.register(
+        OpSpec::new("torch.topk", "top-k selection (front-end extension)")
+            .operands(Arity::Exact(2))
+            .results(Arity::Exact(2))
+            .verifier(verify_topk),
+    );
+}
+
+fn verify_constant(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    let (shape, n) = match data.attr("value") {
+        Some(Attribute::Dense { shape, data }) => (shape.clone(), data.len()),
+        _ => return Err("torch.constant requires a dense 'value' attribute".into()),
+    };
+    let expected: i64 = shape.iter().product();
+    if expected as usize != n {
+        return Err(format!(
+            "dense payload has {n} elements but shape {shape:?} needs {expected}"
+        ));
+    }
+    match m.kind(m.value_type(data.results[0])) {
+        TypeKind::RankedTensor { shape: s, .. } if *s == shape => Ok(()),
+        _ => Err("torch.constant result type must match dense shape".into()),
+    }
+}
+
+fn verify_transpose(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    if data.int_attr("dim0").is_none() || data.int_attr("dim1").is_none() {
+        return Err("torch.transpose requires 'dim0' and 'dim1'".into());
+    }
+    Ok(())
+}
+
+fn verify_matmul(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    let a = m.kind(m.value_type(data.operands[0])).clone();
+    let b = m.kind(m.value_type(data.operands[1])).clone();
+    match (a.shape(), b.shape()) {
+        (Some(sa), Some(sb)) if sa.len() == 2 && sb.len() == 2 => {
+            if sa[1] != sb[0] {
+                return Err(format!(
+                    "matmul inner dimensions differ: {} vs {}",
+                    sa[1], sb[0]
+                ));
+            }
+            Ok(())
+        }
+        _ => Err("matmul operands must be rank-2 tensors".into()),
+    }
+}
+
+fn verify_norm(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    let src = m.kind(m.value_type(data.operands[0])).clone();
+    if !src.is_shaped() {
+        return Err("torch.norm operand must be a tensor".into());
+    }
+    Ok(())
+}
+
+fn verify_topk(m: &Module, op: OpId) -> Result<(), String> {
+    let data = m.op(op);
+    match m.kind(m.value_type(data.operands[1])) {
+        TypeKind::Integer { .. } => {}
+        _ => return Err("torch.topk 'k' operand must be an integer".into()),
+    }
+    if data.attr("largest").and_then(Attribute::as_bool).is_none() {
+        return Err("torch.topk requires a boolean 'largest' attribute".into());
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Builders (used by the front end and tests)
+// ----------------------------------------------------------------------
+
+/// Build `torch.constant` from a dense f32 payload.
+pub fn build_constant(b: &mut OpBuilder<'_>, shape: &[i64], values: Vec<f32>) -> ValueId {
+    let f32t = b.module().f32_ty();
+    let ty = b.module().tensor_ty(shape, f32t);
+    let op = b.op(
+        "torch.constant",
+        &[],
+        &[ty],
+        vec![("value", Attribute::dense_f32(shape.to_vec(), values))],
+    );
+    b.module().result(op, 0)
+}
+
+/// Build `torch.constant_int`.
+pub fn build_constant_int(b: &mut OpBuilder<'_>, value: i64) -> ValueId {
+    let ty = b.module().i64_ty();
+    let op = b.op(
+        "torch.constant_int",
+        &[],
+        &[ty],
+        vec![("value", Attribute::Int(value))],
+    );
+    b.module().result(op, 0)
+}
+
+/// Build `torch.transpose` swapping the last two dims of a rank-2 tensor.
+pub fn build_transpose(b: &mut OpBuilder<'_>, t: ValueId, dim0: i64, dim1: i64) -> ValueId {
+    let src_ty = b.module_ref().value_type(t);
+    let kind = b.module_ref().kind(src_ty).clone();
+    let (shape, elem) = match kind {
+        TypeKind::RankedTensor { shape, elem } => (shape, elem),
+        _ => panic!("transpose expects tensor"),
+    };
+    let mut out = shape.clone();
+    let rank = shape.len() as i64;
+    let d0 = ((dim0 % rank) + rank) % rank;
+    let d1 = ((dim1 % rank) + rank) % rank;
+    out.swap(d0 as usize, d1 as usize);
+    let ty = b.module().tensor_ty(&out, elem);
+    let op = b.op(
+        "torch.transpose",
+        &[t],
+        &[ty],
+        vec![("dim0", Attribute::Int(dim0)), ("dim1", Attribute::Int(dim1))],
+    );
+    b.module().result(op, 0)
+}
+
+/// Build `torch.matmul` with inferred result type.
+pub fn build_matmul(b: &mut OpBuilder<'_>, lhs: ValueId, rhs: ValueId) -> ValueId {
+    let lhs_ty = b.module_ref().value_type(lhs);
+    let a = b.module_ref().kind(lhs_ty).clone();
+    let rhs_ty = b.module_ref().value_type(rhs);
+    let c = b.module_ref().kind(rhs_ty).clone();
+    let (sa, elem) = match &a {
+        TypeKind::RankedTensor { shape, elem } => (shape.clone(), *elem),
+        _ => panic!("matmul expects tensors"),
+    };
+    let sb = c.shape().expect("matmul expects tensors").to_vec();
+    let ty = b.module().tensor_ty(&[sa[0], sb[1]], elem);
+    let op = b.op("torch.matmul", &[lhs, rhs], &[ty], vec![]);
+    b.module().result(op, 0)
+}
+
+/// Build `torch.sub` (rhs may broadcast a single row).
+pub fn build_sub(b: &mut OpBuilder<'_>, lhs: ValueId, rhs: ValueId) -> ValueId {
+    let ty = b.module().value_type(lhs);
+    let op = b.op("torch.sub", &[lhs, rhs], &[ty], vec![]);
+    b.module().result(op, 0)
+}
+
+/// Build `torch.norm` reducing the last dimension (row-wise L2).
+pub fn build_norm(b: &mut OpBuilder<'_>, t: ValueId) -> ValueId {
+    let src_ty = b.module_ref().value_type(t);
+    let kind = b.module_ref().kind(src_ty).clone();
+    let (shape, elem) = match kind {
+        TypeKind::RankedTensor { shape, elem } => (shape, elem),
+        _ => panic!("norm expects tensor"),
+    };
+    let out: Vec<i64> = shape[..shape.len() - 1].to_vec();
+    let ty = b.module().tensor_ty(&out, elem);
+    let op = b.op("torch.norm", &[t], &[ty], vec![("dim", Attribute::Int(-1))]);
+    b.module().result(op, 0)
+}
+
+/// Build `torch.topk` along the last dim. Returns `(values, indices)`.
+pub fn build_topk(
+    b: &mut OpBuilder<'_>,
+    t: ValueId,
+    k_value: ValueId,
+    k_static: i64,
+    largest: bool,
+) -> (ValueId, ValueId) {
+    let src_ty = b.module_ref().value_type(t);
+    let kind = b.module_ref().kind(src_ty).clone();
+    let (shape, elem) = match kind {
+        TypeKind::RankedTensor { shape, elem } => (shape, elem),
+        _ => panic!("topk expects tensor"),
+    };
+    let out: Vec<i64> = if shape.len() == 1 {
+        vec![k_static]
+    } else {
+        let mut s = shape.clone();
+        *s.last_mut().unwrap() = k_static;
+        s
+    };
+    let ty = b.module().tensor_ty(&out, elem);
+    let op = b.op(
+        "torch.topk",
+        &[t, k_value],
+        &[ty, ty],
+        vec![
+            ("largest", Attribute::Bool(largest)),
+            ("dim", Attribute::Int(-1)),
+            ("sorted", Attribute::Bool(true)),
+        ],
+    );
+    (b.module().result(op, 0), b.module().result(op, 1))
+}
+
+// ----------------------------------------------------------------------
+// Reference kernel builders (paper Fig. 4 and the KNN motivating kernel)
+// ----------------------------------------------------------------------
+
+/// Build the paper's Fig. 4 HDC dot-similarity kernel at torch level:
+/// `transpose(weight) → matmul(input, ·) → topk(·, k, largest=false)`.
+///
+/// `queries` query hypervectors of `dims` dimensions are compared against
+/// `classes` stored class hypervectors; returns the `func.func` op.
+pub fn build_hdc_dot(m: &mut Module, queries: i64, classes: i64, dims: i64, k: i64) -> OpId {
+    // largest=false mirrors the paper's Fig. 4a listing verbatim.
+    build_hdc_dot_with(m, queries, classes, dims, k, false)
+}
+
+/// [`build_hdc_dot`] with an explicit `largest` flag (classification
+/// drivers select the *most* similar prototype, i.e. `largest = true`).
+pub fn build_hdc_dot_with(
+    m: &mut Module,
+    queries: i64,
+    classes: i64,
+    dims: i64,
+    k: i64,
+    largest: bool,
+) -> OpId {
+    let f32t = m.f32_ty();
+    let in_ty = m.tensor_ty(&[queries, dims], f32t);
+    let w_ty = m.tensor_ty(&[classes, dims], f32t);
+    let out_ty = m.tensor_ty(&[queries, k], f32t);
+    let (func, entry) = build_func(m, "forward", &[in_ty, w_ty], &[out_ty, out_ty]);
+    let input = m.block(entry).args[0];
+    let weight = m.block(entry).args[1];
+    let mut b = OpBuilder::at_end(m, entry);
+    let others = build_transpose(&mut b, weight, -2, -1);
+    let mm = build_matmul(&mut b, input, others);
+    let kv = build_constant_int(&mut b, k);
+    let (vals, idx) = build_topk(&mut b, mm, kv, k, largest);
+    b.op("func.return", &[vals, idx], &[], vec![]);
+    func
+}
+
+/// Build a KNN kernel using the Euclidean-norm pattern (Algorithm 1,
+/// line 2): `sub(stored, query) → norm → topk`.
+///
+/// One query of `dims` features against `patterns` stored rows; returns
+/// the `func.func` op.
+pub fn build_knn_eucl(m: &mut Module, patterns: i64, dims: i64, k: i64) -> OpId {
+    let f32t = m.f32_ty();
+    let stored_ty = m.tensor_ty(&[patterns, dims], f32t);
+    let query_ty = m.tensor_ty(&[1, dims], f32t);
+    let out_ty = m.tensor_ty(&[k], f32t);
+    let (func, entry) = build_func(m, "knn", &[stored_ty, query_ty], &[out_ty, out_ty]);
+    let stored = m.block(entry).args[0];
+    let query = m.block(entry).args[1];
+    let mut b = OpBuilder::at_end(m, entry);
+    let diff = build_sub(&mut b, stored, query);
+    let dist = build_norm(&mut b, diff);
+    let kv = build_constant_int(&mut b, k);
+    let (vals, idx) = build_topk(&mut b, dist, kv, k, false);
+    b.op("func.return", &[vals, idx], &[], vec![]);
+    func
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4cam_ir::builder::build_func;
+    use c4cam_ir::verify::verify_module;
+    use c4cam_ir::Module;
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        r.allow_unregistered = true;
+        register(&mut r);
+        r
+    }
+
+    #[test]
+    fn hdc_dot_kernel_builds_and_verifies() {
+        let mut m = Module::new();
+        let func = build_hdc_dot(&mut m, 10, 10, 8192, 1);
+        verify_module(&m, &registry()).unwrap();
+        let names: Vec<String> = m
+            .walk(func)
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "func.func",
+                "torch.transpose",
+                "torch.matmul",
+                "torch.constant_int",
+                "torch.topk",
+                "func.return"
+            ]
+        );
+    }
+
+    #[test]
+    fn knn_eucl_kernel_builds_and_verifies() {
+        let mut m = Module::new();
+        let func = build_knn_eucl(&mut m, 64, 128, 5);
+        verify_module(&m, &registry()).unwrap();
+        let names: Vec<String> = m
+            .walk(func)
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
+        assert!(names.contains(&"torch.sub".to_string()));
+        assert!(names.contains(&"torch.norm".to_string()));
+        assert!(names.contains(&"torch.topk".to_string()));
+    }
+
+    #[test]
+    fn constant_payload_must_match_shape() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let ty = m.tensor_ty(&[2, 2], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op(
+            "torch.constant",
+            &[],
+            &[ty],
+            vec![("value", Attribute::dense_f32(vec![2, 2], vec![1.0]))],
+        );
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("elements"), "{e}");
+    }
+
+    #[test]
+    fn matmul_inner_dim_mismatch_rejected() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let a = m.tensor_ty(&[2, 3], f32t);
+        let c = m.tensor_ty(&[4, 2], f32t);
+        let r2 = m.tensor_ty(&[2, 2], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[a, c], &[]);
+        let x = m.block(entry).args[0];
+        let y = m.block(entry).args[1];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("torch.matmul", &[x, y], &[r2], vec![]);
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("inner dimensions"), "{e}");
+    }
+
+    #[test]
+    fn topk_requires_largest_attr() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let t = m.tensor_ty(&[4, 4], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[t], &[]);
+        let x = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let k = build_constant_int(&mut b, 1);
+        let o = m.tensor_ty(&[4, 1], f32t);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("torch.topk", &[x, k], &[o, o], vec![]);
+        let e = verify_module(&m, &registry()).unwrap_err();
+        assert!(e.message.contains("largest"), "{e}");
+    }
+
+    #[test]
+    fn transpose_negative_dims_infer_shape() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let t = m.tensor_ty(&[10, 8192], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[t], &[]);
+        let x = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let y = build_transpose(&mut b, x, -2, -1);
+        assert_eq!(
+            m.kind(m.value_type(y)).shape(),
+            Some(&[8192i64, 10][..])
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # c4cam-core — the C4CAM compiler
+//!
+//! This crate implements the paper's contribution: the dialect stack and
+//! progressive-lowering pipeline that maps TorchScript-level tensor
+//! programs onto CAM accelerators ("C4CAM: A Compiler for CAM-based
+//! In-memory Accelerators", ASPLOS 2024).
+//!
+//! * [`dialects`] — op definitions, builders and verifiers for the
+//!   `func`/`arith`/`scf`/`tensor`/`memref` support dialects, the
+//!   `torch` entry dialect, the `cim` abstraction (extended from CINM
+//!   \[16\] with similarity analyses), and the novel `cam` dialect.
+//! * [`passes`] — `torch-to-cim`, `cim-fuse-ops` (Algorithm 1
+//!   *SimilarityMatching*), `cim-partition` (compulsory partitioning),
+//!   `cim-to-cam` (flat single-subarray lowering) and `cam-map`
+//!   (hierarchy mapping with the *base*/*power*/*density*/
+//!   *power+density* configurations).
+//! * [`mapping`] — the placement arithmetic shared by `cam-map` and the
+//!   evaluation harness (subarray counts, Table I's formulas).
+//! * [`pipeline`] — [`pipeline::C4camPipeline`] assembling the passes
+//!   from an [`c4cam_arch::ArchSpec`], with per-stage IR snapshots.
+
+#![warn(missing_docs)]
+
+pub mod dialects;
+pub mod mapping;
+pub mod passes;
+pub mod pipeline;
+
+pub use pipeline::{C4camPipeline, CompiledKernel, PipelineOptions};

@@ -1,0 +1,362 @@
+//! `canonicalize`: the generic cleanup optimizations of the paper's
+//! Fig. 3 ("Generic optimizations & conversion to LLVM IR" box),
+//! implemented as three cooperating rewrites run to fixpoint:
+//!
+//! * **DCE** — erase side-effect-free ops whose results are unused
+//!   (e.g. the `k` constant left behind by similarity fusion);
+//! * **constant folding** — fold integer `arith` ops over constants
+//!   (the mapping passes emit offset arithmetic that often becomes
+//!   constant for single-bank placements);
+//! * **trivial-loop collapse** — inline `scf.for`/`scf.parallel` bodies
+//!   whose static trip count is exactly one (single-bank/single-batch
+//!   placements produce several), eliminating interpretation overhead
+//!   without changing timing semantics (a 1-trip parallel scope folds
+//!   as the identity).
+
+use c4cam_ir::builder::OpBuilder;
+use c4cam_ir::pass::{Pass, PassError};
+use c4cam_ir::{Attribute, Module, OpId};
+
+use crate::dialects::scf::const_bounds;
+
+/// The `canonicalize` pass.
+#[derive(Debug, Default)]
+pub struct CanonicalizePass;
+
+impl Pass for CanonicalizePass {
+    fn name(&self) -> &'static str {
+        "canonicalize"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<(), PassError> {
+        // Run the three rewrites to a joint fixpoint (bounded).
+        for _ in 0..32 {
+            let folded = fold_constants(m).map_err(|e| PassError::new(self.name(), e))?;
+            let collapsed = collapse_trivial_loops(m).map_err(|e| PassError::new(self.name(), e))?;
+            let erased = dce(m);
+            if folded + collapsed + erased == 0 {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Ops that may be erased when unused (no memory or device effects).
+fn is_pure(name: &str) -> bool {
+    if let Some(rest) = name.strip_prefix("arith.") {
+        return !rest.is_empty();
+    }
+    if let Some(rest) = name.strip_prefix("torch.") {
+        return !rest.is_empty();
+    }
+    if name.starts_with("tensor.") {
+        return true;
+    }
+    matches!(
+        name,
+        "memref.to_tensor"
+            | "cim.transpose"
+            | "cim.matmul"
+            | "cim.sub"
+            | "cim.div"
+            | "cim.norm"
+            | "cim.topk"
+            | "cim.similarity"
+            | "cim.similarity_scores"
+            | "cim.init_acc"
+            | "cim.merge_partial"
+            | "cim.reduce"
+    )
+}
+
+/// One sweep of dead-code elimination; returns ops erased.
+fn dce(m: &mut Module) -> usize {
+    let mut erased = 0;
+    loop {
+        let mut any = false;
+        for op in m.walk_all() {
+            if !m.is_live_op(op) {
+                continue;
+            }
+            let data = m.op(op);
+            if data.results.is_empty() || !is_pure(&data.name) {
+                continue;
+            }
+            let unused = data.results.iter().all(|&r| !m.has_uses(r));
+            if unused {
+                m.erase_op(op);
+                erased += 1;
+                any = true;
+            }
+        }
+        if !any {
+            return erased;
+        }
+    }
+}
+
+/// Fold integer arithmetic over `arith.constant` operands; returns the
+/// number of folds.
+fn fold_constants(m: &mut Module) -> Result<usize, String> {
+    let mut folds = 0;
+    for op in m.walk_all() {
+        if !m.is_live_op(op) {
+            continue;
+        }
+        let name = m.op(op).name.clone();
+        let folded: Option<i64> = match name.as_str() {
+            "arith.addi" | "arith.subi" | "arith.muli" | "arith.divui" | "arith.remui"
+            | "arith.minui" | "arith.maxui" => {
+                let a = crate::passes::const_int_value(m, m.operand(op, 0));
+                let b = crate::passes::const_int_value(m, m.operand(op, 1));
+                match (a, b) {
+                    (Some(a), Some(b)) => match name.as_str() {
+                        "arith.addi" => Some(a.wrapping_add(b)),
+                        "arith.subi" => Some(a.wrapping_sub(b)),
+                        "arith.muli" => Some(a.wrapping_mul(b)),
+                        "arith.divui" if b != 0 => Some(((a as u64) / (b as u64)) as i64),
+                        "arith.remui" if b != 0 => Some(((a as u64) % (b as u64)) as i64),
+                        "arith.minui" => Some(((a as u64).min(b as u64)) as i64),
+                        "arith.maxui" => Some(((a as u64).max(b as u64)) as i64),
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        if let Some(value) = folded {
+            let ty = m.value_type(m.result(op, 0));
+            let mut b = OpBuilder::before(m, op);
+            let c = b.op("arith.constant", &[], &[ty], vec![("value", Attribute::Int(value))]);
+            let new = m.result(c, 0);
+            let old = m.result(op, 0);
+            m.replace_all_uses(old, new);
+            m.erase_op(op);
+            folds += 1;
+        }
+    }
+    Ok(folds)
+}
+
+/// Inline loops with a static trip count of one; returns loops removed.
+fn collapse_trivial_loops(m: &mut Module) -> Result<usize, String> {
+    let mut collapsed = 0;
+    'outer: loop {
+        for op in m.walk_all() {
+            if !m.is_live_op(op) {
+                continue;
+            }
+            let name = m.op(op).name.clone();
+            if name != "scf.for" && name != "scf.parallel" {
+                continue;
+            }
+            let Some((lb, ub, step)) = const_bounds(m, op) else {
+                continue;
+            };
+            if step <= 0 || lb >= ub || ub - lb > step {
+                continue; // zero or multiple iterations
+            }
+            inline_single_iteration(m, op, lb)?;
+            collapsed += 1;
+            continue 'outer; // walk list invalidated
+        }
+        return Ok(collapsed);
+    }
+}
+
+fn inline_single_iteration(m: &mut Module, loop_op: OpId, lb: i64) -> Result<(), String> {
+    let body = m.op(loop_op).regions[0][0];
+    let args = m.block(body).args.clone();
+    let operands = m.op(loop_op).operands.clone();
+    let results = m.op(loop_op).results.clone();
+    let parent = m.op(loop_op).parent.ok_or("loop not placed")?;
+    let pos = m.position_in_block(loop_op).ok_or("loop not in block")?;
+
+    // Materialize the induction value.
+    let idx_ty = m.index_ty();
+    let iv_const = m.create_op(
+        "arith.constant",
+        &[],
+        &[idx_ty],
+        vec![("value", Attribute::Int(lb))],
+        0,
+    );
+    m.insert_op(parent, pos, iv_const);
+    let iv_value = m.result(iv_const, 0);
+    m.replace_all_uses(args[0], iv_value);
+    // Iter-args take their init values.
+    for (i, &arg) in args.iter().skip(1).enumerate() {
+        m.replace_all_uses(arg, operands[3 + i]);
+    }
+
+    // Move body ops (minus the terminator) before the loop.
+    let body_ops = m.block(body).ops.clone();
+    let (inner, yield_op) = body_ops.split_at(body_ops.len() - 1);
+    let yield_operands = m.op(yield_op[0]).operands.clone();
+    let mut insert_at = m.position_in_block(loop_op).ok_or("loop vanished")?;
+    for &inner_op in inner {
+        m.detach_op(inner_op);
+        m.insert_op(parent, insert_at, inner_op);
+        insert_at += 1;
+    }
+    // Loop results take the yielded values.
+    for (&r, &y) in results.iter().zip(&yield_operands) {
+        m.replace_all_uses(r, y);
+    }
+    m.erase_op(loop_op);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialects::{scf, standard_registry, torch};
+    use crate::passes::{CimFusePass, TorchToCimPass};
+    use c4cam_ir::builder::build_func;
+    use c4cam_ir::verify::verify_module;
+
+    #[test]
+    fn dce_removes_leftover_constants() {
+        let mut m = Module::new();
+        let func = torch::build_hdc_dot(&mut m, 2, 4, 64, 1);
+        TorchToCimPass.run(&mut m).unwrap();
+        CimFusePass.run(&mut m).unwrap();
+        // After fusion, the materialized k constant feeds the similarity
+        // op but the *original* torch constant conversion may linger.
+        let before = m.walk(func).len();
+        CanonicalizePass.run(&mut m).unwrap();
+        verify_module(&m, &standard_registry()).unwrap();
+        assert!(m.walk(func).len() <= before);
+        // Everything that remains is used.
+        for op in m.walk(func) {
+            let data = m.op(op);
+            if is_pure(&data.name) && !data.results.is_empty() {
+                assert!(
+                    data.results.iter().any(|&r| m.has_uses(r)),
+                    "dead op survived: {}",
+                    data.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_folding_chains() {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let c4 = b.const_index(4);
+        let c8 = b.const_index(8);
+        let idx = b.module().index_ty();
+        let add = b.op("arith.addi", &[c4, c8], &[idx], vec![]);
+        let add_res = m.result(add, 0);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let c2 = b.const_index(2);
+        let mul = b.op("arith.muli", &[add_res, c2], &[idx], vec![]);
+        let mul_res = m.result(mul, 0);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("test.use", &[mul_res], &[], vec![]);
+        b.op("func.return", &[], &[], vec![]);
+
+        CanonicalizePass.run(&mut m).unwrap();
+        // (4 + 8) * 2 folds to 24 feeding test.use.
+        let func = m.lookup_symbol("f").unwrap();
+        let names: Vec<String> = m
+            .walk(func)
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
+        assert!(!names.contains(&"arith.addi".to_string()));
+        assert!(!names.contains(&"arith.muli".to_string()));
+        let use_op = m
+            .walk(func)
+            .into_iter()
+            .find(|&o| m.op(o).name == "test.use")
+            .unwrap();
+        let def = crate::passes::defining_op(&m, m.operand(use_op, 0)).unwrap();
+        assert_eq!(m.op(def).int_attr("value"), Some(24));
+    }
+
+    #[test]
+    fn single_trip_loops_inline() {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let (_, body, iv) = scf::build_parallel(&mut b, c0, c1, c1);
+        let mut bb = OpBuilder::at_end(&mut m, body);
+        let idx = bb.module().index_ty();
+        bb.op("test.effect", &[iv], &[idx], vec![]);
+        scf::end_body(&mut m, body, &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[], &[], vec![]);
+
+        CanonicalizePass.run(&mut m).unwrap();
+        let func = m.lookup_symbol("f").unwrap();
+        let names: Vec<String> = m
+            .walk(func)
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
+        assert!(!names.contains(&"scf.parallel".to_string()), "{names:?}");
+        assert!(names.contains(&"test.effect".to_string()));
+    }
+
+    #[test]
+    fn multi_trip_loops_are_kept() {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let c4 = b.const_index(4);
+        let (_, body, _) = scf::build_for(&mut b, c0, c4, c1);
+        let mut bb = OpBuilder::at_end(&mut m, body);
+        bb.op("test.effect", &[], &[], vec![]);
+        scf::end_body(&mut m, body, &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[], &[], vec![]);
+        CanonicalizePass.run(&mut m).unwrap();
+        let func = m.lookup_symbol("f").unwrap();
+        let names: Vec<String> = m
+            .walk(func)
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
+        assert!(names.contains(&"scf.for".to_string()));
+    }
+
+    #[test]
+    fn single_trip_for_with_iter_args_forwards_values() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let t = m.tensor_ty(&[2, 2], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[t], &[t]);
+        let init = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let (loop_op, body, _iv, carried) = scf::build_for_iter(&mut b, c0, c1, c1, &[init]);
+        let mut bb = OpBuilder::at_end(&mut m, body);
+        let transformed = bb.op("test.tweak", &[carried[0]], &[t], vec![]);
+        let tr = m.result(transformed, 0);
+        scf::end_body(&mut m, body, &[tr]);
+        let loop_res = m.result(loop_op, 0);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[loop_res], &[], vec![]);
+
+        CanonicalizePass.run(&mut m).unwrap();
+        let func = m.lookup_symbol("f").unwrap();
+        // The return now uses test.tweak's result directly.
+        let ret = m
+            .walk(func)
+            .into_iter()
+            .find(|&o| m.op(o).name == "func.return")
+            .unwrap();
+        let def = crate::passes::defining_op(&m, m.operand(ret, 0)).unwrap();
+        assert_eq!(m.op(def).name, "test.tweak");
+    }
+}

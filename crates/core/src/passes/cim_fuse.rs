@@ -1,0 +1,543 @@
+//! `cim-fuse-ops`: fuse dependent execute blocks and recover similarity
+//! kernels (paper §III-D1, Algorithm 1 *SimilarityMatching*).
+//!
+//! Phase 1 merges chains of `cim.acquire`/`cim.execute`/`cim.release`
+//! triples whose executes are connected by dataflow into a single execute
+//! block (Fig. 5b). Phase 2 pattern-matches the execute body against the
+//! three similarity patterns — dot product, Euclidean norm and cosine —
+//! and rewrites matches to `cim.similarity` (Fig. 5c).
+
+use c4cam_ir::builder::OpBuilder;
+use c4cam_ir::pass::{Pass, PassError};
+use c4cam_ir::{BlockId, Module, OpId, ValueId};
+use std::collections::HashMap;
+
+use crate::dialects::cim;
+use crate::passes::{const_int_value, defining_op};
+
+/// The `cim-fuse-ops` pass (with the similarity flag enabled, as in the
+/// paper's evaluation).
+#[derive(Debug, Default)]
+pub struct CimFusePass;
+
+impl Pass for CimFusePass {
+    fn name(&self) -> &'static str {
+        "cim-fuse-ops"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<(), PassError> {
+        for func in m.top_level_ops() {
+            if m.op(func).name != "func.func" {
+                continue;
+            }
+            let entry = m.op(func).regions[0][0];
+            fuse_block(m, entry).map_err(|e| PassError::new(self.name(), e))?;
+            match_similarity_block(m, entry).map_err(|e| PassError::new(self.name(), e))?;
+        }
+        Ok(())
+    }
+}
+
+/// One acquire/execute/release triple found in a block.
+#[derive(Debug, Clone, Copy)]
+struct Triple {
+    acquire: OpId,
+    execute: OpId,
+    release: OpId,
+}
+
+fn find_triples(m: &Module, block: BlockId) -> Vec<Triple> {
+    let mut triples = Vec::new();
+    for &op in &m.block(block).ops {
+        if m.op(op).name != "cim.execute" {
+            continue;
+        }
+        let handle = m.op(op).operands[0];
+        let acquire = match defining_op(m, handle) {
+            Some(a) if m.op(a).name == "cim.acquire" => a,
+            _ => continue,
+        };
+        let release = m
+            .block(block)
+            .ops
+            .iter()
+            .copied()
+            .find(|&r| m.op(r).name == "cim.release" && m.op(r).operands[0] == handle);
+        let release = match release {
+            Some(r) => r,
+            None => continue,
+        };
+        triples.push(Triple {
+            acquire,
+            execute: op,
+            release,
+        });
+    }
+    triples
+}
+
+/// Phase 1: merge all dataflow-connected triples in `block` into one.
+///
+/// Adjacent triples (in block order) are fused when the later one
+/// consumes the earlier one's results and nothing else uses them;
+/// repeating to fixpoint folds whole dependence chains (Fig. 5b).
+fn fuse_block(m: &mut Module, block: BlockId) -> Result<(), String> {
+    loop {
+        let triples = find_triples(m, block);
+        if triples.len() < 2 {
+            return Ok(());
+        }
+        let mut fused_any = false;
+        for pair in triples.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let a_results = m.op(a.execute).results.clone();
+            let consumes = m
+                .op(b.execute)
+                .operands
+                .iter()
+                .any(|o| a_results.contains(o));
+            if consumes && results_used_only_within(m, a.execute, b.execute) {
+                fuse_pair(m, a, b)?;
+                fused_any = true;
+                break;
+            }
+        }
+        if !fused_any {
+            return Ok(());
+        }
+    }
+}
+
+/// Whether every use of `a`'s results lies inside `b` (the op itself or
+/// its regions) — the precondition for internalizing them during fusion.
+fn results_used_only_within(m: &Module, a: OpId, b: OpId) -> bool {
+    let b_ops: std::collections::HashSet<OpId> = m.walk(b).into_iter().collect();
+    m.op(a)
+        .results
+        .iter()
+        .all(|&r| m.uses_of(r).iter().all(|(user, _)| b_ops.contains(user)))
+}
+
+/// Merge triple `b` into triple `a` (b consumes a's results).
+fn fuse_pair(m: &mut Module, a: Triple, b: Triple) -> Result<(), String> {
+    // Map a's execute results to the yielded inner values.
+    let a_body = m.op(a.execute).regions[0][0];
+    let a_yield = *m.block(a_body).ops.last().ok_or("empty execute body")?;
+    let a_yield_vals = m.op(a_yield).operands.clone();
+    let a_results = m.op(a.execute).results.clone();
+    let result_map: HashMap<ValueId, ValueId> = a_results
+        .iter()
+        .copied()
+        .zip(a_yield_vals.iter().copied())
+        .collect();
+
+    // Collect b's inner ops (except terminator) and rewrite their uses of
+    // a's execute results to the inner values.
+    let b_body = m.op(b.execute).regions[0][0];
+    let b_ops = m.block(b_body).ops.clone();
+    let (b_inner, b_yield) = b_ops.split_at(b_ops.len() - 1);
+    let b_yield = b_yield[0];
+    let b_yield_vals = m.op(b_yield).operands.clone();
+    let b_result_tys: Vec<_> = m
+        .op(b.execute)
+        .results
+        .iter()
+        .map(|&r| m.value_type(r))
+        .collect();
+    let b_results = m.op(b.execute).results.clone();
+
+    // New fused operands: union of a's and b's execute inputs (minus
+    // handles and minus a's results, which become internal).
+    let mut fused_inputs: Vec<ValueId> = Vec::new();
+    for &v in m.op(a.execute).operands.iter().skip(1) {
+        if !fused_inputs.contains(&v) {
+            fused_inputs.push(v);
+        }
+    }
+    for &v in m.op(b.execute).operands.iter().skip(1) {
+        if !a_results.contains(&v) && !fused_inputs.contains(&v) {
+            fused_inputs.push(v);
+        }
+    }
+
+    // Build the fused triple at b's position: everything a's body needs
+    // is defined before a (and thus before b), while host ops between the
+    // two triples (e.g. the materialized `k` constant) stay visible to
+    // later consumers.
+    let mut builder = OpBuilder::before(m, b.acquire);
+    let handle = cim::build_acquire(&mut builder);
+    let (fused_exec, fused_body) = cim::build_execute(&mut builder, handle, &fused_inputs, &b_result_tys);
+    cim::build_release(&mut builder, handle);
+
+    // Move a's inner ops (minus yield), then b's, into the fused body.
+    let a_inner = {
+        let ops = m.block(a_body).ops.clone();
+        ops[..ops.len() - 1].to_vec()
+    };
+    for &op in a_inner.iter().chain(b_inner.iter()) {
+        m.detach_op(op);
+        m.push_op(fused_body, op);
+    }
+    // Rewrite b's inner ops' references to a's execute results.
+    for (&old, &new) in &result_map {
+        m.replace_all_uses(old, new);
+    }
+    // Fused yield = b's yield values.
+    cim::build_yield(m, fused_body, &b_yield_vals);
+
+    // RAUW b's execute results to fused results; erase both old triples.
+    for (i, &old) in b_results.iter().enumerate() {
+        let new = m.result(fused_exec, i);
+        m.replace_all_uses(old, new);
+    }
+    m.erase_op(b.release);
+    m.erase_op(b.execute);
+    m.erase_op(b.acquire);
+    m.erase_op(a.release);
+    m.erase_op(a.execute);
+    m.erase_op(a.acquire);
+    Ok(())
+}
+
+/// Phase 2: Algorithm 1 — *SimilarityMatching*.
+///
+/// Checks whether an execute body matches the dot-product, Euclidean-norm
+/// or cosine similarity data-flow patterns, and rewrites matches to
+/// `cim.similarity`.
+fn match_similarity_block(m: &mut Module, block: BlockId) -> Result<(), String> {
+    for triple in find_triples(m, block) {
+        let body = m.op(triple.execute).regions[0][0];
+        let ops = m.block(body).ops.clone();
+        let names: Vec<String> = ops.iter().map(|&o| m.op(o).name.clone()).collect();
+        // Algorithm 1: opSize == 4 → DotProd or EuclNorm; opSize == 6 → Cos.
+        let matched = match names.len() {
+            4 => match_dot(m, triple, &ops)? || match_eucl(m, triple, &ops)?,
+            6 => match_cos(m, triple, &ops)?,
+            _ => false,
+        };
+        let _ = matched;
+    }
+    Ok(())
+}
+
+/// DotProdSimPattern: transpose → matmul(v1) → topk(v2) → yield.
+fn match_dot(m: &mut Module, triple: Triple, ops: &[OpId]) -> Result<bool, String> {
+    let [tr, mm, topk, yld] = [ops[0], ops[1], ops[2], ops[3]];
+    if m.op(tr).name != "cim.transpose"
+        || m.op(mm).name != "cim.matmul"
+        || m.op(topk).name != "cim.topk"
+        || m.op(yld).name != "cim.yield"
+    {
+        return Ok(false);
+    }
+    // Data flow: matmul's rhs is the transpose result; topk input is the
+    // matmul result.
+    if m.op(mm).operands[1] != m.result(tr, 0) || m.op(topk).operands[0] != m.result(mm, 0) {
+        return Ok(false);
+    }
+    let stored = m.op(tr).operands[0];
+    let query = m.op(mm).operands[0];
+    let k_value = m.op(topk).operands[1];
+    let largest = m
+        .op(topk)
+        .attr("largest")
+        .and_then(c4cam_ir::Attribute::as_bool)
+        .unwrap_or(false);
+    let select = match yield_selection(m, yld, topk) {
+        Some(s) => s,
+        None => return Ok(false),
+    };
+    rewrite_to_similarity(m, triple, "dot", stored, query, k_value, largest, select)?;
+    Ok(true)
+}
+
+/// Map each value yielded by the execute body onto the index of the
+/// producing op's result (0 = values, 1 = indices). Returns `None` if a
+/// yielded value does not come from `producer`.
+fn yield_selection(m: &Module, yld: OpId, producer: OpId) -> Option<Vec<usize>> {
+    let producer_results = m.op(producer).results.clone();
+    m.op(yld)
+        .operands
+        .iter()
+        .map(|v| producer_results.iter().position(|r| r == v))
+        .collect()
+}
+
+/// EuclNormPattern: sub → norm(v1) → topk(v2) → yield.
+fn match_eucl(m: &mut Module, triple: Triple, ops: &[OpId]) -> Result<bool, String> {
+    let [sub, norm, topk, yld] = [ops[0], ops[1], ops[2], ops[3]];
+    if m.op(sub).name != "cim.sub"
+        || m.op(norm).name != "cim.norm"
+        || m.op(topk).name != "cim.topk"
+        || m.op(yld).name != "cim.yield"
+    {
+        return Ok(false);
+    }
+    if m.op(norm).operands[0] != m.result(sub, 0) || m.op(topk).operands[0] != m.result(norm, 0) {
+        return Ok(false);
+    }
+    let stored = m.op(sub).operands[0];
+    let query = m.op(sub).operands[1];
+    let k_value = m.op(topk).operands[1];
+    let largest = m
+        .op(topk)
+        .attr("largest")
+        .and_then(c4cam_ir::Attribute::as_bool)
+        .unwrap_or(false);
+    let select = match yield_selection(m, yld, topk) {
+        Some(s) => s,
+        None => return Ok(false),
+    };
+    rewrite_to_similarity(m, triple, "eucl", stored, query, k_value, largest, select)?;
+    Ok(true)
+}
+
+/// CosSimPattern: norm → norm → transpose → matmul(v3) → div(v4,v2,v1)
+/// → yield.
+fn match_cos(m: &mut Module, triple: Triple, ops: &[OpId]) -> Result<bool, String> {
+    let [n1, n2, tr, mm, div, yld] = [ops[0], ops[1], ops[2], ops[3], ops[4], ops[5]];
+    if m.op(n1).name != "cim.norm"
+        || m.op(n2).name != "cim.norm"
+        || m.op(tr).name != "cim.transpose"
+        || m.op(mm).name != "cim.matmul"
+        || m.op(div).name != "cim.div"
+        || m.op(yld).name != "cim.yield"
+    {
+        return Ok(false);
+    }
+    if m.op(mm).operands[1] != m.result(tr, 0) {
+        return Ok(false);
+    }
+    let div_ops = m.op(div).operands.clone();
+    if div_ops.len() != 3
+        || div_ops[0] != m.result(mm, 0)
+        || div_ops[1] != m.result(n2, 0)
+        || div_ops[2] != m.result(n1, 0)
+    {
+        return Ok(false);
+    }
+    let stored = m.op(tr).operands[0];
+    let query = m.op(mm).operands[0];
+    let select = match yield_selection(m, yld, div) {
+        // The div result plays the role of the similarity "values".
+        Some(s) if s.iter().all(|&i| i == 0) => s,
+        _ => return Ok(false),
+    };
+    // Cosine has no topk in the pattern: select over all stored rows.
+    let n_stored = m
+        .kind(m.value_type(stored))
+        .shape()
+        .ok_or("cos similarity stored operand must be shaped")?[0];
+    let mut b = OpBuilder::before(m, triple.acquire);
+    let k_value = crate::dialects::torch::build_constant_int(&mut b, n_stored);
+    rewrite_to_similarity(m, triple, "cos", stored, query, k_value, true, select)?;
+    Ok(true)
+}
+
+/// Replace a matched triple with an acquire/execute(similarity)/release.
+///
+/// `yield_select[i]` names which similarity result (0 = values,
+/// 1 = indices) the execute's `i`-th result corresponds to — the original
+/// program may return any subset (the paper's Fig. 4a returns only the
+/// indices).
+#[allow(clippy::too_many_arguments)]
+fn rewrite_to_similarity(
+    m: &mut Module,
+    triple: Triple,
+    metric: &str,
+    stored: ValueId,
+    query: ValueId,
+    k_value: ValueId,
+    largest: bool,
+    yield_select: Vec<usize>,
+) -> Result<(), String> {
+    let k_static = const_int_value(m, k_value)
+        .ok_or("similarity k must come from a constant (dynamic k unsupported)")?;
+    let old_results = m.op(triple.execute).results.clone();
+    if old_results.len() != yield_select.len() {
+        return Err("execute results / yield selection mismatch".into());
+    }
+    let result_tys: Vec<_> = old_results.iter().map(|&r| m.value_type(r)).collect();
+
+    let mut b = OpBuilder::before(m, triple.acquire);
+    let handle = cim::build_acquire(&mut b);
+    let (exec, body) =
+        cim::build_execute(&mut b, handle, &[stored, query, k_value], &result_tys);
+    cim::build_release(&mut b, handle);
+
+    // Inner similarity op: always produces (values, indices). Each
+    // result adopts the original program's type when that result is
+    // yielded (e.g. KNN's rank-1 `[k]` with a single query); otherwise
+    // the canonical `[nq, k]` shape.
+    let nq = m
+        .kind(m.value_type(query))
+        .shape()
+        .ok_or("similarity query must be shaped")?[0];
+    let f32t = m.f32_ty();
+    let default_ty = m.tensor_ty(&[nq, k_static], f32t);
+    let sim_tys: Vec<c4cam_ir::Type> = (0..2)
+        .map(|i| {
+            yield_select
+                .iter()
+                .position(|&s| s == i)
+                .map(|pos| result_tys[pos])
+                .unwrap_or(default_ty)
+        })
+        .collect();
+    let inner = m.create_op(
+        "cim.similarity",
+        &[stored, query, k_value],
+        &sim_tys,
+        vec![
+            ("metric", metric.into()),
+            ("largest", largest.into()),
+            ("k", k_static.into()),
+        ],
+        0,
+    );
+    m.push_op(body, inner);
+    let inner_results = m.op(inner).results.clone();
+    let yielded: Vec<ValueId> = yield_select.iter().map(|&i| inner_results[i]).collect();
+    cim::build_yield(m, body, &yielded);
+
+    for (i, &old) in old_results.iter().enumerate() {
+        let new = m.result(exec, i);
+        m.replace_all_uses(old, new);
+    }
+    m.erase_op(triple.release);
+    m.erase_op(triple.execute);
+    m.erase_op(triple.acquire);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialects::{standard_registry, torch};
+    use crate::passes::TorchToCimPass;
+    use c4cam_ir::verify::verify_module;
+
+    fn lower_and_fuse(m: &mut Module) {
+        TorchToCimPass.run(m).unwrap();
+        CimFusePass.run(m).unwrap();
+        verify_module(m, &standard_registry()).unwrap();
+    }
+
+    fn op_names(m: &Module, func: OpId) -> Vec<String> {
+        m.walk(func).iter().map(|&o| m.op(o).name.clone()).collect()
+    }
+
+    #[test]
+    fn hdc_dot_fuses_to_similarity() {
+        let mut m = Module::new();
+        let func = torch::build_hdc_dot(&mut m, 10, 10, 8192, 1);
+        lower_and_fuse(&mut m);
+        let names = op_names(&m, func);
+        assert_eq!(
+            names.iter().filter(|n| *n == "cim.execute").count(),
+            1,
+            "{names:?}"
+        );
+        assert_eq!(names.iter().filter(|n| *n == "cim.similarity").count(), 1);
+        assert!(!names.contains(&"cim.matmul".to_string()));
+        // metric attribute is dot
+        for op in m.walk(func) {
+            if m.op(op).name == "cim.similarity" {
+                assert_eq!(m.op(op).str_attr("metric"), Some("dot"));
+                assert_eq!(m.op(op).int_attr("k"), Some(1));
+            }
+        }
+    }
+
+    #[test]
+    fn knn_eucl_fuses_to_similarity() {
+        let mut m = Module::new();
+        let func = torch::build_knn_eucl(&mut m, 64, 128, 5);
+        lower_and_fuse(&mut m);
+        let names = op_names(&m, func);
+        assert_eq!(names.iter().filter(|n| *n == "cim.similarity").count(), 1);
+        for op in m.walk(func) {
+            if m.op(op).name == "cim.similarity" {
+                assert_eq!(m.op(op).str_attr("metric"), Some("eucl"));
+                assert_eq!(m.op(op).int_attr("k"), Some(5));
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_preserves_function_results() {
+        let mut m = Module::new();
+        let func = torch::build_hdc_dot(&mut m, 4, 4, 64, 1);
+        lower_and_fuse(&mut m);
+        // func.return must reference the new execute's results.
+        let mut ret_defs = Vec::new();
+        for op in m.walk(func) {
+            if m.op(op).name == "func.return" {
+                for &v in &m.op(op).operands {
+                    let d = defining_op(&m, v).unwrap();
+                    ret_defs.push(m.op(d).name.clone());
+                }
+            }
+        }
+        assert_eq!(ret_defs, vec!["cim.execute", "cim.execute"]);
+    }
+
+    #[test]
+    fn unrelated_executes_are_not_fused() {
+        // Two independent transposes: no dataflow between them.
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let t = m.tensor_ty(&[4, 4], f32t);
+        let (func, entry) = c4cam_ir::builder::build_func(&mut m, "f", &[t, t], &[t, t]);
+        let x = m.block(entry).args[0];
+        let y = m.block(entry).args[1];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let tx = torch::build_transpose(&mut b, x, -2, -1);
+        let ty2 = torch::build_transpose(&mut b, y, -2, -1);
+        b.op("func.return", &[tx, ty2], &[], vec![]);
+        TorchToCimPass.run(&mut m).unwrap();
+        CimFusePass.run(&mut m).unwrap();
+        verify_module(&m, &standard_registry()).unwrap();
+        let names = op_names(&m, func);
+        assert_eq!(names.iter().filter(|n| *n == "cim.execute").count(), 2);
+    }
+
+    #[test]
+    fn cos_pattern_matches_six_op_bodies() {
+        // Build: norm(a), norm(b), transpose(b), matmul(a, t), div(mm, n2, n1)
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let a_ty = m.tensor_ty(&[3, 16], f32t);
+        let b_ty = m.tensor_ty(&[5, 16], f32t);
+        let out_ty = m.tensor_ty(&[3, 5], f32t);
+        let (func, entry) = c4cam_ir::builder::build_func(&mut m, "f", &[a_ty, b_ty], &[out_ty]);
+        let a = m.block(entry).args[0];
+        let bb = m.block(entry).args[1];
+        let mut builder = OpBuilder::at_end(&mut m, entry);
+        let n1 = torch::build_norm(&mut builder, a);
+        let n2 = torch::build_norm(&mut builder, bb);
+        let tr = torch::build_transpose(&mut builder, bb, -2, -1);
+        let mm = torch::build_matmul(&mut builder, a, tr);
+        let div_op = builder.op("torch.div", &[mm, n2, n1], &[out_ty], vec![]);
+        let div = m.result(div_op, 0);
+        let mut builder = OpBuilder::at_end(&mut m, entry);
+        builder.op("func.return", &[div], &[], vec![]);
+        TorchToCimPass.run(&mut m).unwrap();
+        // The 5 ops live in 5 executes; fusion folds them into one with a
+        // 6-op body (incl. yield) and Algorithm 1 fires the cosine
+        // pattern. The similarity "values" result (the normalized
+        // similarity matrix) replaces the div result.
+        CimFusePass.run(&mut m).unwrap();
+        verify_module(&m, &standard_registry()).unwrap();
+        let names = op_names(&m, func);
+        assert_eq!(names.iter().filter(|n| *n == "cim.execute").count(), 1);
+        assert_eq!(names.iter().filter(|n| *n == "cim.similarity").count(), 1);
+        assert!(!names.contains(&"cim.div".to_string()));
+        for op in m.walk(func) {
+            if m.op(op).name == "cim.similarity" {
+                assert_eq!(m.op(op).str_attr("metric"), Some("cos"));
+                assert_eq!(m.op(op).int_attr("k"), Some(5));
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! `torch-to-cim`: lower torch ops into the cim programming model.
+//!
+//! Every device-amenable torch op is wrapped into its own
+//! `cim.acquire` / `cim.execute` / `cim.release` triple (paper Fig. 5a):
+//! the Torch abstraction does not specify kernel boundaries, so "the
+//! fundamental assumption of the torch-to-cim conversion is that each
+//! supported operation can be executed on a separate (non-)CIM device"
+//! (§III-D1). Constants become `arith.constant`s on the host.
+
+use c4cam_ir::builder::OpBuilder;
+use c4cam_ir::pass::{Pass, PassError};
+use c4cam_ir::{Attribute, Module, OpId};
+
+use crate::dialects::cim;
+
+/// Torch → cim op-name mapping.
+fn cim_name(torch: &str) -> Option<&'static str> {
+    Some(match torch {
+        "torch.transpose" => "cim.transpose",
+        "torch.matmul" | "torch.mm" => "cim.matmul",
+        "torch.sub" => "cim.sub",
+        "torch.div" => "cim.div",
+        "torch.norm" => "cim.norm",
+        "torch.topk" => "cim.topk",
+        _ => return None,
+    })
+}
+
+/// The `torch-to-cim` conversion pass.
+#[derive(Debug, Default)]
+pub struct TorchToCimPass;
+
+impl Pass for TorchToCimPass {
+    fn name(&self) -> &'static str {
+        "torch-to-cim"
+    }
+
+    fn run(&self, m: &mut Module) -> Result<(), PassError> {
+        for func in m.top_level_ops() {
+            if m.op(func).name != "func.func" {
+                continue;
+            }
+            let entry = m.op(func).regions[0][0];
+            convert_block(m, entry).map_err(|e| PassError::new(self.name(), e))?;
+        }
+        Ok(())
+    }
+}
+
+fn convert_block(m: &mut Module, block: c4cam_ir::BlockId) -> Result<(), String> {
+    // Snapshot: ops are appended/erased during conversion.
+    let ops = m.block(block).ops.clone();
+    for op in ops {
+        if !m.is_live_op(op) {
+            continue;
+        }
+        let name = m.op(op).name.clone();
+        match name.as_str() {
+            "torch.constant" => {
+                let value = m
+                    .op(op)
+                    .attr("value")
+                    .cloned()
+                    .ok_or("torch.constant without value")?;
+                let ty = m.value_type(m.result(op, 0));
+                let mut b = OpBuilder::before(m, op);
+                let c = b.op("arith.constant", &[], &[ty], vec![("value", value)]);
+                let new = m.result(c, 0);
+                let old = m.result(op, 0);
+                m.replace_all_uses(old, new);
+                m.erase_op(op);
+            }
+            "torch.constant_int" => {
+                let value = m.op(op).int_attr("value").ok_or("constant_int without value")?;
+                let ty = m.value_type(m.result(op, 0));
+                let mut b = OpBuilder::before(m, op);
+                let c = b.op(
+                    "arith.constant",
+                    &[],
+                    &[ty],
+                    vec![("value", Attribute::Int(value))],
+                );
+                let new = m.result(c, 0);
+                let old = m.result(op, 0);
+                m.replace_all_uses(old, new);
+                m.erase_op(op);
+            }
+            other => {
+                if let Some(cim_op_name) = cim_name(other) {
+                    wrap_in_execute(m, op, cim_op_name)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Wrap one torch op into acquire/execute/release, moving a cim mirror of
+/// the op into the execute region (paper Fig. 5a).
+fn wrap_in_execute(m: &mut Module, op: OpId, cim_op_name: &str) -> Result<(), String> {
+    let operands = m.op(op).operands.clone();
+    let attrs: Vec<(String, Attribute)> = m
+        .op(op)
+        .attrs
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    let result_tys: Vec<_> = m
+        .op(op)
+        .results
+        .iter()
+        .map(|&r| m.value_type(r))
+        .collect();
+    let old_results = m.op(op).results.clone();
+
+    let mut b = OpBuilder::before(m, op);
+    let handle = cim::build_acquire(&mut b);
+    let (exec, body) = cim::build_execute(&mut b, handle, &operands, &result_tys);
+    cim::build_release(&mut b, handle);
+
+    // Inner mirrored op.
+    let inner = m.create_op(cim_op_name, &operands, &result_tys, vec![], 0);
+    for (k, v) in attrs {
+        m.set_attr(inner, &k, v);
+    }
+    m.push_op(body, inner);
+    let inner_results = m.op(inner).results.clone();
+    cim::build_yield(m, body, &inner_results);
+
+    for (i, &old) in old_results.iter().enumerate() {
+        let new = m.result(exec, i);
+        m.replace_all_uses(old, new);
+    }
+    m.erase_op(op);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialects::{standard_registry, torch};
+    use c4cam_ir::verify::verify_module;
+
+    #[test]
+    fn hdc_kernel_lowers_to_one_triple_per_op() {
+        let mut m = Module::new();
+        let func = torch::build_hdc_dot(&mut m, 10, 10, 8192, 1);
+        TorchToCimPass.run(&mut m).unwrap();
+        verify_module(&m, &standard_registry()).unwrap();
+        let names: Vec<String> = m
+            .walk(func)
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
+        // transpose, matmul, topk → 3 triples; constant_int → arith.
+        assert_eq!(
+            names.iter().filter(|n| *n == "cim.acquire").count(),
+            3,
+            "{names:?}"
+        );
+        assert_eq!(names.iter().filter(|n| *n == "cim.execute").count(), 3);
+        assert_eq!(names.iter().filter(|n| *n == "cim.release").count(), 3);
+        assert_eq!(names.iter().filter(|n| *n == "cim.transpose").count(), 1);
+        assert_eq!(names.iter().filter(|n| *n == "cim.matmul").count(), 1);
+        assert_eq!(names.iter().filter(|n| *n == "cim.topk").count(), 1);
+        assert!(!names.iter().any(|n| n.starts_with("torch.")), "{names:?}");
+    }
+
+    #[test]
+    fn knn_kernel_lowers_and_verifies() {
+        let mut m = Module::new();
+        let _ = torch::build_knn_eucl(&mut m, 64, 128, 3);
+        TorchToCimPass.run(&mut m).unwrap();
+        verify_module(&m, &standard_registry()).unwrap();
+    }
+
+    #[test]
+    fn constants_become_host_constants() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let t = m.tensor_ty(&[2, 2], f32t);
+        let (func, entry) = c4cam_ir::builder::build_func(&mut m, "f", &[], &[t]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let c = torch::build_constant(&mut b, &[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        b.op("func.return", &[c], &[], vec![]);
+        TorchToCimPass.run(&mut m).unwrap();
+        let names: Vec<String> = m
+            .walk(func)
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
+        assert!(names.contains(&"arith.constant".to_string()));
+        assert!(!names.contains(&"torch.constant".to_string()));
+        verify_module(&m, &standard_registry()).unwrap();
+    }
+
+    #[test]
+    fn execute_regions_reference_outer_values() {
+        let mut m = Module::new();
+        let func = torch::build_hdc_dot(&mut m, 4, 4, 64, 1);
+        TorchToCimPass.run(&mut m).unwrap();
+        // The matmul execute consumes the transpose execute's result.
+        let mut found = false;
+        for op in m.walk(func) {
+            if m.op(op).name == "cim.matmul" {
+                let rhs = m.op(op).operands[1];
+                let def = crate::passes::defining_op(&m, rhs).unwrap();
+                assert_eq!(m.op(def).name, "cim.execute");
+                found = true;
+            }
+        }
+        assert!(found);
+    }
+}

@@ -1,0 +1,110 @@
+//! Abstract syntax tree for the TorchScript subset.
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Local variable or function parameter reference.
+    Name(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `True` / `False`.
+    Bool(bool),
+    /// `None`.
+    None,
+    /// Attribute access `base.name` (e.g. `self.weight`, `torch.ops`).
+    Attr {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Attribute name.
+        name: String,
+    },
+    /// Call `callee(args, kw=...)`.
+    Call {
+        /// The called expression (a name, attribute chain, or method).
+        callee: Box<Expr>,
+        /// Positional arguments.
+        args: Vec<Expr>,
+        /// Keyword arguments.
+        kwargs: Vec<(String, Expr)>,
+    },
+    /// Binary operator (`-` or `/`).
+    BinOp {
+        /// Operator character.
+        op: char,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Flatten an attribute chain rooted at a [`Expr::Name`] into a
+    /// dotted path (e.g. `torch.ops.aten.topk`). Returns `None` if the
+    /// chain is rooted in a non-name expression (a method call).
+    pub fn dotted_path(&self) -> Option<String> {
+        match self {
+            Expr::Name(n) => Some(n.clone()),
+            Expr::Attr { base, name } => {
+                let prefix = base.dotted_path()?;
+                Some(format!("{prefix}.{name}"))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `a, b = expr` (single or tuple targets).
+    Assign {
+        /// Target variable names.
+        targets: Vec<String>,
+        /// Assigned expression.
+        value: Expr,
+    },
+    /// `return expr, ...`.
+    Return(Vec<Expr>),
+}
+
+/// A parsed `def` with its parameter names (excluding `self`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsFunction {
+    /// Function name.
+    pub name: String,
+    /// Parameter names in order (without `self`).
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_path_flattens_chains() {
+        let e = Expr::Attr {
+            base: Box::new(Expr::Attr {
+                base: Box::new(Expr::Name("torch".into())),
+                name: "ops".into(),
+            }),
+            name: "aten".into(),
+        };
+        assert_eq!(e.dotted_path(), Some("torch.ops.aten".to_string()));
+        let call_rooted = Expr::Attr {
+            base: Box::new(Expr::Call {
+                callee: Box::new(Expr::Name("f".into())),
+                args: vec![],
+                kwargs: vec![],
+            }),
+            name: "t".into(),
+        };
+        assert_eq!(call_rooted.dotted_path(), None);
+    }
+}

@@ -1,0 +1,72 @@
+//! # c4cam-frontend — TorchScript-like front end
+//!
+//! C4CAM's entry point is TorchScript: the paper converts `forward`
+//! functions through the PyTorch MLIR converter, extended with the
+//! search primitives `norm` and `topk` (§III-C). PyTorch does not exist
+//! in this environment, so this crate implements a parser for the
+//! TorchScript subset the paper's kernels use (Fig. 4a) and lowers it
+//! directly to the `torch` dialect.
+//!
+//! Supported surface:
+//!
+//! * `def name(self, x: Tensor, ...) -> Tensor:` definitions,
+//! * assignments (incl. tuple destructuring), `return`,
+//! * `self.<param>` module parameters (shapes come from
+//!   [`FrontendConfig`]; the lowered function takes them as trailing
+//!   arguments),
+//! * calls: `torch.matmul`, `torch.mm`, `torch.sub`, `torch.div`,
+//!   `torch.norm`, `torch.topk`, `torch.ops.aten.topk`, and tensor
+//!   methods `.transpose(a, b)`, `.matmul(b)`, `.norm()`,
+//! * operators `-` and `/` on tensors, unary minus on literals,
+//! * keyword arguments (`largest=False`), `True`/`False`/`None`.
+//!
+//! ## Example
+//!
+//! ```
+//! use c4cam_frontend::{parse_torchscript, FrontendConfig};
+//!
+//! # fn main() -> Result<(), c4cam_frontend::FrontendError> {
+//! let src = r#"
+//! def forward(self, input: Tensor) -> Tensor:
+//!     others = self.weight.transpose(-2, -1)
+//!     matmul = torch.matmul(input, (others))
+//!     values, indices = torch.ops.aten.topk(matmul, 1, largest=False)
+//!     return indices
+//! "#;
+//! let config = FrontendConfig::new()
+//!     .input(vec![10, 8192])
+//!     .parameter("weight", vec![10, 8192]);
+//! let lowered = parse_torchscript(src, &config)?;
+//! assert_eq!(lowered.arg_order, vec!["input", "self.weight"]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod lower;
+mod parser;
+
+pub use ast::{Expr, Stmt, TsFunction};
+pub use lower::{lower_function, FrontendConfig, LoweredFunction};
+pub use parser::{parse_source, FrontendError};
+
+use c4cam_ir::Module;
+
+/// Parse TorchScript source and lower its first function to torch IR.
+///
+/// # Errors
+/// Fails on syntax errors, unknown calls, or missing shape information.
+pub fn parse_torchscript(
+    src: &str,
+    config: &FrontendConfig,
+) -> Result<LoweredFunction, FrontendError> {
+    let funcs = parse_source(src)?;
+    let func = funcs
+        .first()
+        .ok_or_else(|| FrontendError::new(0, "no function definition found"))?;
+    let mut module = Module::new();
+    let lowered = lower_function(&mut module, func, config)?;
+    Ok(lowered.with_module(module))
+}

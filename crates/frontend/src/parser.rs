@@ -1,0 +1,558 @@
+//! Line-oriented parser for the TorchScript subset.
+//!
+//! Statements are one per line (the paper's kernels are straight-line
+//! code); indentation is accepted but not semantically enforced beyond
+//! "body lines follow their `def`".
+
+use crate::ast::{Expr, Stmt, TsFunction};
+use std::error::Error;
+use std::fmt;
+
+/// Front-end failure with source line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// 1-based source line (0 when not line-specific).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl FrontendError {
+    /// Construct an error.
+    pub fn new(line: usize, message: impl Into<String>) -> FrontendError {
+        FrontendError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "frontend error at line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "frontend error: {}", self.message)
+        }
+    }
+}
+
+impl Error for FrontendError {}
+
+type FResult<T> = Result<T, FrontendError>;
+
+/// Parse all `def`s in `src`.
+///
+/// # Errors
+/// Fails with line-attributed [`FrontendError`]s on malformed input.
+pub fn parse_source(src: &str) -> FResult<Vec<TsFunction>> {
+    let mut functions: Vec<TsFunction> = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim_end();
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("def ") {
+            functions.push(parse_def(lineno, rest)?);
+        } else {
+            let func = functions
+                .last_mut()
+                .ok_or_else(|| FrontendError::new(lineno, "statement outside a function"))?;
+            func.body.push(parse_stmt(lineno, trimmed)?);
+        }
+    }
+    Ok(functions)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // No string literals in the supported subset, so '#' always starts a
+    // comment.
+    match line.find('#') {
+        Some(p) => &line[..p],
+        None => line,
+    }
+}
+
+fn parse_def(lineno: usize, rest: &str) -> FResult<TsFunction> {
+    let open = rest
+        .find('(')
+        .ok_or_else(|| FrontendError::new(lineno, "expected '(' in def"))?;
+    let name = rest[..open].trim().to_string();
+    if name.is_empty() {
+        return Err(FrontendError::new(lineno, "missing function name"));
+    }
+    let close = rest
+        .rfind(')')
+        .ok_or_else(|| FrontendError::new(lineno, "expected ')' in def"))?;
+    let params_text = &rest[open + 1..close];
+    let mut params = Vec::new();
+    for part in split_top_level(params_text, ',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        // `name: Tensor = default` — keep only the name.
+        let pname = part
+            .split(':')
+            .next()
+            .unwrap_or(part)
+            .split('=')
+            .next()
+            .unwrap_or(part)
+            .trim();
+        if pname == "self" {
+            continue;
+        }
+        params.push(pname.to_string());
+    }
+    Ok(TsFunction {
+        name,
+        params,
+        body: Vec::new(),
+    })
+}
+
+/// Split on `sep` at paren/bracket depth 0.
+fn split_top_level(text: &str, sep: char) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            c if c == sep && depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+fn parse_stmt(lineno: usize, line: &str) -> FResult<Stmt> {
+    if let Some(rest) = line.strip_prefix("return") {
+        let rest = rest.trim();
+        let exprs = if rest.is_empty() {
+            Vec::new()
+        } else {
+            split_top_level(rest, ',')
+                .into_iter()
+                .map(|p| ExprParser::new(lineno, p.trim()).parse_full())
+                .collect::<FResult<Vec<_>>>()?
+        };
+        return Ok(Stmt::Return(exprs));
+    }
+    // Assignment: find a top-level '=' that is not '==' and not a kwarg
+    // (kwargs live inside parens so depth > 0 there).
+    let bytes = line.as_bytes();
+    let mut depth = 0i32;
+    let mut eq_pos = None;
+    for (i, &c) in bytes.iter().enumerate() {
+        match c {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'=' if depth == 0 => {
+                let next_eq = bytes.get(i + 1) == Some(&b'=');
+                let prev_eq = i > 0 && bytes[i - 1] == b'=';
+                if !next_eq && !prev_eq {
+                    eq_pos = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let eq = eq_pos.ok_or_else(|| {
+        FrontendError::new(lineno, format!("expected assignment or return: '{line}'"))
+    })?;
+    let targets: Vec<String> = split_top_level(&line[..eq], ',')
+        .into_iter()
+        .map(|t| t.trim().to_string())
+        .collect();
+    for t in &targets {
+        if t.is_empty() || !t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(FrontendError::new(
+                lineno,
+                format!("invalid assignment target '{t}'"),
+            ));
+        }
+    }
+    let value = ExprParser::new(lineno, line[eq + 1..].trim()).parse_full()?;
+    Ok(Stmt::Assign { targets, value })
+}
+
+/// Recursive-descent expression parser over one statement's text.
+struct ExprParser<'a> {
+    line: usize,
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn new(line: usize, src: &'a str) -> ExprParser<'a> {
+        ExprParser {
+            line,
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> FResult<T> {
+        Err(FrontendError::new(self.line, message.into()))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_full(&mut self) -> FResult<Expr> {
+        let e = self.parse_additive()?;
+        self.skip_ws();
+        if self.pos != self.src.len() {
+            return self.error(format!(
+                "trailing input: '{}'",
+                String::from_utf8_lossy(&self.src[self.pos..])
+            ));
+        }
+        Ok(e)
+    }
+
+    fn parse_additive(&mut self) -> FResult<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            match self.peek() {
+                Some(b'-') => {
+                    self.pos += 1;
+                    let rhs = self.parse_multiplicative()?;
+                    lhs = Expr::BinOp {
+                        op: '-',
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    let rhs = self.parse_multiplicative()?;
+                    lhs = Expr::BinOp {
+                        op: '+',
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> FResult<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    let rhs = self.parse_unary()?;
+                    lhs = Expr::BinOp {
+                        op: '/',
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                }
+                Some(b'*') => {
+                    self.pos += 1;
+                    let rhs = self.parse_unary()?;
+                    lhs = Expr::BinOp {
+                        op: '*',
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> FResult<Expr> {
+        if self.eat(b'-') {
+            let inner = self.parse_unary()?;
+            // Fold negative literals immediately.
+            return Ok(match inner {
+                Expr::Int(v) => Expr::Int(-v),
+                Expr::Float(v) => Expr::Float(-v),
+                other => Expr::Neg(Box::new(other)),
+            });
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> FResult<Expr> {
+        let mut expr = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(b'.') => {
+                    self.pos += 1;
+                    let name = self.parse_ident()?;
+                    expr = Expr::Attr {
+                        base: Box::new(expr),
+                        name,
+                    };
+                }
+                Some(b'(') => {
+                    self.pos += 1;
+                    let (args, kwargs) = self.parse_call_args()?;
+                    expr = Expr::Call {
+                        callee: Box::new(expr),
+                        args,
+                        kwargs,
+                    };
+                }
+                _ => return Ok(expr),
+            }
+        }
+    }
+
+    fn parse_call_args(&mut self) -> FResult<(Vec<Expr>, Vec<(String, Expr)>)> {
+        let mut args = Vec::new();
+        let mut kwargs = Vec::new();
+        if self.eat(b')') {
+            return Ok((args, kwargs));
+        }
+        loop {
+            // kwarg lookahead: ident '=' (but not '==').
+            let save = self.pos;
+            if let Ok(name) = self.parse_ident() {
+                if self.peek() == Some(b'=')
+                    && self.src.get(self.pos + 1) != Some(&b'=')
+                {
+                    self.pos += 1;
+                    let value = self.parse_additive()?;
+                    kwargs.push((name, value));
+                    if self.eat(b',') {
+                        continue;
+                    }
+                    break;
+                }
+            }
+            self.pos = save;
+            let value = self.parse_additive()?;
+            if !kwargs.is_empty() {
+                return self.error("positional argument after keyword argument");
+            }
+            args.push(value);
+            if self.eat(b',') {
+                continue;
+            }
+            break;
+        }
+        if !self.eat(b')') {
+            return self.error("expected ')' to close call");
+        }
+        Ok((args, kwargs))
+    }
+
+    fn parse_atom(&mut self) -> FResult<Expr> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.parse_additive()?;
+                if !self.eat(b')') {
+                    return self.error("expected ')'");
+                }
+                Ok(inner)
+            }
+            Some(c) if c.is_ascii_digit() => self.parse_number(),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let name = self.parse_ident()?;
+                Ok(match name.as_str() {
+                    "True" => Expr::Bool(true),
+                    "False" => Expr::Bool(false),
+                    "None" => Expr::None,
+                    _ => Expr::Name(name),
+                })
+            }
+            other => self.error(format!("unexpected character {other:?}")),
+        }
+    }
+
+    fn parse_ident(&mut self) -> FResult<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.error("expected identifier");
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn parse_number(&mut self) -> FResult<Expr> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.src.get(self.pos) == Some(&b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        if is_float {
+            text.parse::<f64>()
+                .map(Expr::Float)
+                .map_err(|_| FrontendError::new(self.line, format!("bad float '{text}'")))
+        } else {
+            text.parse::<i64>()
+                .map(Expr::Int)
+                .map_err(|_| FrontendError::new(self.line, format!("bad integer '{text}'")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig4a_hdc_kernel() {
+        let src = r#"
+def forward(self, input: Tensor, dot: bool = False) -> Tensor:
+    others = self.weight.transpose(-2, -1)
+    matmul = torch.matmul(input, (others))
+    values, indices = torch.ops.aten.topk(matmul, 1, largest=False)
+    return indices
+"#;
+        let funcs = parse_source(src).unwrap();
+        assert_eq!(funcs.len(), 1);
+        let f = &funcs[0];
+        assert_eq!(f.name, "forward");
+        assert_eq!(f.params, vec!["input", "dot"]);
+        assert_eq!(f.body.len(), 4);
+        match &f.body[2] {
+            Stmt::Assign { targets, value } => {
+                assert_eq!(targets, &vec!["values".to_string(), "indices".to_string()]);
+                match value {
+                    Expr::Call { callee, args, kwargs } => {
+                        assert_eq!(callee.dotted_path().as_deref(), Some("torch.ops.aten.topk"));
+                        assert_eq!(args.len(), 2);
+                        assert_eq!(args[1], Expr::Int(1));
+                        assert_eq!(kwargs[0], ("largest".to_string(), Expr::Bool(false)));
+                    }
+                    other => panic!("expected call, got {other:?}"),
+                }
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_binary_operators_with_precedence() {
+        let funcs = parse_source("def f(self, a: Tensor, b: Tensor):\n    c = a - b / b\n    return c\n").unwrap();
+        match &funcs[0].body[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::BinOp { op: '-', rhs, .. } => {
+                    assert!(matches!(**rhs, Expr::BinOp { op: '/', .. }));
+                }
+                other => panic!("expected '-', got {other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_negative_literals() {
+        let funcs =
+            parse_source("def f(self, x: Tensor):\n    y = x.transpose(-2, -1)\n    return y\n")
+                .unwrap();
+        match &funcs[0].body[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Call { args, .. } => {
+                    assert_eq!(args[0], Expr::Int(-2));
+                    assert_eq!(args[1], Expr::Int(-1));
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let src = "
+# leading comment
+def f(self, x: Tensor):  # trailing
+    # inner comment
+    y = x.norm()
+    return y
+";
+        let funcs = parse_source(src).unwrap();
+        assert_eq!(funcs[0].body.len(), 2);
+    }
+
+    #[test]
+    fn statement_outside_function_errors() {
+        let e = parse_source("x = 1\n").unwrap_err();
+        assert!(e.message.contains("outside"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let e = parse_source("def f(self, x: Tensor):\n    x +\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_source("def f(self, x: Tensor):\n    y = torch.matmul(x\n").unwrap_err();
+        assert!(e.message.contains(")"), "{e}");
+    }
+
+    #[test]
+    fn multiple_defs_parse_independently() {
+        let src = "
+def f(self, x: Tensor):
+    return x
+def g(self, y: Tensor):
+    return y
+";
+        let funcs = parse_source(src).unwrap();
+        assert_eq!(funcs.len(), 2);
+        assert_eq!(funcs[1].name, "g");
+        assert_eq!(funcs[1].params, vec!["y"]);
+    }
+
+    #[test]
+    fn return_tuple_parses() {
+        let funcs = parse_source(
+            "def f(self, x: Tensor):\n    v, i = torch.topk(x, 3)\n    return v, i\n",
+        )
+        .unwrap();
+        match &funcs[0].body[1] {
+            Stmt::Return(exprs) => assert_eq!(exprs.len(), 2),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Attributes: compile-time constant data attached to operations.
+//!
+//! Mirrors MLIR's attribute system at the scale the C4CAM pipeline needs:
+//! scalars, strings, arrays, type attributes and dense tensor literals (the
+//! weights captured by `torch.constant`).
+
+use crate::types::Type;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense literal payload for tensor constants.
+///
+/// Data is reference counted so that cloning an operation (or a whole
+/// module) does not copy weight tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DenseData {
+    /// 32-bit float payload.
+    F32(Arc<Vec<f32>>),
+    /// 64-bit integer payload.
+    I64(Arc<Vec<i64>>),
+}
+
+impl DenseData {
+    /// Number of scalar elements stored.
+    pub fn len(&self) -> usize {
+        match self {
+            DenseData::F32(v) => v.len(),
+            DenseData::I64(v) => v.len(),
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element at `i` widened to `f64` (for printing and interpretation).
+    pub fn get_f64(&self, i: usize) -> f64 {
+        match self {
+            DenseData::F32(v) => v[i] as f64,
+            DenseData::I64(v) => v[i] as f64,
+        }
+    }
+}
+
+/// A compile-time attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Attribute {
+    /// Presence-only marker (`unit`).
+    Unit,
+    /// Boolean (`true` / `false`).
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// A type used as an attribute (e.g. `function_type`).
+    TypeAttr(Type),
+    /// Homogeneous or heterogeneous array of attributes.
+    Array(Vec<Attribute>),
+    /// Dense tensor literal: flattened row-major data plus its shape.
+    Dense {
+        /// Tensor shape.
+        shape: Vec<i64>,
+        /// Flattened row-major payload.
+        data: DenseData,
+    },
+}
+
+impl Attribute {
+    /// Convenience constructor for a dense f32 literal.
+    pub fn dense_f32(shape: Vec<i64>, values: Vec<f32>) -> Attribute {
+        Attribute::Dense {
+            shape,
+            data: DenseData::F32(Arc::new(values)),
+        }
+    }
+
+    /// Convenience constructor for a dense i64 literal.
+    pub fn dense_i64(shape: Vec<i64>, values: Vec<i64>) -> Attribute {
+        Attribute::Dense {
+            shape,
+            data: DenseData::I64(Arc::new(values)),
+        }
+    }
+
+    /// Integer payload, if this is an [`Attribute::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Attribute::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this is an [`Attribute::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Attribute::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float payload; integers are widened.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Attribute::Float(v) => Some(*v),
+            Attribute::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is an [`Attribute::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Attribute::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Type payload, if this is an [`Attribute::TypeAttr`].
+    pub fn as_type(&self) -> Option<Type> {
+        match self {
+            Attribute::TypeAttr(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Array payload, if this is an [`Attribute::Array`].
+    pub fn as_array(&self) -> Option<&[Attribute]> {
+        match self {
+            Attribute::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Array of integers, if this is an array whose elements are all ints.
+    pub fn as_int_array(&self) -> Option<Vec<i64>> {
+        let arr = self.as_array()?;
+        arr.iter().map(|a| a.as_int()).collect()
+    }
+}
+
+impl From<i64> for Attribute {
+    fn from(v: i64) -> Self {
+        Attribute::Int(v)
+    }
+}
+
+impl From<bool> for Attribute {
+    fn from(v: bool) -> Self {
+        Attribute::Bool(v)
+    }
+}
+
+impl From<f64> for Attribute {
+    fn from(v: f64) -> Self {
+        Attribute::Float(v)
+    }
+}
+
+impl From<&str> for Attribute {
+    fn from(v: &str) -> Self {
+        Attribute::Str(v.to_string())
+    }
+}
+
+impl From<String> for Attribute {
+    fn from(v: String) -> Self {
+        Attribute::Str(v)
+    }
+}
+
+impl From<Vec<i64>> for Attribute {
+    fn from(v: Vec<i64>) -> Self {
+        Attribute::Array(v.into_iter().map(Attribute::Int).collect())
+    }
+}
+
+impl fmt::Display for DenseData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DenseData::F32(_) => write!(f, "f32[{}]", self.len()),
+            DenseData::I64(_) => write!(f, "i64[{}]", self.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_return_expected_payloads() {
+        assert_eq!(Attribute::Int(7).as_int(), Some(7));
+        assert_eq!(Attribute::Bool(true).as_bool(), Some(true));
+        assert_eq!(Attribute::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Attribute::Int(2).as_float(), Some(2.0));
+        assert_eq!(Attribute::Str("hi".into()).as_str(), Some("hi"));
+        assert_eq!(Attribute::Unit.as_int(), None);
+        let arr: Attribute = vec![1i64, 2, 3].into();
+        assert_eq!(arr.as_int_array(), Some(vec![1, 2, 3]));
+        assert_eq!(Attribute::Array(vec![Attribute::Unit]).as_int_array(), None);
+    }
+
+    #[test]
+    fn dense_literals_share_storage_on_clone() {
+        let a = Attribute::dense_f32(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = a.clone();
+        match (&a, &b) {
+            (
+                Attribute::Dense {
+                    data: DenseData::F32(x),
+                    ..
+                },
+                Attribute::Dense {
+                    data: DenseData::F32(y),
+                    ..
+                },
+            ) => {
+                assert!(Arc::ptr_eq(x, y));
+                assert_eq!(x.len(), 4);
+            }
+            _ => panic!("expected dense attributes"),
+        }
+    }
+
+    #[test]
+    fn dense_get_f64_widens_both_payloads() {
+        let f = Attribute::dense_f32(vec![2], vec![0.5, 1.5]);
+        let i = Attribute::dense_i64(vec![2], vec![3, 4]);
+        if let Attribute::Dense { data, .. } = f {
+            assert_eq!(data.get_f64(1), 1.5);
+            assert!(!data.is_empty());
+        }
+        if let Attribute::Dense { data, .. } = i {
+            assert_eq!(data.get_f64(0), 3.0);
+        }
+    }
+}

@@ -1,0 +1,771 @@
+//! The IR container: a [`Module`] owns all operations, blocks, values and
+//! interned types of one compilation unit.
+//!
+//! The design is an arena-based take on MLIR's core structures. Entities
+//! are addressed by copyable ids ([`OpId`], [`BlockId`], [`ValueId`]);
+//! erased entities leave `None` slots behind so ids are never reused within
+//! one module's lifetime, which keeps dangling-id bugs loud.
+//!
+//! A module has a single top-level *body block* that holds function ops
+//! (mirroring MLIR's implicit `builtin.module` region).
+
+use crate::attr::Attribute;
+use crate::types::{CamLevel, Type, TypeInterner, TypeKind};
+use std::collections::BTreeMap;
+
+/// Handle to an operation within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub(crate) u32);
+
+/// Handle to a block within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub(crate) u32);
+
+/// Handle to an SSA value within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub(crate) u32);
+
+impl OpId {
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ValueId {
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where an SSA value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueDef {
+    /// The `index`-th result of operation `op`.
+    OpResult {
+        /// Defining operation.
+        op: OpId,
+        /// Result position.
+        index: usize,
+    },
+    /// The `index`-th argument of block `block`.
+    BlockArg {
+        /// Owning block.
+        block: BlockId,
+        /// Argument position.
+        index: usize,
+    },
+}
+
+/// Payload of an SSA value.
+#[derive(Debug, Clone)]
+pub struct ValueData {
+    /// Static type of the value.
+    pub ty: Type,
+    /// Definition site.
+    pub def: ValueDef,
+}
+
+/// Payload of an operation.
+#[derive(Debug, Clone)]
+pub struct OpData {
+    /// Fully qualified name, `dialect.mnemonic` (e.g. `"cim.execute"`).
+    pub name: String,
+    /// SSA operands.
+    pub operands: Vec<ValueId>,
+    /// SSA results (each points back via [`ValueDef::OpResult`]).
+    pub results: Vec<ValueId>,
+    /// Attribute dictionary, kept sorted for deterministic printing.
+    pub attrs: BTreeMap<String, Attribute>,
+    /// Regions; each region is an ordered list of blocks.
+    pub regions: Vec<Vec<BlockId>>,
+    /// Block currently containing this op (`None` while detached).
+    pub parent: Option<BlockId>,
+}
+
+impl OpData {
+    /// Dialect prefix of [`OpData::name`] (`"cim"` for `"cim.execute"`).
+    pub fn dialect(&self) -> &str {
+        self.name.split('.').next().unwrap_or(&self.name)
+    }
+
+    /// Mnemonic suffix of [`OpData::name`].
+    pub fn mnemonic(&self) -> &str {
+        match self.name.split_once('.') {
+            Some((_, m)) => m,
+            None => &self.name,
+        }
+    }
+
+    /// Look up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&Attribute> {
+        self.attrs.get(name)
+    }
+
+    /// Integer attribute shortcut.
+    pub fn int_attr(&self, name: &str) -> Option<i64> {
+        self.attrs.get(name).and_then(Attribute::as_int)
+    }
+
+    /// String attribute shortcut.
+    pub fn str_attr(&self, name: &str) -> Option<&str> {
+        self.attrs.get(name).and_then(Attribute::as_str)
+    }
+}
+
+/// Payload of a block.
+#[derive(Debug, Clone, Default)]
+pub struct BlockData {
+    /// Block arguments (entry values of the region).
+    pub args: Vec<ValueId>,
+    /// Operations in program order.
+    pub ops: Vec<OpId>,
+    /// Owning operation and region index; `None` for the module body.
+    pub parent: Option<(OpId, usize)>,
+}
+
+/// A compilation unit: arena of ops/blocks/values plus the type interner.
+#[derive(Debug, Clone)]
+pub struct Module {
+    types: TypeInterner,
+    ops: Vec<Option<OpData>>,
+    blocks: Vec<Option<BlockData>>,
+    values: Vec<Option<ValueData>>,
+    body: BlockId,
+}
+
+impl Default for Module {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module {
+    /// Create an empty module with a fresh body block.
+    pub fn new() -> Module {
+        let mut m = Module {
+            types: TypeInterner::default(),
+            ops: Vec::new(),
+            blocks: Vec::new(),
+            values: Vec::new(),
+            body: BlockId(0),
+        };
+        let body = m.alloc_block(BlockData::default());
+        m.body = body;
+        m
+    }
+
+    /// The top-level block holding function ops.
+    pub fn body(&self) -> BlockId {
+        self.body
+    }
+
+    // ---------------------------------------------------------------
+    // Types
+    // ---------------------------------------------------------------
+
+    /// Intern an arbitrary [`TypeKind`].
+    pub fn intern_type(&mut self, kind: TypeKind) -> Type {
+        self.types.intern(kind)
+    }
+
+    /// Structural description of `ty`.
+    pub fn kind(&self, ty: Type) -> &TypeKind {
+        self.types.kind(ty)
+    }
+
+    /// `i1` (boolean) type.
+    pub fn i1_ty(&mut self) -> Type {
+        self.intern_type(TypeKind::Integer { width: 1 })
+    }
+
+    /// `i32` type.
+    pub fn i32_ty(&mut self) -> Type {
+        self.intern_type(TypeKind::Integer { width: 32 })
+    }
+
+    /// `i64` type.
+    pub fn i64_ty(&mut self) -> Type {
+        self.intern_type(TypeKind::Integer { width: 64 })
+    }
+
+    /// `f32` type.
+    pub fn f32_ty(&mut self) -> Type {
+        self.intern_type(TypeKind::Float { width: 32 })
+    }
+
+    /// `f64` type.
+    pub fn f64_ty(&mut self) -> Type {
+        self.intern_type(TypeKind::Float { width: 64 })
+    }
+
+    /// `index` type.
+    pub fn index_ty(&mut self) -> Type {
+        self.intern_type(TypeKind::Index)
+    }
+
+    /// `none` type.
+    pub fn none_ty(&mut self) -> Type {
+        self.intern_type(TypeKind::None)
+    }
+
+    /// `tensor<shape x elem>` type.
+    pub fn tensor_ty(&mut self, shape: &[i64], elem: Type) -> Type {
+        self.intern_type(TypeKind::RankedTensor {
+            shape: shape.to_vec(),
+            elem,
+        })
+    }
+
+    /// `memref<shape x elem>` type.
+    pub fn memref_ty(&mut self, shape: &[i64], elem: Type) -> Type {
+        self.intern_type(TypeKind::MemRef {
+            shape: shape.to_vec(),
+            elem,
+        })
+    }
+
+    /// Function type `(inputs) -> (results)`.
+    pub fn func_ty(&mut self, inputs: &[Type], results: &[Type]) -> Type {
+        self.intern_type(TypeKind::Function {
+            inputs: inputs.to_vec(),
+            results: results.to_vec(),
+        })
+    }
+
+    /// CAM handle type for the given hierarchy level.
+    pub fn cam_ty(&mut self, level: CamLevel) -> Type {
+        self.intern_type(TypeKind::CamHandle(level))
+    }
+
+    // ---------------------------------------------------------------
+    // Entity access
+    // ---------------------------------------------------------------
+
+    /// Operation payload.
+    ///
+    /// # Panics
+    /// Panics if the op was erased.
+    pub fn op(&self, id: OpId) -> &OpData {
+        self.ops[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("use of erased op {:?}", id))
+    }
+
+    /// Mutable operation payload.
+    ///
+    /// # Panics
+    /// Panics if the op was erased.
+    pub fn op_mut(&mut self, id: OpId) -> &mut OpData {
+        self.ops[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("use of erased op {:?}", id))
+    }
+
+    /// Whether the op id still refers to a live operation.
+    pub fn is_live_op(&self, id: OpId) -> bool {
+        self.ops
+            .get(id.index())
+            .map(Option::is_some)
+            .unwrap_or(false)
+    }
+
+    /// Block payload.
+    ///
+    /// # Panics
+    /// Panics if the block was erased.
+    pub fn block(&self, id: BlockId) -> &BlockData {
+        self.blocks[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("use of erased block {:?}", id))
+    }
+
+    /// Mutable block payload.
+    ///
+    /// # Panics
+    /// Panics if the block was erased.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BlockData {
+        self.blocks[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("use of erased block {:?}", id))
+    }
+
+    /// Value payload.
+    ///
+    /// # Panics
+    /// Panics if the value was erased.
+    pub fn value(&self, id: ValueId) -> &ValueData {
+        self.values[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("use of erased value {:?}", id))
+    }
+
+    /// Whether the value id still refers to a live value.
+    pub fn is_live_value(&self, id: ValueId) -> bool {
+        self.values
+            .get(id.index())
+            .map(Option::is_some)
+            .unwrap_or(false)
+    }
+
+    /// Type of a value.
+    pub fn value_type(&self, id: ValueId) -> Type {
+        self.value(id).ty
+    }
+
+    /// `index`-th result value of `op`.
+    pub fn result(&self, op: OpId, index: usize) -> ValueId {
+        self.op(op).results[index]
+    }
+
+    /// `index`-th operand value of `op`.
+    pub fn operand(&self, op: OpId, index: usize) -> ValueId {
+        self.op(op).operands[index]
+    }
+
+    /// Replace operand `index` of `op` with `value`.
+    pub fn set_operand(&mut self, op: OpId, index: usize, value: ValueId) {
+        self.op_mut(op).operands[index] = value;
+    }
+
+    /// Set (or overwrite) an attribute on `op`.
+    pub fn set_attr(&mut self, op: OpId, name: &str, attr: Attribute) {
+        self.op_mut(op).attrs.insert(name.to_string(), attr);
+    }
+
+    // ---------------------------------------------------------------
+    // Creation
+    // ---------------------------------------------------------------
+
+    fn alloc_block(&mut self, data: BlockData) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Some(data));
+        id
+    }
+
+    fn alloc_value(&mut self, data: ValueData) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(Some(data));
+        id
+    }
+
+    /// Create a detached operation. Use [`Module::push_op`] /
+    /// [`Module::insert_op`] (or an
+    /// [`OpBuilder`](crate::builder::OpBuilder)) to place it in a block.
+    pub fn create_op(
+        &mut self,
+        name: &str,
+        operands: &[ValueId],
+        result_types: &[Type],
+        attrs: Vec<(&str, Attribute)>,
+        num_regions: usize,
+    ) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        let results: Vec<ValueId> = result_types
+            .iter()
+            .enumerate()
+            .map(|(index, &ty)| {
+                self.alloc_value(ValueData {
+                    ty,
+                    def: ValueDef::OpResult { op: id, index },
+                })
+            })
+            .collect();
+        let data = OpData {
+            name: name.to_string(),
+            operands: operands.to_vec(),
+            results,
+            attrs: attrs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            regions: vec![Vec::new(); num_regions],
+            parent: None,
+        };
+        self.ops.push(Some(data));
+        id
+    }
+
+    /// Append an empty region to `op`, returning its index.
+    ///
+    /// Intended for IR construction paths (e.g. the parser) where the
+    /// number of regions is discovered incrementally.
+    pub fn add_region(&mut self, op: OpId) -> usize {
+        let regions = &mut self.op_mut(op).regions;
+        regions.push(Vec::new());
+        regions.len() - 1
+    }
+
+    /// Append result values of the given types to an existing op.
+    ///
+    /// Intended for the parser, where result types appear textually after
+    /// the op's regions. Returns the new values.
+    pub fn add_op_results(&mut self, op: OpId, types: &[Type]) -> Vec<ValueId> {
+        let base = self.op(op).results.len();
+        let new: Vec<ValueId> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &ty)| {
+                self.alloc_value(ValueData {
+                    ty,
+                    def: ValueDef::OpResult {
+                        op,
+                        index: base + i,
+                    },
+                })
+            })
+            .collect();
+        self.op_mut(op).results.extend_from_slice(&new);
+        new
+    }
+
+    /// Append a new block with the given argument types to `op`'s
+    /// `region`-th region.
+    ///
+    /// # Panics
+    /// Panics if the region index is out of bounds.
+    pub fn add_block(&mut self, op: OpId, region: usize, arg_types: &[Type]) -> BlockId {
+        let block = self.alloc_block(BlockData {
+            args: Vec::new(),
+            ops: Vec::new(),
+            parent: Some((op, region)),
+        });
+        let args: Vec<ValueId> = arg_types
+            .iter()
+            .enumerate()
+            .map(|(index, &ty)| {
+                self.alloc_value(ValueData {
+                    ty,
+                    def: ValueDef::BlockArg { block, index },
+                })
+            })
+            .collect();
+        self.block_mut(block).args = args;
+        let regions = &mut self.op_mut(op).regions;
+        assert!(region < regions.len(), "region index out of bounds");
+        regions[region].push(block);
+        block
+    }
+
+    /// Append an extra argument to an existing block.
+    pub fn add_block_arg(&mut self, block: BlockId, ty: Type) -> ValueId {
+        let index = self.block(block).args.len();
+        let v = self.alloc_value(ValueData {
+            ty,
+            def: ValueDef::BlockArg { block, index },
+        });
+        self.block_mut(block).args.push(v);
+        v
+    }
+
+    // ---------------------------------------------------------------
+    // Placement
+    // ---------------------------------------------------------------
+
+    /// Append `op` at the end of `block`.
+    ///
+    /// # Panics
+    /// Panics if `op` is already placed in some block.
+    pub fn push_op(&mut self, block: BlockId, op: OpId) {
+        let len = self.block(block).ops.len();
+        self.insert_op(block, len, op);
+    }
+
+    /// Insert `op` into `block` at position `pos`.
+    ///
+    /// # Panics
+    /// Panics if `op` is already placed or `pos` is out of bounds.
+    pub fn insert_op(&mut self, block: BlockId, pos: usize, op: OpId) {
+        assert!(
+            self.op(op).parent.is_none(),
+            "op {:?} is already placed; detach it first",
+            op
+        );
+        self.block_mut(block).ops.insert(pos, op);
+        self.op_mut(op).parent = Some(block);
+    }
+
+    /// Remove `op` from its parent block without deleting it.
+    pub fn detach_op(&mut self, op: OpId) {
+        if let Some(parent) = self.op(op).parent {
+            self.block_mut(parent).ops.retain(|&o| o != op);
+            self.op_mut(op).parent = None;
+        }
+    }
+
+    /// Position of `op` in its parent block.
+    pub fn position_in_block(&self, op: OpId) -> Option<usize> {
+        let parent = self.op(op).parent?;
+        self.block(parent).ops.iter().position(|&o| o == op)
+    }
+
+    // ---------------------------------------------------------------
+    // Deletion & use replacement
+    // ---------------------------------------------------------------
+
+    /// Erase `op` (recursively erasing its regions). Result values become
+    /// dead; remaining uses are caught by the verifier.
+    pub fn erase_op(&mut self, op: OpId) {
+        self.detach_op(op);
+        let data = self.ops[op.index()].take().unwrap_or_else(|| {
+            panic!("double erase of op {:?}", op);
+        });
+        for region in &data.regions {
+            for &b in region {
+                self.erase_block_contents(b);
+            }
+        }
+        for r in data.results {
+            self.values[r.index()] = None;
+        }
+    }
+
+    fn erase_block_contents(&mut self, block: BlockId) {
+        let data = match self.blocks[block.index()].take() {
+            Some(d) => d,
+            None => return,
+        };
+        for a in data.args {
+            self.values[a.index()] = None;
+        }
+        for o in data.ops {
+            if let Some(op_data) = self.ops[o.index()].take() {
+                for region in &op_data.regions {
+                    for &b in region {
+                        self.erase_block_contents(b);
+                    }
+                }
+                for r in op_data.results {
+                    self.values[r.index()] = None;
+                }
+            }
+        }
+    }
+
+    /// Replace all uses of `old` with `new` across the whole module.
+    pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
+        for slot in self.ops.iter_mut() {
+            if let Some(op) = slot.as_mut() {
+                for operand in op.operands.iter_mut() {
+                    if *operand == old {
+                        *operand = new;
+                    }
+                }
+            }
+        }
+    }
+
+    /// All `(op, operand_index)` pairs using `v`.
+    ///
+    /// Detached ops count as uses too — they may be pending insertion by
+    /// a rewrite in progress.
+    pub fn uses_of(&self, v: ValueId) -> Vec<(OpId, usize)> {
+        let mut uses = Vec::new();
+        for (i, slot) in self.ops.iter().enumerate() {
+            if let Some(op) = slot.as_ref() {
+                for (j, &operand) in op.operands.iter().enumerate() {
+                    if operand == v {
+                        uses.push((OpId(i as u32), j));
+                    }
+                }
+            }
+        }
+        uses
+    }
+
+    /// Whether `v` has any uses.
+    pub fn has_uses(&self, v: ValueId) -> bool {
+        !self.uses_of(v).is_empty()
+    }
+
+    // ---------------------------------------------------------------
+    // Traversal
+    // ---------------------------------------------------------------
+
+    /// All ops nested under (and including) `op`, pre-order.
+    pub fn walk(&self, op: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        self.walk_into(op, &mut out);
+        out
+    }
+
+    fn walk_into(&self, op: OpId, out: &mut Vec<OpId>) {
+        out.push(op);
+        let nregions = self.op(op).regions.len();
+        for r in 0..nregions {
+            let blocks = self.op(op).regions[r].clone();
+            for b in blocks {
+                for o in self.block(b).ops.clone() {
+                    self.walk_into(o, out);
+                }
+            }
+        }
+    }
+
+    /// All ops in the module, pre-order starting from the body block.
+    pub fn walk_all(&self) -> Vec<OpId> {
+        let mut out = Vec::new();
+        for op in self.block(self.body).ops.clone() {
+            self.walk_into(op, &mut out);
+        }
+        out
+    }
+
+    /// Top-level ops (typically `func.func`).
+    pub fn top_level_ops(&self) -> Vec<OpId> {
+        self.block(self.body).ops.clone()
+    }
+
+    /// Find the top-level op with attribute `sym_name == name`.
+    pub fn lookup_symbol(&self, name: &str) -> Option<OpId> {
+        self.top_level_ops()
+            .into_iter()
+            .find(|&op| self.op(op).str_attr("sym_name") == Some(name))
+    }
+
+    /// The block transitively containing `op` at the top level, following
+    /// parent links until the module body.
+    pub fn ancestor_blocks(&self, op: OpId) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        let mut current = self.op(op).parent;
+        while let Some(block) = current {
+            out.push(block);
+            current = self
+                .block(block)
+                .parent
+                .map(|(parent_op, _)| self.op(parent_op).parent)
+                .flatten();
+        }
+        out
+    }
+
+    /// Number of live operations (diagnostics / tests).
+    pub fn num_live_ops(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_module() -> (Module, OpId, ValueId) {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let ty = m.tensor_ty(&[4, 4], f32t);
+        let func = m.create_op(
+            "func.func",
+            &[],
+            &[],
+            vec![("sym_name", "main".into())],
+            1,
+        );
+        let body = m.body();
+        m.push_op(body, func);
+        let entry = m.add_block(func, 0, &[ty]);
+        let arg = m.block(entry).args[0];
+        (m, func, arg)
+    }
+
+    #[test]
+    fn create_and_place_ops_in_order() {
+        let (mut m, func, arg) = tensor_module();
+        let entry = m.op(func).regions[0][0];
+        let ty = m.value_type(arg);
+        let a = m.create_op("torch.transpose", &[arg], &[ty], vec![], 0);
+        let b = m.create_op("func.return", &[m.result(a, 0)], &[], vec![], 0);
+        m.push_op(entry, a);
+        m.push_op(entry, b);
+        assert_eq!(m.block(entry).ops, vec![a, b]);
+        assert_eq!(m.op(a).parent, Some(entry));
+        assert_eq!(m.position_in_block(b), Some(1));
+        assert_eq!(m.walk(func), vec![func, a, b]);
+    }
+
+    #[test]
+    fn erase_op_recursively_kills_nested_entities() {
+        let (mut m, func, arg) = tensor_module();
+        let entry = m.op(func).regions[0][0];
+        let ty = m.value_type(arg);
+        let exec = m.create_op("cim.execute", &[arg], &[ty], vec![], 1);
+        let inner_block = m.add_block(exec, 0, &[]);
+        let inner = m.create_op("cim.transpose", &[arg], &[ty], vec![], 0);
+        m.push_op(inner_block, inner);
+        m.push_op(entry, exec);
+        let inner_result = m.result(inner, 0);
+        let live_before = m.num_live_ops();
+        m.erase_op(exec);
+        assert_eq!(m.num_live_ops(), live_before - 2);
+        assert!(!m.is_live_op(exec));
+        assert!(!m.is_live_op(inner));
+        assert!(!m.is_live_value(inner_result));
+        assert!(m.is_live_value(arg));
+    }
+
+    #[test]
+    fn replace_all_uses_rewrites_operands() {
+        let (mut m, func, arg) = tensor_module();
+        let entry = m.op(func).regions[0][0];
+        let ty = m.value_type(arg);
+        let a = m.create_op("torch.transpose", &[arg], &[ty], vec![], 0);
+        m.push_op(entry, a);
+        let b = m.create_op("torch.transpose", &[arg], &[ty], vec![], 0);
+        m.push_op(entry, b);
+        let a_res = m.result(a, 0);
+        assert_eq!(m.uses_of(arg).len(), 2);
+        m.replace_all_uses(arg, a_res);
+        assert_eq!(m.uses_of(arg).len(), 0);
+        // Both ops now use a's result (including a itself — callers are
+        // responsible for avoiding self-reference; here we just check the
+        // mechanics).
+        assert_eq!(m.uses_of(a_res).len(), 2);
+    }
+
+    #[test]
+    fn detach_and_reinsert_moves_op() {
+        let (mut m, func, arg) = tensor_module();
+        let entry = m.op(func).regions[0][0];
+        let ty = m.value_type(arg);
+        let a = m.create_op("torch.transpose", &[arg], &[ty], vec![], 0);
+        let b = m.create_op("torch.norm", &[arg], &[ty], vec![], 0);
+        m.push_op(entry, a);
+        m.push_op(entry, b);
+        m.detach_op(a);
+        assert_eq!(m.block(entry).ops, vec![b]);
+        m.insert_op(entry, 1, a);
+        assert_eq!(m.block(entry).ops, vec![b, a]);
+    }
+
+    #[test]
+    fn lookup_symbol_finds_functions() {
+        let (m, func, _) = tensor_module();
+        assert_eq!(m.lookup_symbol("main"), Some(func));
+        assert_eq!(m.lookup_symbol("missing"), None);
+    }
+
+    #[test]
+    fn dialect_and_mnemonic_split() {
+        let (m, func, _) = tensor_module();
+        assert_eq!(m.op(func).dialect(), "func");
+        assert_eq!(m.op(func).mnemonic(), "func");
+    }
+
+    #[test]
+    #[should_panic(expected = "already placed")]
+    fn double_insert_panics() {
+        let (mut m, func, arg) = tensor_module();
+        let entry = m.op(func).regions[0][0];
+        let ty = m.value_type(arg);
+        let a = m.create_op("torch.transpose", &[arg], &[ty], vec![], 0);
+        m.push_op(entry, a);
+        m.push_op(entry, a);
+    }
+}

@@ -1,0 +1,804 @@
+//! Parser for the generic textual IR form produced by [`crate::print`].
+//!
+//! The grammar is the MLIR generic-operation form:
+//!
+//! ```text
+//! op     := (results "=")? "\"name\"" "(" operands ")" regions? attrs? ":" signature
+//! region := "{" block+ "}"
+//! block  := "^bb" "(" args ")" ":" op*
+//! ```
+//!
+//! The parser is a hand-rolled, character-level recursive descent with
+//! precise error positions; round-tripping `print(parse(print(m)))` is
+//! covered by property tests.
+
+use crate::attr::Attribute;
+use crate::module::{BlockId, Module, OpId, ValueId};
+use crate::types::{CamLevel, Type, TypeKind, DYNAMIC_DIM};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// 1-based column of the failure.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    values: HashMap<String, ValueId>,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+            values: HashMap::new(),
+        }
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> PResult<T> {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.src[..self.pos.min(self.src.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Err(ParseError {
+            line,
+            col,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            // line comments
+            if self.pos + 1 < self.src.len()
+                && self.src[self.pos] == b'/'
+                && self.src[self.pos + 1] == b'/'
+            {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_raw(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn at_eof(&mut self) -> bool {
+        self.peek().is_none()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> PResult<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            let found = self.peek().map(|b| b as char).unwrap_or('∅');
+            self.error(format!("expected '{}', found '{}'", c as char, found))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let bytes = kw.as_bytes();
+        if self.src[self.pos..].starts_with(bytes) {
+            let after = self.pos + bytes.len();
+            let boundary = self
+                .src
+                .get(after)
+                .map(|&b| !b.is_ascii_alphanumeric() && b != b'_')
+                .unwrap_or(true);
+            if boundary {
+                self.pos = after;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parse_ident(&mut self) -> PResult<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric()
+                || self.src[self.pos] == b'_'
+                || self.src[self.pos] == b'.')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.error("expected identifier");
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn parse_string(&mut self) -> PResult<String> {
+        self.skip_ws();
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek_raw() {
+                None => return self.error("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek_raw() {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        _ => return self.error("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_value_name(&mut self) -> PResult<String> {
+        self.skip_ws();
+        self.expect(b'%')?;
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.error("expected value name after '%'");
+        }
+        Ok(format!(
+            "%{}",
+            String::from_utf8_lossy(&self.src[start..self.pos])
+        ))
+    }
+
+    fn resolve(&mut self, name: &str) -> PResult<ValueId> {
+        match self.values.get(name) {
+            Some(&v) => Ok(v),
+            None => self.error(format!("use of undefined value {name}")),
+        }
+    }
+
+    /// Number literal; integers stay `Int`, anything with '.', 'e' or 'E'
+    /// becomes `Float`.
+    fn parse_number(&mut self) -> PResult<Attribute> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek_raw() == Some(b'-') {
+            self.pos += 1;
+        }
+        if self.eat_keyword("inf") {
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]);
+            return Ok(Attribute::Float(if text.starts_with('-') {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }));
+        }
+        let digits_start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return self.error("expected number");
+        }
+        let mut is_float = false;
+        if self.peek_raw() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek_raw(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek_raw(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(v) => Ok(Attribute::Float(v)),
+                Err(_) => self.error(format!("invalid float literal '{text}'")),
+            }
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => Ok(Attribute::Int(v)),
+                Err(_) => self.error(format!("invalid integer literal '{text}'")),
+            }
+        }
+    }
+
+    fn looks_like_type(&mut self) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        for kw in ["tensor<", "memref<", "index", "none", "!cam."] {
+            if rest.starts_with(kw.as_bytes()) {
+                return true;
+            }
+        }
+        if rest.starts_with(b"(") {
+            return true;
+        }
+        // iN / fN
+        if rest.len() >= 2 && (rest[0] == b'i' || rest[0] == b'f') && rest[1].is_ascii_digit() {
+            return true;
+        }
+        false
+    }
+
+    fn parse_type(&mut self, m: &mut Module) -> PResult<Type> {
+        self.skip_ws();
+        if self.eat_keyword("index") {
+            return Ok(m.index_ty());
+        }
+        if self.eat_keyword("none") {
+            return Ok(m.none_ty());
+        }
+        if self.eat_keyword("tensor") {
+            self.expect(b'<')?;
+            let (shape, elem) = self.parse_shape(m)?;
+            self.expect(b'>')?;
+            return Ok(m.tensor_ty(&shape, elem));
+        }
+        if self.eat_keyword("memref") {
+            self.expect(b'<')?;
+            let (shape, elem) = self.parse_shape(m)?;
+            self.expect(b'>')?;
+            return Ok(m.memref_ty(&shape, elem));
+        }
+        if self.peek() == Some(b'!') {
+            self.pos += 1;
+            let name = self.parse_ident()?;
+            let level = match name.as_str() {
+                "cam.bank_id" => CamLevel::Bank,
+                "cam.mat_id" => CamLevel::Mat,
+                "cam.array_id" => CamLevel::Array,
+                "cam.subarray_id" => CamLevel::Subarray,
+                other => return self.error(format!("unknown dialect type !{other}")),
+            };
+            return Ok(m.cam_ty(level));
+        }
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let mut inputs = Vec::new();
+            if self.peek() != Some(b')') {
+                loop {
+                    inputs.push(self.parse_type(m)?);
+                    if !self.eat(b',') {
+                        break;
+                    }
+                }
+            }
+            self.expect(b')')?;
+            self.expect(b'-')?;
+            self.expect(b'>')?;
+            let results = if self.peek() == Some(b'(') {
+                self.pos += 1;
+                let mut rs = Vec::new();
+                if self.peek() != Some(b')') {
+                    loop {
+                        rs.push(self.parse_type(m)?);
+                        if !self.eat(b',') {
+                            break;
+                        }
+                    }
+                }
+                self.expect(b')')?;
+                rs
+            } else {
+                vec![self.parse_type(m)?]
+            };
+            return Ok(m.func_ty(&inputs, &results));
+        }
+        // iN / fN
+        let c = self.peek();
+        if c == Some(b'i') || c == Some(b'f') {
+            let is_int = c == Some(b'i');
+            self.pos += 1;
+            let start = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            if self.pos == start {
+                return self.error("expected bit width");
+            }
+            let width: u32 = String::from_utf8_lossy(&self.src[start..self.pos])
+                .parse()
+                .map_err(|_| ParseError {
+                    line: 0,
+                    col: 0,
+                    message: "bad width".into(),
+                })?;
+            return Ok(if is_int {
+                m.intern_type(TypeKind::Integer { width })
+            } else {
+                m.intern_type(TypeKind::Float { width })
+            });
+        }
+        self.error("expected type")
+    }
+
+    fn parse_shape(&mut self, m: &mut Module) -> PResult<(Vec<i64>, Type)> {
+        let mut shape = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek_raw() {
+                Some(b'?') => {
+                    self.pos += 1;
+                    shape.push(DYNAMIC_DIM);
+                    self.expect(b'x')?;
+                }
+                Some(c) if c.is_ascii_digit() => {
+                    let start = self.pos;
+                    while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                        self.pos += 1;
+                    }
+                    let dim: i64 = String::from_utf8_lossy(&self.src[start..self.pos])
+                        .parse()
+                        .unwrap();
+                    shape.push(dim);
+                    self.expect(b'x')?;
+                }
+                _ => break,
+            }
+        }
+        let elem = self.parse_type(m)?;
+        Ok((shape, elem))
+    }
+
+    fn parse_attr(&mut self, m: &mut Module) -> PResult<Attribute> {
+        self.skip_ws();
+        if self.eat_keyword("unit") {
+            return Ok(Attribute::Unit);
+        }
+        if self.eat_keyword("true") {
+            return Ok(Attribute::Bool(true));
+        }
+        if self.eat_keyword("false") {
+            return Ok(Attribute::Bool(false));
+        }
+        if self.eat_keyword("nan") {
+            return Ok(Attribute::Float(f64::NAN));
+        }
+        if self.eat_keyword("inf") {
+            return Ok(Attribute::Float(f64::INFINITY));
+        }
+        if self.eat_keyword("dense") {
+            self.expect(b'<')?;
+            let elem = self.parse_ident()?;
+            self.expect(b',')?;
+            self.expect(b'[')?;
+            let mut shape = Vec::new();
+            if self.peek() != Some(b']') {
+                loop {
+                    match self.parse_number()? {
+                        Attribute::Int(v) => shape.push(v),
+                        _ => return self.error("dense shape must be integers"),
+                    }
+                    if !self.eat(b',') {
+                        break;
+                    }
+                }
+            }
+            self.expect(b']')?;
+            self.expect(b',')?;
+            self.expect(b'[')?;
+            let mut raw = Vec::new();
+            if self.peek() != Some(b']') {
+                loop {
+                    raw.push(self.parse_number()?);
+                    if !self.eat(b',') {
+                        break;
+                    }
+                }
+            }
+            self.expect(b']')?;
+            self.expect(b'>')?;
+            return match elem.as_str() {
+                "f32" => Ok(Attribute::dense_f32(
+                    shape,
+                    raw.iter()
+                        .map(|a| a.as_float().unwrap_or(0.0) as f32)
+                        .collect(),
+                )),
+                "i64" => {
+                    let mut vals = Vec::with_capacity(raw.len());
+                    for a in &raw {
+                        match a {
+                            Attribute::Int(v) => vals.push(*v),
+                            Attribute::Float(v) => vals.push(*v as i64),
+                            _ => return self.error("dense i64 payload must be numeric"),
+                        }
+                    }
+                    Ok(Attribute::dense_i64(shape, vals))
+                }
+                other => self.error(format!("unknown dense element type {other}")),
+            };
+        }
+        match self.peek() {
+            Some(b'"') => Ok(Attribute::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() != Some(b']') {
+                    loop {
+                        items.push(self.parse_attr(m)?);
+                        if !self.eat(b',') {
+                            break;
+                        }
+                    }
+                }
+                self.expect(b']')?;
+                Ok(Attribute::Array(items))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ if self.looks_like_type() => Ok(Attribute::TypeAttr(self.parse_type(m)?)),
+            _ => self.error("expected attribute"),
+        }
+    }
+
+    fn parse_block(&mut self, m: &mut Module, op: OpId, region: usize) -> PResult<BlockId> {
+        self.skip_ws();
+        if !self.eat_keyword("^bb") {
+            return self.error("expected block label '^bb'");
+        }
+        self.expect(b'(')?;
+        let mut names = Vec::new();
+        let mut types = Vec::new();
+        if self.peek() != Some(b')') {
+            loop {
+                let name = self.parse_value_name()?;
+                self.expect(b':')?;
+                let ty = self.parse_type(m)?;
+                names.push(name);
+                types.push(ty);
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+        }
+        self.expect(b')')?;
+        self.expect(b':')?;
+        let block = m.add_block(op, region, &types);
+        for (i, name) in names.into_iter().enumerate() {
+            let arg = m.block(block).args[i];
+            if self.values.insert(name.clone(), arg).is_some() {
+                return self.error(format!("redefinition of {name}"));
+            }
+        }
+        loop {
+            match self.peek() {
+                None | Some(b'}') | Some(b'^') => break,
+                _ => {
+                    self.parse_op(m, Some(block))?;
+                }
+            }
+        }
+        Ok(block)
+    }
+
+    fn parse_op(&mut self, m: &mut Module, parent: Option<BlockId>) -> PResult<OpId> {
+        // optional results
+        let mut result_names = Vec::new();
+        if self.peek() == Some(b'%') {
+            loop {
+                result_names.push(self.parse_value_name()?);
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+            self.expect(b'=')?;
+        }
+        let name = self.parse_string()?;
+        self.expect(b'(')?;
+        let mut operands = Vec::new();
+        if self.peek() != Some(b')') {
+            loop {
+                let vname = self.parse_value_name()?;
+                operands.push(self.resolve(&vname)?);
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+        }
+        self.expect(b')')?;
+
+        let op = m.create_op(&name, &operands, &[], vec![], 0);
+        if let Some(block) = parent {
+            m.push_op(block, op);
+        } else {
+            let body = m.body();
+            m.push_op(body, op);
+        }
+
+        // optional regions: "(" "{" ... "}" ("," "{" ... "}")* ")"
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(b"({") {
+            self.expect(b'(')?;
+            loop {
+                self.expect(b'{')?;
+                let region = m.add_region(op);
+                while self.peek() == Some(b'^') {
+                    self.parse_block(m, op, region)?;
+                }
+                self.expect(b'}')?;
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+            self.expect(b')')?;
+        }
+
+        // optional attribute dict
+        if self.peek() == Some(b'{') {
+            self.pos += 1;
+            if self.peek() != Some(b'}') {
+                loop {
+                    let key = self.parse_ident()?;
+                    self.expect(b'=')?;
+                    let value = self.parse_attr(m)?;
+                    m.set_attr(op, &key, value);
+                    if !self.eat(b',') {
+                        break;
+                    }
+                }
+            }
+            self.expect(b'}')?;
+        }
+
+        // trailing signature
+        self.expect(b':')?;
+        self.expect(b'(')?;
+        let mut operand_tys = Vec::new();
+        if self.peek() != Some(b')') {
+            loop {
+                operand_tys.push(self.parse_type(m)?);
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+        }
+        self.expect(b')')?;
+        self.expect(b'-')?;
+        self.expect(b'>')?;
+        self.expect(b'(')?;
+        let mut result_tys = Vec::new();
+        if self.peek() != Some(b')') {
+            loop {
+                result_tys.push(self.parse_type(m)?);
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+        }
+        self.expect(b')')?;
+
+        if operand_tys.len() != operands.len() {
+            return self.error(format!(
+                "op '{name}': {} operands but {} operand types",
+                operands.len(),
+                operand_tys.len()
+            ));
+        }
+        for (i, (&v, &t)) in operands.iter().zip(operand_tys.iter()).enumerate() {
+            if m.value_type(v) != t {
+                return self.error(format!(
+                    "op '{name}': operand {i} type mismatch (expected {}, signature says {})",
+                    crate::print::print_type(m, m.value_type(v)),
+                    crate::print::print_type(m, t),
+                ));
+            }
+        }
+        if result_tys.len() != result_names.len() {
+            return self.error(format!(
+                "op '{name}': {} result names but {} result types",
+                result_names.len(),
+                result_tys.len()
+            ));
+        }
+        let results = m.add_op_results(op, &result_tys);
+        for (name, v) in result_names.into_iter().zip(results) {
+            if self.values.insert(name.clone(), v).is_some() {
+                return self.error(format!("redefinition of {name}"));
+            }
+        }
+        Ok(op)
+    }
+}
+
+/// Parse a full module from its generic textual form.
+///
+/// # Errors
+/// Returns a [`ParseError`] with line/column information on malformed
+/// input, undefined value uses, or signature mismatches.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let mut m = Module::new();
+    let mut p = Parser::new(src);
+    while !p.at_eof() {
+        p.parse_op(&mut m, None)?;
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::print_module;
+
+    #[test]
+    fn parses_simple_function_and_roundtrips() {
+        let src = r#"
+"func.func"() ({
+^bb(%a0: tensor<10x8192xf32>):
+  %0 = "torch.transpose"(%a0) {dim0 = -2, dim1 = -1} : (tensor<10x8192xf32>) -> (tensor<8192x10xf32>)
+  "func.return"(%0) : (tensor<8192x10xf32>) -> ()
+}) {function_type = (tensor<10x8192xf32>) -> tensor<8192x10xf32>, sym_name = "forward"} : () -> ()
+"#;
+        let m = parse_module(src).expect("parse");
+        let func = m.lookup_symbol("forward").expect("symbol");
+        let entry = m.op(func).regions[0][0];
+        assert_eq!(m.block(entry).ops.len(), 2);
+        let printed = print_module(&m);
+        let m2 = parse_module(&printed).expect("reparse");
+        assert_eq!(print_module(&m2), printed);
+    }
+
+    #[test]
+    fn parses_all_attribute_kinds() {
+        let src = r#"
+"test.op"() {a = 1, b = -2.5, c = "hi", d = [1, 2.0, "x"], e = true, f = unit, g = i64, h = dense<f32, [2], [1.0, 2.0]>, i = dense<i64, [2], [3, 4]>} : () -> ()
+"#;
+        let m = parse_module(src).expect("parse");
+        let op = m.top_level_ops()[0];
+        let data = m.op(op);
+        assert_eq!(data.int_attr("a"), Some(1));
+        assert_eq!(data.attr("b").unwrap().as_float(), Some(-2.5));
+        assert_eq!(data.str_attr("c"), Some("hi"));
+        assert_eq!(data.attr("d").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(data.attr("e").unwrap().as_bool(), Some(true));
+        assert_eq!(data.attr("f"), Some(&Attribute::Unit));
+        assert!(data.attr("g").unwrap().as_type().is_some());
+        match data.attr("h") {
+            Some(Attribute::Dense { shape, data }) => {
+                assert_eq!(shape, &vec![2]);
+                assert_eq!(data.len(), 2);
+            }
+            other => panic!("expected dense attr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_undefined_values() {
+        let err = parse_module(r#""test.op"(%x0) : (i32) -> ()"#).unwrap_err();
+        assert!(err.message.contains("undefined value"), "{err}");
+    }
+
+    #[test]
+    fn rejects_signature_mismatch() {
+        let src = r#"
+"func.func"() ({
+^bb(%a0: i32):
+  "test.use"(%a0) : (i64) -> ()
+}) {sym_name = "f"} : () -> ()
+"#;
+        let err = parse_module(src).unwrap_err();
+        assert!(err.message.contains("type mismatch"), "{err}");
+    }
+
+    #[test]
+    fn parses_nested_regions() {
+        let src = r#"
+"func.func"() ({
+^bb(%a0: tensor<4x4xf32>):
+  %0 = "cim.acquire"() : () -> (index)
+  %1 = "cim.execute"(%0, %a0) ({
+  ^bb():
+    %2 = "cim.transpose"(%a0) : (tensor<4x4xf32>) -> (tensor<4x4xf32>)
+    "cim.yield"(%2) : (tensor<4x4xf32>) -> ()
+  }) : (index, tensor<4x4xf32>) -> (tensor<4x4xf32>)
+  "cim.release"(%0) : (index) -> ()
+  "func.return"(%1) : (tensor<4x4xf32>) -> ()
+}) {sym_name = "f"} : () -> ()
+"#;
+        let m = parse_module(src).expect("parse");
+        let func = m.lookup_symbol("f").unwrap();
+        let all = m.walk(func);
+        assert_eq!(all.len(), 7); // func + 4 outer + 2 inner
+        let printed = print_module(&m);
+        assert!(printed.contains("\"cim.execute\""));
+        let m2 = parse_module(&printed).expect("reparse");
+        assert_eq!(print_module(&m2), printed);
+    }
+
+    #[test]
+    fn parses_comments_and_whitespace() {
+        let src = r#"
+// leading comment
+"test.op"() : () -> () // trailing comment
+// done
+"#;
+        let m = parse_module(src).expect("parse");
+        assert_eq!(m.top_level_ops().len(), 1);
+    }
+
+    #[test]
+    fn parses_cam_handle_types() {
+        let src = r#"
+%0 = "cam.alloc_bank"() : () -> (!cam.bank_id)
+%1 = "cam.alloc_mat"(%0) : (!cam.bank_id) -> (!cam.mat_id)
+"#;
+        let m = parse_module(src).expect("parse");
+        let ops = m.top_level_ops();
+        assert_eq!(ops.len(), 2);
+        match m.kind(m.value_type(m.result(ops[1], 0))) {
+            TypeKind::CamHandle(level) => assert_eq!(*level, CamLevel::Mat),
+            other => panic!("expected cam handle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_positions_are_line_accurate() {
+        let src = "\n\n  \"test.op\"(%x9) : (i32) -> ()";
+        let err = parse_module(src).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

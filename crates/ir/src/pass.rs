@@ -1,0 +1,233 @@
+//! Pass management: named module transformations composed into pipelines.
+//!
+//! [`PassManager`] runs passes in order, optionally verifying the module
+//! after each one (catching miscompiles at the pass boundary, like MLIR's
+//! `-verify-each`) and recording wall-clock timing per pass.
+
+use crate::module::Module;
+use crate::verify::{verify_module, DialectRegistry};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Failure while running a pass pipeline.
+#[derive(Debug, Clone)]
+pub struct PassError {
+    /// Pass that failed.
+    pub pass: String,
+    /// Failure description.
+    pub message: String,
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass '{}' failed: {}", self.pass, self.message)
+    }
+}
+
+impl Error for PassError {}
+
+impl PassError {
+    /// Construct a pass error.
+    pub fn new(pass: &str, message: impl Into<String>) -> PassError {
+        PassError {
+            pass: pass.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+/// A named module-level transformation.
+pub trait Pass {
+    /// Unique pass name (used in diagnostics and timing reports).
+    fn name(&self) -> &'static str;
+
+    /// Transform the module in place.
+    ///
+    /// # Errors
+    /// Returns a [`PassError`] if the input IR violates the pass's
+    /// preconditions or an internal rewrite fails.
+    fn run(&self, m: &mut Module) -> Result<(), PassError>;
+}
+
+/// Wall-clock timing record for one executed pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassTiming {
+    /// Pass name.
+    pub name: &'static str,
+    /// Execution time in microseconds.
+    pub micros: u128,
+}
+
+/// Ordered pipeline of passes.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each: Option<Arc<DialectRegistry>>,
+    timings: Vec<PassTiming>,
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
+            .field("verify_each", &self.verify_each.is_some())
+            .finish()
+    }
+}
+
+impl PassManager {
+    /// Empty pipeline.
+    pub fn new() -> PassManager {
+        PassManager::default()
+    }
+
+    /// Append a pass.
+    pub fn add(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Verify the module against `registry` after every pass.
+    pub fn verify_each(&mut self, registry: Arc<DialectRegistry>) -> &mut Self {
+        self.verify_each = Some(registry);
+        self
+    }
+
+    /// Names of the scheduled passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Timing records of the most recent [`PassManager::run`].
+    pub fn timings(&self) -> &[PassTiming] {
+        &self.timings
+    }
+
+    /// Run all passes in order.
+    ///
+    /// # Errors
+    /// Stops at (and returns) the first pass failure or post-pass
+    /// verification failure.
+    pub fn run(&mut self, m: &mut Module) -> Result<(), PassError> {
+        self.timings.clear();
+        for pass in &self.passes {
+            let start = Instant::now();
+            pass.run(m)?;
+            self.timings.push(PassTiming {
+                name: pass.name(),
+                micros: start.elapsed().as_micros(),
+            });
+            if let Some(registry) = &self.verify_each {
+                verify_module(m, registry)
+                    .map_err(|e| PassError::new(pass.name(), format!("post-pass verify: {e}")))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_func, OpBuilder};
+    use crate::module::Module;
+
+    /// Renames every `t.old` op to `t.new`.
+    struct RenamePass;
+
+    impl Pass for RenamePass {
+        fn name(&self) -> &'static str {
+            "rename-old-to-new"
+        }
+
+        fn run(&self, m: &mut Module) -> Result<(), PassError> {
+            for op in m.walk_all() {
+                if m.op(op).name == "t.old" {
+                    m.op_mut(op).name = "t.new".to_string();
+                }
+            }
+            Ok(())
+        }
+    }
+
+    /// Always fails.
+    struct FailPass;
+
+    impl Pass for FailPass {
+        fn name(&self) -> &'static str {
+            "fail"
+        }
+
+        fn run(&self, _m: &mut Module) -> Result<(), PassError> {
+            Err(PassError::new("fail", "intentional"))
+        }
+    }
+
+    fn module_with_old_op() -> Module {
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("t.old", &[], &[], vec![]);
+        m
+    }
+
+    #[test]
+    fn pipeline_runs_in_order_and_times() {
+        let mut m = module_with_old_op();
+        let mut pm = PassManager::new();
+        pm.add(Box::new(RenamePass));
+        pm.run(&mut m).unwrap();
+        assert_eq!(pm.timings().len(), 1);
+        assert_eq!(pm.timings()[0].name, "rename-old-to-new");
+        let names: Vec<String> = m.walk_all().iter().map(|&o| m.op(o).name.clone()).collect();
+        assert!(names.contains(&"t.new".to_string()));
+    }
+
+    #[test]
+    fn pipeline_stops_on_failure() {
+        let mut m = module_with_old_op();
+        let mut pm = PassManager::new();
+        pm.add(Box::new(FailPass)).add(Box::new(RenamePass));
+        let e = pm.run(&mut m).unwrap_err();
+        assert_eq!(e.pass, "fail");
+        // RenamePass never ran.
+        let names: Vec<String> = m.walk_all().iter().map(|&o| m.op(o).name.clone()).collect();
+        assert!(names.contains(&"t.old".to_string()));
+    }
+
+    #[test]
+    fn verify_each_catches_bad_pass_output() {
+        /// Pass that leaves an op with a dangling operand.
+        struct CorruptPass;
+        impl Pass for CorruptPass {
+            fn name(&self) -> &'static str {
+                "corrupt"
+            }
+            fn run(&self, m: &mut Module) -> Result<(), PassError> {
+                let f32t = m.f32_ty();
+                let (_, entry) = build_func(m, "g", &[f32t], &[]);
+                let arg = m.block(entry).args[0];
+                let mut b = OpBuilder::at_end(m, entry);
+                let tmp = b.op("t.tmp", &[], &[f32t], vec![]);
+                let res = m.result(tmp, 0);
+                let mut b = OpBuilder::at_end(m, entry);
+                b.op("t.use", &[res, arg], &[], vec![]);
+                m.erase_op(tmp); // leaves t.use with an erased operand
+                Ok(())
+            }
+        }
+        let mut m = Module::new();
+        let mut registry = DialectRegistry::new();
+        registry.allow_unregistered = true;
+        let mut pm = PassManager::new();
+        pm.add(Box::new(CorruptPass))
+            .verify_each(Arc::new(registry));
+        let e = pm.run(&mut m).unwrap_err();
+        assert!(e.message.contains("post-pass verify"), "{e}");
+    }
+}

@@ -1,0 +1,425 @@
+//! Textual printer for the IR (MLIR-style generic form).
+//!
+//! Output round-trips through [`crate::parse::parse_module`]. Every op is
+//! printed in the generic form:
+//!
+//! ```text
+//! %0 = "torch.transpose"(%a0) {dims = [-2, -1]} : (tensor<10x8192xf32>) -> tensor<8192x10xf32>
+//! ```
+//!
+//! Results are named `%N`, block arguments `%aN`; both counters are global
+//! to the printed module so names are unique everywhere.
+
+use crate::attr::{Attribute, DenseData};
+use crate::module::{BlockId, Module, OpId, ValueId};
+use crate::types::{Type, TypeKind, DYNAMIC_DIM};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Render a type (`tensor<10x8192xf32>`, `!cam.bank_id`, ...).
+pub fn print_type(m: &Module, ty: Type) -> String {
+    let mut s = String::new();
+    write_type(m, ty, &mut s);
+    s
+}
+
+fn write_type(m: &Module, ty: Type, out: &mut String) {
+    match m.kind(ty) {
+        TypeKind::Integer { width } => {
+            let _ = write!(out, "i{width}");
+        }
+        TypeKind::Float { width } => {
+            let _ = write!(out, "f{width}");
+        }
+        TypeKind::Index => out.push_str("index"),
+        TypeKind::None => out.push_str("none"),
+        TypeKind::RankedTensor { shape, elem } => {
+            out.push_str("tensor<");
+            write_shape(m, shape, *elem, out);
+            out.push('>');
+        }
+        TypeKind::MemRef { shape, elem } => {
+            out.push_str("memref<");
+            write_shape(m, shape, *elem, out);
+            out.push('>');
+        }
+        TypeKind::Function { inputs, results } => {
+            out.push('(');
+            for (i, t) in inputs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_type(m, *t, out);
+            }
+            out.push_str(") -> ");
+            if results.len() == 1 {
+                write_type(m, results[0], out);
+            } else {
+                out.push('(');
+                for (i, t) in results.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_type(m, *t, out);
+                }
+                out.push(')');
+            }
+        }
+        TypeKind::CamHandle(level) => {
+            let _ = write!(out, "!cam.{}", level.keyword());
+        }
+    }
+}
+
+fn write_shape(m: &Module, shape: &[i64], elem: Type, out: &mut String) {
+    for &d in shape {
+        if d == DYNAMIC_DIM {
+            out.push('?');
+        } else {
+            let _ = write!(out, "{d}");
+        }
+        out.push('x');
+    }
+    write_type(m, elem, out);
+}
+
+/// Render an attribute value.
+pub fn print_attr(m: &Module, attr: &Attribute) -> String {
+    let mut s = String::new();
+    write_attr(m, attr, &mut s);
+    s
+}
+
+fn write_attr(m: &Module, attr: &Attribute, out: &mut String) {
+    match attr {
+        Attribute::Unit => out.push_str("unit"),
+        Attribute::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Attribute::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Attribute::Float(v) => write_float(*v, out),
+        Attribute::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    _ => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Attribute::TypeAttr(t) => write_type(m, *t, out),
+        Attribute::Array(items) => {
+            out.push('[');
+            for (i, a) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_attr(m, a, out);
+            }
+            out.push(']');
+        }
+        Attribute::Dense { shape, data } => {
+            out.push_str("dense<");
+            match data {
+                DenseData::F32(_) => out.push_str("f32"),
+                DenseData::I64(_) => out.push_str("i64"),
+            }
+            out.push_str(", [");
+            for (i, &d) in shape.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{d}");
+            }
+            out.push_str("], [");
+            match data {
+                DenseData::F32(v) => {
+                    for (i, x) in v.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        write_float(*x as f64, out);
+                    }
+                }
+                DenseData::I64(v) => {
+                    for (i, x) in v.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "{x}");
+                    }
+                }
+            }
+            out.push_str("]>");
+        }
+    }
+}
+
+fn write_float(v: f64, out: &mut String) {
+    if v.is_nan() {
+        out.push_str("nan");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "inf" } else { "-inf" });
+    } else {
+        // `{:?}` always includes a '.' or exponent, which keeps floats
+        // distinguishable from integers when parsing back.
+        let _ = write!(out, "{v:?}");
+    }
+}
+
+/// Printer state: value-name assignment.
+struct Printer<'m> {
+    m: &'m Module,
+    names: HashMap<ValueId, String>,
+    next_result: usize,
+    next_arg: usize,
+    out: String,
+}
+
+impl<'m> Printer<'m> {
+    fn new(m: &'m Module) -> Self {
+        Printer {
+            m,
+            names: HashMap::new(),
+            next_result: 0,
+            next_arg: 0,
+            out: String::new(),
+        }
+    }
+
+    fn name_of(&mut self, v: ValueId) -> String {
+        if let Some(n) = self.names.get(&v) {
+            return n.clone();
+        }
+        // Operand printed before its definition was encountered (e.g. when
+        // printing a detached snippet): synthesize a unique placeholder.
+        let n = format!("%u{}", v.index());
+        self.names.insert(v, n.clone());
+        n
+    }
+
+    fn assign_result_name(&mut self, v: ValueId) -> String {
+        let n = format!("%{}", self.next_result);
+        self.next_result += 1;
+        self.names.insert(v, n.clone());
+        n
+    }
+
+    fn assign_arg_name(&mut self, v: ValueId) -> String {
+        let n = format!("%a{}", self.next_arg);
+        self.next_arg += 1;
+        self.names.insert(v, n.clone());
+        n
+    }
+
+    fn indent(&mut self, depth: usize) {
+        for _ in 0..depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn print_op(&mut self, op: OpId, depth: usize) {
+        self.indent(depth);
+        let data = self.m.op(op);
+        let results = data.results.clone();
+        let operands = data.operands.clone();
+        let name = data.name.clone();
+        let nregions = data.regions.len();
+
+        if !results.is_empty() {
+            let names: Vec<String> = results
+                .iter()
+                .map(|&r| self.assign_result_name(r))
+                .collect();
+            self.out.push_str(&names.join(", "));
+            self.out.push_str(" = ");
+        }
+        let _ = write!(self.out, "\"{name}\"(");
+        let opnames: Vec<String> = operands.iter().map(|&o| self.name_of(o)).collect();
+        self.out.push_str(&opnames.join(", "));
+        self.out.push(')');
+
+        if nregions > 0 {
+            self.out.push_str(" (");
+            for r in 0..nregions {
+                if r > 0 {
+                    self.out.push_str(", ");
+                }
+                self.out.push_str("{\n");
+                let blocks = self.m.op(op).regions[r].clone();
+                for b in blocks {
+                    self.print_block(b, depth + 1);
+                }
+                self.indent(depth);
+                self.out.push('}');
+            }
+            self.out.push(')');
+        }
+
+        let attrs = self.m.op(op).attrs.clone();
+        if !attrs.is_empty() {
+            self.out.push_str(" {");
+            let mut first = true;
+            for (k, v) in &attrs {
+                if !first {
+                    self.out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(self.out, "{k} = ");
+                let mut s = String::new();
+                write_attr(self.m, v, &mut s);
+                self.out.push_str(&s);
+            }
+            self.out.push('}');
+        }
+
+        // Trailing function-type signature.
+        self.out.push_str(" : (");
+        let operand_tys: Vec<String> = operands
+            .iter()
+            .map(|&o| print_type(self.m, self.m.value_type(o)))
+            .collect();
+        self.out.push_str(&operand_tys.join(", "));
+        self.out.push_str(") -> (");
+        let result_tys: Vec<String> = results
+            .iter()
+            .map(|&r| print_type(self.m, self.m.value_type(r)))
+            .collect();
+        self.out.push_str(&result_tys.join(", "));
+        self.out.push_str(")\n");
+    }
+
+    fn print_block(&mut self, b: BlockId, depth: usize) {
+        let args = self.m.block(b).args.clone();
+        self.indent(depth);
+        self.out.push_str("^bb(");
+        let parts: Vec<String> = args
+            .iter()
+            .map(|&a| {
+                let n = self.assign_arg_name(a);
+                format!("{}: {}", n, print_type(self.m, self.m.value_type(a)))
+            })
+            .collect();
+        self.out.push_str(&parts.join(", "));
+        self.out.push_str("):\n");
+        for op in self.m.block(b).ops.clone() {
+            self.print_op(op, depth + 1);
+        }
+    }
+}
+
+/// Print the whole module (all top-level ops).
+pub fn print_module(m: &Module) -> String {
+    let mut p = Printer::new(m);
+    for op in m.top_level_ops() {
+        p.print_op(op, 0);
+    }
+    p.out
+}
+
+/// Print a single op (and its nested regions).
+///
+/// Out-of-scope operands are shown as `%uN` placeholders.
+pub fn print_op(m: &Module, op: OpId) -> String {
+    let mut p = Printer::new(m);
+    p.print_op(op, 0);
+    p.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_func, OpBuilder};
+    use crate::module::Module;
+
+    #[test]
+    fn type_printing_covers_all_kinds() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let i64t = m.i64_ty();
+        assert_eq!(print_type(&m, f32t), "f32");
+        assert_eq!(print_type(&m, i64t), "i64");
+        let idx = m.index_ty();
+        assert_eq!(print_type(&m, idx), "index");
+        let t = m.tensor_ty(&[10, 8192], f32t);
+        assert_eq!(print_type(&m, t), "tensor<10x8192xf32>");
+        let mr = m.memref_ty(&[10, 1], f32t);
+        assert_eq!(print_type(&m, mr), "memref<10x1xf32>");
+        let dynt = m.tensor_ty(&[DYNAMIC_DIM, 4], f32t);
+        assert_eq!(print_type(&m, dynt), "tensor<?x4xf32>");
+        let fty = m.func_ty(&[t], &[t, t]);
+        assert_eq!(
+            print_type(&m, fty),
+            "(tensor<10x8192xf32>) -> (tensor<10x8192xf32>, tensor<10x8192xf32>)"
+        );
+        let single = m.func_ty(&[i64t], &[i64t]);
+        assert_eq!(print_type(&m, single), "(i64) -> i64");
+        let cam = m.cam_ty(crate::types::CamLevel::Subarray);
+        assert_eq!(print_type(&m, cam), "!cam.subarray_id");
+    }
+
+    #[test]
+    fn attr_printing_is_deterministic() {
+        let m = Module::new();
+        assert_eq!(print_attr(&m, &Attribute::Int(-3)), "-3");
+        assert_eq!(print_attr(&m, &Attribute::Float(1.0)), "1.0");
+        assert_eq!(print_attr(&m, &Attribute::Bool(true)), "true");
+        assert_eq!(print_attr(&m, &Attribute::Unit), "unit");
+        assert_eq!(
+            print_attr(&m, &Attribute::Str("a\"b\\c".into())),
+            "\"a\\\"b\\\\c\""
+        );
+        let arr = Attribute::Array(vec![Attribute::Int(1), Attribute::Float(2.5)]);
+        assert_eq!(print_attr(&m, &arr), "[1, 2.5]");
+        let dense = Attribute::dense_f32(vec![2], vec![1.0, 2.0]);
+        assert_eq!(print_attr(&m, &dense), "dense<f32, [2], [1.0, 2.0]>");
+    }
+
+    #[test]
+    fn module_printing_produces_generic_form() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let t = m.tensor_ty(&[4, 4], f32t);
+        let (_, entry) = build_func(&mut m, "f", &[t], &[t]);
+        let arg = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let tr = b.op(
+            "torch.transpose",
+            &[arg],
+            &[t],
+            vec![("dim0", Attribute::Int(-2)), ("dim1", Attribute::Int(-1))],
+        );
+        let tr_res = m.result(tr, 0);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[tr_res], &[], vec![]);
+        let text = print_module(&m);
+        assert!(text.contains("\"func.func\"()"), "{text}");
+        assert!(text.contains("^bb(%a0: tensor<4x4xf32>):"), "{text}");
+        assert!(
+            text.contains(
+                "%0 = \"torch.transpose\"(%a0) {dim0 = -2, dim1 = -1} : (tensor<4x4xf32>) -> (tensor<4x4xf32>)"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"func.return\"(%0) : (tensor<4x4xf32>) -> ()"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn float_printing_keeps_decimal_marker() {
+        let mut s = String::new();
+        write_float(3.0, &mut s);
+        assert_eq!(s, "3.0");
+        let mut s = String::new();
+        write_float(0.0015, &mut s);
+        assert!(s.contains('.') || s.contains('e'), "{s}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Pattern-rewrite infrastructure: the greedy driver used by the
+//! conversion and optimization passes.
+//!
+//! A [`RewritePattern`] inspects one operation and either leaves it alone
+//! or mutates the module around it. [`apply_patterns_greedily`] repeatedly
+//! sweeps the IR until no pattern fires (fixpoint) or an iteration cap is
+//! hit — the same worklist discipline as MLIR's greedy driver, minus the
+//! worklist (module sizes here make whole-module sweeps cheap).
+
+use crate::module::{Module, OpId};
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by a pattern that matched but failed to apply.
+#[derive(Debug, Clone)]
+pub struct RewriteError {
+    /// Pattern that failed.
+    pub pattern: String,
+    /// Failure description.
+    pub message: String,
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rewrite '{}' failed: {}", self.pattern, self.message)
+    }
+}
+
+impl Error for RewriteError {}
+
+/// Outcome of a pattern application attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchResult {
+    /// The pattern did not apply to this op.
+    NoMatch,
+    /// The pattern rewrote the IR.
+    Changed,
+}
+
+/// One rewriting rule.
+pub trait RewritePattern {
+    /// Diagnostic name of the pattern.
+    fn name(&self) -> &str;
+
+    /// Try to match `op` and rewrite it.
+    ///
+    /// # Errors
+    /// Implementations should return [`RewriteError`] only for *malformed*
+    /// matches (IR that matched the trigger but violates the pattern's
+    /// assumptions) — plain non-matches are `Ok(NoMatch)`.
+    fn match_and_rewrite(&self, m: &mut Module, op: OpId) -> Result<MatchResult, RewriteError>;
+}
+
+/// Statistics from a greedy application run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Number of successful pattern applications.
+    pub applications: usize,
+    /// Number of full sweeps performed.
+    pub sweeps: usize,
+    /// Whether a fixpoint was reached (false = iteration cap hit).
+    pub converged: bool,
+}
+
+/// Apply `patterns` to every op in the module until fixpoint.
+///
+/// Ops are visited in pre-order; after any rewrite the sweep restarts so
+/// patterns always observe consistent IR. The iteration cap guards against
+/// non-terminating pattern sets.
+///
+/// # Errors
+/// Propagates the first [`RewriteError`] raised by a pattern.
+pub fn apply_patterns_greedily(
+    m: &mut Module,
+    patterns: &[Box<dyn RewritePattern>],
+    max_sweeps: usize,
+) -> Result<RewriteStats, RewriteError> {
+    let mut stats = RewriteStats::default();
+    'outer: for _ in 0..max_sweeps {
+        stats.sweeps += 1;
+        let ops = m.walk_all();
+        for op in ops {
+            if !m.is_live_op(op) {
+                continue; // erased by an earlier rewrite in this sweep
+            }
+            for p in patterns {
+                match p.match_and_rewrite(m, op)? {
+                    MatchResult::NoMatch => {}
+                    MatchResult::Changed => {
+                        stats.applications += 1;
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        stats.converged = true;
+        return Ok(stats);
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_func, OpBuilder};
+    use crate::module::Module;
+
+    /// Rewrites `t.double(x)` into `t.add(x, x)`.
+    struct DoubleToAdd;
+
+    impl RewritePattern for DoubleToAdd {
+        fn name(&self) -> &str {
+            "double-to-add"
+        }
+
+        fn match_and_rewrite(
+            &self,
+            m: &mut Module,
+            op: OpId,
+        ) -> Result<MatchResult, RewriteError> {
+            if m.op(op).name != "t.double" {
+                return Ok(MatchResult::NoMatch);
+            }
+            let x = m.operand(op, 0);
+            let ty = m.value_type(m.result(op, 0));
+            let mut b = OpBuilder::before(m, op);
+            let add = b.op("t.add", &[x, x], &[ty], vec![]);
+            let new_res = m.result(add, 0);
+            let old_res = m.result(op, 0);
+            m.replace_all_uses(old_res, new_res);
+            m.erase_op(op);
+            Ok(MatchResult::Changed)
+        }
+    }
+
+    /// Erases `t.add` whose operands are equal — used to test chaining.
+    struct FoldSelfAdd;
+
+    impl RewritePattern for FoldSelfAdd {
+        fn name(&self) -> &str {
+            "fold-self-add"
+        }
+
+        fn match_and_rewrite(
+            &self,
+            m: &mut Module,
+            op: OpId,
+        ) -> Result<MatchResult, RewriteError> {
+            let data = m.op(op);
+            if data.name != "t.add" || data.operands[0] != data.operands[1] {
+                return Ok(MatchResult::NoMatch);
+            }
+            let x = m.operand(op, 0);
+            let ty = m.value_type(m.result(op, 0));
+            let mut b = OpBuilder::before(m, op);
+            let mul = b.op("t.scale2", &[x], &[ty], vec![]);
+            let new_res = m.result(mul, 0);
+            let old_res = m.result(op, 0);
+            m.replace_all_uses(old_res, new_res);
+            m.erase_op(op);
+            Ok(MatchResult::Changed)
+        }
+    }
+
+    fn setup() -> (Module, crate::module::BlockId) {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let (_, entry) = build_func(&mut m, "f", &[f32t], &[f32t]);
+        (m, entry)
+    }
+
+    #[test]
+    fn single_pattern_rewrites_all_occurrences() {
+        let (mut m, entry) = setup();
+        let f32t = m.f32_ty();
+        let arg = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let d1 = b.op("t.double", &[arg], &[f32t], vec![]);
+        let r1 = m.result(d1, 0);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let d2 = b.op("t.double", &[r1], &[f32t], vec![]);
+        let r2 = m.result(d2, 0);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[r2], &[], vec![]);
+
+        let patterns: Vec<Box<dyn RewritePattern>> = vec![Box::new(DoubleToAdd)];
+        let stats = apply_patterns_greedily(&mut m, &patterns, 100).unwrap();
+        assert_eq!(stats.applications, 2);
+        assert!(stats.converged);
+        let names: Vec<String> = m
+            .block(entry)
+            .ops
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
+        assert_eq!(names, vec!["t.add", "t.add", "func.return"]);
+    }
+
+    #[test]
+    fn patterns_chain_to_fixpoint() {
+        let (mut m, entry) = setup();
+        let f32t = m.f32_ty();
+        let arg = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let d = b.op("t.double", &[arg], &[f32t], vec![]);
+        let r = m.result(d, 0);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[r], &[], vec![]);
+
+        let patterns: Vec<Box<dyn RewritePattern>> =
+            vec![Box::new(DoubleToAdd), Box::new(FoldSelfAdd)];
+        let stats = apply_patterns_greedily(&mut m, &patterns, 100).unwrap();
+        assert_eq!(stats.applications, 2); // double→add, add→scale2
+        let names: Vec<String> = m
+            .block(entry)
+            .ops
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
+        assert_eq!(names, vec!["t.scale2", "func.return"]);
+    }
+
+    #[test]
+    fn iteration_cap_stops_runaway_patterns() {
+        /// Always rewrites t.spin → t.spin (never converges).
+        struct Spin;
+        impl RewritePattern for Spin {
+            fn name(&self) -> &str {
+                "spin"
+            }
+            fn match_and_rewrite(
+                &self,
+                m: &mut Module,
+                op: OpId,
+            ) -> Result<MatchResult, RewriteError> {
+                if m.op(op).name != "t.spin" {
+                    return Ok(MatchResult::NoMatch);
+                }
+                let ty = m.value_type(m.result(op, 0));
+                let mut b = OpBuilder::before(m, op);
+                let new = b.op("t.spin", &[], &[ty], vec![]);
+                let new_res = m.result(new, 0);
+                let old_res = m.result(op, 0);
+                m.replace_all_uses(old_res, new_res);
+                m.erase_op(op);
+                Ok(MatchResult::Changed)
+            }
+        }
+        let (mut m, entry) = setup();
+        let f32t = m.f32_ty();
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("t.spin", &[], &[f32t], vec![]);
+        let patterns: Vec<Box<dyn RewritePattern>> = vec![Box::new(Spin)];
+        let stats = apply_patterns_greedily(&mut m, &patterns, 7).unwrap();
+        assert!(!stats.converged);
+        assert_eq!(stats.sweeps, 7);
+    }
+}

@@ -1,0 +1,506 @@
+//! IR verification: structural invariants plus per-op checks contributed
+//! by dialects through a [`DialectRegistry`].
+//!
+//! Structural checks (always on):
+//! * every operand refers to a live value,
+//! * operands are *visible*: defined earlier in the same block, or a block
+//!   argument / earlier-defined value of an enclosing block (the
+//!   single-block dominance rule the C4CAM dialects rely on),
+//! * registered terminators appear only as the last op of a block,
+//! * ops that require a terminator end with one.
+//!
+//! Dialects register [`OpSpec`]s which add arity/region constraints and a
+//! custom semantic verifier per op.
+
+use crate::module::{BlockId, Module, OpId, ValueId};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure, op-attributed when possible.
+#[derive(Debug, Clone)]
+pub struct VerifyError {
+    /// Offending op name, if known.
+    pub op_name: Option<String>,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.op_name {
+            Some(op) => write!(f, "verification failed on '{}': {}", op, self.message),
+            None => write!(f, "verification failed: {}", self.message),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Constraint on the number of operands/results/regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arity {
+    /// Exactly `n`.
+    Exact(usize),
+    /// At least `n`.
+    AtLeast(usize),
+    /// Anything.
+    Any,
+}
+
+impl Arity {
+    fn check(&self, actual: usize) -> bool {
+        match self {
+            Arity::Exact(n) => actual == *n,
+            Arity::AtLeast(n) => actual >= *n,
+            Arity::Any => true,
+        }
+    }
+}
+
+/// Custom semantic verifier callback.
+pub type VerifyFn = fn(&Module, OpId) -> Result<(), String>;
+
+/// Registered description of one operation.
+#[derive(Debug, Clone)]
+pub struct OpSpec {
+    /// Fully qualified op name (`"cim.execute"`).
+    pub name: &'static str,
+    /// One-line summary for diagnostics and docs.
+    pub summary: &'static str,
+    /// Operand count constraint.
+    pub operands: Arity,
+    /// Result count constraint.
+    pub results: Arity,
+    /// Region count constraint.
+    pub regions: Arity,
+    /// Whether the op terminates a block.
+    pub is_terminator: bool,
+    /// Whether each region of this op must end in a terminator.
+    pub requires_terminator: bool,
+    /// Optional semantic verifier.
+    pub verify: Option<VerifyFn>,
+}
+
+impl OpSpec {
+    /// Spec with no constraints — a starting point for builders.
+    pub fn new(name: &'static str, summary: &'static str) -> OpSpec {
+        OpSpec {
+            name,
+            summary,
+            operands: Arity::Any,
+            results: Arity::Any,
+            regions: Arity::Exact(0),
+            is_terminator: false,
+            requires_terminator: false,
+            verify: None,
+        }
+    }
+
+    /// Set the operand arity.
+    pub fn operands(mut self, a: Arity) -> Self {
+        self.operands = a;
+        self
+    }
+
+    /// Set the result arity.
+    pub fn results(mut self, a: Arity) -> Self {
+        self.results = a;
+        self
+    }
+
+    /// Set the region arity.
+    pub fn regions(mut self, a: Arity) -> Self {
+        self.regions = a;
+        self
+    }
+
+    /// Mark the op as a block terminator.
+    pub fn terminator(mut self) -> Self {
+        self.is_terminator = true;
+        self
+    }
+
+    /// Require each region's blocks to end with a terminator.
+    pub fn requires_terminator(mut self) -> Self {
+        self.requires_terminator = true;
+        self
+    }
+
+    /// Attach a semantic verifier.
+    pub fn verifier(mut self, f: VerifyFn) -> Self {
+        self.verify = Some(f);
+        self
+    }
+}
+
+/// Registry of op specs, usually one per compiler configuration.
+#[derive(Debug, Clone, Default)]
+pub struct DialectRegistry {
+    specs: HashMap<&'static str, OpSpec>,
+    /// When false, ops without a spec are verification errors.
+    pub allow_unregistered: bool,
+}
+
+impl DialectRegistry {
+    /// Empty registry rejecting unregistered ops.
+    pub fn new() -> DialectRegistry {
+        DialectRegistry {
+            specs: HashMap::new(),
+            allow_unregistered: false,
+        }
+    }
+
+    /// Register a spec (last registration wins).
+    pub fn register(&mut self, spec: OpSpec) {
+        self.specs.insert(spec.name, spec);
+    }
+
+    /// Look up the spec for an op name.
+    pub fn spec(&self, name: &str) -> Option<&OpSpec> {
+        self.specs.get(name)
+    }
+
+    /// Number of registered ops.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Names of all registered ops, sorted (for docs/tests).
+    pub fn op_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<_> = self.specs.keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// Verify the whole module against `registry`.
+///
+/// # Errors
+/// Returns the first violation found (deterministic order: pre-order walk).
+pub fn verify_module(m: &Module, registry: &DialectRegistry) -> Result<(), VerifyError> {
+    let mut visible: HashSet<ValueId> = HashSet::new();
+    for op in m.top_level_ops() {
+        verify_op(m, registry, op, &mut visible)?;
+    }
+    Ok(())
+}
+
+fn err(m: &Module, op: OpId, message: String) -> VerifyError {
+    VerifyError {
+        op_name: Some(m.op(op).name.clone()),
+        message,
+    }
+}
+
+fn verify_op(
+    m: &Module,
+    registry: &DialectRegistry,
+    op: OpId,
+    visible: &mut HashSet<ValueId>,
+) -> Result<(), VerifyError> {
+    let data = m.op(op);
+
+    // Operand liveness + visibility.
+    for (i, &operand) in data.operands.iter().enumerate() {
+        if !m.is_live_value(operand) {
+            return Err(err(m, op, format!("operand {i} refers to an erased value")));
+        }
+        if !visible.contains(&operand) {
+            return Err(err(
+                m,
+                op,
+                format!("operand {i} is not visible at this point (use before def?)"),
+            ));
+        }
+    }
+
+    // Spec checks.
+    if let Some(spec) = registry.spec(&data.name) {
+        if !spec.operands.check(data.operands.len()) {
+            return Err(err(
+                m,
+                op,
+                format!(
+                    "expected {:?} operands, found {}",
+                    spec.operands,
+                    data.operands.len()
+                ),
+            ));
+        }
+        if !spec.results.check(data.results.len()) {
+            return Err(err(
+                m,
+                op,
+                format!(
+                    "expected {:?} results, found {}",
+                    spec.results,
+                    data.results.len()
+                ),
+            ));
+        }
+        if !spec.regions.check(data.regions.len()) {
+            return Err(err(
+                m,
+                op,
+                format!(
+                    "expected {:?} regions, found {}",
+                    spec.regions,
+                    data.regions.len()
+                ),
+            ));
+        }
+        if let Some(f) = spec.verify {
+            f(m, op).map_err(|message| err(m, op, message))?;
+        }
+    } else if !registry.allow_unregistered {
+        return Err(err(m, op, "op is not registered in any dialect".into()));
+    }
+
+    // Results become visible after the op itself (no self-reference).
+    for &r in &data.results {
+        visible.insert(r);
+    }
+
+    // Recurse into regions.
+    let requires_terminator = registry
+        .spec(&data.name)
+        .map(|s| s.requires_terminator)
+        .unwrap_or(false);
+    for region in &data.regions {
+        for &block in region {
+            verify_block(m, registry, op, block, visible, requires_terminator)?;
+        }
+    }
+    Ok(())
+}
+
+fn verify_block(
+    m: &Module,
+    registry: &DialectRegistry,
+    parent_op: OpId,
+    block: BlockId,
+    visible: &mut HashSet<ValueId>,
+    requires_terminator: bool,
+) -> Result<(), VerifyError> {
+    let block_data = m.block(block);
+    let newly_visible: Vec<ValueId> = block_data.args.clone();
+    for &a in &newly_visible {
+        visible.insert(a);
+    }
+    let ops = block_data.ops.clone();
+    for (i, &inner) in ops.iter().enumerate() {
+        // Consistency of parent pointers.
+        if m.op(inner).parent != Some(block) {
+            return Err(err(
+                m,
+                inner,
+                "op's parent pointer disagrees with containing block".into(),
+            ));
+        }
+        if let Some(spec) = registry.spec(&m.op(inner).name) {
+            if spec.is_terminator && i + 1 != ops.len() {
+                return Err(err(
+                    m,
+                    inner,
+                    "terminator op is not the last op of its block".into(),
+                ));
+            }
+        }
+        verify_op(m, registry, inner, visible)?;
+    }
+    if requires_terminator {
+        match ops.last() {
+            None => {
+                return Err(err(
+                    m,
+                    parent_op,
+                    "region block must end with a terminator but is empty".into(),
+                ))
+            }
+            Some(&last) => {
+                let is_term = registry
+                    .spec(&m.op(last).name)
+                    .map(|s| s.is_terminator)
+                    .unwrap_or(false);
+                if !is_term {
+                    return Err(err(
+                        m,
+                        last,
+                        "region block must end with a terminator".into(),
+                    ));
+                }
+            }
+        }
+    }
+    // Values defined in this block go out of scope at block end (values of
+    // enclosing blocks stay visible — classic scoped SSA).
+    for &a in &newly_visible {
+        visible.remove(&a);
+    }
+    let ops = m.block(block).ops.clone();
+    for op in ops {
+        for &r in &m.op(op).results {
+            visible.remove(&r);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_func, OpBuilder};
+    use crate::module::Module;
+
+    fn relaxed() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        r.allow_unregistered = true;
+        r
+    }
+
+    #[test]
+    fn accepts_well_formed_ir() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let (_, entry) = build_func(&mut m, "f", &[f32t], &[f32t]);
+        let arg = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let add = b.op("arith.addf", &[arg, arg], &[f32t], vec![]);
+        let res = m.result(add, 0);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[res], &[], vec![]);
+        verify_module(&m, &relaxed()).expect("should verify");
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let (_, entry) = build_func(&mut m, "f", &[f32t], &[f32t]);
+        let arg = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let add = b.op("arith.addf", &[arg, arg], &[f32t], vec![]);
+        let res = m.result(add, 0);
+        // Insert a user *before* the definition.
+        let mut b = OpBuilder::at(&mut m, entry, 0);
+        b.op("arith.negf", &[res], &[f32t], vec![]);
+        let e = verify_module(&m, &relaxed()).unwrap_err();
+        assert!(e.message.contains("not visible"), "{e}");
+    }
+
+    #[test]
+    fn rejects_erased_operand() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let (_, entry) = build_func(&mut m, "f", &[f32t], &[f32t]);
+        let arg = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let add = b.op("arith.addf", &[arg, arg], &[f32t], vec![]);
+        let res = m.result(add, 0);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("arith.negf", &[res], &[f32t], vec![]);
+        m.erase_op(add);
+        let e = verify_module(&m, &relaxed()).unwrap_err();
+        assert!(e.message.contains("erased value"), "{e}");
+    }
+
+    #[test]
+    fn enforces_registered_arity() {
+        let mut reg = relaxed();
+        reg.register(
+            OpSpec::new("t.binary", "binary op")
+                .operands(Arity::Exact(2))
+                .results(Arity::Exact(1)),
+        );
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let (_, entry) = build_func(&mut m, "f", &[f32t], &[f32t]);
+        let arg = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("t.binary", &[arg], &[f32t], vec![]);
+        let e = verify_module(&m, &reg).unwrap_err();
+        assert!(e.message.contains("operands"), "{e}");
+    }
+
+    #[test]
+    fn enforces_terminator_placement() {
+        let mut reg = relaxed();
+        reg.register(OpSpec::new("t.ret", "terminator").terminator());
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let (_, entry) = build_func(&mut m, "f", &[f32t], &[f32t]);
+        let arg = m.block(entry).args[0];
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("t.ret", &[], &[], vec![]);
+        b.op("arith.negf", &[arg], &[f32t], vec![]);
+        let e = verify_module(&m, &reg).unwrap_err();
+        assert!(e.message.contains("not the last op"), "{e}");
+    }
+
+    #[test]
+    fn enforces_required_terminator() {
+        let mut reg = relaxed();
+        reg.register(
+            OpSpec::new("t.wrap", "region op")
+                .regions(Arity::Exact(1))
+                .requires_terminator(),
+        );
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let wrap = b.op_with_regions("t.wrap", &[], &[], vec![], 1);
+        m.add_block(wrap, 0, &[]);
+        let e = verify_module(&m, &reg).unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unregistered_when_strict() {
+        let reg = DialectRegistry::new();
+        let mut m = Module::new();
+        build_func(&mut m, "f", &[], &[]);
+        let e = verify_module(&m, &reg).unwrap_err();
+        assert!(e.message.contains("not registered"), "{e}");
+    }
+
+    #[test]
+    fn custom_verifier_runs() {
+        fn check(m: &Module, op: OpId) -> Result<(), String> {
+            if m.op(op).int_attr("k").is_none() {
+                return Err("missing 'k' attribute".into());
+            }
+            Ok(())
+        }
+        let mut reg = relaxed();
+        reg.register(OpSpec::new("t.topk", "top-k").verifier(check));
+        let mut m = Module::new();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("t.topk", &[], &[], vec![]);
+        let e = verify_module(&m, &reg).unwrap_err();
+        assert!(e.message.contains("missing 'k'"), "{e}");
+    }
+
+    #[test]
+    fn sibling_region_values_are_not_visible() {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let w1 = b.op_with_regions("t.wrap", &[], &[], vec![], 1);
+        let w2 = b.op_with_regions("t.wrap", &[], &[], vec![], 1);
+        let b1 = m.add_block(w1, 0, &[f32t]);
+        let b2 = m.add_block(w2, 0, &[]);
+        let other_arg = m.block(b1).args[0];
+        let inner = m.create_op("t.use", &[other_arg], &[], vec![], 0);
+        m.push_op(b2, inner);
+        let e = verify_module(&m, &relaxed()).unwrap_err();
+        assert!(e.message.contains("not visible"), "{e}");
+    }
+}

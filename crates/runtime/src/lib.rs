@@ -1,0 +1,41 @@
+//! # c4cam-runtime — execution engines for C4CAM IR
+//!
+//! Two execution modes over one interpreter:
+//!
+//! * **Host reference** (no machine attached): executes `torch`-level and
+//!   `cim`-level IR functionally on CPU tensors — the golden model used
+//!   to validate every lowering stage (the paper's host backend in
+//!   Fig. 3).
+//! * **CAM device** (a [`c4cam_camsim::CamMachine`] attached): executes
+//!   fully lowered IR; `cam.*` operations drive the simulator, `scf`
+//!   loop structure drives its timing scopes (parallel = max,
+//!   sequential = sum), so the machine's statistics reflect exactly the
+//!   mapping the compiler chose.
+//!
+//! ## Example
+//!
+//! ```
+//! use c4cam_ir::Module;
+//! use c4cam_core::dialects::torch;
+//! use c4cam_runtime::{Executor, Value};
+//! use c4cam_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), c4cam_runtime::ExecError> {
+//! let mut m = Module::new();
+//! torch::build_hdc_dot(&mut m, 1, 2, 4, 1);
+//! let stored = Tensor::from_vec(vec![2, 4], vec![1., 0., 1., 0., 0., 1., 0., 1.]).unwrap();
+//! let query = Tensor::from_vec(vec![1, 4], vec![1., 0., 1., 0.]).unwrap();
+//! let out = Executor::new(&m).run("forward", &[Value::Tensor(query), Value::Tensor(stored)])?;
+//! // With largest=false the *least* similar class (row 1) is selected.
+//! assert_eq!(out[1].as_tensor().unwrap().data(), &[1.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod interp;
+mod value;
+
+pub use interp::{ExecError, Executor};
+pub use value::Value;

@@ -1,0 +1,273 @@
+//! Decision-tree-to-CAM mapping (the DT2CAM-style application class the
+//! paper cites as related work \[25\] and positions C4CAM to generalize
+//! over).
+//!
+//! A binary decision tree over continuous features maps naturally onto
+//! an *analog* CAM: each root-to-leaf path becomes one stored row whose
+//! cells hold the acceptance interval `[lo, hi]` each feature must fall
+//! into; unconstrained features become don't-care cells. Classifying a
+//! sample is then a single **exact-match** CAM search — the row whose
+//! every range accepts the sample wins (ranges are disjoint across
+//! paths, so exactly one row matches).
+//!
+//! This module provides the tree model, training-free synthetic trees,
+//! the row conversion, and a CPU reference. The `dtree_acam` example
+//! and the integration tests execute the converted rows on the ACAM
+//! simulator and check agreement with the CPU evaluation.
+
+use c4cam_camsim::CamCell;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A node of a binary decision tree.
+#[derive(Debug, Clone)]
+pub enum TreeNode {
+    /// Internal split: `feature < threshold` goes left, else right.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f32,
+        /// Left subtree (`<`).
+        left: Box<TreeNode>,
+        /// Right subtree (`>=`).
+        right: Box<TreeNode>,
+    },
+    /// Leaf with a class label.
+    Leaf {
+        /// Predicted class.
+        class: usize,
+    },
+}
+
+/// A binary decision tree over `features` continuous inputs.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Root node.
+    pub root: TreeNode,
+    /// Number of input features.
+    pub features: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+/// One root-to-leaf path as a CAM row: per-feature acceptance intervals
+/// plus the leaf class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathRow {
+    /// `[lo, hi)` interval per feature (`None` = unconstrained).
+    pub intervals: Vec<Option<(f32, f32)>>,
+    /// Leaf class of this path.
+    pub class: usize,
+}
+
+impl DecisionTree {
+    /// Deterministic random tree of the given depth. Features are
+    /// assumed to lie in `[0, 1)`.
+    pub fn random(features: usize, classes: usize, depth: usize, seed: u64) -> DecisionTree {
+        assert!(features > 0 && classes > 0 && depth > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let root = Self::grow(&mut rng, features, classes, depth, 0.0, 1.0, &mut vec![]);
+        DecisionTree {
+            root,
+            features,
+            classes,
+        }
+    }
+
+    fn grow(
+        rng: &mut StdRng,
+        features: usize,
+        classes: usize,
+        depth: usize,
+        _lo: f32,
+        _hi: f32,
+        constraints: &mut Vec<(usize, f32, f32)>,
+    ) -> TreeNode {
+        if depth == 0 {
+            return TreeNode::Leaf {
+                class: rng.gen_range(0..classes),
+            };
+        }
+        let feature = rng.gen_range(0..features);
+        // Split within the feature's currently feasible interval so that
+        // every path stays satisfiable.
+        let (lo, hi) = constraints
+            .iter()
+            .rev()
+            .find(|(f, _, _)| *f == feature)
+            .map(|&(_, l, h)| (l, h))
+            .unwrap_or((0.0, 1.0));
+        let threshold = lo + (hi - lo) * rng.gen_range(0.25..0.75);
+        constraints.push((feature, lo, threshold));
+        let left = Self::grow(rng, features, classes, depth - 1, lo, threshold, constraints);
+        constraints.pop();
+        constraints.push((feature, threshold, hi));
+        let right = Self::grow(rng, features, classes, depth - 1, threshold, hi, constraints);
+        constraints.pop();
+        TreeNode::Split {
+            feature,
+            threshold,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// CPU reference evaluation.
+    pub fn classify(&self, sample: &[f32]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                TreeNode::Leaf { class } => return *class,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if sample[*feature] < *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Flatten into CAM path rows (one per leaf, depth-first order).
+    pub fn to_rows(&self) -> Vec<PathRow> {
+        let mut rows = Vec::new();
+        let mut intervals: Vec<Option<(f32, f32)>> = vec![None; self.features];
+        Self::collect(&self.root, &mut intervals, &mut rows);
+        rows
+    }
+
+    fn collect(
+        node: &TreeNode,
+        intervals: &mut Vec<Option<(f32, f32)>>,
+        rows: &mut Vec<PathRow>,
+    ) {
+        match node {
+            TreeNode::Leaf { class } => rows.push(PathRow {
+                intervals: intervals.clone(),
+                class: *class,
+            }),
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let saved = intervals[*feature];
+                let (lo, hi) = saved.unwrap_or((f32::MIN, f32::MAX));
+                intervals[*feature] = Some((lo, (*threshold).min(hi)));
+                Self::collect(left, intervals, rows);
+                intervals[*feature] = Some(((*threshold).max(lo), hi));
+                Self::collect(right, intervals, rows);
+                intervals[*feature] = saved;
+            }
+        }
+    }
+
+    /// Number of leaves (= CAM rows needed).
+    pub fn leaves(&self) -> usize {
+        fn count(n: &TreeNode) -> usize {
+            match n {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Generate deterministic samples uniform in `[0, 1)^features`.
+    pub fn samples(&self, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+        (0..n)
+            .map(|_| (0..self.features).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect()
+    }
+}
+
+impl PathRow {
+    /// Convert to ACAM cells: [`CamCell::Range`] for constrained
+    /// features, don't-care for the rest.
+    pub fn to_cells(&self) -> Vec<CamCell> {
+        self.intervals
+            .iter()
+            .map(|iv| match iv {
+                // Half-open [lo, hi): nudge hi down so Range's closed
+                // interval semantics match the tree's strict `<`.
+                Some((lo, hi)) => CamCell::Range(*lo, f32::from_bits(hi.to_bits() - 1)),
+                None => CamCell::DontCare,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_every_leaf() {
+        let tree = DecisionTree::random(8, 3, 4, 7);
+        let rows = tree.to_rows();
+        assert_eq!(rows.len(), tree.leaves());
+        assert_eq!(rows.len(), 16); // full tree of depth 4
+    }
+
+    #[test]
+    fn exactly_one_row_accepts_each_sample() {
+        let tree = DecisionTree::random(6, 4, 5, 11);
+        let rows = tree.to_rows();
+        for sample in tree.samples(200, 1) {
+            let accepting: Vec<&PathRow> = rows
+                .iter()
+                .filter(|r| {
+                    r.intervals.iter().enumerate().all(|(f, iv)| match iv {
+                        Some((lo, hi)) => sample[f] >= *lo && sample[f] < *hi,
+                        None => true,
+                    })
+                })
+                .collect();
+            assert_eq!(
+                accepting.len(),
+                1,
+                "paths must partition the feature space"
+            );
+            assert_eq!(accepting[0].class, tree.classify(&sample));
+        }
+    }
+
+    #[test]
+    fn acam_cells_match_cpu_classification() {
+        let tree = DecisionTree::random(5, 3, 4, 3);
+        let rows = tree.to_rows();
+        for sample in tree.samples(100, 2) {
+            let mut matched_class = None;
+            for row in &rows {
+                let cells = row.to_cells();
+                if cells
+                    .iter()
+                    .zip(&sample)
+                    .all(|(c, &x)| c.matches(x))
+                {
+                    matched_class = Some(row.class);
+                    break;
+                }
+            }
+            assert_eq!(matched_class, Some(tree.classify(&sample)));
+        }
+    }
+
+    #[test]
+    fn trees_are_deterministic_per_seed() {
+        let a = DecisionTree::random(4, 2, 3, 9);
+        let b = DecisionTree::random(4, 2, 3, 9);
+        for s in a.samples(50, 5) {
+            assert_eq!(a.classify(&s), b.classify(&s));
+        }
+    }
+}

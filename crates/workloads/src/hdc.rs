@@ -1,0 +1,184 @@
+//! Hyperdimensional computing (HDC) workload.
+//!
+//! HDC classifies by comparing a query hypervector against per-class
+//! prototype hypervectors (paper §IV-A3: MNIST at 8k dimensions,
+//! validated against \[22\]). The class prototypes here are synthetic:
+//! deterministic random hypervectors, with queries derived from a
+//! prototype by flipping a controlled fraction of elements — the same
+//! compute/communication structure as encoded MNIST, without the
+//! dataset.
+
+use c4cam_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An HDC classification model: stored class hypervectors.
+#[derive(Debug, Clone)]
+pub struct HdcModel {
+    class_hvs: Tensor,
+    classes: usize,
+    dims: usize,
+    bits: u32,
+}
+
+impl HdcModel {
+    /// Deterministic random model.
+    ///
+    /// `bits = 1` produces binary hypervectors (0/1), `bits = 2`
+    /// multi-bit ones with levels `0..=3` (the paper's 1-bit and 2-bit
+    /// implementations in Fig. 7).
+    ///
+    /// # Panics
+    /// Panics if `classes`, `dims` are zero or `bits` is not 1..=4.
+    pub fn random(classes: usize, dims: usize, bits: u32, seed: u64) -> HdcModel {
+        assert!(classes > 0 && dims > 0, "degenerate model");
+        assert!((1..=4).contains(&bits), "bits must be 1..=4");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let levels = (1u32 << bits) as f32;
+        let data: Vec<f32> = (0..classes * dims)
+            .map(|_| rng.gen_range(0..levels as u32) as f32)
+            .collect();
+        HdcModel {
+            class_hvs: Tensor::from_vec(vec![classes, dims], data).expect("shape"),
+            classes,
+            dims,
+            bits,
+        }
+    }
+
+    /// The stored class hypervectors, `[classes, dims]`.
+    pub fn class_hvs(&self) -> &Tensor {
+        &self.class_hvs
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Bits per element.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Generate `n` queries: each is a class prototype with a fraction
+    /// `flip_rate` of elements re-randomized. Returns `(queries,
+    /// labels)`.
+    pub fn queries(&self, n: usize, flip_rate: f64, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let levels = (1u32 << self.bits) as u32;
+        let mut data = Vec::with_capacity(n * self.dims);
+        let mut labels = Vec::with_capacity(n);
+        for q in 0..n {
+            let class = q % self.classes;
+            labels.push(class);
+            let proto = self.class_hvs.row(class).expect("class row");
+            for &p in proto {
+                if rng.gen_bool(flip_rate) {
+                    data.push(rng.gen_range(0..levels) as f32);
+                } else {
+                    data.push(p);
+                }
+            }
+        }
+        (
+            Tensor::from_vec(vec![n, self.dims], data).expect("shape"),
+            labels,
+        )
+    }
+
+    /// CPU reference classification: nearest prototype by Hamming
+    /// distance (binary) / squared Euclidean distance (multi-bit) —
+    /// the same metric the CAM implements.
+    pub fn predict_cpu(&self, queries: &Tensor) -> Vec<usize> {
+        let n = queries.shape()[0];
+        let mut out = Vec::with_capacity(n);
+        for q in 0..n {
+            let qr = queries.row(q).expect("query row");
+            let mut best = 0usize;
+            let mut best_dist = f64::INFINITY;
+            for c in 0..self.classes {
+                let proto = self.class_hvs.row(c).expect("class row");
+                let dist = if self.bits == 1 {
+                    Tensor::hamming_distance(qr, proto).expect("len") as f64
+                } else {
+                    Tensor::squared_distance(qr, proto).expect("len")
+                };
+                if dist < best_dist {
+                    best_dist = dist;
+                    best = c;
+                }
+            }
+            out.push(best);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy;
+
+    #[test]
+    fn model_is_deterministic_per_seed() {
+        let a = HdcModel::random(10, 128, 1, 7);
+        let b = HdcModel::random(10, 128, 1, 7);
+        let c = HdcModel::random(10, 128, 1, 8);
+        assert_eq!(a.class_hvs().data(), b.class_hvs().data());
+        assert_ne!(a.class_hvs().data(), c.class_hvs().data());
+    }
+
+    #[test]
+    fn binary_model_is_binary_and_multibit_in_range() {
+        let m1 = HdcModel::random(4, 256, 1, 1);
+        assert!(m1.class_hvs().data().iter().all(|&v| v == 0.0 || v == 1.0));
+        let m2 = HdcModel::random(4, 256, 2, 1);
+        assert!(m2.class_hvs().data().iter().all(|&v| (0.0..=3.0).contains(&v)));
+        assert_eq!(m2.bits(), 2);
+    }
+
+    #[test]
+    fn clean_queries_classify_perfectly() {
+        let m = HdcModel::random(10, 512, 1, 3);
+        let (queries, labels) = m.queries(20, 0.0, 3);
+        let pred = m.predict_cpu(&queries);
+        assert_eq!(accuracy(&pred, &labels), 1.0);
+    }
+
+    #[test]
+    fn noisy_queries_still_classify_well() {
+        let m = HdcModel::random(10, 2048, 1, 3);
+        let (queries, labels) = m.queries(50, 0.15, 3);
+        let pred = m.predict_cpu(&queries);
+        assert!(
+            accuracy(&pred, &labels) > 0.95,
+            "HD vectors tolerate 15% noise"
+        );
+    }
+
+    #[test]
+    fn full_noise_reduces_to_chance() {
+        // flip_rate = 1.0 re-randomizes every element: no signal left.
+        let m = HdcModel::random(10, 2048, 1, 3);
+        let (queries, labels) = m.queries(50, 1.0, 3);
+        let pred = m.predict_cpu(&queries);
+        assert!(
+            accuracy(&pred, &labels) < 0.5,
+            "chance-level accuracy expected"
+        );
+    }
+
+    #[test]
+    fn multibit_prediction_uses_euclidean() {
+        let m = HdcModel::random(5, 1024, 2, 9);
+        let (queries, labels) = m.queries(20, 0.05, 9);
+        let pred = m.predict_cpu(&queries);
+        assert!(accuracy(&pred, &labels) > 0.9);
+    }
+}

@@ -1,0 +1,163 @@
+//! K-nearest-neighbour workload.
+//!
+//! The paper evaluates KNN on chest-X-ray images from the Pneumonia
+//! dataset (§IV-A3). The images are proprietary to that evaluation, so
+//! this module generates a synthetic stand-in with the same geometry:
+//! 5216 training patterns (the Pneumonia train split) of binary feature
+//! vectors, two classes, and queries drawn near class prototypes. The
+//! CAM code path is identical; only the absolute accuracy is synthetic.
+
+use c4cam_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A KNN dataset: stored training patterns plus labelled queries.
+#[derive(Debug, Clone)]
+pub struct KnnDataset {
+    /// Training patterns, `[n_train, dims]`.
+    pub train: Tensor,
+    /// Training labels.
+    pub train_labels: Vec<usize>,
+    /// Query patterns, `[n_queries, dims]`.
+    pub queries: Tensor,
+    /// Ground-truth query labels.
+    pub query_labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl KnnDataset {
+    /// Deterministic synthetic dataset: `classes` prototypes; every
+    /// pattern/query is its class prototype with `noise` fraction of
+    /// features re-randomized.
+    ///
+    /// # Panics
+    /// Panics on degenerate sizes.
+    pub fn synthetic(
+        n_train: usize,
+        dims: usize,
+        classes: usize,
+        n_queries: usize,
+        noise: f64,
+        seed: u64,
+    ) -> KnnDataset {
+        assert!(n_train > 0 && dims > 0 && classes > 0 && n_queries > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protos: Vec<Vec<f32>> = (0..classes)
+            .map(|_| (0..dims).map(|_| f32::from(rng.gen_bool(0.5))).collect())
+            .collect();
+        let sample = |class: usize, rng: &mut StdRng| -> Vec<f32> {
+            protos[class]
+                .iter()
+                .map(|&p| {
+                    if rng.gen_bool(noise) {
+                        f32::from(rng.gen_bool(0.5))
+                    } else {
+                        p
+                    }
+                })
+                .collect()
+        };
+        let mut train = Vec::with_capacity(n_train * dims);
+        let mut train_labels = Vec::with_capacity(n_train);
+        for i in 0..n_train {
+            let class = i % classes;
+            train_labels.push(class);
+            train.extend(sample(class, &mut rng));
+        }
+        let mut queries = Vec::with_capacity(n_queries * dims);
+        let mut query_labels = Vec::with_capacity(n_queries);
+        for i in 0..n_queries {
+            let class = i % classes;
+            query_labels.push(class);
+            queries.extend(sample(class, &mut rng));
+        }
+        KnnDataset {
+            train: Tensor::from_vec(vec![n_train, dims], train).expect("shape"),
+            train_labels,
+            queries: Tensor::from_vec(vec![n_queries, dims], queries).expect("shape"),
+            query_labels,
+            classes,
+        }
+    }
+
+    /// The paper's geometry: 5216 training patterns (Pneumonia train
+    /// split), 4096 features, 2 classes.
+    pub fn pneumonia_like(n_queries: usize, seed: u64) -> KnnDataset {
+        KnnDataset::synthetic(5216, 4096, 2, n_queries, 0.2, seed)
+    }
+
+    /// Indices of the `k` nearest training patterns (squared Euclidean)
+    /// for query `q` — the CPU reference.
+    pub fn nearest_cpu(&self, q: usize, k: usize) -> Vec<usize> {
+        let query = self.queries.row(q).expect("query row");
+        let n = self.train.shape()[0];
+        let mut dist: Vec<(f64, usize)> = (0..n)
+            .map(|i| {
+                let row = self.train.row(i).expect("train row");
+                (Tensor::squared_distance(query, row).expect("len"), i)
+            })
+            .collect();
+        dist.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        dist.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    /// Majority-vote classification of query `q` among its `k` nearest.
+    pub fn classify_cpu(&self, q: usize, k: usize) -> usize {
+        let mut votes = vec![0usize; self.classes];
+        for i in self.nearest_cpu(q, k) {
+            votes[self.train_labels[i]] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    /// Classify all queries on the CPU.
+    pub fn classify_all_cpu(&self, k: usize) -> Vec<usize> {
+        (0..self.queries.shape()[0])
+            .map(|q| self.classify_cpu(q, k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy;
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = KnnDataset::synthetic(50, 64, 2, 10, 0.1, 42);
+        let b = KnnDataset::synthetic(50, 64, 2, 10, 0.1, 42);
+        assert_eq!(a.train.data(), b.train.data());
+        assert_eq!(a.query_labels, b.query_labels);
+    }
+
+    #[test]
+    fn knn_classifies_structured_data() {
+        let d = KnnDataset::synthetic(100, 256, 2, 20, 0.1, 1);
+        let pred = d.classify_all_cpu(5);
+        assert!(accuracy(&pred, &d.query_labels) > 0.9);
+    }
+
+    #[test]
+    fn nearest_returns_k_sorted_neighbours() {
+        let d = KnnDataset::synthetic(30, 64, 3, 5, 0.05, 2);
+        let nn = d.nearest_cpu(0, 7);
+        assert_eq!(nn.len(), 7);
+        // First neighbour should share the query's class on clean data.
+        assert_eq!(d.train_labels[nn[0]], d.query_labels[0]);
+    }
+
+    #[test]
+    fn pneumonia_like_has_paper_geometry() {
+        let d = KnnDataset::pneumonia_like(4, 3);
+        assert_eq!(d.train.shape(), &[5216, 4096]);
+        assert_eq!(d.classes, 2);
+        assert_eq!(d.queries.shape()[0], 4);
+    }
+}

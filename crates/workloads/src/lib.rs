@@ -1,0 +1,67 @@
+//! # c4cam-workloads — evaluation workloads and baselines
+//!
+//! The paper evaluates C4CAM on two benchmarks (§IV-A3):
+//!
+//! * **HDC** — hyperdimensional classification on MNIST with 8k-dim
+//!   hypervectors ([`hdc`]), in binary and multi-bit variants;
+//! * **KNN** — K-nearest-neighbour classification on the Pneumonia
+//!   chest-X-ray dataset ([`knn`]).
+//!
+//! Neither dataset ships here, so both are *synthetic but
+//! class-structured*: deterministic prototypes with controlled noise,
+//! at the paper's dimensionalities (8192-dim hypervectors; 5216 training
+//! patterns for the Pneumonia train split). Functional validation (CAM
+//! result == CPU reference) is dataset-independent; accuracy numbers are
+//! indicative only.
+//!
+//! [`gpu`] provides the analytic model standing in for the NVIDIA
+//! Quadro RTX 6000 measurements (§IV-B); its calibration is documented
+//! in the module. [`dtree`] adds the decision-tree-on-ACAM application
+//! class (DT2CAM \[25\]) that the paper positions C4CAM to generalize
+//! over.
+
+#![warn(missing_docs)]
+
+pub mod dtree;
+pub mod gpu;
+pub mod hdc;
+pub mod knn;
+
+pub use dtree::DecisionTree;
+pub use gpu::GpuModel;
+pub use hdc::HdcModel;
+pub use knn::KnnDataset;
+
+/// Classification accuracy helper.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn accuracy(predicted: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), labels.len(), "length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let hits = predicted
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    hits as f64 / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatched_lengths() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+}

@@ -1,0 +1,54 @@
+//! KNN classification on a Pneumonia-scale synthetic dataset
+//! (paper §IV-A3: the chest-X-ray images are proprietary, so the
+//! dataset here is a deterministic synthetic stand-in with the same
+//! geometry — 5216 stored patterns).
+//!
+//! Pass `--small` to run a reduced problem (fast in debug builds).
+//!
+//! ```text
+//! cargo run --example knn_pneumonia --release
+//! ```
+
+use c4cam::arch::Optimization;
+use c4cam::driver::{paper_arch, run_knn, KnnConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let small = std::env::args().any(|a| a == "--small");
+    let (patterns, dims, queries) = if small {
+        (256usize, 256usize, 4usize)
+    } else {
+        (5216, 4096, 4)
+    };
+    println!("KNN: {patterns} stored patterns x {dims} features, {queries} queries\n");
+
+    for (label, opt) in [
+        ("cam-base ", Optimization::Base),
+        ("cam-power", Optimization::Power),
+    ] {
+        let spec = paper_arch(32, opt, 1);
+        let config = KnnConfig {
+            spec,
+            patterns,
+            dims,
+            queries,
+            k: 5,
+            noise: 0.2,
+            seed: 7,
+        };
+        let out = run_knn(&config)?;
+        println!(
+            "{label}  subarrays={:6}  banks={:4}  top-1 agreement with CPU: {:5.1}%",
+            out.placement.physical_subarrays,
+            out.placement.banks,
+            out.accuracy() * 100.0
+        );
+        println!(
+            "          per query: {:9.2} ns, {:11.2} pJ | power {:9.4} W  EDP {:.4e} nJ·s\n",
+            out.latency_per_query_ns(),
+            out.energy_per_query_pj(),
+            out.query_phase.power_w(),
+            out.query_phase.edp_nj_s()
+        );
+    }
+    Ok(())
+}

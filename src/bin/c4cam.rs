@@ -1,0 +1,22 @@
+//! The `c4cam` command-line compiler driver.
+//!
+//! ```text
+//! c4cam compile --arch spec.txt --source kernel.py --input 10x8192 \
+//!               --param weight=10x8192 --emit cam
+//! c4cam run     --arch spec.txt --source kernel.py --input 10x8192 \
+//!               --param weight=10x8192 --data q.csv --data w.csv
+//! c4cam place   --arch spec.txt --stored-rows 10 --dims 8192
+//! ```
+
+use c4cam::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse_args(&args).and_then(|cmd| cli::execute(&cmd)) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! Command-line interface logic for the `c4cam` binary.
+//!
+//! ```text
+//! c4cam compile --arch spec.txt --source kernel.py \
+//!               --input 10x8192 --param weight=10x8192 \
+//!               [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]
+//! c4cam run     --arch spec.txt --source kernel.py \
+//!               --input 10x8192 --param weight=10x8192 \
+//!               [--data input.csv --data weight.csv | --random-seed 42]
+//! c4cam place   --arch spec.txt --stored-rows N --dims D [--queries Q]
+//! ```
+//!
+//! The argument parsing and command execution live here (unit-tested);
+//! `src/bin/c4cam.rs` is a thin wrapper.
+
+use crate::driver::DriverError;
+use c4cam_arch::{parse_spec, ArchSpec};
+use c4cam_camsim::CamMachine;
+use c4cam_core::mapping::{place, MappingProblem};
+use c4cam_core::pipeline::{C4camPipeline, PipelineOptions, Target};
+use c4cam_frontend::{parse_torchscript, FrontendConfig};
+use c4cam_ir::print::print_module;
+use c4cam_runtime::{Executor, Value};
+use c4cam_tensor::Tensor;
+use std::fmt;
+
+/// CLI failure: bad arguments or a failing underlying stage.
+#[derive(Debug)]
+pub struct CliError {
+    /// Description shown to the user.
+    pub message: String,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn cli_err(message: impl fmt::Display) -> CliError {
+    CliError {
+        message: message.to_string(),
+    }
+}
+
+impl From<DriverError> for CliError {
+    fn from(e: DriverError) -> CliError {
+        cli_err(e)
+    }
+}
+
+/// Which IR stage `compile` emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmitStage {
+    /// The torch-dialect entry IR (Fig. 4b).
+    Torch,
+    /// After `torch-to-cim` (Fig. 5a).
+    Cim,
+    /// After `cim-fuse-ops` (Fig. 5c).
+    CimFused,
+    /// The host-loops partitioned form (Fig. 5d).
+    Partitioned,
+    /// The fully mapped cam form (Fig. 6) — default.
+    Cam,
+}
+
+impl EmitStage {
+    /// Parse from the `--emit` keyword.
+    pub fn from_keyword(s: &str) -> Option<EmitStage> {
+        match s {
+            "torch" => Some(EmitStage::Torch),
+            "cim" => Some(EmitStage::Cim),
+            "cim-fused" => Some(EmitStage::CimFused),
+            "partitioned" => Some(EmitStage::Partitioned),
+            "cam" => Some(EmitStage::Cam),
+            _ => None,
+        }
+    }
+
+    fn snapshot_name(self) -> &'static str {
+        match self {
+            EmitStage::Torch => "torch",
+            EmitStage::Cim => "torch-to-cim",
+            EmitStage::CimFused => "cim-fuse-ops",
+            EmitStage::Partitioned => "cim-partition",
+            EmitStage::Cam => "cam-map",
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Compile and print IR.
+    Compile(CompileArgs),
+    /// Compile, execute on the simulator, print results and stats.
+    Run(RunArgs),
+    /// Show the placement for a problem geometry.
+    Place(PlaceArgs),
+}
+
+/// Arguments of `c4cam compile`.
+#[derive(Debug, Clone)]
+pub struct CompileArgs {
+    /// Architecture spec file path.
+    pub arch: String,
+    /// TorchScript source file path.
+    pub source: String,
+    /// Positional input shapes.
+    pub inputs: Vec<Vec<i64>>,
+    /// `self.<name>` parameter shapes.
+    pub params: Vec<(String, Vec<i64>)>,
+    /// Stage to emit.
+    pub emit: EmitStage,
+    /// Run the canonicalizer.
+    pub canonicalize: bool,
+}
+
+/// Arguments of `c4cam run`.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Compilation arguments.
+    pub compile: CompileArgs,
+    /// CSV files supplying the runtime arguments, in `arg_order`.
+    pub data: Vec<String>,
+    /// Seed for synthetic 0/1 data when no CSV files are given.
+    pub random_seed: u64,
+}
+
+/// Arguments of `c4cam place`.
+#[derive(Debug, Clone)]
+pub struct PlaceArgs {
+    /// Architecture spec file path.
+    pub arch: String,
+    /// Stored rows.
+    pub stored_rows: usize,
+    /// Feature dimensionality.
+    pub dims: usize,
+    /// Query count.
+    pub queries: usize,
+}
+
+/// Parse a shape literal like `10x8192`.
+pub fn parse_shape(text: &str) -> Result<Vec<i64>, CliError> {
+    let dims: Result<Vec<i64>, _> = text.split('x').map(str::parse).collect();
+    match dims {
+        Ok(d) if !d.is_empty() && d.iter().all(|&x| x > 0) => Ok(d),
+        _ => Err(cli_err(format!("invalid shape '{text}' (expected e.g. 10x8192)"))),
+    }
+}
+
+/// Parse the full argument vector (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter().peekable();
+    let cmd = it.next().ok_or_else(|| cli_err(usage()))?;
+    let mut arch = None;
+    let mut source = None;
+    let mut inputs = Vec::new();
+    let mut params = Vec::new();
+    let mut emit = EmitStage::Cam;
+    let mut canonicalize = false;
+    let mut data = Vec::new();
+    let mut random_seed = 42u64;
+    let mut stored_rows = None;
+    let mut dims = None;
+    let mut queries = 1usize;
+
+    let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                          flag: &str|
+     -> Result<String, CliError> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| cli_err(format!("{flag} requires a value")))
+    };
+
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--arch" => arch = Some(next_value(&mut it, flag)?),
+            "--source" => source = Some(next_value(&mut it, flag)?),
+            "--input" => inputs.push(parse_shape(&next_value(&mut it, flag)?)?),
+            "--param" => {
+                let v = next_value(&mut it, flag)?;
+                let (name, shape) = v
+                    .split_once('=')
+                    .ok_or_else(|| cli_err("--param expects name=SHAPE"))?;
+                params.push((name.to_string(), parse_shape(shape)?));
+            }
+            "--emit" => {
+                let v = next_value(&mut it, flag)?;
+                emit = EmitStage::from_keyword(&v)
+                    .ok_or_else(|| cli_err(format!("unknown --emit stage '{v}'")))?;
+            }
+            "--canonicalize" => canonicalize = true,
+            "--data" => data.push(next_value(&mut it, flag)?),
+            "--random-seed" => {
+                random_seed = next_value(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| cli_err("--random-seed expects an integer"))?;
+            }
+            "--stored-rows" => {
+                stored_rows = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<usize>()
+                        .map_err(|_| cli_err("--stored-rows expects an integer"))?,
+                );
+            }
+            "--dims" => {
+                dims = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<usize>()
+                        .map_err(|_| cli_err("--dims expects an integer"))?,
+                );
+            }
+            "--queries" => {
+                queries = next_value(&mut it, flag)?
+                    .parse()
+                    .map_err(|_| cli_err("--queries expects an integer"))?;
+            }
+            other => return Err(cli_err(format!("unknown flag '{other}'\n{}", usage()))),
+        }
+    }
+
+    let require = |opt: Option<String>, name: &str| {
+        opt.ok_or_else(|| cli_err(format!("missing required {name}\n{}", usage())))
+    };
+    match cmd.as_str() {
+        "compile" | "run" => {
+            let compile = CompileArgs {
+                arch: require(arch, "--arch")?,
+                source: require(source, "--source")?,
+                inputs,
+                params,
+                emit,
+                canonicalize,
+            };
+            if cmd == "compile" {
+                Ok(Command::Compile(compile))
+            } else {
+                Ok(Command::Run(RunArgs {
+                    compile,
+                    data,
+                    random_seed,
+                }))
+            }
+        }
+        "place" => Ok(Command::Place(PlaceArgs {
+            arch: require(arch, "--arch")?,
+            stored_rows: stored_rows.ok_or_else(|| cli_err("missing --stored-rows"))?,
+            dims: dims.ok_or_else(|| cli_err("missing --dims"))?,
+            queries,
+        })),
+        other => Err(cli_err(format!("unknown command '{other}'\n{}", usage()))),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q]"
+}
+
+fn load_arch(path: &str) -> Result<ArchSpec, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| cli_err(format!("cannot read arch spec '{path}': {e}")))?;
+    parse_spec(&text).map_err(cli_err)
+}
+
+fn frontend_config(args: &CompileArgs) -> FrontendConfig {
+    let mut config = FrontendConfig::new();
+    for shape in &args.inputs {
+        config = config.input(shape.clone());
+    }
+    for (name, shape) in &args.params {
+        config = config.parameter(name, shape.clone());
+    }
+    config
+}
+
+fn compile_module(
+    args: &CompileArgs,
+) -> Result<(c4cam_frontend::LoweredFunction, ArchSpec), CliError> {
+    let spec = load_arch(&args.arch)?;
+    let source = std::fs::read_to_string(&args.source)
+        .map_err(|e| cli_err(format!("cannot read source '{}': {e}", args.source)))?;
+    let lowered = parse_torchscript(&source, &frontend_config(args)).map_err(cli_err)?;
+    Ok((lowered, spec))
+}
+
+/// Execute `compile`, returning the emitted IR text.
+pub fn run_compile(args: &CompileArgs) -> Result<String, CliError> {
+    let (lowered, spec) = compile_module(args)?;
+    let target = if args.emit == EmitStage::Partitioned {
+        Target::HostLoops
+    } else {
+        Target::CamDevice
+    };
+    let compiled = C4camPipeline::new(spec)
+        .with_options(PipelineOptions {
+            keep_snapshots: true,
+            target,
+            canonicalize: args.canonicalize,
+            ..PipelineOptions::default()
+        })
+        .compile(lowered.module)
+        .map_err(cli_err)?;
+    let wanted = args.emit.snapshot_name();
+    // Canonicalize runs last: when requested together with the final
+    // stage, emit the canonicalized module instead of the snapshot.
+    if args.canonicalize && matches!(args.emit, EmitStage::Cam | EmitStage::Partitioned) {
+        return Ok(print_module(&compiled.module));
+    }
+    compiled
+        .snapshots
+        .iter()
+        .find(|(n, _)| n == wanted)
+        .map(|(_, text)| text.clone())
+        .ok_or_else(|| cli_err(format!("stage '{wanted}' not produced")))
+}
+
+/// Result of `run`: printable report.
+#[derive(Debug)]
+pub struct RunReport {
+    /// One block per function result.
+    pub outputs: Vec<String>,
+    /// Simulator statistics.
+    pub stats: String,
+}
+
+/// Execute `run`.
+pub fn run_run(args: &RunArgs) -> Result<RunReport, CliError> {
+    let (lowered, spec) = compile_module(&args.compile)?;
+    let compiled = C4camPipeline::new(spec.clone())
+        .with_options(PipelineOptions {
+            canonicalize: args.compile.canonicalize,
+            ..PipelineOptions::default()
+        })
+        .compile(lowered.module.clone())
+        .map_err(cli_err)?;
+
+    // Assemble runtime arguments in arg_order.
+    let m = &compiled.module;
+    let func = m
+        .lookup_symbol(&lowered.name)
+        .ok_or_else(|| cli_err("compiled function vanished"))?;
+    let entry = m.op(func).regions[0][0];
+    let arg_values = m.block(entry).args.clone();
+    let mut values = Vec::new();
+    for (i, &v) in arg_values.iter().enumerate() {
+        let shape: Vec<usize> = m
+            .kind(m.value_type(v))
+            .shape()
+            .ok_or_else(|| cli_err("non-tensor function argument"))?
+            .iter()
+            .map(|&d| d as usize)
+            .collect();
+        let tensor = if let Some(path) = args.data.get(i) {
+            read_csv_tensor(path, &shape)?
+        } else {
+            deterministic_tensor(&shape, args.random_seed.wrapping_add(i as u64))
+        };
+        values.push(Value::Tensor(tensor));
+    }
+
+    let mut machine = CamMachine::new(&spec);
+    let out = Executor::with_machine(&compiled.module, &mut machine)
+        .run(&lowered.name, &values)
+        .map_err(cli_err)?;
+    let outputs = out
+        .iter()
+        .enumerate()
+        .map(|(i, v)| match v.snapshot_tensor() {
+            Some(t) => format!("result[{i}] shape {:?}: {:?}", t.shape(), t.data()),
+            None => format!("result[{i}]: {v}"),
+        })
+        .collect();
+    Ok(RunReport {
+        outputs,
+        stats: machine.stats().to_string(),
+    })
+}
+
+/// Execute `place`, returning the printable placement summary.
+pub fn run_place(args: &PlaceArgs) -> Result<String, CliError> {
+    let spec = load_arch(&args.arch)?;
+    let p = place(
+        &spec,
+        &MappingProblem {
+            stored_rows: args.stored_rows,
+            feature_dims: args.dims,
+            queries: args.queries,
+        },
+    )
+    .map_err(cli_err)?;
+    Ok(format!(
+        "placement for {} stored rows x {} dims ({} queries):\n\
+         \x20 rows used per group : {}\n\
+         \x20 row groups          : {}\n\
+         \x20 column chunks       : {}\n\
+         \x20 logical tiles       : {}\n\
+         \x20 batches per subarray: {}\n\
+         \x20 physical subarrays  : {}\n\
+         \x20 banks               : {}",
+        args.stored_rows,
+        args.dims,
+        args.queries,
+        p.rows_used,
+        p.row_groups,
+        p.col_chunks,
+        p.logical_tiles,
+        p.batches_per_subarray,
+        p.physical_subarrays,
+        p.banks,
+    ))
+}
+
+/// Deterministic 0/1 tensor for `--random-seed` runs.
+fn deterministic_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let data: Vec<f32> = (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            f32::from(u8::from(state & 1 == 1))
+        })
+        .collect();
+    Tensor::from_vec(shape.to_vec(), data).expect("shape")
+}
+
+/// Read a CSV of floats (rows = lines) into a tensor of `shape`.
+fn read_csv_tensor(path: &str, shape: &[usize]) -> Result<Tensor, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| cli_err(format!("cannot read data file '{path}': {e}")))?;
+    let mut data = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        for field in line.split(',') {
+            let v: f32 = field.trim().parse().map_err(|_| {
+                cli_err(format!(
+                    "{path}:{}: invalid number '{field}'",
+                    lineno + 1
+                ))
+            })?;
+            data.push(v);
+        }
+    }
+    let expected: usize = shape.iter().product();
+    if data.len() != expected {
+        return Err(cli_err(format!(
+            "{path}: expected {expected} values for shape {shape:?}, found {}",
+            data.len()
+        )));
+    }
+    Tensor::from_vec(shape.to_vec(), data).map_err(cli_err)
+}
+
+/// Dispatch a parsed command; returns the text to print.
+pub fn execute(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Compile(args) => run_compile(args),
+        Command::Run(args) => {
+            let report = run_run(args)?;
+            let mut out = String::new();
+            for line in &report.outputs {
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.push('\n');
+            out.push_str(&report.stats);
+            Ok(out)
+        }
+        Command::Place(args) => run_place(args),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("c4cam-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const KERNEL: &str = "
+def forward(self, input: Tensor) -> Tensor:
+    others = self.weight.transpose(-2, -1)
+    matmul = torch.matmul(input, (others))
+    values, indices = torch.ops.aten.topk(matmul, 1, largest=True)
+    return values, indices
+";
+
+    const SPEC: &str = "
+rows_per_subarray: 16
+cols_per_subarray: 16
+subarrays_per_array: 4
+arrays_per_mat: 2
+mats_per_bank: 2
+";
+
+    #[test]
+    fn shape_parsing() {
+        assert_eq!(parse_shape("10x8192").unwrap(), vec![10, 8192]);
+        assert_eq!(parse_shape("7").unwrap(), vec![7]);
+        assert!(parse_shape("").is_err());
+        assert!(parse_shape("3x").is_err());
+        assert!(parse_shape("0x4").is_err());
+        assert!(parse_shape("axb").is_err());
+    }
+
+    #[test]
+    fn arg_parsing_compile() {
+        let cmd = parse_args(&strings(&[
+            "compile",
+            "--arch",
+            "spec.txt",
+            "--source",
+            "k.py",
+            "--input",
+            "4x64",
+            "--param",
+            "weight=8x64",
+            "--emit",
+            "cim-fused",
+            "--canonicalize",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Compile(c) => {
+                assert_eq!(c.arch, "spec.txt");
+                assert_eq!(c.inputs, vec![vec![4, 64]]);
+                assert_eq!(c.params, vec![("weight".to_string(), vec![8, 64])]);
+                assert_eq!(c.emit, EmitStage::CimFused);
+                assert!(c.canonicalize);
+            }
+            other => panic!("expected compile, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arg_parsing_errors() {
+        assert!(parse_args(&strings(&["frobnicate"])).is_err());
+        assert!(parse_args(&strings(&["compile", "--source", "k.py"])).is_err());
+        assert!(parse_args(&strings(&["compile", "--arch"])).is_err());
+        assert!(parse_args(&strings(&[
+            "compile", "--arch", "a", "--source", "s", "--emit", "wasm"
+        ]))
+        .is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn compile_emits_each_stage() {
+        let spec = write_temp("spec.txt", SPEC);
+        let kernel = write_temp("kernel.py", KERNEL);
+        for (emit, needle) in [
+            (EmitStage::Torch, "torch.matmul"),
+            (EmitStage::Cim, "cim.acquire"),
+            (EmitStage::CimFused, "cim.similarity"),
+            (EmitStage::Partitioned, "cim.similarity_scores"),
+            (EmitStage::Cam, "cam.search"),
+        ] {
+            let args = CompileArgs {
+                arch: spec.clone(),
+                source: kernel.clone(),
+                inputs: vec![vec![2, 64]],
+                params: vec![("weight".to_string(), vec![4, 64])],
+                emit,
+                canonicalize: false,
+            };
+            let text = run_compile(&args).unwrap();
+            assert!(text.contains(needle), "{emit:?} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn run_with_synthetic_data_reports_stats() {
+        let spec = write_temp("spec2.txt", SPEC);
+        let kernel = write_temp("kernel2.py", KERNEL);
+        let args = RunArgs {
+            compile: CompileArgs {
+                arch: spec,
+                source: kernel,
+                inputs: vec![vec![2, 64]],
+                params: vec![("weight".to_string(), vec![4, 64])],
+                emit: EmitStage::Cam,
+                canonicalize: false,
+            },
+            data: vec![],
+            random_seed: 7,
+        };
+        let report = run_run(&args).unwrap();
+        assert_eq!(report.outputs.len(), 2);
+        assert!(report.stats.contains("latency"));
+    }
+
+    #[test]
+    fn run_with_csv_data() {
+        let spec = write_temp("spec3.txt", SPEC);
+        let kernel = write_temp("kernel3.py", KERNEL);
+        // queries: 2 rows of 8; weight: 4 rows of 8.
+        let q = write_temp(
+            "q.csv",
+            "1,0,1,0,1,0,1,0\n0,1,0,1,0,1,0,1\n",
+        );
+        let w = write_temp(
+            "w.csv",
+            "1,0,1,0,1,0,1,0\n0,1,0,1,0,1,0,1\n1,1,1,1,0,0,0,0\n0,0,0,0,1,1,1,1\n",
+        );
+        let args = RunArgs {
+            compile: CompileArgs {
+                arch: spec,
+                source: kernel,
+                inputs: vec![vec![2, 8]],
+                params: vec![("weight".to_string(), vec![4, 8])],
+                emit: EmitStage::Cam,
+                canonicalize: false,
+            },
+            data: vec![q, w],
+            random_seed: 0,
+        };
+        let report = run_run(&args).unwrap();
+        // Query 0 == weight row 0, query 1 == weight row 1.
+        assert!(report.outputs[1].contains("[0.0, 1.0]"), "{:?}", report.outputs);
+    }
+
+    #[test]
+    fn csv_shape_mismatch_is_reported() {
+        let path = write_temp("bad.csv", "1,2,3\n");
+        let e = read_csv_tensor(&path, &[2, 2]).unwrap_err();
+        assert!(e.message.contains("expected 4"), "{e}");
+    }
+
+    #[test]
+    fn place_reports_table1_numbers() {
+        let spec = write_temp(
+            "spec4.txt",
+            "
+rows_per_subarray: 32
+cols_per_subarray: 32
+subarrays_per_array: 8
+arrays_per_mat: 4
+mats_per_bank: 4
+optimization: density
+",
+        );
+        let out = run_place(&PlaceArgs {
+            arch: spec,
+            stored_rows: 10,
+            dims: 8192,
+            queries: 1,
+        })
+        .unwrap();
+        assert!(out.contains("physical subarrays  : 86"), "{out}");
+    }
+}

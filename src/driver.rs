@@ -1,0 +1,485 @@
+//! High-level experiment driver: compile a workload for an architecture,
+//! execute it on the simulated CAM machine, and collect phase-separated
+//! statistics. Shared by the examples, the integration tests, and every
+//! table/figure bench.
+
+use c4cam_arch::{ArchSpec, CamKind, Optimization};
+use c4cam_camsim::{CamMachine, ExecStats};
+use c4cam_core::dialects::{cim, torch};
+use c4cam_core::mapping::{place, MappingProblem, Placement};
+use c4cam_core::pipeline::C4camPipeline;
+use c4cam_ir::Module;
+use c4cam_runtime::{Executor, Value};
+use c4cam_tensor::Tensor;
+use c4cam_workloads::{accuracy, HdcModel, KnnDataset};
+use std::error::Error;
+use std::fmt;
+
+/// Driver failure (compile, placement or execution error).
+#[derive(Debug, Clone)]
+pub struct DriverError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "driver error: {}", self.message)
+    }
+}
+
+impl Error for DriverError {}
+
+fn derr(message: impl fmt::Display) -> DriverError {
+    DriverError {
+        message: message.to_string(),
+    }
+}
+
+/// Outcome of one compiled-and-simulated experiment run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Cumulative statistics of the full execution (setup + queries).
+    pub total: ExecStats,
+    /// Statistics of the setup phase alone (allocation + programming).
+    pub setup: ExecStats,
+    /// Statistics of the query phase alone (`total − setup`).
+    pub query_phase: ExecStats,
+    /// Predicted stored-row index per query (top-1).
+    pub predictions: Vec<usize>,
+    /// Ground-truth labels.
+    pub labels: Vec<usize>,
+    /// Placement chosen by the mapping pass.
+    pub placement: Placement,
+    /// Number of queries executed.
+    pub queries: usize,
+}
+
+impl RunOutcome {
+    /// Classification accuracy against the ground truth.
+    pub fn accuracy(&self) -> f64 {
+        accuracy(&self.predictions, &self.labels)
+    }
+
+    /// Query-phase latency per query, ns.
+    pub fn latency_per_query_ns(&self) -> f64 {
+        self.query_phase.latency_ns / self.queries.max(1) as f64
+    }
+
+    /// Query-phase energy per query, pJ.
+    pub fn energy_per_query_pj(&self) -> f64 {
+        self.query_phase.energy_pj() / self.queries.max(1) as f64
+    }
+
+    /// Extrapolate the query phase linearly to `n` queries (the
+    /// simulator is deterministic and per-query costs are identical, so
+    /// this is exact for latency/energy; power is scale-invariant).
+    pub fn scaled_query_phase(&self, n: usize) -> ExecStats {
+        let f = n as f64 / self.queries.max(1) as f64;
+        let mut s = self.query_phase.clone();
+        s.search_ops = (s.search_ops as f64 * f) as u64;
+        s.read_ops = (s.read_ops as f64 * f) as u64;
+        s.merge_ops = (s.merge_ops as f64 * f) as u64;
+        s.cell_energy_fj *= f;
+        s.periph_energy_fj *= f;
+        s.merge_energy_fj *= f;
+        s.static_energy_fj *= f;
+        s.latency_ns *= f;
+        s
+    }
+}
+
+/// HDC experiment configuration.
+#[derive(Debug, Clone)]
+pub struct HdcConfig {
+    /// Architecture to compile for.
+    pub spec: ArchSpec,
+    /// Number of classes (stored hypervectors).
+    pub classes: usize,
+    /// Hypervector dimensionality.
+    pub dims: usize,
+    /// Queries to simulate.
+    pub queries: usize,
+    /// Fraction of query elements re-randomized.
+    pub flip_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional winner-take-all sensing window: best-match distances
+    /// saturate at this mismatch count (paper \[19\]).
+    pub wta_window: Option<u32>,
+    /// Run the canonicalize cleanup after lowering.
+    pub canonicalize: bool,
+}
+
+impl HdcConfig {
+    /// The paper's HDC setting (MNIST-like, 8k dims, 10 classes) on a
+    /// given architecture, with a reduced simulated query count
+    /// (costs extrapolate exactly; see
+    /// [`RunOutcome::scaled_query_phase`]).
+    pub fn paper(spec: ArchSpec, queries: usize) -> HdcConfig {
+        HdcConfig {
+            spec,
+            classes: 10,
+            dims: 8192,
+            queries,
+            flip_rate: 0.1,
+            seed: 42,
+            wta_window: None,
+            canonicalize: false,
+        }
+    }
+}
+
+/// Build the square-subarray architecture used throughout §IV
+/// (4 mats/bank, 4 arrays/mat, 8 subarrays/array, auto banks).
+pub fn paper_arch(n: usize, optimization: Optimization, bits: u32) -> ArchSpec {
+    ArchSpec::builder()
+        .subarray(n, n)
+        .hierarchy(4, 4, 8)
+        .cam_kind(if bits > 1 { CamKind::Mcam } else { CamKind::Tcam })
+        .bits_per_cell(bits)
+        .optimization(optimization)
+        .build()
+        .expect("valid paper architecture")
+}
+
+/// Run the HDC workload through the full pipeline onto the simulator.
+///
+/// # Errors
+/// Propagates compile and execution failures.
+pub fn run_hdc(config: &HdcConfig) -> Result<RunOutcome, DriverError> {
+    let model = HdcModel::random(config.classes, config.dims, config.spec.bits_per_cell, config.seed);
+    let (queries, labels) = model.queries(config.queries, config.flip_rate, config.seed);
+
+    let mut module = Module::new();
+    torch::build_hdc_dot_with(
+        &mut module,
+        config.queries as i64,
+        config.classes as i64,
+        config.dims as i64,
+        1,
+        true, // nearest prototype = largest dot similarity
+    );
+    run_similarity_module(
+        module,
+        "forward",
+        &config.spec,
+        model.class_hvs().clone(),
+        queries,
+        labels,
+        config.classes,
+        config.dims,
+        config.queries,
+        RunKnobs {
+            wta_window: config.wta_window,
+            canonicalize: config.canonicalize,
+            tech: None,
+        },
+    )
+}
+
+/// Extra execution knobs threaded from the experiment configs.
+#[derive(Debug, Clone, Default)]
+struct RunKnobs {
+    wta_window: Option<u32>,
+    canonicalize: bool,
+    tech: Option<c4cam_arch::tech::TechnologyModel>,
+}
+
+/// [`run_hdc`] with an explicit technology model (the paper's
+/// retargetability claim: compare CAM technologies without touching the
+/// application).
+///
+/// # Errors
+/// Propagates compile and execution failures.
+pub fn run_hdc_with_tech(
+    config: &HdcConfig,
+    tech: c4cam_arch::tech::TechnologyModel,
+) -> Result<RunOutcome, DriverError> {
+    let model =
+        HdcModel::random(config.classes, config.dims, config.spec.bits_per_cell, config.seed);
+    let (queries, labels) = model.queries(config.queries, config.flip_rate, config.seed);
+    let mut module = Module::new();
+    torch::build_hdc_dot_with(
+        &mut module,
+        config.queries as i64,
+        config.classes as i64,
+        config.dims as i64,
+        1,
+        true,
+    );
+    run_similarity_module(
+        module,
+        "forward",
+        &config.spec,
+        model.class_hvs().clone(),
+        queries,
+        labels,
+        config.classes,
+        config.dims,
+        config.queries,
+        RunKnobs {
+            wta_window: config.wta_window,
+            canonicalize: config.canonicalize,
+            tech: Some(tech),
+        },
+    )
+}
+
+/// KNN experiment configuration.
+#[derive(Debug, Clone)]
+pub struct KnnConfig {
+    /// Architecture to compile for.
+    pub spec: ArchSpec,
+    /// Stored training patterns.
+    pub patterns: usize,
+    /// Feature dimensionality.
+    pub dims: usize,
+    /// Queries to simulate.
+    pub queries: usize,
+    /// Neighbours to retrieve.
+    pub k: usize,
+    /// Feature noise.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KnnConfig {
+    /// The paper's Pneumonia-scale setting (5216 patterns) on a given
+    /// architecture, with a reduced query count.
+    pub fn paper(spec: ArchSpec, queries: usize) -> KnnConfig {
+        KnnConfig {
+            spec,
+            patterns: 5216,
+            dims: 4096,
+            queries,
+            k: 5,
+            noise: 0.2,
+            seed: 7,
+        }
+    }
+}
+
+/// Run the KNN workload (batched queries enter at the fused `cim`
+/// stage, since the torch-level Euclidean pattern is single-query).
+///
+/// # Errors
+/// Propagates compile and execution failures.
+pub fn run_knn(config: &KnnConfig) -> Result<RunOutcome, DriverError> {
+    let data = KnnDataset::synthetic(
+        config.patterns,
+        config.dims,
+        2,
+        config.queries,
+        config.noise,
+        config.seed,
+    );
+    let mut module = Module::new();
+    cim::build_similarity_kernel(
+        &mut module,
+        "knn",
+        "eucl",
+        config.patterns as i64,
+        config.dims as i64,
+        config.queries as i64,
+        config.k as i64,
+        false, // smallest distances
+    );
+    // Ground truth: nearest stored pattern per query (top-1 of the CPU
+    // reference).
+    let labels: Vec<usize> = (0..config.queries)
+        .map(|q| data.nearest_cpu(q, 1)[0])
+        .collect();
+    run_similarity_module(
+        module,
+        "knn",
+        &config.spec,
+        data.train.clone(),
+        data.queries.clone(),
+        labels,
+        config.patterns,
+        config.dims,
+        config.queries,
+        RunKnobs::default(),
+    )
+}
+
+/// Compile `module` for `spec`, execute on a fresh machine, and collect
+/// phase-separated statistics.
+#[allow(clippy::too_many_arguments)]
+fn run_similarity_module(
+    module: Module,
+    func: &str,
+    spec: &ArchSpec,
+    stored: Tensor,
+    queries: Tensor,
+    labels: Vec<usize>,
+    stored_rows: usize,
+    dims: usize,
+    nq: usize,
+    knobs: RunKnobs,
+) -> Result<RunOutcome, DriverError> {
+    let placement = place(
+        spec,
+        &MappingProblem {
+            stored_rows,
+            feature_dims: dims,
+            queries: nq,
+        },
+    )
+    .map_err(derr)?;
+    let compiled = C4camPipeline::new(spec.clone())
+        .with_options(c4cam_core::pipeline::PipelineOptions {
+            canonicalize: knobs.canonicalize,
+            ..Default::default()
+        })
+        .compile(module)
+        .map_err(derr)?;
+    let mut machine = match knobs.tech {
+        Some(ref tech) => CamMachine::with_tech(spec, tech.clone()),
+        None => CamMachine::new(spec),
+    };
+    machine.set_wta_window(knobs.wta_window);
+    // HDC input order is (queries, stored); the cim-level KNN kernel is
+    // (stored, queries). Detect by the function's first arg type.
+    let m = &compiled.module;
+    let func_op = m
+        .lookup_symbol(func)
+        .ok_or_else(|| derr(format!("missing function {func}")))?;
+    let entry = m.op(func_op).regions[0][0];
+    let first_arg_rows = m
+        .kind(m.value_type(m.block(entry).args[0]))
+        .shape()
+        .map(|s| s[0])
+        .unwrap_or(0);
+    let args = if first_arg_rows == nq as i64 && nq != stored_rows {
+        vec![Value::Tensor(queries), Value::Tensor(stored)]
+    } else {
+        vec![Value::Tensor(stored), Value::Tensor(queries)]
+    };
+    let out = Executor::with_machine(&compiled.module, &mut machine)
+        .run(func, &args)
+        .map_err(derr)?;
+    let indices = out
+        .get(1)
+        .and_then(Value::as_tensor)
+        .ok_or_else(|| derr("kernel returned no indices"))?;
+    let predictions: Vec<usize> = (0..nq)
+        .map(|q| indices.data()[q * indices.len() / nq.max(1)] as usize)
+        .collect();
+    let total = machine.stats();
+    let setup = machine
+        .phase("setup-complete")
+        .cloned()
+        .unwrap_or_default();
+    let query_phase = total.delta(&setup);
+    Ok(RunOutcome {
+        total,
+        setup,
+        query_phase,
+        predictions,
+        labels,
+        placement,
+        queries: nq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdc_driver_runs_and_classifies() {
+        let spec = paper_arch(32, Optimization::Base, 1);
+        let config = HdcConfig {
+            spec,
+            classes: 4,
+            dims: 256,
+            queries: 8,
+            flip_rate: 0.05,
+            seed: 1,
+            wta_window: None,
+            canonicalize: false,
+        };
+        let out = run_hdc(&config).unwrap();
+        assert_eq!(out.predictions.len(), 8);
+        assert!(out.accuracy() > 0.9, "accuracy {}", out.accuracy());
+        assert!(out.query_phase.latency_ns > 0.0);
+        assert!(out.setup.write_ops > 0);
+        assert_eq!(out.query_phase.write_ops, 0, "no writes after setup");
+        assert!(out.latency_per_query_ns() > 0.0);
+    }
+
+    #[test]
+    fn knn_driver_matches_cpu_nearest() {
+        let spec = ArchSpec::builder()
+            .subarray(16, 16)
+            .hierarchy(2, 2, 4)
+            .build()
+            .unwrap();
+        let config = KnnConfig {
+            spec,
+            patterns: 48,
+            dims: 64,
+            queries: 6,
+            k: 1,
+            noise: 0.1,
+            seed: 3,
+        };
+        let out = run_knn(&config).unwrap();
+        assert_eq!(out.accuracy(), 1.0, "CAM top-1 must equal CPU top-1");
+    }
+
+    #[test]
+    fn scaled_query_phase_is_linear() {
+        let spec = paper_arch(32, Optimization::Base, 1);
+        let config = HdcConfig {
+            spec,
+            classes: 4,
+            dims: 256,
+            queries: 4,
+            flip_rate: 0.0,
+            seed: 1,
+            wta_window: None,
+            canonicalize: false,
+        };
+        let out = run_hdc(&config).unwrap();
+        let scaled = out.scaled_query_phase(8);
+        assert!((scaled.latency_ns - 2.0 * out.query_phase.latency_ns).abs() < 1e-6);
+        // Power is invariant under scaling.
+        assert!((scaled.power_w() - out.query_phase.power_w()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_config_increases_latency_not_energy() {
+        let base = run_hdc(&HdcConfig {
+            spec: paper_arch(32, Optimization::Base, 1),
+            classes: 8,
+            dims: 1024,
+            queries: 4,
+            flip_rate: 0.0,
+            seed: 5,
+            wta_window: None,
+            canonicalize: false,
+        })
+        .unwrap();
+        let power = run_hdc(&HdcConfig {
+            spec: paper_arch(32, Optimization::Power, 1),
+            classes: 8,
+            dims: 1024,
+            queries: 4,
+            flip_rate: 0.0,
+            seed: 5,
+            wta_window: None,
+            canonicalize: false,
+        })
+        .unwrap();
+        assert!(
+            power.query_phase.latency_ns > base.query_phase.latency_ns * 1.5,
+            "power config must serialize subarrays"
+        );
+        assert!(power.query_phase.power_w() < base.query_phase.power_w());
+        assert_eq!(base.predictions, power.predictions);
+    }
+}

@@ -1,0 +1,250 @@
+//! End-to-end equivalence: every lowering stage must compute the same
+//! function. The torch-level host execution is the golden reference;
+//! the cim stage, the partitioned host-loops stage, and the fully
+//! lowered cam stage (on the simulator) must agree.
+
+use c4cam::arch::{ArchSpec, Optimization};
+use c4cam::camsim::CamMachine;
+use c4cam::compiler::dialects::torch;
+use c4cam::compiler::pipeline::{C4camPipeline, PipelineOptions, Target};
+use c4cam::ir::Module;
+use c4cam::runtime::{Executor, Value};
+use c4cam::tensor::Tensor;
+
+fn hdc_inputs(nq: usize, classes: usize, dims: usize, seed: u64) -> (Tensor, Tensor) {
+    let mut stored = Vec::with_capacity(classes * dims);
+    for c in 0..classes {
+        for d in 0..dims {
+            let h = (c as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add((d as u64).wrapping_mul(seed | 1));
+            stored.push(f32::from(u8::from(h % 7 < 3)));
+        }
+    }
+    let mut queries = Vec::with_capacity(nq * dims);
+    for q in 0..nq {
+        let class = q % classes;
+        for d in 0..dims {
+            let h = (class as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add((d as u64).wrapping_mul(seed | 1));
+            let base = u8::from(h % 7 < 3);
+            let flip = u8::from(d % 53 == q); // a little per-query noise
+            queries.push(f32::from(base ^ flip));
+        }
+    }
+    (
+        Tensor::from_vec(vec![classes, dims], stored).unwrap(),
+        Tensor::from_vec(vec![nq, dims], queries).unwrap(),
+    )
+}
+
+fn spec(n: usize, opt: Optimization) -> ArchSpec {
+    ArchSpec::builder()
+        .subarray(n, n)
+        .hierarchy(2, 2, 4)
+        .optimization(opt)
+        .build()
+        .unwrap()
+}
+
+fn run_all_stages(nq: usize, classes: usize, dims: usize, opt: Optimization, n: usize) {
+    let mut m = Module::new();
+    torch::build_hdc_dot_with(&mut m, nq as i64, classes as i64, dims as i64, 1, true);
+    let (stored, queries) = hdc_inputs(nq, classes, dims, 11);
+    let args = [Value::Tensor(queries), Value::Tensor(stored)];
+
+    // Golden: torch level on the host.
+    let golden = Executor::new(&m).run("forward", &args).unwrap();
+    let golden_idx = golden[1].as_tensor().unwrap().clone();
+
+    // Host loops path (partitioned cim).
+    let host = C4camPipeline::new(spec(n, opt))
+        .with_options(PipelineOptions {
+            target: Target::HostLoops,
+            ..PipelineOptions::default()
+        })
+        .compile(m.clone())
+        .unwrap();
+    let host_out = Executor::new(&host.module).run("forward", &args).unwrap();
+    assert_eq!(
+        host_out[1].as_tensor().unwrap().data(),
+        golden_idx.data(),
+        "host-loops path diverged (N={n}, {opt:?})"
+    );
+
+    // Device path.
+    let s = spec(n, opt);
+    let device = C4camPipeline::new(s.clone()).compile(m).unwrap();
+    let mut machine = CamMachine::new(&s);
+    let device_out = Executor::with_machine(&device.module, &mut machine)
+        .run("forward", &args)
+        .unwrap();
+    assert_eq!(
+        device_out[1].as_tensor().unwrap().data(),
+        golden_idx.data(),
+        "device path diverged (N={n}, {opt:?})"
+    );
+}
+
+#[test]
+fn hdc_equivalence_base_config() {
+    run_all_stages(3, 5, 256, Optimization::Base, 16);
+}
+
+#[test]
+fn hdc_equivalence_across_subarray_sizes() {
+    for n in [16, 32, 64] {
+        run_all_stages(2, 4, 128, Optimization::Base, n);
+    }
+}
+
+#[test]
+fn hdc_equivalence_power_config() {
+    run_all_stages(3, 5, 256, Optimization::Power, 16);
+}
+
+#[test]
+fn hdc_equivalence_density_config() {
+    // density packs 3 batches per 16-row subarray for 5 stored rows.
+    run_all_stages(3, 5, 256, Optimization::Density, 16);
+}
+
+#[test]
+fn hdc_equivalence_power_density_config() {
+    run_all_stages(3, 5, 256, Optimization::PowerDensity, 16);
+}
+
+#[test]
+fn hdc_equivalence_non_divisible_dims() {
+    // 200 dims on 16-col subarrays → 13 chunks with a ragged tail.
+    run_all_stages(2, 4, 200, Optimization::Base, 16);
+    run_all_stages(2, 4, 200, Optimization::Density, 16);
+}
+
+#[test]
+fn knn_equivalence_with_row_groups() {
+    // 50 stored rows on 16-row subarrays → 4 row groups.
+    let mut m = Module::new();
+    c4cam::compiler::dialects::cim::build_similarity_kernel(
+        &mut m, "knn", "eucl", 50, 96, 3, 2, false,
+    );
+    let mut stored = Vec::new();
+    for p in 0..50 {
+        for d in 0..96 {
+            stored.push(f32::from(u8::from((d * 5 + p * 11) % 7 < 3)));
+        }
+    }
+    let stored = Tensor::from_vec(vec![50, 96], stored).unwrap();
+    let queries = stored.slice2d(10, 0, 3, 96).unwrap();
+    let args = [Value::Tensor(stored), Value::Tensor(queries)];
+
+    let golden = Executor::new(&m).run("knn", &args).unwrap();
+
+    let s = spec(16, Optimization::Base);
+    let device = C4camPipeline::new(s.clone()).compile(m).unwrap();
+    let mut machine = CamMachine::new(&s);
+    let out = Executor::with_machine(&device.module, &mut machine)
+        .run("knn", &args)
+        .unwrap();
+    assert_eq!(
+        out[1].as_tensor().unwrap().data(),
+        golden[1].as_tensor().unwrap().data(),
+        "KNN indices diverged"
+    );
+    // Euclidean distances are exact across the stack.
+    let g = golden[0].as_tensor().unwrap().data();
+    let d = out[0].as_tensor().unwrap().data();
+    for (a, b) in g.iter().zip(d) {
+        assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn canonicalized_pipeline_is_equivalent() {
+    let mut m = Module::new();
+    torch::build_hdc_dot_with(&mut m, 3, 5, 256, 1, true);
+    let (stored, queries) = hdc_inputs(3, 5, 256, 23);
+    let args = [Value::Tensor(queries), Value::Tensor(stored)];
+    let golden = Executor::new(&m).run("forward", &args).unwrap();
+
+    let s = spec(16, Optimization::Base);
+    let compiled = C4camPipeline::new(s.clone())
+        .with_options(PipelineOptions {
+            canonicalize: true,
+            ..PipelineOptions::default()
+        })
+        .compile(m)
+        .unwrap();
+    // The canonicalizer must collapse at least the single-trip bank
+    // loop or fold offsets — the module shrinks.
+    let text = c4cam::ir::print::print_module(&compiled.module);
+    assert!(
+        !text.contains("arith.addi") || text.len() < 100_000,
+        "canonicalized module should be simplified"
+    );
+    let mut machine = CamMachine::new(&s);
+    let out = Executor::with_machine(&compiled.module, &mut machine)
+        .run("forward", &args)
+        .unwrap();
+    assert_eq!(
+        out[1].as_tensor().unwrap().data(),
+        golden[1].as_tensor().unwrap().data(),
+        "canonicalized device path diverged"
+    );
+}
+
+#[test]
+fn wta_window_preserves_results_when_wide_enough() {
+    let mut m = Module::new();
+    torch::build_hdc_dot_with(&mut m, 2, 4, 128, 1, true);
+    let (stored, queries) = hdc_inputs(2, 4, 128, 5);
+    let args = [Value::Tensor(queries), Value::Tensor(stored)];
+    let golden = Executor::new(&m).run("forward", &args).unwrap();
+
+    let s = spec(16, Optimization::Base);
+    let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+    // A window as wide as the subarray cannot saturate anything.
+    let mut machine = CamMachine::new(&s);
+    machine.set_wta_window(Some(16));
+    let out = Executor::with_machine(&compiled.module, &mut machine)
+        .run("forward", &args)
+        .unwrap();
+    assert_eq!(
+        out[1].as_tensor().unwrap().data(),
+        golden[1].as_tensor().unwrap().data()
+    );
+}
+
+#[test]
+fn multibit_mcam_equivalence() {
+    let s = ArchSpec::builder()
+        .subarray(16, 16)
+        .hierarchy(2, 2, 4)
+        .bits_per_cell(2)
+        .cam_kind(c4cam::arch::CamKind::Mcam)
+        .build()
+        .unwrap();
+    let mut m = Module::new();
+    torch::build_hdc_dot_with(&mut m, 2, 4, 128, 1, true);
+    // Multi-bit patterns: levels 0..=3.
+    let mut stored = Vec::new();
+    for c in 0..4 {
+        for d in 0..128 {
+            stored.push(((d * 3 + c * 5) % 4) as f32);
+        }
+    }
+    let stored = Tensor::from_vec(vec![4, 128], stored).unwrap();
+    let queries = stored.slice2d(1, 0, 2, 128).unwrap();
+    let args = [Value::Tensor(queries), Value::Tensor(stored)];
+    let golden = Executor::new(&m).run("forward", &args).unwrap();
+    let device = C4camPipeline::new(s.clone()).compile(m).unwrap();
+    let mut machine = CamMachine::new(&s);
+    let out = Executor::with_machine(&device.module, &mut machine)
+        .run("forward", &args)
+        .unwrap();
+    assert_eq!(
+        out[1].as_tensor().unwrap().data(),
+        golden[1].as_tensor().unwrap().data()
+    );
+}

@@ -1,0 +1,390 @@
+//! Property-based tests (proptest) on the core invariants:
+//! printer/parser round-trips, simulator-vs-reference search semantics,
+//! partition/mapping equivalence, and cost-model monotonicity.
+
+use c4cam::arch::{ArchSpec, MatchKind, Metric, Optimization};
+use c4cam::camsim::{CamMachine, RowSelection, SearchSpec};
+use c4cam::compiler::mapping::{place, MappingProblem};
+use c4cam::ir::builder::{build_func, OpBuilder};
+use c4cam::ir::parse::parse_module;
+use c4cam::ir::print::print_module;
+use c4cam::ir::{Attribute, Module};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// IR printer/parser round-trip
+// ---------------------------------------------------------------------
+
+fn arb_attr() -> impl Strategy<Value = Attribute> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Attribute::Int),
+        (-1e9f64..1e9).prop_map(Attribute::Float),
+        any::<bool>().prop_map(Attribute::Bool),
+        "[a-z][a-z0-9_]{0,8}".prop_map(Attribute::Str),
+        Just(Attribute::Unit),
+        proptest::collection::vec(-100f32..100.0, 0..6)
+            .prop_map(|v| Attribute::dense_f32(vec![v.len() as i64], v)),
+    ];
+    leaf.prop_recursive(2, 8, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(Attribute::Array)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn printed_modules_reparse_identically(
+        attrs in proptest::collection::vec(("[a-z][a-z0-9]{0,6}", arb_attr()), 0..5),
+        shape in proptest::collection::vec(1i64..64, 1..3),
+        nops in 1usize..6,
+    ) {
+        let mut m = Module::new();
+        let f32t = m.f32_ty();
+        let ty = m.tensor_ty(&shape, f32t);
+        let (_, entry) = build_func(&mut m, "f", &[ty], &[ty]);
+        let mut value = m.block(entry).args[0];
+        for i in 0..nops {
+            let mut b = OpBuilder::at_end(&mut m, entry);
+            let op = if i == 0 {
+                let attr_vec: Vec<(&str, Attribute)> = attrs
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.clone()))
+                    .collect();
+                b.op("test.attrs", &[value], &[ty], attr_vec)
+            } else {
+                b.op("test.chain", &[value, value], &[ty], vec![])
+            };
+            value = m.result(op, 0);
+        }
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[value], &[], vec![]);
+
+        let text = print_module(&m);
+        let reparsed = parse_module(&text).expect("reparse");
+        prop_assert_eq!(print_module(&reparsed), text);
+    }
+
+    // -----------------------------------------------------------------
+    // Simulator search semantics vs a direct reference scan
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn exact_search_equals_reference_scan(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u8..2, 8), 1..12),
+        query in proptest::collection::vec(0u8..2, 8),
+    ) {
+        let spec = ArchSpec::builder().subarray(16, 8).build().unwrap();
+        let mut machine = CamMachine::new(&spec);
+        let sub = machine.alloc_chain().unwrap();
+        let data: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&b| f32::from(b)).collect())
+            .collect();
+        machine.write_rows(sub, 0, &data).unwrap();
+        let q: Vec<f32> = query.iter().map(|&b| f32::from(b)).collect();
+        let result = machine
+            .search(sub, &q, SearchSpec::new(MatchKind::Exact, Metric::Hamming))
+            .unwrap();
+        let expected: Vec<usize> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.as_slice() == q.as_slice())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(result.matching_rows(), expected);
+    }
+
+    #[test]
+    fn best_match_is_argmin_of_hamming(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u8..2, 12), 2..10),
+        query in proptest::collection::vec(0u8..2, 12),
+    ) {
+        let spec = ArchSpec::builder().subarray(16, 12).build().unwrap();
+        let mut machine = CamMachine::new(&spec);
+        let sub = machine.alloc_chain().unwrap();
+        let data: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&b| f32::from(b)).collect())
+            .collect();
+        machine.write_rows(sub, 0, &data).unwrap();
+        let q: Vec<f32> = query.iter().map(|&b| f32::from(b)).collect();
+        let result = machine
+            .search(sub, &q, SearchSpec::new(MatchKind::Best, Metric::Hamming))
+            .unwrap();
+        let dist = |r: &Vec<f32>| r.iter().zip(&q).filter(|(a, b)| a != b).count();
+        let min = data.iter().map(dist).min().unwrap();
+        let expected: Vec<usize> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| dist(r) == min)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(result.best_rows(), expected);
+    }
+
+    #[test]
+    fn selective_window_equals_restricted_scan(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u8..2, 8), 4..12),
+        query in proptest::collection::vec(0u8..2, 8),
+        start in 0usize..8,
+        len in 1usize..6,
+    ) {
+        let spec = ArchSpec::builder().subarray(16, 8).build().unwrap();
+        let mut machine = CamMachine::new(&spec);
+        let sub = machine.alloc_chain().unwrap();
+        let data: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&b| f32::from(b)).collect())
+            .collect();
+        machine.write_rows(sub, 0, &data).unwrap();
+        let q: Vec<f32> = query.iter().map(|&b| f32::from(b)).collect();
+        let result = machine
+            .search(
+                sub,
+                &q,
+                SearchSpec::new(MatchKind::Threshold, Metric::Hamming)
+                    .with_threshold(2.0)
+                    .with_selection(RowSelection::Window { start, len }),
+            )
+            .unwrap();
+        let window_end = (start + len).min(data.len());
+        let expected: Vec<usize> = (start.min(data.len())..window_end)
+            .filter(|&i| {
+                data[i].iter().zip(&q).filter(|(a, b)| a != b).count() <= 2
+            })
+            .collect();
+        prop_assert_eq!(result.matching_rows(), expected);
+    }
+
+    // -----------------------------------------------------------------
+    // Mapping invariants
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn placement_covers_all_tiles(
+        stored in 1usize..600,
+        dims in 1usize..4000,
+        n in prop_oneof![Just(16usize), Just(32), Just(64), Just(128)],
+        opt in prop_oneof![
+            Just(Optimization::Base),
+            Just(Optimization::Power),
+            Just(Optimization::Density),
+            Just(Optimization::PowerDensity),
+        ],
+    ) {
+        let spec = ArchSpec::builder()
+            .subarray(n, n)
+            .hierarchy(4, 4, 8)
+            .optimization(opt)
+            .build()
+            .unwrap();
+        let p = place(&spec, &MappingProblem {
+            stored_rows: stored,
+            feature_dims: dims,
+            queries: 1,
+        }).unwrap();
+        // Capacity: physical subarrays × batches cover all logical tiles.
+        prop_assert!(p.physical_subarrays * p.batches_per_subarray >= p.logical_tiles);
+        // No overshoot by more than one batch's worth.
+        prop_assert!((p.physical_subarrays - 1) * p.batches_per_subarray < p.logical_tiles);
+        // Rows fit the subarray.
+        prop_assert!(p.rows_used <= n);
+        prop_assert!(p.rows_used * p.batches_per_subarray <= n);
+        // Banks provide enough subarray slots.
+        prop_assert!(p.banks * spec.subarrays_per_bank() >= p.physical_subarrays);
+        // Padded rows cover the stored set.
+        prop_assert!(p.padded_rows >= stored);
+    }
+
+    #[test]
+    fn search_latency_monotonic_in_columns(
+        c1 in 16usize..256,
+        c2 in 16usize..256,
+    ) {
+        let tech = c4cam::arch::tech::TechnologyModel::fefet_45nm();
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(tech.search_latency_ns(lo, 1) <= tech.search_latency_ns(hi, 1));
+    }
+
+    // -----------------------------------------------------------------
+    // End-to-end: random geometry, device == host reference
+    //
+    // Contract (see DESIGN.md §4 and the `cam_map` docs): the device
+    // executes dot similarity as a symbol-match count — the Hamming
+    // complement — exactly as the FeFET CAM hardware of [22] does. That
+    // ranking equals true dot-product ranking iff the stored rows are
+    // norm-balanced (the HDC setting: random hypervectors are balanced
+    // by construction). So:
+    //   * for balanced stored rows, device == torch-level host output;
+    //   * for arbitrary rows, device == the min-Hamming reference.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn device_matches_host_for_random_geometries(
+        classes in 2usize..8,
+        dims_factor in 1usize..12,
+        nq in 1usize..4,
+        n in prop_oneof![Just(16usize), Just(32)],
+        opt in prop_oneof![
+            Just(Optimization::Base),
+            Just(Optimization::Power),
+            Just(Optimization::Density),
+        ],
+        seed in 0u64..1000,
+    ) {
+        use c4cam::compiler::dialects::torch;
+        use c4cam::compiler::pipeline::C4camPipeline;
+        use c4cam::ir::Module;
+        use c4cam::runtime::{Executor, Value};
+        use c4cam::tensor::Tensor;
+
+        let dims = dims_factor * 17; // deliberately non-divisible sizes
+        let ones = dims / 2 + 1;
+        let mut m = Module::new();
+        torch::build_hdc_dot_with(&mut m, nq as i64, classes as i64, dims as i64, 1, true);
+
+        // Deterministic xorshift.
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        // Balanced stored rows: exactly `ones` ones each (random HVs are
+        // balanced; this makes match-count ranking ≡ dot ranking).
+        let mut stored = Vec::with_capacity(classes * dims);
+        for _ in 0..classes {
+            let mut row = vec![0.0f32; dims];
+            let mut placed = 0usize;
+            while placed < ones {
+                let pos = (next() as usize) % dims;
+                if row[pos] == 0.0 {
+                    row[pos] = 1.0;
+                    placed += 1;
+                }
+            }
+            stored.extend(row);
+        }
+        let stored = Tensor::from_vec(vec![classes, dims], stored).unwrap();
+        let queries =
+            Tensor::from_vec(vec![nq, dims], (0..nq * dims).map(|_| (next() & 1) as f32).collect())
+                .unwrap();
+        let args = [Value::Tensor(queries.clone()), Value::Tensor(stored.clone())];
+
+        let golden = Executor::new(&m).run("forward", &args).unwrap();
+
+        let spec = ArchSpec::builder()
+            .subarray(n, n)
+            .hierarchy(2, 2, 4)
+            .optimization(opt)
+            .build()
+            .unwrap();
+        let compiled = C4camPipeline::new(spec.clone()).compile(m).unwrap();
+        let mut machine = CamMachine::new(&spec);
+        let out = Executor::with_machine(&compiled.module, &mut machine)
+            .run("forward", &args)
+            .unwrap();
+        let device_idx = out[1].as_tensor().unwrap().data().to_vec();
+        prop_assert_eq!(&device_idx, golden[1].as_tensor().unwrap().data());
+
+        // Independent min-Hamming reference (holds for ANY data).
+        for q in 0..nq {
+            let qrow = queries.row(q).unwrap();
+            let best = (0..classes)
+                .map(|c| Tensor::hamming_distance(qrow, stored.row(c).unwrap()).unwrap())
+                .enumerate()
+                .min_by_key(|&(i, d)| (d, i))
+                .map(|(i, _)| i)
+                .unwrap();
+            prop_assert_eq!(device_idx[q] as usize, best);
+        }
+
+        // Accounting sanity: the device did real work and time advanced.
+        let stats = machine.stats();
+        prop_assert!(stats.search_ops > 0);
+        prop_assert!(stats.latency_ns > 0.0);
+        prop_assert!(stats.total_energy_fj() > 0.0);
+    }
+
+    #[test]
+    fn device_matches_hamming_reference_for_unbalanced_rows(
+        classes in 2usize..6,
+        dims_factor in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        use c4cam::compiler::dialects::torch;
+        use c4cam::compiler::pipeline::C4camPipeline;
+        use c4cam::ir::Module;
+        use c4cam::runtime::{Executor, Value};
+        use c4cam::tensor::Tensor;
+
+        let dims = dims_factor * 13;
+        let mut m = Module::new();
+        torch::build_hdc_dot_with(&mut m, 1, classes as i64, dims as i64, 1, true);
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next_bit = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 1) as f32
+        };
+        // Unbalanced random rows: dot and Hamming rankings may differ;
+        // the device contract is min-Hamming.
+        let stored = Tensor::from_vec(
+            vec![classes, dims],
+            (0..classes * dims).map(|_| next_bit()).collect(),
+        )
+        .unwrap();
+        let queries =
+            Tensor::from_vec(vec![1, dims], (0..dims).map(|_| next_bit()).collect()).unwrap();
+        let args = [Value::Tensor(queries.clone()), Value::Tensor(stored.clone())];
+
+        let spec = ArchSpec::builder()
+            .subarray(16, 16)
+            .hierarchy(2, 2, 4)
+            .build()
+            .unwrap();
+        let compiled = C4camPipeline::new(spec.clone()).compile(m).unwrap();
+        let mut machine = CamMachine::new(&spec);
+        let out = Executor::with_machine(&compiled.module, &mut machine)
+            .run("forward", &args)
+            .unwrap();
+        let device_idx = out[1].as_tensor().unwrap().data()[0] as usize;
+        let qrow = queries.row(0).unwrap();
+        let best = (0..classes)
+            .map(|c| Tensor::hamming_distance(qrow, stored.row(c).unwrap()).unwrap())
+            .enumerate()
+            .min_by_key(|&(i, d)| (d, i))
+            .map(|(i, _)| i)
+            .unwrap();
+        prop_assert_eq!(device_idx, best);
+    }
+
+    #[test]
+    fn arch_spec_text_round_trips(
+        rows in 1usize..512,
+        cols in 1usize..512,
+        mats in 1usize..8,
+        arrays in 1usize..8,
+        subs in 1usize..16,
+        banks in proptest::option::of(1usize..64),
+        bits in 1u32..3,
+    ) {
+        let mut builder = ArchSpec::builder()
+            .subarray(rows, cols)
+            .hierarchy(mats, arrays, subs)
+            .bits_per_cell(bits);
+        if let Some(b) = banks {
+            builder = builder.banks(b);
+        }
+        let spec = builder.build().unwrap();
+        let text = spec.to_text();
+        let reparsed = c4cam::arch::parse_spec(&text).unwrap();
+        prop_assert_eq!(spec, reparsed);
+    }
+}
