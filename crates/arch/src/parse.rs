@@ -20,7 +20,11 @@ pub struct SpecParseError {
 
 impl fmt::Display for SpecParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "spec parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "spec parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

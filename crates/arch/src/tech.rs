@@ -306,7 +306,10 @@ mod tests {
         let ex = t.sense_latency_ns(MatchKind::Exact, 32, 32);
         let th = t.sense_latency_ns(MatchKind::Threshold, 32, 32);
         let be = t.sense_latency_ns(MatchKind::Best, 32, 32);
-        assert!(ex < th && th < be, "exact < threshold < best ({ex}, {th}, {be})");
+        assert!(
+            ex < th && th < be,
+            "exact < threshold < best ({ex}, {th}, {be})"
+        );
     }
 
     #[test]

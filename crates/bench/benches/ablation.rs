@@ -93,7 +93,10 @@ fn main() {
         config.wta_window = Some(window);
         let out = run_hdc(&config).expect("wta run");
         let acc = out.accuracy();
-        println!("window = {window:>3} mismatches per subarray: accuracy {:>5.1}%", acc * 100.0);
+        println!(
+            "window = {window:>3} mismatches per subarray: accuracy {:>5.1}%",
+            acc * 100.0
+        );
         if window >= 8 {
             assert!(
                 acc >= last_acc - 0.05,

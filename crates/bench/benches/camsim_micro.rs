@@ -30,14 +30,22 @@ fn bench_search(c: &mut Criterion) {
         group.bench_function(format!("best-hamming-{rows}x{cols}"), |b| {
             b.iter(|| {
                 machine
-                    .search(sub, &query, SearchSpec::new(MatchKind::Best, Metric::Hamming))
+                    .search(
+                        sub,
+                        &query,
+                        SearchSpec::new(MatchKind::Best, Metric::Hamming),
+                    )
                     .unwrap()
             })
         });
         group.bench_function(format!("exact-{rows}x{cols}"), |b| {
             b.iter(|| {
                 machine
-                    .search(sub, &query, SearchSpec::new(MatchKind::Exact, Metric::Hamming))
+                    .search(
+                        sub,
+                        &query,
+                        SearchSpec::new(MatchKind::Exact, Metric::Hamming),
+                    )
                     .unwrap()
             })
         });

@@ -16,7 +16,11 @@ fn arch_32xc(c: usize, bits: u32) -> ArchSpec {
     ArchSpec::builder()
         .subarray(32, c)
         .hierarchy(4, 4, 8)
-        .cam_kind(if bits > 1 { CamKind::Mcam } else { CamKind::Tcam })
+        .cam_kind(if bits > 1 {
+            CamKind::Mcam
+        } else {
+            CamKind::Tcam
+        })
         .bits_per_cell(bits)
         .optimization(Optimization::Base)
         .build()
@@ -28,7 +32,14 @@ fn main() {
     section("Figure 7: C4CAM vs hand-optimized manual mapping (HDC, 32xC subarrays)");
     println!(
         "{:<8} {:>4} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}",
-        "variant", "C", "C4CAM lat ns", "manual lat ns", "dev %", "C4CAM E pJ", "manual E pJ", "dev %"
+        "variant",
+        "C",
+        "C4CAM lat ns",
+        "manual lat ns",
+        "dev %",
+        "C4CAM E pJ",
+        "manual E pJ",
+        "dev %"
     );
 
     let mut lat_devs = Vec::new();
@@ -111,5 +122,7 @@ fn main() {
         let e2 = rows.iter().find(|r| r.0 == 2 && r.1 == c).unwrap().3;
         assert!(e2 > e1, "multi-bit must cost more energy (C={c})");
     }
-    println!("shape checks passed: latency grows with C, energy falls with C, 2-bit > 1-bit energy");
+    println!(
+        "shape checks passed: latency grows with C, energy falls with C, 2-bit > 1-bit energy"
+    );
 }

@@ -30,8 +30,7 @@ fn main() {
     let mut results: HashMap<(&str, usize), ExecStats> = HashMap::new();
     for (name, opt) in configs {
         for &n in &sizes {
-            let out = run_hdc(&HdcConfig::paper(paper_arch(n, opt, 1), simulated))
-                .expect("run");
+            let out = run_hdc(&HdcConfig::paper(paper_arch(n, opt, 1), simulated)).expect("run");
             results.insert((name, n), out.scaled_query_phase(full));
         }
     }
@@ -80,9 +79,8 @@ fn main() {
     }
     // Power-config latency penalty grows with N (paper: 2× at 32 up to
     // 4.86× at 256).
-    let penalty = |n: usize| {
-        results[&("cam-power", n)].latency_ms() / results[&("cam-base", n)].latency_ms()
-    };
+    let penalty =
+        |n: usize| results[&("cam-power", n)].latency_ms() / results[&("cam-base", n)].latency_ms();
     assert!(penalty(256) > penalty(32), "power penalty must grow with N");
     assert!(
         (1.5..4.5).contains(&penalty(32)),

@@ -65,8 +65,7 @@ fn main() {
     );
     // Latency grows moderately from 16 to 256 (paper: 58µs → 150µs,
     // ~2.6×).
-    let growth = results[&("iso-base", 256)].latency_ms()
-        / results[&("iso-base", 16)].latency_ms();
+    let growth = results[&("iso-base", 256)].latency_ms() / results[&("iso-base", 16)].latency_ms();
     assert!(
         (1.5..6.0).contains(&growth),
         "iso-base latency growth 16→256 should be moderate (got {growth:.2})"
@@ -80,7 +79,9 @@ fn main() {
             "density+power must cut power at {n}x{n} ({dp:.3} vs {base:.3})"
         );
     }
-    println!("\nshape checks passed: flat iso-base energy, moderate latency growth, density power cuts");
+    println!(
+        "\nshape checks passed: flat iso-base energy, moderate latency growth, density power cuts"
+    );
 }
 
 fn print_row_table(

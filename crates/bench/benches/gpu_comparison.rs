@@ -56,12 +56,9 @@ fn main() {
         "  energy improvement:         {:>6.1}x   (paper: 46.8x)",
         cmp.energy_improvement()
     );
-    let vs_manual = 100.0
-        * (cmp.latency_improvement() - manual_cmp.latency_improvement()).abs()
+    let vs_manual = 100.0 * (cmp.latency_improvement() - manual_cmp.latency_improvement()).abs()
         / manual_cmp.latency_improvement();
-    println!(
-        "  deviation from the manual design's improvement: {vs_manual:.2}% (paper: 5%)"
-    );
+    println!("  deviation from the manual design's improvement: {vs_manual:.2}% (paper: 5%)");
 
     assert!(
         cmp.latency_improvement() > 40.0,

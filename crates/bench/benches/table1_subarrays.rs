@@ -52,6 +52,9 @@ fn main() {
     );
 
     assert_eq!(based, paper_based, "cam-based counts must match Table I");
-    assert_eq!(density, paper_density, "cam-density counts must match Table I");
+    assert_eq!(
+        density, paper_density,
+        "cam-density counts must match Table I"
+    );
     println!("\nexact match with the paper's Table I on all 10 entries");
 }

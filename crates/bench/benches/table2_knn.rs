@@ -36,7 +36,10 @@ fn main() {
     );
 
     let mut table: Vec<(&str, usize, f64, f64)> = Vec::new();
-    for (name, opt) in [("cam-based", Optimization::Base), ("cam-power", Optimization::Power)] {
+    for (name, opt) in [
+        ("cam-based", Optimization::Base),
+        ("cam-power", Optimization::Power),
+    ] {
         for &n in &sizes {
             let config = KnnConfig {
                 spec: paper_arch(n, opt, 1),
@@ -113,5 +116,7 @@ fn main() {
         p16 > 0.5,
         "16x16 KNN power should be watts-scale (got {p16:.3} W)"
     );
-    println!("shape checks passed: EDP falls steeply; cam-power cuts power monotonically, pays EDP");
+    println!(
+        "shape checks passed: EDP falls steeply; cam-power cuts power monotonically, pays EDP"
+    );
 }

@@ -63,5 +63,7 @@ fn main() {
             "FeFET must be substantially more energy-efficient (N={n})"
         );
     }
-    println!("shape checks passed: CMOS faster, FeFET >1.5x more energy-efficient, results identical");
+    println!(
+        "shape checks passed: CMOS faster, FeFET >1.5x more energy-efficient, results identical"
+    );
 }

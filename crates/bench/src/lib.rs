@@ -143,8 +143,9 @@ impl ManualHdc {
             m.pop_scope(); // mats
             m.pop_scope();
         }
-        m.pop_scope(); // banks
-        // Host accumulation across banks, sequential.
+        // All hierarchy scopes closed ("banks" level included); the
+        // host now accumulates across banks, sequentially.
+        m.pop_scope();
         for _ in 0..self.placement.banks {
             m.merge(Level::Bank, self.stored_rows);
         }

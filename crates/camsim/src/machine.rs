@@ -551,10 +551,7 @@ impl CamMachine {
 
     /// The snapshot recorded under `name`, if any.
     pub fn phase(&self, name: &str) -> Option<&ExecStats> {
-        self.phases
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, s)| s)
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, s)| s)
     }
 }
 
@@ -708,7 +705,10 @@ mod tests {
         m.search(sub, &q, sel).unwrap();
         let windowed = m.stats();
         assert!(windowed.cell_energy_fj < full.cell_energy_fj);
-        assert!(windowed.latency_ns > full.latency_ns, "selective adds a cycle");
+        assert!(
+            windowed.latency_ns > full.latency_ns,
+            "selective adds a cycle"
+        );
     }
 
     #[test]

@@ -141,7 +141,10 @@ impl fmt::Display for ExecStats {
         writeln!(
             f,
             "alloc: {} banks, {} mats, {} arrays, {} subarrays",
-            self.banks_allocated, self.mats_allocated, self.arrays_allocated, self.subarrays_allocated
+            self.banks_allocated,
+            self.mats_allocated,
+            self.arrays_allocated,
+            self.subarrays_allocated
         )?;
         writeln!(
             f,

@@ -65,11 +65,7 @@ impl SearchResult {
 
     /// Rows achieving the minimum distance (the best-match winners).
     pub fn best_rows(&self) -> Vec<usize> {
-        let min = self
-            .distances
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let min = self.distances.iter().cloned().fold(f64::INFINITY, f64::min);
         self.rows
             .iter()
             .zip(&self.distances)
@@ -160,11 +156,7 @@ impl Subarray {
     ///
     /// # Errors
     /// Fails if the rows don't fit or a row is wider than the subarray.
-    pub fn write_cells(
-        &mut self,
-        row_offset: usize,
-        data: &[Vec<CamCell>],
-    ) -> Result<(), String> {
+    pub fn write_cells(&mut self, row_offset: usize, data: &[Vec<CamCell>]) -> Result<(), String> {
         if row_offset + data.len() > self.rows {
             return Err("cell write exceeds subarray rows".to_string());
         }
@@ -174,8 +166,7 @@ impl Subarray {
             }
             let r = row_offset + i;
             for c in 0..self.cols {
-                self.cells[r * self.cols + c] =
-                    row.get(c).copied().unwrap_or(CamCell::DontCare);
+                self.cells[r * self.cols + c] = row.get(c).copied().unwrap_or(CamCell::DontCare);
             }
             self.valid[r] = true;
         }

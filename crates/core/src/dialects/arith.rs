@@ -70,7 +70,9 @@ fn binary_name(name: &str) -> &'static str {
 fn verify_constant(m: &Module, op: OpId) -> Result<(), String> {
     let data = m.op(op);
     match data.attr("value") {
-        Some(Attribute::Int(_)) | Some(Attribute::Float(_)) | Some(Attribute::Dense { .. })
+        Some(Attribute::Int(_))
+        | Some(Attribute::Float(_))
+        | Some(Attribute::Dense { .. })
         | Some(Attribute::Bool(_)) => Ok(()),
         Some(_) => Err("arith.constant 'value' must be int, float, bool or dense".into()),
         None => Err("arith.constant requires a 'value' attribute".into()),

@@ -49,16 +49,22 @@ pub fn register(r: &mut DialectRegistry) {
             }),
     );
     r.register(
-        OpSpec::new("cam.store_handle", "record a subarray handle in the address table")
-            .operands(Arity::Exact(3))
-            .results(Arity::Exact(0))
-            .verifier(|m, op| expect_handle_operand(m, op, 2, CamLevel::Subarray)),
+        OpSpec::new(
+            "cam.store_handle",
+            "record a subarray handle in the address table",
+        )
+        .operands(Arity::Exact(3))
+        .results(Arity::Exact(0))
+        .verifier(|m, op| expect_handle_operand(m, op, 2, CamLevel::Subarray)),
     );
     r.register(
-        OpSpec::new("cam.load_handle", "look up a subarray handle from the address table")
-            .operands(Arity::Exact(2))
-            .results(Arity::Exact(1))
-            .verifier(|m, op| expect_handle_result(m, op, CamLevel::Subarray)),
+        OpSpec::new(
+            "cam.load_handle",
+            "look up a subarray handle from the address table",
+        )
+        .operands(Arity::Exact(2))
+        .results(Arity::Exact(1))
+        .verifier(|m, op| expect_handle_result(m, op, CamLevel::Subarray)),
     );
     r.register(
         OpSpec::new("cam.write_value", "program stored rows (data, row offset)")
@@ -97,15 +103,18 @@ pub fn register(r: &mut DialectRegistry) {
         .verifier(verify_merge_level),
     );
     r.register(
-        OpSpec::new("cam.phase_marker", "statistics phase boundary (no hardware effect)")
-            .operands(Arity::Exact(0))
-            .results(Arity::Exact(0))
-            .verifier(|m, op| {
-                m.op(op)
-                    .str_attr("name")
-                    .map(|_| ())
-                    .ok_or_else(|| "cam.phase_marker requires a 'name' attribute".to_string())
-            }),
+        OpSpec::new(
+            "cam.phase_marker",
+            "statistics phase boundary (no hardware effect)",
+        )
+        .operands(Arity::Exact(0))
+        .results(Arity::Exact(0))
+        .verifier(|m, op| {
+            m.op(op)
+                .str_attr("name")
+                .map(|_| ())
+                .ok_or_else(|| "cam.phase_marker requires a 'name' attribute".to_string())
+        }),
     );
     r.register(
         OpSpec::new("cam.reduce", "host-side final top-k over the score buffer")

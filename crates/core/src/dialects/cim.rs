@@ -313,6 +313,7 @@ pub fn build_similarity(
 ///
 /// Signature: `(stored [n, dims], queries [nq, dims]) ->
 /// (values [nq, k], indices [nq, k])`.
+#[allow(clippy::too_many_arguments)] // mirrors the op's attribute list
 pub fn build_similarity_kernel(
     m: &mut Module,
     name: &str,
@@ -372,11 +373,7 @@ mod tests {
         register(&mut r);
         crate::dialects::torch::register(&mut r);
         verify_module(&m, &r).unwrap();
-        let names: Vec<String> = m
-            .walk(func)
-            .iter()
-            .map(|&o| m.op(o).name.clone())
-            .collect();
+        let names: Vec<String> = m.walk(func).iter().map(|&o| m.op(o).name.clone()).collect();
         assert!(names.contains(&"cim.similarity".to_string()));
     }
 

@@ -49,7 +49,9 @@ fn verify_func(m: &Module, op: OpId) -> Result<(), String> {
     }
     for (i, (&a, &t)) in args.iter().zip(&inputs).enumerate() {
         if m.value_type(a) != t {
-            return Err(format!("entry block arg {i} type differs from function type"));
+            return Err(format!(
+                "entry block arg {i} type differs from function type"
+            ));
         }
     }
     Ok(())
@@ -69,7 +71,11 @@ fn verify_return(m: &Module, op: OpId) -> Result<(), String> {
         // Returns may appear in nested regions of other dialect tests.
         return Ok(());
     }
-    let fty = match m.op(parent_op).attr("function_type").and_then(|a| a.as_type()) {
+    let fty = match m
+        .op(parent_op)
+        .attr("function_type")
+        .and_then(|a| a.as_type())
+    {
         Some(t) => t,
         None => return Ok(()),
     };

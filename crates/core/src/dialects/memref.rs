@@ -14,10 +14,13 @@ pub fn register(r: &mut DialectRegistry) {
             .verifier(verify_alloc),
     );
     r.register(
-        OpSpec::new("memref.alloc_copy", "allocate a buffer holding a tensor copy")
-            .operands(Arity::Exact(1))
-            .results(Arity::Exact(1))
-            .verifier(verify_alloc_copy),
+        OpSpec::new(
+            "memref.alloc_copy",
+            "allocate a buffer holding a tensor copy",
+        )
+        .operands(Arity::Exact(1))
+        .results(Arity::Exact(1))
+        .verifier(verify_alloc_copy),
     );
     r.register(
         OpSpec::new("memref.to_tensor", "read a buffer back into a tensor value")
@@ -61,10 +64,7 @@ fn verify_to_tensor(m: &Module, op: OpId) -> Result<(), String> {
 }
 
 /// Build `memref.alloc` of the given f32 shape.
-pub fn build_alloc_f32(
-    b: &mut c4cam_ir::builder::OpBuilder<'_>,
-    shape: &[i64],
-) -> ValueId {
+pub fn build_alloc_f32(b: &mut c4cam_ir::builder::OpBuilder<'_>, shape: &[i64]) -> ValueId {
     let f32t = b.module().f32_ty();
     let ty = b.module().memref_ty(shape, f32t);
     let op = b.op("memref.alloc", &[], &[ty], vec![]);

@@ -145,10 +145,7 @@ pub fn build_for_iter(
 ) -> (OpId, BlockId, ValueId, Vec<ValueId>) {
     let mut operands = vec![lb, ub, step];
     operands.extend_from_slice(inits);
-    let result_tys: Vec<_> = inits
-        .iter()
-        .map(|&v| b.module().value_type(v))
-        .collect();
+    let result_tys: Vec<_> = inits.iter().map(|&v| b.module().value_type(v)).collect();
     let op = b.op_with_regions("scf.for", &operands, &result_tys, vec![], 1);
     let idx = b.module().index_ty();
     let mut arg_tys = vec![idx];
@@ -183,8 +180,7 @@ pub fn end_body(m: &mut Module, body: BlockId, values: &[ValueId]) {
 pub fn const_bounds(m: &Module, op: OpId) -> Option<(i64, i64, i64)> {
     let data = m.op(op);
     let mut out = [0i64; 3];
-    for i in 0..3 {
-        let v = data.operands[i];
+    for (slot, &v) in out.iter_mut().zip(&data.operands) {
         let def = match m.value(v).def {
             c4cam_ir::ValueDef::OpResult { op, .. } => op,
             _ => return None,
@@ -193,7 +189,7 @@ pub fn const_bounds(m: &Module, op: OpId) -> Option<(i64, i64, i64)> {
         if d.name != "arith.constant" {
             return None;
         }
-        out[i] = match d.attr("value") {
+        *slot = match d.attr("value") {
             Some(Attribute::Int(x)) => *x,
             _ => return None,
         };

@@ -17,10 +17,13 @@ pub const DYNAMIC_OFFSET: i64 = i64::MIN;
 /// Register the `tensor` ops.
 pub fn register(r: &mut DialectRegistry) {
     r.register(
-        OpSpec::new("tensor.extract_slice", "rectangular slice (clamp + zero-pad)")
-            .operands(Arity::AtLeast(1))
-            .results(Arity::Exact(1))
-            .verifier(verify_extract_slice),
+        OpSpec::new(
+            "tensor.extract_slice",
+            "rectangular slice (clamp + zero-pad)",
+        )
+        .operands(Arity::AtLeast(1))
+        .results(Arity::Exact(1))
+        .verifier(verify_extract_slice),
     );
     r.register(
         OpSpec::new("tensor.insert_slice", "write a patch into a tensor")
@@ -45,9 +48,7 @@ fn verify_extract_slice(m: &Module, op: OpId) -> Result<(), String> {
         .and_then(Attribute::as_int_array)
         .ok_or("extract_slice requires 'sizes'")?;
     if offsets.len() != rank || sizes.len() != rank {
-        return Err(format!(
-            "extract_slice offsets/sizes must have rank {rank}"
-        ));
+        return Err(format!("extract_slice offsets/sizes must have rank {rank}"));
     }
     let dynamic = offsets.iter().filter(|&&o| o == DYNAMIC_OFFSET).count();
     if data.operands.len() != 1 + dynamic {
@@ -79,11 +80,7 @@ pub fn build_extract_slice_2d(
     sizes: [i64; 2],
 ) -> ValueId {
     let src_ty = b.module_ref().value_type(src);
-    let elem = b
-        .module_ref()
-        .kind(src_ty)
-        .elem()
-        .expect("shaped source");
+    let elem = b.module_ref().kind(src_ty).elem().expect("shaped source");
     let res_ty = b.module().tensor_ty(&sizes, elem);
     let mut static_offsets = Vec::new();
     let mut operands = vec![src];
@@ -150,10 +147,7 @@ mod tests {
             [OffsetSpec::Static(0), OffsetSpec::Dynamic(iv)],
             [10, 32],
         );
-        assert_eq!(
-            m.kind(m.value_type(slice)).shape(),
-            Some(&[10i64, 32][..])
-        );
+        assert_eq!(m.kind(m.value_type(slice)).shape(), Some(&[10i64, 32][..]));
         verify_module(&m, &registry()).unwrap();
     }
 

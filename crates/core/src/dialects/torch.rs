@@ -179,7 +179,10 @@ pub fn build_transpose(b: &mut OpBuilder<'_>, t: ValueId, dim0: i64, dim1: i64) 
         "torch.transpose",
         &[t],
         &[ty],
-        vec![("dim0", Attribute::Int(dim0)), ("dim1", Attribute::Int(dim1))],
+        vec![
+            ("dim0", Attribute::Int(dim0)),
+            ("dim1", Attribute::Int(dim1)),
+        ],
     );
     b.module().result(op, 0)
 }
@@ -337,11 +340,7 @@ mod tests {
         let mut m = Module::new();
         let func = build_hdc_dot(&mut m, 10, 10, 8192, 1);
         verify_module(&m, &registry()).unwrap();
-        let names: Vec<String> = m
-            .walk(func)
-            .iter()
-            .map(|&o| m.op(o).name.clone())
-            .collect();
+        let names: Vec<String> = m.walk(func).iter().map(|&o| m.op(o).name.clone()).collect();
         assert_eq!(
             names,
             vec![
@@ -360,11 +359,7 @@ mod tests {
         let mut m = Module::new();
         let func = build_knn_eucl(&mut m, 64, 128, 5);
         verify_module(&m, &registry()).unwrap();
-        let names: Vec<String> = m
-            .walk(func)
-            .iter()
-            .map(|&o| m.op(o).name.clone())
-            .collect();
+        let names: Vec<String> = m.walk(func).iter().map(|&o| m.op(o).name.clone()).collect();
         assert!(names.contains(&"torch.sub".to_string()));
         assert!(names.contains(&"torch.norm".to_string()));
         assert!(names.contains(&"torch.topk".to_string()));
@@ -428,9 +423,6 @@ mod tests {
         let x = m.block(entry).args[0];
         let mut b = OpBuilder::at_end(&mut m, entry);
         let y = build_transpose(&mut b, x, -2, -1);
-        assert_eq!(
-            m.kind(m.value_type(y)).shape(),
-            Some(&[8192i64, 10][..])
-        );
+        assert_eq!(m.kind(m.value_type(y)).shape(), Some(&[8192i64, 10][..]));
     }
 }

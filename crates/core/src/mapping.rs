@@ -131,7 +131,10 @@ mod tests {
         // 512 subarrays at 128 per bank → 4 banks.
         let p = place(&square_spec(16, Optimization::Base), &hdc()).unwrap();
         assert_eq!(p.banks, 4);
-        assert_eq!(p.provisioned_subarrays(&square_spec(16, Optimization::Base)), 512);
+        assert_eq!(
+            p.provisioned_subarrays(&square_spec(16, Optimization::Base)),
+            512
+        );
         // 32 subarrays → 1 bank.
         let p = place(&square_spec(256, Optimization::Base), &hdc()).unwrap();
         assert_eq!(p.banks, 1);

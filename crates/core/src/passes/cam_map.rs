@@ -427,8 +427,7 @@ fn map_kernel(m: &mut Module, spec: &ArchSpec, k: &SimilarityKernel) -> Result<(
                     let lguard = begin_if_ult(&mut bt, l, c_logical);
                     {
                         let mut bl = OpBuilder::at_end(m, lguard);
-                        let (row_off, col_off, write_row) =
-                            tile_coords(&mut bl, &np, l, batch_iv);
+                        let (row_off, col_off, write_row) = tile_coords(&mut bl, &np, l, batch_iv);
                         let qslice = build_extract_slice_2d(
                             &mut bl,
                             k.query,
@@ -614,7 +613,11 @@ pub fn lower_flat_single_subarray(
         &[],
         vec![("dir", "horizontal".into())],
     );
-    let select_largest = if k.metric == "eucl" { k.largest } else { !k.largest };
+    let select_largest = if k.metric == "eucl" {
+        k.largest
+    } else {
+        !k.largest
+    };
     let f32t = b.module().f32_ty();
     let old_result_tys: Vec<c4cam_ir::Type> = b
         .module_ref()
@@ -671,8 +674,8 @@ mod tests {
     use super::*;
     use crate::dialects::{standard_registry, torch};
     use crate::passes::{CimFusePass, TorchToCimPass};
-    use c4cam_ir::verify::verify_module;
     use c4cam_arch::Optimization;
+    use c4cam_ir::verify::verify_module;
 
     fn spec(opt: Optimization) -> ArchSpec {
         ArchSpec::builder()

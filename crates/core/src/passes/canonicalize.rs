@@ -32,7 +32,8 @@ impl Pass for CanonicalizePass {
         // Run the three rewrites to a joint fixpoint (bounded).
         for _ in 0..32 {
             let folded = fold_constants(m).map_err(|e| PassError::new(self.name(), e))?;
-            let collapsed = collapse_trivial_loops(m).map_err(|e| PassError::new(self.name(), e))?;
+            let collapsed =
+                collapse_trivial_loops(m).map_err(|e| PassError::new(self.name(), e))?;
             let erased = dce(m);
             if folded + collapsed + erased == 0 {
                 return Ok(());
@@ -129,7 +130,12 @@ fn fold_constants(m: &mut Module) -> Result<usize, String> {
         if let Some(value) = folded {
             let ty = m.value_type(m.result(op, 0));
             let mut b = OpBuilder::before(m, op);
-            let c = b.op("arith.constant", &[], &[ty], vec![("value", Attribute::Int(value))]);
+            let c = b.op(
+                "arith.constant",
+                &[],
+                &[ty],
+                vec![("value", Attribute::Int(value))],
+            );
             let new = m.result(c, 0);
             let old = m.result(op, 0);
             m.replace_all_uses(old, new);
@@ -195,11 +201,10 @@ fn inline_single_iteration(m: &mut Module, loop_op: OpId, lb: i64) -> Result<(),
     let body_ops = m.block(body).ops.clone();
     let (inner, yield_op) = body_ops.split_at(body_ops.len() - 1);
     let yield_operands = m.op(yield_op[0]).operands.clone();
-    let mut insert_at = m.position_in_block(loop_op).ok_or("loop vanished")?;
-    for &inner_op in inner {
+    let insert_at = m.position_in_block(loop_op).ok_or("loop vanished")?;
+    for (at, &inner_op) in (insert_at..).zip(inner) {
         m.detach_op(inner_op);
-        m.insert_op(parent, insert_at, inner_op);
-        insert_at += 1;
+        m.insert_op(parent, at, inner_op);
     }
     // Loop results take the yielded values.
     for (&r, &y) in results.iter().zip(&yield_operands) {
@@ -263,11 +268,7 @@ mod tests {
         CanonicalizePass.run(&mut m).unwrap();
         // (4 + 8) * 2 folds to 24 feeding test.use.
         let func = m.lookup_symbol("f").unwrap();
-        let names: Vec<String> = m
-            .walk(func)
-            .iter()
-            .map(|&o| m.op(o).name.clone())
-            .collect();
+        let names: Vec<String> = m.walk(func).iter().map(|&o| m.op(o).name.clone()).collect();
         assert!(!names.contains(&"arith.addi".to_string()));
         assert!(!names.contains(&"arith.muli".to_string()));
         let use_op = m
@@ -296,11 +297,7 @@ mod tests {
 
         CanonicalizePass.run(&mut m).unwrap();
         let func = m.lookup_symbol("f").unwrap();
-        let names: Vec<String> = m
-            .walk(func)
-            .iter()
-            .map(|&o| m.op(o).name.clone())
-            .collect();
+        let names: Vec<String> = m.walk(func).iter().map(|&o| m.op(o).name.clone()).collect();
         assert!(!names.contains(&"scf.parallel".to_string()), "{names:?}");
         assert!(names.contains(&"test.effect".to_string()));
     }
@@ -321,11 +318,7 @@ mod tests {
         b.op("func.return", &[], &[], vec![]);
         CanonicalizePass.run(&mut m).unwrap();
         let func = m.lookup_symbol("f").unwrap();
-        let names: Vec<String> = m
-            .walk(func)
-            .iter()
-            .map(|&o| m.op(o).name.clone())
-            .collect();
+        let names: Vec<String> = m.walk(func).iter().map(|&o| m.op(o).name.clone()).collect();
         assert!(names.contains(&"scf.for".to_string()));
     }
 

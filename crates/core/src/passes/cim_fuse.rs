@@ -166,7 +166,8 @@ fn fuse_pair(m: &mut Module, a: Triple, b: Triple) -> Result<(), String> {
     // later consumers.
     let mut builder = OpBuilder::before(m, b.acquire);
     let handle = cim::build_acquire(&mut builder);
-    let (fused_exec, fused_body) = cim::build_execute(&mut builder, handle, &fused_inputs, &b_result_tys);
+    let (fused_exec, fused_body) =
+        cim::build_execute(&mut builder, handle, &fused_inputs, &b_result_tys);
     cim::build_release(&mut builder, handle);
 
     // Move a's inner ops (minus yield), then b's, into the fused body.
@@ -361,8 +362,7 @@ fn rewrite_to_similarity(
 
     let mut b = OpBuilder::before(m, triple.acquire);
     let handle = cim::build_acquire(&mut b);
-    let (exec, body) =
-        cim::build_execute(&mut b, handle, &[stored, query, k_value], &result_tys);
+    let (exec, body) = cim::build_execute(&mut b, handle, &[stored, query, k_value], &result_tys);
     cim::build_release(&mut b, handle);
 
     // Inner similarity op: always produces (values, indices). Each

@@ -173,11 +173,7 @@ pub fn find_similarity_kernels(m: &Module) -> Vec<SimilarityKernel> {
     out
 }
 
-fn partition_kernel(
-    m: &mut Module,
-    spec: &ArchSpec,
-    k: &SimilarityKernel,
-) -> Result<(), String> {
+fn partition_kernel(m: &mut Module, spec: &ArchSpec, k: &SimilarityKernel) -> Result<(), String> {
     let problem = MappingProblem {
         stored_rows: k.stored_rows,
         feature_dims: k.feature_dims,
@@ -337,11 +333,7 @@ mod tests {
         let mut m = Module::new();
         let func = torch::build_hdc_dot(&mut m, 10, 10, 8192, 1);
         lower_to_partitioned(&mut m, &spec_32());
-        let names: Vec<String> = m
-            .walk(func)
-            .iter()
-            .map(|&o| m.op(o).name.clone())
-            .collect();
+        let names: Vec<String> = m.walk(func).iter().map(|&o| m.op(o).name.clone()).collect();
         assert!(names.contains(&"scf.for".to_string()), "{names:?}");
         assert!(names.contains(&"cim.similarity_scores".to_string()));
         assert!(names.contains(&"cim.merge_partial".to_string()));
@@ -361,11 +353,7 @@ mod tests {
         let mut m = Module::new();
         let func = torch::build_hdc_dot(&mut m, 4, 4, 16, 1);
         lower_to_partitioned(&mut m, &spec_32());
-        let names: Vec<String> = m
-            .walk(func)
-            .iter()
-            .map(|&o| m.op(o).name.clone())
-            .collect();
+        let names: Vec<String> = m.walk(func).iter().map(|&o| m.op(o).name.clone()).collect();
         assert!(names.contains(&"cim.similarity".to_string()));
         assert!(!names.contains(&"scf.for".to_string()));
     }

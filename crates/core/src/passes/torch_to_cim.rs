@@ -71,7 +71,10 @@ fn convert_block(m: &mut Module, block: c4cam_ir::BlockId) -> Result<(), String>
                 m.erase_op(op);
             }
             "torch.constant_int" => {
-                let value = m.op(op).int_attr("value").ok_or("constant_int without value")?;
+                let value = m
+                    .op(op)
+                    .int_attr("value")
+                    .ok_or("constant_int without value")?;
                 let ty = m.value_type(m.result(op, 0));
                 let mut b = OpBuilder::before(m, op);
                 let c = b.op(
@@ -105,12 +108,7 @@ fn wrap_in_execute(m: &mut Module, op: OpId, cim_op_name: &str) -> Result<(), St
         .iter()
         .map(|(k, v)| (k.clone(), v.clone()))
         .collect();
-    let result_tys: Vec<_> = m
-        .op(op)
-        .results
-        .iter()
-        .map(|&r| m.value_type(r))
-        .collect();
+    let result_tys: Vec<_> = m.op(op).results.iter().map(|&r| m.value_type(r)).collect();
     let old_results = m.op(op).results.clone();
 
     let mut b = OpBuilder::before(m, op);
@@ -147,11 +145,7 @@ mod tests {
         let func = torch::build_hdc_dot(&mut m, 10, 10, 8192, 1);
         TorchToCimPass.run(&mut m).unwrap();
         verify_module(&m, &standard_registry()).unwrap();
-        let names: Vec<String> = m
-            .walk(func)
-            .iter()
-            .map(|&o| m.op(o).name.clone())
-            .collect();
+        let names: Vec<String> = m.walk(func).iter().map(|&o| m.op(o).name.clone()).collect();
         // transpose, matmul, topk → 3 triples; constant_int → arith.
         assert_eq!(
             names.iter().filter(|n| *n == "cim.acquire").count(),
@@ -184,11 +178,7 @@ mod tests {
         let c = torch::build_constant(&mut b, &[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
         b.op("func.return", &[c], &[], vec![]);
         TorchToCimPass.run(&mut m).unwrap();
-        let names: Vec<String> = m
-            .walk(func)
-            .iter()
-            .map(|&o| m.op(o).name.clone())
-            .collect();
+        let names: Vec<String> = m.walk(func).iter().map(|&o| m.op(o).name.clone()).collect();
         assert!(names.contains(&"arith.constant".to_string()));
         assert!(!names.contains(&"torch.constant".to_string()));
         verify_module(&m, &standard_registry()).unwrap();

@@ -291,9 +291,9 @@ fn lower_expr(
             .ok_or_else(|| FrontendError::new(0, format!("undefined name '{n}'"))),
         Expr::Attr { base, name } => {
             if matches!(&**base, Expr::Name(n) if n == "self") {
-                env.get(&format!("self.{name}")).cloned().ok_or_else(|| {
-                    FrontendError::new(0, format!("unknown parameter self.{name}"))
-                })
+                env.get(&format!("self.{name}"))
+                    .cloned()
+                    .ok_or_else(|| FrontendError::new(0, format!("unknown parameter self.{name}")))
             } else {
                 Err(FrontendError::new(
                     0,
@@ -561,7 +561,11 @@ def forward(self, input: Tensor, dot: bool = False) -> Tensor:
         for op in lowered.module.walk(lowered.func) {
             if lowered.module.op(op).name == "torch.topk" {
                 assert_eq!(
-                    lowered.module.op(op).attr("largest").and_then(|a| a.as_bool()),
+                    lowered
+                        .module
+                        .op(op)
+                        .attr("largest")
+                        .and_then(|a| a.as_bool()),
                     Some(false)
                 );
             }
@@ -643,7 +647,10 @@ def knn(self, query: Tensor) -> Tensor:
         let out = Executor::new(&lowered.module)
             .run(
                 "forward",
-                &[Value::Tensor(queries.clone()), Value::Tensor(stored.clone())],
+                &[
+                    Value::Tensor(queries.clone()),
+                    Value::Tensor(stored.clone()),
+                ],
             )
             .unwrap();
         let scores = queries.matmul(&stored.transpose2d().unwrap()).unwrap();

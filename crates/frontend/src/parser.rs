@@ -40,6 +40,8 @@ impl fmt::Display for FrontendError {
 impl Error for FrontendError {}
 
 type FResult<T> = Result<T, FrontendError>;
+/// Positional and keyword arguments of a call expression.
+type CallArgs = (Vec<Expr>, Vec<(String, Expr)>);
 
 /// Parse all `def`s in `src`.
 ///
@@ -331,7 +333,7 @@ impl<'a> ExprParser<'a> {
         }
     }
 
-    fn parse_call_args(&mut self) -> FResult<(Vec<Expr>, Vec<(String, Expr)>)> {
+    fn parse_call_args(&mut self) -> FResult<CallArgs> {
         let mut args = Vec::new();
         let mut kwargs = Vec::new();
         if self.eat(b')') {
@@ -341,9 +343,7 @@ impl<'a> ExprParser<'a> {
             // kwarg lookahead: ident '=' (but not '==').
             let save = self.pos;
             if let Ok(name) = self.parse_ident() {
-                if self.peek() == Some(b'=')
-                    && self.src.get(self.pos + 1) != Some(&b'=')
-                {
+                if self.peek() == Some(b'=') && self.src.get(self.pos + 1) != Some(&b'=') {
                     self.pos += 1;
                     let value = self.parse_additive()?;
                     kwargs.push((name, value));
@@ -458,7 +458,11 @@ def forward(self, input: Tensor, dot: bool = False) -> Tensor:
             Stmt::Assign { targets, value } => {
                 assert_eq!(targets, &vec!["values".to_string(), "indices".to_string()]);
                 match value {
-                    Expr::Call { callee, args, kwargs } => {
+                    Expr::Call {
+                        callee,
+                        args,
+                        kwargs,
+                    } => {
                         assert_eq!(callee.dotted_path().as_deref(), Some("torch.ops.aten.topk"));
                         assert_eq!(args.len(), 2);
                         assert_eq!(args[1], Expr::Int(1));
@@ -473,7 +477,9 @@ def forward(self, input: Tensor, dot: bool = False) -> Tensor:
 
     #[test]
     fn parses_binary_operators_with_precedence() {
-        let funcs = parse_source("def f(self, a: Tensor, b: Tensor):\n    c = a - b / b\n    return c\n").unwrap();
+        let funcs =
+            parse_source("def f(self, a: Tensor, b: Tensor):\n    c = a - b / b\n    return c\n")
+                .unwrap();
         match &funcs[0].body[0] {
             Stmt::Assign { value, .. } => match value {
                 Expr::BinOp { op: '-', rhs, .. } => {
@@ -491,13 +497,13 @@ def forward(self, input: Tensor, dot: bool = False) -> Tensor:
             parse_source("def f(self, x: Tensor):\n    y = x.transpose(-2, -1)\n    return y\n")
                 .unwrap();
         match &funcs[0].body[0] {
-            Stmt::Assign { value, .. } => match value {
-                Expr::Call { args, .. } => {
-                    assert_eq!(args[0], Expr::Int(-2));
-                    assert_eq!(args[1], Expr::Int(-1));
-                }
-                _ => panic!(),
-            },
+            Stmt::Assign {
+                value: Expr::Call { args, .. },
+                ..
+            } => {
+                assert_eq!(args[0], Expr::Int(-2));
+                assert_eq!(args[1], Expr::Int(-1));
+            }
             _ => panic!(),
         }
     }
@@ -546,10 +552,9 @@ def g(self, y: Tensor):
 
     #[test]
     fn return_tuple_parses() {
-        let funcs = parse_source(
-            "def f(self, x: Tensor):\n    v, i = torch.topk(x, 3)\n    return v, i\n",
-        )
-        .unwrap();
+        let funcs =
+            parse_source("def f(self, x: Tensor):\n    v, i = torch.topk(x, 3)\n    return v, i\n")
+                .unwrap();
         match &funcs[0].body[1] {
             Stmt::Return(exprs) => assert_eq!(exprs.len(), 2),
             _ => panic!(),

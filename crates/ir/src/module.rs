@@ -383,10 +383,7 @@ impl Module {
             name: name.to_string(),
             operands: operands.to_vec(),
             results,
-            attrs: attrs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
+            attrs: attrs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
             regions: vec![Vec::new(); num_regions],
             parent: None,
         };
@@ -641,8 +638,7 @@ impl Module {
             current = self
                 .block(block)
                 .parent
-                .map(|(parent_op, _)| self.op(parent_op).parent)
-                .flatten();
+                .and_then(|(parent_op, _)| self.op(parent_op).parent);
         }
         out
     }
@@ -661,13 +657,7 @@ mod tests {
         let mut m = Module::new();
         let f32t = m.f32_ty();
         let ty = m.tensor_ty(&[4, 4], f32t);
-        let func = m.create_op(
-            "func.func",
-            &[],
-            &[],
-            vec![("sym_name", "main".into())],
-            1,
-        );
+        let func = m.create_op("func.func", &[], &[], vec![("sym_name", "main".into())], 1);
         let body = m.body();
         m.push_op(body, func);
         let entry = m.add_block(func, 0, &[ty]);

@@ -113,11 +113,7 @@ mod tests {
             "double-to-add"
         }
 
-        fn match_and_rewrite(
-            &self,
-            m: &mut Module,
-            op: OpId,
-        ) -> Result<MatchResult, RewriteError> {
+        fn match_and_rewrite(&self, m: &mut Module, op: OpId) -> Result<MatchResult, RewriteError> {
             if m.op(op).name != "t.double" {
                 return Ok(MatchResult::NoMatch);
             }
@@ -141,11 +137,7 @@ mod tests {
             "fold-self-add"
         }
 
-        fn match_and_rewrite(
-            &self,
-            m: &mut Module,
-            op: OpId,
-        ) -> Result<MatchResult, RewriteError> {
+        fn match_and_rewrite(&self, m: &mut Module, op: OpId) -> Result<MatchResult, RewriteError> {
             let data = m.op(op);
             if data.name != "t.add" || data.operands[0] != data.operands[1] {
                 return Ok(MatchResult::NoMatch);

@@ -277,19 +277,13 @@ impl<'a> Executor<'a> {
                 let a = match self.get(env, self.m.operand(op, 0))? {
                     Value::Float(f) => f,
                     other => {
-                        return Err(ExecError::new(format!(
-                            "float op on {}",
-                            other.kind_name()
-                        )))
+                        return Err(ExecError::new(format!("float op on {}", other.kind_name())))
                     }
                 };
                 let b = match self.get(env, self.m.operand(op, 1))? {
                     Value::Float(f) => f,
                     other => {
-                        return Err(ExecError::new(format!(
-                            "float op on {}",
-                            other.kind_name()
-                        )))
+                        return Err(ExecError::new(format!("float op on {}", other.kind_name())))
                     }
                 };
                 let r = match name.as_str() {
@@ -596,9 +590,7 @@ impl<'a> Executor<'a> {
                     Some("mat") => Level::Mat,
                     Some("array") => Level::Array,
                     Some("subarray") => Level::Subarray,
-                    other => {
-                        return Err(ExecError::new(format!("bad merge level {other:?}")))
-                    }
+                    other => return Err(ExecError::new(format!("bad merge level {other:?}"))),
                 };
                 let elems = self.m.op(op).int_attr("elems").unwrap_or(1) as usize;
                 self.machine()?.merge(level, elems);
@@ -837,9 +829,7 @@ impl<'a> Executor<'a> {
             // The cosine pattern yields the full normalized matrix (no
             // top-k in Algorithm 1); indices are the column ids.
             let (nq, ns) = (scores.shape()[0], scores.shape()[1]);
-            let idx: Vec<f32> = (0..nq)
-                .flat_map(|_| (0..ns).map(|j| j as f32))
-                .collect();
+            let idx: Vec<f32> = (0..nq).flat_map(|_| (0..ns).map(|j| j as f32)).collect();
             let vals = self.reshape_declared(scores, self.m.result(op, 0))?;
             let idx = Tensor::from_vec(vec![nq, ns], idx).map_err(te)?;
             let idx = self.reshape_declared(idx, self.m.result(op, 1))?;
@@ -871,9 +861,9 @@ impl<'a> Executor<'a> {
         let data = self.m.op(op);
         let largest = self.bool_attr(op, "largest")?;
         let metric = data.str_attr("metric").unwrap_or("dot").to_string();
-        let n_valid = data
-            .int_attr("n_valid")
-            .ok_or_else(|| ExecError::new("cim.reduce without n_valid"))? as usize;
+        let n_valid =
+            data.int_attr("n_valid")
+                .ok_or_else(|| ExecError::new("cim.reduce without n_valid"))? as usize;
         let (vals, idx) = reduce_scores(&acc, k, n_valid, largest, &metric, false)?;
         let vals = self.reshape_declared(vals, self.m.result(op, 0))?;
         let idx = self.reshape_declared(idx, self.m.result(op, 1))?;
@@ -889,10 +879,9 @@ impl<'a> Executor<'a> {
         let k = data
             .int_attr("k")
             .ok_or_else(|| ExecError::new("cam.reduce without k"))? as usize;
-        let n_valid = data
-            .int_attr("n_valid")
-            .ok_or_else(|| ExecError::new("cam.reduce without n_valid"))?
-            as usize;
+        let n_valid =
+            data.int_attr("n_valid")
+                .ok_or_else(|| ExecError::new("cam.reduce without n_valid"))? as usize;
         let select_largest = self.bool_attr(op, "select_largest")?;
         let metric = data.str_attr("metric").unwrap_or("dot").to_string();
         let (vals, idx) = reduce_scores(&acc, k, n_valid, select_largest, &metric, true)?;
@@ -1117,8 +1106,8 @@ mod tests {
     use super::*;
     use c4cam_arch::ArchSpec;
     use c4cam_core::dialects::torch;
-    use c4cam_ir::pass::Pass;
     use c4cam_core::pipeline::{C4camPipeline, PipelineOptions, Target};
+    use c4cam_ir::pass::Pass;
     use c4cam_ir::Module;
 
     fn hdc_inputs(nq: usize, classes: usize, dims: usize) -> (Tensor, Tensor) {
@@ -1133,7 +1122,7 @@ mod tests {
         for q in 0..nq {
             for d in 0..dims {
                 // Query q is a noisy copy of class q % classes.
-                let base = f32::from(u8::from((d + (q % classes)) % 3 == 0));
+                let base = f32::from(u8::from((d + (q % classes)).is_multiple_of(3)));
                 let flip = f32::from(u8::from(d % 97 == q));
                 queries.push((base + flip) % 2.0);
             }
@@ -1152,7 +1141,10 @@ mod tests {
         let out = Executor::new(&m)
             .run(
                 "forward",
-                &[Value::Tensor(queries.clone()), Value::Tensor(stored.clone())],
+                &[
+                    Value::Tensor(queries.clone()),
+                    Value::Tensor(stored.clone()),
+                ],
             )
             .unwrap();
         // Manual reference.
@@ -1201,7 +1193,9 @@ mod tests {
             })
             .compile(m)
             .unwrap();
-        let out = Executor::new(&compiled.module).run("forward", &args).unwrap();
+        let out = Executor::new(&compiled.module)
+            .run("forward", &args)
+            .unwrap();
         assert_eq!(
             reference[1].as_tensor().unwrap(),
             out[1].as_tensor().unwrap(),
@@ -1255,9 +1249,7 @@ mod tests {
             }
         }
         let stored = Tensor::from_vec(vec![40, 32], stored).unwrap();
-        let query: Vec<f32> = (0..32)
-            .map(|d| f32::from(u8::from(d % 5 == 0)))
-            .collect();
+        let query: Vec<f32> = (0..32).map(|d| f32::from(u8::from(d % 5 == 0))).collect();
         let query = Tensor::from_vec(vec![1, 32], query).unwrap();
         let args = [Value::Tensor(stored), Value::Tensor(query)];
         let reference = Executor::new(&m).run("knn", &args).unwrap();

@@ -128,7 +128,11 @@ impl Tensor {
 
     /// L2 norm of the whole tensor.
     pub fn norm_l2(&self) -> f32 {
-        self.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+        self.data()
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Row-wise L2 norms of a rank-2 tensor: `[m,n] -> [m]`.
@@ -143,7 +147,12 @@ impl Tensor {
         let mut out = Vec::with_capacity(m);
         for i in 0..m {
             let row = &self.data()[i * n..(i + 1) * n];
-            out.push(row.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32);
+            out.push(
+                row.iter()
+                    .map(|&x| (x as f64) * (x as f64))
+                    .sum::<f64>()
+                    .sqrt() as f32,
+            );
         }
         Tensor::from_vec(vec![m], out)
     }
@@ -170,7 +179,9 @@ impl Tensor {
             let row = &self.data()[i * n..(i + 1) * n];
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| {
-                let cmp = row[a].partial_cmp(&row[b]).unwrap_or(std::cmp::Ordering::Equal);
+                let cmp = row[a]
+                    .partial_cmp(&row[b])
+                    .unwrap_or(std::cmp::Ordering::Equal);
                 let cmp = if largest { cmp.reverse() } else { cmp };
                 cmp.then(a.cmp(&b))
             });

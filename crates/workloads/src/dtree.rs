@@ -98,12 +98,28 @@ impl DecisionTree {
             .find(|(f, _, _)| *f == feature)
             .map(|&(_, l, h)| (l, h))
             .unwrap_or((0.0, 1.0));
-        let threshold = lo + (hi - lo) * rng.gen_range(0.25..0.75);
+        let threshold = lo + (hi - lo) * rng.gen_range(0.25f32..0.75);
         constraints.push((feature, lo, threshold));
-        let left = Self::grow(rng, features, classes, depth - 1, lo, threshold, constraints);
+        let left = Self::grow(
+            rng,
+            features,
+            classes,
+            depth - 1,
+            lo,
+            threshold,
+            constraints,
+        );
         constraints.pop();
         constraints.push((feature, threshold, hi));
-        let right = Self::grow(rng, features, classes, depth - 1, threshold, hi, constraints);
+        let right = Self::grow(
+            rng,
+            features,
+            classes,
+            depth - 1,
+            threshold,
+            hi,
+            constraints,
+        );
         constraints.pop();
         TreeNode::Split {
             feature,
@@ -143,11 +159,7 @@ impl DecisionTree {
         rows
     }
 
-    fn collect(
-        node: &TreeNode,
-        intervals: &mut Vec<Option<(f32, f32)>>,
-        rows: &mut Vec<PathRow>,
-    ) {
+    fn collect(node: &TreeNode, intervals: &mut Vec<Option<(f32, f32)>>, rows: &mut Vec<PathRow>) {
         match node {
             TreeNode::Leaf { class } => rows.push(PathRow {
                 intervals: intervals.clone(),
@@ -185,7 +197,11 @@ impl DecisionTree {
     pub fn samples(&self, n: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
         (0..n)
-            .map(|_| (0..self.features).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .map(|_| {
+                (0..self.features)
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect()
+            })
             .collect()
     }
 }
@@ -232,11 +248,7 @@ mod tests {
                     })
                 })
                 .collect();
-            assert_eq!(
-                accepting.len(),
-                1,
-                "paths must partition the feature space"
-            );
+            assert_eq!(accepting.len(), 1, "paths must partition the feature space");
             assert_eq!(accepting[0].class, tree.classify(&sample));
         }
     }
@@ -249,11 +261,7 @@ mod tests {
             let mut matched_class = None;
             for row in &rows {
                 let cells = row.to_cells();
-                if cells
-                    .iter()
-                    .zip(&sample)
-                    .all(|(c, &x)| c.matches(x))
-                {
+                if cells.iter().zip(&sample).all(|(c, &x)| c.matches(x)) {
                     matched_class = Some(row.class);
                     break;
                 }

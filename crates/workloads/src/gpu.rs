@@ -62,7 +62,8 @@ impl GpuModel {
     /// Latency of classifying `queries` hypervectors of `dims` int32
     /// elements against `classes` prototypes, in seconds.
     pub fn hdc_latency_s(&self, queries: usize, classes: usize, dims: usize) -> f64 {
-        let bytes_per_elem = 4.0; // int32 elements (paper §IV-A3)
+        // int32 elements (paper §IV-A3).
+        let bytes_per_elem = 4.0;
         // Traffic: queries + stored prototypes + score matrix + topk.
         let traffic_bytes = (queries * dims) as f64 * bytes_per_elem
             + (classes * dims) as f64 * bytes_per_elem

@@ -71,7 +71,7 @@ impl HdcModel {
     /// labels)`.
     pub fn queries(&self, n: usize, flip_rate: f64, seed: u64) -> (Tensor, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
-        let levels = (1u32 << self.bits) as u32;
+        let levels = 1u32 << self.bits;
         let mut data = Vec::with_capacity(n * self.dims);
         let mut labels = Vec::with_capacity(n);
         for q in 0..n {
@@ -139,7 +139,11 @@ mod tests {
         let m1 = HdcModel::random(4, 256, 1, 1);
         assert!(m1.class_hvs().data().iter().all(|&v| v == 0.0 || v == 1.0));
         let m2 = HdcModel::random(4, 256, 2, 1);
-        assert!(m2.class_hvs().data().iter().all(|&v| (0.0..=3.0).contains(&v)));
+        assert!(m2
+            .class_hvs()
+            .data()
+            .iter()
+            .all(|&v| (0.0..=3.0).contains(&v)));
         assert_eq!(m2.bits(), 2);
     }
 

@@ -41,11 +41,7 @@ pub fn accuracy(predicted: &[usize], labels: &[usize]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    let hits = predicted
-        .iter()
-        .zip(labels)
-        .filter(|(p, l)| p == l)
-        .count();
+    let hits = predicted.iter().zip(labels).filter(|(p, l)| p == l).count();
     hits as f64 / predicted.len() as f64
 }
 

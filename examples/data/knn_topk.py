@@ -1,0 +1,5 @@
+def forward(self, input: Tensor) -> Tensor:
+    others = self.weight.transpose(-2, -1)
+    matmul = torch.matmul(input, (others))
+    values, indices = torch.ops.aten.topk(matmul, 1, largest=True)
+    return values, indices

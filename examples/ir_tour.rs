@@ -38,7 +38,10 @@ def forward(self, input: Tensor) -> Tensor:
         })
         .compile(lowered.module.clone())?;
     for (stage, text) in &compiled.snapshots {
-        println!("==== after {stage} {}", "=".repeat(44usize.saturating_sub(stage.len())));
+        println!(
+            "==== after {stage} {}",
+            "=".repeat(44usize.saturating_sub(stage.len()))
+        );
         println!("{text}");
     }
 

@@ -27,7 +27,10 @@ def forward(self, input: Tensor) -> Tensor:
         .input(vec![4, 256])
         .parameter("weight", vec![8, 256]);
     let lowered = parse_torchscript(source, &config)?;
-    println!("parsed '{}' with args {:?}", lowered.name, lowered.arg_order);
+    println!(
+        "parsed '{}' with args {:?}",
+        lowered.name, lowered.arg_order
+    );
 
     // 3. The architecture specification (paper §III-B).
     let spec = ArchSpec::builder()
@@ -40,11 +43,7 @@ def forward(self, input: Tensor) -> Tensor:
     let compiled = C4camPipeline::new(spec.clone()).compile(lowered.module)?;
     println!(
         "pipeline ran: {:?}",
-        compiled
-            .timings
-            .iter()
-            .map(|t| t.name)
-            .collect::<Vec<_>>()
+        compiled.timings.iter().map(|t| t.name).collect::<Vec<_>>()
     );
 
     // 5. Data: class 3's hypervector, noiselessly queried.

@@ -147,7 +147,9 @@ pub fn parse_shape(text: &str) -> Result<Vec<i64>, CliError> {
     let dims: Result<Vec<i64>, _> = text.split('x').map(str::parse).collect();
     match dims {
         Ok(d) if !d.is_empty() && d.iter().all(|&x| x > 0) => Ok(d),
-        _ => Err(cli_err(format!("invalid shape '{text}' (expected e.g. 10x8192)"))),
+        _ => Err(cli_err(format!(
+            "invalid shape '{text}' (expected e.g. 10x8192)"
+        ))),
     }
 }
 
@@ -168,7 +170,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut queries = 1usize;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                          flag: &str|
+                      flag: &str|
      -> Result<String, CliError> {
         it.next()
             .cloned()
@@ -440,12 +442,10 @@ fn read_csv_tensor(path: &str, shape: &[usize]) -> Result<Tensor, CliError> {
             continue;
         }
         for field in line.split(',') {
-            let v: f32 = field.trim().parse().map_err(|_| {
-                cli_err(format!(
-                    "{path}:{}: invalid number '{field}'",
-                    lineno + 1
-                ))
-            })?;
+            let v: f32 = field
+                .trim()
+                .parse()
+                .map_err(|_| cli_err(format!("{path}:{}: invalid number '{field}'", lineno + 1)))?;
             data.push(v);
         }
     }
@@ -613,10 +613,7 @@ mats_per_bank: 2
         let spec = write_temp("spec3.txt", SPEC);
         let kernel = write_temp("kernel3.py", KERNEL);
         // queries: 2 rows of 8; weight: 4 rows of 8.
-        let q = write_temp(
-            "q.csv",
-            "1,0,1,0,1,0,1,0\n0,1,0,1,0,1,0,1\n",
-        );
+        let q = write_temp("q.csv", "1,0,1,0,1,0,1,0\n0,1,0,1,0,1,0,1\n");
         let w = write_temp(
             "w.csv",
             "1,0,1,0,1,0,1,0\n0,1,0,1,0,1,0,1\n1,1,1,1,0,0,0,0\n0,0,0,0,1,1,1,1\n",
@@ -635,7 +632,11 @@ mats_per_bank: 2
         };
         let report = run_run(&args).unwrap();
         // Query 0 == weight row 0, query 1 == weight row 1.
-        assert!(report.outputs[1].contains("[0.0, 1.0]"), "{:?}", report.outputs);
+        assert!(
+            report.outputs[1].contains("[0.0, 1.0]"),
+            "{:?}",
+            report.outputs
+        );
     }
 
     #[test]

@@ -136,7 +136,11 @@ pub fn paper_arch(n: usize, optimization: Optimization, bits: u32) -> ArchSpec {
     ArchSpec::builder()
         .subarray(n, n)
         .hierarchy(4, 4, 8)
-        .cam_kind(if bits > 1 { CamKind::Mcam } else { CamKind::Tcam })
+        .cam_kind(if bits > 1 {
+            CamKind::Mcam
+        } else {
+            CamKind::Tcam
+        })
         .bits_per_cell(bits)
         .optimization(optimization)
         .build()
@@ -148,7 +152,12 @@ pub fn paper_arch(n: usize, optimization: Optimization, bits: u32) -> ArchSpec {
 /// # Errors
 /// Propagates compile and execution failures.
 pub fn run_hdc(config: &HdcConfig) -> Result<RunOutcome, DriverError> {
-    let model = HdcModel::random(config.classes, config.dims, config.spec.bits_per_cell, config.seed);
+    let model = HdcModel::random(
+        config.classes,
+        config.dims,
+        config.spec.bits_per_cell,
+        config.seed,
+    );
     let (queries, labels) = model.queries(config.queries, config.flip_rate, config.seed);
 
     let mut module = Module::new();
@@ -196,8 +205,12 @@ pub fn run_hdc_with_tech(
     config: &HdcConfig,
     tech: c4cam_arch::tech::TechnologyModel,
 ) -> Result<RunOutcome, DriverError> {
-    let model =
-        HdcModel::random(config.classes, config.dims, config.spec.bits_per_cell, config.seed);
+    let model = HdcModel::random(
+        config.classes,
+        config.dims,
+        config.spec.bits_per_cell,
+        config.seed,
+    );
     let (queries, labels) = model.queries(config.queries, config.flip_rate, config.seed);
     let mut module = Module::new();
     torch::build_hdc_dot_with(
@@ -369,10 +382,7 @@ fn run_similarity_module(
         .map(|q| indices.data()[q * indices.len() / nq.max(1)] as usize)
         .collect();
     let total = machine.stats();
-    let setup = machine
-        .phase("setup-complete")
-        .cloned()
-        .unwrap_or_default();
+    let setup = machine.phase("setup-complete").cloned().unwrap_or_default();
     let query_phase = total.delta(&setup);
     Ok(RunOutcome {
         total,

@@ -49,7 +49,9 @@ fn torchscript_source_to_cam_simulator() {
     let args = [Value::Tensor(queries), Value::Tensor(stored)];
 
     // Host reference straight from the frontend output.
-    let host = Executor::new(&lowered.module).run("forward", &args).unwrap();
+    let host = Executor::new(&lowered.module)
+        .run("forward", &args)
+        .unwrap();
     let host_idx = host[1].as_tensor().unwrap().clone();
     assert_eq!(host_idx.data(), &[1.0, 2.0, 3.0, 4.0]);
 

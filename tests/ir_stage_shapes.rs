@@ -45,7 +45,10 @@ fn torch_stage_matches_fig4b() {
     assert!(text.contains("torch.matmul"));
     assert!(text.contains("torch.topk"));
     assert!(text.contains("tensor<10x1024xf32>"));
-    assert!(text.contains("tensor<1024x10xf32>"), "transposed weight type");
+    assert!(
+        text.contains("tensor<1024x10xf32>"),
+        "transposed weight type"
+    );
 }
 
 #[test]

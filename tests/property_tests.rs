@@ -293,7 +293,7 @@ proptest! {
         prop_assert_eq!(&device_idx, golden[1].as_tensor().unwrap().data());
 
         // Independent min-Hamming reference (holds for ANY data).
-        for q in 0..nq {
+        for (q, &idx) in device_idx.iter().enumerate() {
             let qrow = queries.row(q).unwrap();
             let best = (0..classes)
                 .map(|c| Tensor::hamming_distance(qrow, stored.row(c).unwrap()).unwrap())
@@ -301,7 +301,7 @@ proptest! {
                 .min_by_key(|&(i, d)| (d, i))
                 .map(|(i, _)| i)
                 .unwrap();
-            prop_assert_eq!(device_idx[q] as usize, best);
+            prop_assert_eq!(idx as usize, best);
         }
 
         // Accounting sanity: the device did real work and time advanced.

@@ -1,0 +1,208 @@
+//! Vendored, dependency-free stand-in for the `criterion` bench harness.
+//!
+//! The c4cam workspace builds hermetically (no crates.io access), so this
+//! crate reimplements the small slice of the criterion 0.5 API used by
+//! the `c4cam_bench` micro-benchmarks: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a simple calibrated wall-clock loop: each benchmark is
+//! warmed up, then timed over enough iterations to cover a minimum
+//! measurement window, and the mean time per iteration is printed. That
+//! is deliberately much cheaper than real criterion (no bootstrap, no
+//! HTML reports) while keeping `cargo bench` output useful for the
+//! relative comparisons the C4CAM evaluation makes.
+//!
+//! Environment knobs:
+//! * `C4CAM_BENCH_MS` — target measurement window per benchmark in
+//!   milliseconds (default 200).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn measure_window() -> Duration {
+    let ms = std::env::var("C4CAM_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+///
+/// The shim runs one input per routine call regardless of the variant;
+/// the enum exists for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: criterion would batch many per allocation.
+    SmallInput,
+    /// Large input: criterion would batch few per allocation.
+    LargeInput,
+    /// One allocation per iteration.
+    PerIteration,
+    /// Fixed number of batches.
+    NumBatches(u64),
+    /// Fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Times closures and reports per-iteration means.
+pub struct Bencher {
+    window: Duration,
+    /// Filled in by `iter`/`iter_batched`: (iterations, total elapsed).
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(window: Duration) -> Self {
+        Bencher {
+            window,
+            result: None,
+        }
+    }
+
+    /// Time `routine`, repeatedly, until the measurement window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: estimate the per-iteration cost.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+
+    /// Time `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.window.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.result = Some((iters, total));
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    window: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// API-compatible no-op: the shim sizes runs by wall-clock window.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark and print its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.window);
+        f(&mut b);
+        match b.result {
+            Some((iters, total)) => {
+                let per = total.as_nanos() as f64 / iters as f64;
+                println!(
+                    "{}/{:<32} {:>12}/iter  ({} iters)",
+                    self.name,
+                    id,
+                    fmt_time(per),
+                    iters
+                );
+            }
+            None => println!("{}/{id}: no measurement recorded", self.name),
+        }
+        self
+    }
+
+    /// End the group (prints nothing; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to `criterion_group!` target functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            window: measure_window(),
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// Print the trailing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Define a bench group function from a list of `fn(&mut Criterion)` targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `fn main` running one or more `criterion_group!` groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
