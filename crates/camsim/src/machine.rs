@@ -112,25 +112,43 @@ enum ScopeKind {
     Parallel,
 }
 
+impl ExecStats {
+    /// Fold a shard's cost delta into an accumulator that represents the
+    /// *sequential* composition of shards: operation counters and dynamic
+    /// energy add; `latency_ns` is handled by the caller (it must be
+    /// charged to a timing scope); static energy and allocation gauges
+    /// are derived quantities and are skipped.
+    fn add_dynamic(&mut self, delta: &ExecStats) {
+        self.search_ops += delta.search_ops;
+        self.write_ops += delta.write_ops;
+        self.read_ops += delta.read_ops;
+        self.merge_ops += delta.merge_ops;
+        self.cell_energy_fj += delta.cell_energy_fj;
+        self.periph_energy_fj += delta.periph_energy_fj;
+        self.merge_energy_fj += delta.merge_energy_fj;
+        self.write_energy_fj += delta.write_energy_fj;
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Scope {
     kind: ScopeKind,
     elapsed_ns: f64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct BankState {
     mats: Vec<usize>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct MatState {
     #[allow(dead_code)]
     bank: usize,
     arrays: Vec<usize>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ArrayState {
     #[allow(dead_code)]
     mat: usize,
@@ -138,7 +156,13 @@ struct ArrayState {
 }
 
 /// The simulated CAM accelerator.
-#[derive(Debug)]
+///
+/// `Clone` duplicates the full machine state — allocations, programmed
+/// subarray contents, scope stack, and statistics. The tape engine's
+/// batched executor clones a machine per worker shard after the setup
+/// phase, runs independent query iterations on each clone, and folds the
+/// shards' cost deltas back with [`CamMachine::absorb_delta`].
+#[derive(Debug, Clone)]
 pub struct CamMachine {
     tech: TechnologyModel,
     bits_per_cell: u32,
@@ -510,6 +534,23 @@ impl CamMachine {
         s
     }
 
+    /// Fold the cost delta of work performed on a forked machine back
+    /// into this one (sequential composition).
+    ///
+    /// Operation counters and dynamic energy add; `delta.latency_ns` is
+    /// charged to the *current timing scope* so it folds like any other
+    /// latency contribution. Static energy and allocation gauges are
+    /// skipped: static energy is re-derived from total latency at the
+    /// next [`CamMachine::stats`] snapshot, and shard clones share this
+    /// machine's allocations.
+    ///
+    /// The intended fork protocol is `clone()` + [`CamMachine::reset_stats`]
+    /// on the clone, so that the clone's final `stats()` *is* the delta.
+    pub fn absorb_delta(&mut self, delta: &ExecStats) {
+        self.stats.add_dynamic(delta);
+        self.add_latency(delta.latency_ns);
+    }
+
     /// Reset cost counters (keep contents and allocations) — used by
     /// harnesses to exclude one-time setup (data loading) from per-query
     /// measurements.
@@ -733,6 +774,60 @@ mod tests {
         assert_eq!(s.merge_ops, 0);
         assert_eq!(s.latency_ns, 0.0);
         assert_eq!(s.subarrays_allocated, 1);
+    }
+
+    #[test]
+    fn clone_then_absorb_delta_equals_sequential_run() {
+        let mut m = machine();
+        let sub = m.alloc_chain().unwrap();
+        m.write_rows(sub, 0, &[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 0.0]])
+            .unwrap();
+        let spec = SearchSpec::new(MatchKind::Best, Metric::Hamming);
+
+        // Reference: both searches on one machine.
+        let mut seq = m.clone();
+        seq.search(sub, &[1.0, 0.0, 1.0], spec).unwrap();
+        seq.search(sub, &[0.0, 1.0, 0.0], spec).unwrap();
+        let want = seq.stats();
+
+        // Forked: first search on the base, second on a reset clone.
+        m.search(sub, &[1.0, 0.0, 1.0], spec).unwrap();
+        let mut fork = m.clone();
+        fork.reset_stats();
+        fork.search(sub, &[0.0, 1.0, 0.0], spec).unwrap();
+        m.absorb_delta(&fork.stats());
+        let got = m.stats();
+
+        assert_eq!(got.search_ops, want.search_ops);
+        assert_eq!(got.subarrays_allocated, want.subarrays_allocated);
+        assert!((got.latency_ns - want.latency_ns).abs() < 1e-9);
+        assert!((got.total_energy_fj() - want.total_energy_fj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clone_preserves_programmed_contents() {
+        let mut m = machine();
+        let sub = m.alloc_chain().unwrap();
+        m.write_rows(sub, 0, &[vec![1.0, 1.0, 0.0]]).unwrap();
+        let mut c = m.clone();
+        let r = c
+            .search(
+                sub,
+                &[1.0, 1.0, 0.0],
+                SearchSpec::new(MatchKind::Exact, Metric::Hamming),
+            )
+            .unwrap();
+        assert_eq!(r.matching_rows(), vec![0]);
+        // Clone's writes do not leak back into the original.
+        c.write_rows(sub, 1, &[vec![0.0, 0.0, 1.0]]).unwrap();
+        let r = m
+            .search(
+                sub,
+                &[0.0, 0.0, 1.0],
+                SearchSpec::new(MatchKind::Exact, Metric::Hamming),
+            )
+            .unwrap();
+        assert!(r.matching_rows().is_empty());
     }
 
     #[test]

@@ -111,6 +111,38 @@ impl ExecStats {
         }
     }
 
+    /// Serialize as a JSON object (stable field names; no trailing
+    /// newline) for `--format json` CLI output and scripted DSE sweeps.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"search_ops\":{},\"write_ops\":{},\"read_ops\":{},\"merge_ops\":{},",
+                "\"cell_energy_fj\":{},\"periph_energy_fj\":{},\"merge_energy_fj\":{},",
+                "\"write_energy_fj\":{},\"static_energy_fj\":{},\"total_energy_fj\":{},",
+                "\"latency_ns\":{},\"power_w\":{},\"edp_nj_s\":{},",
+                "\"banks_allocated\":{},\"mats_allocated\":{},\"arrays_allocated\":{},",
+                "\"subarrays_allocated\":{}}}"
+            ),
+            self.search_ops,
+            self.write_ops,
+            self.read_ops,
+            self.merge_ops,
+            json_f64(self.cell_energy_fj),
+            json_f64(self.periph_energy_fj),
+            json_f64(self.merge_energy_fj),
+            json_f64(self.write_energy_fj),
+            json_f64(self.static_energy_fj),
+            json_f64(self.total_energy_fj()),
+            json_f64(self.latency_ns),
+            json_f64(self.power_w()),
+            json_f64(self.edp_nj_s()),
+            self.banks_allocated,
+            self.mats_allocated,
+            self.arrays_allocated,
+            self.subarrays_allocated,
+        )
+    }
+
     /// Merge another stats record into this one (sequential composition:
     /// latencies add).
     pub fn absorb(&mut self, other: &ExecStats) {
@@ -128,6 +160,15 @@ impl ExecStats {
         self.mats_allocated = self.mats_allocated.max(other.mats_allocated);
         self.arrays_allocated = self.arrays_allocated.max(other.arrays_allocated);
         self.subarrays_allocated = self.subarrays_allocated.max(other.subarrays_allocated);
+    }
+}
+
+/// Format a float as a JSON number (`inf`/`NaN` degrade to `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -218,5 +259,22 @@ mod tests {
     fn display_is_nonempty() {
         let s = ExecStats::default();
         assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn json_has_stable_fields_and_finite_numbers() {
+        let s = ExecStats {
+            search_ops: 3,
+            cell_energy_fj: 1.5,
+            latency_ns: 2.0,
+            subarrays_allocated: 4,
+            ..Default::default()
+        };
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"search_ops\":3"), "{j}");
+        assert!(j.contains("\"cell_energy_fj\":1.5"), "{j}");
+        assert!(j.contains("\"subarrays_allocated\":4"), "{j}");
+        assert!(!j.contains("inf") && !j.contains("NaN"), "{j}");
     }
 }

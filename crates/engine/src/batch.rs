@@ -1,0 +1,161 @@
+//! Batched parallel execution: shard the query loop across worker
+//! threads, each with its own [`CamMachine`] clone, then merge results
+//! and statistics deterministically.
+//!
+//! ## Protocol
+//!
+//! 1. Run the tape up to the query loop (setup: allocation +
+//!    programming) on the caller's machine.
+//! 2. Split the loop's iteration space into `threads` contiguous shards.
+//!    Each worker gets a frozen snapshot of the slot file and a
+//!    `clone()` + `reset_stats()` fork of the machine, and runs its
+//!    iterations exactly as the sequential VM would.
+//! 3. Merge, in shard order: every changed buffer element is copied back
+//!    (iterations write disjoint accumulator rows — guaranteed by the
+//!    compiler's query-loop conditions — so this reproduces the
+//!    sequential result bit-for-bit), and each shard's cost delta is
+//!    folded into the caller's machine with
+//!    [`CamMachine::absorb_delta`].
+//! 4. Run the rest of the tape (final reduce + return) on the caller's
+//!    machine.
+//!
+//! Outputs are bit-identical to the sequential engines. Statistics are
+//! deterministic (merge order is shard order, independent of thread
+//! scheduling) and equal to the sequential run up to floating-point
+//! summation ordering in latency/energy totals; operation counts are
+//! exact.
+
+use crate::compile::Tape;
+use crate::error::EngineError;
+use crate::frozen::{freeze, thaw, Frozen};
+use crate::isa::QueryLoop;
+use crate::vm::TapeVm;
+use c4cam_camsim::{CamMachine, ExecStats};
+use c4cam_runtime::Value;
+
+type BResult<T> = Result<T, EngineError>;
+
+/// What one worker shard reports back.
+struct ShardOut {
+    /// Cost delta of this shard's iterations.
+    stats: ExecStats,
+    /// Final contents of every slot that held a buffer at fork time.
+    buffers: Vec<(usize, c4cam_tensor::Tensor)>,
+}
+
+impl Tape {
+    /// Execute the tape with the query loop sharded across `threads`
+    /// worker threads (see the module docs for the protocol).
+    ///
+    /// Falls back to the sequential [`Tape::run`] when no query loop was
+    /// detected, `threads <= 1`, or the loop has fewer than two
+    /// iterations.
+    ///
+    /// # Errors
+    /// Propagates compile-surface and runtime failures; a panicking
+    /// worker surfaces as an error.
+    pub fn run_batched(
+        &self,
+        machine: &mut CamMachine,
+        args: &[Value],
+        threads: usize,
+    ) -> BResult<Vec<Value>> {
+        let Some(ql) = self.query_loop else {
+            return self.run(machine, args);
+        };
+        if threads <= 1 {
+            return self.run(machine, args);
+        }
+        let mut vm = TapeVm::new(self, args)?;
+        // Phase 1: setup.
+        if vm.exec(machine, 0, ql.enter)?.is_some() {
+            return Err(EngineError::new("function returned before the query loop"));
+        }
+        let (lb, ub, step) = vm.loop_bounds(ql.enter)?;
+        if step <= 0 {
+            return Err(EngineError::new("loop step must be positive"));
+        }
+        let iters: Vec<i64> = (lb..ub).step_by(step as usize).collect();
+        if iters.len() < 2 {
+            // Nothing to shard: run the loop (and the rest) sequentially.
+            let out = vm.exec(machine, ql.enter, usize::MAX)?;
+            return out.ok_or_else(|| EngineError::new("function body ended without func.return"));
+        }
+
+        // Phase 2: fork and run shards.
+        let shard_count = threads.min(iters.len());
+        let snapshot: Vec<Frozen> = vm.slots().iter().map(freeze).collect();
+        let chunk = iters.len().div_ceil(shard_count);
+        let chunks: Vec<&[i64]> = iters.chunks(chunk).collect();
+        let shard_outs = run_shards(self, machine, &snapshot, &chunks, ql)?;
+
+        // Phase 3: deterministic merge, in shard order.
+        for out in &shard_outs {
+            machine.absorb_delta(&out.stats);
+            for &(slot, ref tensor) in &out.buffers {
+                let Frozen::Buffer(base) = &snapshot[slot] else {
+                    // The slot was (re)defined inside the loop body; its
+                    // post-loop value is dead.
+                    continue;
+                };
+                let Value::Buffer(main) = &vm.slots()[slot] else {
+                    continue;
+                };
+                let mut main = main.borrow_mut();
+                let dst = main.data_mut();
+                for (e, (&new, &old)) in tensor.data().iter().zip(base.data()).enumerate() {
+                    if new.to_bits() != old.to_bits() {
+                        dst[e] = new;
+                    }
+                }
+            }
+        }
+
+        // Phase 4: epilogue (reduce + return), skipping the loop.
+        let out = vm.exec(machine, ql.exit, usize::MAX)?;
+        out.ok_or_else(|| EngineError::new("function body ended without func.return"))
+    }
+}
+
+fn run_shards(
+    tape: &Tape,
+    machine: &CamMachine,
+    snapshot: &[Frozen],
+    chunks: &[&[i64]],
+    ql: QueryLoop,
+) -> BResult<Vec<ShardOut>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&chunk| {
+                let mut shard_machine = machine.clone();
+                shard_machine.reset_stats();
+                scope.spawn(move || -> BResult<ShardOut> {
+                    let slots: Vec<Value> = snapshot.iter().map(thaw).collect();
+                    let mut vm = TapeVm::with_slots(tape, slots);
+                    vm.exec_iterations(&mut shard_machine, ql.enter, ql.next, ql.iv, chunk)?;
+                    let buffers = vm
+                        .slots()
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, v)| match v {
+                            Value::Buffer(b) => Some((i, b.borrow().clone())),
+                            _ => None,
+                        })
+                        .collect();
+                    Ok(ShardOut {
+                        stats: shard_machine.stats(),
+                        buffers,
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| EngineError::new("worker shard panicked"))?
+            })
+            .collect()
+    })
+}

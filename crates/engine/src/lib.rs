@@ -1,0 +1,300 @@
+//! # c4cam-engine — flat CAM-ISA tape compiler and execution engine
+//!
+//! The paper's point is that CAM workloads become a small, regular
+//! instruction stream once lowering is done. This crate grows the final
+//! stage of that stack: it compiles a fully lowered cam-level
+//! [`Module`](c4cam_ir::Module) into a flat instruction tape — a
+//! `Vec<Inst>` over a compact CAM-ISA with pre-resolved search specs,
+//! declared shapes, and dense value slots — plus a register-machine VM
+//! that executes the tape against a
+//! [`CamMachine`](c4cam_camsim::CamMachine) without ever re-walking IR
+//! trees, string-matching op names, or hashing value ids.
+//!
+//! Two execution modes:
+//!
+//! * [`Tape::run`] — single-threaded. Drives the machine in exactly the
+//!   tree-walking interpreter's call order, so outputs **and**
+//!   energy/latency statistics are bit-identical to
+//!   [`c4cam_runtime::Executor`] (the walker is kept as the reference
+//!   oracle).
+//! * [`Tape::run_batched`] — sharded. The compiler detects the
+//!   sequential query loop whose iterations are independent (they
+//!   scatter into disjoint accumulator rows keyed by the induction
+//!   variable); the batch executor runs contiguous iteration shards on
+//!   `std::thread` workers, each with its own machine clone, and merges
+//!   buffers and per-shard [`ExecStats`](c4cam_camsim::ExecStats)
+//!   deterministically. Outputs stay bit-identical; latency/energy
+//!   totals agree with the sequential run up to float summation order.
+//!
+//! ## Example
+//!
+//! ```
+//! use c4cam_arch::ArchSpec;
+//! use c4cam_camsim::CamMachine;
+//! use c4cam_core::{dialects::torch, pipeline::C4camPipeline};
+//! use c4cam_engine::Tape;
+//! use c4cam_ir::Module;
+//! use c4cam_runtime::Value;
+//! use c4cam_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut m = Module::new();
+//! torch::build_hdc_dot(&mut m, 1, 2, 8, 1);
+//! let spec = ArchSpec::builder().subarray(16, 16).hierarchy(2, 2, 2).build()?;
+//! let compiled = C4camPipeline::new(spec.clone()).compile(m)?;
+//!
+//! let tape = Tape::compile(&compiled.module, "forward")?;
+//! let mut machine = CamMachine::new(&spec);
+//! let stored = Tensor::from_vec(vec![2, 8], vec![1.0; 16])?;
+//! let query = Tensor::from_vec(vec![1, 8], vec![1.0; 8])?;
+//! let out = tape.run(&mut machine, &[Value::Tensor(query), Value::Tensor(stored)])?;
+//! assert_eq!(out.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+mod compile;
+mod error;
+mod frozen;
+pub mod isa;
+mod vm;
+
+pub use compile::Tape;
+pub use error::EngineError;
+pub use isa::{Inst, QueryLoop};
+pub use vm::TapeVm;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4cam_arch::{ArchSpec, Optimization};
+    use c4cam_camsim::CamMachine;
+    use c4cam_core::dialects::{cim, torch};
+    use c4cam_core::pipeline::C4camPipeline;
+    use c4cam_ir::Module;
+    use c4cam_runtime::{Executor, Value};
+    use c4cam_tensor::Tensor;
+
+    fn spec(n: usize, opt: Optimization) -> ArchSpec {
+        ArchSpec::builder()
+            .subarray(n, n)
+            .hierarchy(2, 2, 4)
+            .optimization(opt)
+            .build()
+            .unwrap()
+    }
+
+    fn hdc_inputs(nq: usize, classes: usize, dims: usize) -> (Tensor, Tensor) {
+        let mut stored = Vec::with_capacity(classes * dims);
+        for c in 0..classes {
+            for d in 0..dims {
+                stored.push(f32::from(u8::from((d + c) % 3 == 0)));
+            }
+        }
+        let mut queries = Vec::with_capacity(nq * dims);
+        for q in 0..nq {
+            for d in 0..dims {
+                let base = u8::from((d + (q % classes)).is_multiple_of(3));
+                let flip = u8::from(d % 31 == q);
+                queries.push(f32::from(base ^ flip));
+            }
+        }
+        (
+            Tensor::from_vec(vec![classes, dims], stored).unwrap(),
+            Tensor::from_vec(vec![nq, dims], queries).unwrap(),
+        )
+    }
+
+    fn assert_outputs_equal(a: &[Value], b: &[Value], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: result arity");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.snapshot_tensor().unwrap().data(),
+                y.snapshot_tensor().unwrap().data(),
+                "{what}: result {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn tape_matches_walker_bit_for_bit_including_stats() {
+        for opt in [
+            Optimization::Base,
+            Optimization::Power,
+            Optimization::Density,
+            Optimization::PowerDensity,
+        ] {
+            let mut m = Module::new();
+            torch::build_hdc_dot_with(&mut m, 3, 5, 200, 1, true);
+            let (stored, queries) = hdc_inputs(3, 5, 200);
+            let args = [Value::Tensor(queries), Value::Tensor(stored)];
+            let s = spec(16, opt);
+            let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+
+            let mut walk_machine = CamMachine::new(&s);
+            let walk_out = Executor::with_machine(&compiled.module, &mut walk_machine)
+                .run("forward", &args)
+                .unwrap();
+
+            let tape = Tape::compile(&compiled.module, "forward").unwrap();
+            let mut tape_machine = CamMachine::new(&s);
+            let tape_out = tape.run(&mut tape_machine, &args).unwrap();
+
+            assert_outputs_equal(&walk_out, &tape_out, &format!("{opt:?}"));
+            assert_eq!(
+                walk_machine.stats(),
+                tape_machine.stats(),
+                "stats diverged under {opt:?}"
+            );
+            assert_eq!(walk_machine.phases(), tape_machine.phases());
+        }
+    }
+
+    #[test]
+    fn batched_execution_matches_sequential_outputs() {
+        let mut m = Module::new();
+        cim::build_similarity_kernel(&mut m, "knn", "eucl", 40, 96, 8, 2, false);
+        let mut stored = Vec::new();
+        for p in 0..40 {
+            for d in 0..96 {
+                stored.push(f32::from(u8::from((d * 5 + p * 11) % 7 < 3)));
+            }
+        }
+        let stored = Tensor::from_vec(vec![40, 96], stored).unwrap();
+        let queries = stored.slice2d(4, 0, 8, 96).unwrap();
+        let args = [Value::Tensor(stored), Value::Tensor(queries)];
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        let tape = Tape::compile(&compiled.module, "knn").unwrap();
+        assert!(tape.query_loop().is_some());
+
+        let mut seq_machine = CamMachine::new(&s);
+        let seq_out = tape.run(&mut seq_machine, &args).unwrap();
+        for threads in [2, 3, 8] {
+            let mut par_machine = CamMachine::new(&s);
+            let par_out = tape.run_batched(&mut par_machine, &args, threads).unwrap();
+            assert_outputs_equal(&seq_out, &par_out, &format!("threads={threads}"));
+            let seq = seq_machine.stats();
+            let par = par_machine.stats();
+            assert_eq!(seq.search_ops, par.search_ops);
+            assert_eq!(seq.read_ops, par.read_ops);
+            assert_eq!(seq.merge_ops, par.merge_ops);
+            assert_eq!(seq.write_ops, par.write_ops);
+            assert!(
+                (seq.latency_ns - par.latency_ns).abs() <= 1e-6 * seq.latency_ns.abs(),
+                "latency diverged: {} vs {}",
+                seq.latency_ns,
+                par.latency_ns
+            );
+            assert!(
+                (seq.total_energy_fj() - par.total_energy_fj()).abs()
+                    <= 1e-6 * seq.total_energy_fj(),
+                "energy diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_with_one_thread_falls_back_to_sequential() {
+        let mut m = Module::new();
+        torch::build_hdc_dot_with(&mut m, 2, 4, 64, 1, true);
+        let (stored, queries) = hdc_inputs(2, 4, 64);
+        let args = [Value::Tensor(queries), Value::Tensor(stored)];
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        let tape = Tape::compile(&compiled.module, "forward").unwrap();
+
+        let mut a = CamMachine::new(&s);
+        let out_a = tape.run(&mut a, &args).unwrap();
+        let mut b = CamMachine::new(&s);
+        let out_b = tape.run_batched(&mut b, &args, 1).unwrap();
+        assert_outputs_equal(&out_a, &out_b, "threads=1");
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn carried_loop_with_swapping_yield_matches_walker() {
+        // The yield permutes its carries: the writeback must behave as a
+        // parallel move (the walker rebinds all yielded values at once).
+        use c4cam_core::dialects::scf;
+        use c4cam_ir::builder::{build_func, OpBuilder};
+        let mut m = Module::new();
+        let idx = m.index_ty();
+        let (_, entry) = build_func(&mut m, "f", &[], &[idx, idx]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let c0 = b.const_index(0);
+        let c5 = b.const_index(5);
+        let c1 = b.const_index(1);
+        let ca = b.const_index(3);
+        let cb = b.const_index(7);
+        let (loop_op, body, _iv, carried) = scf::build_for_iter(&mut b, c0, c5, c1, &[ca, cb]);
+        scf::end_body(&mut m, body, &[carried[1], carried[0]]); // swap
+        let r0 = m.result(loop_op, 0);
+        let r1 = m.result(loop_op, 1);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[r0, r1], &[], vec![]);
+
+        let walk = Executor::new(&m).run("f", &[]).unwrap();
+        let tape = Tape::compile(&m, "f").unwrap();
+        let mut machine = CamMachine::new(&ArchSpec::default());
+        let out = tape.run(&mut machine, &[]).unwrap();
+        assert_eq!(walk[0].as_int(), out[0].as_int());
+        assert_eq!(walk[1].as_int(), out[1].as_int());
+        // 5 swaps of (3, 7) → (7, 3).
+        assert_eq!(out[0].as_int(), Some(7));
+        assert_eq!(out[1].as_int(), Some(3));
+    }
+
+    #[test]
+    fn malformed_loop_result_arity_is_an_error_not_a_panic() {
+        use c4cam_ir::builder::{build_func, OpBuilder};
+        let mut m = Module::new();
+        let idx = m.index_ty();
+        let (_, entry) = build_func(&mut m, "f", &[], &[]);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        // One result but zero iter-args: structurally invalid.
+        let bad = b.op_with_regions("scf.for", &[c0, c1, c1], &[idx], vec![], 1);
+        let body = m.add_block(bad, 0, &[idx]);
+        let y = m.create_op("scf.yield", &[], &[], vec![], 0);
+        m.push_op(body, y);
+        let mut b = OpBuilder::at_end(&mut m, entry);
+        b.op("func.return", &[], &[], vec![]);
+        let e = Tape::compile(&m, "f").unwrap_err();
+        assert!(e.message.contains("mismatch"), "{e}");
+    }
+
+    #[test]
+    fn argument_arity_is_checked() {
+        let mut m = Module::new();
+        torch::build_hdc_dot(&mut m, 1, 2, 16, 1);
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        let tape = Tape::compile(&compiled.module, "forward").unwrap();
+        let mut machine = CamMachine::new(&s);
+        let e = tape.run(&mut machine, &[]).unwrap_err();
+        assert!(e.message.contains("arguments"), "{e}");
+    }
+
+    #[test]
+    fn runtime_errors_carry_op_context() {
+        // A module whose search runs against an unallocated machine
+        // can't happen through the pipeline; instead provoke a runtime
+        // failure by handing a non-tensor argument.
+        let mut m = Module::new();
+        torch::build_hdc_dot(&mut m, 1, 2, 16, 1);
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        let tape = Tape::compile(&compiled.module, "forward").unwrap();
+        let mut machine = CamMachine::new(&s);
+        let e = tape
+            .run(&mut machine, &[Value::Int(1), Value::Int(2)])
+            .unwrap_err();
+        assert!(e.op.is_some(), "op context attached: {e}");
+        assert!(e.op_name.is_some(), "{e}");
+    }
+}

@@ -1,0 +1,614 @@
+//! The tape VM: executes a compiled [`Tape`] against a [`CamMachine`]
+//! without touching IR structures.
+//!
+//! Execution state is a dense slot file (`Vec<Value>`) plus a loop-frame
+//! stack; dispatch is a single `match` over pre-resolved instructions.
+//! Every device call and timing-scope transition happens in exactly the
+//! order the tree-walking interpreter produces, so on the same machine
+//! the two engines yield bit-identical outputs *and* statistics.
+
+use crate::compile::Tape;
+use crate::error::EngineError;
+use crate::isa::{FloatBinOp, Inst, IntBinOp, SliceOffset, Slot};
+use c4cam_camsim::{CamMachine, RowSelection, SearchSpec, SubarrayId};
+use c4cam_runtime::kernels::{
+    merge_partial_rows, read_tensors, reduce_scores, search_query, tensor_rows,
+};
+use c4cam_runtime::{Handle, Value};
+use c4cam_tensor::Tensor;
+
+type VResult<T> = Result<T, EngineError>;
+
+fn err(message: impl Into<String>) -> EngineError {
+    EngineError::new(message)
+}
+
+/// An active counted loop.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    iv_slot: Slot,
+    iv: i64,
+    ub: i64,
+    step: i64,
+    body: usize,
+    parallel: bool,
+}
+
+/// Borrowed view of a tensor-valued slot (no copy).
+enum TensorView<'e> {
+    Borrowed(&'e Tensor),
+    Guard(std::cell::Ref<'e, Tensor>),
+}
+
+impl std::ops::Deref for TensorView<'_> {
+    type Target = Tensor;
+
+    fn deref(&self) -> &Tensor {
+        match self {
+            TensorView::Borrowed(t) => t,
+            TensorView::Guard(g) => g,
+        }
+    }
+}
+
+/// Executes a [`Tape`] against a slot file and a machine.
+#[derive(Debug)]
+pub struct TapeVm<'t> {
+    tape: &'t Tape,
+    slots: Vec<Value>,
+    frames: Vec<Frame>,
+}
+
+impl<'t> TapeVm<'t> {
+    /// Fresh VM with `args` seeded into the tape's argument slots.
+    ///
+    /// # Errors
+    /// Fails on an argument-count mismatch.
+    pub fn new(tape: &'t Tape, args: &[Value]) -> VResult<TapeVm<'t>> {
+        if args.len() != tape.arg_slots.len() {
+            return Err(err(format!(
+                "'{}' takes {} arguments, got {}",
+                tape.func,
+                tape.arg_slots.len(),
+                args.len()
+            )));
+        }
+        let mut slots = vec![Value::Int(0); tape.n_slots];
+        for (&s, a) in tape.arg_slots.iter().zip(args) {
+            slots[s as usize] = a.clone();
+        }
+        Ok(TapeVm {
+            tape,
+            slots,
+            frames: Vec::new(),
+        })
+    }
+
+    /// VM over an existing slot file (batched-shard reconstruction).
+    pub(crate) fn with_slots(tape: &'t Tape, slots: Vec<Value>) -> TapeVm<'t> {
+        TapeVm {
+            tape,
+            slots,
+            frames: Vec::new(),
+        }
+    }
+
+    pub(crate) fn slots(&self) -> &[Value] {
+        &self.slots
+    }
+
+    /// Execute from `from` until a `Return` fires or the pc reaches
+    /// `stop`. Returns the function results on `Return`, `None` on stop.
+    ///
+    /// # Errors
+    /// Propagates instruction failures with op context attached.
+    pub fn exec(
+        &mut self,
+        machine: &mut CamMachine,
+        from: usize,
+        stop: usize,
+    ) -> VResult<Option<Vec<Value>>> {
+        let mut pc = from;
+        while pc < self.tape.insts.len() && pc != stop {
+            match self.step(machine, pc) {
+                Ok(Step::Next) => pc += 1,
+                Ok(Step::Jump(target)) => pc = target,
+                Ok(Step::Return(values)) => return Ok(Some(values)),
+                Err(e) => return Err(self.tape.attach(pc, e)),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Read a loop's `(lb, ub, step)` bounds from the slot file.
+    ///
+    /// # Errors
+    /// Fails when `enter` is not a `LoopEnter` or bounds are non-integer.
+    pub fn loop_bounds(&self, enter: usize) -> VResult<(i64, i64, i64)> {
+        match &self.tape.insts[enter] {
+            Inst::LoopEnter { lb, ub, step, .. } => {
+                Ok((self.int(*lb)?, self.int(*ub)?, self.int(*step)?))
+            }
+            other => Err(err(format!("pc {enter} is not a loop entry: {other:?}"))),
+        }
+    }
+
+    /// Run the body of the (sequential, carry-free) loop at `enter` for
+    /// the given induction values — the shard side of batched execution.
+    ///
+    /// # Errors
+    /// Propagates body failures.
+    pub(crate) fn exec_iterations(
+        &mut self,
+        machine: &mut CamMachine,
+        enter: usize,
+        next: usize,
+        iv_slot: Slot,
+        ivs: &[i64],
+    ) -> VResult<()> {
+        for &iv in ivs {
+            self.slots[iv_slot as usize] = Value::Index(iv);
+            if self.exec(machine, enter + 1, next)?.is_some() {
+                return Err(err("func.return inside the query loop"));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Slot accessors
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn int(&self, s: Slot) -> VResult<i64> {
+        self.slots[s as usize]
+            .as_int()
+            .ok_or_else(|| err("expected an integer value"))
+    }
+
+    #[inline]
+    fn float(&self, s: Slot) -> VResult<f64> {
+        match &self.slots[s as usize] {
+            Value::Float(f) => Ok(*f),
+            other => Err(err(format!("float op on {}", other.kind_name()))),
+        }
+    }
+
+    fn subarray(&self, s: Slot) -> VResult<SubarrayId> {
+        match self.slots[s as usize].as_handle() {
+            Some(Handle::Subarray(id)) => Ok(id),
+            other => Err(err(format!("expected a subarray handle, got {other:?}"))),
+        }
+    }
+
+    fn tensor_view(&self, s: Slot) -> VResult<TensorView<'_>> {
+        match &self.slots[s as usize] {
+            Value::Tensor(t) => Ok(TensorView::Borrowed(t)),
+            Value::Buffer(b) => Ok(TensorView::Guard(b.borrow())),
+            other => Err(err(format!(
+                "expected a tensor value, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, s: Slot, v: Value) {
+        self.slots[s as usize] = v;
+    }
+
+    fn int_like(index: bool, v: i64) -> Value {
+        if index {
+            Value::Index(v)
+        } else {
+            Value::Int(v)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self, machine: &mut CamMachine, pc: usize) -> VResult<Step> {
+        // `self.tape` is a shared reference; copying it out decouples the
+        // instruction borrow from `self` so arms can mutate the slots.
+        let tape = self.tape;
+        match &tape.insts[pc] {
+            Inst::ConstInt { out, value, index } => {
+                let v = Self::int_like(*index, *value);
+                let out = *out;
+                self.set(out, v);
+            }
+            Inst::ConstFloat { out, value } => {
+                let (out, v) = (*out, Value::Float(*value));
+                self.set(out, v);
+            }
+            Inst::ConstBool { out, value } => {
+                let (out, v) = (*out, Value::Bool(*value));
+                self.set(out, v);
+            }
+            Inst::ConstTensor { out, tensor } => {
+                let (out, v) = (*out, Value::Tensor(tensor.clone()));
+                self.set(out, v);
+            }
+            Inst::Copy { src, out } => {
+                let v = self.slots[*src as usize].clone();
+                let out = *out;
+                self.set(out, v);
+            }
+            Inst::IntBin {
+                op,
+                lhs,
+                rhs,
+                out,
+                index,
+            } => {
+                let a = self.int(*lhs)?;
+                let b = self.int(*rhs)?;
+                let r = match op {
+                    IntBinOp::Add => a.wrapping_add(b),
+                    IntBinOp::Sub => a.wrapping_sub(b),
+                    IntBinOp::Mul => a.wrapping_mul(b),
+                    IntBinOp::DivU => {
+                        if b == 0 {
+                            return Err(err("division by zero in arith.divui"));
+                        }
+                        ((a as u64) / (b as u64)) as i64
+                    }
+                    IntBinOp::RemU => {
+                        if b == 0 {
+                            return Err(err("division by zero in arith.remui"));
+                        }
+                        ((a as u64) % (b as u64)) as i64
+                    }
+                    IntBinOp::MinU => ((a as u64).min(b as u64)) as i64,
+                    IntBinOp::MaxU => ((a as u64).max(b as u64)) as i64,
+                };
+                let (out, v) = (*out, Self::int_like(*index, r));
+                self.set(out, v);
+            }
+            Inst::FloatBin { op, lhs, rhs, out } => {
+                let a = self.float(*lhs)?;
+                let b = self.float(*rhs)?;
+                let r = match op {
+                    FloatBinOp::Add => a + b,
+                    FloatBinOp::Sub => a - b,
+                    FloatBinOp::Mul => a * b,
+                    FloatBinOp::Div => a / b,
+                };
+                let out = *out;
+                self.set(out, Value::Float(r));
+            }
+            Inst::IntCmp {
+                pred,
+                lhs,
+                rhs,
+                out,
+            } => {
+                let a = self.int(*lhs)?;
+                let b = self.int(*rhs)?;
+                let (out, v) = (*out, Value::Bool(pred.eval(a, b)));
+                self.set(out, v);
+            }
+            Inst::CastIntLike { src, out, index } => {
+                let v = Self::int_like(*index, self.int(*src)?);
+                let out = *out;
+                self.set(out, v);
+            }
+            Inst::Jump { target } => return Ok(Step::Jump(*target)),
+            Inst::JumpIfNot { cond, target } => {
+                let c = self.slots[*cond as usize]
+                    .as_bool()
+                    .ok_or_else(|| err("scf.if condition must be boolean"))?;
+                if !c {
+                    return Ok(Step::Jump(*target));
+                }
+            }
+            Inst::LoopEnter {
+                lb,
+                ub,
+                step,
+                iv,
+                exit,
+                parallel,
+            } => {
+                let lb = self.int(*lb)?;
+                let ub = self.int(*ub)?;
+                let step = self.int(*step)?;
+                if step <= 0 {
+                    return Err(err("loop step must be positive"));
+                }
+                let parallel = *parallel;
+                if parallel {
+                    machine.push_parallel();
+                }
+                if lb >= ub {
+                    if parallel {
+                        machine.pop_scope();
+                    }
+                    return Ok(Step::Jump(*exit));
+                }
+                let iv_slot = *iv;
+                self.frames.push(Frame {
+                    iv_slot,
+                    iv: lb,
+                    ub,
+                    step,
+                    body: pc + 1,
+                    parallel,
+                });
+                self.set(iv_slot, Value::Index(lb));
+                if parallel {
+                    machine.push_sequential();
+                }
+            }
+            Inst::LoopNext { .. } => {
+                let f = self
+                    .frames
+                    .last_mut()
+                    .ok_or_else(|| err("loop back-edge without an active loop"))?;
+                if f.parallel {
+                    machine.pop_scope(); // this iteration's sequential scope
+                }
+                f.iv += f.step;
+                if f.iv < f.ub {
+                    let (iv_slot, iv, body, parallel) = (f.iv_slot, f.iv, f.body, f.parallel);
+                    self.set(iv_slot, Value::Index(iv));
+                    if parallel {
+                        machine.push_sequential();
+                    }
+                    return Ok(Step::Jump(body));
+                }
+                let parallel = f.parallel;
+                self.frames.pop();
+                if parallel {
+                    machine.pop_scope(); // the loop's parallel scope
+                }
+            }
+            Inst::Return { values } => {
+                let out = values
+                    .iter()
+                    .map(|&s| self.slots[s as usize].clone())
+                    .collect();
+                return Ok(Step::Return(out));
+            }
+            Inst::ExtractSlice {
+                src,
+                offsets,
+                sizes,
+                out,
+            } => {
+                let t = self.exec_extract_slice(*src, *offsets, *sizes)?;
+                let out = *out;
+                self.set(out, Value::Tensor(t));
+            }
+            Inst::AllocBuffer { shape, out } => {
+                let (out, v) = (*out, Value::new_buffer(shape.clone()));
+                self.set(out, v);
+            }
+            Inst::AllocCopy { src, out } => {
+                let t = self.slots[*src as usize]
+                    .snapshot_tensor()
+                    .ok_or_else(|| err("expected a tensor value"))?;
+                let out = *out;
+                self.set(out, Value::buffer_from(t));
+            }
+            Inst::ToTensor { src, out } => {
+                let t = self.slots[*src as usize]
+                    .snapshot_tensor()
+                    .ok_or_else(|| err("to_tensor on non-buffer"))?;
+                let out = *out;
+                self.set(out, Value::Tensor(t));
+            }
+            Inst::AllocBank { out } => {
+                let id = machine.alloc_bank().map_err(|e| err(e.message))?;
+                let out = *out;
+                self.set(out, Value::Handle(Handle::Bank(id)));
+            }
+            Inst::AllocMat { parent, out } => {
+                let bank = match self.slots[*parent as usize].as_handle() {
+                    Some(Handle::Bank(b)) => b,
+                    _ => return Err(err("alloc_mat expects a bank handle")),
+                };
+                let id = machine.alloc_mat(bank).map_err(|e| err(e.message))?;
+                let out = *out;
+                self.set(out, Value::Handle(Handle::Mat(id)));
+            }
+            Inst::AllocArray { parent, out } => {
+                let mat = match self.slots[*parent as usize].as_handle() {
+                    Some(Handle::Mat(x)) => x,
+                    _ => return Err(err("alloc_array expects a mat handle")),
+                };
+                let id = machine.alloc_array(mat).map_err(|e| err(e.message))?;
+                let out = *out;
+                self.set(out, Value::Handle(Handle::Array(id)));
+            }
+            Inst::AllocSubarray { parent, out } => {
+                let array = match self.slots[*parent as usize].as_handle() {
+                    Some(Handle::Array(x)) => x,
+                    _ => return Err(err("alloc_subarray expects an array handle")),
+                };
+                let id = machine.alloc_subarray(array).map_err(|e| err(e.message))?;
+                let out = *out;
+                self.set(out, Value::Handle(Handle::Subarray(id)));
+            }
+            Inst::StoreHandle { table, pos, sub } => {
+                let pos = self.int(*pos)? as usize;
+                let sub = self.subarray(*sub)?;
+                let table = self.slots[*table as usize]
+                    .as_buffer()
+                    .cloned()
+                    .ok_or_else(|| err("store_handle expects a buffer table"))?;
+                let mut t = table.borrow_mut();
+                if pos >= t.len() {
+                    return Err(err("handle table index out of bounds"));
+                }
+                t.data_mut()[pos] = sub.0 as f32;
+            }
+            Inst::LoadHandle { table, pos, out } => {
+                let pos = self.int(*pos)? as usize;
+                let id = {
+                    let table = self.tensor_view(*table)?;
+                    if pos >= table.len() {
+                        return Err(err("handle table index out of bounds"));
+                    }
+                    SubarrayId(table.data()[pos] as usize)
+                };
+                let out = *out;
+                self.set(out, Value::Handle(Handle::Subarray(id)));
+            }
+            Inst::WriteValue { sub, data, row_off } => {
+                let sub = self.subarray(*sub)?;
+                let row_off = self.int(*row_off)? as usize;
+                let rows = {
+                    let data = self.tensor_view(*data)?;
+                    tensor_rows(&data).map_err(err)?
+                };
+                machine
+                    .write_rows(sub, row_off, &rows)
+                    .map_err(|e| err(e.message))?;
+            }
+            Inst::Search(s) => {
+                let sub = self.subarray(s.sub)?;
+                let mut spec = SearchSpec::new(s.kind, s.metric);
+                if let Some((start, len)) = s.selective {
+                    let start = self.int(start)? as usize;
+                    let len = self.int(len)? as usize;
+                    spec = spec.with_selection(RowSelection::Window { start, len });
+                }
+                if let Some(t) = s.threshold {
+                    spec = spec.with_threshold(t);
+                }
+                if let Some(share) = s.broadcast_share {
+                    spec = spec.with_broadcast_share(share);
+                }
+                let q = {
+                    let query = self.tensor_view(s.query)?;
+                    search_query(&query).map_err(err)?
+                };
+                machine.search(sub, &q, spec).map_err(|e| err(e.message))?;
+            }
+            Inst::Read {
+                sub,
+                shape,
+                vals,
+                idx,
+            } => {
+                let sub = self.subarray(*sub)?;
+                let result = machine.read(sub).map_err(|e| err(e.message))?;
+                let (v, i) = read_tensors(&result, shape).map_err(err)?;
+                let (vals, idx) = (*vals, *idx);
+                self.set(vals, Value::buffer_from(v));
+                self.set(idx, Value::buffer_from(i));
+            }
+            Inst::MergePartial {
+                acc,
+                vals,
+                idx,
+                q,
+                offset,
+            } => {
+                let q = self.int(*q)? as usize;
+                let offset = self.int(*offset)?;
+                let acc = self.slots[*acc as usize]
+                    .as_buffer()
+                    .cloned()
+                    .ok_or_else(|| err("merge expects an accumulator buffer"))?;
+                let vals = self.tensor_view(*vals)?;
+                let idx = self.tensor_view(*idx)?;
+                let mut a = acc.borrow_mut();
+                merge_partial_rows(&mut a, &vals, &idx, q, offset).map_err(err)?;
+            }
+            Inst::MergeLevel { level, elems } => {
+                machine.merge(*level, *elems);
+            }
+            Inst::PhaseMarker { name } => {
+                machine.mark_phase(name);
+            }
+            Inst::Reduce(r) => {
+                let acc = self.slots[r.acc as usize]
+                    .snapshot_tensor()
+                    .ok_or_else(|| err("cam.reduce expects a buffer"))?;
+                let (vals, idx) =
+                    reduce_scores(&acc, r.k, r.n_valid, r.select_largest, &r.metric, true)
+                        .map_err(err)?;
+                let vals = vals
+                    .reshape(r.vals_shape.clone())
+                    .map_err(|e| err(e.message))?;
+                let idx = idx
+                    .reshape(r.idx_shape.clone())
+                    .map_err(|e| err(e.message))?;
+                let (vs, is) = (r.vals, r.idx);
+                self.set(vs, Value::buffer_from(vals));
+                self.set(is, Value::buffer_from(idx));
+            }
+        }
+        Ok(Step::Next)
+    }
+
+    /// Clamped + zero-padded rank-2 window (walker-identical semantics).
+    fn exec_extract_slice(
+        &self,
+        src: Slot,
+        offsets: [SliceOffset; 2],
+        sizes: [usize; 2],
+    ) -> VResult<Tensor> {
+        let mut off = [0i64; 2];
+        for (o, spec) in off.iter_mut().zip(&offsets) {
+            *o = match *spec {
+                SliceOffset::Static(v) => v,
+                SliceOffset::Dynamic(s) => self.int(s)?,
+            };
+        }
+        if off.iter().any(|&o| o < 0) {
+            return Err(err("negative slice offset"));
+        }
+        let src = self.tensor_view(src)?;
+        if src.rank() != 2 {
+            return Err(err("extract_slice supports rank-2 tensors"));
+        }
+        let (r, c) = (sizes[0], sizes[1]);
+        let (off0, off1) = (off[0] as usize, off[1] as usize);
+        let (sr, sc) = (src.shape()[0], src.shape()[1]);
+        let mut out = Tensor::zeros(vec![r, c]);
+        for i in 0..r {
+            let si = off0 + i;
+            if si >= sr {
+                break;
+            }
+            let copy = c.min(sc.saturating_sub(off1));
+            if copy == 0 {
+                break;
+            }
+            let src_start = si * sc + off1;
+            let dst_start = i * c;
+            out.data_mut()[dst_start..dst_start + copy]
+                .copy_from_slice(&src.data()[src_start..src_start + copy]);
+        }
+        Ok(out)
+    }
+}
+
+enum Step {
+    Next,
+    Jump(usize),
+    Return(Vec<Value>),
+}
+
+impl Tape {
+    /// Execute the whole tape on `machine` with the given arguments
+    /// (single-threaded; drives the machine in exactly the tree-walker's
+    /// call order, so outputs and statistics are bit-identical to
+    /// [`c4cam_runtime::Executor`]).
+    ///
+    /// # Errors
+    /// Propagates compile-surface and runtime failures with op context.
+    pub fn run(&self, machine: &mut CamMachine, args: &[Value]) -> Result<Vec<Value>, EngineError> {
+        let mut vm = TapeVm::new(self, args)?;
+        match vm.exec(machine, 0, usize::MAX)? {
+            Some(values) => Ok(values),
+            None => Err(EngineError::new("function body ended without func.return")),
+        }
+    }
+}

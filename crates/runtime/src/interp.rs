@@ -6,6 +6,9 @@
 //! translate their parallel/sequential structure into the machine's
 //! timing scopes.
 
+use crate::kernels::{
+    as_rank2, merge_partial_rows, read_tensors, reduce_scores, search_query, tensor_rows,
+};
 use crate::value::{Handle, Value};
 use c4cam_arch::tech::Level;
 use c4cam_arch::{MatchKind, Metric};
@@ -17,23 +20,48 @@ use std::error::Error;
 use std::fmt;
 
 /// Execution failure (missing value, unsupported op, simulator error...).
+///
+/// When the failure happened while executing a specific operation, the
+/// error carries that op's [`OpId`] and name so failures point at the IR
+/// instead of being message-only strings.
 #[derive(Debug, Clone)]
 pub struct ExecError {
     /// Description of the failure.
     pub message: String,
+    /// The operation that failed, when known.
+    pub op: Option<OpId>,
+    /// Name of the failing operation (e.g. `"cam.search"`), when known.
+    pub op_name: Option<String>,
 }
 
 impl ExecError {
     fn new(message: impl Into<String>) -> ExecError {
         ExecError {
             message: message.into(),
+            op: None,
+            op_name: None,
         }
+    }
+
+    /// Attach op context if none is recorded yet (the innermost failing
+    /// op wins as errors propagate outward).
+    #[must_use]
+    pub fn with_op(mut self, op: OpId, name: &str) -> ExecError {
+        if self.op.is_none() {
+            self.op = Some(op);
+            self.op_name = Some(name.to_string());
+        }
+        self
     }
 }
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "execution error: {}", self.message)
+        write!(f, "execution error: {}", self.message)?;
+        if let (Some(op), Some(name)) = (self.op, self.op_name.as_deref()) {
+            write!(f, " (in '{name}' at op {})", op.index())?;
+        }
+        Ok(())
     }
 }
 
@@ -140,7 +168,10 @@ impl<'a> Executor<'a> {
     fn exec_block(&mut self, block: BlockId, env: &mut Env) -> EResult<Outcome> {
         let ops = self.m.block(block).ops.clone();
         for op in ops {
-            if let Some(outcome) = self.exec_op(op, env)? {
+            let step = self
+                .exec_op(op, env)
+                .map_err(|e| e.with_op(op, &self.m.op(op).name))?;
+            if let Some(outcome) = step {
                 return Ok(outcome);
             }
         }
@@ -515,7 +546,7 @@ impl<'a> Executor<'a> {
                 let sub = self.get_subarray(env, self.m.operand(op, 0))?;
                 let rows = {
                     let data = self.tensor_view(env, self.m.operand(op, 1))?;
-                    tensor_rows(&data)?
+                    tensor_rows(&data).map_err(ExecError::new)?
                 };
                 let row_off = self.get_int(env, self.m.operand(op, 2))? as usize;
                 self.machine()?
@@ -527,18 +558,7 @@ impl<'a> Executor<'a> {
                 let sub = self.get_subarray(env, self.m.operand(op, 0))?;
                 let result = self.machine()?.read(sub).map_err(sim_err)?;
                 let shape = self.declared_shape(self.m.result(op, 0))?;
-                let n = shape.iter().product::<usize>();
-                let mut vals = vec![f32::INFINITY; n];
-                let mut idx = vec![-1.0f32; n];
-                for (j, (&row, &dist)) in result.rows.iter().zip(&result.distances).enumerate() {
-                    if j >= n {
-                        break;
-                    }
-                    vals[j] = dist as f32;
-                    idx[j] = row as f32;
-                }
-                let vals = Tensor::from_vec(shape.clone(), vals).map_err(te)?;
-                let idx = Tensor::from_vec(shape, idx).map_err(te)?;
+                let (vals, idx) = read_tensors(&result, &shape).map_err(ExecError::new)?;
                 self.set_results(
                     env,
                     op,
@@ -556,24 +576,7 @@ impl<'a> Executor<'a> {
                 let vals = self.tensor_view(env, self.m.operand(op, 2))?;
                 let idx = self.tensor_view(env, self.m.operand(op, 3))?;
                 let mut a = acc.borrow_mut();
-                let cols = a.shape()[1];
-                if q >= a.shape()[0] {
-                    return Err(ExecError::new("merge query index out of bounds"));
-                }
-                for j in 0..vals.len() {
-                    let stored = idx.data()[j];
-                    if stored < 0.0 {
-                        continue;
-                    }
-                    let col = stored as i64 + offset;
-                    if col < 0 || col as usize >= cols {
-                        return Err(ExecError::new(format!(
-                            "merge writes column {col} outside accumulator width {cols}"
-                        )));
-                    }
-                    let off = q * cols + col as usize;
-                    a.data_mut()[off] += vals.data()[j];
-                }
+                merge_partial_rows(&mut a, &vals, &idx, q, offset).map_err(ExecError::new)?;
             }
             "cam.phase_marker" => {
                 let pname = self
@@ -753,7 +756,7 @@ impl<'a> Executor<'a> {
         let mut dyn_idx = 1usize;
         let mut offsets = Vec::with_capacity(static_offsets.len());
         for &so in &static_offsets {
-            if so == crate::interp::DYNAMIC_OFFSET {
+            if so == crate::kernels::DYNAMIC_OFFSET {
                 let v = self.get_int(env, self.m.operand(op, dyn_idx))?;
                 dyn_idx += 1;
                 offsets.push(v);
@@ -864,7 +867,8 @@ impl<'a> Executor<'a> {
         let n_valid =
             data.int_attr("n_valid")
                 .ok_or_else(|| ExecError::new("cim.reduce without n_valid"))? as usize;
-        let (vals, idx) = reduce_scores(&acc, k, n_valid, largest, &metric, false)?;
+        let (vals, idx) =
+            reduce_scores(&acc, k, n_valid, largest, &metric, false).map_err(ExecError::new)?;
         let vals = self.reshape_declared(vals, self.m.result(op, 0))?;
         let idx = self.reshape_declared(idx, self.m.result(op, 1))?;
         Ok((vals, idx))
@@ -884,7 +888,8 @@ impl<'a> Executor<'a> {
                 .ok_or_else(|| ExecError::new("cam.reduce without n_valid"))? as usize;
         let select_largest = self.bool_attr(op, "select_largest")?;
         let metric = data.str_attr("metric").unwrap_or("dot").to_string();
-        let (vals, idx) = reduce_scores(&acc, k, n_valid, select_largest, &metric, true)?;
+        let (vals, idx) = reduce_scores(&acc, k, n_valid, select_largest, &metric, true)
+            .map_err(ExecError::new)?;
         let vals = self.reshape_declared(vals, self.m.result(op, 0))?;
         let idx = self.reshape_declared(idx, self.m.result(op, 1))?;
         Ok((vals, idx))
@@ -919,19 +924,12 @@ impl<'a> Executor<'a> {
         }
         let q = {
             let query = self.tensor_view(env, self.m.operand(op, 1))?;
-            if query.rank() == 2 {
-                query.row(0).map_err(te)?.to_vec()
-            } else {
-                query.data().to_vec()
-            }
+            search_query(&query).map_err(ExecError::new)?
         };
         self.machine()?.search(sub, &q, spec).map_err(sim_err)?;
         Ok(())
     }
 }
-
-/// Re-export of the dynamic-offset sentinel (shared with the dialect).
-pub(crate) const DYNAMIC_OFFSET: i64 = i64::MIN;
 
 fn sim_err(e: c4cam_camsim::SimError) -> ExecError {
     ExecError::new(e.message)
@@ -939,23 +937,6 @@ fn sim_err(e: c4cam_camsim::SimError) -> ExecError {
 
 fn te(e: c4cam_tensor::TensorError) -> ExecError {
     ExecError::new(e.message)
-}
-
-fn as_rank2(t: &Tensor) -> Tensor {
-    if t.rank() == 2 {
-        t.clone()
-    } else {
-        let n = t.len();
-        t.clone().reshape(vec![1, n]).expect("reshape to rank 2")
-    }
-}
-
-fn tensor_rows(t: &Tensor) -> EResult<Vec<Vec<f32>>> {
-    let t2 = as_rank2(t);
-    let rows = t2.shape()[0];
-    (0..rows)
-        .map(|r| t2.row(r).map(|s| s.to_vec()).map_err(te))
-        .collect()
 }
 
 fn broadcast_sub(a: &Tensor, b: &Tensor) -> EResult<Tensor> {
@@ -1050,55 +1031,6 @@ fn merge_partial(mut acc: Tensor, partial: &Tensor, col_off: i64) -> EResult<Ten
         }
     }
     Ok(acc)
-}
-
-/// Final top-k over an accumulated score matrix.
-///
-/// `device` selects the device-score convention (negated overlap counts
-/// for dot/cos; values are mapped back to positive magnitudes).
-fn reduce_scores(
-    acc: &Tensor,
-    k: usize,
-    n_valid: usize,
-    largest: bool,
-    metric: &str,
-    device: bool,
-) -> EResult<(Tensor, Tensor)> {
-    if acc.rank() != 2 {
-        return Err(ExecError::new("reduce expects a rank-2 accumulator"));
-    }
-    let (nq, cols) = (acc.shape()[0], acc.shape()[1]);
-    let n = n_valid.min(cols);
-    let mut vals = Vec::with_capacity(nq * k);
-    let mut idx = Vec::with_capacity(nq * k);
-    for i in 0..nq {
-        let row = &acc.data()[i * cols..i * cols + n];
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            let cmp = row[a]
-                .partial_cmp(&row[b])
-                .unwrap_or(std::cmp::Ordering::Equal);
-            let cmp = if largest { cmp.reverse() } else { cmp };
-            cmp.then(a.cmp(&b))
-        });
-        for &j in order.iter().take(k) {
-            let raw = row[j] as f64;
-            let v = match (metric, device) {
-                ("eucl", _) => raw.max(0.0).sqrt(),
-                ("dot" | "cos", true) => -raw,
-                _ => raw,
-            };
-            vals.push(v as f32);
-            idx.push(j as f32);
-        }
-        if n < k {
-            return Err(ExecError::new("reduce k exceeds valid columns"));
-        }
-    }
-    Ok((
-        Tensor::from_vec(vec![nq, k], vals).map_err(te)?,
-        Tensor::from_vec(vec![nq, k], idx).map_err(te)?,
-    ))
 }
 
 #[cfg(test)]

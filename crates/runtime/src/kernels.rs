@@ -1,0 +1,208 @@
+//! Device-op kernels shared by the two execution engines.
+//!
+//! The tree-walking [`Executor`](crate::Executor) and the flat-tape VM
+//! in `c4cam_engine` must produce *bit-identical* results; keeping the
+//! data-manipulation kernels of the `cam.*` ops in one place makes that
+//! a structural property rather than a testing accident.
+
+use c4cam_camsim::subarray::SearchResult;
+use c4cam_tensor::Tensor;
+
+/// Sentinel marking a dynamic offset in `tensor.extract_slice`'s
+/// `static_offsets` attribute (shared with the dialect definition).
+pub const DYNAMIC_OFFSET: i64 = i64::MIN;
+
+/// View `t` as rank 2, flattening rank-1 tensors into a single row.
+pub fn as_rank2(t: &Tensor) -> Tensor {
+    if t.rank() == 2 {
+        t.clone()
+    } else {
+        let n = t.len();
+        t.clone().reshape(vec![1, n]).expect("reshape to rank 2")
+    }
+}
+
+/// Split a (rank-1 or rank-2) tensor into row vectors for
+/// `cam.write_value`.
+///
+/// # Errors
+/// Propagates row-extraction failures from the tensor layer.
+pub fn tensor_rows(t: &Tensor) -> Result<Vec<Vec<f32>>, String> {
+    let t2 = as_rank2(t);
+    let rows = t2.shape()[0];
+    (0..rows)
+        .map(|r| t2.row(r).map(|s| s.to_vec()).map_err(|e| e.message))
+        .collect()
+}
+
+/// Flatten a query operand for `cam.search`: row 0 of a rank-2 tensor,
+/// otherwise the raw data.
+///
+/// # Errors
+/// Propagates row-extraction failures.
+pub fn search_query(t: &Tensor) -> Result<Vec<f32>, String> {
+    if t.rank() == 2 {
+        t.row(0).map(|s| s.to_vec()).map_err(|e| e.message)
+    } else {
+        Ok(t.data().to_vec())
+    }
+}
+
+/// Materialize a `cam.read` result as `(values, indices)` tensors of
+/// `shape`: distances (and `-1`-padded row ids) per participating row,
+/// `INFINITY`-padded to the declared size.
+///
+/// # Errors
+/// Fails if `shape` is inconsistent with itself (tensor construction).
+pub fn read_tensors(result: &SearchResult, shape: &[usize]) -> Result<(Tensor, Tensor), String> {
+    let n = shape.iter().product::<usize>();
+    let mut vals = vec![f32::INFINITY; n];
+    let mut idx = vec![-1.0f32; n];
+    for (j, (&row, &dist)) in result.rows.iter().zip(&result.distances).enumerate() {
+        if j >= n {
+            break;
+        }
+        vals[j] = dist as f32;
+        idx[j] = row as f32;
+    }
+    let vals = Tensor::from_vec(shape.to_vec(), vals).map_err(|e| e.message)?;
+    let idx = Tensor::from_vec(shape.to_vec(), idx).map_err(|e| e.message)?;
+    Ok((vals, idx))
+}
+
+/// `cam.merge_partial_subarray`: scatter-accumulate one subarray's
+/// partial scores into row `q` of the accumulator, offsetting read-back
+/// row ids by `offset` columns. Negative stored ids (padding) skip.
+///
+/// # Errors
+/// Fails when `q` or a target column is out of bounds.
+pub fn merge_partial_rows(
+    acc: &mut Tensor,
+    vals: &Tensor,
+    idx: &Tensor,
+    q: usize,
+    offset: i64,
+) -> Result<(), String> {
+    let cols = acc.shape()[1];
+    if q >= acc.shape()[0] {
+        return Err("merge query index out of bounds".to_string());
+    }
+    for j in 0..vals.len() {
+        let stored = idx.data()[j];
+        if stored < 0.0 {
+            continue;
+        }
+        let col = stored as i64 + offset;
+        if col < 0 || col as usize >= cols {
+            return Err(format!(
+                "merge writes column {col} outside accumulator width {cols}"
+            ));
+        }
+        let off = q * cols + col as usize;
+        acc.data_mut()[off] += vals.data()[j];
+    }
+    Ok(())
+}
+
+/// Final top-k over an accumulated score matrix (`cam.reduce` /
+/// `cim.reduce`).
+///
+/// `device` selects the device-score convention (negated overlap counts
+/// for dot/cos; values are mapped back to positive magnitudes).
+///
+/// # Errors
+/// Fails on non-rank-2 accumulators or `k` exceeding the valid columns.
+pub fn reduce_scores(
+    acc: &Tensor,
+    k: usize,
+    n_valid: usize,
+    largest: bool,
+    metric: &str,
+    device: bool,
+) -> Result<(Tensor, Tensor), String> {
+    if acc.rank() != 2 {
+        return Err("reduce expects a rank-2 accumulator".to_string());
+    }
+    let (nq, cols) = (acc.shape()[0], acc.shape()[1]);
+    let n = n_valid.min(cols);
+    let mut vals = Vec::with_capacity(nq * k);
+    let mut idx = Vec::with_capacity(nq * k);
+    for i in 0..nq {
+        let row = &acc.data()[i * cols..i * cols + n];
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let cmp = row[a]
+                .partial_cmp(&row[b])
+                .unwrap_or(std::cmp::Ordering::Equal);
+            let cmp = if largest { cmp.reverse() } else { cmp };
+            cmp.then(a.cmp(&b))
+        });
+        for &j in order.iter().take(k) {
+            let raw = row[j] as f64;
+            let v = match (metric, device) {
+                ("eucl", _) => raw.max(0.0).sqrt(),
+                ("dot" | "cos", true) => -raw,
+                _ => raw,
+            };
+            vals.push(v as f32);
+            idx.push(j as f32);
+        }
+        if n < k {
+            return Err("reduce k exceeds valid columns".to_string());
+        }
+    }
+    Ok((
+        Tensor::from_vec(vec![nq, k], vals).map_err(|e| e.message)?,
+        Tensor::from_vec(vec![nq, k], idx).map_err(|e| e.message)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_tensors_pad_with_infinity_and_negative_ids() {
+        let r = SearchResult {
+            rows: vec![2, 5],
+            distances: vec![1.0, 3.0],
+            matched: vec![false, true],
+        };
+        let (vals, idx) = read_tensors(&r, &[4]).unwrap();
+        assert_eq!(vals.data(), &[1.0, 3.0, f32::INFINITY, f32::INFINITY]);
+        assert_eq!(idx.data(), &[2.0, 5.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn merge_skips_padding_and_offsets_columns() {
+        let mut acc = Tensor::zeros(vec![2, 6]);
+        let vals = Tensor::from_slice(&[1.0, 2.0, 9.0]);
+        let idx = Tensor::from_slice(&[0.0, 1.0, -1.0]);
+        merge_partial_rows(&mut acc, &vals, &idx, 1, 3).unwrap();
+        assert_eq!(
+            acc.data(),
+            &[0., 0., 0., 0., 0., 0., 0., 0., 0., 1., 2., 0.]
+        );
+        assert!(merge_partial_rows(&mut acc, &vals, &idx, 2, 0).is_err());
+        assert!(merge_partial_rows(&mut acc, &vals, &idx, 0, 5).is_err());
+    }
+
+    #[test]
+    fn reduce_scores_breaks_ties_by_index() {
+        let acc = Tensor::from_vec(vec![1, 4], vec![2.0, 1.0, 1.0, 5.0]).unwrap();
+        let (vals, idx) = reduce_scores(&acc, 2, 4, false, "plain", false).unwrap();
+        assert_eq!(idx.data(), &[1.0, 2.0]);
+        assert_eq!(vals.data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn reduce_scores_maps_device_dot_back_to_positive() {
+        // Device dot scores are negated overlap counts; the winner (most
+        // overlap) is the *largest* raw magnitude, selected with
+        // largest=true after the cam-map flip, and mapped back positive.
+        let acc = Tensor::from_vec(vec![1, 2], vec![-3.0, -7.0]).unwrap();
+        let (vals, idx) = reduce_scores(&acc, 1, 2, false, "dot", true).unwrap();
+        assert_eq!(idx.data(), &[1.0]);
+        assert_eq!(vals.data(), &[7.0]);
+    }
+}

@@ -35,7 +35,8 @@
 #![warn(missing_docs)]
 
 mod interp;
+pub mod kernels;
 mod value;
 
 pub use interp::{ExecError, Executor};
-pub use value::Value;
+pub use value::{Handle, Value};

@@ -2,17 +2,32 @@
 //! on the simulated CAM accelerator.
 //!
 //! ```text
-//! cargo run --example quickstart --release
+//! cargo run --example quickstart --release [-- --engine walk|tape]
 //! ```
+//!
+//! The default engine is the flat CAM-ISA tape; `--engine walk` selects
+//! the tree-walking reference interpreter. Both produce identical
+//! results and statistics.
 
 use c4cam::arch::ArchSpec;
 use c4cam::camsim::CamMachine;
 use c4cam::compiler::C4camPipeline;
+use c4cam::driver::Engine;
+use c4cam::engine::Tape;
 use c4cam::frontend::{parse_torchscript, FrontendConfig};
 use c4cam::runtime::{Executor, Value};
 use c4cam::tensor::Tensor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut engine = Engine::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--engine" {
+            let v = it.next().ok_or("--engine requires a value")?;
+            engine = Engine::from_keyword(v).ok_or("unknown --engine (walk|tape)")?;
+        }
+    }
     // 1. The TorchScript program (the paper's HDC dot-similarity).
     let source = r#"
 def forward(self, input: Tensor) -> Tensor:
@@ -61,10 +76,28 @@ def forward(self, input: Tensor) -> Tensor:
         queries.insert2d(&row, q, 0)?;
     }
 
-    // 6. Execute on the simulated CAM machine.
+    // 6. Execute on the simulated CAM machine with the chosen engine.
     let mut machine = CamMachine::new(&spec);
-    let out = Executor::with_machine(&compiled.module, &mut machine)
-        .run("forward", &[Value::Tensor(queries), Value::Tensor(stored)])?;
+    let run_args = [Value::Tensor(queries), Value::Tensor(stored)];
+    let out = match engine {
+        Engine::Walk => {
+            println!("\nengine: walk (tree-walking reference interpreter)");
+            Executor::with_machine(&compiled.module, &mut machine).run("forward", &run_args)?
+        }
+        Engine::Tape => {
+            let tape = Tape::compile(&compiled.module, "forward")?;
+            println!(
+                "\nengine: tape ({} CAM-ISA instructions, query loop {})",
+                tape.len(),
+                if tape.query_loop().is_some() {
+                    "detected"
+                } else {
+                    "absent"
+                }
+            );
+            tape.run(&mut machine, &run_args)?
+        }
+    };
     let indices = out[1].as_tensor().expect("indices tensor");
     println!("\npredicted classes: {:?}", indices.data());
     assert_eq!(indices.data(), &[1.0, 3.0, 5.0, 7.0]);

@@ -13,11 +13,12 @@
 //! The argument parsing and command execution live here (unit-tested);
 //! `src/bin/c4cam.rs` is a thin wrapper.
 
-use crate::driver::DriverError;
+use crate::driver::{DriverError, Engine};
 use c4cam_arch::{parse_spec, ArchSpec};
-use c4cam_camsim::CamMachine;
+use c4cam_camsim::{CamMachine, ExecStats};
 use c4cam_core::mapping::{place, MappingProblem};
 use c4cam_core::pipeline::{C4camPipeline, PipelineOptions, Target};
+use c4cam_engine::Tape;
 use c4cam_frontend::{parse_torchscript, FrontendConfig};
 use c4cam_ir::print::print_module;
 use c4cam_runtime::{Executor, Value};
@@ -118,6 +119,27 @@ pub struct CompileArgs {
     pub canonicalize: bool,
 }
 
+/// Output format of `run`/`place` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable text (default).
+    #[default]
+    Text,
+    /// Machine-readable JSON for scripted DSE sweeps.
+    Json,
+}
+
+impl OutputFormat {
+    /// Parse from the `--format` keyword.
+    pub fn from_keyword(s: &str) -> Option<OutputFormat> {
+        match s {
+            "text" => Some(OutputFormat::Text),
+            "json" => Some(OutputFormat::Json),
+            _ => None,
+        }
+    }
+}
+
 /// Arguments of `c4cam run`.
 #[derive(Debug, Clone)]
 pub struct RunArgs {
@@ -127,6 +149,10 @@ pub struct RunArgs {
     pub data: Vec<String>,
     /// Seed for synthetic 0/1 data when no CSV files are given.
     pub random_seed: u64,
+    /// Execution engine (flat tape by default; `walk` is the oracle).
+    pub engine: Engine,
+    /// Report format.
+    pub format: OutputFormat,
 }
 
 /// Arguments of `c4cam place`.
@@ -140,6 +166,8 @@ pub struct PlaceArgs {
     pub dims: usize,
     /// Query count.
     pub queries: usize,
+    /// Report format.
+    pub format: OutputFormat,
 }
 
 /// Parse a shape literal like `10x8192`.
@@ -168,6 +196,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut stored_rows = None;
     let mut dims = None;
     let mut queries = 1usize;
+    let mut engine = Engine::default();
+    let mut format = OutputFormat::default();
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -220,6 +250,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .parse()
                     .map_err(|_| cli_err("--queries expects an integer"))?;
             }
+            "--engine" => {
+                let v = next_value(&mut it, flag)?;
+                engine = Engine::from_keyword(&v)
+                    .ok_or_else(|| cli_err(format!("unknown --engine '{v}' (walk|tape)")))?;
+            }
+            "--format" => {
+                let v = next_value(&mut it, flag)?;
+                format = OutputFormat::from_keyword(&v)
+                    .ok_or_else(|| cli_err(format!("unknown --format '{v}' (text|json)")))?;
+            }
             other => return Err(cli_err(format!("unknown flag '{other}'\n{}", usage()))),
         }
     }
@@ -244,6 +284,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     compile,
                     data,
                     random_seed,
+                    engine,
+                    format,
                 }))
             }
         }
@@ -252,6 +294,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             stored_rows: stored_rows.ok_or_else(|| cli_err("missing --stored-rows"))?,
             dims: dims.ok_or_else(|| cli_err("missing --dims"))?,
             queries,
+            format,
         })),
         other => Err(cli_err(format!("unknown command '{other}'\n{}", usage()))),
     }
@@ -259,7 +302,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 
 /// Usage text.
 pub fn usage() -> &'static str {
-    "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q]"
+    "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine walk|tape] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]"
 }
 
 fn load_arch(path: &str) -> Result<ArchSpec, CliError> {
@@ -320,13 +363,38 @@ pub fn run_compile(args: &CompileArgs) -> Result<String, CliError> {
         .ok_or_else(|| cli_err(format!("stage '{wanted}' not produced")))
 }
 
-/// Result of `run`: printable report.
+/// Result of `run`: the function outputs plus simulator statistics.
 #[derive(Debug)]
 pub struct RunReport {
-    /// One block per function result.
+    /// One human-readable block per function result.
     pub outputs: Vec<String>,
+    /// One JSON object (`{"shape": ..., "data": ...}`) per result.
+    pub outputs_json: Vec<String>,
     /// Simulator statistics.
-    pub stats: String,
+    pub stats: ExecStats,
+}
+
+impl RunReport {
+    /// Render per the requested format.
+    pub fn render(&self, format: OutputFormat) -> String {
+        match format {
+            OutputFormat::Text => {
+                let mut out = String::new();
+                for line in &self.outputs {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                out.push('\n');
+                out.push_str(&self.stats.to_string());
+                out
+            }
+            OutputFormat::Json => format!(
+                "{{\"results\":[{}],\"stats\":{}}}",
+                self.outputs_json.join(","),
+                self.stats.to_json()
+            ),
+        }
+    }
 }
 
 /// Execute `run`.
@@ -365,9 +433,15 @@ pub fn run_run(args: &RunArgs) -> Result<RunReport, CliError> {
     }
 
     let mut machine = CamMachine::new(&spec);
-    let out = Executor::with_machine(&compiled.module, &mut machine)
-        .run(&lowered.name, &values)
-        .map_err(cli_err)?;
+    let out = match args.engine {
+        Engine::Walk => Executor::with_machine(&compiled.module, &mut machine)
+            .run(&lowered.name, &values)
+            .map_err(cli_err)?,
+        Engine::Tape => Tape::compile(&compiled.module, &lowered.name)
+            .map_err(cli_err)?
+            .run(&mut machine, &values)
+            .map_err(cli_err)?,
+    };
     let outputs = out
         .iter()
         .enumerate()
@@ -376,9 +450,25 @@ pub fn run_run(args: &RunArgs) -> Result<RunReport, CliError> {
             None => format!("result[{i}]: {v}"),
         })
         .collect();
+    let outputs_json = out
+        .iter()
+        .map(|v| match v.snapshot_tensor() {
+            Some(t) => format!(
+                "{{\"shape\":{:?},\"data\":[{}]}}",
+                t.shape(),
+                t.data()
+                    .iter()
+                    .map(|&x| json_f32(x))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            None => format!("{{\"value\":\"{v}\"}}"),
+        })
+        .collect();
     Ok(RunReport {
         outputs,
-        stats: machine.stats().to_string(),
+        outputs_json,
+        stats: machine.stats(),
     })
 }
 
@@ -394,6 +484,27 @@ pub fn run_place(args: &PlaceArgs) -> Result<String, CliError> {
         },
     )
     .map_err(cli_err)?;
+    if args.format == OutputFormat::Json {
+        return Ok(format!(
+            concat!(
+                "{{\"stored_rows\":{},\"dims\":{},\"queries\":{},\"placement\":{{",
+                "\"rows_used\":{},\"row_groups\":{},\"col_chunks\":{},",
+                "\"logical_tiles\":{},\"batches_per_subarray\":{},",
+                "\"physical_subarrays\":{},\"banks\":{},\"padded_rows\":{}}}}}"
+            ),
+            args.stored_rows,
+            args.dims,
+            args.queries,
+            p.rows_used,
+            p.row_groups,
+            p.col_chunks,
+            p.logical_tiles,
+            p.batches_per_subarray,
+            p.physical_subarrays,
+            p.banks,
+            p.padded_rows,
+        ));
+    }
     Ok(format!(
         "placement for {} stored rows x {} dims ({} queries):\n\
          \x20 rows used per group : {}\n\
@@ -414,6 +525,16 @@ pub fn run_place(args: &PlaceArgs) -> Result<String, CliError> {
         p.physical_subarrays,
         p.banks,
     ))
+}
+
+/// Format a float as a JSON number (`inf`/`NaN` degrade to `null`,
+/// matching [`ExecStats::to_json`]).
+fn json_f32(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
 }
 
 /// Deterministic 0/1 tensor for `--random-seed` runs.
@@ -465,14 +586,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         Command::Compile(args) => run_compile(args),
         Command::Run(args) => {
             let report = run_run(args)?;
-            let mut out = String::new();
-            for line in &report.outputs {
-                out.push_str(line);
-                out.push('\n');
-            }
-            out.push('\n');
-            out.push_str(&report.stats);
-            Ok(out)
+            Ok(report.render(args.format))
         }
         Command::Place(args) => run_place(args),
     }
@@ -602,10 +716,63 @@ mats_per_bank: 2
             },
             data: vec![],
             random_seed: 7,
+            engine: Engine::default(),
+            format: OutputFormat::Text,
         };
         let report = run_run(&args).unwrap();
         assert_eq!(report.outputs.len(), 2);
-        assert!(report.stats.contains("latency"));
+        assert!(report.stats.latency_ns > 0.0);
+        assert!(report.render(OutputFormat::Text).contains("latency"));
+    }
+
+    #[test]
+    fn run_report_renders_json() {
+        let spec = write_temp("spec_json.txt", SPEC);
+        let kernel = write_temp("kernel_json.py", KERNEL);
+        let args = RunArgs {
+            compile: CompileArgs {
+                arch: spec,
+                source: kernel,
+                inputs: vec![vec![2, 64]],
+                params: vec![("weight".to_string(), vec![4, 64])],
+                emit: EmitStage::Cam,
+                canonicalize: false,
+            },
+            data: vec![],
+            random_seed: 7,
+            engine: Engine::Tape,
+            format: OutputFormat::Json,
+        };
+        let out = execute(&Command::Run(args)).unwrap();
+        assert!(out.starts_with("{\"results\":["), "{out}");
+        assert!(out.contains("\"stats\":{"), "{out}");
+        assert!(out.contains("\"latency_ns\":"), "{out}");
+        assert!(out.ends_with('}'), "{out}");
+    }
+
+    #[test]
+    fn walk_and_tape_cli_runs_agree() {
+        let spec = write_temp("spec_eng.txt", SPEC);
+        let kernel = write_temp("kernel_eng.py", KERNEL);
+        let mk = |engine| RunArgs {
+            compile: CompileArgs {
+                arch: write_temp("spec_eng.txt", SPEC),
+                source: kernel.clone(),
+                inputs: vec![vec![2, 64]],
+                params: vec![("weight".to_string(), vec![4, 64])],
+                emit: EmitStage::Cam,
+                canonicalize: false,
+            },
+            data: vec![],
+            random_seed: 11,
+            engine,
+            format: OutputFormat::Text,
+        };
+        let _ = spec;
+        let walk = run_run(&mk(Engine::Walk)).unwrap();
+        let tape = run_run(&mk(Engine::Tape)).unwrap();
+        assert_eq!(walk.outputs, tape.outputs);
+        assert_eq!(walk.stats, tape.stats);
     }
 
     #[test]
@@ -629,6 +796,8 @@ mats_per_bank: 2
             },
             data: vec![q, w],
             random_seed: 0,
+            engine: Engine::default(),
+            format: OutputFormat::Text,
         };
         let report = run_run(&args).unwrap();
         // Query 0 == weight row 0, query 1 == weight row 1.
@@ -660,12 +829,54 @@ optimization: density
 ",
         );
         let out = run_place(&PlaceArgs {
+            arch: spec.clone(),
+            stored_rows: 10,
+            dims: 8192,
+            queries: 1,
+            format: OutputFormat::Text,
+        })
+        .unwrap();
+        assert!(out.contains("physical subarrays  : 86"), "{out}");
+        let json = run_place(&PlaceArgs {
             arch: spec,
             stored_rows: 10,
             dims: 8192,
             queries: 1,
+            format: OutputFormat::Json,
         })
         .unwrap();
-        assert!(out.contains("physical subarrays  : 86"), "{out}");
+        assert!(json.contains("\"physical_subarrays\":86"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    }
+
+    #[test]
+    fn engine_and_format_flags_parse() {
+        let cmd = parse_args(&strings(&[
+            "run", "--arch", "a", "--source", "s", "--engine", "walk", "--format", "json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert_eq!(r.engine, Engine::Walk);
+                assert_eq!(r.format, OutputFormat::Json);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+        assert!(parse_args(&strings(&[
+            "run", "--arch", "a", "--source", "s", "--engine", "jit"
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&[
+            "place",
+            "--arch",
+            "a",
+            "--stored-rows",
+            "4",
+            "--dims",
+            "8",
+            "--format",
+            "yaml"
+        ]))
+        .is_err());
     }
 }

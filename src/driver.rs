@@ -8,12 +8,39 @@ use c4cam_camsim::{CamMachine, ExecStats};
 use c4cam_core::dialects::{cim, torch};
 use c4cam_core::mapping::{place, MappingProblem, Placement};
 use c4cam_core::pipeline::C4camPipeline;
+use c4cam_engine::Tape;
 use c4cam_ir::Module;
 use c4cam_runtime::{Executor, Value};
 use c4cam_tensor::Tensor;
 use c4cam_workloads::{accuracy, HdcModel, KnnDataset};
 use std::error::Error;
 use std::fmt;
+
+/// Which execution engine drives the simulator.
+///
+/// [`Engine::Tape`] (the default) compiles the lowered module to a flat
+/// CAM-ISA tape and executes it on the register-machine VM;
+/// [`Engine::Walk`] re-walks the IR tree per op and is kept as the
+/// reference oracle. Both produce bit-identical outputs and statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Tree-walking reference interpreter ([`Executor`]).
+    Walk,
+    /// Flat-tape VM ([`c4cam_engine::Tape`]).
+    #[default]
+    Tape,
+}
+
+impl Engine {
+    /// Parse from the `--engine` keyword.
+    pub fn from_keyword(s: &str) -> Option<Engine> {
+        match s {
+            "walk" => Some(Engine::Walk),
+            "tape" => Some(Engine::Tape),
+            _ => None,
+        }
+    }
+}
 
 /// Driver failure (compile, placement or execution error).
 #[derive(Debug, Clone)]
@@ -152,6 +179,16 @@ pub fn paper_arch(n: usize, optimization: Optimization, bits: u32) -> ArchSpec {
 /// # Errors
 /// Propagates compile and execution failures.
 pub fn run_hdc(config: &HdcConfig) -> Result<RunOutcome, DriverError> {
+    run_hdc_with_engine(config, Engine::default())
+}
+
+/// [`run_hdc`] with an explicit execution engine (the default everywhere
+/// else is [`Engine::Tape`]; `Engine::Walk` runs the tree-walking
+/// reference oracle).
+///
+/// # Errors
+/// Propagates compile and execution failures.
+pub fn run_hdc_with_engine(config: &HdcConfig, engine: Engine) -> Result<RunOutcome, DriverError> {
     let model = HdcModel::random(
         config.classes,
         config.dims,
@@ -159,7 +196,6 @@ pub fn run_hdc(config: &HdcConfig) -> Result<RunOutcome, DriverError> {
         config.seed,
     );
     let (queries, labels) = model.queries(config.queries, config.flip_rate, config.seed);
-
     let mut module = Module::new();
     torch::build_hdc_dot_with(
         &mut module,
@@ -167,7 +203,7 @@ pub fn run_hdc(config: &HdcConfig) -> Result<RunOutcome, DriverError> {
         config.classes as i64,
         config.dims as i64,
         1,
-        true, // nearest prototype = largest dot similarity
+        true,
     );
     run_similarity_module(
         module,
@@ -183,6 +219,7 @@ pub fn run_hdc(config: &HdcConfig) -> Result<RunOutcome, DriverError> {
             wta_window: config.wta_window,
             canonicalize: config.canonicalize,
             tech: None,
+            engine,
         },
     )
 }
@@ -193,6 +230,7 @@ struct RunKnobs {
     wta_window: Option<u32>,
     canonicalize: bool,
     tech: Option<c4cam_arch::tech::TechnologyModel>,
+    engine: Engine,
 }
 
 /// [`run_hdc`] with an explicit technology model (the paper's
@@ -235,6 +273,7 @@ pub fn run_hdc_with_tech(
             wta_window: config.wta_window,
             canonicalize: config.canonicalize,
             tech: Some(tech),
+            engine: Engine::default(),
         },
     )
 }
@@ -280,6 +319,14 @@ impl KnnConfig {
 /// # Errors
 /// Propagates compile and execution failures.
 pub fn run_knn(config: &KnnConfig) -> Result<RunOutcome, DriverError> {
+    run_knn_with_engine(config, Engine::default())
+}
+
+/// [`run_knn`] with an explicit execution engine.
+///
+/// # Errors
+/// Propagates compile and execution failures.
+pub fn run_knn_with_engine(config: &KnnConfig, engine: Engine) -> Result<RunOutcome, DriverError> {
     let data = KnnDataset::synthetic(
         config.patterns,
         config.dims,
@@ -314,7 +361,10 @@ pub fn run_knn(config: &KnnConfig) -> Result<RunOutcome, DriverError> {
         config.patterns,
         config.dims,
         config.queries,
-        RunKnobs::default(),
+        RunKnobs {
+            engine,
+            ..RunKnobs::default()
+        },
     )
 }
 
@@ -371,9 +421,15 @@ fn run_similarity_module(
     } else {
         vec![Value::Tensor(stored), Value::Tensor(queries)]
     };
-    let out = Executor::with_machine(&compiled.module, &mut machine)
-        .run(func, &args)
-        .map_err(derr)?;
+    let out = match knobs.engine {
+        Engine::Walk => Executor::with_machine(&compiled.module, &mut machine)
+            .run(func, &args)
+            .map_err(derr)?,
+        Engine::Tape => Tape::compile(&compiled.module, func)
+            .map_err(derr)?
+            .run(&mut machine, &args)
+            .map_err(derr)?,
+    };
     let indices = out
         .get(1)
         .and_then(Value::as_tensor)
@@ -439,6 +495,49 @@ mod tests {
         };
         let out = run_knn(&config).unwrap();
         assert_eq!(out.accuracy(), 1.0, "CAM top-1 must equal CPU top-1");
+    }
+
+    #[test]
+    fn walk_and_tape_engines_agree_on_outcome_and_stats() {
+        let spec = paper_arch(16, Optimization::Base, 1);
+        let config = HdcConfig {
+            spec,
+            classes: 4,
+            dims: 128,
+            queries: 6,
+            flip_rate: 0.05,
+            seed: 9,
+            wta_window: None,
+            canonicalize: false,
+        };
+        let walk = run_hdc_with_engine(&config, Engine::Walk).unwrap();
+        let tape = run_hdc_with_engine(&config, Engine::Tape).unwrap();
+        assert_eq!(walk.predictions, tape.predictions);
+        assert_eq!(walk.total, tape.total);
+        assert_eq!(walk.setup, tape.setup);
+        assert_eq!(walk.query_phase, tape.query_phase);
+    }
+
+    #[test]
+    fn knn_engines_agree() {
+        let spec = ArchSpec::builder()
+            .subarray(16, 16)
+            .hierarchy(2, 2, 4)
+            .build()
+            .unwrap();
+        let config = KnnConfig {
+            spec,
+            patterns: 32,
+            dims: 48,
+            queries: 4,
+            k: 1,
+            noise: 0.1,
+            seed: 3,
+        };
+        let walk = run_knn_with_engine(&config, Engine::Walk).unwrap();
+        let tape = run_knn_with_engine(&config, Engine::Tape).unwrap();
+        assert_eq!(walk.predictions, tape.predictions);
+        assert_eq!(walk.total, tape.total);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Property tests (vendored proptest): for randomly shaped hdc- and
+//! knn-style modules, the flat-tape engine must produce bit-identical
+//! results *and* identical energy/latency statistics to the
+//! tree-walking interpreter, and the sharded tape must reproduce the
+//! outputs exactly with equal operation counts.
+
+use c4cam::arch::{ArchSpec, Optimization};
+use c4cam::camsim::CamMachine;
+use c4cam::compiler::dialects::{cim, torch};
+use c4cam::compiler::pipeline::C4camPipeline;
+use c4cam::engine::Tape;
+use c4cam::ir::Module;
+use c4cam::runtime::{Executor, Value};
+use c4cam::tensor::Tensor;
+use proptest::prelude::*;
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
+
+fn random_binary(rows: usize, cols: usize, next: &mut impl FnMut() -> u64) -> Tensor {
+    Tensor::from_vec(
+        vec![rows, cols],
+        (0..rows * cols).map(|_| (next() & 1) as f32).collect(),
+    )
+    .unwrap()
+}
+
+/// Compile for `spec`, run walker + tape + sharded tape, and assert the
+/// equivalence contract.
+fn check_engines(m: Module, func: &str, spec: &ArchSpec, args: &[Value]) {
+    let compiled = C4camPipeline::new(spec.clone()).compile(m).unwrap();
+
+    let mut walk_machine = CamMachine::new(spec);
+    let walk_out = Executor::with_machine(&compiled.module, &mut walk_machine)
+        .run(func, args)
+        .unwrap();
+
+    let tape = Tape::compile(&compiled.module, func).unwrap();
+    let mut tape_machine = CamMachine::new(spec);
+    let tape_out = tape.run(&mut tape_machine, args).unwrap();
+
+    assert_eq!(walk_out.len(), tape_out.len());
+    for (w, t) in walk_out.iter().zip(&tape_out) {
+        assert_eq!(
+            w.snapshot_tensor().unwrap().data(),
+            t.snapshot_tensor().unwrap().data(),
+            "tape output diverged"
+        );
+    }
+    assert_eq!(walk_machine.stats(), tape_machine.stats(), "stats diverged");
+
+    let mut shard_machine = CamMachine::new(spec);
+    let shard_out = tape.run_batched(&mut shard_machine, args, 3).unwrap();
+    for (w, s) in walk_out.iter().zip(&shard_out) {
+        assert_eq!(
+            w.snapshot_tensor().unwrap().data(),
+            s.snapshot_tensor().unwrap().data(),
+            "sharded output diverged"
+        );
+    }
+    let (a, b) = (walk_machine.stats(), shard_machine.stats());
+    assert_eq!(a.search_ops, b.search_ops);
+    assert_eq!(a.read_ops, b.read_ops);
+    assert_eq!(a.merge_ops, b.merge_ops);
+    assert_eq!(a.write_ops, b.write_ops);
+    assert!((a.latency_ns - b.latency_ns).abs() <= 1e-6 * a.latency_ns.max(1.0));
+    assert!(
+        (a.total_energy_fj() - b.total_energy_fj()).abs() <= 1e-6 * a.total_energy_fj().max(1.0)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hdc_shaped_modules_execute_identically(
+        classes in 2usize..7,
+        dims_factor in 1usize..10,
+        nq in 1usize..5,
+        n in prop_oneof![Just(16usize), Just(32)],
+        opt in prop_oneof![
+            Just(Optimization::Base),
+            Just(Optimization::Power),
+            Just(Optimization::Density),
+            Just(Optimization::PowerDensity),
+        ],
+        seed in 0u64..1000,
+    ) {
+        let dims = dims_factor * 19; // non-divisible sizes welcome
+        let mut m = Module::new();
+        torch::build_hdc_dot_with(&mut m, nq as i64, classes as i64, dims as i64, 1, true);
+        let mut next = xorshift(seed);
+        let stored = random_binary(classes, dims, &mut next);
+        let queries = random_binary(nq, dims, &mut next);
+        let args = [Value::Tensor(queries), Value::Tensor(stored)];
+        let spec = ArchSpec::builder()
+            .subarray(n, n)
+            .hierarchy(2, 2, 4)
+            .optimization(opt)
+            .build()
+            .unwrap();
+        check_engines(m, "forward", &spec, &args);
+    }
+
+    #[test]
+    fn knn_shaped_modules_execute_identically(
+        patterns in 4usize..50,
+        dims_factor in 1usize..6,
+        nq in 1usize..5,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let dims = dims_factor * 23;
+        let k = k.min(patterns);
+        let mut m = Module::new();
+        cim::build_similarity_kernel(
+            &mut m, "knn", "eucl",
+            patterns as i64, dims as i64, nq as i64, k as i64, false,
+        );
+        let mut next = xorshift(seed);
+        let stored = random_binary(patterns, dims, &mut next);
+        let queries = random_binary(nq, dims, &mut next);
+        let args = [Value::Tensor(stored), Value::Tensor(queries)];
+        let spec = ArchSpec::builder()
+            .subarray(16, 16)
+            .hierarchy(2, 2, 4)
+            .build()
+            .unwrap();
+        check_engines(m, "knn", &spec, &args);
+    }
+}

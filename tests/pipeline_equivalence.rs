@@ -2,14 +2,76 @@
 //! function. The torch-level host execution is the golden reference;
 //! the cim stage, the partitioned host-loops stage, and the fully
 //! lowered cam stage (on the simulator) must agree.
+//!
+//! The fully lowered stage is additionally executed by *both* device
+//! engines — the tree-walking `Executor` (oracle) and the flat-tape VM,
+//! sequential and sharded — and the engines must agree bit-for-bit on
+//! outputs and (for the sequential tape) on energy/latency statistics,
+//! across all four workload shapes: hdc, knn, dtree, and gpu.
 
 use c4cam::arch::{ArchSpec, Optimization};
 use c4cam::camsim::CamMachine;
 use c4cam::compiler::dialects::torch;
 use c4cam::compiler::pipeline::{C4camPipeline, PipelineOptions, Target};
+use c4cam::engine::Tape;
 use c4cam::ir::Module;
 use c4cam::runtime::{Executor, Value};
 use c4cam::tensor::Tensor;
+
+/// Run the lowered device module on the walker (oracle), the sequential
+/// tape engine, and the sharded tape engine; assert the tape matches the
+/// walker bit-for-bit (outputs *and* stats) and the sharded run matches
+/// outputs exactly with equal op counts.
+fn assert_engines_agree(
+    module: &Module,
+    spec: &ArchSpec,
+    func: &str,
+    args: &[Value],
+) -> Vec<Value> {
+    let mut walk_machine = CamMachine::new(spec);
+    let walk_out = Executor::with_machine(module, &mut walk_machine)
+        .run(func, args)
+        .unwrap();
+
+    let tape = Tape::compile(module, func).unwrap();
+    let mut tape_machine = CamMachine::new(spec);
+    let tape_out = tape.run(&mut tape_machine, args).unwrap();
+
+    assert_eq!(walk_out.len(), tape_out.len(), "engine result arity");
+    for (i, (w, t)) in walk_out.iter().zip(&tape_out).enumerate() {
+        assert_eq!(
+            w.snapshot_tensor().unwrap().data(),
+            t.snapshot_tensor().unwrap().data(),
+            "tape result {i} diverged from walker"
+        );
+    }
+    assert_eq!(
+        walk_machine.stats(),
+        tape_machine.stats(),
+        "tape stats diverged from walker"
+    );
+
+    let mut shard_machine = CamMachine::new(spec);
+    let shard_out = tape.run_batched(&mut shard_machine, args, 4).unwrap();
+    for (i, (w, s)) in walk_out.iter().zip(&shard_out).enumerate() {
+        assert_eq!(
+            w.snapshot_tensor().unwrap().data(),
+            s.snapshot_tensor().unwrap().data(),
+            "sharded result {i} diverged from walker"
+        );
+    }
+    let (walk, shard) = (walk_machine.stats(), shard_machine.stats());
+    assert_eq!(walk.search_ops, shard.search_ops);
+    assert_eq!(walk.read_ops, shard.read_ops);
+    assert_eq!(walk.merge_ops, shard.merge_ops);
+    assert!(
+        (walk.latency_ns - shard.latency_ns).abs() <= 1e-6 * walk.latency_ns.max(1.0),
+        "sharded latency diverged: {} vs {}",
+        walk.latency_ns,
+        shard.latency_ns
+    );
+    walk_out
+}
 
 fn hdc_inputs(nq: usize, classes: usize, dims: usize, seed: u64) -> (Tensor, Tensor) {
     let mut stored = Vec::with_capacity(classes * dims);
@@ -73,13 +135,10 @@ fn run_all_stages(nq: usize, classes: usize, dims: usize, opt: Optimization, n: 
         "host-loops path diverged (N={n}, {opt:?})"
     );
 
-    // Device path.
+    // Device path: walker, tape and sharded tape must all agree.
     let s = spec(n, opt);
     let device = C4camPipeline::new(s.clone()).compile(m).unwrap();
-    let mut machine = CamMachine::new(&s);
-    let device_out = Executor::with_machine(&device.module, &mut machine)
-        .run("forward", &args)
-        .unwrap();
+    let device_out = assert_engines_agree(&device.module, &s, "forward", &args);
     assert_eq!(
         device_out[1].as_tensor().unwrap().data(),
         golden_idx.data(),
@@ -143,10 +202,7 @@ fn knn_equivalence_with_row_groups() {
 
     let s = spec(16, Optimization::Base);
     let device = C4camPipeline::new(s.clone()).compile(m).unwrap();
-    let mut machine = CamMachine::new(&s);
-    let out = Executor::with_machine(&device.module, &mut machine)
-        .run("knn", &args)
-        .unwrap();
+    let out = assert_engines_agree(&device.module, &s, "knn", &args);
     assert_eq!(
         out[1].as_tensor().unwrap().data(),
         golden[1].as_tensor().unwrap().data(),
@@ -213,6 +269,93 @@ fn wta_window_preserves_results_when_wide_enough() {
     assert_eq!(
         out[1].as_tensor().unwrap().data(),
         golden[1].as_tensor().unwrap().data()
+    );
+}
+
+#[test]
+fn dtree_workload_engines_agree() {
+    // The decision-tree workload, expressed as nearest-path-row
+    // retrieval: each root-to-leaf path becomes a stored row of interval
+    // midpoints (don't-care features sit at the domain center), and a
+    // sample classifies by minimum Euclidean distance. Features are
+    // quantized to the 2-bit MCAM level grid so the host reference and
+    // the (exact multi-bit Euclidean) device agree. This exercises the
+    // eucl metric, multi-bit cells, and k=1 reduction through both
+    // engines.
+    use c4cam::workloads::DecisionTree;
+    let quant = |v: f32| (v.clamp(0.0, 1.0) * 3.0).round();
+    let tree = DecisionTree::random(8, 3, 4, 77);
+    let rows = tree.to_rows();
+    let features = tree.features;
+    let mut stored = Vec::with_capacity(rows.len() * features);
+    for row in &rows {
+        for iv in &row.intervals {
+            stored.push(quant(match iv {
+                Some((lo, hi)) => (lo + hi) / 2.0,
+                None => 0.5,
+            }));
+        }
+    }
+    let stored = Tensor::from_vec(vec![rows.len(), features], stored).unwrap();
+    let samples = tree.samples(5, 13);
+    let queries = Tensor::from_vec(
+        vec![samples.len(), features],
+        samples.iter().flatten().map(|&v| quant(v)).collect(),
+    )
+    .unwrap();
+
+    let mut m = Module::new();
+    c4cam::compiler::dialects::cim::build_similarity_kernel(
+        &mut m,
+        "dtree",
+        "eucl",
+        rows.len() as i64,
+        features as i64,
+        samples.len() as i64,
+        1,
+        false,
+    );
+    let args = [Value::Tensor(stored), Value::Tensor(queries)];
+    let golden = Executor::new(&m).run("dtree", &args).unwrap();
+
+    let s = ArchSpec::builder()
+        .subarray(16, 16)
+        .hierarchy(2, 2, 4)
+        .bits_per_cell(2)
+        .cam_kind(c4cam::arch::CamKind::Mcam)
+        .build()
+        .unwrap();
+    let device = C4camPipeline::new(s.clone()).compile(m).unwrap();
+    let out = assert_engines_agree(&device.module, &s, "dtree", &args);
+    assert_eq!(
+        out[1].as_tensor().unwrap().data(),
+        golden[1].as_tensor().unwrap().data(),
+        "dtree indices diverged"
+    );
+}
+
+#[test]
+fn gpu_workload_engines_agree() {
+    // The GPU-comparison workload shape (§IV-B): the paper's 10-class
+    // HDC classifier with largest-dot selection, scaled down in dims.
+    use c4cam::workloads::HdcModel;
+    let model = HdcModel::random(10, 512, 1, 42);
+    let (queries, _) = model.queries(6, 0.1, 42);
+    let mut m = Module::new();
+    torch::build_hdc_dot_with(&mut m, 6, 10, 512, 1, true);
+    let args = [
+        Value::Tensor(queries),
+        Value::Tensor(model.class_hvs().clone()),
+    ];
+    let golden = Executor::new(&m).run("forward", &args).unwrap();
+
+    let s = spec(32, Optimization::Base);
+    let device = C4camPipeline::new(s.clone()).compile(m).unwrap();
+    let out = assert_engines_agree(&device.module, &s, "forward", &args);
+    assert_eq!(
+        out[1].as_tensor().unwrap().data(),
+        golden[1].as_tensor().unwrap().data(),
+        "gpu-workload indices diverged"
     );
 }
 
