@@ -36,6 +36,8 @@ fn bench_search(c: &mut Criterion) {
                         SearchSpec::new(MatchKind::Best, Metric::Hamming),
                     )
                     .unwrap()
+                    .rows
+                    .len()
             })
         });
         group.bench_function(format!("exact-{rows}x{cols}"), |b| {
@@ -47,6 +49,8 @@ fn bench_search(c: &mut Criterion) {
                         SearchSpec::new(MatchKind::Exact, Metric::Hamming),
                     )
                     .unwrap()
+                    .rows
+                    .len()
             })
         });
         group.bench_function(format!("best-euclidean-{rows}x{cols}"), |b| {
@@ -58,6 +62,8 @@ fn bench_search(c: &mut Criterion) {
                         SearchSpec::new(MatchKind::Best, Metric::Euclidean),
                     )
                     .unwrap()
+                    .rows
+                    .len()
             })
         });
     }

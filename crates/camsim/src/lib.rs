@@ -12,7 +12,11 @@
 //! * [`cell`]: TCAM/MCAM/ACAM cell match semantics (incl. don't-care),
 //! * [`subarray`]: an `R × C` array slice supporting exact / best /
 //!   threshold search under Hamming or Euclidean metrics, with selective
-//!   row activation (selective precharge, paper \[27\]),
+//!   row activation (selective precharge, paper \[27\]). Searches run
+//!   over incrementally maintained packed *match planes* (`u64`
+//!   value/care bit-planes plus a `u8` level plane) — `XOR → AND →
+//!   popcount` word kernels that are bit-identical to the retained
+//!   per-cell oracle ([`Subarray::search_naive`]),
 //! * [`machine`]: the bank→mat→array→subarray hierarchy with allocation
 //!   bookkeeping, *timing scopes* (parallel = max, sequential = sum —
 //!   the compiler encodes its mapping policy as loop structure and the
@@ -49,6 +53,8 @@ pub mod stats;
 pub mod subarray;
 
 pub use cell::CamCell;
-pub use machine::{ArrayId, BankId, CamMachine, MatId, SearchSpec, SimError, SubarrayId};
+pub use machine::{
+    ArrayId, BankId, CamMachine, MatId, SearchPath, SearchSpec, SimError, SubarrayId,
+};
 pub use stats::ExecStats;
-pub use subarray::{RowSelection, SearchResult, Subarray};
+pub use subarray::{RowSelection, SearchResult, SearchScratch, Subarray};

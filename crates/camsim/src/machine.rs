@@ -14,11 +14,29 @@
 //! sums — concurrency changes time, not work.
 
 use crate::stats::ExecStats;
-use crate::subarray::{RowSelection, SearchResult, Subarray};
+use crate::subarray::{RowSelection, SearchResult, SearchScratch, Subarray};
 use c4cam_arch::tech::{Level, TechnologyModel};
 use c4cam_arch::{ArchSpec, MatchKind, Metric};
 use std::error::Error;
 use std::fmt;
+
+/// Which search kernel the machine drives.
+///
+/// [`SearchPath::Packed`] (the default) searches over the subarrays'
+/// bit/level match planes; [`SearchPath::Naive`] walks the `CamCell`
+/// grid one cell at a time — the pre-packing implementation, retained
+/// as a differential oracle and benchmark baseline. Both produce
+/// bit-identical results and statistics (except
+/// [`ExecStats::searched_words`], which counts the work the selected
+/// kernel actually performs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchPath {
+    /// Packed match-plane kernels (default).
+    #[default]
+    Packed,
+    /// Per-cell naive walk (differential oracle / benchmark baseline).
+    Naive,
+}
 
 /// Handle to an allocated bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,6 +138,7 @@ impl ExecStats {
     /// are derived quantities and are skipped.
     fn add_dynamic(&mut self, delta: &ExecStats) {
         self.search_ops += delta.search_ops;
+        self.searched_words += delta.searched_words;
         self.write_ops += delta.write_ops;
         self.read_ops += delta.read_ops;
         self.merge_ops += delta.merge_ops;
@@ -173,6 +192,8 @@ pub struct CamMachine {
     subarrays_per_array: usize,
     max_banks: Option<usize>,
     wta_window: Option<u32>,
+    search_path: SearchPath,
+    scratch: SearchScratch,
     banks: Vec<BankState>,
     mats: Vec<MatState>,
     arrays: Vec<ArrayState>,
@@ -201,6 +222,8 @@ impl CamMachine {
             subarrays_per_array: spec.subarrays_per_array,
             max_banks: spec.banks,
             wta_window: None,
+            search_path: SearchPath::default(),
+            scratch: SearchScratch::default(),
             banks: Vec::new(),
             mats: Vec::new(),
             arrays: Vec::new(),
@@ -218,6 +241,17 @@ impl CamMachine {
     /// distances saturate at `window` mismatches (paper \[19\]).
     pub fn set_wta_window(&mut self, window: Option<u32>) {
         self.wta_window = window;
+    }
+
+    /// Select the search kernel (packed match planes by default; the
+    /// naive per-cell walk for differential testing and baselining).
+    pub fn set_search_path(&mut self, path: SearchPath) {
+        self.search_path = path;
+    }
+
+    /// The search kernel in use.
+    pub fn search_path(&self) -> SearchPath {
+        self.search_path
     }
 
     /// Subarray geometry `(rows, cols)` of this machine.
@@ -453,8 +487,10 @@ impl CamMachine {
         Ok(())
     }
 
-    /// Search one subarray (`cam.search`) and return the functional
-    /// result. Costs are charged to the current timing scope.
+    /// Search one subarray (`cam.search`) and return a borrowed view of
+    /// the functional result (no per-search allocation; the result
+    /// buffers live in the subarray and are reused). Costs are charged
+    /// to the current timing scope.
     ///
     /// # Errors
     /// Fails on invalid handles or if the query exceeds the geometry.
@@ -463,26 +499,49 @@ impl CamMachine {
         id: SubarrayId,
         query: &[f32],
         spec: SearchSpec,
-    ) -> Result<SearchResult, SimError> {
+    ) -> Result<&SearchResult, SimError> {
         let wta = self.wta_window;
         let bits = self.bits_per_cell;
         let rows = self.rows;
         let cols = self.cols;
         let selective = spec.selection != RowSelection::All;
-        let result = self
-            .sub_mut(id)?
-            .search(
-                query,
-                spec.kind,
-                spec.metric,
-                spec.selection,
-                spec.threshold,
-                wta,
+        let path = self.search_path;
+        let sub = self
+            .subs
+            .get_mut(id.0)
+            .ok_or_else(|| SimError::new(format!("invalid subarray handle {}", id.0)))?;
+        match path {
+            SearchPath::Packed => sub
+                .search(
+                    query,
+                    spec.kind,
+                    spec.metric,
+                    spec.selection,
+                    spec.threshold,
+                    wta,
+                    &mut self.scratch,
+                )
+                .map_err(SimError::new)?,
+            SearchPath::Naive => sub
+                .search_naive(
+                    query,
+                    spec.kind,
+                    spec.metric,
+                    spec.selection,
+                    spec.threshold,
+                    wta,
+                )
+                .map_err(SimError::new)?,
+        };
+        let (active_rows, words) = {
+            let sub = &self.subs[id.0];
+            (
+                sub.last_result().map_or(0, |r| r.rows.len()),
+                sub.last_searched_words(),
             )
-            .map_err(SimError::new)?
-            .clone();
-        let active_rows = result.rows.len();
+        };
         self.stats.search_ops += 1;
+        self.stats.searched_words += words;
         self.stats.cell_energy_fj += self.tech.search_cell_energy_fj(active_rows, cols, bits);
         self.stats.periph_energy_fj +=
             self.tech
@@ -493,21 +552,24 @@ impl CamMachine {
             lat += self.tech.selective_cycle_ns;
         }
         self.add_latency(lat);
-        Ok(result)
+        Ok(self.subs[id.0]
+            .last_result()
+            .expect("search stored a result"))
     }
 
-    /// Read back the latest search result (`cam.read`).
+    /// Read back the latest search result (`cam.read`) as a borrowed
+    /// view — no per-read clone of the result buffers.
     ///
     /// # Errors
     /// Fails if no search was performed on this subarray yet.
-    pub fn read(&mut self, id: SubarrayId) -> Result<SearchResult, SimError> {
-        let result = self
-            .sub(id)?
-            .last_result()
-            .cloned()
-            .ok_or_else(|| SimError::new("read before any search on this subarray"))?;
+    pub fn read(&mut self, id: SubarrayId) -> Result<&SearchResult, SimError> {
+        if self.sub(id)?.last_result().is_none() {
+            return Err(SimError::new("read before any search on this subarray"));
+        }
         self.stats.read_ops += 1;
-        Ok(result)
+        Ok(self.subs[id.0]
+            .last_result()
+            .expect("presence checked above"))
     }
 
     /// Charge one partial-result merge at `level` over `elems` elements
@@ -650,15 +712,48 @@ mod tests {
                 &[1.0, 0.0, 1.0],
                 SearchSpec::new(MatchKind::Exact, Metric::Hamming),
             )
-            .unwrap();
+            .unwrap()
+            .clone();
         assert_eq!(r.matching_rows(), vec![0]);
         let after = m.stats();
         assert_eq!(after.search_ops, before.search_ops + 1);
+        assert_eq!(after.searched_words, before.searched_words + 2);
         assert!(after.total_energy_fj() > before.total_energy_fj());
         assert!(after.latency_ns > before.latency_ns);
         // read returns the same result
-        let read = m.read(sub).unwrap();
-        assert_eq!(read, r);
+        assert_eq!(m.read(sub).unwrap(), &r);
+    }
+
+    #[test]
+    fn naive_path_matches_packed_path_bitwise() {
+        let build = |path: SearchPath| {
+            let mut m = machine();
+            m.set_search_path(path);
+            let sub = m.alloc_chain().unwrap();
+            m.write_rows(sub, 0, &[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 0.0]])
+                .unwrap();
+            let r = m
+                .search(
+                    sub,
+                    &[1.0, 1.0, 1.0],
+                    SearchSpec::new(MatchKind::Best, Metric::Hamming),
+                )
+                .unwrap()
+                .clone();
+            (r, m.stats())
+        };
+        let (packed, ps) = build(SearchPath::Packed);
+        let (naive, ns) = build(SearchPath::Naive);
+        assert_eq!(packed, naive);
+        assert_eq!(ps.search_ops, ns.search_ops);
+        assert_eq!(ps.latency_ns.to_bits(), ns.latency_ns.to_bits());
+        assert_eq!(
+            ps.total_energy_fj().to_bits(),
+            ns.total_energy_fj().to_bits()
+        );
+        // The work metric differs: 1 plane word vs 3 walked cells.
+        assert_eq!(ps.searched_words, 2);
+        assert_eq!(ns.searched_words, 6);
     }
 
     #[test]

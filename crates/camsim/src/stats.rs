@@ -8,6 +8,10 @@ use std::fmt;
 pub struct ExecStats {
     /// Number of subarray search operations issued.
     pub search_ops: u64,
+    /// Packed plane words (or walked cells, for fallback rows and the
+    /// naive kernel) visited by searches — the simulator-side work
+    /// metric behind the packed match planes.
+    pub searched_words: u64,
     /// Number of subarray write (program) operations.
     pub write_ops: u64,
     /// Number of result read-outs.
@@ -90,11 +94,23 @@ impl ExecStats {
         energy_nj * latency_s
     }
 
+    /// Query broadcasts (subarray search operations) per simulated
+    /// second of device time.
+    ///
+    /// Returns 0 for zero-latency executions.
+    pub fn queries_per_second(&self) -> f64 {
+        if self.latency_ns <= 0.0 {
+            return 0.0;
+        }
+        self.search_ops as f64 / (self.latency_ns * 1e-9)
+    }
+
     /// Costs accumulated since the `earlier` snapshot (counter-wise
     /// subtraction; allocation gauges keep the later values).
     pub fn delta(&self, earlier: &ExecStats) -> ExecStats {
         ExecStats {
             search_ops: self.search_ops - earlier.search_ops,
+            searched_words: self.searched_words - earlier.searched_words,
             write_ops: self.write_ops - earlier.write_ops,
             read_ops: self.read_ops - earlier.read_ops,
             merge_ops: self.merge_ops - earlier.merge_ops,
@@ -116,14 +132,16 @@ impl ExecStats {
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"search_ops\":{},\"write_ops\":{},\"read_ops\":{},\"merge_ops\":{},",
+                "{{\"search_ops\":{},\"searched_words\":{},",
+                "\"write_ops\":{},\"read_ops\":{},\"merge_ops\":{},",
                 "\"cell_energy_fj\":{},\"periph_energy_fj\":{},\"merge_energy_fj\":{},",
                 "\"write_energy_fj\":{},\"static_energy_fj\":{},\"total_energy_fj\":{},",
-                "\"latency_ns\":{},\"power_w\":{},\"edp_nj_s\":{},",
+                "\"latency_ns\":{},\"power_w\":{},\"queries_per_second\":{},\"edp_nj_s\":{},",
                 "\"banks_allocated\":{},\"mats_allocated\":{},\"arrays_allocated\":{},",
                 "\"subarrays_allocated\":{}}}"
             ),
             self.search_ops,
+            self.searched_words,
             self.write_ops,
             self.read_ops,
             self.merge_ops,
@@ -135,6 +153,7 @@ impl ExecStats {
             json_f64(self.total_energy_fj()),
             json_f64(self.latency_ns),
             json_f64(self.power_w()),
+            json_f64(self.queries_per_second()),
             json_f64(self.edp_nj_s()),
             self.banks_allocated,
             self.mats_allocated,
@@ -147,6 +166,7 @@ impl ExecStats {
     /// latencies add).
     pub fn absorb(&mut self, other: &ExecStats) {
         self.search_ops += other.search_ops;
+        self.searched_words += other.searched_words;
         self.write_ops += other.write_ops;
         self.read_ops += other.read_ops;
         self.merge_ops += other.merge_ops;
@@ -176,8 +196,8 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "ops: {} searches, {} writes, {} reads, {} merges",
-            self.search_ops, self.write_ops, self.read_ops, self.merge_ops
+            "ops: {} searches ({} words), {} writes, {} reads, {} merges",
+            self.search_ops, self.searched_words, self.write_ops, self.read_ops, self.merge_ops
         )?;
         writeln!(
             f,
@@ -199,9 +219,10 @@ impl fmt::Display for ExecStats {
         )?;
         write!(
             f,
-            "latency: {:.3} ms | power: {:.3} mW | EDP: {:.4} nJ·s",
+            "latency: {:.3} ms | power: {:.3} mW | {:.0} queries/s | EDP: {:.4} nJ·s",
             self.latency_ms(),
             self.power_mw(),
+            self.queries_per_second(),
             self.edp_nj_s()
         )
     }
@@ -273,8 +294,21 @@ mod tests {
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"search_ops\":3"), "{j}");
+        assert!(j.contains("\"searched_words\":0"), "{j}");
+        assert!(j.contains("\"queries_per_second\":1500000000"), "{j}");
         assert!(j.contains("\"cell_energy_fj\":1.5"), "{j}");
         assert!(j.contains("\"subarrays_allocated\":4"), "{j}");
         assert!(!j.contains("inf") && !j.contains("NaN"), "{j}");
+    }
+
+    #[test]
+    fn queries_per_second_derives_from_search_ops() {
+        let s = ExecStats {
+            search_ops: 4,
+            latency_ns: 2e9, // 2 s
+            ..Default::default()
+        };
+        assert!((s.queries_per_second() - 2.0).abs() < 1e-12);
+        assert_eq!(ExecStats::default().queries_per_second(), 0.0);
     }
 }

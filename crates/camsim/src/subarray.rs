@@ -1,5 +1,28 @@
 //! Functional model of one CAM subarray: an `R × C` grid of cells with
 //! parallel search over all (or a selected window of) rows.
+//!
+//! ## Packed match planes
+//!
+//! A real CAM evaluates every row in one parallel operation; the cell
+//! grid is the *functional* model, not the fast path. Alongside the
+//! [`CamCell`] grid, each subarray incrementally maintains per-row
+//! **match planes** (rebuilt per row on every write):
+//!
+//! * a `u64` **value plane** (`bits`) holding one bit per binary cell,
+//! * a `u64` **care plane** (`care`) marking cells that participate in
+//!   matching (don't-care cells never mismatch),
+//! * a `u8` **level plane** (`levels`) holding the stored integer level
+//!   of every binary/multi-bit cell.
+//!
+//! Every row is classified: rows of pure TCAM bits search
+//! as `XOR → AND care → popcount` over 64-cell words; multi-bit (MCAM)
+//! rows search over the level plane; rows containing analog range cells
+//! (or mixing binary with multi-bit cells) fall back to the per-cell
+//! walk. Euclidean distances accumulate as exact integers when the
+//! query is integral (converted to `f64` only at the [`SearchResult`]
+//! boundary) and in column order over precomputed per-column squares
+//! otherwise, so packed results are **bit-identical** to the retained
+//! [`Subarray::search_naive`] oracle in every case.
 
 use crate::cell::CamCell;
 use c4cam_arch::{MatchKind, Metric};
@@ -30,7 +53,7 @@ impl RowSelection {
             RowSelection::All => 0..rows,
             RowSelection::Window { start, len } => {
                 let start = start.min(rows);
-                start..(start + len).min(rows)
+                start..start.saturating_add(len).min(rows)
             }
         }
     }
@@ -42,7 +65,7 @@ impl RowSelection {
 }
 
 /// Outcome of one subarray search.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchResult {
     /// Absolute row indices that participated, in order.
     pub rows: Vec<usize>,
@@ -72,6 +95,150 @@ impl SearchResult {
             .filter_map(|(&r, &d)| if d == min { Some(r) } else { None })
             .collect()
     }
+
+    fn clear(&mut self) {
+        self.rows.clear();
+        self.distances.clear();
+        self.matched.clear();
+    }
+}
+
+/// Reusable query-side scratch for packed searches.
+///
+/// Packing a query (bit vector, rounded levels, per-column squares)
+/// costs one `O(C)` pass; the buffers live on the
+/// [`CamMachine`](crate::CamMachine) so the steady-state search loop
+/// performs no heap allocation at all.
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    /// Query bits (`q != 0`), one per column, packed 64 per word.
+    qbits: Vec<u64>,
+    /// Query levels rounded exactly as the naive `Multi` match does,
+    /// clamped to `u8` alongside an in-range validity byte (an
+    /// out-of-range level can never equal a stored `u8` level).
+    qlvl8: Vec<u8>,
+    /// 1 where the rounded query level is exactly representable in the
+    /// stored `u8` range.
+    qvalid: Vec<u8>,
+    /// Integral query values (exact-integer Euclidean accumulation).
+    qint: Vec<i64>,
+    /// `i32` copy of `qint` for the vectorizable small-magnitude path.
+    qint32: Vec<i32>,
+    /// Per-column squared distance to a stored `0` bit.
+    sq0: Vec<f64>,
+    /// Per-column squared distance to a stored `1` bit.
+    sq1: Vec<f64>,
+}
+
+/// How a row participates in the packed fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowKind {
+    /// Only `Zero`/`One`/`DontCare` cells: bit-plane kernels apply.
+    Binary,
+    /// Only `Multi`/`DontCare` cells: level-plane kernels apply.
+    Levels,
+    /// Contains `Range` cells or mixes binary with multi-bit cells:
+    /// searched through the per-cell naive path.
+    Other,
+}
+
+/// Upper bound on `|q|` for the exact-integer Euclidean path.
+const INT_QUERY_BOUND: f64 = 1_048_576.0; // 2^20
+
+// ---------------------------------------------------------------------
+// Integer row kernels
+//
+// The workspace compiles for baseline x86-64 (SSE2), which cannot
+// vectorize 32-bit multiplies; the hot integer folds therefore carry a
+// runtime-dispatched AVX2 variant (`#[target_feature]` on the same
+// body, auto-vectorized by LLVM). Integer addition is associative, so
+// lane order cannot change a single bit of the result.
+// ---------------------------------------------------------------------
+
+/// Exact-integer small-magnitude squared-Euclidean fold: per-cell
+/// products fit `u32` (|d| ≤ 1024 + 255), folded in 1024-cell blocks.
+#[inline(always)]
+fn euclid_int_small_body(lv: &[u8], care: &[u8], q: &[i32]) -> u64 {
+    let mut acc = 0u64;
+    for ((lvb, careb), qb) in lv.chunks(1024).zip(care.chunks(1024)).zip(q.chunks(1024)) {
+        let mut s = 0u32;
+        for ((&l, &cb), &qv) in lvb.iter().zip(careb).zip(qb) {
+            let d = (qv - i32::from(l)) * i32::from(cb);
+            s += (d * d) as u32;
+        }
+        acc += u64::from(s);
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn euclid_int_small_avx2(lv: &[u8], care: &[u8], q: &[i32]) -> u64 {
+    euclid_int_small_body(lv, care, q)
+}
+
+fn euclid_int_small(lv: &[u8], care: &[u8], q: &[i32]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { euclid_int_small_avx2(lv, care, q) };
+    }
+    euclid_int_small_body(lv, care, q)
+}
+
+/// Branchless level-plane mismatch count (byte compares).
+#[inline(always)]
+fn mismatch_levels_body(lv: &[u8], care: &[u8], qlvl8: &[u8], qvalid: &[u8]) -> u64 {
+    let mut n = 0u32;
+    for ((&l, &cb), (&q8, &qv)) in lv.iter().zip(care).zip(qlvl8.iter().zip(qvalid)) {
+        let eq = qv & u8::from(l == q8);
+        n += u32::from(cb & (1 - eq));
+    }
+    u64::from(n)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mismatch_levels_avx2(lv: &[u8], care: &[u8], qlvl8: &[u8], qvalid: &[u8]) -> u64 {
+    mismatch_levels_body(lv, care, qlvl8, qvalid)
+}
+
+fn mismatch_levels_kernel(lv: &[u8], care: &[u8], qlvl8: &[u8], qvalid: &[u8]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { mismatch_levels_avx2(lv, care, qlvl8, qvalid) };
+    }
+    mismatch_levels_body(lv, care, qlvl8, qvalid)
+}
+
+/// Word fold of a binary row: `XOR → AND care → popcount`.
+#[inline(always)]
+fn mismatch_binary_body(bits: &[u64], care: &[u64], qbits: &[u64], qlen: usize) -> u64 {
+    let mut n = 0u64;
+    for (w, (&b, (&cm, &qb))) in bits.iter().zip(care.iter().zip(qbits)).enumerate() {
+        let mut x = (b ^ qb) & cm;
+        if (w + 1) * 64 > qlen {
+            x &= (1u64 << (qlen % 64)) - 1;
+        }
+        n += u64::from(x.count_ones());
+    }
+    n
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn mismatch_binary_popcnt(bits: &[u64], care: &[u64], qbits: &[u64], qlen: usize) -> u64 {
+    mismatch_binary_body(bits, care, qbits, qlen)
+}
+
+fn mismatch_binary_kernel(bits: &[u64], care: &[u64], qbits: &[u64], qlen: usize) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("popcnt") {
+        // SAFETY: POPCNT support was just verified at runtime.
+        return unsafe { mismatch_binary_popcnt(bits, care, qbits, qlen) };
+    }
+    mismatch_binary_body(bits, care, qbits, qlen)
 }
 
 /// A single `rows × cols` CAM subarray.
@@ -81,18 +248,43 @@ pub struct Subarray {
     cols: usize,
     cells: Vec<CamCell>,
     valid: Vec<bool>,
-    /// Result of the most recent search (for `cam.read`).
+    /// `u64` words per packed plane row.
+    words_per_row: usize,
+    /// Value plane: one bit per binary cell (`One` = 1).
+    bits: Vec<u64>,
+    /// Care plane: 1 where the cell participates in matching.
+    care: Vec<u64>,
+    /// Byte-granular copy of the care plane (`1`/`0` per cell) for the
+    /// branchless level-plane kernels.
+    care_bytes: Vec<u8>,
+    /// Level plane: stored integer level per binary/multi-bit cell.
+    levels: Vec<u8>,
+    /// Packed classification per row.
+    kinds: Vec<RowKind>,
+    /// Plane words (packed rows) / cells (fallback rows) visited by the
+    /// most recent search.
+    last_words: u64,
+    /// Result of the most recent search (for `cam.read`); its buffers
+    /// are reused across searches.
     last_result: Option<SearchResult>,
 }
 
 impl Subarray {
     /// New subarray with all rows invalid (unprogrammed).
     pub fn new(rows: usize, cols: usize) -> Subarray {
+        let words_per_row = cols.div_ceil(64);
         Subarray {
             rows,
             cols,
             cells: vec![CamCell::DontCare; rows * cols],
             valid: vec![false; rows],
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+            care: vec![0; rows * words_per_row],
+            care_bytes: vec![0; rows * cols],
+            levels: vec![0; rows * cols],
+            kinds: vec![RowKind::Binary; rows],
+            last_words: 0,
             last_result: None,
         }
     }
@@ -110,6 +302,15 @@ impl Subarray {
     /// Number of programmed (valid) rows.
     pub fn valid_rows(&self) -> usize {
         self.valid.iter().filter(|&&v| v).count()
+    }
+
+    /// Plane words the most recent search visited — the work metric
+    /// behind [`ExecStats::searched_words`](crate::ExecStats::searched_words):
+    /// one 8-byte word per 64 cells for bit-plane rows, per 8 cells for
+    /// byte-granular level-plane rows, and per walked cell for
+    /// fallback rows and the naive kernel.
+    pub fn last_searched_words(&self) -> u64 {
+        self.last_words
     }
 
     /// Program `data` rows starting at `row_offset`, encoding each datum
@@ -148,6 +349,7 @@ impl Subarray {
                 };
             }
             self.valid[r] = true;
+            self.repack_row(r);
         }
         Ok(())
     }
@@ -169,21 +371,334 @@ impl Subarray {
                 self.cells[r * self.cols + c] = row.get(c).copied().unwrap_or(CamCell::DontCare);
             }
             self.valid[r] = true;
+            self.repack_row(r);
         }
         Ok(())
     }
 
-    /// Search all selected valid rows against `query`.
+    /// Rebuild row `r`'s match planes and classification from its cells.
+    fn repack_row(&mut self, r: usize) {
+        let wpr = self.words_per_row;
+        let (mut has_binary, mut has_multi, mut has_range) = (false, false, false);
+        for w in 0..wpr {
+            self.bits[r * wpr + w] = 0;
+            self.care[r * wpr + w] = 0;
+        }
+        for c in 0..self.cols {
+            let (w, mask) = (r * wpr + c / 64, 1u64 << (c % 64));
+            let mut cared = true;
+            let level = match self.cells[r * self.cols + c] {
+                CamCell::Zero => {
+                    has_binary = true;
+                    self.care[w] |= mask;
+                    0
+                }
+                CamCell::One => {
+                    has_binary = true;
+                    self.care[w] |= mask;
+                    self.bits[w] |= mask;
+                    1
+                }
+                CamCell::DontCare => {
+                    cared = false;
+                    0
+                }
+                CamCell::Multi(v) => {
+                    has_multi = true;
+                    self.care[w] |= mask;
+                    v
+                }
+                CamCell::Range(..) => {
+                    has_range = true;
+                    cared = false;
+                    0
+                }
+            };
+            self.levels[r * self.cols + c] = level;
+            self.care_bytes[r * self.cols + c] = u8::from(cared);
+        }
+        self.kinds[r] = if has_range || (has_binary && has_multi) {
+            RowKind::Other
+        } else if has_multi {
+            RowKind::Levels
+        } else {
+            RowKind::Binary
+        };
+    }
+
+    // ------------------------------------------------------------------
+    // Packed row kernels
+    // ------------------------------------------------------------------
+
+    /// Mismatch count of a binary row: `XOR → AND care → popcount`.
+    fn mismatch_binary(&self, r: usize, qlen: usize, qbits: &[u64]) -> u64 {
+        let wpr = self.words_per_row;
+        let words = qlen.div_ceil(64);
+        mismatch_binary_kernel(
+            &self.bits[r * wpr..r * wpr + words],
+            &self.care[r * wpr..r * wpr + words],
+            qbits,
+            qlen,
+        )
+    }
+
+    /// Mismatch count of a multi-bit row over the level plane:
+    /// branchless byte compares against the packed query levels.
+    fn mismatch_levels(&self, r: usize, qlen: usize, qlvl8: &[u8], qvalid: &[u8]) -> u64 {
+        mismatch_levels_kernel(
+            &self.levels[r * self.cols..r * self.cols + qlen],
+            &self.care_bytes[r * self.cols..r * self.cols + qlen],
+            qlvl8,
+            qvalid,
+        )
+    }
+
+    /// Exact-integer squared-Euclidean over the level plane (binary rows
+    /// store levels 0/1, so one kernel covers both packed kinds).
+    ///
+    /// When every `|q| ≤ 1024` the per-cell products fit `u32` and the
+    /// row folds in vectorizable 1024-cell blocks; larger magnitudes
+    /// take a branchless scalar `u64` loop. Integer addition is
+    /// associative, so both orders are exact — and therefore identical
+    /// to the naive column-order `f64` walk while the total stays below
+    /// 2^53 (guaranteed by the caller's packing guard).
+    fn euclid_int(&self, r: usize, qlen: usize, qint: &[i64], qint32: &[i32]) -> u64 {
+        let lv = &self.levels[r * self.cols..r * self.cols + qlen];
+        let care = &self.care_bytes[r * self.cols..r * self.cols + qlen];
+        if qint32.len() == qlen {
+            euclid_int_small(lv, care, qint32)
+        } else {
+            let mut acc = 0u64;
+            for ((&l, &cb), &q) in lv.iter().zip(care).zip(qint) {
+                let d = (q - i64::from(l)) * i64::from(cb);
+                acc += (d * d) as u64;
+            }
+            acc
+        }
+    }
+
+    /// Column-order `f64` squared-Euclidean of a binary row from the
+    /// per-column square tables (bit-identical to the naive walk:
+    /// don't-care cells contribute exactly `+0.0`, and every partial
+    /// sum is non-negative-or-NaN, so skipping the `+0.0` cannot change
+    /// a single bit).
+    fn euclid_f64_binary(&self, r: usize, qlen: usize, sq0: &[f64], sq1: &[f64]) -> f64 {
+        let lv = &self.levels[r * self.cols..r * self.cols + qlen];
+        let care = &self.care_bytes[r * self.cols..r * self.cols + qlen];
+        let mut sum = 0.0f64;
+        for c in 0..qlen {
+            let contrib = if lv[c] == 1 { sq1[c] } else { sq0[c] };
+            sum += if care[c] == 1 { contrib } else { 0.0 };
+        }
+        sum
+    }
+
+    /// Column-order `f64` squared-Euclidean of a multi-bit row.
+    fn euclid_f64_levels(&self, r: usize, qlen: usize, query: &[f32]) -> f64 {
+        let lv = &self.levels[r * self.cols..r * self.cols + qlen];
+        let care = &self.care_bytes[r * self.cols..r * self.cols + qlen];
+        let mut sum = 0.0f64;
+        for c in 0..qlen {
+            let d = f64::from(query[c]) - f64::from(lv[c]);
+            sum += if care[c] == 1 { d * d } else { 0.0 };
+        }
+        sum
+    }
+
+    /// Per-cell distance of row `r` (the original enum walk): the oracle
+    /// kernel, and the fallback for [`RowKind::Other`] rows.
+    fn row_distance_naive(&self, r: usize, query: &[f32], metric: Metric) -> f64 {
+        let cells = &self.cells[r * self.cols..r * self.cols + query.len()];
+        match metric {
+            Metric::Hamming => cells
+                .iter()
+                .zip(query)
+                .map(|(c, &q)| f64::from(c.hamming(q)))
+                .sum::<f64>(),
+            Metric::Euclidean => cells
+                .iter()
+                .zip(query)
+                .map(|(c, &q)| c.squared_distance(q))
+                .sum::<f64>(),
+            // A dot-product similarity is realized on CAM hardware by
+            // bit-encoding such that Hamming distance is inversely
+            // proportional to the dot product (cf. [22]); functionally
+            // we count matching positions and negate so that "smaller
+            // is better" holds uniformly.
+            Metric::Dot => {
+                -(cells
+                    .iter()
+                    .zip(query)
+                    .filter(|(c, &q)| c.matches(q))
+                    .count() as f64)
+            }
+        }
+    }
+
+    /// Search all selected valid rows against `query` using the packed
+    /// match planes (bit-identical to [`Subarray::search_naive`]).
     ///
     /// `threshold` is only meaningful for [`MatchKind::Threshold`];
     /// `wta_window` models a winner-take-all sensing circuit that can
     /// only discriminate best matches within a bounded mismatch count
     /// (paper \[19\]) — rows beyond the window saturate to the window
-    /// value.
+    /// value. `scratch` holds the reusable query-side packing buffers.
     ///
     /// # Errors
     /// Fails if the query is wider than the subarray.
+    #[allow(clippy::too_many_arguments)]
     pub fn search(
+        &mut self,
+        query: &[f32],
+        kind: MatchKind,
+        metric: Metric,
+        selection: RowSelection,
+        threshold: f64,
+        wta_window: Option<u32>,
+        scratch: &mut SearchScratch,
+    ) -> Result<&SearchResult, String> {
+        if query.len() > self.cols {
+            return Err(format!(
+                "query width {} exceeds {} columns",
+                query.len(),
+                self.cols
+            ));
+        }
+        let qlen = query.len();
+        let window = selection.range(self.rows);
+        let (mut has_binary, mut has_levels) = (false, false);
+        for r in window.clone() {
+            if self.valid[r] {
+                match self.kinds[r] {
+                    RowKind::Binary => has_binary = true,
+                    RowKind::Levels => has_levels = true,
+                    RowKind::Other => {}
+                }
+            }
+        }
+
+        // Pack the query once, per what the selected rows need.
+        let mut int_mode = false;
+        match metric {
+            Metric::Hamming | Metric::Dot => {
+                if has_binary {
+                    scratch.qbits.clear();
+                    scratch.qbits.resize(qlen.div_ceil(64), 0);
+                    for (c, &q) in query.iter().enumerate() {
+                        scratch.qbits[c / 64] |= u64::from(q != 0.0) << (c % 64);
+                    }
+                }
+                if has_levels {
+                    scratch.qlvl8.clear();
+                    scratch.qvalid.clear();
+                    for &q in query {
+                        // Exactly the naive `Multi` comparison: the
+                        // rounded query as i64 (NaN → 0, ±inf saturate)
+                        // equals a stored u8 level iff it is in range.
+                        let l = q.round() as i64;
+                        scratch.qlvl8.push(l.clamp(0, 255) as u8);
+                        scratch.qvalid.push(u8::from((0..=255).contains(&l)));
+                    }
+                }
+            }
+            Metric::Euclidean => {
+                if has_binary || has_levels {
+                    int_mode = query
+                        .iter()
+                        .all(|&q| q.fract() == 0.0 && q.abs() <= INT_QUERY_BOUND as f32);
+                    if int_mode {
+                        scratch.qint.clear();
+                        scratch.qint.extend(query.iter().map(|&q| q as i64));
+                        // The u64 accumulator and the final f64 convert
+                        // are exact only below 2^53.
+                        let maxq = scratch.qint.iter().map(|q| q.abs()).max().unwrap_or(0);
+                        let maxd = maxq + 255;
+                        int_mode = (qlen as f64) * (maxd as f64) * (maxd as f64) < 2f64.powi(53);
+                        scratch.qint32.clear();
+                        if int_mode && maxq <= 1024 {
+                            scratch
+                                .qint32
+                                .extend(scratch.qint.iter().map(|&q| q as i32));
+                        }
+                    }
+                    if !int_mode && has_binary {
+                        scratch.sq0.clear();
+                        scratch.sq1.clear();
+                        for &q in query {
+                            let d = f64::from(q);
+                            scratch.sq0.push(d * d);
+                            let d = f64::from(q) - 1.0;
+                            scratch.sq1.push(d * d);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut result = self.last_result.take().unwrap_or_default();
+        result.clear();
+        let mut words = 0u64;
+        for r in window {
+            if !self.valid[r] {
+                continue;
+            }
+            let kind_r = self.kinds[r];
+            let mut dist = match (kind_r, metric) {
+                (RowKind::Other, _) => self.row_distance_naive(r, query, metric),
+                (RowKind::Binary, Metric::Hamming) => {
+                    self.mismatch_binary(r, qlen, &scratch.qbits) as f64
+                }
+                (RowKind::Levels, Metric::Hamming) => {
+                    self.mismatch_levels(r, qlen, &scratch.qlvl8, &scratch.qvalid) as f64
+                }
+                (RowKind::Binary, Metric::Dot) => {
+                    -((qlen as u64 - self.mismatch_binary(r, qlen, &scratch.qbits)) as f64)
+                }
+                (RowKind::Levels, Metric::Dot) => {
+                    -((qlen as u64 - self.mismatch_levels(r, qlen, &scratch.qlvl8, &scratch.qvalid))
+                        as f64)
+                }
+                (RowKind::Binary | RowKind::Levels, Metric::Euclidean) => {
+                    if int_mode {
+                        self.euclid_int(r, qlen, &scratch.qint, &scratch.qint32) as f64
+                    } else if kind_r == RowKind::Binary {
+                        self.euclid_f64_binary(r, qlen, &scratch.sq0, &scratch.sq1)
+                    } else {
+                        self.euclid_f64_levels(r, qlen, query)
+                    }
+                }
+            };
+            if let Some(window) = wta_window {
+                if metric == Metric::Hamming {
+                    dist = dist.min(f64::from(window));
+                }
+            }
+            // Work metric: 8-byte plane words the row kernel streams —
+            // 64 cells/word for bit-plane rows, 8 cells/word for the
+            // byte-granular level-plane rows, one "word" per walked
+            // cell for the per-cell fallback.
+            words += match kind_r {
+                RowKind::Binary => qlen.div_ceil(64) as u64,
+                RowKind::Levels => qlen.div_ceil(8) as u64,
+                RowKind::Other => qlen as u64,
+            };
+            result.rows.push(r);
+            result.distances.push(dist);
+        }
+        Self::flag_matches(&mut result, kind, threshold);
+        self.last_words = words;
+        self.last_result = Some(result);
+        Ok(self.last_result.as_ref().unwrap())
+    }
+
+    /// The original per-cell search: walks the `CamCell` grid one cell
+    /// at a time. Kept as the differential-testing oracle for the
+    /// packed planes (and as the kernel for rows the planes cannot
+    /// represent).
+    ///
+    /// # Errors
+    /// Fails if the query is wider than the subarray.
+    pub fn search_naive(
         &mut self,
         query: &[f32],
         kind: MatchKind,
@@ -199,59 +714,39 @@ impl Subarray {
                 self.cols
             ));
         }
-        let mut rows = Vec::new();
-        let mut distances = Vec::new();
+        let mut result = SearchResult::default();
         for r in selection.range(self.rows) {
             if !self.valid[r] {
                 continue;
             }
-            let cells = &self.cells[r * self.cols..r * self.cols + query.len()];
-            let mut dist = match metric {
-                Metric::Hamming => cells
-                    .iter()
-                    .zip(query)
-                    .map(|(c, &q)| c.hamming(q) as f64)
-                    .sum::<f64>(),
-                Metric::Euclidean => cells
-                    .iter()
-                    .zip(query)
-                    .map(|(c, &q)| c.squared_distance(q))
-                    .sum::<f64>(),
-                // A dot-product similarity is realized on CAM hardware by
-                // bit-encoding such that Hamming distance is inversely
-                // proportional to the dot product (cf. [22]); functionally
-                // we count matching positions and negate so that "smaller
-                // is better" holds uniformly.
-                Metric::Dot => {
-                    -(cells
-                        .iter()
-                        .zip(query)
-                        .filter(|(c, &q)| c.matches(q))
-                        .count() as f64)
-                }
-            };
+            let mut dist = self.row_distance_naive(r, query, metric);
             if let Some(window) = wta_window {
                 if metric == Metric::Hamming {
-                    dist = dist.min(window as f64);
+                    dist = dist.min(f64::from(window));
                 }
             }
-            rows.push(r);
-            distances.push(dist);
+            result.rows.push(r);
+            result.distances.push(dist);
         }
-        let matched = match kind {
-            MatchKind::Exact => distances.iter().map(|&d| d == 0.0).collect(),
-            MatchKind::Threshold => distances.iter().map(|&d| d <= threshold).collect(),
+        Self::flag_matches(&mut result, kind, threshold);
+        self.last_words = result.rows.len() as u64 * query.len() as u64;
+        self.last_result = Some(result);
+        Ok(self.last_result.as_ref().unwrap())
+    }
+
+    /// Fill `result.matched` from the distances under `kind`.
+    fn flag_matches(result: &mut SearchResult, kind: MatchKind, threshold: f64) {
+        let SearchResult {
+            distances, matched, ..
+        } = result;
+        match kind {
+            MatchKind::Exact => matched.extend(distances.iter().map(|&d| d == 0.0)),
+            MatchKind::Threshold => matched.extend(distances.iter().map(|&d| d <= threshold)),
             MatchKind::Best => {
                 let min = distances.iter().cloned().fold(f64::INFINITY, f64::min);
-                distances.iter().map(|&d| d == min).collect()
+                matched.extend(distances.iter().map(|&d| d == min));
             }
-        };
-        self.last_result = Some(SearchResult {
-            rows,
-            distances,
-            matched,
-        });
-        Ok(self.last_result.as_ref().unwrap())
+        }
     }
 
     /// Result of the most recent search (`cam.read` semantics).
@@ -263,6 +758,10 @@ impl Subarray {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn scratch() -> SearchScratch {
+        SearchScratch::default()
+    }
 
     fn programmed() -> Subarray {
         let mut s = Subarray::new(4, 4);
@@ -290,6 +789,7 @@ mod tests {
                 RowSelection::All,
                 0.0,
                 None,
+                &mut scratch(),
             )
             .unwrap();
         assert_eq!(r.matching_rows(), vec![1]);
@@ -307,6 +807,7 @@ mod tests {
                 RowSelection::All,
                 0.0,
                 None,
+                &mut scratch(),
             )
             .unwrap();
         assert_eq!(r.rows, vec![0, 1, 2]); // row 3 never written
@@ -323,6 +824,7 @@ mod tests {
                 RowSelection::All,
                 0.0,
                 None,
+                &mut scratch(),
             )
             .unwrap();
         // Rows 0 and 1 are both at Hamming distance 1 — both win.
@@ -342,6 +844,7 @@ mod tests {
                 RowSelection::All,
                 1.0,
                 None,
+                &mut scratch(),
             )
             .unwrap();
         assert_eq!(r.matching_rows(), vec![0, 1]); // distances 1 and 1
@@ -358,12 +861,42 @@ mod tests {
                 RowSelection::Window { start: 1, len: 2 },
                 0.0,
                 None,
+                &mut scratch(),
             )
             .unwrap();
         assert_eq!(r.rows, vec![1, 2]);
         // Rows 1 and 2 are both at distance 2 from the query.
         assert_eq!(r.best_rows(), vec![1, 2]);
         assert_eq!(RowSelection::Window { start: 2, len: 9 }.active_rows(4), 2);
+    }
+
+    #[test]
+    fn window_selection_survives_usize_overflow() {
+        // start + len used to overflow; it must clamp instead.
+        assert_eq!(
+            RowSelection::Window {
+                start: 2,
+                len: usize::MAX,
+            }
+            .range(8),
+            2..8
+        );
+        assert_eq!(
+            RowSelection::Window {
+                start: usize::MAX,
+                len: usize::MAX,
+            }
+            .range(8),
+            8..8
+        );
+        assert_eq!(
+            RowSelection::Window {
+                start: usize::MAX,
+                len: 1,
+            }
+            .active_rows(8),
+            0
+        );
     }
 
     #[test]
@@ -387,6 +920,7 @@ mod tests {
                 RowSelection::All,
                 0.0,
                 None,
+                &mut scratch(),
             )
             .unwrap();
         assert_eq!(r.matching_rows(), vec![0]);
@@ -405,6 +939,7 @@ mod tests {
                 RowSelection::All,
                 0.0,
                 None,
+                &mut scratch(),
             )
             .unwrap();
         assert_eq!(r.distances, vec![1.0, 6.0]);
@@ -424,6 +959,7 @@ mod tests {
                 RowSelection::All,
                 0.0,
                 None,
+                &mut scratch(),
             )
             .unwrap();
         assert_eq!(r.best_rows(), vec![1]);
@@ -440,6 +976,7 @@ mod tests {
                 RowSelection::All,
                 0.0,
                 Some(2),
+                &mut scratch(),
             )
             .unwrap();
         // row2's true distance 4 saturates to 2.
@@ -458,7 +995,18 @@ mod tests {
                 Metric::Hamming,
                 RowSelection::All,
                 0.0,
-                None
+                None,
+                &mut scratch(),
+            )
+            .is_err());
+        assert!(s
+            .search_naive(
+                &[0.0, 1.0, 0.0],
+                MatchKind::Exact,
+                Metric::Hamming,
+                RowSelection::All,
+                0.0,
+                None,
             )
             .is_err());
     }
@@ -475,8 +1023,155 @@ mod tests {
                 RowSelection::All,
                 0.0,
                 None,
+                &mut scratch(),
             )
             .unwrap();
         assert_eq!(r.distances, vec![0.0]);
+    }
+
+    #[test]
+    fn wide_rows_pack_across_word_boundaries() {
+        // 100 columns spans two u64 plane words with a ragged tail.
+        let mut s = Subarray::new(2, 100);
+        let row: Vec<f32> = (0..100).map(|c| f32::from(u8::from(c % 3 == 0))).collect();
+        s.write_rows(0, std::slice::from_ref(&row), 1).unwrap();
+        let mut q = row;
+        q[0] = 0.0; // one flip in word 0
+        q[99] = 1.0 - q[99]; // one flip in the tail word
+        let r = s
+            .search(
+                &q,
+                MatchKind::Best,
+                Metric::Hamming,
+                RowSelection::All,
+                0.0,
+                None,
+                &mut scratch(),
+            )
+            .unwrap();
+        assert_eq!(r.distances, vec![2.0]);
+    }
+
+    #[test]
+    fn range_rows_fall_back_to_the_cell_walk() {
+        let mut s = Subarray::new(2, 3);
+        s.write_cells(
+            0,
+            &[
+                vec![
+                    CamCell::Range(0.0, 1.0),
+                    CamCell::One,
+                    CamCell::Range(2.0, 3.0),
+                ],
+                vec![CamCell::Zero, CamCell::One, CamCell::Zero],
+            ],
+        )
+        .unwrap();
+        let packed = s
+            .search(
+                &[0.5, 1.0, 4.0],
+                MatchKind::Best,
+                Metric::Euclidean,
+                RowSelection::All,
+                0.0,
+                None,
+                &mut scratch(),
+            )
+            .unwrap()
+            .clone();
+        let naive = s
+            .search_naive(
+                &[0.5, 1.0, 4.0],
+                MatchKind::Best,
+                Metric::Euclidean,
+                RowSelection::All,
+                0.0,
+                None,
+            )
+            .unwrap();
+        assert_eq!(&packed, naive);
+        assert_eq!(packed.distances, vec![1.0, 0.25 + 16.0]);
+    }
+
+    #[test]
+    fn packed_matches_naive_bitwise_on_mixed_content() {
+        // Binary rows, multi-bit rows, a mixed row, and a range row in
+        // one subarray; float and integral queries; every metric/kind.
+        let mut s = Subarray::new(6, 5);
+        s.write_rows(0, &[vec![1.0, 0.0, 1.0], vec![0.0, 0.0, 1.0]], 1)
+            .unwrap();
+        s.write_rows(2, &[vec![3.0, 1.0, 0.0], vec![2.0, 2.0, 2.0]], 2)
+            .unwrap();
+        s.write_cells(
+            4,
+            &[
+                vec![CamCell::One, CamCell::Multi(2), CamCell::Zero],
+                vec![CamCell::Range(0.5, 1.5), CamCell::One, CamCell::DontCare],
+            ],
+        )
+        .unwrap();
+        for q in [
+            vec![1.0f32, 0.0, 1.0, 0.0, 0.0],
+            vec![0.25, -1.5, 3.75],
+            vec![2.0, 2.0, 2.0],
+            vec![1e7, 0.0, 1.0],
+        ] {
+            for metric in [Metric::Hamming, Metric::Euclidean, Metric::Dot] {
+                for kind in [MatchKind::Exact, MatchKind::Best, MatchKind::Threshold] {
+                    for wta in [None, Some(1)] {
+                        let naive = s
+                            .search_naive(&q, kind, metric, RowSelection::All, 1.5, wta)
+                            .unwrap()
+                            .clone();
+                        let packed = s
+                            .search(
+                                &q,
+                                kind,
+                                metric,
+                                RowSelection::All,
+                                1.5,
+                                wta,
+                                &mut scratch(),
+                            )
+                            .unwrap();
+                        assert_eq!(naive.rows, packed.rows);
+                        assert_eq!(naive.matched, packed.matched);
+                        let same = naive
+                            .distances
+                            .iter()
+                            .zip(&packed.distances)
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                        assert!(
+                            same,
+                            "{metric:?}/{kind:?}/wta={wta:?}: {:?} vs {:?}",
+                            naive.distances, packed.distances
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn searched_words_reflect_packed_and_fallback_rows() {
+        let mut s = Subarray::new(4, 70);
+        s.write_rows(0, &[vec![1.0; 70], vec![0.0; 70]], 1).unwrap();
+        s.write_rows(2, &[vec![3.0; 70]], 2).unwrap();
+        s.write_cells(3, &[vec![CamCell::Range(0.0, 1.0); 70]])
+            .unwrap();
+        s.search(
+            &[1.0; 70],
+            MatchKind::Best,
+            Metric::Hamming,
+            RowSelection::All,
+            0.0,
+            None,
+            &mut scratch(),
+        )
+        .unwrap();
+        // Two bit-plane rows at ceil(70/64)=2 words each + one
+        // level-plane row at ceil(70/8)=9 words + one fallback row at
+        // 70 cells.
+        assert_eq!(s.last_searched_words(), 2 * 2 + 9 + 70);
     }
 }

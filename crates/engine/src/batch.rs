@@ -24,6 +24,24 @@
 //! scheduling) and equal to the sequential run up to floating-point
 //! summation ordering in latency/energy totals; operation counts are
 //! exact.
+//!
+//! ## Intra-query sharding
+//!
+//! When the query loop cannot be sharded — no query loop was detected,
+//! or it has fewer than two iterations (single-query workloads: dtree
+//! classification, one-vector HDC classify) — the executor instead
+//! enables sharding *within* a query: the compiler marks the query
+//! nest's `scf.parallel` loops over independent subarray groups (see
+//! `compile`), and the VM fans their iterations across the same worker
+//! pool. Workers run on machine clones whose per-iteration latencies
+//! fold through a parallel timing scope exactly like the sequential
+//! interleaving (`max` is order-independent, so latency stays
+//! bit-identical); buffer accumulation is handled by a **merge
+//! replay**: workers log each `cam.merge_partial_subarray` and the main
+//! thread re-applies them in global iteration order, which keeps
+//! floating-point score accumulation — and therefore every output —
+//! bit-identical to the sequential run. Energy totals agree up to
+//! summation order, as with query-loop sharding.
 
 use crate::compile::Tape;
 use crate::error::EngineError;
@@ -60,12 +78,17 @@ impl Tape {
         args: &[Value],
         threads: usize,
     ) -> BResult<Vec<Value>> {
-        let Some(ql) = self.query_loop else {
-            return self.run(machine, args);
-        };
         if threads <= 1 {
             return self.run(machine, args);
         }
+        let Some(ql) = self.query_loop else {
+            // No query loop to shard across: fall back to intra-query
+            // sharding of the parallel subarray-group loops.
+            let mut vm = TapeVm::new(self, args)?;
+            vm.set_shard_threads(threads);
+            let out = vm.exec(machine, 0, usize::MAX)?;
+            return out.ok_or_else(|| EngineError::new("function body ended without func.return"));
+        };
         let mut vm = TapeVm::new(self, args)?;
         // Phase 1: setup.
         if vm.exec(machine, 0, ql.enter)?.is_some() {
@@ -77,7 +100,9 @@ impl Tape {
         }
         let iters: Vec<i64> = (lb..ub).step_by(step as usize).collect();
         if iters.len() < 2 {
-            // Nothing to shard: run the loop (and the rest) sequentially.
+            // A single query cannot shard across iterations — shard the
+            // subarray-group loops inside it instead.
+            vm.set_shard_threads(threads);
             let out = vm.exec(machine, ql.enter, usize::MAX)?;
             return out.ok_or_else(|| EngineError::new("function body ended without func.return"));
         }
@@ -133,7 +158,7 @@ fn run_shards(
                 scope.spawn(move || -> BResult<ShardOut> {
                     let slots: Vec<Value> = snapshot.iter().map(thaw).collect();
                     let mut vm = TapeVm::with_slots(tape, slots);
-                    vm.exec_iterations(&mut shard_machine, ql.enter, ql.next, ql.iv, chunk)?;
+                    vm.exec_iterations(&mut shard_machine, ql.enter, ql.next, ql.iv, chunk, false)?;
                     let buffers = vm
                         .slots()
                         .iter()

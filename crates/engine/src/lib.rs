@@ -198,6 +198,110 @@ mod tests {
     }
 
     #[test]
+    fn single_query_workload_shards_within_the_query() {
+        // nq = 1: the query loop has one iteration, so run_batched must
+        // fan the parallel subarray-group loops across workers instead.
+        let mut m = Module::new();
+        torch::build_hdc_dot_with(&mut m, 1, 6, 512, 1, true);
+        let (stored, queries) = hdc_inputs(1, 6, 512);
+        let args = [Value::Tensor(queries), Value::Tensor(stored)];
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        let tape = Tape::compile(&compiled.module, "forward").unwrap();
+        assert!(
+            !tape.shard_loops().is_empty(),
+            "query nest parallel loops must be marked shardable"
+        );
+
+        let mut seq_machine = CamMachine::new(&s);
+        let seq_out = tape.run(&mut seq_machine, &args).unwrap();
+        for threads in [2, 3, 8] {
+            let mut par_machine = CamMachine::new(&s);
+            let par_out = tape.run_batched(&mut par_machine, &args, threads).unwrap();
+            assert_outputs_equal(
+                &seq_out,
+                &par_out,
+                &format!("intra-query threads={threads}"),
+            );
+            let seq = seq_machine.stats();
+            let par = par_machine.stats();
+            assert_eq!(seq.search_ops, par.search_ops);
+            assert_eq!(seq.searched_words, par.searched_words);
+            assert_eq!(seq.read_ops, par.read_ops);
+            assert_eq!(seq.merge_ops, par.merge_ops);
+            // The parallel timing scope folds as max, which is
+            // order-independent — latency stays bit-identical.
+            assert_eq!(
+                seq.latency_ns.to_bits(),
+                par.latency_ns.to_bits(),
+                "latency diverged: {} vs {}",
+                seq.latency_ns,
+                par.latency_ns
+            );
+            assert!(
+                (seq.total_energy_fj() - par.total_energy_fj()).abs()
+                    <= 1e-6 * seq.total_energy_fj(),
+                "energy diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn single_query_knn_shards_within_the_query() {
+        // Euclidean single-query retrieval across multiple row groups
+        // and column chunks: the merges of different subarray groups
+        // accumulate into *shared* score elements, which exercises the
+        // merge-replay protocol.
+        let mut m = Module::new();
+        cim::build_similarity_kernel(&mut m, "knn", "eucl", 50, 96, 1, 2, false);
+        let mut stored = Vec::new();
+        for p in 0..50 {
+            for d in 0..96 {
+                stored.push(((d * 5 + p * 11) % 7) as f32 * 0.25);
+            }
+        }
+        let stored = Tensor::from_vec(vec![50, 96], stored).unwrap();
+        let queries = stored.slice2d(10, 0, 1, 96).unwrap();
+        let args = [Value::Tensor(stored), Value::Tensor(queries)];
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        let tape = Tape::compile(&compiled.module, "knn").unwrap();
+        assert!(!tape.shard_loops().is_empty());
+
+        let mut seq_machine = CamMachine::new(&s);
+        let seq_out = tape.run(&mut seq_machine, &args).unwrap();
+        let mut par_machine = CamMachine::new(&s);
+        let par_out = tape.run_batched(&mut par_machine, &args, 4).unwrap();
+        assert_outputs_equal(&seq_out, &par_out, "intra-query knn");
+        assert_eq!(
+            seq_machine.stats().latency_ns.to_bits(),
+            par_machine.stats().latency_ns.to_bits()
+        );
+    }
+
+    #[test]
+    fn setup_loops_are_not_marked_shardable() {
+        let mut m = Module::new();
+        torch::build_hdc_dot_with(&mut m, 2, 4, 64, 1, true);
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        let tape = Tape::compile(&compiled.module, "forward").unwrap();
+        for &enter in tape.shard_loops() {
+            let Inst::LoopEnter { exit, .. } = tape.insts[enter] else {
+                panic!("shard loop pc {enter} is not a LoopEnter");
+            };
+            let body = &tape.insts[enter + 1..exit - 1];
+            assert!(
+                !body
+                    .iter()
+                    .any(|i| matches!(i, Inst::WriteValue { .. } | Inst::AllocSubarray { .. })),
+                "setup instructions inside a shardable loop"
+            );
+            assert!(body.iter().any(|i| matches!(i, Inst::Search(_))));
+        }
+    }
+
+    #[test]
     fn batched_with_one_thread_falls_back_to_sequential() {
         let mut m = Module::new();
         torch::build_hdc_dot_with(&mut m, 2, 4, 64, 1, true);

@@ -9,10 +9,11 @@
 
 use crate::compile::Tape;
 use crate::error::EngineError;
+use crate::frozen::{freeze, thaw, Frozen};
 use crate::isa::{FloatBinOp, Inst, IntBinOp, SliceOffset, Slot};
-use c4cam_camsim::{CamMachine, RowSelection, SearchSpec, SubarrayId};
+use c4cam_camsim::{CamMachine, ExecStats, RowSelection, SearchSpec, SubarrayId};
 use c4cam_runtime::kernels::{
-    merge_partial_rows, read_tensors, reduce_scores, search_query, tensor_rows,
+    merge_partial_rows, read_tensors, reduce_scores, search_query_view, tensor_rows,
 };
 use c4cam_runtime::{Handle, Value};
 use c4cam_tensor::Tensor;
@@ -51,12 +52,41 @@ impl std::ops::Deref for TensorView<'_> {
     }
 }
 
+/// One recorded `cam.merge_partial_subarray` from a shard worker.
+///
+/// Intra-query sharding cannot merge worker buffer states back
+/// element-wise: iterations of a subarray-group loop accumulate (`+=`)
+/// into *shared* accumulator elements (one partial score per column
+/// chunk), and floating-point accumulation only reproduces the
+/// sequential result when it happens in the sequential order. Workers
+/// therefore log their merges and the main thread replays them in
+/// global iteration order — bit-identical by construction.
+#[derive(Debug)]
+pub(crate) struct MergeRecord {
+    /// Accumulator buffer slot (defined outside the sharded loop).
+    acc: Slot,
+    /// Target accumulator row.
+    q: usize,
+    /// Column offset of this subarray's partial scores.
+    offset: i64,
+    /// Partial values at merge time.
+    vals: Tensor,
+    /// Partial row ids at merge time.
+    idx: Tensor,
+}
+
 /// Executes a [`Tape`] against a slot file and a machine.
 #[derive(Debug)]
 pub struct TapeVm<'t> {
     tape: &'t Tape,
     slots: Vec<Value>,
     frames: Vec<Frame>,
+    /// Worker-thread fan-out for shardable `scf.parallel` loops
+    /// (`0`/`1` = execute them sequentially).
+    shard_threads: usize,
+    /// When set (shard workers), `cam.merge_partial_subarray` logs its
+    /// operands here in addition to applying them locally.
+    merge_log: Option<Vec<MergeRecord>>,
 }
 
 impl<'t> TapeVm<'t> {
@@ -81,6 +111,8 @@ impl<'t> TapeVm<'t> {
             tape,
             slots,
             frames: Vec::new(),
+            shard_threads: 0,
+            merge_log: None,
         })
     }
 
@@ -90,7 +122,15 @@ impl<'t> TapeVm<'t> {
             tape,
             slots,
             frames: Vec::new(),
+            shard_threads: 0,
+            merge_log: None,
         }
+    }
+
+    /// Enable intra-query sharding: shardable `scf.parallel` loops with
+    /// at least two iterations fan out across `threads` workers.
+    pub fn set_shard_threads(&mut self, threads: usize) {
+        self.shard_threads = threads;
     }
 
     pub(crate) fn slots(&self) -> &[Value] {
@@ -110,6 +150,22 @@ impl<'t> TapeVm<'t> {
     ) -> VResult<Option<Vec<Value>>> {
         let mut pc = from;
         while pc < self.tape.insts.len() && pc != stop {
+            // Cheap pre-filter: only a parallel LoopEnter can be a
+            // shard candidate, so non-loop instructions never pay the
+            // shard_loops scan.
+            if self.shard_threads > 1
+                && matches!(self.tape.insts[pc], Inst::LoopEnter { parallel: true, .. })
+                && self.tape.shard_loops.contains(&pc)
+            {
+                match self.exec_shard_loop(machine, pc) {
+                    Ok(Some(continue_at)) => {
+                        pc = continue_at;
+                        continue;
+                    }
+                    Ok(None) => {} // not worth sharding: sequential path
+                    Err(e) => return Err(self.tape.attach(pc, e)),
+                }
+            }
             match self.step(machine, pc) {
                 Ok(Step::Next) => pc += 1,
                 Ok(Step::Jump(target)) => pc = target,
@@ -133,8 +189,11 @@ impl<'t> TapeVm<'t> {
         }
     }
 
-    /// Run the body of the (sequential, carry-free) loop at `enter` for
-    /// the given induction values — the shard side of batched execution.
+    /// Run the body of the (carry-free) loop at `enter` for the given
+    /// induction values — the shard side of batched execution. For a
+    /// parallel loop, each iteration is wrapped in a sequential timing
+    /// scope exactly like the in-line [`Inst::LoopEnter`] /
+    /// [`Inst::LoopNext`] pair would.
     ///
     /// # Errors
     /// Propagates body failures.
@@ -145,14 +204,105 @@ impl<'t> TapeVm<'t> {
         next: usize,
         iv_slot: Slot,
         ivs: &[i64],
+        parallel: bool,
     ) -> VResult<()> {
         for &iv in ivs {
             self.slots[iv_slot as usize] = Value::Index(iv);
-            if self.exec(machine, enter + 1, next)?.is_some() {
-                return Err(err("func.return inside the query loop"));
+            if parallel {
+                machine.push_sequential();
+            }
+            let returned = self.exec(machine, enter + 1, next)?.is_some();
+            if parallel {
+                machine.pop_scope();
+            }
+            if returned {
+                return Err(err("func.return inside a sharded loop"));
             }
         }
         Ok(())
+    }
+
+    /// Fan the iterations of the shardable parallel loop at `pc` across
+    /// the worker pool (see the `batch` module docs for the protocol).
+    /// Returns the continuation pc, or `None` when the loop is not
+    /// worth sharding (fewer than two iterations, or bounds the
+    /// sequential path must diagnose).
+    ///
+    /// # Errors
+    /// Propagates worker failures.
+    fn exec_shard_loop(&mut self, machine: &mut CamMachine, pc: usize) -> VResult<Option<usize>> {
+        let Inst::LoopEnter {
+            lb,
+            ub,
+            step,
+            iv,
+            exit,
+            parallel: true,
+        } = self.tape.insts[pc]
+        else {
+            return Ok(None);
+        };
+        let (lb, ub, step) = (self.int(lb)?, self.int(ub)?, self.int(step)?);
+        if step <= 0 {
+            return Ok(None); // the sequential path raises the error
+        }
+        let ivs: Vec<i64> = (lb..ub).step_by(step as usize).collect();
+        if ivs.len() < 2 {
+            return Ok(None);
+        }
+        let next = exit - 1;
+        let shard_count = self.shard_threads.min(ivs.len());
+        let snapshot: Vec<Frozen> = self.slots.iter().map(freeze).collect();
+        let chunk = ivs.len().div_ceil(shard_count);
+        let chunks: Vec<&[i64]> = ivs.chunks(chunk).collect();
+        let tape = self.tape;
+        let outs: Vec<(ExecStats, Vec<MergeRecord>)> = std::thread::scope(|scope| {
+            let snapshot = &snapshot;
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&chunk| {
+                    let mut shard_machine = machine.clone();
+                    shard_machine.reset_stats();
+                    scope.spawn(move || -> VResult<(ExecStats, Vec<MergeRecord>)> {
+                        let slots: Vec<Value> = snapshot.iter().map(thaw).collect();
+                        let mut vm = TapeVm::with_slots(tape, slots);
+                        vm.merge_log = Some(Vec::new());
+                        shard_machine.push_parallel();
+                        vm.exec_iterations(&mut shard_machine, pc, next, iv, chunk, true)?;
+                        shard_machine.pop_scope();
+                        Ok((shard_machine.stats(), vm.merge_log.take().unwrap()))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| err("intra-query worker shard panicked"))?
+                })
+                .collect::<VResult<Vec<_>>>()
+        })?;
+        // Deterministic absorption: the loop's parallel scope folds each
+        // shard's latency as max (bit-identical to the sequential fold);
+        // energy and op counters add in shard order.
+        machine.push_parallel();
+        for (stats, _) in &outs {
+            machine.absorb_delta(stats);
+        }
+        machine.pop_scope();
+        // Replay the merges in global iteration order (shard order ∘
+        // within-shard order) against the main slot file's buffers.
+        for (_, log) in &outs {
+            for rec in log {
+                let acc = self.slots[rec.acc as usize]
+                    .as_buffer()
+                    .cloned()
+                    .ok_or_else(|| err("sharded merge target is not a buffer"))?;
+                let mut a = acc.borrow_mut();
+                merge_partial_rows(&mut a, &rec.vals, &rec.idx, rec.q, rec.offset).map_err(err)?;
+            }
+        }
+        Ok(Some(exit))
     }
 
     // ------------------------------------------------------------------
@@ -483,11 +633,9 @@ impl<'t> TapeVm<'t> {
                 if let Some(share) = s.broadcast_share {
                     spec = spec.with_broadcast_share(share);
                 }
-                let q = {
-                    let query = self.tensor_view(s.query)?;
-                    search_query(&query).map_err(err)?
-                };
-                machine.search(sub, &q, spec).map_err(|e| err(e.message))?;
+                let query = self.tensor_view(s.query)?;
+                let q = search_query_view(&query).map_err(err)?;
+                machine.search(sub, q, spec).map_err(|e| err(e.message))?;
             }
             Inst::Read {
                 sub,
@@ -497,7 +645,7 @@ impl<'t> TapeVm<'t> {
             } => {
                 let sub = self.subarray(*sub)?;
                 let result = machine.read(sub).map_err(|e| err(e.message))?;
-                let (v, i) = read_tensors(&result, shape).map_err(err)?;
+                let (v, i) = read_tensors(result, shape).map_err(err)?;
                 let (vals, idx) = (*vals, *idx);
                 self.set(vals, Value::buffer_from(v));
                 self.set(idx, Value::buffer_from(i));
@@ -509,16 +657,31 @@ impl<'t> TapeVm<'t> {
                 q,
                 offset,
             } => {
+                let acc_slot = *acc;
                 let q = self.int(*q)? as usize;
                 let offset = self.int(*offset)?;
-                let acc = self.slots[*acc as usize]
+                let acc = self.slots[acc_slot as usize]
                     .as_buffer()
                     .cloned()
                     .ok_or_else(|| err("merge expects an accumulator buffer"))?;
-                let vals = self.tensor_view(*vals)?;
-                let idx = self.tensor_view(*idx)?;
-                let mut a = acc.borrow_mut();
-                merge_partial_rows(&mut a, &vals, &idx, q, offset).map_err(err)?;
+                let record = {
+                    let vals = self.tensor_view(*vals)?;
+                    let idx = self.tensor_view(*idx)?;
+                    let mut a = acc.borrow_mut();
+                    merge_partial_rows(&mut a, &vals, &idx, q, offset).map_err(err)?;
+                    self.merge_log.is_some().then(|| MergeRecord {
+                        acc: acc_slot,
+                        q,
+                        offset,
+                        vals: vals.clone(),
+                        idx: idx.clone(),
+                    })
+                };
+                if let Some(record) = record {
+                    if let Some(log) = &mut self.merge_log {
+                        log.push(record);
+                    }
+                }
             }
             Inst::MergeLevel { level, elems } => {
                 machine.merge(*level, *elems);

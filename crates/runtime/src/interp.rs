@@ -556,9 +556,11 @@ impl<'a> Executor<'a> {
             "cam.search" => self.exec_cam_search(op, env)?,
             "cam.read" => {
                 let sub = self.get_subarray(env, self.m.operand(op, 0))?;
-                let result = self.machine()?.read(sub).map_err(sim_err)?;
                 let shape = self.declared_shape(self.m.result(op, 0))?;
-                let (vals, idx) = read_tensors(&result, &shape).map_err(ExecError::new)?;
+                let (vals, idx) = {
+                    let result = self.machine()?.read(sub).map_err(sim_err)?;
+                    read_tensors(result, &shape).map_err(ExecError::new)?
+                };
                 self.set_results(
                     env,
                     op,

@@ -35,17 +35,27 @@ pub fn tensor_rows(t: &Tensor) -> Result<Vec<Vec<f32>>, String> {
         .collect()
 }
 
-/// Flatten a query operand for `cam.search`: row 0 of a rank-2 tensor,
-/// otherwise the raw data.
+/// Borrow a query operand for `cam.search` without copying: row 0 of a
+/// rank-2 tensor (contiguous in row-major layout), otherwise the raw
+/// data. The device search hot path goes through this view.
+///
+/// # Errors
+/// Propagates row-extraction failures.
+pub fn search_query_view(t: &Tensor) -> Result<&[f32], String> {
+    if t.rank() == 2 {
+        t.row(0).map_err(|e| e.message)
+    } else {
+        Ok(t.data())
+    }
+}
+
+/// Owned variant of [`search_query_view`] for callers whose borrow
+/// structure requires detaching the query from its tensor.
 ///
 /// # Errors
 /// Propagates row-extraction failures.
 pub fn search_query(t: &Tensor) -> Result<Vec<f32>, String> {
-    if t.rank() == 2 {
-        t.row(0).map(|s| s.to_vec()).map_err(|e| e.message)
-    } else {
-        Ok(t.data().to_vec())
-    }
+    search_query_view(t).map(<[f32]>::to_vec)
 }
 
 /// Materialize a `cam.read` result as `(values, indices)` tensors of

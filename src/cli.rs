@@ -151,6 +151,11 @@ pub struct RunArgs {
     pub random_seed: u64,
     /// Execution engine (flat tape by default; `walk` is the oracle).
     pub engine: Engine,
+    /// Worker threads for the tape engine (`1` = sequential). With more
+    /// than one thread the batch executor shards the query loop — or,
+    /// for single-query workloads, the subarray groups within a query —
+    /// across `std::thread` workers.
+    pub threads: usize,
     /// Report format.
     pub format: OutputFormat,
 }
@@ -197,6 +202,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut dims = None;
     let mut queries = 1usize;
     let mut engine = Engine::default();
+    let mut threads = 1usize;
     let mut format = OutputFormat::default();
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -255,6 +261,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 engine = Engine::from_keyword(&v)
                     .ok_or_else(|| cli_err(format!("unknown --engine '{v}' (walk|tape)")))?;
             }
+            "--threads" => {
+                threads = next_value(&mut it, flag)?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .ok_or_else(|| cli_err("--threads expects a positive integer"))?;
+            }
             "--format" => {
                 let v = next_value(&mut it, flag)?;
                 format = OutputFormat::from_keyword(&v)
@@ -280,11 +293,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             if cmd == "compile" {
                 Ok(Command::Compile(compile))
             } else {
+                if engine == Engine::Walk && threads > 1 {
+                    return Err(cli_err(
+                        "--threads requires the tape engine (the walker oracle is single-threaded)",
+                    ));
+                }
                 Ok(Command::Run(RunArgs {
                     compile,
                     data,
                     random_seed,
                     engine,
+                    threads,
                     format,
                 }))
             }
@@ -302,7 +321,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 
 /// Usage text.
 pub fn usage() -> &'static str {
-    "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine walk|tape] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]"
+    "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine walk|tape] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]"
 }
 
 fn load_arch(path: &str) -> Result<ArchSpec, CliError> {
@@ -437,10 +456,15 @@ pub fn run_run(args: &RunArgs) -> Result<RunReport, CliError> {
         Engine::Walk => Executor::with_machine(&compiled.module, &mut machine)
             .run(&lowered.name, &values)
             .map_err(cli_err)?,
-        Engine::Tape => Tape::compile(&compiled.module, &lowered.name)
-            .map_err(cli_err)?
-            .run(&mut machine, &values)
-            .map_err(cli_err)?,
+        Engine::Tape => {
+            let tape = Tape::compile(&compiled.module, &lowered.name).map_err(cli_err)?;
+            if args.threads > 1 {
+                tape.run_batched(&mut machine, &values, args.threads)
+                    .map_err(cli_err)?
+            } else {
+                tape.run(&mut machine, &values).map_err(cli_err)?
+            }
+        }
     };
     let outputs = out
         .iter()
@@ -717,6 +741,7 @@ mats_per_bank: 2
             data: vec![],
             random_seed: 7,
             engine: Engine::default(),
+            threads: 1,
             format: OutputFormat::Text,
         };
         let report = run_run(&args).unwrap();
@@ -741,6 +766,7 @@ mats_per_bank: 2
             data: vec![],
             random_seed: 7,
             engine: Engine::Tape,
+            threads: 1,
             format: OutputFormat::Json,
         };
         let out = execute(&Command::Run(args)).unwrap();
@@ -766,6 +792,7 @@ mats_per_bank: 2
             data: vec![],
             random_seed: 11,
             engine,
+            threads: 1,
             format: OutputFormat::Text,
         };
         let _ = spec;
@@ -797,6 +824,7 @@ mats_per_bank: 2
             data: vec![q, w],
             random_seed: 0,
             engine: Engine::default(),
+            threads: 1,
             format: OutputFormat::Text,
         };
         let report = run_run(&args).unwrap();
@@ -850,6 +878,90 @@ optimization: density
     }
 
     #[test]
+    fn threads_flag_parses_and_is_validated() {
+        let cmd = parse_args(&strings(&[
+            "run",
+            "--arch",
+            "a",
+            "--source",
+            "s",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert_eq!(r.threads, 4);
+                assert_eq!(r.engine, Engine::Tape);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+        // Zero or garbage thread counts are rejected.
+        assert!(parse_args(&strings(&[
+            "run",
+            "--arch",
+            "a",
+            "--source",
+            "s",
+            "--threads",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&[
+            "run",
+            "--arch",
+            "a",
+            "--source",
+            "s",
+            "--threads",
+            "many"
+        ]))
+        .is_err());
+        // The walker oracle is single-threaded.
+        assert!(parse_args(&strings(&[
+            "run",
+            "--arch",
+            "a",
+            "--source",
+            "s",
+            "--engine",
+            "walk",
+            "--threads",
+            "2"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn sharded_cli_run_matches_sequential() {
+        let spec = write_temp("spec_thr.txt", SPEC);
+        let kernel = write_temp("kernel_thr.py", KERNEL);
+        let mk = |threads| RunArgs {
+            compile: CompileArgs {
+                arch: spec.clone(),
+                source: kernel.clone(),
+                inputs: vec![vec![2, 64]],
+                params: vec![("weight".to_string(), vec![4, 64])],
+                emit: EmitStage::Cam,
+                canonicalize: false,
+            },
+            data: vec![],
+            random_seed: 11,
+            engine: Engine::Tape,
+            threads,
+            format: OutputFormat::Text,
+        };
+        let seq = run_run(&mk(1)).unwrap();
+        let par = run_run(&mk(4)).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.stats.search_ops, par.stats.search_ops);
+        assert!(
+            (seq.stats.latency_ns - par.stats.latency_ns).abs()
+                <= 1e-6 * seq.stats.latency_ns.max(1.0)
+        );
+    }
+
+    #[test]
     fn engine_and_format_flags_parse() {
         let cmd = parse_args(&strings(&[
             "run", "--arch", "a", "--source", "s", "--engine", "walk", "--format", "json",
@@ -859,6 +971,7 @@ optimization: density
             Command::Run(r) => {
                 assert_eq!(r.engine, Engine::Walk);
                 assert_eq!(r.format, OutputFormat::Json);
+                assert_eq!(r.threads, 1);
             }
             other => panic!("expected run, got {other:?}"),
         }

@@ -98,6 +98,18 @@ impl RunOutcome {
         self.query_phase.energy_pj() / self.queries.max(1) as f64
     }
 
+    /// Workload queries classified per simulated second of device time
+    /// (the application-level throughput; the device-level broadcast
+    /// rate is [`ExecStats::queries_per_second`]).
+    ///
+    /// Returns 0 for zero-latency query phases.
+    pub fn workload_queries_per_second(&self) -> f64 {
+        if self.query_phase.latency_ns <= 0.0 {
+            return 0.0;
+        }
+        self.queries as f64 / (self.query_phase.latency_ns * 1e-9)
+    }
+
     /// Extrapolate the query phase linearly to `n` queries (the
     /// simulator is deterministic and per-query costs are identical, so
     /// this is exact for latency/energy; power is scale-invariant).
@@ -472,6 +484,8 @@ mod tests {
         assert_eq!(out.predictions.len(), 8);
         assert!(out.accuracy() > 0.9, "accuracy {}", out.accuracy());
         assert!(out.query_phase.latency_ns > 0.0);
+        assert!(out.workload_queries_per_second() > 0.0);
+        assert!(out.query_phase.searched_words > 0);
         assert!(out.setup.write_ops > 0);
         assert_eq!(out.query_phase.write_ops, 0, "no writes after setup");
         assert!(out.latency_per_query_ns() > 0.0);

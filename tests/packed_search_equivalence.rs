@@ -1,0 +1,185 @@
+//! Differential property tests for the packed match planes: for every
+//! `MatchKind` × `Metric` × `bits_per_cell` ∈ {1, 2} and random row
+//! windows (including don't-care-padded and wildcard rows), the packed
+//! [`Subarray::search`] must be **bit-identical** to the retained
+//! per-cell oracle [`Subarray::search_naive`] — row sets, match flags,
+//! and the raw `f64` bits of every distance.
+
+use c4cam::arch::{MatchKind, Metric};
+use c4cam::camsim::{CamCell, RowSelection, SearchScratch, Subarray};
+use proptest::prelude::*;
+
+const COLS: usize = 70; // crosses a u64 plane-word boundary
+
+fn assert_bit_identical(s: &mut Subarray, q: &[f32], kind: MatchKind, metric: Metric) {
+    for selection in [
+        RowSelection::All,
+        RowSelection::Window { start: 1, len: 4 },
+        RowSelection::Window {
+            start: 3,
+            len: usize::MAX,
+        },
+    ] {
+        for wta in [None, Some(2)] {
+            let naive = s
+                .search_naive(q, kind, metric, selection, 2.0, wta)
+                .unwrap()
+                .clone();
+            let packed = s
+                .search(
+                    q,
+                    kind,
+                    metric,
+                    selection,
+                    2.0,
+                    wta,
+                    &mut SearchScratch::default(),
+                )
+                .unwrap();
+            assert_eq!(naive.rows, packed.rows, "{kind:?}/{metric:?}/{selection:?}");
+            assert_eq!(
+                naive.matched, packed.matched,
+                "{kind:?}/{metric:?}/{selection:?}"
+            );
+            assert_eq!(naive.distances.len(), packed.distances.len());
+            for (i, (a, b)) in naive.distances.iter().zip(&packed.distances).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "distance {i} diverged under {kind:?}/{metric:?}/{selection:?}/wta={wta:?}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+fn kinds() -> [MatchKind; 3] {
+    [MatchKind::Exact, MatchKind::Threshold, MatchKind::Best]
+}
+
+fn metrics() -> [Metric; 3] {
+    [Metric::Hamming, Metric::Euclidean, Metric::Dot]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Binary rows (`bits_per_cell` = 1) with ragged widths (don't-care
+    /// padding) and 0/1 or arbitrary-float queries.
+    #[test]
+    fn packed_equals_naive_on_binary_rows(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u8..2, 1..COLS), 1..8),
+        qbits in proptest::collection::vec(0u8..2, COLS),
+        qfloat in proptest::collection::vec(-3.0f32..3.0, 1..COLS),
+    ) {
+        let mut s = Subarray::new(8, COLS);
+        let data: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&b| f32::from(b)).collect())
+            .collect();
+        s.write_rows(0, &data, 1).unwrap();
+        let qb: Vec<f32> = qbits.iter().map(|&b| f32::from(b)).collect();
+        for kind in kinds() {
+            for metric in metrics() {
+                assert_bit_identical(&mut s, &qb, kind, metric);
+                assert_bit_identical(&mut s, &qfloat, kind, metric);
+            }
+        }
+    }
+
+    /// Multi-bit rows (`bits_per_cell` = 2, levels 0..=3) with integral
+    /// and fractional queries: exercises the level plane, the
+    /// exact-integer Euclidean accumulator, and its f64 fallback.
+    #[test]
+    fn packed_equals_naive_on_multibit_rows(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u8..4, 1..COLS), 1..8),
+        qlvl in proptest::collection::vec(0u8..4, COLS),
+        qfrac in proptest::collection::vec(-4.0f32..8.0, 1..COLS),
+    ) {
+        let mut s = Subarray::new(8, COLS);
+        let data: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| v as f32).collect())
+            .collect();
+        s.write_rows(0, &data, 2).unwrap();
+        let qi: Vec<f32> = qlvl.iter().map(|&v| v as f32).collect();
+        for kind in kinds() {
+            for metric in metrics() {
+                assert_bit_identical(&mut s, &qi, kind, metric);
+                assert_bit_identical(&mut s, &qfrac, kind, metric);
+            }
+        }
+    }
+
+    /// Wildcard-cell rows mixing binary bits, explicit don't-cares,
+    /// multi-bit levels and analog ranges: packed rows take the plane
+    /// kernels, mixed/range rows take the per-cell fallback, and the
+    /// combination must still match the oracle bit for bit.
+    #[test]
+    fn packed_equals_naive_on_wildcard_rows(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u8..6, 1..20), 1..8),
+        q in proptest::collection::vec(-2.0f32..4.0, 1..20),
+    ) {
+        let mut s = Subarray::new(8, 20);
+        let cells: Vec<Vec<CamCell>> = rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, &v)| match v {
+                        0 => CamCell::Zero,
+                        1 => CamCell::One,
+                        2 => CamCell::DontCare,
+                        3 => CamCell::Multi((i % 4) as u8),
+                        4 => CamCell::Range(-0.5, 1.5),
+                        _ => CamCell::Range(i as f32 * 0.25, i as f32 * 0.5 + 1.0),
+                    })
+                    .collect()
+            })
+            .collect();
+        s.write_cells(0, &cells).unwrap();
+        for kind in kinds() {
+            for metric in metrics() {
+                assert_bit_identical(&mut s, &q, kind, metric);
+            }
+        }
+    }
+
+    /// Sparse programming: only some rows valid, searched through random
+    /// windows (clamped, possibly overflowing `start + len`).
+    #[test]
+    fn packed_equals_naive_on_sparse_windows(
+        occupied in proptest::collection::vec(any::<bool>(), 8),
+        start in 0usize..10,
+        len in 0usize..12,
+        q in proptest::collection::vec(0.0f32..2.0, 1..16),
+    ) {
+        let mut s = Subarray::new(8, 16);
+        for (r, &on) in occupied.iter().enumerate() {
+            if on {
+                let row: Vec<f32> = (0..16).map(|c| ((c + r) % 2) as f32).collect();
+                s.write_rows(r, &[row], 1).unwrap();
+            }
+        }
+        let selection = RowSelection::Window { start, len };
+        for kind in kinds() {
+            for metric in metrics() {
+                let naive = s
+                    .search_naive(&q, kind, metric, selection, 1.0, None)
+                    .unwrap()
+                    .clone();
+                let packed = s
+                    .search(&q, kind, metric, selection, 1.0, None, &mut SearchScratch::default())
+                    .unwrap();
+                prop_assert_eq!(&naive.rows, &packed.rows);
+                prop_assert_eq!(&naive.matched, &packed.matched);
+                for (a, b) in naive.distances.iter().zip(&packed.distances) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+}
