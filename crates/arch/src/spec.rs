@@ -175,15 +175,9 @@ impl Optimization {
         }
     }
 
-    /// Parse from keyword.
+    /// Parse from keyword (delegates to [`std::str::FromStr`]).
     pub fn from_keyword(s: &str) -> Option<Optimization> {
-        match s {
-            "latency" | "base" | "performance" => Some(Optimization::Base),
-            "power" => Some(Optimization::Power),
-            "density" | "utilization" => Some(Optimization::Density),
-            "power+density" | "density+power" => Some(Optimization::PowerDensity),
-            _ => None,
-        }
+        s.parse().ok()
     }
 
     /// Whether this configuration limits concurrently active subarrays.
@@ -200,6 +194,24 @@ impl Optimization {
 impl fmt::Display for Optimization {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.keyword())
+    }
+}
+
+impl std::str::FromStr for Optimization {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Optimization, SpecError> {
+        match s {
+            "latency" | "base" | "performance" => Ok(Optimization::Base),
+            "power" => Ok(Optimization::Power),
+            "density" | "utilization" => Ok(Optimization::Density),
+            "power+density" | "density+power" => Ok(Optimization::PowerDensity),
+            _ => Err(SpecError {
+                message: format!(
+                    "unknown optimization '{s}' (expected latency|power|density|power+density)"
+                ),
+            }),
+        }
     }
 }
 

@@ -10,12 +10,12 @@
 //!    of the bounded-mismatch best-match circuit across window sizes.
 
 use c4cam::arch::Optimization;
-use c4cam::driver::{paper_arch, run_hdc, HdcConfig};
-use c4cam::workloads::HdcModel;
+use c4cam::driver::{paper_arch, Experiment};
+use c4cam::workloads::{HdcModel, HdcWorkload};
 use c4cam_bench::section;
 
-fn hdc_config(n: usize, opt: Optimization) -> HdcConfig {
-    HdcConfig::paper(paper_arch(n, opt, 1), 16)
+fn hdc_experiment(workload: &HdcWorkload, n: usize, opt: Optimization) -> Experiment<'_> {
+    Experiment::new(workload).arch(paper_arch(n, opt, 1))
 }
 
 fn main() {
@@ -23,11 +23,15 @@ fn main() {
     // 1. Canonicalization
     // ------------------------------------------------------------------
     section("Ablation 1: canonicalize pass (generated-code cleanup)");
+    let workload = HdcWorkload::paper(16);
     for n in [32usize, 256] {
-        let plain = run_hdc(&hdc_config(n, Optimization::Base)).expect("plain");
-        let mut canon_cfg = hdc_config(n, Optimization::Base);
-        canon_cfg.canonicalize = true;
-        let canon = run_hdc(&canon_cfg).expect("canon");
+        let plain = hdc_experiment(&workload, n, Optimization::Base)
+            .run()
+            .expect("plain");
+        let canon = hdc_experiment(&workload, n, Optimization::Base)
+            .canonicalize(true)
+            .run()
+            .expect("canon");
         println!(
             "N={n:<4} results identical: {}   latency delta: {:+.3} ns   energy delta: {:+.3} pJ",
             plain.predictions == canon.predictions,
@@ -57,7 +61,9 @@ fn main() {
     // analytically from the technology model.
     let tech = c4cam::arch::tech::TechnologyModel::fefet_45nm();
     for n in [64usize, 128, 256] {
-        let out = run_hdc(&hdc_config(n, Optimization::Density)).expect("density");
+        let out = hdc_experiment(&workload, n, Optimization::Density)
+            .run()
+            .expect("density");
         let batches = out.placement.batches_per_subarray as f64;
         let searches = out.query_phase.search_ops as f64;
         let amortized = out.query_phase.periph_energy_fj;
@@ -87,11 +93,13 @@ fn main() {
     let cpu_acc = c4cam::workloads::accuracy(&cpu, &labels);
     println!("CPU reference accuracy: {:.1}%", cpu_acc * 100.0);
 
+    let wta_workload = HdcWorkload::paper(64);
     let mut last_acc = 0.0;
     for window in [1u32, 2, 4, 8, 16] {
-        let mut config = HdcConfig::paper(paper_arch(32, Optimization::Base, 1), 64);
-        config.wta_window = Some(window);
-        let out = run_hdc(&config).expect("wta run");
+        let out = hdc_experiment(&wta_workload, 32, Optimization::Base)
+            .wta_window(Some(window))
+            .run()
+            .expect("wta run");
         let acc = out.accuracy();
         println!(
             "window = {window:>3} mismatches per subarray: accuracy {:>5.1}%",
@@ -105,9 +113,9 @@ fn main() {
         }
         last_acc = acc;
     }
-    let mut unbounded = HdcConfig::paper(paper_arch(32, Optimization::Base, 1), 64);
-    unbounded.wta_window = None;
-    let out = run_hdc(&unbounded).expect("unbounded");
+    let out = hdc_experiment(&wta_workload, 32, Optimization::Base)
+        .run()
+        .expect("unbounded");
     println!(
         "window = unbounded: accuracy {:>5.1}% (matches CPU: {})",
         out.accuracy() * 100.0,

@@ -8,8 +8,8 @@
 //! C, and 2-bit costs more energy than 1-bit.
 
 use c4cam::arch::{ArchSpec, CamKind, Optimization};
-use c4cam::driver::{run_hdc, HdcConfig};
-use c4cam::workloads::HdcModel;
+use c4cam::driver::Experiment;
+use c4cam::workloads::{HdcModel, HdcWorkload};
 use c4cam_bench::{run_manual_hdc, section};
 
 fn arch_32xc(c: usize, bits: u32) -> ArchSpec {
@@ -50,17 +50,11 @@ fn main() {
         for c in [16usize, 32, 64, 128] {
             let spec = arch_32xc(c, bits);
             // C4CAM path: TorchScript-level kernel through the pipeline.
-            let config = HdcConfig {
-                spec: spec.clone(),
-                classes: 10,
-                dims: 8192,
-                queries,
-                flip_rate: 0.1,
-                seed: 42,
-                wta_window: None,
-                canonicalize: false,
-            };
-            let out = run_hdc(&config).expect("compiled run");
+            let workload = HdcWorkload::paper(queries);
+            let out = Experiment::new(&workload)
+                .arch(spec.clone())
+                .run()
+                .expect("compiled run");
             let c4_lat = out.query_phase.latency_ns / queries as f64;
             let c4_energy = out.query_phase.energy_pj() / queries as f64;
 

@@ -12,7 +12,8 @@
 
 use c4cam::arch::Optimization;
 use c4cam::camsim::ExecStats;
-use c4cam::driver::{paper_arch, run_hdc, HdcConfig};
+use c4cam::driver::{paper_arch, Experiment};
+use c4cam::workloads::HdcWorkload;
 use c4cam_bench::section;
 use std::collections::HashMap;
 
@@ -27,10 +28,14 @@ fn main() {
         ("cam-density+power", Optimization::PowerDensity),
     ];
 
+    let workload = HdcWorkload::paper(simulated);
     let mut results: HashMap<(&str, usize), ExecStats> = HashMap::new();
     for (name, opt) in configs {
         for &n in &sizes {
-            let out = run_hdc(&HdcConfig::paper(paper_arch(n, opt, 1), simulated)).expect("run");
+            let out = Experiment::new(&workload)
+                .arch(paper_arch(n, opt, 1))
+                .run()
+                .expect("run");
             results.insert((name, n), out.scaled_query_phase(full));
         }
     }

@@ -10,7 +10,8 @@
 
 use c4cam::arch::{ArchSpec, CamKind, Optimization};
 use c4cam::camsim::ExecStats;
-use c4cam::driver::{run_hdc, HdcConfig};
+use c4cam::driver::Experiment;
+use c4cam::workloads::HdcWorkload;
 use c4cam_bench::section;
 use std::collections::HashMap;
 
@@ -35,10 +36,14 @@ fn main() {
         ("iso-density+power", Optimization::PowerDensity),
     ];
 
+    let workload = HdcWorkload::paper(simulated);
     let mut results: HashMap<(&str, usize), ExecStats> = HashMap::new();
     for (name, opt) in configs {
         for &n in &sizes {
-            let out = run_hdc(&HdcConfig::paper(iso_arch(n, opt), simulated)).expect("run");
+            let out = Experiment::new(&workload)
+                .arch(iso_arch(n, opt))
+                .run()
+                .expect("run");
             results.insert((name, n), out.scaled_query_phase(full));
         }
     }

@@ -8,9 +8,8 @@
 //! energy ratio tracking the latency ratio.
 
 use c4cam::arch::Optimization;
-use c4cam::driver::{paper_arch, run_hdc, HdcConfig};
-use c4cam::workloads::gpu::{GpuComparison, GpuModel};
-use c4cam::workloads::HdcModel;
+use c4cam::driver::{paper_arch, Experiment};
+use c4cam::workloads::{GpuComparisonWorkload, HdcModel};
 use c4cam_bench::{run_manual_hdc, section};
 
 fn main() {
@@ -18,8 +17,13 @@ fn main() {
     let full_queries = 10_000usize; // MNIST test set
     let spec = paper_arch(32, Optimization::Base, 1);
 
-    // CAM side: compiled pipeline, extrapolated to the full test set.
-    let out = run_hdc(&HdcConfig::paper(spec.clone(), simulated_queries)).expect("cam run");
+    // CAM side: the §IV-B comparison workload through the compiled
+    // pipeline, extrapolated to the full test set.
+    let workload = GpuComparisonWorkload::paper(simulated_queries);
+    let out = Experiment::new(&workload)
+        .arch(spec.clone())
+        .run()
+        .expect("cam run");
     let cam = out.scaled_query_phase(full_queries);
     let cam_latency_s = cam.latency_ns * 1e-9;
     let cam_energy_j = cam.total_energy_fj() * 1e-15;
@@ -31,10 +35,9 @@ fn main() {
     let manual_latency_s =
         manual.latency_ns / simulated_queries as f64 * full_queries as f64 * 1e-9;
 
-    let gpu = GpuModel::rtx6000();
-    let cmp = GpuComparison::compute(&gpu, full_queries, 10, 8192, cam_latency_s, cam_energy_j);
-    let manual_cmp =
-        GpuComparison::compute(&gpu, full_queries, 10, 8192, manual_latency_s, cam_energy_j);
+    let gpu = workload.gpu.clone();
+    let cmp = workload.comparison(full_queries, cam_latency_s, cam_energy_j);
+    let manual_cmp = workload.comparison(full_queries, manual_latency_s, cam_energy_j);
 
     section("GPU comparison (HDC, 10k queries x 10 classes x 8192 dims)");
     println!("GPU model: {}", gpu.name);

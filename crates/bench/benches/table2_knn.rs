@@ -16,7 +16,8 @@
 //! as subarrays grow.
 
 use c4cam::arch::Optimization;
-use c4cam::driver::{paper_arch, run_knn, KnnConfig};
+use c4cam::driver::{paper_arch, Experiment};
+use c4cam::workloads::KnnWorkload;
 use c4cam_bench::section;
 
 fn main() {
@@ -35,22 +36,24 @@ fn main() {
         "config", "subarray", "EDP nJ*s/query", "power W", "latency us", "banks"
     );
 
+    let workload = KnnWorkload {
+        patterns,
+        dims,
+        queries,
+        k: 5,
+        noise: 0.2,
+        seed: 7,
+    };
     let mut table: Vec<(&str, usize, f64, f64)> = Vec::new();
     for (name, opt) in [
         ("cam-based", Optimization::Base),
         ("cam-power", Optimization::Power),
     ] {
         for &n in &sizes {
-            let config = KnnConfig {
-                spec: paper_arch(n, opt, 1),
-                patterns,
-                dims,
-                queries,
-                k: 5,
-                noise: 0.2,
-                seed: 7,
-            };
-            let out = run_knn(&config).expect("knn run");
+            let out = Experiment::new(&workload)
+                .arch(paper_arch(n, opt, 1))
+                .run()
+                .expect("knn run");
             let per_query = out.scaled_query_phase(1);
             let edp = per_query.edp_nj_s();
             let power = out.query_phase.power_w();

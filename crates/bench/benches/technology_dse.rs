@@ -13,7 +13,8 @@
 
 use c4cam::arch::tech::TechnologyModel;
 use c4cam::arch::Optimization;
-use c4cam::driver::{paper_arch, run_hdc_with_tech, HdcConfig};
+use c4cam::driver::{paper_arch, Experiment};
+use c4cam::workloads::HdcWorkload;
 use c4cam_bench::section;
 
 fn main() {
@@ -29,11 +30,15 @@ fn main() {
         "{:<12} {:>6} {:>14} {:>14} {:>12}",
         "technology", "N", "lat/query ns", "E/query pJ", "power mW"
     );
+    let workload = HdcWorkload::paper(queries);
     let mut results = std::collections::HashMap::new();
     for (name, tech) in &technologies {
         for &n in &sizes {
-            let config = HdcConfig::paper(paper_arch(n, Optimization::Base, 1), queries);
-            let out = run_hdc_with_tech(&config, tech.clone()).expect("run");
+            let out = Experiment::new(&workload)
+                .arch(paper_arch(n, Optimization::Base, 1))
+                .tech(tech.clone())
+                .run()
+                .expect("run");
             println!(
                 "{:<12} {:>6} {:>14.3} {:>14.2} {:>12.3}",
                 name,

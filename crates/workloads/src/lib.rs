@@ -26,11 +26,16 @@ pub mod dtree;
 pub mod gpu;
 pub mod hdc;
 pub mod knn;
+pub mod workload;
 
 pub use dtree::DecisionTree;
 pub use gpu::GpuModel;
 pub use hdc::HdcModel;
 pub use knn::KnnDataset;
+pub use workload::{
+    ArgOrder, DtreeWorkload, GpuComparisonWorkload, HdcWorkload, KnnWorkload, Workload,
+    WorkloadInputs, WorkloadModule,
+};
 
 /// Classification accuracy helper.
 ///

@@ -3,43 +3,62 @@
 //! the application code — the capability the paper's abstract
 //! advertises ("quickly explore CAM configurations").
 //!
+//! This is a thin wrapper over [`SweepPlan`]: the same grid is
+//! available from the command line as `c4cam sweep`
+//! (`--format table|json|csv`, `--pareto` for the frontier).
+//!
 //! ```text
 //! cargo run --example design_space_exploration --release
 //! ```
 
-use c4cam::arch::Optimization;
-use c4cam::driver::{paper_arch, run_hdc, HdcConfig};
+use c4cam::sweep::SweepPlan;
+use c4cam::workloads::HdcWorkload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let queries = 16;
-    let configs = [
-        ("cam-base", Optimization::Base),
-        ("cam-power", Optimization::Power),
-        ("cam-density", Optimization::Density),
-        ("cam-power+density", Optimization::PowerDensity),
-    ];
+    let hdc = HdcWorkload::paper(16);
+    // The default plan *is* the paper's §IV-C grid: square subarrays
+    // 16..256 × all four optimization configurations.
+    let outcome = SweepPlan::new(&hdc).run()?;
+
     println!("HDC design-space exploration (10 classes x 8192 dims)\n");
     println!(
         "{:<18} {:>5} {:>10} {:>6} {:>12} {:>12} {:>12}",
         "configuration", "N", "subarrays", "banks", "lat/query ns", "E/query pJ", "power mW"
     );
-    for (name, opt) in configs {
-        for n in [16usize, 32, 64, 128, 256] {
-            let config = HdcConfig::paper(paper_arch(n, opt, 1), queries);
-            let out = run_hdc(&config)?;
-            println!(
-                "{:<18} {:>5} {:>10} {:>6} {:>12.2} {:>12.2} {:>12.3}",
-                name,
-                n,
-                out.placement.physical_subarrays,
-                out.placement.banks,
-                out.latency_per_query_ns(),
-                out.energy_per_query_pj(),
-                out.query_phase.power_mw()
-            );
+    let mut last_opt = None;
+    for point in &outcome.points {
+        if last_opt.is_some() && last_opt != Some(point.grid.optimization) {
+            println!();
         }
-        println!();
+        last_opt = Some(point.grid.optimization);
+        let name = match point.grid.optimization {
+            c4cam::arch::Optimization::Base => "cam-base",
+            c4cam::arch::Optimization::Power => "cam-power",
+            c4cam::arch::Optimization::Density => "cam-density",
+            c4cam::arch::Optimization::PowerDensity => "cam-power+density",
+        };
+        println!(
+            "{:<18} {:>5} {:>10} {:>6} {:>12.2} {:>12.2} {:>12.3}",
+            name,
+            point.grid.subarray.0,
+            point.outcome.placement.physical_subarrays,
+            point.outcome.placement.banks,
+            point.latency_per_query_ns(),
+            point.energy_per_query_pj(),
+            point.power_mw()
+        );
     }
-    println!("Same application, re-mapped by changing only the architecture spec.");
+
+    println!("\nPareto frontier (latency/energy/area):");
+    for point in outcome.pareto_points() {
+        println!(
+            "  {}  {:.2} ns/query, {:.2} pJ/query, {} cells",
+            point.grid,
+            point.latency_per_query_ns(),
+            point.energy_per_query_pj(),
+            point.area_cells()
+        );
+    }
+    println!("\nSame application, re-mapped by changing only the architecture spec.");
     Ok(())
 }

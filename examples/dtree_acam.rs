@@ -4,13 +4,19 @@
 //! (don't-care for unconstrained features); classification is a single
 //! exact-match search.
 //!
+//! The second half runs the same application class through the unified
+//! [`Experiment`] API instead: [`DtreeWorkload`] compiles the tree as
+//! quantized nearest-path retrieval on a multi-bit MCAM, through the
+//! full torch→cim→cam pipeline.
+//!
 //! ```text
 //! cargo run --example dtree_acam --release
 //! ```
 
 use c4cam::arch::{ArchSpec, CamKind, MatchKind, Metric};
 use c4cam::camsim::{CamMachine, SearchSpec};
-use c4cam::workloads::DecisionTree;
+use c4cam::driver::Experiment;
+use c4cam::workloads::{DecisionTree, DtreeWorkload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let features = 12;
@@ -66,5 +72,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.energy_pj() / samples.len() as f64,
         depth
     );
+
+    // The same application class through the compiled pipeline: the
+    // tree's paths become quantized MCAM rows, classification becomes
+    // nearest-path retrieval, and the driver reports phase-separated
+    // statistics like any other workload.
+    let workload = DtreeWorkload::new(features, 4, depth, 64, 2024);
+    let spec = ArchSpec::builder()
+        .subarray(32, 32)
+        .hierarchy(2, 2, 4)
+        .cam_kind(CamKind::Mcam)
+        .bits_per_cell(2)
+        .build()?;
+    let out = Experiment::new(&workload).arch(spec).run()?;
+    println!(
+        "\ncompiled pipeline (2-bit MCAM nearest-path): {} paths, \
+         {:.2} ns/query, {:.2} pJ/query, CAM==CPU on {:.0}% of samples",
+        workload.tree().leaves(),
+        out.latency_per_query_ns(),
+        out.energy_per_query_pj(),
+        out.accuracy() * 100.0
+    );
+    assert_eq!(out.accuracy(), 1.0, "nearest-path retrieval must match CPU");
     Ok(())
 }

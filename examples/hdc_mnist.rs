@@ -8,18 +8,19 @@
 //! ```
 
 use c4cam::arch::Optimization;
-use c4cam::driver::{paper_arch, run_hdc, HdcConfig};
+use c4cam::driver::{paper_arch, Experiment};
+use c4cam::workloads::HdcWorkload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let queries = 64; // simulated; costs extrapolate linearly per query
     println!("HDC on synthetic MNIST: 10 classes x 8192 dims, {queries} queries\n");
 
+    let hdc = HdcWorkload::paper(queries);
     for (label, opt) in [
         ("cam-base ", Optimization::Base),
         ("cam-power", Optimization::Power),
     ] {
-        let config = HdcConfig::paper(paper_arch(32, opt, 1), queries);
-        let out = run_hdc(&config)?;
+        let out = Experiment::new(&hdc).arch(paper_arch(32, opt, 1)).run()?;
         println!(
             "{label}  subarrays={:4}  banks={}  accuracy={:5.1}%",
             out.placement.physical_subarrays,
@@ -42,9 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 2-bit (MCAM) variant — paper Fig. 7 validates both.
-    let config = HdcConfig::paper(paper_arch(32, Optimization::Base, 2), queries);
-    let out = run_hdc(&config)?;
+    // 2-bit (MCAM) variant — paper Fig. 7 validates both. The workload
+    // picks its level count up from the architecture's bits_per_cell.
+    let out = Experiment::new(&hdc)
+        .arch(paper_arch(32, Optimization::Base, 2))
+        .run()?;
     println!(
         "cam-base (2-bit MCAM)  per query: {:.2} ns, {:.2} pJ  accuracy={:.1}%",
         out.latency_per_query_ns(),

@@ -10,7 +10,8 @@
 //! ```
 
 use c4cam::arch::Optimization;
-use c4cam::driver::{paper_arch, run_knn, KnnConfig};
+use c4cam::driver::{paper_arch, Experiment};
+use c4cam::workloads::KnnWorkload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let small = std::env::args().any(|a| a == "--small");
@@ -21,21 +22,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!("KNN: {patterns} stored patterns x {dims} features, {queries} queries\n");
 
+    let knn = KnnWorkload {
+        patterns,
+        dims,
+        queries,
+        k: 5,
+        noise: 0.2,
+        seed: 7,
+    };
     for (label, opt) in [
         ("cam-base ", Optimization::Base),
         ("cam-power", Optimization::Power),
     ] {
-        let spec = paper_arch(32, opt, 1);
-        let config = KnnConfig {
-            spec,
-            patterns,
-            dims,
-            queries,
-            k: 5,
-            noise: 0.2,
-            seed: 7,
-        };
-        let out = run_knn(&config)?;
+        let out = Experiment::new(&knn).arch(paper_arch(32, opt, 1)).run()?;
         println!(
             "{label}  subarrays={:6}  banks={:4}  top-1 agreement with CPU: {:5.1}%",
             out.placement.physical_subarrays,

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while let Some(flag) = it.next() {
         if flag == "--engine" {
             let v = it.next().ok_or("--engine requires a value")?;
-            engine = Engine::from_keyword(v).ok_or("unknown --engine (walk|tape)")?;
+            engine = v.parse::<Engine>()?;
         }
     }
     // 1. The TorchScript program (the paper's HDC dot-similarity).

@@ -8,13 +8,18 @@
 //!               --input 10x8192 --param weight=10x8192 \
 //!               [--data input.csv --data weight.csv | --random-seed 42]
 //! c4cam place   --arch spec.txt --stored-rows N --dims D [--queries Q]
+//! c4cam sweep   [--workload hdc|knn|dtree|gpu] [--subarrays 16,32,...]
+//!               [--opts base,power,...] [--techs default,fefet-45nm,...]
+//!               [--bits 1,2] [--pareto] [--format table|json|csv]
 //! ```
 //!
 //! The argument parsing and command execution live here (unit-tested);
 //! `src/bin/c4cam.rs` is a thin wrapper.
 
-use crate::driver::{DriverError, Engine};
-use c4cam_arch::{parse_spec, ArchSpec};
+use crate::driver::{DriverError, Engine, ParseKeywordError};
+use crate::sweep::SweepPlan;
+use c4cam_arch::tech::TechnologyModel;
+use c4cam_arch::{parse_spec, ArchSpec, Optimization};
 use c4cam_camsim::{CamMachine, ExecStats};
 use c4cam_core::mapping::{place, MappingProblem};
 use c4cam_core::pipeline::{C4camPipeline, PipelineOptions, Target};
@@ -23,7 +28,9 @@ use c4cam_frontend::{parse_torchscript, FrontendConfig};
 use c4cam_ir::print::print_module;
 use c4cam_runtime::{Executor, Value};
 use c4cam_tensor::Tensor;
+use c4cam_workloads::{DtreeWorkload, GpuComparisonWorkload, HdcWorkload, KnnWorkload, Workload};
 use std::fmt;
+use std::str::FromStr;
 
 /// CLI failure: bad arguments or a failing underlying stage.
 #[derive(Debug)]
@@ -67,17 +74,29 @@ pub enum EmitStage {
     Cam,
 }
 
-impl EmitStage {
-    /// Parse from the `--emit` keyword.
-    pub fn from_keyword(s: &str) -> Option<EmitStage> {
+impl FromStr for EmitStage {
+    type Err = ParseKeywordError;
+
+    fn from_str(s: &str) -> Result<EmitStage, ParseKeywordError> {
         match s {
-            "torch" => Some(EmitStage::Torch),
-            "cim" => Some(EmitStage::Cim),
-            "cim-fused" => Some(EmitStage::CimFused),
-            "partitioned" => Some(EmitStage::Partitioned),
-            "cam" => Some(EmitStage::Cam),
-            _ => None,
+            "torch" => Ok(EmitStage::Torch),
+            "cim" => Ok(EmitStage::Cim),
+            "cim-fused" => Ok(EmitStage::CimFused),
+            "partitioned" => Ok(EmitStage::Partitioned),
+            "cam" => Ok(EmitStage::Cam),
+            _ => Err(ParseKeywordError::new(
+                "--emit stage",
+                s,
+                &["torch", "cim", "cim-fused", "partitioned", "cam"],
+            )),
         }
+    }
+}
+
+impl EmitStage {
+    /// Parse from the `--emit` keyword (delegates to [`FromStr`]).
+    pub fn from_keyword(s: &str) -> Option<EmitStage> {
+        s.parse().ok()
     }
 
     fn snapshot_name(self) -> &'static str {
@@ -100,6 +119,8 @@ pub enum Command {
     Run(RunArgs),
     /// Show the placement for a problem geometry.
     Place(PlaceArgs),
+    /// Run a design-space sweep over a built-in workload.
+    Sweep(SweepArgs),
 }
 
 /// Arguments of `c4cam compile`.
@@ -129,13 +150,50 @@ pub enum OutputFormat {
     Json,
 }
 
-impl OutputFormat {
-    /// Parse from the `--format` keyword.
-    pub fn from_keyword(s: &str) -> Option<OutputFormat> {
+impl FromStr for OutputFormat {
+    type Err = ParseKeywordError;
+
+    fn from_str(s: &str) -> Result<OutputFormat, ParseKeywordError> {
         match s {
-            "text" => Some(OutputFormat::Text),
-            "json" => Some(OutputFormat::Json),
-            _ => None,
+            "text" => Ok(OutputFormat::Text),
+            "json" => Ok(OutputFormat::Json),
+            _ => Err(ParseKeywordError::new("--format", s, &["text", "json"])),
+        }
+    }
+}
+
+impl OutputFormat {
+    /// Parse from the `--format` keyword (delegates to [`FromStr`]).
+    pub fn from_keyword(s: &str) -> Option<OutputFormat> {
+        s.parse().ok()
+    }
+}
+
+/// Output format of `sweep` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepFormat {
+    /// Aligned text table (default).
+    #[default]
+    Table,
+    /// Machine-readable JSON.
+    Json,
+    /// CSV with a stable header row.
+    Csv,
+}
+
+impl FromStr for SweepFormat {
+    type Err = ParseKeywordError;
+
+    fn from_str(s: &str) -> Result<SweepFormat, ParseKeywordError> {
+        match s {
+            "table" => Ok(SweepFormat::Table),
+            "json" => Ok(SweepFormat::Json),
+            "csv" => Ok(SweepFormat::Csv),
+            _ => Err(ParseKeywordError::new(
+                "--format",
+                s,
+                &["table", "json", "csv"],
+            )),
         }
     }
 }
@@ -158,6 +216,59 @@ pub struct RunArgs {
     pub threads: usize,
     /// Report format.
     pub format: OutputFormat,
+}
+
+/// Arguments of `c4cam sweep`: the grid dimensions plus the workload
+/// shape overrides. Unset shape fields fall back to the selected
+/// workload's paper defaults (see [`build_sweep_workload`]).
+#[derive(Debug, Clone)]
+pub struct SweepArgs {
+    /// Workload keyword (`hdc`, `knn`, `dtree`, `gpu`).
+    pub workload: String,
+    /// Queries to simulate per grid point.
+    pub queries: Option<usize>,
+    /// Stored classes (hdc/gpu/dtree) or patterns (knn).
+    pub classes: Option<usize>,
+    /// Feature dimensionality (dtree: feature count).
+    pub dims: Option<usize>,
+    /// Square subarray sizes to sweep.
+    pub subarrays: Vec<usize>,
+    /// Optimization configurations to sweep.
+    pub opts: Vec<Optimization>,
+    /// Technology names to sweep (`default`, `fefet-45nm`,
+    /// `cmos-16nm`).
+    pub techs: Vec<String>,
+    /// Bits-per-cell values to sweep.
+    pub bits: Vec<u32>,
+    /// Execution engine.
+    pub engine: Engine,
+    /// Worker threads per grid point.
+    pub threads: usize,
+    /// Keep only the latency/energy/area Pareto frontier.
+    pub pareto: bool,
+    /// Report format.
+    pub format: SweepFormat,
+}
+
+impl Default for SweepArgs {
+    /// The §IV-C default sweep: the paper HDC workload over all square
+    /// subarray sizes and optimization configurations.
+    fn default() -> SweepArgs {
+        SweepArgs {
+            workload: "hdc".to_string(),
+            queries: None,
+            classes: None,
+            dims: None,
+            subarrays: crate::sweep::DEFAULT_SUBARRAY_SIZES.to_vec(),
+            opts: crate::sweep::DEFAULT_OPTIMIZATIONS.to_vec(),
+            techs: vec!["default".to_string()],
+            bits: vec![1],
+            engine: Engine::default(),
+            threads: 1,
+            pareto: false,
+            format: SweepFormat::Table,
+        }
+    }
 }
 
 /// Arguments of `c4cam place`.
@@ -200,10 +311,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut random_seed = 42u64;
     let mut stored_rows = None;
     let mut dims = None;
-    let mut queries = 1usize;
+    let mut queries: Option<usize> = None;
+    let mut classes: Option<usize> = None;
     let mut engine = Engine::default();
     let mut threads = 1usize;
-    let mut format = OutputFormat::default();
+    let mut format: Option<String> = None;
+    let mut workload: Option<String> = None;
+    let mut subarrays: Option<Vec<usize>> = None;
+    let mut opts: Option<Vec<Optimization>> = None;
+    let mut techs: Option<Vec<String>> = None;
+    let mut bits: Option<Vec<u32>> = None;
+    let mut pareto = false;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -252,14 +370,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 );
             }
             "--queries" => {
-                queries = next_value(&mut it, flag)?
-                    .parse()
-                    .map_err(|_| cli_err("--queries expects an integer"))?;
+                queries = Some(
+                    next_value(&mut it, flag)?
+                        .parse()
+                        .map_err(|_| cli_err("--queries expects an integer"))?,
+                );
+            }
+            "--classes" => {
+                classes = Some(
+                    next_value(&mut it, flag)?
+                        .parse()
+                        .map_err(|_| cli_err("--classes expects an integer"))?,
+                );
             }
             "--engine" => {
-                let v = next_value(&mut it, flag)?;
-                engine = Engine::from_keyword(&v)
-                    .ok_or_else(|| cli_err(format!("unknown --engine '{v}' (walk|tape)")))?;
+                engine = next_value(&mut it, flag)?.parse().map_err(cli_err)?;
             }
             "--threads" => {
                 threads = next_value(&mut it, flag)?
@@ -268,11 +393,45 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .filter(|&t| t >= 1)
                     .ok_or_else(|| cli_err("--threads expects a positive integer"))?;
             }
-            "--format" => {
-                let v = next_value(&mut it, flag)?;
-                format = OutputFormat::from_keyword(&v)
-                    .ok_or_else(|| cli_err(format!("unknown --format '{v}' (text|json)")))?;
+            "--format" => format = Some(next_value(&mut it, flag)?),
+            "--workload" => workload = Some(next_value(&mut it, flag)?),
+            "--subarrays" => {
+                subarrays = Some(parse_list(
+                    &next_value(&mut it, flag)?,
+                    "--subarrays",
+                    |v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| cli_err(format!("invalid subarray size '{v}'")))
+                    },
+                )?);
             }
+            "--opts" => {
+                opts = Some(parse_list(&next_value(&mut it, flag)?, "--opts", |v| {
+                    Optimization::from_keyword(v).ok_or_else(|| {
+                        cli_err(format!(
+                            "unknown optimization '{v}' (expected base|power|density|power+density)"
+                        ))
+                    })
+                })?);
+            }
+            "--techs" => {
+                let list = parse_list(&next_value(&mut it, flag)?, "--techs", |v| {
+                    // Validate eagerly; the models are rebuilt at run time.
+                    parse_tech(v).map(|_| v.to_string())
+                })?;
+                techs = Some(list);
+            }
+            "--bits" => {
+                bits = Some(parse_list(&next_value(&mut it, flag)?, "--bits", |v| {
+                    v.parse::<u32>()
+                        .ok()
+                        .filter(|&b| (1..=4).contains(&b))
+                        .ok_or_else(|| cli_err(format!("invalid bits-per-cell '{v}' (1..=4)")))
+                })?);
+            }
+            "--pareto" => pareto = true,
             other => return Err(cli_err(format!("unknown flag '{other}'\n{}", usage()))),
         }
     }
@@ -280,6 +439,45 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let require = |opt: Option<String>, name: &str| {
         opt.ok_or_else(|| cli_err(format!("missing required {name}\n{}", usage())))
     };
+    let out_format = |format: Option<String>| -> Result<OutputFormat, CliError> {
+        match format {
+            None => Ok(OutputFormat::default()),
+            Some(v) => v.parse().map_err(cli_err),
+        }
+    };
+    // Flags are parsed in one namespace; reject cross-command ones
+    // explicitly so e.g. `sweep --arch spec.txt` cannot silently sweep
+    // the built-in hierarchy instead of the user's spec.
+    if cmd == "sweep" {
+        for (given, flag) in [
+            (arch.is_some(), "--arch"),
+            (source.is_some(), "--source"),
+            (!inputs.is_empty(), "--input"),
+            (!params.is_empty(), "--param"),
+            (!data.is_empty(), "--data"),
+            (stored_rows.is_some(), "--stored-rows"),
+        ] {
+            if given {
+                return Err(cli_err(format!(
+                    "{flag} is not supported by 'sweep' (it sweeps built-in workloads over generated architectures)"
+                )));
+            }
+        }
+    } else {
+        for (given, flag) in [
+            (workload.is_some(), "--workload"),
+            (subarrays.is_some(), "--subarrays"),
+            (opts.is_some(), "--opts"),
+            (techs.is_some(), "--techs"),
+            (bits.is_some(), "--bits"),
+            (classes.is_some(), "--classes"),
+            (pareto, "--pareto"),
+        ] {
+            if given {
+                return Err(cli_err(format!("{flag} is only supported by 'sweep'")));
+            }
+        }
+    }
     match cmd.as_str() {
         "compile" | "run" => {
             let compile = CompileArgs {
@@ -304,7 +502,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     random_seed,
                     engine,
                     threads,
-                    format,
+                    format: out_format(format)?,
                 }))
             }
         }
@@ -312,16 +510,69 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             arch: require(arch, "--arch")?,
             stored_rows: stored_rows.ok_or_else(|| cli_err("missing --stored-rows"))?,
             dims: dims.ok_or_else(|| cli_err("missing --dims"))?,
-            queries,
-            format,
+            queries: queries.unwrap_or(1),
+            format: out_format(format)?,
         })),
+        "sweep" => {
+            if engine == Engine::Walk && threads > 1 {
+                return Err(cli_err(
+                    "--threads requires the tape engine (the walker oracle is single-threaded)",
+                ));
+            }
+            let defaults = SweepArgs::default();
+            Ok(Command::Sweep(SweepArgs {
+                workload: workload.unwrap_or(defaults.workload),
+                queries,
+                classes,
+                dims,
+                subarrays: subarrays.unwrap_or(defaults.subarrays),
+                opts: opts.unwrap_or(defaults.opts),
+                techs: techs.unwrap_or(defaults.techs),
+                bits: bits.unwrap_or(defaults.bits),
+                engine,
+                threads,
+                pareto,
+                format: match format {
+                    None => SweepFormat::default(),
+                    Some(v) => v.parse().map_err(cli_err)?,
+                },
+            }))
+        }
         other => Err(cli_err(format!("unknown command '{other}'\n{}", usage()))),
+    }
+}
+
+/// Parse a comma-separated list with a per-item parser; empty lists
+/// and empty items are rejected.
+fn parse_list<T>(
+    text: &str,
+    flag: &str,
+    mut item: impl FnMut(&str) -> Result<T, CliError>,
+) -> Result<Vec<T>, CliError> {
+    let items: Vec<&str> = text.split(',').map(str::trim).collect();
+    if items.iter().any(|s| s.is_empty()) {
+        return Err(cli_err(format!(
+            "{flag} expects a non-empty comma-separated list, got '{text}'"
+        )));
+    }
+    items.into_iter().map(&mut item).collect()
+}
+
+/// Resolve a technology keyword to a model (`None` = spec default).
+fn parse_tech(name: &str) -> Result<Option<TechnologyModel>, CliError> {
+    match name {
+        "default" => Ok(None),
+        "fefet-45nm" | "fefet" => Ok(Some(TechnologyModel::fefet_45nm())),
+        "cmos-16nm" | "cmos" => Ok(Some(TechnologyModel::cmos_tcam_16nm())),
+        other => Err(cli_err(format!(
+            "unknown technology '{other}' (expected default|fefet-45nm|cmos-16nm)"
+        ))),
     }
 }
 
 /// Usage text.
 pub fn usage() -> &'static str {
-    "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine walk|tape] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]"
+    "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine walk|tape] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]\n  c4cam sweep   [--workload hdc|knn|dtree|gpu] [--queries N] [--classes N] [--dims D] [--subarrays N,N,...] [--opts base,power,density,power+density] [--techs default,fefet-45nm,cmos-16nm] [--bits 1,2] [--engine walk|tape] [--threads N] [--pareto] [--format table|json|csv]"
 }
 
 fn load_arch(path: &str) -> Result<ArchSpec, CliError> {
@@ -604,6 +855,78 @@ fn read_csv_tensor(path: &str, shape: &[usize]) -> Result<Tensor, CliError> {
     Tensor::from_vec(shape.to_vec(), data).map_err(cli_err)
 }
 
+/// Build the workload a `sweep` invocation selects, applying the shape
+/// overrides over the workload's paper defaults.
+pub fn build_sweep_workload(args: &SweepArgs) -> Result<Box<dyn Workload>, CliError> {
+    match args.workload.as_str() {
+        "hdc" => {
+            let mut w = HdcWorkload::paper(args.queries.unwrap_or(16));
+            if let Some(classes) = args.classes {
+                w.classes = classes;
+            }
+            if let Some(dims) = args.dims {
+                w.dims = dims;
+            }
+            Ok(Box::new(w))
+        }
+        "knn" => {
+            let mut w = KnnWorkload::paper(args.queries.unwrap_or(4));
+            if let Some(patterns) = args.classes {
+                w.patterns = patterns;
+            }
+            if let Some(dims) = args.dims {
+                w.dims = dims;
+            }
+            Ok(Box::new(w))
+        }
+        "dtree" => Ok(Box::new(DtreeWorkload::new(
+            args.dims.unwrap_or(12),
+            args.classes.unwrap_or(4),
+            5,
+            args.queries.unwrap_or(8),
+            2024,
+        ))),
+        "gpu" => {
+            let mut w = GpuComparisonWorkload::paper(args.queries.unwrap_or(16));
+            if let Some(classes) = args.classes {
+                w.hdc.classes = classes;
+            }
+            if let Some(dims) = args.dims {
+                w.hdc.dims = dims;
+            }
+            Ok(Box::new(w))
+        }
+        other => Err(cli_err(format!(
+            "unknown --workload '{other}' (expected hdc|knn|dtree|gpu)"
+        ))),
+    }
+}
+
+/// Execute `sweep`, returning the rendered report.
+pub fn run_sweep(args: &SweepArgs) -> Result<String, CliError> {
+    let workload = build_sweep_workload(args)?;
+    let technologies: Result<Vec<(String, Option<TechnologyModel>)>, CliError> = args
+        .techs
+        .iter()
+        .map(|name| Ok((name.clone(), parse_tech(name)?)))
+        .collect();
+    let plan = SweepPlan::new(workload.as_ref())
+        .square_subarrays(args.subarrays.iter().copied())
+        .optimizations(args.opts.iter().copied())
+        .technologies(technologies?)
+        .bits(args.bits.iter().copied())
+        .engine(args.engine)
+        .threads(args.threads);
+    let outcome = plan.run()?;
+    let rendered = match args.format {
+        SweepFormat::Table => outcome.to_table(args.pareto),
+        SweepFormat::Json => outcome.to_json(args.pareto),
+        SweepFormat::Csv => outcome.to_csv(args.pareto),
+    };
+    // The binary prints with a trailing newline of its own.
+    Ok(rendered.trim_end_matches('\n').to_string())
+}
+
 /// Dispatch a parsed command; returns the text to print.
 pub fn execute(command: &Command) -> Result<String, CliError> {
     match command {
@@ -613,6 +936,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             Ok(report.render(args.format))
         }
         Command::Place(args) => run_place(args),
+        Command::Sweep(args) => run_sweep(args),
     }
 }
 
@@ -958,6 +1282,140 @@ optimization: density
         assert!(
             (seq.stats.latency_ns - par.stats.latency_ns).abs()
                 <= 1e-6 * seq.stats.latency_ns.max(1.0)
+        );
+    }
+
+    #[test]
+    fn sweep_args_parse_with_defaults() {
+        let cmd = parse_args(&strings(&["sweep"])).unwrap();
+        match cmd {
+            Command::Sweep(s) => {
+                assert_eq!(s.workload, "hdc");
+                assert_eq!(s.subarrays, vec![16, 32, 64, 128, 256]);
+                assert_eq!(s.opts.len(), 4);
+                assert_eq!(s.techs, vec!["default".to_string()]);
+                assert_eq!(s.bits, vec![1]);
+                assert_eq!(s.format, SweepFormat::Table);
+                assert!(!s.pareto);
+                assert_eq!(s.queries, None);
+            }
+            other => panic!("expected sweep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_args_parse_with_overrides() {
+        let cmd = parse_args(&strings(&[
+            "sweep",
+            "--workload",
+            "knn",
+            "--queries",
+            "8",
+            "--subarrays",
+            "32,64",
+            "--opts",
+            "base,power+density",
+            "--techs",
+            "default,cmos-16nm",
+            "--bits",
+            "1,2",
+            "--threads",
+            "2",
+            "--pareto",
+            "--format",
+            "csv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Sweep(s) => {
+                assert_eq!(s.workload, "knn");
+                assert_eq!(s.queries, Some(8));
+                assert_eq!(s.subarrays, vec![32, 64]);
+                assert_eq!(s.opts, vec![Optimization::Base, Optimization::PowerDensity]);
+                assert_eq!(s.techs.len(), 2);
+                assert_eq!(s.bits, vec![1, 2]);
+                assert_eq!(s.threads, 2);
+                assert!(s.pareto);
+                assert_eq!(s.format, SweepFormat::Csv);
+            }
+            other => panic!("expected sweep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_command_flags_are_rejected() {
+        // sweep-only flags on run/place, and run/place flags on sweep.
+        assert!(parse_args(&strings(&[
+            "run", "--arch", "a", "--source", "s", "--pareto"
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&[
+            "place",
+            "--arch",
+            "a",
+            "--stored-rows",
+            "4",
+            "--dims",
+            "8",
+            "--subarrays",
+            "64"
+        ]))
+        .is_err());
+        let e = parse_args(&strings(&["sweep", "--arch", "spec.txt"])).unwrap_err();
+        assert!(e.message.contains("not supported by 'sweep'"), "{e}");
+        assert!(parse_args(&strings(&["sweep", "--stored-rows", "4"])).is_err());
+    }
+
+    #[test]
+    fn sweep_arg_errors_are_caught_at_parse_time() {
+        // Bad list items, bad formats, bad keywords.
+        assert!(parse_args(&strings(&["sweep", "--subarrays", "32,,64"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--subarrays", "0"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--opts", "fastest"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--techs", "sram-7nm"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--bits", "9"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--format", "yaml"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--threads", "0"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--engine", "walk", "--threads", "2"])).is_err());
+        // Unknown workloads surface at execution time (workload
+        // construction), with the keyword list in the message.
+        let bad = SweepArgs {
+            workload: "resnet".to_string(),
+            ..SweepArgs::default()
+        };
+        let e = run_sweep(&bad).unwrap_err();
+        assert!(e.message.contains("hdc|knn|dtree|gpu"), "{e}");
+    }
+
+    #[test]
+    fn sweep_format_keywords_parse() {
+        assert_eq!("table".parse::<SweepFormat>().unwrap(), SweepFormat::Table);
+        assert_eq!("json".parse::<SweepFormat>().unwrap(), SweepFormat::Json);
+        assert_eq!("csv".parse::<SweepFormat>().unwrap(), SweepFormat::Csv);
+        let e = "yaml".parse::<SweepFormat>().unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "unknown --format 'yaml' (expected table|json|csv)"
+        );
+    }
+
+    #[test]
+    fn emit_and_output_format_from_keyword_delegate_to_fromstr() {
+        assert_eq!(EmitStage::from_keyword("cam"), Some(EmitStage::Cam));
+        assert_eq!(EmitStage::from_keyword("wasm"), None);
+        assert_eq!(
+            "wasm".parse::<EmitStage>().unwrap_err().to_string(),
+            "unknown --emit stage 'wasm' (expected torch|cim|cim-fused|partitioned|cam)"
+        );
+        assert_eq!(OutputFormat::from_keyword("json"), Some(OutputFormat::Json));
+        assert_eq!(
+            OutputFormat::from_keyword("csv"),
+            None,
+            "run/place are text|json"
+        );
+        assert_eq!(
+            "csv".parse::<OutputFormat>().unwrap_err().to_string(),
+            "unknown --format 'csv' (expected text|json)"
         );
     }
 

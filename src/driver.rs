@@ -1,20 +1,41 @@
 //! High-level experiment driver: compile a workload for an architecture,
 //! execute it on the simulated CAM machine, and collect phase-separated
-//! statistics. Shared by the examples, the integration tests, and every
-//! table/figure bench.
+//! statistics. Shared by the examples, the integration tests, every
+//! table/figure bench, and the `c4cam sweep` design-space runner.
+//!
+//! The central type is the [`Experiment`] builder: one composable
+//! configuration surface over any [`Workload`] implementation —
+//!
+//! ```no_run
+//! use c4cam::driver::{paper_arch, Engine, Experiment};
+//! use c4cam::arch::Optimization;
+//! use c4cam::workloads::HdcWorkload;
+//!
+//! let hdc = HdcWorkload::paper(16);
+//! let out = Experiment::new(&hdc)
+//!     .arch(paper_arch(32, Optimization::Base, 1))
+//!     .engine(Engine::Tape)
+//!     .threads(4)
+//!     .run()
+//!     .unwrap();
+//! println!("{:.2} ns/query", out.latency_per_query_ns());
+//! ```
+//!
+//! The pre-PR-4 per-workload free functions (`run_hdc`,
+//! `run_knn_with_engine`, …) remain as deprecated shims over the
+//! builder; no internal call site uses them.
 
+use c4cam_arch::tech::TechnologyModel;
 use c4cam_arch::{ArchSpec, CamKind, Optimization};
 use c4cam_camsim::{CamMachine, ExecStats};
-use c4cam_core::dialects::{cim, torch};
 use c4cam_core::mapping::{place, MappingProblem, Placement};
 use c4cam_core::pipeline::C4camPipeline;
 use c4cam_engine::Tape;
-use c4cam_ir::Module;
 use c4cam_runtime::{Executor, Value};
-use c4cam_tensor::Tensor;
-use c4cam_workloads::{accuracy, HdcModel, KnnDataset};
+use c4cam_workloads::{accuracy, ArgOrder, HdcWorkload, KnnWorkload, Workload, WorkloadInputs};
 use std::error::Error;
 use std::fmt;
+use std::str::FromStr;
 
 /// Which execution engine drives the simulator.
 ///
@@ -32,34 +53,163 @@ pub enum Engine {
 }
 
 impl Engine {
-    /// Parse from the `--engine` keyword.
+    /// Keyword used on the command line.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Engine::Walk => "walk",
+            Engine::Tape => "tape",
+        }
+    }
+
+    /// Parse from the `--engine` keyword (delegates to [`FromStr`]).
     pub fn from_keyword(s: &str) -> Option<Engine> {
+        s.parse().ok()
+    }
+}
+
+impl FromStr for Engine {
+    type Err = ParseKeywordError;
+
+    fn from_str(s: &str) -> Result<Engine, ParseKeywordError> {
         match s {
-            "walk" => Some(Engine::Walk),
-            "tape" => Some(Engine::Tape),
-            _ => None,
+            "walk" => Ok(Engine::Walk),
+            "tape" => Ok(Engine::Tape),
+            _ => Err(ParseKeywordError::new("engine", s, &["walk", "tape"])),
         }
     }
 }
 
-/// Driver failure (compile, placement or execution error).
-#[derive(Debug, Clone)]
-pub struct DriverError {
-    /// Description.
-    pub message: String,
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Error of parsing a keyword-valued option (`--engine`, `--emit`,
+/// `--format`, …): carries the offending input and the accepted
+/// keyword list so every subcommand reports the same way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKeywordError {
+    /// What was being parsed (e.g. `"engine"`).
+    pub what: &'static str,
+    /// The rejected input.
+    pub given: String,
+    /// Accepted keywords.
+    pub expected: &'static [&'static str],
+}
+
+impl ParseKeywordError {
+    /// Construct a keyword-parse error.
+    pub fn new(
+        what: &'static str,
+        given: impl Into<String>,
+        expected: &'static [&'static str],
+    ) -> ParseKeywordError {
+        ParseKeywordError {
+            what,
+            given: given.into(),
+            expected,
+        }
+    }
+}
+
+impl fmt::Display for ParseKeywordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown {} '{}' (expected {})",
+            self.what,
+            self.given,
+            self.expected.join("|")
+        )
+    }
+}
+
+impl Error for ParseKeywordError {}
+
+/// Boxed driver-failure cause.
+pub type DriverCause = Box<dyn Error + Send + Sync + 'static>;
+
+/// Driver failure, tagged with the stage that produced it so sweep
+/// reports can say *where* a grid point died. The underlying cause is
+/// preserved and reachable through [`Error::source`].
+#[derive(Debug)]
+pub enum DriverError {
+    /// Invalid experiment or sweep configuration (caught up front,
+    /// before any compilation).
+    Config(String),
+    /// The mapping pass rejected the problem geometry.
+    Place(DriverCause),
+    /// Pipeline compilation (or tape compilation) failed.
+    Compile(DriverCause),
+    /// Simulator execution failed.
+    Exec(DriverCause),
+}
+
+impl DriverError {
+    /// The stage this error originated in.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            DriverError::Config(_) => "config",
+            DriverError::Place(_) => "place",
+            DriverError::Compile(_) => "compile",
+            DriverError::Exec(_) => "exec",
+        }
+    }
+
+    /// Wrap this error with the sweep grid point it occurred at,
+    /// keeping the stage variant and the source chain.
+    pub fn at_grid_point(self, point: impl fmt::Display) -> DriverError {
+        let wrap = |source: DriverCause, point: String| -> DriverCause {
+            Box::new(GridPointError { point, source })
+        };
+        match self {
+            DriverError::Config(msg) => DriverError::Config(format!("grid point [{point}]: {msg}")),
+            DriverError::Place(e) => DriverError::Place(wrap(e, point.to_string())),
+            DriverError::Compile(e) => DriverError::Compile(wrap(e, point.to_string())),
+            DriverError::Exec(e) => DriverError::Exec(wrap(e, point.to_string())),
+        }
+    }
 }
 
 impl fmt::Display for DriverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "driver error: {}", self.message)
+        match self {
+            DriverError::Config(msg) => write!(f, "driver error [config]: {msg}"),
+            DriverError::Place(e) => write!(f, "driver error [place]: {e}"),
+            DriverError::Compile(e) => write!(f, "driver error [compile]: {e}"),
+            DriverError::Exec(e) => write!(f, "driver error [exec]: {e}"),
+        }
     }
 }
 
-impl Error for DriverError {}
+impl Error for DriverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DriverError::Config(_) => None,
+            DriverError::Place(e) | DriverError::Compile(e) | DriverError::Exec(e) => {
+                Some(e.as_ref())
+            }
+        }
+    }
+}
 
-fn derr(message: impl fmt::Display) -> DriverError {
-    DriverError {
-        message: message.to_string(),
+/// A driver failure annotated with the sweep grid point it occurred at.
+#[derive(Debug)]
+struct GridPointError {
+    point: String,
+    source: DriverCause,
+}
+
+impl fmt::Display for GridPointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grid point [{}]: {}", self.point, self.source)
+    }
+}
+
+impl Error for GridPointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(self.source.as_ref())
     }
 }
 
@@ -128,7 +278,232 @@ impl RunOutcome {
     }
 }
 
-/// HDC experiment configuration.
+/// Build an architecture from subarray geometry, hierarchy fan-outs
+/// (mats/bank, arrays/mat, subarrays/array), optimization and cell
+/// width, with the CAM kind following the cell width (>1 bit = MCAM).
+/// The single source of that rule for [`paper_arch`] and the sweep
+/// grid.
+///
+/// # Errors
+/// Propagates spec validation failures (e.g. out-of-range cell
+/// widths).
+pub fn build_arch(
+    subarray: (usize, usize),
+    hierarchy: (usize, usize, usize),
+    optimization: Optimization,
+    bits: u32,
+) -> Result<ArchSpec, c4cam_arch::SpecError> {
+    ArchSpec::builder()
+        .subarray(subarray.0, subarray.1)
+        .hierarchy(hierarchy.0, hierarchy.1, hierarchy.2)
+        .cam_kind(if bits > 1 {
+            CamKind::Mcam
+        } else {
+            CamKind::Tcam
+        })
+        .bits_per_cell(bits)
+        .optimization(optimization)
+        .build()
+}
+
+/// Build the square-subarray architecture used throughout §IV
+/// (4 mats/bank, 4 arrays/mat, 8 subarrays/array, auto banks).
+pub fn paper_arch(n: usize, optimization: Optimization, bits: u32) -> ArchSpec {
+    build_arch((n, n), (4, 4, 8), optimization, bits).expect("valid paper architecture")
+}
+
+/// One configured experiment: a [`Workload`] bound to an architecture,
+/// technology, engine, and execution knobs. Construct with
+/// [`Experiment::new`], chain the setters, then [`Experiment::run`].
+///
+/// `run` borrows the builder, so one configuration can be re-run (the
+/// simulator is deterministic: identical results) or cheaply
+/// re-derived per grid point by the sweep runner.
+#[derive(Clone)]
+pub struct Experiment<'w> {
+    workload: &'w dyn Workload,
+    spec: ArchSpec,
+    tech: Option<TechnologyModel>,
+    engine: Engine,
+    threads: usize,
+    wta_window: Option<u32>,
+    canonicalize: bool,
+}
+
+impl fmt::Debug for Experiment<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Experiment")
+            .field("workload", &self.workload.name())
+            .field("spec", &self.spec)
+            .field("tech", &self.tech.as_ref().map(|t| t.name.as_str()))
+            .field("engine", &self.engine)
+            .field("threads", &self.threads)
+            .field("wta_window", &self.wta_window)
+            .field("canonicalize", &self.canonicalize)
+            .finish()
+    }
+}
+
+impl<'w> Experiment<'w> {
+    /// Start configuring an experiment on `workload`, with the paper's
+    /// default architecture ([`ArchSpec::default`]), the default
+    /// technology, the tape engine, and one thread.
+    pub fn new(workload: &'w dyn Workload) -> Experiment<'w> {
+        Experiment {
+            workload,
+            spec: ArchSpec::default(),
+            tech: None,
+            engine: Engine::default(),
+            threads: 1,
+            wta_window: None,
+            canonicalize: false,
+        }
+    }
+
+    /// Compile for `spec` (the paper's retargetability claim: change
+    /// only the architecture, never the application).
+    pub fn arch(mut self, spec: ArchSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Simulate on an explicit technology model instead of the spec's
+    /// default.
+    pub fn tech(mut self, tech: TechnologyModel) -> Self {
+        self.tech = Some(tech);
+        self
+    }
+
+    /// Select the execution engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Worker threads for the tape engine (`1` = sequential). With more
+    /// than one thread the batch executor shards the query loop — or,
+    /// for single-query workloads, the subarray groups within a query —
+    /// across `std::thread` workers.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Winner-take-all sensing window: best-match distances saturate at
+    /// this mismatch count (paper \[19\]). `None` = unbounded sensing.
+    pub fn wta_window(mut self, window: Option<u32>) -> Self {
+        self.wta_window = window;
+        self
+    }
+
+    /// Run the canonicalize cleanup after lowering.
+    pub fn canonicalize(mut self, canonicalize: bool) -> Self {
+        self.canonicalize = canonicalize;
+        self
+    }
+
+    /// The configured architecture.
+    pub fn spec(&self) -> &ArchSpec {
+        &self.spec
+    }
+
+    /// Compile, place, and execute on a fresh machine; collect
+    /// phase-separated statistics.
+    ///
+    /// # Errors
+    /// [`DriverError::Config`] for invalid knob combinations (checked
+    /// up front), otherwise the failing stage's error.
+    pub fn run(&self) -> Result<RunOutcome, DriverError> {
+        if self.threads == 0 {
+            return Err(DriverError::Config(
+                "threads must be >= 1 (got 0)".to_string(),
+            ));
+        }
+        if self.engine == Engine::Walk && self.threads > 1 {
+            return Err(DriverError::Config(format!(
+                "the walk engine is single-threaded (got threads = {})",
+                self.threads
+            )));
+        }
+        let nq = self.workload.query_count();
+        if nq == 0 {
+            return Err(DriverError::Config(format!(
+                "workload '{}' has no queries",
+                self.workload.name()
+            )));
+        }
+        let placement = place(
+            &self.spec,
+            &MappingProblem {
+                stored_rows: self.workload.stored_rows(),
+                feature_dims: self.workload.dims(),
+                queries: nq,
+            },
+        )
+        .map_err(|e| DriverError::Place(Box::new(e)))?;
+        let built = self.workload.build_module(&self.spec);
+        let compiled = C4camPipeline::new(self.spec.clone())
+            .with_options(c4cam_core::pipeline::PipelineOptions {
+                canonicalize: self.canonicalize,
+                ..Default::default()
+            })
+            .compile(built.module)
+            .map_err(|e| DriverError::Compile(Box::new(e)))?;
+        let WorkloadInputs {
+            stored,
+            queries,
+            labels,
+        } = self.workload.inputs(&self.spec);
+        let mut machine = match self.tech {
+            Some(ref tech) => CamMachine::with_tech(&self.spec, tech.clone()),
+            None => CamMachine::new(&self.spec),
+        };
+        machine.set_wta_window(self.wta_window);
+        // The workload declares its kernel's argument order — no shape
+        // heuristics (those are ambiguous when queries == stored rows).
+        let args = match built.arg_order {
+            ArgOrder::QueriesThenStored => vec![Value::Tensor(queries), Value::Tensor(stored)],
+            ArgOrder::StoredThenQueries => vec![Value::Tensor(stored), Value::Tensor(queries)],
+        };
+        let out = match self.engine {
+            Engine::Walk => Executor::with_machine(&compiled.module, &mut machine)
+                .run(built.func, &args)
+                .map_err(|e| DriverError::Exec(Box::new(e)))?,
+            Engine::Tape => Tape::compile(&compiled.module, built.func)
+                .map_err(|e| DriverError::Compile(Box::new(e)))?
+                .run_batched(&mut machine, &args, self.threads)
+                .map_err(|e| DriverError::Exec(Box::new(e)))?,
+        };
+        let indices = out
+            .get(1)
+            .and_then(Value::as_tensor)
+            .ok_or_else(|| DriverError::Exec("kernel returned no indices".to_string().into()))?;
+        let predictions: Vec<usize> = (0..nq)
+            .map(|q| indices.data()[q * indices.len() / nq.max(1)] as usize)
+            .collect();
+        let total = machine.stats();
+        let setup = machine.phase("setup-complete").cloned().unwrap_or_default();
+        let query_phase = total.delta(&setup);
+        Ok(RunOutcome {
+            total,
+            setup,
+            query_phase,
+            predictions,
+            labels,
+            placement,
+            queries: nq,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deprecated pre-Experiment shims. No internal call site uses these;
+// they are kept so external users of the old free-function API keep
+// compiling (against the same semantics — each is a thin builder call).
+// ---------------------------------------------------------------------
+
+/// HDC experiment configuration (legacy; superseded by
+/// [`HdcWorkload`] + [`Experiment`]).
 #[derive(Debug, Clone)]
 pub struct HdcConfig {
     /// Architecture to compile for.
@@ -167,130 +542,60 @@ impl HdcConfig {
             canonicalize: false,
         }
     }
-}
 
-/// Build the square-subarray architecture used throughout §IV
-/// (4 mats/bank, 4 arrays/mat, 8 subarrays/array, auto banks).
-pub fn paper_arch(n: usize, optimization: Optimization, bits: u32) -> ArchSpec {
-    ArchSpec::builder()
-        .subarray(n, n)
-        .hierarchy(4, 4, 8)
-        .cam_kind(if bits > 1 {
-            CamKind::Mcam
-        } else {
-            CamKind::Tcam
-        })
-        .bits_per_cell(bits)
-        .optimization(optimization)
-        .build()
-        .expect("valid paper architecture")
+    fn workload(&self) -> HdcWorkload {
+        HdcWorkload {
+            classes: self.classes,
+            dims: self.dims,
+            queries: self.queries,
+            flip_rate: self.flip_rate,
+            seed: self.seed,
+        }
+    }
+
+    fn experiment_on<'w>(&self, workload: &'w HdcWorkload) -> Experiment<'w> {
+        Experiment::new(workload)
+            .arch(self.spec.clone())
+            .wta_window(self.wta_window)
+            .canonicalize(self.canonicalize)
+    }
 }
 
 /// Run the HDC workload through the full pipeline onto the simulator.
 ///
 /// # Errors
 /// Propagates compile and execution failures.
+#[deprecated(note = "use `Experiment::new(&HdcWorkload { .. })` instead")]
 pub fn run_hdc(config: &HdcConfig) -> Result<RunOutcome, DriverError> {
-    run_hdc_with_engine(config, Engine::default())
+    let workload = config.workload();
+    config.experiment_on(&workload).run()
 }
 
-/// [`run_hdc`] with an explicit execution engine (the default everywhere
-/// else is [`Engine::Tape`]; `Engine::Walk` runs the tree-walking
-/// reference oracle).
+/// [`run_hdc`] with an explicit execution engine.
 ///
 /// # Errors
 /// Propagates compile and execution failures.
+#[deprecated(note = "use `Experiment::new(..).engine(..)` instead")]
 pub fn run_hdc_with_engine(config: &HdcConfig, engine: Engine) -> Result<RunOutcome, DriverError> {
-    let model = HdcModel::random(
-        config.classes,
-        config.dims,
-        config.spec.bits_per_cell,
-        config.seed,
-    );
-    let (queries, labels) = model.queries(config.queries, config.flip_rate, config.seed);
-    let mut module = Module::new();
-    torch::build_hdc_dot_with(
-        &mut module,
-        config.queries as i64,
-        config.classes as i64,
-        config.dims as i64,
-        1,
-        true,
-    );
-    run_similarity_module(
-        module,
-        "forward",
-        &config.spec,
-        model.class_hvs().clone(),
-        queries,
-        labels,
-        config.classes,
-        config.dims,
-        config.queries,
-        RunKnobs {
-            wta_window: config.wta_window,
-            canonicalize: config.canonicalize,
-            tech: None,
-            engine,
-        },
-    )
+    let workload = config.workload();
+    config.experiment_on(&workload).engine(engine).run()
 }
 
-/// Extra execution knobs threaded from the experiment configs.
-#[derive(Debug, Clone, Default)]
-struct RunKnobs {
-    wta_window: Option<u32>,
-    canonicalize: bool,
-    tech: Option<c4cam_arch::tech::TechnologyModel>,
-    engine: Engine,
-}
-
-/// [`run_hdc`] with an explicit technology model (the paper's
-/// retargetability claim: compare CAM technologies without touching the
-/// application).
+/// [`run_hdc`] with an explicit technology model.
 ///
 /// # Errors
 /// Propagates compile and execution failures.
+#[deprecated(note = "use `Experiment::new(..).tech(..)` instead")]
 pub fn run_hdc_with_tech(
     config: &HdcConfig,
-    tech: c4cam_arch::tech::TechnologyModel,
+    tech: TechnologyModel,
 ) -> Result<RunOutcome, DriverError> {
-    let model = HdcModel::random(
-        config.classes,
-        config.dims,
-        config.spec.bits_per_cell,
-        config.seed,
-    );
-    let (queries, labels) = model.queries(config.queries, config.flip_rate, config.seed);
-    let mut module = Module::new();
-    torch::build_hdc_dot_with(
-        &mut module,
-        config.queries as i64,
-        config.classes as i64,
-        config.dims as i64,
-        1,
-        true,
-    );
-    run_similarity_module(
-        module,
-        "forward",
-        &config.spec,
-        model.class_hvs().clone(),
-        queries,
-        labels,
-        config.classes,
-        config.dims,
-        config.queries,
-        RunKnobs {
-            wta_window: config.wta_window,
-            canonicalize: config.canonicalize,
-            tech: Some(tech),
-            engine: Engine::default(),
-        },
-    )
+    let workload = config.workload();
+    config.experiment_on(&workload).tech(tech).run()
 }
 
-/// KNN experiment configuration.
+/// KNN experiment configuration (legacy; superseded by
+/// [`KnnWorkload`] + [`Experiment`]).
 #[derive(Debug, Clone)]
 pub struct KnnConfig {
     /// Architecture to compile for.
@@ -323,6 +628,17 @@ impl KnnConfig {
             seed: 7,
         }
     }
+
+    fn workload(&self) -> KnnWorkload {
+        KnnWorkload {
+            patterns: self.patterns,
+            dims: self.dims,
+            queries: self.queries,
+            k: self.k,
+            noise: self.noise,
+            seed: self.seed,
+        }
+    }
 }
 
 /// Run the KNN workload (batched queries enter at the fused `cim`
@@ -330,157 +646,46 @@ impl KnnConfig {
 ///
 /// # Errors
 /// Propagates compile and execution failures.
+#[deprecated(note = "use `Experiment::new(&KnnWorkload { .. })` instead")]
 pub fn run_knn(config: &KnnConfig) -> Result<RunOutcome, DriverError> {
-    run_knn_with_engine(config, Engine::default())
+    let workload = config.workload();
+    Experiment::new(&workload).arch(config.spec.clone()).run()
 }
 
 /// [`run_knn`] with an explicit execution engine.
 ///
 /// # Errors
 /// Propagates compile and execution failures.
+#[deprecated(note = "use `Experiment::new(..).engine(..)` instead")]
 pub fn run_knn_with_engine(config: &KnnConfig, engine: Engine) -> Result<RunOutcome, DriverError> {
-    let data = KnnDataset::synthetic(
-        config.patterns,
-        config.dims,
-        2,
-        config.queries,
-        config.noise,
-        config.seed,
-    );
-    let mut module = Module::new();
-    cim::build_similarity_kernel(
-        &mut module,
-        "knn",
-        "eucl",
-        config.patterns as i64,
-        config.dims as i64,
-        config.queries as i64,
-        config.k as i64,
-        false, // smallest distances
-    );
-    // Ground truth: nearest stored pattern per query (top-1 of the CPU
-    // reference).
-    let labels: Vec<usize> = (0..config.queries)
-        .map(|q| data.nearest_cpu(q, 1)[0])
-        .collect();
-    run_similarity_module(
-        module,
-        "knn",
-        &config.spec,
-        data.train.clone(),
-        data.queries.clone(),
-        labels,
-        config.patterns,
-        config.dims,
-        config.queries,
-        RunKnobs {
-            engine,
-            ..RunKnobs::default()
-        },
-    )
-}
-
-/// Compile `module` for `spec`, execute on a fresh machine, and collect
-/// phase-separated statistics.
-#[allow(clippy::too_many_arguments)]
-fn run_similarity_module(
-    module: Module,
-    func: &str,
-    spec: &ArchSpec,
-    stored: Tensor,
-    queries: Tensor,
-    labels: Vec<usize>,
-    stored_rows: usize,
-    dims: usize,
-    nq: usize,
-    knobs: RunKnobs,
-) -> Result<RunOutcome, DriverError> {
-    let placement = place(
-        spec,
-        &MappingProblem {
-            stored_rows,
-            feature_dims: dims,
-            queries: nq,
-        },
-    )
-    .map_err(derr)?;
-    let compiled = C4camPipeline::new(spec.clone())
-        .with_options(c4cam_core::pipeline::PipelineOptions {
-            canonicalize: knobs.canonicalize,
-            ..Default::default()
-        })
-        .compile(module)
-        .map_err(derr)?;
-    let mut machine = match knobs.tech {
-        Some(ref tech) => CamMachine::with_tech(spec, tech.clone()),
-        None => CamMachine::new(spec),
-    };
-    machine.set_wta_window(knobs.wta_window);
-    // HDC input order is (queries, stored); the cim-level KNN kernel is
-    // (stored, queries). Detect by the function's first arg type.
-    let m = &compiled.module;
-    let func_op = m
-        .lookup_symbol(func)
-        .ok_or_else(|| derr(format!("missing function {func}")))?;
-    let entry = m.op(func_op).regions[0][0];
-    let first_arg_rows = m
-        .kind(m.value_type(m.block(entry).args[0]))
-        .shape()
-        .map(|s| s[0])
-        .unwrap_or(0);
-    let args = if first_arg_rows == nq as i64 && nq != stored_rows {
-        vec![Value::Tensor(queries), Value::Tensor(stored)]
-    } else {
-        vec![Value::Tensor(stored), Value::Tensor(queries)]
-    };
-    let out = match knobs.engine {
-        Engine::Walk => Executor::with_machine(&compiled.module, &mut machine)
-            .run(func, &args)
-            .map_err(derr)?,
-        Engine::Tape => Tape::compile(&compiled.module, func)
-            .map_err(derr)?
-            .run(&mut machine, &args)
-            .map_err(derr)?,
-    };
-    let indices = out
-        .get(1)
-        .and_then(Value::as_tensor)
-        .ok_or_else(|| derr("kernel returned no indices"))?;
-    let predictions: Vec<usize> = (0..nq)
-        .map(|q| indices.data()[q * indices.len() / nq.max(1)] as usize)
-        .collect();
-    let total = machine.stats();
-    let setup = machine.phase("setup-complete").cloned().unwrap_or_default();
-    let query_phase = total.delta(&setup);
-    Ok(RunOutcome {
-        total,
-        setup,
-        query_phase,
-        predictions,
-        labels,
-        placement,
-        queries: nq,
-    })
+    let workload = config.workload();
+    Experiment::new(&workload)
+        .arch(config.spec.clone())
+        .engine(engine)
+        .run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn hdc_driver_runs_and_classifies() {
-        let spec = paper_arch(32, Optimization::Base, 1);
-        let config = HdcConfig {
-            spec,
+    fn small_hdc() -> HdcWorkload {
+        HdcWorkload {
             classes: 4,
             dims: 256,
             queries: 8,
             flip_rate: 0.05,
             seed: 1,
-            wta_window: None,
-            canonicalize: false,
-        };
-        let out = run_hdc(&config).unwrap();
+        }
+    }
+
+    #[test]
+    fn hdc_experiment_runs_and_classifies() {
+        let hdc = small_hdc();
+        let out = Experiment::new(&hdc)
+            .arch(paper_arch(32, Optimization::Base, 1))
+            .run()
+            .unwrap();
         assert_eq!(out.predictions.len(), 8);
         assert!(out.accuracy() > 0.9, "accuracy {}", out.accuracy());
         assert!(out.query_phase.latency_ns > 0.0);
@@ -492,14 +697,8 @@ mod tests {
     }
 
     #[test]
-    fn knn_driver_matches_cpu_nearest() {
-        let spec = ArchSpec::builder()
-            .subarray(16, 16)
-            .hierarchy(2, 2, 4)
-            .build()
-            .unwrap();
-        let config = KnnConfig {
-            spec,
+    fn knn_experiment_matches_cpu_nearest() {
+        let knn = KnnWorkload {
             patterns: 48,
             dims: 64,
             queries: 6,
@@ -507,25 +706,86 @@ mod tests {
             noise: 0.1,
             seed: 3,
         };
-        let out = run_knn(&config).unwrap();
+        let spec = ArchSpec::builder()
+            .subarray(16, 16)
+            .hierarchy(2, 2, 4)
+            .build()
+            .unwrap();
+        let out = Experiment::new(&knn).arch(spec).run().unwrap();
         assert_eq!(out.accuracy(), 1.0, "CAM top-1 must equal CPU top-1");
     }
 
     #[test]
-    fn walk_and_tape_engines_agree_on_outcome_and_stats() {
+    fn dtree_experiment_matches_cpu_nearest_path() {
+        let dtree = c4cam_workloads::DtreeWorkload::new(8, 3, 4, 5, 77);
+        let spec = ArchSpec::builder()
+            .subarray(16, 16)
+            .hierarchy(2, 2, 4)
+            .bits_per_cell(2)
+            .cam_kind(CamKind::Mcam)
+            .build()
+            .unwrap();
+        let out = Experiment::new(&dtree).arch(spec).run().unwrap();
+        assert_eq!(out.accuracy(), 1.0, "CAM nearest path must equal CPU");
+    }
+
+    #[test]
+    fn hdc_arg_order_is_correct_when_queries_equal_classes() {
+        // Regression: the pre-Experiment driver bound kernel arguments
+        // by a shape heuristic that was ambiguous when the query count
+        // equalled the stored-row count, transposing the similarity
+        // matrix. The workload now declares its argument order, so the
+        // device must reproduce the CPU dot-argmax reference even at
+        // queries == classes with heavy noise (where labels no longer
+        // coincide with q % classes).
+        let hdc = HdcWorkload {
+            classes: 4,
+            dims: 128,
+            queries: 4,
+            flip_rate: 0.9,
+            seed: 11,
+        };
         let spec = paper_arch(16, Optimization::Base, 1);
-        let config = HdcConfig {
-            spec,
+        let out = Experiment::new(&hdc).arch(spec.clone()).run().unwrap();
+        let inputs = hdc.inputs(&spec);
+        let cpu: Vec<usize> = (0..4)
+            .map(|q| {
+                let qr = inputs.queries.row(q).unwrap();
+                let dot = |c: usize| -> f64 {
+                    inputs
+                        .stored
+                        .row(c)
+                        .unwrap()
+                        .iter()
+                        .zip(qr)
+                        .map(|(&s, &x)| f64::from(s) * f64::from(x))
+                        .sum()
+                };
+                // First-index-wins argmax, matching the device's top-1.
+                let mut best = 0usize;
+                for c in 1..4 {
+                    if dot(c) > dot(best) {
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect();
+        assert_eq!(out.predictions, cpu, "device must match CPU dot-argmax");
+    }
+
+    #[test]
+    fn walk_and_tape_engines_agree_on_outcome_and_stats() {
+        let hdc = HdcWorkload {
             classes: 4,
             dims: 128,
             queries: 6,
             flip_rate: 0.05,
             seed: 9,
-            wta_window: None,
-            canonicalize: false,
         };
-        let walk = run_hdc_with_engine(&config, Engine::Walk).unwrap();
-        let tape = run_hdc_with_engine(&config, Engine::Tape).unwrap();
+        let exp = Experiment::new(&hdc).arch(paper_arch(16, Optimization::Base, 1));
+        let walk = exp.clone().engine(Engine::Walk).run().unwrap();
+        let tape = exp.engine(Engine::Tape).run().unwrap();
         assert_eq!(walk.predictions, tape.predictions);
         assert_eq!(walk.total, tape.total);
         assert_eq!(walk.setup, tape.setup);
@@ -533,41 +793,90 @@ mod tests {
     }
 
     #[test]
-    fn knn_engines_agree() {
+    fn threaded_experiment_reproduces_sequential_outputs() {
+        let hdc = small_hdc();
+        let exp = Experiment::new(&hdc).arch(paper_arch(32, Optimization::Base, 1));
+        let seq = exp.clone().run().unwrap();
+        let par = exp.threads(4).run().unwrap();
+        assert_eq!(seq.predictions, par.predictions);
+        assert_eq!(seq.query_phase.search_ops, par.query_phase.search_ops);
+        assert!(
+            (seq.query_phase.latency_ns - par.query_phase.latency_ns).abs()
+                <= 1e-6 * seq.query_phase.latency_ns.max(1.0)
+        );
+    }
+
+    #[test]
+    fn zero_threads_is_a_config_error() {
+        let hdc = small_hdc();
+        let e = Experiment::new(&hdc).threads(0).run().unwrap_err();
+        assert!(matches!(e, DriverError::Config(_)), "{e}");
+        assert_eq!(e.stage(), "config");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn threaded_walker_is_a_config_error() {
+        let hdc = small_hdc();
+        let e = Experiment::new(&hdc)
+            .engine(Engine::Walk)
+            .threads(2)
+            .run()
+            .unwrap_err();
+        assert!(matches!(e, DriverError::Config(_)), "{e}");
+    }
+
+    #[test]
+    fn place_failure_preserves_source_and_stage() {
+        let hdc = small_hdc();
+        // A fixed bank count far too small for the problem.
         let spec = ArchSpec::builder()
             .subarray(16, 16)
-            .hierarchy(2, 2, 4)
+            .hierarchy(1, 1, 1)
+            .banks(1)
             .build()
             .unwrap();
-        let config = KnnConfig {
-            spec,
-            patterns: 32,
-            dims: 48,
-            queries: 4,
-            k: 1,
-            noise: 0.1,
-            seed: 3,
+        let big = HdcWorkload {
+            classes: 512,
+            dims: 4096,
+            ..hdc
         };
-        let walk = run_knn_with_engine(&config, Engine::Walk).unwrap();
-        let tape = run_knn_with_engine(&config, Engine::Tape).unwrap();
-        assert_eq!(walk.predictions, tape.predictions);
-        assert_eq!(walk.total, tape.total);
+        let e = Experiment::new(&big).arch(spec).run().unwrap_err();
+        assert_eq!(e.stage(), "place", "{e}");
+        assert!(e.source().is_some(), "cause must be preserved");
+        let wrapped = e.at_grid_point("16x16/latency/default/1b");
+        assert_eq!(wrapped.stage(), "place", "variant preserved");
+        assert!(
+            wrapped.to_string().contains("grid point [16x16"),
+            "{wrapped}"
+        );
+        // The original cause is still on the chain.
+        assert!(wrapped.source().unwrap().source().is_some());
+    }
+
+    #[test]
+    fn engine_parses_via_fromstr_and_from_keyword_delegates() {
+        assert_eq!("walk".parse::<Engine>().unwrap(), Engine::Walk);
+        assert_eq!("tape".parse::<Engine>().unwrap(), Engine::Tape);
+        assert_eq!(Engine::from_keyword("walk"), Some(Engine::Walk));
+        assert_eq!(Engine::from_keyword("jit"), None);
+        let e = "jit".parse::<Engine>().unwrap_err();
+        assert_eq!(e.to_string(), "unknown engine 'jit' (expected walk|tape)");
     }
 
     #[test]
     fn scaled_query_phase_is_linear() {
-        let spec = paper_arch(32, Optimization::Base, 1);
-        let config = HdcConfig {
-            spec,
+        let hdc = HdcWorkload {
             classes: 4,
             dims: 256,
             queries: 4,
             flip_rate: 0.0,
             seed: 1,
-            wta_window: None,
-            canonicalize: false,
         };
-        let out = run_hdc(&config).unwrap();
+        let out = Experiment::new(&hdc)
+            .arch(paper_arch(32, Optimization::Base, 1))
+            .run()
+            .unwrap();
         let scaled = out.scaled_query_phase(8);
         assert!((scaled.latency_ns - 2.0 * out.query_phase.latency_ns).abs() < 1e-6);
         // Power is invariant under scaling.
@@ -576,33 +885,72 @@ mod tests {
 
     #[test]
     fn power_config_increases_latency_not_energy() {
-        let base = run_hdc(&HdcConfig {
-            spec: paper_arch(32, Optimization::Base, 1),
+        let hdc = HdcWorkload {
             classes: 8,
             dims: 1024,
             queries: 4,
             flip_rate: 0.0,
             seed: 5,
-            wta_window: None,
-            canonicalize: false,
-        })
-        .unwrap();
-        let power = run_hdc(&HdcConfig {
-            spec: paper_arch(32, Optimization::Power, 1),
-            classes: 8,
-            dims: 1024,
-            queries: 4,
-            flip_rate: 0.0,
-            seed: 5,
-            wta_window: None,
-            canonicalize: false,
-        })
-        .unwrap();
+        };
+        let base = Experiment::new(&hdc)
+            .arch(paper_arch(32, Optimization::Base, 1))
+            .run()
+            .unwrap();
+        let power = Experiment::new(&hdc)
+            .arch(paper_arch(32, Optimization::Power, 1))
+            .run()
+            .unwrap();
         assert!(
             power.query_phase.latency_ns > base.query_phase.latency_ns * 1.5,
             "power config must serialize subarrays"
         );
         assert!(power.query_phase.power_w() < base.query_phase.power_w());
         assert_eq!(base.predictions, power.predictions);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_route_through_the_builder() {
+        let config = HdcConfig {
+            spec: paper_arch(16, Optimization::Base, 1),
+            classes: 4,
+            dims: 128,
+            queries: 4,
+            flip_rate: 0.05,
+            seed: 9,
+            wta_window: None,
+            canonicalize: false,
+        };
+        let shim = run_hdc(&config).unwrap();
+        let hdc = HdcWorkload {
+            classes: 4,
+            dims: 128,
+            queries: 4,
+            flip_rate: 0.05,
+            seed: 9,
+        };
+        let direct = Experiment::new(&hdc)
+            .arch(config.spec.clone())
+            .run()
+            .unwrap();
+        assert_eq!(shim.predictions, direct.predictions);
+        assert_eq!(shim.total, direct.total);
+        let knn_cfg = KnnConfig {
+            spec: ArchSpec::builder()
+                .subarray(16, 16)
+                .hierarchy(2, 2, 4)
+                .build()
+                .unwrap(),
+            patterns: 32,
+            dims: 48,
+            queries: 4,
+            k: 1,
+            noise: 0.1,
+            seed: 3,
+        };
+        let walk = run_knn_with_engine(&knn_cfg, Engine::Walk).unwrap();
+        let tape = run_knn_with_engine(&knn_cfg, Engine::Tape).unwrap();
+        assert_eq!(walk.predictions, tape.predictions);
+        assert_eq!(walk.total, tape.total);
     }
 }

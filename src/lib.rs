@@ -31,3 +31,4 @@ pub use c4cam_workloads as workloads;
 
 pub mod cli;
 pub mod driver;
+pub mod sweep;

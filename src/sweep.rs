@@ -1,0 +1,623 @@
+//! Design-space exploration on top of the [`Experiment`] builder
+//! (paper §IV-C): a [`SweepPlan`] expands a grid over subarray geometry
+//! × [`Optimization`] configuration × CAM technology × bits-per-cell,
+//! runs every grid point through the same compiled pipeline, and
+//! reports the results as a table, CSV, or JSON — optionally filtered
+//! to the latency/energy/area Pareto frontier.
+//!
+//! ```no_run
+//! use c4cam::sweep::SweepPlan;
+//! use c4cam::workloads::HdcWorkload;
+//!
+//! let hdc = HdcWorkload::paper(16);
+//! let outcome = SweepPlan::new(&hdc).run().unwrap();
+//! println!("{}", outcome.to_table(false));
+//! ```
+//!
+//! The `c4cam sweep` subcommand and the `design_space_exploration`
+//! example are both thin wrappers over this module.
+
+use crate::driver::{DriverError, Engine, Experiment, RunOutcome};
+use c4cam_arch::tech::TechnologyModel;
+use c4cam_arch::{ArchSpec, Optimization};
+use c4cam_workloads::Workload;
+use std::fmt;
+
+/// One coordinate of the sweep grid: everything that varies between
+/// grid points. The technology is carried by value (`None` = the
+/// spec's default model) so a [`GridPoint`] fully determines its run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// Subarray geometry `(rows, cols)`.
+    pub subarray: (usize, usize),
+    /// Mapping optimization configuration.
+    pub optimization: Optimization,
+    /// Technology name (`"default"` when [`GridPoint::tech`] is
+    /// `None`).
+    pub tech_name: String,
+    /// Explicit technology model, if any.
+    pub tech: Option<TechnologyModel>,
+    /// Bits per cell (1 = TCAM, >1 = MCAM).
+    pub bits_per_cell: u32,
+}
+
+impl GridPoint {
+    /// Build the architecture for this grid point (the CAM kind
+    /// follows the cell width, as in [`crate::driver::paper_arch`]).
+    fn spec(&self, hierarchy: (usize, usize, usize)) -> Result<ArchSpec, DriverError> {
+        crate::driver::build_arch(
+            self.subarray,
+            hierarchy,
+            self.optimization,
+            self.bits_per_cell,
+        )
+        .map_err(|e| DriverError::Config(format!("grid point [{self}]: {e}")))
+    }
+}
+
+impl fmt::Display for GridPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}/{}/{}/{}b",
+            self.subarray.0,
+            self.subarray.1,
+            self.optimization.keyword(),
+            self.tech_name,
+            self.bits_per_cell
+        )
+    }
+}
+
+/// A grid point together with its simulated outcome.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The configuration that was run.
+    pub grid: GridPoint,
+    /// The full experiment outcome (placement, stats, predictions).
+    pub outcome: RunOutcome,
+}
+
+impl SweepPoint {
+    /// Query-phase latency per query, ns.
+    pub fn latency_per_query_ns(&self) -> f64 {
+        self.outcome.latency_per_query_ns()
+    }
+
+    /// Query-phase energy per query, pJ.
+    pub fn energy_per_query_pj(&self) -> f64 {
+        self.outcome.energy_per_query_pj()
+    }
+
+    /// Query-phase power, mW.
+    pub fn power_mw(&self) -> f64 {
+        self.outcome.query_phase.power_mw()
+    }
+
+    /// Provisioned CAM area in cells (physical subarrays × rows ×
+    /// cols) — the area proxy of the Pareto filter. A calibrated
+    /// µm²-per-cell model would only rescale this per technology.
+    pub fn area_cells(&self) -> u64 {
+        (self.outcome.placement.physical_subarrays * self.grid.subarray.0 * self.grid.subarray.1)
+            as u64
+    }
+
+    /// The `(latency, energy, area)` objective vector the Pareto
+    /// filter minimizes.
+    pub fn objectives(&self) -> [f64; 3] {
+        [
+            self.latency_per_query_ns(),
+            self.energy_per_query_pj(),
+            self.area_cells() as f64,
+        ]
+    }
+}
+
+/// Indices of the Pareto-optimal points of `objectives` (all axes
+/// minimized): a point survives unless some other point is no worse on
+/// every axis and strictly better on at least one. Duplicate objective
+/// vectors all survive. Indices come back in input order.
+pub fn pareto_indices(objectives: &[[f64; 3]]) -> Vec<usize> {
+    let dominates = |a: &[f64; 3], b: &[f64; 3]| {
+        a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+    };
+    (0..objectives.len())
+        .filter(|&i| {
+            !objectives
+                .iter()
+                .enumerate()
+                .any(|(j, o)| j != i && dominates(o, &objectives[i]))
+        })
+        .collect()
+}
+
+/// Results of a sweep: every grid point's outcome plus the computed
+/// Pareto frontier.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Workload name the sweep ran on.
+    pub workload: String,
+    /// One entry per grid point, in grid expansion order.
+    pub points: Vec<SweepPoint>,
+    /// Indices into [`SweepOutcome::points`] on the
+    /// latency/energy/area Pareto frontier, ascending.
+    pub pareto: Vec<usize>,
+}
+
+impl SweepOutcome {
+    /// Whether point `i` is on the Pareto frontier.
+    pub fn is_pareto(&self, i: usize) -> bool {
+        self.pareto.binary_search(&i).is_ok()
+    }
+
+    /// The Pareto-optimal points, in grid order.
+    pub fn pareto_points(&self) -> Vec<&SweepPoint> {
+        self.pareto.iter().map(|&i| &self.points[i]).collect()
+    }
+
+    fn selected(&self, pareto_only: bool) -> Vec<usize> {
+        if pareto_only {
+            self.pareto.clone()
+        } else {
+            (0..self.points.len()).collect()
+        }
+    }
+
+    /// Render as an aligned text table (`pareto_only` keeps frontier
+    /// points only; otherwise frontier membership is flagged).
+    pub fn to_table(&self, pareto_only: bool) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>9} {:<14} {:<12} {:>4} {:>10} {:>6} {:>13} {:>12} {:>11} {:>12} {:>7}\n",
+            "workload",
+            "subarray",
+            "optimization",
+            "technology",
+            "bits",
+            "subarrays",
+            "banks",
+            "lat/query ns",
+            "E/query pJ",
+            "power mW",
+            "area cells",
+            "pareto"
+        ));
+        for i in self.selected(pareto_only) {
+            let p = &self.points[i];
+            out.push_str(&format!(
+                "{:<10} {:>9} {:<14} {:<12} {:>4} {:>10} {:>6} {:>13.2} {:>12.2} {:>11.3} {:>12} {:>7}\n",
+                self.workload,
+                format!("{}x{}", p.grid.subarray.0, p.grid.subarray.1),
+                p.grid.optimization.keyword(),
+                p.grid.tech_name,
+                p.grid.bits_per_cell,
+                p.outcome.placement.physical_subarrays,
+                p.outcome.placement.banks,
+                p.latency_per_query_ns(),
+                p.energy_per_query_pj(),
+                p.power_mw(),
+                p.area_cells(),
+                if self.is_pareto(i) { "*" } else { "" }
+            ));
+        }
+        out
+    }
+
+    /// Render as CSV (stable header; one row per selected point).
+    pub fn to_csv(&self, pareto_only: bool) -> String {
+        let mut out = String::from(
+            "workload,subarray_rows,subarray_cols,optimization,technology,bits_per_cell,\
+             physical_subarrays,banks,latency_per_query_ns,energy_per_query_pj,power_mw,\
+             area_cells,accuracy,pareto\n",
+        );
+        for i in self.selected(pareto_only) {
+            let p = &self.points[i];
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                self.workload,
+                p.grid.subarray.0,
+                p.grid.subarray.1,
+                p.grid.optimization.keyword(),
+                p.grid.tech_name,
+                p.grid.bits_per_cell,
+                p.outcome.placement.physical_subarrays,
+                p.outcome.placement.banks,
+                json_f64(p.latency_per_query_ns()),
+                json_f64(p.energy_per_query_pj()),
+                json_f64(p.power_mw()),
+                p.area_cells(),
+                json_f64(p.outcome.accuracy()),
+                self.is_pareto(i)
+            ));
+        }
+        out
+    }
+
+    /// Render as a JSON object (reuses the `--format json` stats
+    /// plumbing: each point embeds its query phase as
+    /// [`c4cam_camsim::ExecStats::to_json`]).
+    pub fn to_json(&self, pareto_only: bool) -> String {
+        let points: Vec<String> = self
+            .selected(pareto_only)
+            .into_iter()
+            .map(|i| {
+                let p = &self.points[i];
+                format!(
+                    concat!(
+                        "{{\"subarray_rows\":{},\"subarray_cols\":{},",
+                        "\"optimization\":\"{}\",\"technology\":\"{}\",\"bits_per_cell\":{},",
+                        "\"physical_subarrays\":{},\"banks\":{},",
+                        "\"latency_per_query_ns\":{},\"energy_per_query_pj\":{},",
+                        "\"power_mw\":{},\"area_cells\":{},\"accuracy\":{},",
+                        "\"pareto\":{},\"query_phase\":{}}}"
+                    ),
+                    p.grid.subarray.0,
+                    p.grid.subarray.1,
+                    p.grid.optimization.keyword(),
+                    p.grid.tech_name,
+                    p.grid.bits_per_cell,
+                    p.outcome.placement.physical_subarrays,
+                    p.outcome.placement.banks,
+                    json_f64(p.latency_per_query_ns()),
+                    json_f64(p.energy_per_query_pj()),
+                    json_f64(p.power_mw()),
+                    p.area_cells(),
+                    json_f64(p.outcome.accuracy()),
+                    self.is_pareto(i),
+                    p.outcome.query_phase.to_json()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"workload\":\"{}\",\"points\":[{}]}}",
+            self.workload,
+            points.join(",")
+        )
+    }
+}
+
+/// Format a float as a JSON-safe number (`inf`/`NaN` degrade to
+/// `null`, matching [`c4cam_camsim::ExecStats::to_json`]).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Default square subarray sizes of the §IV-C grid (shared by
+/// [`SweepPlan::new`] and the `c4cam sweep` CLI defaults).
+pub const DEFAULT_SUBARRAY_SIZES: [usize; 5] = [16, 32, 64, 128, 256];
+
+/// Default optimization configurations of the §IV-C grid.
+pub const DEFAULT_OPTIMIZATIONS: [Optimization; 4] = [
+    Optimization::Base,
+    Optimization::Power,
+    Optimization::Density,
+    Optimization::PowerDensity,
+];
+
+/// A design-space sweep over one workload: the grid dimensions with
+/// the §IV-C defaults (square subarrays 16..256, all four optimization
+/// configurations, the spec-default technology, 1 bit per cell, the
+/// paper hierarchy 4 mats × 4 arrays × 8 subarrays).
+#[derive(Clone)]
+pub struct SweepPlan<'w> {
+    workload: &'w dyn Workload,
+    hierarchy: (usize, usize, usize),
+    subarrays: Vec<(usize, usize)>,
+    optimizations: Vec<Optimization>,
+    technologies: Vec<(String, Option<TechnologyModel>)>,
+    bits: Vec<u32>,
+    engine: Engine,
+    threads: usize,
+}
+
+impl fmt::Debug for SweepPlan<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepPlan")
+            .field("workload", &self.workload.name())
+            .field("hierarchy", &self.hierarchy)
+            .field("subarrays", &self.subarrays)
+            .field("optimizations", &self.optimizations)
+            .field(
+                "technologies",
+                &self
+                    .technologies
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .field("bits", &self.bits)
+            .field("engine", &self.engine)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl<'w> SweepPlan<'w> {
+    /// A sweep of `workload` over the paper's §IV-C default grid.
+    pub fn new(workload: &'w dyn Workload) -> SweepPlan<'w> {
+        SweepPlan {
+            workload,
+            hierarchy: (4, 4, 8),
+            subarrays: DEFAULT_SUBARRAY_SIZES.map(|n| (n, n)).to_vec(),
+            optimizations: DEFAULT_OPTIMIZATIONS.to_vec(),
+            technologies: vec![("default".to_string(), None)],
+            bits: vec![1],
+            engine: Engine::default(),
+            threads: 1,
+        }
+    }
+
+    /// Replace the subarray geometries (`(rows, cols)` pairs).
+    pub fn subarrays(mut self, subarrays: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        self.subarrays = subarrays.into_iter().collect();
+        self
+    }
+
+    /// Replace the subarray geometries with `n × n` squares.
+    pub fn square_subarrays(self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        let squares: Vec<(usize, usize)> = sizes.into_iter().map(|n| (n, n)).collect();
+        self.subarrays(squares)
+    }
+
+    /// Replace the optimization configurations.
+    pub fn optimizations(mut self, opts: impl IntoIterator<Item = Optimization>) -> Self {
+        self.optimizations = opts.into_iter().collect();
+        self
+    }
+
+    /// Replace the technologies; `None` selects the spec's default
+    /// model.
+    pub fn technologies(
+        mut self,
+        techs: impl IntoIterator<Item = (String, Option<TechnologyModel>)>,
+    ) -> Self {
+        self.technologies = techs.into_iter().collect();
+        self
+    }
+
+    /// Replace the bits-per-cell values (1 maps to TCAM, >1 to MCAM).
+    pub fn bits(mut self, bits: impl IntoIterator<Item = u32>) -> Self {
+        self.bits = bits.into_iter().collect();
+        self
+    }
+
+    /// Override the hierarchy fan-outs (mats/bank, arrays/mat,
+    /// subarrays/array).
+    pub fn hierarchy(mut self, mats: usize, arrays: usize, subarrays: usize) -> Self {
+        self.hierarchy = (mats, arrays, subarrays);
+        self
+    }
+
+    /// Execution engine for every grid point.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Worker threads for every grid point.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Expand the grid in deterministic order (optimization outermost,
+    /// then subarray, technology, bits — the §IV-C table order).
+    ///
+    /// # Errors
+    /// [`DriverError::Config`] if any grid dimension is empty.
+    pub fn grid(&self) -> Result<Vec<GridPoint>, DriverError> {
+        for (name, len) in [
+            ("subarray geometries", self.subarrays.len()),
+            ("optimizations", self.optimizations.len()),
+            ("technologies", self.technologies.len()),
+            ("bits-per-cell values", self.bits.len()),
+        ] {
+            if len == 0 {
+                return Err(DriverError::Config(format!(
+                    "empty sweep grid: no {name} configured"
+                )));
+            }
+        }
+        let mut grid = Vec::with_capacity(
+            self.subarrays.len()
+                * self.optimizations.len()
+                * self.technologies.len()
+                * self.bits.len(),
+        );
+        for &optimization in &self.optimizations {
+            for &subarray in &self.subarrays {
+                for (tech_name, tech) in &self.technologies {
+                    for &bits_per_cell in &self.bits {
+                        grid.push(GridPoint {
+                            subarray,
+                            optimization,
+                            tech_name: tech_name.clone(),
+                            tech: tech.clone(),
+                            bits_per_cell,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(grid)
+    }
+
+    /// Run every grid point through the [`Experiment`] builder and
+    /// compute the Pareto frontier.
+    ///
+    /// # Errors
+    /// [`DriverError::Config`] for empty grids or invalid thread
+    /// counts; any grid point's failure is reported with the point and
+    /// the failing stage, with the cause chain preserved.
+    pub fn run(&self) -> Result<SweepOutcome, DriverError> {
+        if self.threads == 0 {
+            return Err(DriverError::Config(
+                "threads must be >= 1 (got 0)".to_string(),
+            ));
+        }
+        let grid = self.grid()?;
+        let mut points = Vec::with_capacity(grid.len());
+        for gp in grid {
+            let spec = gp.spec(self.hierarchy)?;
+            let mut experiment = Experiment::new(self.workload)
+                .arch(spec)
+                .engine(self.engine)
+                .threads(self.threads);
+            if let Some(tech) = &gp.tech {
+                experiment = experiment.tech(tech.clone());
+            }
+            let outcome = experiment.run().map_err(|e| e.at_grid_point(&gp))?;
+            points.push(SweepPoint { grid: gp, outcome });
+        }
+        let objectives: Vec<[f64; 3]> = points.iter().map(SweepPoint::objectives).collect();
+        let pareto = pareto_indices(&objectives);
+        Ok(SweepOutcome {
+            workload: self.workload.name().to_string(),
+            points,
+            pareto,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4cam_workloads::HdcWorkload;
+
+    fn tiny_hdc() -> HdcWorkload {
+        HdcWorkload {
+            classes: 4,
+            dims: 64,
+            queries: 4,
+            flip_rate: 0.0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn grid_expansion_is_the_full_cross_product_in_order() {
+        let w = tiny_hdc();
+        let plan = SweepPlan::new(&w)
+            .square_subarrays([16, 32])
+            .optimizations([Optimization::Base, Optimization::Power])
+            .bits([1, 2]);
+        let grid = plan.grid().unwrap();
+        // 2 opts × 2 subarrays × 1 tech × 2 bit widths.
+        assert_eq!(grid.len(), 8);
+        // Optimization outermost, then subarray, tech, bits.
+        assert_eq!(grid[0].subarray, (16, 16));
+        assert_eq!(grid[0].optimization, Optimization::Base);
+        assert_eq!(grid[0].bits_per_cell, 1);
+        assert_eq!(grid[1].bits_per_cell, 2);
+        assert_eq!(grid[2].subarray, (32, 32));
+        assert_eq!(grid[4].optimization, Optimization::Power);
+        assert_eq!(grid[0].to_string(), "16x16/latency/default/1b");
+    }
+
+    #[test]
+    fn empty_grid_dimensions_fail_up_front() {
+        let w = tiny_hdc();
+        let e = SweepPlan::new(&w)
+            .square_subarrays(std::iter::empty())
+            .grid()
+            .unwrap_err();
+        assert!(matches!(e, DriverError::Config(_)), "{e}");
+        assert!(e.to_string().contains("empty sweep grid"), "{e}");
+        let e = SweepPlan::new(&w)
+            .bits(std::iter::empty())
+            .run()
+            .unwrap_err();
+        assert!(e.to_string().contains("no bits-per-cell"), "{e}");
+        let e = SweepPlan::new(&w).threads(0).run().unwrap_err();
+        assert!(matches!(e, DriverError::Config(_)), "{e}");
+    }
+
+    #[test]
+    fn pareto_filter_on_a_fixed_3_point_frontier() {
+        // p0 and p2 trade latency against energy (both optimal);
+        // p1 is dominated by p0 on every axis.
+        let objectives = [
+            [1.0, 5.0, 10.0], // p0: fastest
+            [2.0, 6.0, 10.0], // p1: strictly worse than p0
+            [3.0, 1.0, 10.0], // p2: most energy-efficient
+        ];
+        assert_eq!(pareto_indices(&objectives), vec![0, 2]);
+        // Ties on every axis: both survive.
+        assert_eq!(
+            pareto_indices(&[[1.0, 1.0, 1.0], [1.0, 1.0, 1.0]]),
+            vec![0, 1]
+        );
+        // A single point is trivially optimal; empty input is empty.
+        assert_eq!(pareto_indices(&[[4.0, 4.0, 4.0]]), vec![0]);
+        assert_eq!(pareto_indices(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn sweep_runs_and_flags_the_frontier() {
+        let w = tiny_hdc();
+        let outcome = SweepPlan::new(&w)
+            .square_subarrays([16, 32])
+            .optimizations([Optimization::Base, Optimization::Power])
+            .hierarchy(2, 2, 4)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.points.len(), 4);
+        assert!(!outcome.pareto.is_empty(), "frontier cannot be empty");
+        // cam-power at the same geometry is strictly slower at equal
+        // area, so the base point dominates it unless energy differs in
+        // power's favor — either way the frontier is a strict subset
+        // here (power trades latency for nothing at this tiny scale).
+        assert!(outcome.pareto.len() <= outcome.points.len());
+        for &i in &outcome.pareto {
+            assert!(outcome.is_pareto(i));
+        }
+        // Renderers agree on the row count.
+        let csv = outcome.to_csv(false);
+        assert_eq!(csv.lines().count(), 1 + 4, "{csv}");
+        assert!(csv.starts_with("workload,subarray_rows"), "{csv}");
+        let csv_pareto = outcome.to_csv(true);
+        assert_eq!(csv_pareto.lines().count(), 1 + outcome.pareto.len());
+        let json = outcome.to_json(false);
+        assert!(json.starts_with("{\"workload\":\"hdc\""), "{json}");
+        assert!(json.contains("\"query_phase\":{"), "{json}");
+        let table = outcome.to_table(false);
+        assert_eq!(table.lines().count(), 1 + 4);
+        assert!(table.contains("16x16"), "{table}");
+    }
+
+    #[test]
+    fn sweep_point_failure_names_the_grid_point_and_stage() {
+        // An out-of-range cell width fails spec validation at that
+        // grid point; the error names the point.
+        let w = tiny_hdc();
+        let e = SweepPlan::new(&w)
+            .square_subarrays([16])
+            .optimizations([Optimization::Base])
+            .bits([5])
+            .run()
+            .unwrap_err();
+        assert_eq!(e.stage(), "config");
+        assert!(
+            e.to_string()
+                .contains("grid point [16x16/latency/default/5b]"),
+            "{e}"
+        );
+        // A zero-query workload fails inside the experiment and comes
+        // back tagged with the grid point it died at.
+        let empty = HdcWorkload {
+            queries: 0,
+            ..tiny_hdc()
+        };
+        let e = SweepPlan::new(&empty)
+            .square_subarrays([16])
+            .optimizations([Optimization::Base])
+            .run()
+            .unwrap_err();
+        assert!(e.to_string().contains("grid point ["), "{e}");
+        assert!(e.to_string().contains("has no queries"), "{e}");
+    }
+}

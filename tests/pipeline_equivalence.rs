@@ -274,50 +274,15 @@ fn wta_window_preserves_results_when_wide_enough() {
 
 #[test]
 fn dtree_workload_engines_agree() {
-    // The decision-tree workload, expressed as nearest-path-row
-    // retrieval: each root-to-leaf path becomes a stored row of interval
-    // midpoints (don't-care features sit at the domain center), and a
-    // sample classifies by minimum Euclidean distance. Features are
-    // quantized to the 2-bit MCAM level grid so the host reference and
-    // the (exact multi-bit Euclidean) device agree. This exercises the
-    // eucl metric, multi-bit cells, and k=1 reduction through both
-    // engines.
-    use c4cam::workloads::DecisionTree;
-    let quant = |v: f32| (v.clamp(0.0, 1.0) * 3.0).round();
-    let tree = DecisionTree::random(8, 3, 4, 77);
-    let rows = tree.to_rows();
-    let features = tree.features;
-    let mut stored = Vec::with_capacity(rows.len() * features);
-    for row in &rows {
-        for iv in &row.intervals {
-            stored.push(quant(match iv {
-                Some((lo, hi)) => (lo + hi) / 2.0,
-                None => 0.5,
-            }));
-        }
-    }
-    let stored = Tensor::from_vec(vec![rows.len(), features], stored).unwrap();
-    let samples = tree.samples(5, 13);
-    let queries = Tensor::from_vec(
-        vec![samples.len(), features],
-        samples.iter().flatten().map(|&v| quant(v)).collect(),
-    )
-    .unwrap();
-
-    let mut m = Module::new();
-    c4cam::compiler::dialects::cim::build_similarity_kernel(
-        &mut m,
-        "dtree",
-        "eucl",
-        rows.len() as i64,
-        features as i64,
-        samples.len() as i64,
-        1,
-        false,
-    );
-    let args = [Value::Tensor(stored), Value::Tensor(queries)];
-    let golden = Executor::new(&m).run("dtree", &args).unwrap();
-
+    // The decision-tree workload ([`DtreeWorkload`]), expressed as
+    // nearest-path-row retrieval: each root-to-leaf path becomes a
+    // stored row of interval midpoints (don't-care features sit at the
+    // domain center), and a sample classifies by minimum Euclidean
+    // distance. Features are quantized to the 2-bit MCAM level grid so
+    // the host reference and the (exact multi-bit Euclidean) device
+    // agree. This exercises the eucl metric, multi-bit cells, and k=1
+    // reduction through both engines.
+    use c4cam::workloads::{DtreeWorkload, Workload};
     let s = ArchSpec::builder()
         .subarray(16, 16)
         .hierarchy(2, 2, 4)
@@ -325,7 +290,24 @@ fn dtree_workload_engines_agree() {
         .cam_kind(c4cam::arch::CamKind::Mcam)
         .build()
         .unwrap();
-    let device = C4camPipeline::new(s.clone()).compile(m).unwrap();
+    let workload = DtreeWorkload::new(8, 3, 4, 5, 77);
+    let built = workload.build_module(&s);
+    let inputs = workload.inputs(&s);
+    let args = [Value::Tensor(inputs.stored), Value::Tensor(inputs.queries)];
+    let golden = Executor::new(&built.module).run("dtree", &args).unwrap();
+    // The host golden's top-1 is exactly the workload's ground truth.
+    let golden_idx: Vec<usize> = golden[1]
+        .as_tensor()
+        .unwrap()
+        .data()
+        .iter()
+        .map(|&v| v as usize)
+        .collect();
+    assert_eq!(golden_idx, inputs.labels, "labels must match CPU golden");
+
+    let device = C4camPipeline::new(s.clone())
+        .compile(built.module.clone())
+        .unwrap();
     let out = assert_engines_agree(&device.module, &s, "dtree", &args);
     assert_eq!(
         out[1].as_tensor().unwrap().data(),
@@ -336,21 +318,30 @@ fn dtree_workload_engines_agree() {
 
 #[test]
 fn gpu_workload_engines_agree() {
-    // The GPU-comparison workload shape (§IV-B): the paper's 10-class
-    // HDC classifier with largest-dot selection, scaled down in dims.
-    use c4cam::workloads::HdcModel;
-    let model = HdcModel::random(10, 512, 1, 42);
-    let (queries, _) = model.queries(6, 0.1, 42);
-    let mut m = Module::new();
-    torch::build_hdc_dot_with(&mut m, 6, 10, 512, 1, true);
-    let args = [
-        Value::Tensor(queries),
-        Value::Tensor(model.class_hvs().clone()),
-    ];
-    let golden = Executor::new(&m).run("forward", &args).unwrap();
-
+    // The GPU-comparison workload shape (§IV-B,
+    // [`GpuComparisonWorkload`]): the paper's 10-class HDC classifier
+    // with largest-dot selection, scaled down in dims.
+    use c4cam::workloads::{GpuComparisonWorkload, HdcWorkload, Workload};
     let s = spec(32, Optimization::Base);
-    let device = C4camPipeline::new(s.clone()).compile(m).unwrap();
+    let workload = GpuComparisonWorkload {
+        hdc: HdcWorkload {
+            classes: 10,
+            dims: 512,
+            queries: 6,
+            flip_rate: 0.1,
+            seed: 42,
+        },
+        gpu: c4cam::workloads::GpuModel::rtx6000(),
+    };
+    let built = workload.build_module(&s);
+    let inputs = workload.inputs(&s);
+    // HDC-shaped torch kernels take (queries, stored).
+    let args = [Value::Tensor(inputs.queries), Value::Tensor(inputs.stored)];
+    let golden = Executor::new(&built.module).run("forward", &args).unwrap();
+
+    let device = C4camPipeline::new(s.clone())
+        .compile(built.module.clone())
+        .unwrap();
     let out = assert_engines_agree(&device.module, &s, "forward", &args);
     assert_eq!(
         out[1].as_tensor().unwrap().data(),
