@@ -1,0 +1,168 @@
+//! Typed CSV dataset decoding.
+//!
+//! One sample per line, comma-separated: the first field is the class
+//! label (a non-negative integer), the remaining fields are numeric
+//! features — the layout of the common `mnist_train.csv`-style exports.
+//! Blank lines are skipped; an optional header line is recognized when
+//! its first field is not an integer and every following line parses.
+//! Parsing is strict and typed: ragged rows, non-numeric feature
+//! cells, and malformed labels each surface as their own
+//! [`DatasetError`] variant with the 1-based line number.
+
+use crate::error::DatasetError;
+
+/// A decoded CSV dataset: `samples × dims` features (row-major) plus
+/// one label per sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvData {
+    /// Row-major features, `labels.len() * dims` values.
+    pub features: Vec<f64>,
+    /// Class label per sample.
+    pub labels: Vec<usize>,
+    /// Feature columns per sample.
+    pub dims: usize,
+}
+
+/// Decode a `label,feature,feature,...` CSV text.
+///
+/// # Errors
+/// [`DatasetError::RaggedRow`] when a row's field count differs from
+/// the first data row, [`DatasetError::BadLabel`] for a label cell
+/// that is not a non-negative integer, [`DatasetError::BadNumber`]
+/// for a feature cell that is not a finite number, and
+/// [`DatasetError::Empty`] when no data rows or no feature columns
+/// remain.
+pub fn parse_csv(text: &str) -> Result<CsvData, DatasetError> {
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    let mut dims: Option<usize> = None;
+    let mut first_data_line = true;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if first_data_line && fields[0].parse::<u64>().is_err() {
+            // Header row (e.g. "label,pix0,pix1,..."): skip it.
+            first_data_line = false;
+            continue;
+        }
+        first_data_line = false;
+        match dims {
+            None => {
+                if fields.len() < 2 {
+                    return Err(DatasetError::Empty);
+                }
+                dims = Some(fields.len() - 1);
+            }
+            Some(d) => {
+                if fields.len() != d + 1 {
+                    return Err(DatasetError::RaggedRow {
+                        line: lineno,
+                        expected: d + 1,
+                        found: fields.len(),
+                    });
+                }
+            }
+        }
+        let label: usize = fields[0].parse().map_err(|_| DatasetError::BadLabel {
+            line: lineno,
+            text: fields[0].to_string(),
+        })?;
+        labels.push(label);
+        for cell in &fields[1..] {
+            let v: f64 = cell.parse().map_err(|_| DatasetError::BadNumber {
+                line: lineno,
+                text: (*cell).to_string(),
+            })?;
+            if !v.is_finite() {
+                return Err(DatasetError::BadNumber {
+                    line: lineno,
+                    text: (*cell).to_string(),
+                });
+            }
+            features.push(v);
+        }
+    }
+    match dims {
+        Some(dims) if !labels.is_empty() => Ok(CsvData {
+            features,
+            labels,
+            dims,
+        }),
+        _ => Err(DatasetError::Empty),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_labelled_rows() {
+        let d = parse_csv("1,0.5,2\n0,3,4.25\n\n2,5,6\n").unwrap();
+        assert_eq!(d.dims, 2);
+        assert_eq!(d.labels, vec![1, 0, 2]);
+        assert_eq!(d.features, vec![0.5, 2.0, 3.0, 4.25, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn header_row_is_skipped() {
+        let d = parse_csv("label,p0,p1\n3,7,8\n").unwrap();
+        assert_eq!(d.labels, vec![3]);
+        assert_eq!(d.features, vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected_with_the_line() {
+        let e = parse_csv("1,2,3\n0,4\n").unwrap_err();
+        assert!(
+            matches!(
+                e,
+                DatasetError::RaggedRow {
+                    line: 2,
+                    expected: 3,
+                    found: 2
+                }
+            ),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn non_numeric_cells_are_rejected() {
+        let e = parse_csv("1,2,x\n").unwrap_err();
+        assert!(
+            matches!(&e, DatasetError::BadNumber { line: 1, text } if text == "x"),
+            "{e}"
+        );
+        // Infinities are not data.
+        let e = parse_csv("1,2,inf\n").unwrap_err();
+        assert!(matches!(e, DatasetError::BadNumber { .. }), "{e}");
+    }
+
+    #[test]
+    fn bad_labels_are_rejected() {
+        // A non-integer label *after* the first data row cannot be a
+        // header and is an error.
+        let e = parse_csv("1,2,3\n-1,4,5\n").unwrap_err();
+        assert!(
+            matches!(&e, DatasetError::BadLabel { line: 2, text } if text == "-1"),
+            "{e}"
+        );
+        let e = parse_csv("1,2,3\n1.5,4,5\n").unwrap_err();
+        assert!(matches!(e, DatasetError::BadLabel { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert!(matches!(parse_csv(""), Err(DatasetError::Empty)));
+        assert!(matches!(parse_csv("\n  \n"), Err(DatasetError::Empty)));
+        // A lone label with no feature columns.
+        assert!(matches!(parse_csv("1\n"), Err(DatasetError::Empty)));
+        // A header with no data rows.
+        assert!(matches!(parse_csv("label,p0\n"), Err(DatasetError::Empty)));
+    }
+}

@@ -1,0 +1,345 @@
+//! The in-memory dataset representation and file loading.
+//!
+//! A [`Dataset`] is format-agnostic: `samples × dims` real-valued
+//! features, one class label per sample, and the feature domain
+//! `[lo, hi]` the [`crate::Quantizer`] maps onto the cell-level grid.
+//! Loaders fill it from the two supported offline formats:
+//!
+//! * **IDX** ([`DatasetFormat::Idx`]) — a directory holding an MNIST
+//!   image/label pair named `images.idx` and `labels.idx`
+//!   (features are bytes, domain `[0, 255]`);
+//! * **CSV** ([`DatasetFormat::Csv`]) — a `label,feature,...` file
+//!   (domain = observed min/max, widened when constant).
+
+use crate::csv::parse_csv;
+use crate::error::DatasetError;
+use crate::idx::{parse_idx, IdxFile};
+use std::path::Path;
+use std::str::FromStr;
+
+/// On-disk dataset format selector (`--dataset-format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetFormat {
+    /// MNIST-style IDX image/label pair in a directory.
+    Idx,
+    /// `label,feature,...` CSV file.
+    Csv,
+}
+
+impl DatasetFormat {
+    /// Keyword used on the command line.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            DatasetFormat::Idx => "idx",
+            DatasetFormat::Csv => "csv",
+        }
+    }
+
+    /// Infer the format from a path: directories are IDX pairs, `.csv`
+    /// files are CSV. `None` when neither rule applies — notably for a
+    /// bare `.idx` file, because the IDX loader needs the image/label
+    /// *pair* and therefore a directory.
+    pub fn infer(path: &Path) -> Option<DatasetFormat> {
+        if path.is_dir() {
+            return Some(DatasetFormat::Idx);
+        }
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("csv") => Some(DatasetFormat::Csv),
+            _ => None,
+        }
+    }
+}
+
+impl FromStr for DatasetFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<DatasetFormat, String> {
+        match s {
+            "idx" => Ok(DatasetFormat::Idx),
+            "csv" => Ok(DatasetFormat::Csv),
+            other => Err(format!(
+                "unknown dataset format '{other}' (expected idx|csv)"
+            )),
+        }
+    }
+}
+
+/// File name of the image IDX file inside a dataset directory.
+pub const IDX_IMAGES_FILE: &str = "images.idx";
+/// File name of the label IDX file inside a dataset directory.
+pub const IDX_LABELS_FILE: &str = "labels.idx";
+
+/// A labelled dataset ready for quantization onto a CAM level grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    features: Vec<f64>,
+    labels: Vec<usize>,
+    dims: usize,
+    classes: usize,
+    lo: f64,
+    hi: f64,
+}
+
+impl Dataset {
+    /// Construct from row-major features and labels over the feature
+    /// domain `[lo, hi]`. The class count is `max(label) + 1`.
+    ///
+    /// # Errors
+    /// [`DatasetError::Empty`] for zero samples or zero dims,
+    /// [`DatasetError::Mismatch`] when the feature buffer does not
+    /// hold `labels.len() * dims` values, and
+    /// [`DatasetError::DegenerateRange`] for a non-finite or empty
+    /// domain.
+    pub fn new(
+        name: impl Into<String>,
+        features: Vec<f64>,
+        labels: Vec<usize>,
+        dims: usize,
+        lo: f64,
+        hi: f64,
+    ) -> Result<Dataset, DatasetError> {
+        if labels.is_empty() || dims == 0 {
+            return Err(DatasetError::Empty);
+        }
+        if features.len() != labels.len() * dims {
+            return Err(DatasetError::Mismatch {
+                images: features.len() / dims,
+                labels: labels.len(),
+            });
+        }
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return Err(DatasetError::DegenerateRange { lo, hi });
+        }
+        let classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        Ok(Dataset {
+            name: name.into(),
+            features,
+            labels,
+            dims,
+            classes,
+            lo,
+            hi,
+        })
+    }
+
+    /// Build from a decoded IDX image/label pair (features are bytes,
+    /// domain `[0, 255]`).
+    ///
+    /// # Errors
+    /// [`DatasetError::Mismatch`] when the files disagree on the
+    /// sample count, [`DatasetError::Empty`] for empty files.
+    pub fn from_idx(
+        name: impl Into<String>,
+        images: &IdxFile,
+        labels: &IdxFile,
+    ) -> Result<Dataset, DatasetError> {
+        if images.samples() != labels.samples() {
+            return Err(DatasetError::Mismatch {
+                images: images.samples(),
+                labels: labels.samples(),
+            });
+        }
+        let features = images.data.iter().map(|&b| f64::from(b)).collect();
+        let labels = labels.data.iter().map(|&b| b as usize).collect();
+        Dataset::new(name, features, labels, images.sample_len(), 0.0, 255.0)
+    }
+
+    /// Parse a `label,feature,...` CSV text. The feature domain is the
+    /// observed min/max, widened by one when all features are equal.
+    ///
+    /// # Errors
+    /// Propagates [`crate::csv::parse_csv`] failures.
+    pub fn from_csv(name: impl Into<String>, text: &str) -> Result<Dataset, DatasetError> {
+        let data = parse_csv(text)?;
+        let lo = data.features.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data
+            .features
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let hi = if hi <= lo { lo + 1.0 } else { hi };
+        Dataset::new(name, data.features, data.labels, data.dims, lo, hi)
+    }
+
+    /// Load from disk. `format = None` infers from the path
+    /// (directory → IDX pair, `.csv` → CSV).
+    ///
+    /// # Errors
+    /// [`DatasetError::Io`] on filesystem failures (including an
+    /// uninferable format), plus the format's parse failures.
+    pub fn load(path: &Path, format: Option<DatasetFormat>) -> Result<Dataset, DatasetError> {
+        let format = match format.or_else(|| DatasetFormat::infer(path)) {
+            Some(f) => f,
+            None => {
+                return Err(DatasetError::Io {
+                    path: path.display().to_string(),
+                    source: std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "cannot infer dataset format (expected a directory or a .csv file); \
+                         pass --dataset-format idx|csv",
+                    ),
+                })
+            }
+        };
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        match format {
+            DatasetFormat::Csv => {
+                let text = read(path)?;
+                Dataset::from_csv(name, &String::from_utf8_lossy(&text))
+            }
+            DatasetFormat::Idx => {
+                if !path.is_dir() {
+                    return Err(DatasetError::Io {
+                        path: path.display().to_string(),
+                        source: std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            format!(
+                                "IDX datasets are directories holding \
+                                 {IDX_IMAGES_FILE} and {IDX_LABELS_FILE}"
+                            ),
+                        ),
+                    });
+                }
+                let images = parse_idx(&read(&path.join(IDX_IMAGES_FILE))?)?;
+                let labels = parse_idx(&read(&path.join(IDX_LABELS_FILE))?)?;
+                Dataset::from_idx(name, &images, &labels)
+            }
+        }
+    }
+
+    /// Display name (file or directory name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    pub fn samples(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Feature columns per sample.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of classes (`max(label) + 1`).
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The feature domain `(lo, hi)` for quantization.
+    pub fn feature_range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// One sample's feature row.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn feature_row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// One sample's class label.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+}
+
+fn read(path: &Path) -> Result<Vec<u8>, DatasetError> {
+    std::fs::read(path).map_err(|source| DatasetError::Io {
+        path: path.display().to_string(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idx::IdxFile;
+
+    #[test]
+    fn idx_pair_builds_a_byte_domain_dataset() {
+        let images = IdxFile::new(vec![3, 2, 2], vec![0, 64, 128, 255, 1, 2, 3, 4, 9, 9, 9, 9]);
+        let labels = IdxFile::new(vec![3], vec![2, 0, 1]);
+        let d = Dataset::from_idx("mini", &images, &labels).unwrap();
+        assert_eq!(d.samples(), 3);
+        assert_eq!(d.dims(), 4);
+        assert_eq!(d.classes(), 3);
+        assert_eq!(d.feature_range(), (0.0, 255.0));
+        assert_eq!(d.feature_row(0), &[0.0, 64.0, 128.0, 255.0]);
+        assert_eq!(d.label(2), 1);
+    }
+
+    #[test]
+    fn idx_sample_mismatch_is_rejected() {
+        let images = IdxFile::new(vec![2, 1, 2], vec![1, 2, 3, 4]);
+        let labels = IdxFile::new(vec![3], vec![0, 1, 0]);
+        let e = Dataset::from_idx("m", &images, &labels).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                DatasetError::Mismatch {
+                    images: 2,
+                    labels: 3
+                }
+            ),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn csv_domain_is_observed_and_widened_when_constant() {
+        let d = Dataset::from_csv("c", "0,1,5\n1,3,2\n").unwrap();
+        assert_eq!(d.feature_range(), (1.0, 5.0));
+        let flat = Dataset::from_csv("c", "0,2,2\n1,2,2\n").unwrap();
+        assert_eq!(flat.feature_range(), (2.0, 3.0));
+    }
+
+    #[test]
+    fn format_inference_follows_the_path_shape() {
+        assert_eq!(
+            DatasetFormat::infer(Path::new("data.csv")),
+            Some(DatasetFormat::Csv)
+        );
+        // A bare .idx file cannot be loaded (the pair needs a
+        // directory), so nothing is inferred for it.
+        assert_eq!(DatasetFormat::infer(Path::new("images.idx")), None);
+        assert_eq!(DatasetFormat::infer(Path::new("data.bin")), None);
+        assert_eq!("idx".parse(), Ok(DatasetFormat::Idx));
+        assert_eq!("csv".parse(), Ok(DatasetFormat::Csv));
+        assert!("npz".parse::<DatasetFormat>().is_err());
+    }
+
+    #[test]
+    fn load_reports_missing_files_with_the_path() {
+        let e = Dataset::load(Path::new("/nonexistent/dir.csv"), None).unwrap_err();
+        assert!(
+            matches!(&e, DatasetError::Io { path, .. } if path.contains("dir.csv")),
+            "{e}"
+        );
+        let e = Dataset::load(Path::new("/nonexistent/blob.bin"), None).unwrap_err();
+        assert!(e.to_string().contains("cannot infer"), "{e}");
+        // An explicit IDX format on a non-directory explains the
+        // expected layout instead of failing on a joined path the user
+        // never gave.
+        let e = Dataset::load(
+            Path::new("/nonexistent/images.idx"),
+            Some(DatasetFormat::Idx),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("directories holding"), "{e}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Structured dataset-loading failures.
+//!
+//! Every parser in this crate reports malformed input through
+//! [`DatasetError`], with enough payload (offsets, line numbers, the
+//! offending text) that a test can assert the *specific* failure and a
+//! user can locate it in the file.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failure while loading, decoding, or adapting a dataset.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Filesystem access failed.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// An IDX file is shorter than its fixed 4-byte magic plus the
+    /// declared dimension words.
+    TruncatedHeader {
+        /// Bytes actually present.
+        len: usize,
+    },
+    /// The first two IDX magic bytes are not zero.
+    BadMagic {
+        /// The two bytes found where `[0, 0]` was expected.
+        found: [u8; 2],
+    },
+    /// The IDX element-type byte names a type this loader does not
+    /// decode (only `0x08` = unsigned byte is supported).
+    UnsupportedType(u8),
+    /// The IDX payload is shorter than the shape requires.
+    Truncated {
+        /// Bytes the shape requires.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The IDX payload is longer than the shape requires.
+    TrailingData {
+        /// Bytes the shape requires.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// A CSV row has a different number of fields than the first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Field count of the first data row.
+        expected: usize,
+        /// Field count of this row.
+        found: usize,
+    },
+    /// A CSV feature cell is not a finite number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The cell text that failed to parse.
+        text: String,
+    },
+    /// A CSV label cell is not a non-negative integer.
+    BadLabel {
+        /// 1-based line number.
+        line: usize,
+        /// The cell text that failed to parse.
+        text: String,
+    },
+    /// An IDX header declares a shape whose element count overflows.
+    ShapeOverflow,
+    /// The input decodes to zero samples or zero feature columns.
+    Empty,
+    /// An IDX image/label pair disagrees on the sample count.
+    Mismatch {
+        /// Samples in the image file.
+        images: usize,
+        /// Samples in the label file.
+        labels: usize,
+    },
+    /// A class has no training samples, so no prototype can be built.
+    MissingClass {
+        /// The class with no training representative.
+        class: usize,
+    },
+    /// A quantizer was requested outside the 1..=4 bits-per-cell range.
+    InvalidBits(u32),
+    /// A quantizer range is empty or non-finite.
+    DegenerateRange {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io { path, source } => write!(f, "cannot read '{path}': {source}"),
+            DatasetError::TruncatedHeader { len } => {
+                write!(f, "truncated IDX header ({len} bytes)")
+            }
+            DatasetError::BadMagic { found } => write!(
+                f,
+                "bad IDX magic: expected [0, 0], found [{}, {}]",
+                found[0], found[1]
+            ),
+            DatasetError::UnsupportedType(t) => {
+                write!(f, "unsupported IDX element type {t:#04x} (only 0x08 = u8)")
+            }
+            DatasetError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "truncated IDX payload: shape needs {expected} bytes, found {found}"
+                )
+            }
+            DatasetError::TrailingData { expected, found } => {
+                write!(
+                    f,
+                    "trailing IDX data: shape needs {expected} bytes, found {found}"
+                )
+            }
+            DatasetError::RaggedRow {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: ragged CSV row ({found} fields, expected {expected})"
+            ),
+            DatasetError::BadNumber { line, text } => {
+                write!(f, "line {line}: invalid number '{text}'")
+            }
+            DatasetError::BadLabel { line, text } => {
+                write!(
+                    f,
+                    "line {line}: invalid label '{text}' (expected a non-negative integer)"
+                )
+            }
+            DatasetError::ShapeOverflow => {
+                write!(f, "IDX shape element count overflows the address space")
+            }
+            DatasetError::Empty => write!(f, "empty dataset (no samples or no feature columns)"),
+            DatasetError::Mismatch { images, labels } => write!(
+                f,
+                "image/label sample mismatch: {images} images vs {labels} labels"
+            ),
+            DatasetError::MissingClass { class } => {
+                write!(f, "class {class} has no training samples")
+            }
+            DatasetError::InvalidBits(bits) => {
+                write!(f, "bits per cell must be 1..=4, got {bits}")
+            }
+            DatasetError::DegenerateRange { lo, hi } => {
+                write!(f, "degenerate quantization range [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_site() {
+        let e = DatasetError::RaggedRow {
+            line: 7,
+            expected: 65,
+            found: 64,
+        };
+        assert_eq!(
+            e.to_string(),
+            "line 7: ragged CSV row (64 fields, expected 65)"
+        );
+        let e = DatasetError::BadMagic { found: [1, 9] };
+        assert!(e.to_string().contains("found [1, 9]"), "{e}");
+        let e = DatasetError::UnsupportedType(0x0d);
+        assert!(e.to_string().contains("0x0d"), "{e}");
+    }
+
+    #[test]
+    fn io_errors_preserve_the_source() {
+        let e = DatasetError::Io {
+            path: "missing.idx".to_string(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "nope"),
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("missing.idx"), "{e}");
+    }
+}

@@ -1,0 +1,218 @@
+//! IDX binary decoding and encoding (the MNIST container format).
+//!
+//! The IDX format is four magic bytes `[0, 0, dtype, ndims]`, then
+//! `ndims` big-endian `u32` dimension sizes, then the row-major
+//! payload. MNIST ships images as `dtype = 0x08` (unsigned byte) with
+//! three dimensions `[samples, rows, cols]` and labels as one
+//! dimension `[samples]`; this module decodes exactly that `u8` slice
+//! of the format (other element types are rejected with
+//! [`DatasetError::UnsupportedType`]) and re-encodes it byte-exactly,
+//! so golden fixtures round-trip.
+
+use crate::error::DatasetError;
+
+/// IDX element-type byte for unsigned bytes (the only type decoded).
+pub const IDX_TYPE_U8: u8 = 0x08;
+
+/// A decoded IDX file: the declared shape plus the raw `u8` payload in
+/// row-major order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdxFile {
+    /// Dimension sizes, outermost first (`[samples, rows, cols]` for
+    /// MNIST images, `[samples]` for labels).
+    pub shape: Vec<usize>,
+    /// Row-major payload, `shape.iter().product()` bytes.
+    pub data: Vec<u8>,
+}
+
+impl IdxFile {
+    /// Construct from a shape and payload.
+    ///
+    /// # Panics
+    /// Panics if the payload length does not match the shape product
+    /// or the shape has more than 255 dimensions (unencodable).
+    pub fn new(shape: Vec<usize>, data: Vec<u8>) -> IdxFile {
+        let expected: usize = shape.iter().product();
+        assert_eq!(data.len(), expected, "payload does not match shape");
+        assert!(shape.len() <= 255, "IDX supports at most 255 dimensions");
+        IdxFile { shape, data }
+    }
+
+    /// Number of samples (the outermost dimension; 0 for rank-0 files).
+    pub fn samples(&self) -> usize {
+        self.shape.first().copied().unwrap_or(0)
+    }
+
+    /// Elements per sample (product of the inner dimensions).
+    pub fn sample_len(&self) -> usize {
+        self.shape.iter().skip(1).product()
+    }
+
+    /// One sample's bytes.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn sample(&self, i: usize) -> &[u8] {
+        let n = self.sample_len();
+        &self.data[i * n..(i + 1) * n]
+    }
+}
+
+/// Decode an IDX byte stream.
+///
+/// # Errors
+/// [`DatasetError::TruncatedHeader`] when the magic or a dimension
+/// word is cut short, [`DatasetError::BadMagic`] /
+/// [`DatasetError::UnsupportedType`] for malformed magic bytes,
+/// [`DatasetError::Truncated`] / [`DatasetError::TrailingData`] when
+/// the payload length disagrees with the shape, and
+/// [`DatasetError::Empty`] for rank-0 files.
+pub fn parse_idx(bytes: &[u8]) -> Result<IdxFile, DatasetError> {
+    if bytes.len() < 4 {
+        return Err(DatasetError::TruncatedHeader { len: bytes.len() });
+    }
+    if bytes[0] != 0 || bytes[1] != 0 {
+        return Err(DatasetError::BadMagic {
+            found: [bytes[0], bytes[1]],
+        });
+    }
+    if bytes[2] != IDX_TYPE_U8 {
+        return Err(DatasetError::UnsupportedType(bytes[2]));
+    }
+    let ndims = bytes[3] as usize;
+    if ndims == 0 {
+        return Err(DatasetError::Empty);
+    }
+    let header = 4 + 4 * ndims;
+    if bytes.len() < header {
+        return Err(DatasetError::TruncatedHeader { len: bytes.len() });
+    }
+    let mut shape = Vec::with_capacity(ndims);
+    for d in 0..ndims {
+        let at = 4 + 4 * d;
+        let word: [u8; 4] = bytes[at..at + 4].try_into().expect("4 bytes");
+        shape.push(u32::from_be_bytes(word) as usize);
+    }
+    // A crafted header can declare dimensions whose product overflows;
+    // that must be a structured error, not a wraparound that admits a
+    // bogus shape.
+    let expected: usize = shape
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or(DatasetError::ShapeOverflow)?;
+    let found = bytes.len() - header;
+    if found < expected {
+        return Err(DatasetError::Truncated { expected, found });
+    }
+    if found > expected {
+        return Err(DatasetError::TrailingData { expected, found });
+    }
+    Ok(IdxFile {
+        shape,
+        data: bytes[header..].to_vec(),
+    })
+}
+
+/// Encode an [`IdxFile`] back to the byte format [`parse_idx`] reads
+/// (the inverse: `parse_idx(&encode_idx(&f)) == f`).
+pub fn encode_idx(file: &IdxFile) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 4 * file.shape.len() + file.data.len());
+    out.extend_from_slice(&[0, 0, IDX_TYPE_U8, file.shape.len() as u8]);
+    for &dim in &file.shape {
+        out.extend_from_slice(&(dim as u32).to_be_bytes());
+    }
+    out.extend_from_slice(&file.data);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> IdxFile {
+        IdxFile::new(vec![2, 2, 2], vec![1, 2, 3, 4, 5, 6, 7, 8])
+    }
+
+    #[test]
+    fn encode_then_parse_round_trips() {
+        let f = tiny();
+        let bytes = encode_idx(&f);
+        assert_eq!(&bytes[..4], &[0, 0, IDX_TYPE_U8, 3]);
+        let parsed = parse_idx(&bytes).unwrap();
+        assert_eq!(parsed, f);
+        assert_eq!(parsed.samples(), 2);
+        assert_eq!(parsed.sample_len(), 4);
+        assert_eq!(parsed.sample(1), &[5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn truncated_header_is_reported() {
+        assert!(matches!(
+            parse_idx(&[0, 0]),
+            Err(DatasetError::TruncatedHeader { len: 2 })
+        ));
+        // Magic claims 2 dims but only one dimension word follows.
+        let bytes = [0, 0, IDX_TYPE_U8, 2, 0, 0, 0, 1];
+        assert!(matches!(
+            parse_idx(&bytes),
+            Err(DatasetError::TruncatedHeader { len: 8 })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_type_are_distinguished() {
+        assert!(matches!(
+            parse_idx(&[9, 0, IDX_TYPE_U8, 1, 0, 0, 0, 0]),
+            Err(DatasetError::BadMagic { found: [9, 0] })
+        ));
+        assert!(matches!(
+            parse_idx(&[0, 0, 0x0d, 1, 0, 0, 0, 0]),
+            Err(DatasetError::UnsupportedType(0x0d))
+        ));
+    }
+
+    #[test]
+    fn payload_length_mismatches_are_reported() {
+        let mut bytes = encode_idx(&tiny());
+        bytes.pop();
+        assert!(matches!(
+            parse_idx(&bytes),
+            Err(DatasetError::Truncated {
+                expected: 8,
+                found: 7
+            })
+        ));
+        let mut bytes = encode_idx(&tiny());
+        bytes.push(0);
+        assert!(matches!(
+            parse_idx(&bytes),
+            Err(DatasetError::TrailingData {
+                expected: 8,
+                found: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn overflowing_shape_products_are_rejected() {
+        // Three dimensions whose product overflows a 64-bit usize:
+        // (2^32-1)^3. Must be a structured error in every build
+        // profile, never a wraparound.
+        let mut bytes = vec![0, 0, IDX_TYPE_U8, 3];
+        for _ in 0..3 {
+            bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        }
+        assert!(matches!(
+            parse_idx(&bytes),
+            Err(DatasetError::ShapeOverflow)
+        ));
+    }
+
+    #[test]
+    fn rank_zero_is_empty() {
+        assert!(matches!(
+            parse_idx(&[0, 0, IDX_TYPE_U8, 0]),
+            Err(DatasetError::Empty)
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+//! # c4cam-datasets — offline dataset loaders and workload adapters
+//!
+//! The synthetic workloads in `c4cam_workloads` validate the compiler
+//! functionally, but the paper's accuracy claims (Fig. 7, Table 2) are
+//! about *real inputs*. This crate closes that gap without any network
+//! or external dependency:
+//!
+//! * [`idx`] — a byte-exact IDX (MNIST container) parser and encoder;
+//! * [`csv`] — a typed `label,feature,...` CSV loader;
+//! * [`Quantizer`] — the affine map from a feature domain onto the
+//!   architecture's `2^bits_per_cell` cell-level alphabet (1..=4 bits),
+//!   with level-grid fixed-point and monotonicity guarantees;
+//! * [`DatasetWorkload`] — adapters implementing the existing
+//!   `Workload` trait, so real data flows through the unchanged
+//!   `Experiment` builder, tape engine, and sweep grid;
+//! * [`mini_mnist`] — the deterministic generator behind the committed
+//!   `examples/data/mini-mnist/` fixture CI runs on.
+//!
+//! All failure paths are structured [`DatasetError`]s (truncated
+//! headers, bad magic, ragged rows, …) so tests can assert the exact
+//! variant and users get the file/line in the message.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod error;
+pub mod idx;
+pub mod mini_mnist;
+pub mod quantize;
+pub mod workload;
+
+pub use dataset::{Dataset, DatasetFormat, IDX_IMAGES_FILE, IDX_LABELS_FILE};
+pub use error::DatasetError;
+pub use idx::{encode_idx, parse_idx, IdxFile};
+pub use quantize::Quantizer;
+pub use workload::{DatasetTask, DatasetWorkload};

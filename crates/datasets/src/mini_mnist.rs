@@ -1,0 +1,117 @@
+//! The committed mini-MNIST fixture and its deterministic generator.
+//!
+//! CI and the differential tests need a real-input dataset without any
+//! network access, so the repository commits a small MNIST-shaped
+//! fixture under `examples/data/mini-mnist/`: 256 8×8 byte images over
+//! 10 classes, encoded as a standard IDX image/label pair. The files
+//! were produced *once* by [`generate`] and checked in; the generator
+//! stays here so the golden-file tests can assert the committed bytes
+//! are exactly `encode_idx(generate())` — any drift in either the
+//! generator or the fixture fails the suite.
+//!
+//! The images are class-structured: each class has a fixed random
+//! prototype image, and every sample is its class prototype with a
+//! fraction of pixels re-randomized — the same structure the synthetic
+//! workloads use, but flowing through the real file-format path.
+
+use crate::dataset::Dataset;
+use crate::idx::IdxFile;
+
+/// Samples in the fixture.
+pub const SAMPLES: usize = 256;
+/// Classes (digits 0..=9).
+pub const CLASSES: usize = 10;
+/// Image side length (8×8 pixels = 64 features).
+pub const SIDE: usize = 8;
+/// Pixels re-randomized per sample, out of 100.
+const NOISE_PERCENT: u64 = 12;
+
+/// Deterministic xorshift64* stream.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn byte(&mut self) -> u8 {
+        (self.next() >> 32) as u8
+    }
+}
+
+/// Generate the fixture: `([SAMPLES, SIDE, SIDE]` images,
+/// `[SAMPLES]` labels), bit-identical on every call.
+pub fn generate() -> (IdxFile, IdxFile) {
+    let mut rng = XorShift(0x6d69_6e69_6d6e_7374); // "minimnst"
+    let protos: Vec<Vec<u8>> = (0..CLASSES)
+        .map(|_| (0..SIDE * SIDE).map(|_| rng.byte()).collect())
+        .collect();
+    let mut images = Vec::with_capacity(SAMPLES * SIDE * SIDE);
+    let mut labels = Vec::with_capacity(SAMPLES);
+    for i in 0..SAMPLES {
+        let class = i % CLASSES;
+        labels.push(class as u8);
+        for &proto_px in &protos[class] {
+            let noisy = rng.next() % 100 < NOISE_PERCENT;
+            let noise = rng.byte();
+            images.push(if noisy { noise } else { proto_px });
+        }
+    }
+    (
+        IdxFile::new(vec![SAMPLES, SIDE, SIDE], images),
+        IdxFile::new(vec![SAMPLES], labels),
+    )
+}
+
+/// The fixture as an in-memory [`Dataset`] (no file access).
+pub fn dataset() -> Dataset {
+    let (images, labels) = generate();
+    Dataset::from_idx("mini-mnist", &images, &labels).expect("fixture is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_and_mnist_shaped() {
+        let (ia, la) = generate();
+        let (ib, lb) = generate();
+        assert_eq!(ia, ib);
+        assert_eq!(la, lb);
+        assert_eq!(ia.shape, vec![SAMPLES, SIDE, SIDE]);
+        assert_eq!(la.shape, vec![SAMPLES]);
+        // Every class appears and labels cycle deterministically.
+        assert_eq!(la.data[0], 0);
+        assert_eq!(la.data[CLASSES + 3], 3);
+        assert!((0..CLASSES as u8).all(|c| la.data.contains(&c)));
+    }
+
+    #[test]
+    fn fixture_dataset_is_class_structured() {
+        let d = dataset();
+        assert_eq!(d.samples(), SAMPLES);
+        assert_eq!(d.dims(), SIDE * SIDE);
+        assert_eq!(d.classes(), CLASSES);
+        assert_eq!(d.feature_range(), (0.0, 255.0));
+        // Two samples of the same class agree on most pixels; two
+        // samples of different classes do not.
+        let same: usize = d
+            .feature_row(0)
+            .iter()
+            .zip(d.feature_row(CLASSES))
+            .filter(|(a, b)| a == b)
+            .count();
+        let diff: usize = d
+            .feature_row(0)
+            .iter()
+            .zip(d.feature_row(1))
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(same > 40, "same-class samples share pixels (got {same})");
+        assert!(diff < 20, "cross-class samples differ (got {diff})");
+    }
+}

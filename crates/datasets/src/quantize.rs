@@ -1,0 +1,159 @@
+//! Feature quantization onto the architecture's cell-level alphabet.
+//!
+//! CAM cells store one of `2^bits_per_cell` discrete levels (the
+//! spec's 1..=4-bit range), so real-valued dataset features must be
+//! mapped onto that grid before they can be programmed or broadcast.
+//! [`Quantizer`] performs the affine map from a feature domain
+//! `[lo, hi]` to levels `0..2^bits`, with the guarantees the
+//! differential tests rely on:
+//!
+//! * levels are always `< 2^bits`;
+//! * quantization is monotone in the input;
+//! * `quantize(dequantize(level)) == level` (the grid is a fixed
+//!   point), so device-side level arithmetic is exact.
+
+use crate::error::DatasetError;
+
+/// Affine quantizer from a feature domain onto `2^bits` cell levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    bits: u32,
+    lo: f64,
+    hi: f64,
+}
+
+impl Quantizer {
+    /// Quantizer for the unit domain `[0, 1]`.
+    ///
+    /// # Errors
+    /// [`DatasetError::InvalidBits`] outside 1..=4.
+    pub fn new(bits: u32) -> Result<Quantizer, DatasetError> {
+        Quantizer::with_range(bits, 0.0, 1.0)
+    }
+
+    /// Quantizer for the domain `[lo, hi]`.
+    ///
+    /// # Errors
+    /// [`DatasetError::InvalidBits`] outside 1..=4, and
+    /// [`DatasetError::DegenerateRange`] when the bounds are not
+    /// finite or `hi <= lo`.
+    pub fn with_range(bits: u32, lo: f64, hi: f64) -> Result<Quantizer, DatasetError> {
+        if !(1..=4).contains(&bits) {
+            return Err(DatasetError::InvalidBits(bits));
+        }
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return Err(DatasetError::DegenerateRange { lo, hi });
+        }
+        Ok(Quantizer { bits, lo, hi })
+    }
+
+    /// Bits per cell.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of representable levels (`2^bits`).
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// The largest level (`2^bits - 1`).
+    pub fn max_level(&self) -> u32 {
+        self.levels() - 1
+    }
+
+    /// The feature domain `(lo, hi)`.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Map a feature value onto the level grid. Values outside the
+    /// domain clamp to the boundary levels; non-finite values map to
+    /// level 0.
+    pub fn quantize(&self, v: f64) -> u32 {
+        if !v.is_finite() {
+            return 0;
+        }
+        let t = ((v - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        (t * f64::from(self.max_level())).round() as u32
+    }
+
+    /// The domain value at the center of `level`'s quantization bin
+    /// (clamped to the top level).
+    pub fn dequantize(&self, level: u32) -> f64 {
+        let level = level.min(self.max_level());
+        self.lo + f64::from(level) / f64::from(self.max_level()) * (self.hi - self.lo)
+    }
+
+    /// Quantize a feature row into device-ready `f32` levels.
+    pub fn quantize_row(&self, row: &[f64]) -> Vec<f32> {
+        row.iter().map(|&v| self.quantize(v) as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_bits_and_range() {
+        assert!(matches!(
+            Quantizer::new(0),
+            Err(DatasetError::InvalidBits(0))
+        ));
+        assert!(matches!(
+            Quantizer::new(5),
+            Err(DatasetError::InvalidBits(5))
+        ));
+        assert!(matches!(
+            Quantizer::with_range(2, 1.0, 1.0),
+            Err(DatasetError::DegenerateRange { .. })
+        ));
+        assert!(matches!(
+            Quantizer::with_range(2, 0.0, f64::INFINITY),
+            Err(DatasetError::DegenerateRange { .. })
+        ));
+        let q = Quantizer::with_range(3, 0.0, 255.0).unwrap();
+        assert_eq!(q.levels(), 8);
+        assert_eq!(q.max_level(), 7);
+        assert_eq!(q.range(), (0.0, 255.0));
+    }
+
+    #[test]
+    fn one_bit_thresholds_at_the_midpoint() {
+        let q = Quantizer::with_range(1, 0.0, 255.0).unwrap();
+        assert_eq!(q.quantize(0.0), 0);
+        assert_eq!(q.quantize(100.0), 0);
+        assert_eq!(q.quantize(200.0), 1);
+        assert_eq!(q.quantize(255.0), 1);
+    }
+
+    #[test]
+    fn out_of_domain_values_clamp() {
+        let q = Quantizer::with_range(2, 0.0, 1.0).unwrap();
+        assert_eq!(q.quantize(-7.0), 0);
+        assert_eq!(q.quantize(42.0), 3);
+        assert_eq!(q.quantize(f64::NAN), 0);
+    }
+
+    #[test]
+    fn grid_levels_are_fixed_points() {
+        for bits in 1..=4 {
+            let q = Quantizer::with_range(bits, -3.0, 9.5).unwrap();
+            for level in 0..q.levels() {
+                assert_eq!(q.quantize(q.dequantize(level)), level, "bits {bits}");
+            }
+            // Dequantize clamps above the alphabet.
+            assert_eq!(q.dequantize(u32::MAX), 9.5);
+        }
+    }
+
+    #[test]
+    fn quantize_row_emits_f32_levels() {
+        let q = Quantizer::with_range(2, 0.0, 3.0).unwrap();
+        assert_eq!(
+            q.quantize_row(&[0.0, 1.0, 2.0, 3.0]),
+            vec![0.0, 1.0, 2.0, 3.0]
+        );
+    }
+}

@@ -33,8 +33,8 @@ pub use gpu::GpuModel;
 pub use hdc::HdcModel;
 pub use knn::KnnDataset;
 pub use workload::{
-    ArgOrder, DtreeWorkload, GpuComparisonWorkload, HdcWorkload, KnnWorkload, Workload,
-    WorkloadInputs, WorkloadModule,
+    nearest_rows_cpu, ArgOrder, DtreeWorkload, GpuComparisonWorkload, HdcWorkload, KnnWorkload,
+    Workload, WorkloadInputs, WorkloadModule,
 };
 
 /// Classification accuracy helper.

@@ -99,6 +99,35 @@ pub trait Workload {
     }
 }
 
+/// Index of the nearest stored row (squared Euclidean distance, lowest
+/// index wins ties) for every query — the CPU reference reduction the
+/// CAM's best-match search implements exactly on level-quantized data.
+/// Shared by [`DtreeWorkload`] and the dataset-backed workloads in
+/// `c4cam_datasets`.
+///
+/// # Panics
+/// Panics if the tensors are not both `[rows, dims]` with equal
+/// `dims`, or if `stored` has no rows.
+pub fn nearest_rows_cpu(stored: &Tensor, queries: &Tensor) -> Vec<usize> {
+    assert!(stored.shape()[0] > 0, "no stored rows");
+    (0..queries.shape()[0])
+        .map(|q| {
+            let qr = queries.row(q).expect("query row");
+            let mut best = 0usize;
+            let mut best_dist = f64::INFINITY;
+            for r in 0..stored.shape()[0] {
+                let row = stored.row(r).expect("stored row");
+                let dist = Tensor::squared_distance(qr, row).expect("len");
+                if dist < best_dist {
+                    best_dist = dist;
+                    best = r;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
 /// HDC classification (paper §IV-A3): `queries` hypervectors against
 /// `classes` stored prototypes by dot-similarity, at the architecture's
 /// `bits_per_cell` level count.
@@ -382,22 +411,7 @@ impl Workload for DtreeWorkload {
         // Ground truth: nearest stored path row by squared Euclidean
         // distance over the quantized grid (lowest index wins ties),
         // exactly the reduction the device performs.
-        let labels = (0..samples.len())
-            .map(|q| {
-                let qr = queries.row(q).expect("query row");
-                let mut best = 0usize;
-                let mut best_dist = f64::INFINITY;
-                for r in 0..rows.len() {
-                    let row = stored.row(r).expect("stored row");
-                    let dist = Tensor::squared_distance(qr, row).expect("len");
-                    if dist < best_dist {
-                        best_dist = dist;
-                        best = r;
-                    }
-                }
-                best
-            })
-            .collect();
+        let labels = nearest_rows_cpu(&stored, &queries);
         WorkloadInputs {
             stored,
             queries,

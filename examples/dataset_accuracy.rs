@@ -1,0 +1,40 @@
+//! Fig. 7-style accuracy evaluation on the committed mini-MNIST
+//! fixture: CAM inference vs. the CPU reference classifier at every
+//! supported cell width, for both dataset task shapes.
+//!
+//! ```text
+//! cargo run --release --example dataset_accuracy
+//! ```
+//!
+//! Equivalent CLI invocation:
+//!
+//! ```text
+//! c4cam accuracy --dataset examples/data/mini-mnist --bits 1,2,3,4
+//! ```
+
+use c4cam::accuracy::{evaluate, AccuracyReport};
+use c4cam::arch::Optimization;
+use c4cam::datasets::{Dataset, DatasetTask, DatasetWorkload};
+use c4cam::driver::{build_arch, Engine};
+use std::path::Path;
+
+fn main() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/data/mini-mnist");
+    let dataset = Dataset::load(&fixture, None).expect("committed fixture");
+    let mut rows = Vec::new();
+    for task in [DatasetTask::Hdc, DatasetTask::Knn] {
+        let workload =
+            DatasetWorkload::new(dataset.clone(), task, None).expect("fixture covers all classes");
+        for bits in 1..=4u32 {
+            let spec = build_arch((32, 32), (4, 4, 8), Optimization::Base, bits)
+                .expect("valid evaluation architecture");
+            let row = evaluate(&workload, &spec, Engine::Tape, 1).expect("experiment runs");
+            assert_eq!(
+                row.agreement, 1.0,
+                "CAM and CPU reference must retrieve identical rows"
+            );
+            rows.push(row);
+        }
+    }
+    print!("{}", AccuracyReport { rows }.to_table());
+}

@@ -1,0 +1,32 @@
+//! Regenerate the committed mini-MNIST fixture.
+//!
+//! The IDX pair under `examples/data/mini-mnist/` is produced by the
+//! deterministic generator in `c4cam_datasets::mini_mnist` and checked
+//! in so CI and the dataset-backed tests run with no network. This
+//! example rewrites the files (byte-identical unless the generator
+//! changed); the golden tests in `tests/datasets.rs` fail if the
+//! committed bytes and the generator ever drift apart.
+//!
+//! ```text
+//! cargo run --example gen_mini_mnist
+//! ```
+
+use c4cam::datasets::{encode_idx, mini_mnist, IDX_IMAGES_FILE, IDX_LABELS_FILE};
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/data/mini-mnist");
+    std::fs::create_dir_all(&dir).expect("create fixture directory");
+    let (images, labels) = mini_mnist::generate();
+    for (file, idx) in [(IDX_IMAGES_FILE, &images), (IDX_LABELS_FILE, &labels)] {
+        let path = dir.join(file);
+        let bytes = encode_idx(idx);
+        std::fs::write(&path, &bytes).expect("write fixture file");
+        println!(
+            "wrote {} ({} bytes, shape {:?})",
+            path.display(),
+            bytes.len(),
+            idx.shape
+        );
+    }
+}

@@ -8,21 +8,30 @@
 //!               --input 10x8192 --param weight=10x8192 \
 //!               [--data input.csv --data weight.csv | --random-seed 42]
 //! c4cam place   --arch spec.txt --stored-rows N --dims D [--queries Q]
+//! c4cam run     --dataset DIR|FILE.csv [--dataset-format idx|csv]
+//!               [--workload hdc|knn] [--limit N] [--arch spec.txt]
 //! c4cam sweep   [--workload hdc|knn|dtree|gpu] [--subarrays 16,32,...]
 //!               [--opts base,power,...] [--techs default,fefet-45nm,...]
 //!               [--bits 1,2] [--pareto] [--format table|json|csv]
+//!               [--dataset DIR|FILE.csv [--limit N]]
+//! c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv]
+//!               [--workload hdc|knn] [--limit N] [--bits 1,2]
+//!               [--subarray N] [--engine walk|tape] [--threads N]
+//!               [--format table|json|csv]
 //! ```
 //!
 //! The argument parsing and command execution live here (unit-tested);
 //! `src/bin/c4cam.rs` is a thin wrapper.
 
-use crate::driver::{DriverError, Engine, ParseKeywordError};
+use crate::accuracy::{evaluate, AccuracyReport};
+use crate::driver::{build_arch, DriverError, Engine, Experiment, ParseKeywordError};
 use crate::sweep::SweepPlan;
 use c4cam_arch::tech::TechnologyModel;
 use c4cam_arch::{parse_spec, ArchSpec, Optimization};
 use c4cam_camsim::{CamMachine, ExecStats};
 use c4cam_core::mapping::{place, MappingProblem};
 use c4cam_core::pipeline::{C4camPipeline, PipelineOptions, Target};
+use c4cam_datasets::{Dataset, DatasetFormat, DatasetTask, DatasetWorkload};
 use c4cam_engine::Tape;
 use c4cam_frontend::{parse_torchscript, FrontendConfig};
 use c4cam_ir::print::print_module;
@@ -117,10 +126,14 @@ pub enum Command {
     Compile(CompileArgs),
     /// Compile, execute on the simulator, print results and stats.
     Run(RunArgs),
+    /// Run a dataset workload end-to-end on the simulator.
+    RunDataset(DatasetRunArgs),
     /// Show the placement for a problem geometry.
     Place(PlaceArgs),
-    /// Run a design-space sweep over a built-in workload.
+    /// Run a design-space sweep over a built-in or dataset workload.
     Sweep(SweepArgs),
+    /// CAM-vs-CPU accuracy evaluation on a real dataset.
+    Accuracy(AccuracyArgs),
 }
 
 /// Arguments of `c4cam compile`.
@@ -218,13 +231,72 @@ pub struct RunArgs {
     pub format: OutputFormat,
 }
 
+/// Arguments of `c4cam run --dataset`: execute a [`DatasetWorkload`]
+/// through the experiment pipeline instead of compiling a TorchScript
+/// source.
+#[derive(Debug, Clone)]
+pub struct DatasetRunArgs {
+    /// Dataset path (IDX directory or CSV file).
+    pub dataset: String,
+    /// Explicit dataset format (inferred from the path when `None`).
+    pub dataset_format: Option<DatasetFormat>,
+    /// Task keyword (`hdc` = nearest prototype, `knn` = nearest
+    /// training sample).
+    pub task: String,
+    /// Cap on executed queries.
+    pub limit: Option<usize>,
+    /// Optional architecture spec file (the default [`ArchSpec`]
+    /// otherwise).
+    pub arch: Option<String>,
+    /// Execution engine.
+    pub engine: Engine,
+    /// Worker threads.
+    pub threads: usize,
+    /// Report format.
+    pub format: OutputFormat,
+}
+
+/// Arguments of `c4cam accuracy`: one dataset evaluated at each
+/// requested cell width, CAM vs. the CPU reference classifier.
+#[derive(Debug, Clone)]
+pub struct AccuracyArgs {
+    /// Dataset path (IDX directory or CSV file).
+    pub dataset: String,
+    /// Explicit dataset format (inferred from the path when `None`).
+    pub dataset_format: Option<DatasetFormat>,
+    /// Task keyword (`hdc` or `knn`).
+    pub task: String,
+    /// Cap on executed queries.
+    pub limit: Option<usize>,
+    /// Cell widths to evaluate (one report row each).
+    pub bits: Vec<u32>,
+    /// Square subarray size of the evaluation architecture.
+    pub subarray: usize,
+    /// Execution engine.
+    pub engine: Engine,
+    /// Worker threads.
+    pub threads: usize,
+    /// Report format.
+    pub format: SweepFormat,
+}
+
 /// Arguments of `c4cam sweep`: the grid dimensions plus the workload
 /// shape overrides. Unset shape fields fall back to the selected
-/// workload's paper defaults (see [`build_sweep_workload`]).
+/// workload's paper defaults (see [`build_sweep_workload`]); with
+/// `--dataset` the workload is a [`DatasetWorkload`] and the shape is
+/// fixed by the data.
 #[derive(Debug, Clone)]
 pub struct SweepArgs {
-    /// Workload keyword (`hdc`, `knn`, `dtree`, `gpu`).
+    /// Workload keyword (`hdc`, `knn`, `dtree`, `gpu`; with
+    /// [`SweepArgs::dataset`], the dataset task `hdc` or `knn`).
     pub workload: String,
+    /// Dataset path: sweep a dataset-backed workload instead of a
+    /// synthetic one.
+    pub dataset: Option<String>,
+    /// Explicit dataset format (inferred from the path when `None`).
+    pub dataset_format: Option<DatasetFormat>,
+    /// Cap on executed dataset queries.
+    pub limit: Option<usize>,
     /// Queries to simulate per grid point.
     pub queries: Option<usize>,
     /// Stored classes (hdc/gpu/dtree) or patterns (knn).
@@ -256,6 +328,9 @@ impl Default for SweepArgs {
     fn default() -> SweepArgs {
         SweepArgs {
             workload: "hdc".to_string(),
+            dataset: None,
+            dataset_format: None,
+            limit: None,
             queries: None,
             classes: None,
             dims: None,
@@ -305,10 +380,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut source = None;
     let mut inputs = Vec::new();
     let mut params = Vec::new();
-    let mut emit = EmitStage::Cam;
+    let mut emit: Option<EmitStage> = None;
     let mut canonicalize = false;
     let mut data = Vec::new();
-    let mut random_seed = 42u64;
+    let mut random_seed: Option<u64> = None;
     let mut stored_rows = None;
     let mut dims = None;
     let mut queries: Option<usize> = None;
@@ -322,6 +397,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut techs: Option<Vec<String>> = None;
     let mut bits: Option<Vec<u32>> = None;
     let mut pareto = false;
+    let mut dataset: Option<String> = None;
+    let mut dataset_format: Option<DatasetFormat> = None;
+    let mut limit: Option<usize> = None;
+    let mut subarray: Option<usize> = None;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -345,15 +424,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--emit" => {
                 let v = next_value(&mut it, flag)?;
-                emit = EmitStage::from_keyword(&v)
-                    .ok_or_else(|| cli_err(format!("unknown --emit stage '{v}'")))?;
+                emit = Some(
+                    EmitStage::from_keyword(&v)
+                        .ok_or_else(|| cli_err(format!("unknown --emit stage '{v}'")))?,
+                );
             }
             "--canonicalize" => canonicalize = true,
             "--data" => data.push(next_value(&mut it, flag)?),
             "--random-seed" => {
-                random_seed = next_value(&mut it, flag)?
-                    .parse()
-                    .map_err(|_| cli_err("--random-seed expects an integer"))?;
+                random_seed = Some(
+                    next_value(&mut it, flag)?
+                        .parse()
+                        .map_err(|_| cli_err("--random-seed expects an integer"))?,
+                );
             }
             "--stored-rows" => {
                 stored_rows = Some(
@@ -432,6 +515,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 })?);
             }
             "--pareto" => pareto = true,
+            "--dataset" => dataset = Some(next_value(&mut it, flag)?),
+            "--dataset-format" => {
+                dataset_format = Some(next_value(&mut it, flag)?.parse().map_err(cli_err)?);
+            }
+            "--limit" => {
+                limit = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| cli_err("--limit expects a positive integer"))?,
+                );
+            }
+            "--subarray" => {
+                subarray = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| cli_err("--subarray expects a positive integer"))?,
+                );
+            }
             other => return Err(cli_err(format!("unknown flag '{other}'\n{}", usage()))),
         }
     }
@@ -447,45 +552,134 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     };
     // Flags are parsed in one namespace; reject cross-command ones
     // explicitly so e.g. `sweep --arch spec.txt` cannot silently sweep
-    // the built-in hierarchy instead of the user's spec.
-    if cmd == "sweep" {
-        for (given, flag) in [
-            (arch.is_some(), "--arch"),
-            (source.is_some(), "--source"),
-            (!inputs.is_empty(), "--input"),
-            (!params.is_empty(), "--param"),
-            (!data.is_empty(), "--data"),
-            (stored_rows.is_some(), "--stored-rows"),
-        ] {
+    // the built-in hierarchy instead of the user's spec. Flag groups:
+    // compile-ish flags belong to compile/run/place, grid flags to
+    // sweep (--bits also to accuracy), dataset flags to run/sweep/
+    // accuracy, --subarray to accuracy alone.
+    let reject = |groups: &[&[(bool, &str)]], cmd: &str| -> Result<(), CliError> {
+        for &(given, flag) in groups.iter().copied().flatten() {
             if given {
-                return Err(cli_err(format!(
-                    "{flag} is not supported by 'sweep' (it sweeps built-in workloads over generated architectures)"
-                )));
+                return Err(cli_err(format!("{flag} is not supported by '{cmd}'")));
             }
         }
-    } else {
-        for (given, flag) in [
-            (workload.is_some(), "--workload"),
-            (subarrays.is_some(), "--subarrays"),
-            (opts.is_some(), "--opts"),
-            (techs.is_some(), "--techs"),
-            (bits.is_some(), "--bits"),
-            (classes.is_some(), "--classes"),
-            (pareto, "--pareto"),
-        ] {
-            if given {
-                return Err(cli_err(format!("{flag} is only supported by 'sweep'")));
+        Ok(())
+    };
+    let compile_flags: &[(bool, &str)] = &[
+        (arch.is_some(), "--arch"),
+        (source.is_some(), "--source"),
+        (!inputs.is_empty(), "--input"),
+        (!params.is_empty(), "--param"),
+        (!data.is_empty(), "--data"),
+        (stored_rows.is_some(), "--stored-rows"),
+    ];
+    let sweep_only: &[(bool, &str)] = &[
+        (subarrays.is_some(), "--subarrays"),
+        (opts.is_some(), "--opts"),
+        (techs.is_some(), "--techs"),
+        (classes.is_some(), "--classes"),
+        (pareto, "--pareto"),
+    ];
+    let dataset_flags: &[(bool, &str)] = &[
+        (dataset.is_some(), "--dataset"),
+        (dataset_format.is_some(), "--dataset-format"),
+        (limit.is_some(), "--limit"),
+    ];
+    let bits_flag: &[(bool, &str)] = &[(bits.is_some(), "--bits")];
+    let subarray_flag: &[(bool, &str)] = &[(subarray.is_some(), "--subarray")];
+    let workload_flag: &[(bool, &str)] = &[(workload.is_some(), "--workload")];
+    // Flags that configure source compilation / synthetic data — they
+    // would be silently ignored everywhere else.
+    let source_run_flags: &[(bool, &str)] = &[
+        (emit.is_some(), "--emit"),
+        (canonicalize, "--canonicalize"),
+        (random_seed.is_some(), "--random-seed"),
+    ];
+    match cmd.as_str() {
+        "compile" | "place" => {
+            reject(
+                &[
+                    sweep_only,
+                    dataset_flags,
+                    bits_flag,
+                    subarray_flag,
+                    workload_flag,
+                ],
+                cmd,
+            )?;
+            if cmd == "place" {
+                reject(&[source_run_flags], cmd)?;
             }
         }
+        "run" => {
+            reject(&[sweep_only, bits_flag, subarray_flag], cmd)?;
+            if dataset.is_some() {
+                // A dataset run replaces the TorchScript source; only
+                // --arch carries over (the spec to simulate on).
+                for (given, flag) in [
+                    (source.is_some(), "--source"),
+                    (!inputs.is_empty(), "--input"),
+                    (!params.is_empty(), "--param"),
+                    (!data.is_empty(), "--data"),
+                    (stored_rows.is_some(), "--stored-rows"),
+                    (emit.is_some(), "--emit"),
+                    (canonicalize, "--canonicalize"),
+                    (random_seed.is_some(), "--random-seed"),
+                ] {
+                    if given {
+                        return Err(cli_err(format!(
+                            "{flag} is not supported by 'run --dataset' (the dataset supplies the kernel and the data)"
+                        )));
+                    }
+                }
+            } else {
+                reject(&[dataset_flags, workload_flag], "run (without --dataset)")?;
+            }
+        }
+        "sweep" => {
+            reject(&[compile_flags, subarray_flag, source_run_flags], cmd)?;
+            if dataset.is_some() && (classes.is_some() || dims.is_some() || queries.is_some()) {
+                return Err(cli_err(
+                    "--classes/--dims/--queries are not supported with 'sweep --dataset' \
+                     (the dataset fixes the shape; use --limit to cap queries)",
+                ));
+            }
+        }
+        "accuracy" => reject(
+            &[
+                compile_flags,
+                sweep_only,
+                source_run_flags,
+                &[(queries.is_some(), "--queries"), (dims.is_some(), "--dims")],
+            ],
+            cmd,
+        )?,
+        _ => {}
     }
     match cmd.as_str() {
+        "run" if dataset.is_some() => {
+            if engine == Engine::Walk && threads > 1 {
+                return Err(cli_err(
+                    "--threads requires the tape engine (the walker oracle is single-threaded)",
+                ));
+            }
+            Ok(Command::RunDataset(DatasetRunArgs {
+                dataset: dataset.expect("guarded"),
+                dataset_format,
+                task: workload.unwrap_or_else(|| "hdc".to_string()),
+                limit,
+                arch,
+                engine,
+                threads,
+                format: out_format(format)?,
+            }))
+        }
         "compile" | "run" => {
             let compile = CompileArgs {
                 arch: require(arch, "--arch")?,
                 source: require(source, "--source")?,
                 inputs,
                 params,
-                emit,
+                emit: emit.unwrap_or(EmitStage::Cam),
                 canonicalize,
             };
             if cmd == "compile" {
@@ -499,12 +693,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 Ok(Command::Run(RunArgs {
                     compile,
                     data,
-                    random_seed,
+                    random_seed: random_seed.unwrap_or(42),
                     engine,
                     threads,
                     format: out_format(format)?,
                 }))
             }
+        }
+        "accuracy" => {
+            if engine == Engine::Walk && threads > 1 {
+                return Err(cli_err(
+                    "--threads requires the tape engine (the walker oracle is single-threaded)",
+                ));
+            }
+            Ok(Command::Accuracy(AccuracyArgs {
+                dataset: require(dataset, "--dataset")?,
+                dataset_format,
+                task: workload.unwrap_or_else(|| "hdc".to_string()),
+                limit,
+                bits: bits.unwrap_or_else(|| vec![1, 2]),
+                subarray: subarray.unwrap_or(32),
+                engine,
+                threads,
+                format: match format {
+                    None => SweepFormat::default(),
+                    Some(v) => v.parse().map_err(cli_err)?,
+                },
+            }))
         }
         "place" => Ok(Command::Place(PlaceArgs {
             arch: require(arch, "--arch")?,
@@ -522,6 +737,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let defaults = SweepArgs::default();
             Ok(Command::Sweep(SweepArgs {
                 workload: workload.unwrap_or(defaults.workload),
+                dataset,
+                dataset_format,
+                limit,
                 queries,
                 classes,
                 dims,
@@ -572,7 +790,7 @@ fn parse_tech(name: &str) -> Result<Option<TechnologyModel>, CliError> {
 
 /// Usage text.
 pub fn usage() -> &'static str {
-    "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine walk|tape] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]\n  c4cam sweep   [--workload hdc|knn|dtree|gpu] [--queries N] [--classes N] [--dims D] [--subarrays N,N,...] [--opts base,power,density,power+density] [--techs default,fefet-45nm,cmos-16nm] [--bits 1,2] [--engine walk|tape] [--threads N] [--pareto] [--format table|json|csv]"
+    "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine walk|tape] [--threads N] [--format text|json]\n  c4cam run     --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--arch SPEC] [--engine walk|tape] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]\n  c4cam sweep   [--workload hdc|knn|dtree|gpu] [--queries N] [--classes N] [--dims D] [--subarrays N,N,...] [--opts base,power,density,power+density] [--techs default,fefet-45nm,cmos-16nm] [--bits 1,2] [--engine walk|tape] [--threads N] [--pareto] [--format table|json|csv] [--dataset DIR|FILE.csv [--dataset-format idx|csv] [--limit N]]\n  c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--bits 1,2] [--subarray N] [--engine walk|tape] [--threads N] [--format table|json|csv]"
 }
 
 fn load_arch(path: &str) -> Result<ArchSpec, CliError> {
@@ -855,9 +1073,105 @@ fn read_csv_tensor(path: &str, shape: &[usize]) -> Result<Tensor, CliError> {
     Tensor::from_vec(shape.to_vec(), data).map_err(cli_err)
 }
 
+/// Parse a dataset task keyword (`hdc`/`knn`).
+fn parse_task(s: &str) -> Result<DatasetTask, CliError> {
+    match s {
+        "hdc" => Ok(DatasetTask::Hdc),
+        "knn" => Ok(DatasetTask::Knn),
+        other => Err(cli_err(format!(
+            "unknown dataset --workload '{other}' (expected hdc|knn)"
+        ))),
+    }
+}
+
+/// Load a dataset from disk and adapt it to a [`DatasetWorkload`].
+fn load_dataset_workload(
+    path: &str,
+    format: Option<DatasetFormat>,
+    task: &str,
+    limit: Option<usize>,
+) -> Result<DatasetWorkload, CliError> {
+    let task = parse_task(task)?;
+    let dataset = Dataset::load(std::path::Path::new(path), format).map_err(cli_err)?;
+    DatasetWorkload::new(dataset, task, limit).map_err(cli_err)
+}
+
+/// Execute `run --dataset`: one experiment over the dataset workload.
+pub fn run_dataset(args: &DatasetRunArgs) -> Result<String, CliError> {
+    let workload =
+        load_dataset_workload(&args.dataset, args.dataset_format, &args.task, args.limit)?;
+    let spec = match &args.arch {
+        Some(path) => load_arch(path)?,
+        None => ArchSpec::default(),
+    };
+    let outcome = Experiment::new(&workload)
+        .arch(spec)
+        .engine(args.engine)
+        .threads(args.threads)
+        .run()?;
+    let accuracy = workload.class_accuracy(&outcome.predictions);
+    Ok(match args.format {
+        OutputFormat::Text => format!(
+            "dataset {} ({}): {} stored rows x {} dims, {} queries\n\
+             accuracy: {:.4}\n\n{}",
+            workload.dataset().name(),
+            workload.name(),
+            workload.stored_rows(),
+            workload.dims(),
+            outcome.queries,
+            accuracy,
+            outcome.total
+        ),
+        OutputFormat::Json => format!(
+            concat!(
+                "{{\"dataset\":\"{}\",\"task\":\"{}\",\"stored_rows\":{},",
+                "\"dims\":{},\"queries\":{},\"accuracy\":{},\"stats\":{}}}"
+            ),
+            crate::accuracy::json_escape(workload.dataset().name()),
+            workload.name(),
+            workload.stored_rows(),
+            workload.dims(),
+            outcome.queries,
+            accuracy,
+            outcome.total.to_json()
+        ),
+    })
+}
+
+/// Execute `accuracy`: evaluate the dataset at each requested cell
+/// width and render the CAM-vs-CPU report.
+pub fn run_accuracy(args: &AccuracyArgs) -> Result<String, CliError> {
+    let workload =
+        load_dataset_workload(&args.dataset, args.dataset_format, &args.task, args.limit)?;
+    let mut rows = Vec::with_capacity(args.bits.len());
+    for &bits in &args.bits {
+        let spec = build_arch(
+            (args.subarray, args.subarray),
+            (4, 4, 8),
+            Optimization::Base,
+            bits,
+        )
+        .map_err(cli_err)?;
+        rows.push(evaluate(&workload, &spec, args.engine, args.threads)?);
+    }
+    let report = AccuracyReport { rows };
+    let rendered = match args.format {
+        SweepFormat::Table => report.to_table(),
+        SweepFormat::Json => report.to_json(),
+        SweepFormat::Csv => report.to_csv(),
+    };
+    // The binary prints with a trailing newline of its own.
+    Ok(rendered.trim_end_matches('\n').to_string())
+}
+
 /// Build the workload a `sweep` invocation selects, applying the shape
-/// overrides over the workload's paper defaults.
+/// overrides over the workload's paper defaults (dataset sweeps fix
+/// the shape from the data).
 pub fn build_sweep_workload(args: &SweepArgs) -> Result<Box<dyn Workload>, CliError> {
+    if let Some(path) = &args.dataset {
+        let w = load_dataset_workload(path, args.dataset_format, &args.workload, args.limit)?;
+        return Ok(Box::new(w));
+    }
     match args.workload.as_str() {
         "hdc" => {
             let mut w = HdcWorkload::paper(args.queries.unwrap_or(16));
@@ -935,8 +1249,10 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             let report = run_run(args)?;
             Ok(report.render(args.format))
         }
+        Command::RunDataset(args) => run_dataset(args),
         Command::Place(args) => run_place(args),
         Command::Sweep(args) => run_sweep(args),
+        Command::Accuracy(args) => run_accuracy(args),
     }
 }
 
@@ -1417,6 +1733,355 @@ optimization: density
             "csv".parse::<OutputFormat>().unwrap_err().to_string(),
             "unknown --format 'csv' (expected text|json)"
         );
+    }
+
+    fn fixture_path() -> String {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/examples/data/mini-mnist").to_string()
+    }
+
+    #[test]
+    fn accuracy_args_parse_with_defaults_and_overrides() {
+        let cmd = parse_args(&strings(&["accuracy", "--dataset", "d"])).unwrap();
+        match cmd {
+            Command::Accuracy(a) => {
+                assert_eq!(a.dataset, "d");
+                assert_eq!(a.dataset_format, None);
+                assert_eq!(a.task, "hdc");
+                assert_eq!(a.limit, None);
+                assert_eq!(a.bits, vec![1, 2]);
+                assert_eq!(a.subarray, 32);
+                assert_eq!(a.engine, Engine::Tape);
+                assert_eq!(a.threads, 1);
+                assert_eq!(a.format, SweepFormat::Table);
+            }
+            other => panic!("expected accuracy, got {other:?}"),
+        }
+        let cmd = parse_args(&strings(&[
+            "accuracy",
+            "--dataset",
+            "d.csv",
+            "--dataset-format",
+            "csv",
+            "--workload",
+            "knn",
+            "--limit",
+            "16",
+            "--bits",
+            "1,4",
+            "--subarray",
+            "64",
+            "--engine",
+            "walk",
+            "--threads",
+            "1",
+            "--format",
+            "csv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Accuracy(a) => {
+                assert_eq!(a.dataset_format, Some(DatasetFormat::Csv));
+                assert_eq!(a.task, "knn");
+                assert_eq!(a.limit, Some(16));
+                assert_eq!(a.bits, vec![1, 4]);
+                assert_eq!(a.subarray, 64);
+                assert_eq!(a.engine, Engine::Walk);
+                assert_eq!(a.format, SweepFormat::Csv);
+            }
+            other => panic!("expected accuracy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_run_flags_are_rejected_where_silently_ignored() {
+        // --random-seed/--emit/--canonicalize configure source
+        // compilation and synthetic data; commands that cannot honor
+        // them must reject instead of silently ignoring.
+        assert!(parse_args(&strings(&["sweep", "--random-seed", "7"])).is_err());
+        assert!(parse_args(&strings(&["accuracy", "--dataset", "d", "--emit", "cam"])).is_err());
+        assert!(parse_args(&strings(&["accuracy", "--dataset", "d", "--canonicalize"])).is_err());
+        assert!(parse_args(&strings(&[
+            "place",
+            "--arch",
+            "a",
+            "--stored-rows",
+            "4",
+            "--dims",
+            "8",
+            "--random-seed",
+            "7"
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&["run", "--dataset", "d", "--random-seed", "7"])).is_err());
+        assert!(parse_args(&strings(&["run", "--dataset", "d", "--stored-rows", "4"])).is_err());
+        // The defaults still apply when the flags are absent.
+        match parse_args(&strings(&["run", "--arch", "a", "--source", "s"])).unwrap() {
+            Command::Run(r) => {
+                assert_eq!(r.random_seed, 42);
+                assert_eq!(r.compile.emit, EmitStage::Cam);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accuracy_arg_errors_are_caught() {
+        // Missing the dataset, bad formats, bad values, foreign flags.
+        assert!(parse_args(&strings(&["accuracy"])).is_err());
+        assert!(parse_args(&strings(&[
+            "accuracy",
+            "--dataset",
+            "d",
+            "--dataset-format",
+            "npz"
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&["accuracy", "--dataset", "d", "--limit", "0"])).is_err());
+        assert!(parse_args(&strings(&["accuracy", "--dataset", "d", "--bits", "5"])).is_err());
+        assert!(parse_args(&strings(&["accuracy", "--dataset", "d", "--subarray", "0"])).is_err());
+        assert!(parse_args(&strings(&[
+            "accuracy",
+            "--dataset",
+            "d",
+            "--arch",
+            "spec.txt"
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&["accuracy", "--dataset", "d", "--pareto"])).is_err());
+        assert!(parse_args(&strings(&[
+            "accuracy",
+            "--dataset",
+            "d",
+            "--engine",
+            "walk",
+            "--threads",
+            "2"
+        ]))
+        .is_err());
+        // Dataset flags stay off the other commands.
+        assert!(parse_args(&strings(&[
+            "place",
+            "--arch",
+            "a",
+            "--stored-rows",
+            "4",
+            "--dims",
+            "8",
+            "--dataset",
+            "d"
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&[
+            "run", "--arch", "a", "--source", "s", "--limit", "4"
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&[
+            "run",
+            "--arch",
+            "a",
+            "--source",
+            "s",
+            "--subarray",
+            "4"
+        ]))
+        .is_err());
+        // An unknown task surfaces at execution time with the keyword
+        // list.
+        let e = run_accuracy(&AccuracyArgs {
+            dataset: fixture_path(),
+            dataset_format: None,
+            task: "dtree".to_string(),
+            limit: Some(4),
+            bits: vec![1],
+            subarray: 32,
+            engine: Engine::Tape,
+            threads: 1,
+            format: SweepFormat::Table,
+        })
+        .unwrap_err();
+        assert!(e.message.contains("expected hdc|knn"), "{e}");
+    }
+
+    #[test]
+    fn run_dataset_args_parse_and_reject_source() {
+        let cmd = parse_args(&strings(&[
+            "run",
+            "--dataset",
+            "dir",
+            "--workload",
+            "knn",
+            "--limit",
+            "8",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::RunDataset(r) => {
+                assert_eq!(r.dataset, "dir");
+                assert_eq!(r.task, "knn");
+                assert_eq!(r.limit, Some(8));
+                assert_eq!(r.arch, None);
+                assert_eq!(r.format, OutputFormat::Json);
+            }
+            other => panic!("expected run --dataset, got {other:?}"),
+        }
+        let e = parse_args(&strings(&["run", "--dataset", "dir", "--source", "k.py"])).unwrap_err();
+        assert!(e.message.contains("run --dataset"), "{e}");
+    }
+
+    #[test]
+    fn accuracy_on_the_fixture_matches_cpu_exactly_in_every_format() {
+        let args = |format: SweepFormat| AccuracyArgs {
+            dataset: fixture_path(),
+            dataset_format: None,
+            task: "hdc".to_string(),
+            limit: Some(16),
+            bits: vec![1, 2],
+            subarray: 32,
+            engine: Engine::Tape,
+            threads: 1,
+            format,
+        };
+        let csv = run_accuracy(&args(SweepFormat::Csv)).unwrap();
+        assert!(csv.starts_with(crate::accuracy::CSV_HEADER), "{csv}");
+        assert_eq!(csv.lines().count(), 3, "header + 2 bit widths: {csv}");
+        for line in csv.lines().skip(1) {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields[0], "dataset-hdc");
+            assert_eq!(fields[1], "mini-mnist");
+            // cam_accuracy == cpu_accuracy and agreement == 1.
+            assert_eq!(fields[9], fields[10], "{line}");
+            assert_eq!(fields[11], "1", "{line}");
+        }
+        let table = run_accuracy(&args(SweepFormat::Table)).unwrap();
+        assert!(table.contains("mini-mnist"), "{table}");
+        let json = run_accuracy(&args(SweepFormat::Json)).unwrap();
+        assert!(json.contains("\"agreement\":1"), "{json}");
+        assert!(json.contains("\"query_phase\":{"), "{json}");
+    }
+
+    #[test]
+    fn accuracy_is_bit_identical_across_engines_and_threads() {
+        let mk = |engine, threads| AccuracyArgs {
+            dataset: fixture_path(),
+            dataset_format: Some(DatasetFormat::Idx),
+            task: "knn".to_string(),
+            limit: Some(12),
+            bits: vec![2],
+            subarray: 32,
+            engine,
+            threads,
+            format: SweepFormat::Csv,
+        };
+        let walk = run_accuracy(&mk(Engine::Walk, 1)).unwrap();
+        let tape = run_accuracy(&mk(Engine::Tape, 1)).unwrap();
+        let sharded = run_accuracy(&mk(Engine::Tape, 4)).unwrap();
+        // The engine/threads columns differ by construction. The
+        // accuracy columns must be bit-identical everywhere; the
+        // stats columns are bit-identical between the sequential
+        // engines, and equal to the documented merge tolerance when
+        // the query loop is sharded (worker stats re-sum in shard
+        // order).
+        let cols = |csv: &str, lo: usize, hi: usize| -> Vec<String> {
+            csv.lines()
+                .skip(1)
+                .map(|l| {
+                    let f: Vec<&str> = l.split(',').collect();
+                    f[lo..hi].join("|")
+                })
+                .collect()
+        };
+        assert_eq!(cols(&walk, 9, 12), cols(&tape, 9, 12), "accuracy columns");
+        assert_eq!(
+            cols(&walk, 9, 12),
+            cols(&sharded, 9, 12),
+            "accuracy columns"
+        );
+        assert_eq!(cols(&walk, 12, 14), cols(&tape, 12, 14), "sequential stats");
+        for (a, b) in cols(&tape, 12, 14)
+            .iter()
+            .flat_map(|r| r.split('|'))
+            .zip(cols(&sharded, 12, 14).iter().flat_map(|r| r.split('|')))
+        {
+            let (a, b): (f64, f64) = (a.parse().unwrap(), b.parse().unwrap());
+            assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn run_dataset_executes_the_fixture() {
+        let text = run_dataset(&DatasetRunArgs {
+            dataset: fixture_path(),
+            dataset_format: None,
+            task: "hdc".to_string(),
+            limit: Some(8),
+            arch: None,
+            engine: Engine::Tape,
+            threads: 1,
+            format: OutputFormat::Text,
+        })
+        .unwrap();
+        assert!(text.contains("mini-mnist"), "{text}");
+        assert!(text.contains("accuracy:"), "{text}");
+        let json = run_dataset(&DatasetRunArgs {
+            dataset: fixture_path(),
+            dataset_format: None,
+            task: "knn".to_string(),
+            limit: Some(8),
+            arch: None,
+            engine: Engine::Tape,
+            threads: 2,
+            format: OutputFormat::Json,
+        })
+        .unwrap();
+        assert!(json.starts_with("{\"dataset\":\"mini-mnist\""), "{json}");
+        assert!(json.contains("\"stats\":{"), "{json}");
+    }
+
+    #[test]
+    fn sweep_dataset_args_parse_and_reject_shape_overrides() {
+        let cmd = parse_args(&strings(&[
+            "sweep",
+            "--dataset",
+            "dir",
+            "--workload",
+            "knn",
+            "--limit",
+            "4",
+            "--subarrays",
+            "32",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Sweep(s) => {
+                assert_eq!(s.dataset, Some("dir".to_string()));
+                assert_eq!(s.limit, Some(4));
+                assert_eq!(s.workload, "knn");
+            }
+            other => panic!("expected sweep, got {other:?}"),
+        }
+        let e = parse_args(&strings(&["sweep", "--dataset", "dir", "--classes", "4"])).unwrap_err();
+        assert!(e.message.contains("sweep --dataset"), "{e}");
+        assert!(parse_args(&strings(&["sweep", "--dataset", "dir", "--queries", "4"])).is_err());
+    }
+
+    #[test]
+    fn sweep_runs_the_dataset_fixture_end_to_end() {
+        let out = run_sweep(&SweepArgs {
+            workload: "hdc".to_string(),
+            dataset: Some(fixture_path()),
+            dataset_format: None,
+            limit: Some(4),
+            subarrays: vec![32],
+            opts: vec![Optimization::Base],
+            bits: vec![1],
+            format: SweepFormat::Csv,
+            ..SweepArgs::default()
+        })
+        .unwrap();
+        assert!(out.starts_with("workload,subarray_rows"), "{out}");
+        assert!(out.contains("dataset-hdc,32,32"), "{out}");
     }
 
     #[test]

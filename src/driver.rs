@@ -238,6 +238,17 @@ impl RunOutcome {
         accuracy(&self.predictions, &self.labels)
     }
 
+    /// Fraction of queries whose prediction equals `reference`
+    /// position-for-position (`1.0` = exact agreement). Used by
+    /// `c4cam accuracy` to pin CAM predictions against the CPU
+    /// reference classifier.
+    ///
+    /// # Panics
+    /// Panics if `reference` does not have one entry per query.
+    pub fn prediction_agreement(&self, reference: &[usize]) -> f64 {
+        accuracy(&self.predictions, reference)
+    }
+
     /// Query-phase latency per query, ns.
     pub fn latency_per_query_ns(&self) -> f64 {
         self.query_phase.latency_ns / self.queries.max(1) as f64

@@ -22,6 +22,7 @@
 pub use c4cam_arch as arch;
 pub use c4cam_camsim as camsim;
 pub use c4cam_core as compiler;
+pub use c4cam_datasets as datasets;
 pub use c4cam_engine as engine;
 pub use c4cam_frontend as frontend;
 pub use c4cam_ir as ir;
@@ -29,6 +30,7 @@ pub use c4cam_runtime as runtime;
 pub use c4cam_tensor as tensor;
 pub use c4cam_workloads as workloads;
 
+pub mod accuracy;
 pub mod cli;
 pub mod driver;
 pub mod sweep;

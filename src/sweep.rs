@@ -590,6 +590,38 @@ mod tests {
     }
 
     #[test]
+    fn dataset_workloads_flow_through_the_sweep_grid() {
+        // Real data through the unchanged grid: the per-point outcome
+        // must equal an individually built Experiment at that point,
+        // including re-quantization when the bits dimension changes.
+        use c4cam_datasets::{mini_mnist, DatasetTask, DatasetWorkload};
+        let w = DatasetWorkload::new(mini_mnist::dataset(), DatasetTask::Hdc, Some(6)).unwrap();
+        let outcome = SweepPlan::new(&w)
+            .square_subarrays([32])
+            .optimizations([Optimization::Base])
+            .bits([1, 2])
+            .run()
+            .unwrap();
+        assert_eq!(outcome.points.len(), 2);
+        assert_eq!(outcome.workload, "dataset-hdc");
+        for p in &outcome.points {
+            let spec = crate::driver::build_arch(
+                p.grid.subarray,
+                (4, 4, 8),
+                p.grid.optimization,
+                p.grid.bits_per_cell,
+            )
+            .unwrap();
+            let direct = Experiment::new(&w).arch(spec).run().unwrap();
+            assert_eq!(p.outcome.predictions, direct.predictions);
+            assert_eq!(p.outcome.total, direct.total);
+        }
+        // The two bit widths genuinely quantize differently.
+        let csv = outcome.to_csv(false);
+        assert!(csv.contains("dataset-hdc,32,32"), "{csv}");
+    }
+
+    #[test]
     fn sweep_point_failure_names_the_grid_point_and_stage() {
         // An out-of-range cell width fails spec validation at that
         // grid point; the error names the point.

@@ -1,0 +1,103 @@
+//! Property-based tests for the dataset subsystem: the quantizer's
+//! level-alphabet guarantees across every supported `bits_per_cell`,
+//! and byte-exact IDX encode/decode round trips on arbitrary shapes.
+
+use c4cam::datasets::{encode_idx, parse_idx, IdxFile, Quantizer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // -----------------------------------------------------------------
+    // Quantizer: levels always fit the alphabet, quantization is
+    // monotone, and the level grid is a fixed point — for every cell
+    // width the spec accepts (1..=4 bits).
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn quantizer_levels_fit_the_alphabet(
+        bits in 1u32..5,
+        lo in -1e3f64..1e3,
+        width in 1e-3f64..1e6,
+        values in proptest::collection::vec(-2e6f64..2e6, 1..32),
+    ) {
+        let q = Quantizer::with_range(bits, lo, lo + width).unwrap();
+        prop_assert_eq!(q.levels(), 1u32 << bits);
+        for &v in &values {
+            let level = q.quantize(v);
+            prop_assert!(level < (1u32 << bits), "level {} at {} bits", level, bits);
+        }
+    }
+
+    #[test]
+    fn quantization_is_monotone(
+        bits in 1u32..5,
+        lo in -1e3f64..1e3,
+        width in 1e-3f64..1e6,
+        a in -2e6f64..2e6,
+        b in -2e6f64..2e6,
+    ) {
+        let q = Quantizer::with_range(bits, lo, lo + width).unwrap();
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            q.quantize(small) <= q.quantize(large),
+            "q({}) = {} > q({}) = {}",
+            small, q.quantize(small), large, q.quantize(large)
+        );
+    }
+
+    #[test]
+    fn dequantize_then_quantize_is_the_identity_on_levels(
+        bits in 1u32..5,
+        lo in -1e3f64..1e3,
+        width in 1e-3f64..1e6,
+    ) {
+        let q = Quantizer::with_range(bits, lo, lo + width).unwrap();
+        for level in 0..q.levels() {
+            let v = q.dequantize(level);
+            prop_assert!(v.is_finite());
+            prop_assert!(v >= lo && v <= lo + width, "{} outside the domain", v);
+            prop_assert_eq!(q.quantize(v), level, "bits {}, level {}", bits, level);
+        }
+    }
+
+    #[test]
+    fn quantize_row_matches_scalar_quantization(
+        bits in 1u32..5,
+        row in proptest::collection::vec(0f64..256.0, 1..64),
+    ) {
+        let q = Quantizer::with_range(bits, 0.0, 255.0).unwrap();
+        let quantized = q.quantize_row(&row);
+        prop_assert_eq!(quantized.len(), row.len());
+        for (&v, &level) in row.iter().zip(&quantized) {
+            prop_assert_eq!(level, q.quantize(v) as f32);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // IDX container: encode/parse is a byte-exact round trip.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn idx_encode_parse_round_trips(
+        shape in proptest::collection::vec(1usize..6, 1..4),
+        seed in 0u64..10_000,
+    ) {
+        let n: usize = shape.iter().product();
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let data: Vec<u8> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect();
+        let file = IdxFile::new(shape, data);
+        let bytes = encode_idx(&file);
+        let parsed = parse_idx(&bytes).unwrap();
+        prop_assert_eq!(&parsed, &file);
+        // Re-encoding the parse reproduces the bytes exactly.
+        prop_assert_eq!(encode_idx(&parsed), bytes);
+    }
+}

@@ -1,0 +1,207 @@
+//! Golden-file tests for the dataset subsystem: the committed
+//! mini-MNIST fixture must decode byte-exactly (and stay in sync with
+//! its generator), and every malformed-input path must surface the
+//! specific `DatasetError` variant.
+
+use c4cam::datasets::{
+    encode_idx, mini_mnist, parse_idx, Dataset, DatasetError, DatasetFormat, IDX_IMAGES_FILE,
+    IDX_LABELS_FILE,
+};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/data/mini-mnist")
+}
+
+fn fixture_bytes(file: &str) -> Vec<u8> {
+    std::fs::read(fixture_dir().join(file)).expect("committed fixture file")
+}
+
+#[test]
+fn committed_fixture_is_byte_exactly_the_generator_output() {
+    // The fixture was generated once and checked in; if either the
+    // files or the generator drift, this fails and `cargo run
+    // --example gen_mini_mnist` re-syncs them.
+    let (images, labels) = mini_mnist::generate();
+    assert_eq!(
+        fixture_bytes(IDX_IMAGES_FILE),
+        encode_idx(&images),
+        "images.idx drifted from the generator"
+    );
+    assert_eq!(
+        fixture_bytes(IDX_LABELS_FILE),
+        encode_idx(&labels),
+        "labels.idx drifted from the generator"
+    );
+}
+
+#[test]
+fn committed_fixture_decodes_byte_exactly() {
+    let images = parse_idx(&fixture_bytes(IDX_IMAGES_FILE)).unwrap();
+    let labels = parse_idx(&fixture_bytes(IDX_LABELS_FILE)).unwrap();
+    assert_eq!(
+        images.shape,
+        vec![mini_mnist::SAMPLES, mini_mnist::SIDE, mini_mnist::SIDE]
+    );
+    assert_eq!(labels.shape, vec![mini_mnist::SAMPLES]);
+    let (gen_images, gen_labels) = mini_mnist::generate();
+    assert_eq!(images, gen_images);
+    assert_eq!(labels, gen_labels);
+    // A spot-checked sample: decoding is positionally exact.
+    assert_eq!(images.sample(3), gen_images.sample(3));
+    assert_eq!(labels.data[3], 3);
+}
+
+#[test]
+fn fixture_loads_through_the_directory_path() {
+    let d = Dataset::load(&fixture_dir(), None).unwrap();
+    assert_eq!(d.samples(), mini_mnist::SAMPLES);
+    assert_eq!(d.dims(), mini_mnist::SIDE * mini_mnist::SIDE);
+    assert_eq!(d.classes(), mini_mnist::CLASSES);
+    assert_eq!(d, mini_mnist::dataset());
+    // Directory inference picks IDX; an explicit format agrees.
+    assert_eq!(
+        DatasetFormat::infer(&fixture_dir()),
+        Some(DatasetFormat::Idx)
+    );
+    let explicit = Dataset::load(&fixture_dir(), Some(DatasetFormat::Idx)).unwrap();
+    assert_eq!(explicit, d);
+}
+
+#[test]
+fn corrupted_fixture_bytes_fail_with_the_specific_variant() {
+    let good = fixture_bytes(IDX_IMAGES_FILE);
+
+    // Truncated header: cut inside the dimension words.
+    let e = parse_idx(&good[..9]).unwrap_err();
+    assert!(matches!(e, DatasetError::TruncatedHeader { len: 9 }), "{e}");
+
+    // Bad magic: nonzero first byte.
+    let mut bad = good.clone();
+    bad[0] = 0x1f;
+    let e = parse_idx(&bad).unwrap_err();
+    assert!(
+        matches!(e, DatasetError::BadMagic { found: [0x1f, 0] }),
+        "{e}"
+    );
+
+    // Unsupported element type (f32 = 0x0d).
+    let mut bad = good.clone();
+    bad[2] = 0x0d;
+    let e = parse_idx(&bad).unwrap_err();
+    assert!(matches!(e, DatasetError::UnsupportedType(0x0d)), "{e}");
+
+    // Truncated payload: drop the last pixel.
+    let e = parse_idx(&good[..good.len() - 1]).unwrap_err();
+    assert!(
+        matches!(
+            e,
+            DatasetError::Truncated {
+                expected: 16384,
+                found: 16383
+            }
+        ),
+        "{e}"
+    );
+
+    // Trailing bytes after the declared shape.
+    let mut bad = good.clone();
+    bad.push(0);
+    let e = parse_idx(&bad).unwrap_err();
+    assert!(matches!(e, DatasetError::TrailingData { .. }), "{e}");
+}
+
+#[test]
+fn mismatched_image_label_pair_is_rejected_on_load() {
+    // A directory whose labels file declares fewer samples.
+    let dir = std::env::temp_dir().join("c4cam-datasets-mismatch");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(IDX_IMAGES_FILE), fixture_bytes(IDX_IMAGES_FILE)).unwrap();
+    let (_, labels) = mini_mnist::generate();
+    let short = c4cam::datasets::IdxFile::new(vec![10], labels.data[..10].to_vec());
+    std::fs::write(dir.join(IDX_LABELS_FILE), encode_idx(&short)).unwrap();
+    let e = Dataset::load(&dir, None).unwrap_err();
+    assert!(
+        matches!(
+            e,
+            DatasetError::Mismatch {
+                images: 256,
+                labels: 10
+            }
+        ),
+        "{e}"
+    );
+    // A directory missing the labels file reports the path.
+    std::fs::remove_file(dir.join(IDX_LABELS_FILE)).unwrap();
+    let e = Dataset::load(&dir, None).unwrap_err();
+    assert!(
+        matches!(&e, DatasetError::Io { path, .. } if path.contains(IDX_LABELS_FILE)),
+        "{e}"
+    );
+}
+
+#[test]
+fn csv_files_load_and_fail_with_typed_errors() {
+    let dir = std::env::temp_dir().join("c4cam-datasets-csv");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let ok = dir.join("ok.csv");
+    std::fs::write(&ok, "0,1,2,3\n1,4,5,6\n0,1,2,2\n1,5,5,5\n").unwrap();
+    let d = Dataset::load(&ok, None).unwrap();
+    assert_eq!(d.samples(), 4);
+    assert_eq!(d.dims(), 3);
+    assert_eq!(d.classes(), 2);
+    assert_eq!(d.name(), "ok.csv");
+    assert_eq!(d.feature_range(), (1.0, 6.0));
+
+    let ragged = dir.join("ragged.csv");
+    std::fs::write(&ragged, "0,1,2,3\n1,4,5\n").unwrap();
+    let e = Dataset::load(&ragged, None).unwrap_err();
+    assert!(
+        matches!(
+            e,
+            DatasetError::RaggedRow {
+                line: 2,
+                expected: 4,
+                found: 3
+            }
+        ),
+        "{e}"
+    );
+
+    let alpha = dir.join("alpha.csv");
+    std::fs::write(&alpha, "0,1,2,3\n1,4,x,6\n").unwrap();
+    let e = Dataset::load(&alpha, None).unwrap_err();
+    assert!(
+        matches!(&e, DatasetError::BadNumber { line: 2, text } if text == "x"),
+        "{e}"
+    );
+
+    let empty = dir.join("empty.csv");
+    std::fs::write(&empty, "\n\n").unwrap();
+    let e = Dataset::load(&empty, None).unwrap_err();
+    assert!(matches!(e, DatasetError::Empty), "{e}");
+}
+
+#[test]
+fn csv_and_idx_agree_when_carrying_the_same_data() {
+    // Render the first 40 fixture samples as CSV and reload: the
+    // features and labels must survive the text round trip exactly
+    // (bytes are integers, so no precision is lost).
+    let d = mini_mnist::dataset();
+    let mut text = String::new();
+    for i in 0..40 {
+        text.push_str(&d.label(i).to_string());
+        for v in d.feature_row(i) {
+            text.push_str(&format!(",{v}"));
+        }
+        text.push('\n');
+    }
+    let csv = Dataset::from_csv("round", &text).unwrap();
+    assert_eq!(csv.samples(), 40);
+    assert_eq!(csv.dims(), d.dims());
+    for i in 0..40 {
+        assert_eq!(csv.feature_row(i), d.feature_row(i), "sample {i}");
+        assert_eq!(csv.label(i), d.label(i));
+    }
+}

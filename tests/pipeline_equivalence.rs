@@ -351,6 +351,58 @@ fn gpu_workload_engines_agree() {
 }
 
 #[test]
+fn dataset_workload_engines_agree_on_the_fixture() {
+    // Real data through the full stack: the committed mini-MNIST
+    // fixture, adapted by `DatasetWorkload`, must classify identically
+    // on the walker, the sequential tape, and the sharded tape — and
+    // the CAM result must equal the CPU reference classifier row for
+    // row (the reductions are exact over the integer level grid, so
+    // agreement is exact, not approximate).
+    use c4cam::datasets::{Dataset, DatasetTask, DatasetWorkload};
+    use c4cam::workloads::{nearest_rows_cpu, Workload};
+    let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/data/mini-mnist");
+    let dataset = Dataset::load(&fixture, None).unwrap();
+    for (task, bits) in [
+        (DatasetTask::Hdc, 1u32),
+        (DatasetTask::Hdc, 2),
+        (DatasetTask::Knn, 2),
+    ] {
+        let s = ArchSpec::builder()
+            .subarray(16, 16)
+            .hierarchy(2, 2, 4)
+            .bits_per_cell(bits)
+            .cam_kind(if bits > 1 {
+                c4cam::arch::CamKind::Mcam
+            } else {
+                c4cam::arch::CamKind::Tcam
+            })
+            .build()
+            .unwrap();
+        let workload = DatasetWorkload::new(dataset.clone(), task, Some(10)).unwrap();
+        let built = workload.build_module(&s);
+        let inputs = workload.inputs(&s);
+        let cpu = nearest_rows_cpu(&inputs.stored, &inputs.queries);
+        let args = [Value::Tensor(inputs.stored), Value::Tensor(inputs.queries)];
+
+        let device = C4camPipeline::new(s.clone())
+            .compile(built.module.clone())
+            .unwrap();
+        let out = assert_engines_agree(&device.module, &s, built.func, &args);
+        let device_idx: Vec<usize> = out[1]
+            .as_tensor()
+            .unwrap()
+            .data()
+            .iter()
+            .map(|&v| v as usize)
+            .collect();
+        assert_eq!(
+            device_idx, cpu,
+            "{task:?}/{bits}b: CAM must equal the CPU reference"
+        );
+    }
+}
+
+#[test]
 fn multibit_mcam_equivalence() {
     let s = ArchSpec::builder()
         .subarray(16, 16)

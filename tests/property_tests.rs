@@ -373,16 +373,23 @@ proptest! {
         arrays in 1usize..8,
         subs in 1usize..16,
         banks in proptest::option::of(1usize..64),
-        bits in 1u32..3,
+        bits in 1u32..5,
     ) {
+        // The full multi-bit range 1..=4 (the paper's multi-bit HDC
+        // variants); TCAM caps at 2 bits per cell, so wider cells
+        // require the MCAM kind — which must itself round-trip.
         let mut builder = ArchSpec::builder()
             .subarray(rows, cols)
             .hierarchy(mats, arrays, subs)
             .bits_per_cell(bits);
+        if bits > 2 {
+            builder = builder.cam_kind(c4cam::arch::CamKind::Mcam);
+        }
         if let Some(b) = banks {
             builder = builder.banks(b);
         }
         let spec = builder.build().unwrap();
+        prop_assert_eq!(spec.bits_per_cell, bits);
         let text = spec.to_text();
         let reparsed = c4cam::arch::parse_spec(&text).unwrap();
         prop_assert_eq!(spec, reparsed);
