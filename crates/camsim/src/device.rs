@@ -1,0 +1,269 @@
+//! The device abstraction the execution engines program against.
+//!
+//! [`CamMachine`] is the reference implementation, but the flat-tape
+//! engine (and the backend HAL built on top of it) only needs the
+//! narrow op surface captured by [`CamDevice`]: hierarchy allocation,
+//! row programming, search/read, merge charging, timing scopes, phase
+//! markers, and the stats fork/absorb protocol used by sharded
+//! execution. Alternative devices (a CPU-native SIMD reference, a
+//! trace recorder replaying onto a second machine, an FFI binding to
+//! real hardware) implement this trait and slot under the unchanged
+//! engines.
+//!
+//! `Clone + Send` are supertraits because the batched executor forks a
+//! device per worker shard (`clone()` + [`CamDevice::reset_stats`]) and
+//! moves the clones across `std::thread::scope` workers.
+
+use crate::machine::{ArrayId, BankId, CamMachine, MatId, SearchSpec, SimError, SubarrayId};
+use crate::stats::ExecStats;
+use crate::subarray::SearchResult;
+use c4cam_arch::tech::Level;
+
+/// Minimal CAM device surface required by the execution engines.
+///
+/// See the [module docs](self) for the role each method group plays.
+/// Every method mirrors the corresponding [`CamMachine`] method; the
+/// blanket impl below is pure delegation, so the machine's documented
+/// semantics (scope folding, cost charging, borrow discipline of
+/// search/read results) are the contract.
+pub trait CamDevice: Clone + Send {
+    /// Allocate a bank.
+    ///
+    /// # Errors
+    /// Fails if a fixed bank budget is exhausted.
+    fn alloc_bank(&mut self) -> Result<BankId, SimError>;
+
+    /// Allocate a mat within `bank`.
+    ///
+    /// # Errors
+    /// Fails on an invalid handle or a full mat budget.
+    fn alloc_mat(&mut self, bank: BankId) -> Result<MatId, SimError>;
+
+    /// Allocate an array within `mat`.
+    ///
+    /// # Errors
+    /// Fails on an invalid handle or a full array budget.
+    fn alloc_array(&mut self, mat: MatId) -> Result<ArrayId, SimError>;
+
+    /// Allocate a subarray within `array`.
+    ///
+    /// # Errors
+    /// Fails on an invalid handle or a full subarray budget.
+    fn alloc_subarray(&mut self, array: ArrayId) -> Result<SubarrayId, SimError>;
+
+    /// Program `data` rows starting at `row_offset`.
+    ///
+    /// # Errors
+    /// Fails on invalid handles or geometry violations.
+    fn write_rows(
+        &mut self,
+        id: SubarrayId,
+        row_offset: usize,
+        data: &[Vec<f32>],
+    ) -> Result<(), SimError>;
+
+    /// Search one subarray and return a borrowed view of the functional
+    /// result, charging costs to the current timing scope.
+    ///
+    /// # Errors
+    /// Fails on invalid handles or if the query exceeds the geometry.
+    fn search(
+        &mut self,
+        id: SubarrayId,
+        query: &[f32],
+        spec: SearchSpec,
+    ) -> Result<&SearchResult, SimError>;
+
+    /// Read back the latest search result on `id`.
+    ///
+    /// # Errors
+    /// Fails if no search was performed on this subarray yet.
+    fn read(&mut self, id: SubarrayId) -> Result<&SearchResult, SimError>;
+
+    /// Charge one partial-result merge at `level` over `elems` elements.
+    fn merge(&mut self, level: Level, elems: usize);
+
+    /// Record a named snapshot of the cumulative statistics.
+    fn mark_phase(&mut self, name: &str);
+
+    /// Open a parallel timing scope (nested latency folds as `max`).
+    fn push_parallel(&mut self);
+
+    /// Open a sequential timing scope (nested latency folds as `sum`).
+    fn push_sequential(&mut self);
+
+    /// Close the innermost timing scope, folding into the parent.
+    fn pop_scope(&mut self);
+
+    /// Snapshot of the statistics with open scopes folded in.
+    fn stats(&self) -> ExecStats;
+
+    /// Reset cost counters, keeping contents and allocations.
+    fn reset_stats(&mut self);
+
+    /// Fold a forked device's cost delta back into this one.
+    fn absorb_delta(&mut self, delta: &ExecStats);
+
+    /// All recorded phase snapshots, in order.
+    fn phases(&self) -> &[(String, ExecStats)];
+}
+
+impl CamDevice for CamMachine {
+    fn alloc_bank(&mut self) -> Result<BankId, SimError> {
+        CamMachine::alloc_bank(self)
+    }
+
+    fn alloc_mat(&mut self, bank: BankId) -> Result<MatId, SimError> {
+        CamMachine::alloc_mat(self, bank)
+    }
+
+    fn alloc_array(&mut self, mat: MatId) -> Result<ArrayId, SimError> {
+        CamMachine::alloc_array(self, mat)
+    }
+
+    fn alloc_subarray(&mut self, array: ArrayId) -> Result<SubarrayId, SimError> {
+        CamMachine::alloc_subarray(self, array)
+    }
+
+    fn write_rows(
+        &mut self,
+        id: SubarrayId,
+        row_offset: usize,
+        data: &[Vec<f32>],
+    ) -> Result<(), SimError> {
+        CamMachine::write_rows(self, id, row_offset, data)
+    }
+
+    fn search(
+        &mut self,
+        id: SubarrayId,
+        query: &[f32],
+        spec: SearchSpec,
+    ) -> Result<&SearchResult, SimError> {
+        CamMachine::search(self, id, query, spec)
+    }
+
+    fn read(&mut self, id: SubarrayId) -> Result<&SearchResult, SimError> {
+        CamMachine::read(self, id)
+    }
+
+    fn merge(&mut self, level: Level, elems: usize) {
+        CamMachine::merge(self, level, elems);
+    }
+
+    fn mark_phase(&mut self, name: &str) {
+        CamMachine::mark_phase(self, name);
+    }
+
+    fn push_parallel(&mut self) {
+        CamMachine::push_parallel(self);
+    }
+
+    fn push_sequential(&mut self) {
+        CamMachine::push_sequential(self);
+    }
+
+    fn pop_scope(&mut self) {
+        CamMachine::pop_scope(self);
+    }
+
+    fn stats(&self) -> ExecStats {
+        CamMachine::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        CamMachine::reset_stats(self);
+    }
+
+    fn absorb_delta(&mut self, delta: &ExecStats) {
+        CamMachine::absorb_delta(self, delta);
+    }
+
+    fn phases(&self) -> &[(String, ExecStats)] {
+        CamMachine::phases(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4cam_arch::{ArchSpec, MatchKind, Metric};
+
+    fn via_trait<D: CamDevice>(d: &mut D) -> ExecStats {
+        let bank = d.alloc_bank().unwrap();
+        let mat = d.alloc_mat(bank).unwrap();
+        let array = d.alloc_array(mat).unwrap();
+        let sub = d.alloc_subarray(array).unwrap();
+        d.write_rows(sub, 0, &[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 0.0]])
+            .unwrap();
+        d.push_parallel();
+        d.push_sequential();
+        let r = d
+            .search(
+                sub,
+                &[1.0, 0.0, 1.0],
+                SearchSpec::new(MatchKind::Best, Metric::Hamming),
+            )
+            .unwrap();
+        assert_eq!(r.best_rows(), vec![0]);
+        d.pop_scope();
+        d.pop_scope();
+        d.merge(Level::Array, 2);
+        d.mark_phase("done");
+        d.stats()
+    }
+
+    #[test]
+    fn machine_behaves_identically_through_the_trait() {
+        let spec = ArchSpec::default();
+        let mut direct = CamMachine::new(&spec);
+        let chain = direct.alloc_chain().unwrap();
+        direct
+            .write_rows(chain, 0, &[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 0.0]])
+            .unwrap();
+        direct.push_parallel();
+        direct.push_sequential();
+        direct
+            .search(
+                chain,
+                &[1.0, 0.0, 1.0],
+                SearchSpec::new(MatchKind::Best, Metric::Hamming),
+            )
+            .unwrap();
+        direct.pop_scope();
+        direct.pop_scope();
+        direct.merge(Level::Array, 2);
+        direct.mark_phase("done");
+
+        let mut traited = CamMachine::new(&spec);
+        let got = via_trait(&mut traited);
+        let want = direct.stats();
+        assert_eq!(got, want);
+        assert_eq!(CamDevice::phases(&traited).len(), 1);
+    }
+
+    #[test]
+    fn fork_protocol_works_through_the_trait() {
+        fn forked<D: CamDevice>(d: &mut D, sub: SubarrayId) {
+            let mut clone = d.clone();
+            clone.reset_stats();
+            clone
+                .search(
+                    sub,
+                    &[0.0, 1.0],
+                    SearchSpec::new(MatchKind::Best, Metric::Hamming),
+                )
+                .unwrap();
+            let delta = clone.stats();
+            d.absorb_delta(&delta);
+        }
+        let mut m = CamMachine::new(&ArchSpec::default());
+        let sub = m.alloc_chain().unwrap();
+        m.write_rows(sub, 0, &[vec![0.0, 1.0]]).unwrap();
+        let before = CamDevice::stats(&m);
+        forked(&mut m, sub);
+        let after = CamDevice::stats(&m);
+        assert_eq!(after.search_ops, before.search_ops + 1);
+        assert!(after.latency_ns > before.latency_ns);
+    }
+}

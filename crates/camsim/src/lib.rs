@@ -48,11 +48,13 @@
 #![warn(missing_docs)]
 
 pub mod cell;
+pub mod device;
 pub mod machine;
 pub mod stats;
 pub mod subarray;
 
 pub use cell::CamCell;
+pub use device::CamDevice;
 pub use machine::{
     ArrayId, BankId, CamMachine, MatId, SearchPath, SearchSpec, SimError, SubarrayId,
 };

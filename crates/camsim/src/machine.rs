@@ -62,7 +62,8 @@ pub struct SimError {
 }
 
 impl SimError {
-    fn new(message: impl Into<String>) -> SimError {
+    /// Build an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> SimError {
         SimError {
             message: message.into(),
         }

@@ -1,5 +1,5 @@
 //! Batched parallel execution: shard the query loop across worker
-//! threads, each with its own [`CamMachine`] clone, then merge results
+//! threads, each with its own [`CamDevice`] clone, then merge results
 //! and statistics deterministically.
 //!
 //! ## Protocol
@@ -15,7 +15,7 @@
 //!    compiler's query-loop conditions — so this reproduces the
 //!    sequential result bit-for-bit), and each shard's cost delta is
 //!    folded into the caller's machine with
-//!    [`CamMachine::absorb_delta`].
+//!    [`CamDevice::absorb_delta`].
 //! 4. Run the rest of the tape (final reduce + return) on the caller's
 //!    machine.
 //!
@@ -48,7 +48,7 @@ use crate::error::EngineError;
 use crate::frozen::{freeze, thaw, Frozen};
 use crate::isa::QueryLoop;
 use crate::vm::TapeVm;
-use c4cam_camsim::{CamMachine, ExecStats};
+use c4cam_camsim::{CamDevice, ExecStats};
 use c4cam_runtime::Value;
 
 type BResult<T> = Result<T, EngineError>;
@@ -72,9 +72,9 @@ impl Tape {
     /// # Errors
     /// Propagates compile-surface and runtime failures; a panicking
     /// worker surfaces as an error.
-    pub fn run_batched(
+    pub fn run_batched<D: CamDevice>(
         &self,
-        machine: &mut CamMachine,
+        machine: &mut D,
         args: &[Value],
         threads: usize,
     ) -> BResult<Vec<Value>> {
@@ -142,9 +142,9 @@ impl Tape {
     }
 }
 
-fn run_shards(
+fn run_shards<D: CamDevice>(
     tape: &Tape,
-    machine: &CamMachine,
+    machine: &D,
     snapshot: &[Frozen],
     chunks: &[&[i64]],
     ql: QueryLoop,

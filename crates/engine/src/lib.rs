@@ -60,11 +60,13 @@ mod compile;
 mod error;
 mod frozen;
 pub mod isa;
+pub mod trace;
 mod vm;
 
 pub use compile::Tape;
 pub use error::EngineError;
 pub use isa::{Inst, QueryLoop};
+pub use trace::{Trace, TraceOp};
 pub use vm::TapeVm;
 
 #[cfg(test)]
@@ -382,6 +384,62 @@ mod tests {
         let mut machine = CamMachine::new(&s);
         let e = tape.run(&mut machine, &[]).unwrap_err();
         assert!(e.message.contains("arguments"), "{e}");
+    }
+
+    #[test]
+    fn traced_hdc_run_replays_bit_identically_through_text() {
+        let mut m = Module::new();
+        torch::build_hdc_dot_with(&mut m, 3, 5, 200, 1, true);
+        let (stored, queries) = hdc_inputs(3, 5, 200);
+        let args = [Value::Tensor(queries), Value::Tensor(stored)];
+        let s = spec(16, Optimization::Power);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        let tape = Tape::compile(&compiled.module, "forward").unwrap();
+
+        let mut rec_machine = CamMachine::new(&s);
+        let (tape_out, trace) = tape.run_traced(&mut rec_machine, &args).unwrap();
+        assert!(!trace.is_empty());
+
+        // Round-trip through the byte-exact text format, then replay on
+        // a fresh machine: outputs, stats, and phases all bit-identical.
+        let parsed = Trace::parse(&trace.to_text()).unwrap();
+        assert_eq!(parsed, trace);
+        let mut replay_machine = CamMachine::new(&s);
+        let replay_out = parsed.replay(&mut replay_machine).unwrap();
+        assert_outputs_equal(&tape_out, &replay_out, "trace replay");
+        assert_eq!(rec_machine.stats(), replay_machine.stats());
+        assert_eq!(rec_machine.phases(), replay_machine.phases());
+
+        // The recording run itself matches an untraced run bit-for-bit.
+        let mut plain_machine = CamMachine::new(&s);
+        let plain_out = tape.run(&mut plain_machine, &args).unwrap();
+        assert_outputs_equal(&plain_out, &tape_out, "traced vs plain");
+        assert_eq!(plain_machine.stats(), rec_machine.stats());
+    }
+
+    #[test]
+    fn traced_knn_run_replays_bit_identically() {
+        let mut m = Module::new();
+        cim::build_similarity_kernel(&mut m, "knn", "eucl", 40, 96, 8, 2, false);
+        let mut stored = Vec::new();
+        for p in 0..40 {
+            for d in 0..96 {
+                stored.push(f32::from(u8::from((d * 5 + p * 11) % 7 < 3)));
+            }
+        }
+        let stored = Tensor::from_vec(vec![40, 96], stored).unwrap();
+        let queries = stored.slice2d(4, 0, 8, 96).unwrap();
+        let args = [Value::Tensor(stored), Value::Tensor(queries)];
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        let tape = Tape::compile(&compiled.module, "knn").unwrap();
+
+        let mut rec_machine = CamMachine::new(&s);
+        let (tape_out, trace) = tape.run_traced(&mut rec_machine, &args).unwrap();
+        let mut replay_machine = CamMachine::new(&s);
+        let replay_out = trace.replay(&mut replay_machine).unwrap();
+        assert_outputs_equal(&tape_out, &replay_out, "knn trace replay");
+        assert_eq!(rec_machine.stats(), replay_machine.stats());
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The tape VM: executes a compiled [`Tape`] against a [`CamMachine`]
-//! without touching IR structures.
+//! The tape VM: executes a compiled [`Tape`] against any
+//! [`CamDevice`] (the [`c4cam_camsim::CamMachine`] reference simulator
+//! or an alternative device) without touching IR structures.
 //!
 //! Execution state is a dense slot file (`Vec<Value>`) plus a loop-frame
 //! stack; dispatch is a single `match` over pre-resolved instructions.
@@ -11,7 +12,8 @@ use crate::compile::Tape;
 use crate::error::EngineError;
 use crate::frozen::{freeze, thaw, Frozen};
 use crate::isa::{FloatBinOp, Inst, IntBinOp, SliceOffset, Slot};
-use c4cam_camsim::{CamMachine, ExecStats, RowSelection, SearchSpec, SubarrayId};
+use crate::trace::{Trace, TraceOp, TraceState};
+use c4cam_camsim::{CamDevice, ExecStats, RowSelection, SearchSpec, SubarrayId};
 use c4cam_runtime::kernels::{
     merge_partial_rows, read_tensors, reduce_scores, search_query_view, tensor_rows,
 };
@@ -87,6 +89,10 @@ pub struct TapeVm<'t> {
     /// When set (shard workers), `cam.merge_partial_subarray` logs its
     /// operands here in addition to applying them locally.
     merge_log: Option<Vec<MergeRecord>>,
+    /// When set, device-relevant operations and their value dataflow
+    /// are recorded for offline replay (see the [`crate::trace`]
+    /// module).
+    trace: Option<TraceState>,
 }
 
 impl<'t> TapeVm<'t> {
@@ -113,6 +119,7 @@ impl<'t> TapeVm<'t> {
             frames: Vec::new(),
             shard_threads: 0,
             merge_log: None,
+            trace: None,
         })
     }
 
@@ -124,6 +131,7 @@ impl<'t> TapeVm<'t> {
             frames: Vec::new(),
             shard_threads: 0,
             merge_log: None,
+            trace: None,
         }
     }
 
@@ -142,9 +150,9 @@ impl<'t> TapeVm<'t> {
     ///
     /// # Errors
     /// Propagates instruction failures with op context attached.
-    pub fn exec(
+    pub fn exec<D: CamDevice>(
         &mut self,
-        machine: &mut CamMachine,
+        machine: &mut D,
         from: usize,
         stop: usize,
     ) -> VResult<Option<Vec<Value>>> {
@@ -197,9 +205,9 @@ impl<'t> TapeVm<'t> {
     ///
     /// # Errors
     /// Propagates body failures.
-    pub(crate) fn exec_iterations(
+    pub(crate) fn exec_iterations<D: CamDevice>(
         &mut self,
-        machine: &mut CamMachine,
+        machine: &mut D,
         enter: usize,
         next: usize,
         iv_slot: Slot,
@@ -230,7 +238,11 @@ impl<'t> TapeVm<'t> {
     ///
     /// # Errors
     /// Propagates worker failures.
-    fn exec_shard_loop(&mut self, machine: &mut CamMachine, pc: usize) -> VResult<Option<usize>> {
+    fn exec_shard_loop<D: CamDevice>(
+        &mut self,
+        machine: &mut D,
+        pc: usize,
+    ) -> VResult<Option<usize>> {
         let Inst::LoopEnter {
             lb,
             ub,
@@ -344,7 +356,38 @@ impl<'t> TapeVm<'t> {
 
     #[inline]
     fn set(&mut self, s: Slot, v: Value) {
+        if let Some(tr) = &mut self.trace {
+            tr.clear(s);
+        }
         self.slots[s as usize] = v;
+    }
+
+    /// Record `op` when tracing.
+    #[inline]
+    fn trace_push(&mut self, op: impl FnOnce() -> TraceOp) {
+        if let Some(tr) = &mut self.trace {
+            tr.push(op());
+        }
+    }
+
+    /// Trace value id of slot `s`, materializing the current contents
+    /// as a literal record when the value was host-computed. `None`
+    /// when not tracing.
+    fn trace_operand(&mut self, s: Slot) -> VResult<Option<u32>> {
+        let Some(tr) = &self.trace else {
+            return Ok(None);
+        };
+        if let Some(v) = tr.vid(s) {
+            return Ok(Some(v));
+        }
+        let data = self.slots[s as usize]
+            .snapshot_tensor()
+            .ok_or_else(|| err("cannot trace a non-tensor operand"))?;
+        let tr = self.trace.as_mut().expect("checked above");
+        let out = tr.fresh();
+        tr.push(TraceOp::Literal { data, out });
+        tr.set_vid(s, out);
+        Ok(Some(out))
     }
 
     fn int_like(index: bool, v: i64) -> Value {
@@ -360,7 +403,7 @@ impl<'t> TapeVm<'t> {
     // ------------------------------------------------------------------
 
     #[allow(clippy::too_many_lines)]
-    fn step(&mut self, machine: &mut CamMachine, pc: usize) -> VResult<Step> {
+    fn step<D: CamDevice>(&mut self, machine: &mut D, pc: usize) -> VResult<Step> {
         // `self.tape` is a shared reference; copying it out decouples the
         // instruction borrow from `self` so arms can mutate the slots.
         let tape = self.tape;
@@ -384,8 +427,15 @@ impl<'t> TapeVm<'t> {
             }
             Inst::Copy { src, out } => {
                 let v = self.slots[*src as usize].clone();
-                let out = *out;
+                let (src, out) = (*src, *out);
                 self.set(out, v);
+                // A copy of a buffer aliases it; sharing the value id
+                // preserves that aliasing in the replayed dataflow.
+                if let Some(tr) = &mut self.trace {
+                    if let Some(vid) = tr.vid(src) {
+                        tr.set_vid(out, vid);
+                    }
+                }
             }
             Inst::IntBin {
                 op,
@@ -472,10 +522,12 @@ impl<'t> TapeVm<'t> {
                 let parallel = *parallel;
                 if parallel {
                     machine.push_parallel();
+                    self.trace_push(|| TraceOp::PushParallel);
                 }
                 if lb >= ub {
                     if parallel {
                         machine.pop_scope();
+                        self.trace_push(|| TraceOp::PopScope);
                     }
                     return Ok(Step::Jump(*exit));
                 }
@@ -491,6 +543,7 @@ impl<'t> TapeVm<'t> {
                 self.set(iv_slot, Value::Index(lb));
                 if parallel {
                     machine.push_sequential();
+                    self.trace_push(|| TraceOp::PushSequential);
                 }
             }
             Inst::LoopNext { .. } => {
@@ -498,25 +551,34 @@ impl<'t> TapeVm<'t> {
                     .frames
                     .last_mut()
                     .ok_or_else(|| err("loop back-edge without an active loop"))?;
-                if f.parallel {
-                    machine.pop_scope(); // this iteration's sequential scope
-                }
                 f.iv += f.step;
-                if f.iv < f.ub {
-                    let (iv_slot, iv, body, parallel) = (f.iv_slot, f.iv, f.body, f.parallel);
+                let (iv_slot, iv, ub, body, parallel) = (f.iv_slot, f.iv, f.ub, f.body, f.parallel);
+                if parallel {
+                    machine.pop_scope(); // this iteration's sequential scope
+                    self.trace_push(|| TraceOp::PopScope);
+                }
+                if iv < ub {
                     self.set(iv_slot, Value::Index(iv));
                     if parallel {
                         machine.push_sequential();
+                        self.trace_push(|| TraceOp::PushSequential);
                     }
                     return Ok(Step::Jump(body));
                 }
-                let parallel = f.parallel;
                 self.frames.pop();
                 if parallel {
                     machine.pop_scope(); // the loop's parallel scope
+                    self.trace_push(|| TraceOp::PopScope);
                 }
             }
             Inst::Return { values } => {
+                if self.trace.is_some() {
+                    let mut vids = Vec::with_capacity(values.len());
+                    for &s in values.iter() {
+                        vids.push(self.trace_operand(s)?.expect("tracing is on"));
+                    }
+                    self.trace_push(|| TraceOp::Return { values: vids });
+                }
                 let out = values
                     .iter()
                     .map(|&s| self.slots[s as usize].clone())
@@ -536,25 +598,51 @@ impl<'t> TapeVm<'t> {
             Inst::AllocBuffer { shape, out } => {
                 let (out, v) = (*out, Value::new_buffer(shape.clone()));
                 self.set(out, v);
+                if let Some(tr) = &mut self.trace {
+                    let vid = tr.fresh();
+                    tr.push(TraceOp::Buffer {
+                        shape: shape.clone(),
+                        out: vid,
+                    });
+                    tr.set_vid(out, vid);
+                }
             }
             Inst::AllocCopy { src, out } => {
                 let t = self.slots[*src as usize]
                     .snapshot_tensor()
                     .ok_or_else(|| err("expected a tensor value"))?;
                 let out = *out;
+                let traced = self.trace.is_some().then(|| t.clone());
                 self.set(out, Value::buffer_from(t));
+                if let Some(data) = traced {
+                    let tr = self.trace.as_mut().expect("tracing is on");
+                    let vid = tr.fresh();
+                    tr.push(TraceOp::Literal { data, out: vid });
+                    tr.set_vid(out, vid);
+                }
             }
             Inst::ToTensor { src, out } => {
                 let t = self.slots[*src as usize]
                     .snapshot_tensor()
                     .ok_or_else(|| err("to_tensor on non-buffer"))?;
-                let out = *out;
+                let (src, out) = (*src, *out);
+                let traced = self.trace.is_some().then(|| t.clone());
                 self.set(out, Value::Tensor(t));
+                if let Some(data) = traced {
+                    let tr = self.trace.as_mut().expect("tracing is on");
+                    let vid = tr.fresh();
+                    match tr.vid(src) {
+                        Some(sv) => tr.push(TraceOp::Snapshot { src: sv, out: vid }),
+                        None => tr.push(TraceOp::Literal { data, out: vid }),
+                    }
+                    tr.set_vid(out, vid);
+                }
             }
             Inst::AllocBank { out } => {
                 let id = machine.alloc_bank().map_err(|e| err(e.message))?;
                 let out = *out;
                 self.set(out, Value::Handle(Handle::Bank(id)));
+                self.trace_push(|| TraceOp::AllocBank);
             }
             Inst::AllocMat { parent, out } => {
                 let bank = match self.slots[*parent as usize].as_handle() {
@@ -564,6 +652,7 @@ impl<'t> TapeVm<'t> {
                 let id = machine.alloc_mat(bank).map_err(|e| err(e.message))?;
                 let out = *out;
                 self.set(out, Value::Handle(Handle::Mat(id)));
+                self.trace_push(|| TraceOp::AllocMat { bank: bank.0 });
             }
             Inst::AllocArray { parent, out } => {
                 let mat = match self.slots[*parent as usize].as_handle() {
@@ -573,6 +662,7 @@ impl<'t> TapeVm<'t> {
                 let id = machine.alloc_array(mat).map_err(|e| err(e.message))?;
                 let out = *out;
                 self.set(out, Value::Handle(Handle::Array(id)));
+                self.trace_push(|| TraceOp::AllocArray { mat: mat.0 });
             }
             Inst::AllocSubarray { parent, out } => {
                 let array = match self.slots[*parent as usize].as_handle() {
@@ -582,6 +672,7 @@ impl<'t> TapeVm<'t> {
                 let id = machine.alloc_subarray(array).map_err(|e| err(e.message))?;
                 let out = *out;
                 self.set(out, Value::Handle(Handle::Subarray(id)));
+                self.trace_push(|| TraceOp::AllocSubarray { array: array.0 });
             }
             Inst::StoreHandle { table, pos, sub } => {
                 let pos = self.int(*pos)? as usize;
@@ -618,13 +709,20 @@ impl<'t> TapeVm<'t> {
                 machine
                     .write_rows(sub, row_off, &rows)
                     .map_err(|e| err(e.message))?;
+                self.trace_push(|| TraceOp::Write {
+                    sub: sub.0,
+                    row_off,
+                    rows,
+                });
             }
             Inst::Search(s) => {
                 let sub = self.subarray(s.sub)?;
                 let mut spec = SearchSpec::new(s.kind, s.metric);
+                let mut selection = None;
                 if let Some((start, len)) = s.selective {
                     let start = self.int(start)? as usize;
                     let len = self.int(len)? as usize;
+                    selection = Some((start, len));
                     spec = spec.with_selection(RowSelection::Window { start, len });
                 }
                 if let Some(t) = s.threshold {
@@ -633,9 +731,27 @@ impl<'t> TapeVm<'t> {
                 if let Some(share) = s.broadcast_share {
                     spec = spec.with_broadcast_share(share);
                 }
-                let query = self.tensor_view(s.query)?;
-                let q = search_query_view(&query).map_err(err)?;
-                machine.search(sub, q, spec).map_err(|e| err(e.message))?;
+                let traced_query = {
+                    let query = self.tensor_view(s.query)?;
+                    let q = search_query_view(&query).map_err(err)?;
+                    self.trace.is_some().then(|| q.to_vec())
+                };
+                {
+                    let query = self.tensor_view(s.query)?;
+                    let q = search_query_view(&query).map_err(err)?;
+                    machine.search(sub, q, spec).map_err(|e| err(e.message))?;
+                }
+                if let Some(query) = traced_query {
+                    self.trace_push(|| TraceOp::Search {
+                        sub: sub.0,
+                        kind: s.kind,
+                        metric: s.metric,
+                        selection,
+                        threshold: s.threshold,
+                        share: s.broadcast_share,
+                        query,
+                    });
+                }
             }
             Inst::Read {
                 sub,
@@ -649,6 +765,17 @@ impl<'t> TapeVm<'t> {
                 let (vals, idx) = (*vals, *idx);
                 self.set(vals, Value::buffer_from(v));
                 self.set(idx, Value::buffer_from(i));
+                if let Some(tr) = &mut self.trace {
+                    let (vv, vi) = (tr.fresh(), tr.fresh());
+                    tr.push(TraceOp::Read {
+                        sub: sub.0,
+                        shape: shape.clone(),
+                        vals: vv,
+                        idx: vi,
+                    });
+                    tr.set_vid(vals, vv);
+                    tr.set_vid(idx, vi);
+                }
             }
             Inst::MergePartial {
                 acc,
@@ -660,6 +787,17 @@ impl<'t> TapeVm<'t> {
                 let acc_slot = *acc;
                 let q = self.int(*q)? as usize;
                 let offset = self.int(*offset)?;
+                let traced = if self.trace.is_some() {
+                    // Resolve (materializing host-computed operands)
+                    // *before* the merge mutates the accumulator.
+                    Some((
+                        self.trace_operand(acc_slot)?.expect("tracing is on"),
+                        self.trace_operand(*vals)?.expect("tracing is on"),
+                        self.trace_operand(*idx)?.expect("tracing is on"),
+                    ))
+                } else {
+                    None
+                };
                 let acc = self.slots[acc_slot as usize]
                     .as_buffer()
                     .cloned()
@@ -682,14 +820,31 @@ impl<'t> TapeVm<'t> {
                         log.push(record);
                     }
                 }
+                if let Some((acc, vals, idx)) = traced {
+                    self.trace_push(|| TraceOp::MergePartial {
+                        acc,
+                        vals,
+                        idx,
+                        q,
+                        offset,
+                    });
+                }
             }
             Inst::MergeLevel { level, elems } => {
                 machine.merge(*level, *elems);
+                self.trace_push(|| TraceOp::MergeLevel {
+                    level: *level,
+                    elems: *elems,
+                });
             }
             Inst::PhaseMarker { name } => {
                 machine.mark_phase(name);
+                self.trace_push(|| TraceOp::Phase {
+                    name: name.to_string(),
+                });
             }
             Inst::Reduce(r) => {
+                let acc_vid = self.trace_operand(r.acc)?;
                 let acc = self.slots[r.acc as usize]
                     .snapshot_tensor()
                     .ok_or_else(|| err("cam.reduce expects a buffer"))?;
@@ -705,6 +860,23 @@ impl<'t> TapeVm<'t> {
                 let (vs, is) = (r.vals, r.idx);
                 self.set(vs, Value::buffer_from(vals));
                 self.set(is, Value::buffer_from(idx));
+                if let Some(acc) = acc_vid {
+                    let tr = self.trace.as_mut().expect("tracing is on");
+                    let (vv, vi) = (tr.fresh(), tr.fresh());
+                    tr.push(TraceOp::Reduce {
+                        acc,
+                        k: r.k,
+                        n_valid: r.n_valid,
+                        largest: r.select_largest,
+                        metric: r.metric.to_string(),
+                        vals_shape: r.vals_shape.clone(),
+                        idx_shape: r.idx_shape.clone(),
+                        vals: vv,
+                        idx: vi,
+                    });
+                    tr.set_vid(vs, vv);
+                    tr.set_vid(is, vi);
+                }
             }
         }
         Ok(Step::Next)
@@ -761,16 +933,44 @@ enum Step {
 
 impl Tape {
     /// Execute the whole tape on `machine` with the given arguments
-    /// (single-threaded; drives the machine in exactly the tree-walker's
-    /// call order, so outputs and statistics are bit-identical to
-    /// [`c4cam_runtime::Executor`]).
+    /// (single-threaded; drives the device in exactly the tree-walker's
+    /// call order, so on a [`c4cam_camsim::CamMachine`] outputs and
+    /// statistics are bit-identical to [`c4cam_runtime::Executor`]).
     ///
     /// # Errors
     /// Propagates compile-surface and runtime failures with op context.
-    pub fn run(&self, machine: &mut CamMachine, args: &[Value]) -> Result<Vec<Value>, EngineError> {
+    pub fn run<D: CamDevice>(
+        &self,
+        machine: &mut D,
+        args: &[Value],
+    ) -> Result<Vec<Value>, EngineError> {
         let mut vm = TapeVm::new(self, args)?;
         match vm.exec(machine, 0, usize::MAX)? {
             Some(values) => Ok(values),
+            None => Err(EngineError::new("function body ended without func.return")),
+        }
+    }
+
+    /// Execute the whole tape on `machine` (single-threaded) while
+    /// recording a replayable [`Trace`] of every device-relevant
+    /// operation. Returns the outputs together with the trace;
+    /// replaying the trace on an identically configured fresh device
+    /// reproduces both bit-for-bit (see the [`crate::trace`] module).
+    ///
+    /// # Errors
+    /// Propagates compile-surface and runtime failures with op context.
+    pub fn run_traced<D: CamDevice>(
+        &self,
+        machine: &mut D,
+        args: &[Value],
+    ) -> Result<(Vec<Value>, Trace), EngineError> {
+        let mut vm = TapeVm::new(self, args)?;
+        vm.trace = Some(TraceState::new(self.n_slots));
+        match vm.exec(machine, 0, usize::MAX)? {
+            Some(values) => {
+                let ops = vm.trace.take().expect("tracing state").ops;
+                Ok((values, Trace { ops }))
+            }
             None => Err(EngineError::new("function body ended without func.return")),
         }
     }

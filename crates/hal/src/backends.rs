@@ -1,0 +1,275 @@
+//! The four standard backends: `walk`, `tape`, `simd`, `trace`.
+
+use c4cam_arch::ArchSpec;
+use c4cam_camsim::{CamDevice, CamMachine};
+use c4cam_engine::Tape;
+use c4cam_ir::Module;
+use c4cam_runtime::{Executor, Value};
+
+use crate::simd::SimdDevice;
+use crate::{Backend, Capabilities, ExecOptions, Execution, HalError, Plan, StatsContract};
+
+/// Build a [`CamMachine`] per the execution options.
+fn machine_for(spec: &ArchSpec, opts: &ExecOptions) -> CamMachine {
+    let mut machine = match &opts.tech {
+        Some(tech) => CamMachine::with_tech(spec, tech.clone()),
+        None => CamMachine::new(spec),
+    };
+    machine.set_wta_window(opts.wta_window);
+    machine
+}
+
+/// Reject a thread request a backend cannot honor.
+fn reject_threads(name: &str, opts: &ExecOptions) -> Result<(), HalError> {
+    if opts.threads > 1 {
+        return Err(HalError::new(format!(
+            "backend '{name}' does not support threaded execution \
+             (requested {} threads)",
+            opts.threads
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// walk
+// ---------------------------------------------------------------------
+
+/// The IR-walking interpreter — the single-threaded output/stats
+/// oracle every other backend is measured against.
+pub struct WalkBackend;
+
+struct WalkPlan {
+    module: Module,
+    func: String,
+    spec: ArchSpec,
+}
+
+impl Backend for WalkBackend {
+    fn name(&self) -> &'static str {
+        "walk"
+    }
+
+    fn description(&self) -> &'static str {
+        "IR-walking interpreter (single-threaded oracle, device-exact stats)"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            supports_threads: false,
+            supports_sharding: false,
+            stats: StatsContract::DeviceExact,
+        }
+    }
+
+    fn compile(
+        &self,
+        module: &Module,
+        func: &str,
+        spec: &ArchSpec,
+    ) -> Result<Box<dyn Plan>, HalError> {
+        Ok(Box::new(WalkPlan {
+            module: module.clone(),
+            func: func.to_string(),
+            spec: spec.clone(),
+        }))
+    }
+}
+
+impl Plan for WalkPlan {
+    fn execute(&self, args: &[Value], opts: &ExecOptions) -> Result<Execution, HalError> {
+        reject_threads("walk", opts)?;
+        let mut machine = machine_for(&self.spec, opts);
+        let outputs = Executor::with_machine(&self.module, &mut machine)
+            .run(&self.func, args)
+            .map_err(|e| HalError::new(e.to_string()))?;
+        Ok(Execution {
+            outputs,
+            stats: machine.stats(),
+            phases: machine.phases().to_vec(),
+            trace: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// tape
+// ---------------------------------------------------------------------
+
+/// The flat CAM-ISA tape engine with query-loop and intra-query
+/// sharding.
+pub struct TapeBackend;
+
+struct TapePlan {
+    tape: Tape,
+    spec: ArchSpec,
+}
+
+impl Backend for TapeBackend {
+    fn name(&self) -> &'static str {
+        "tape"
+    }
+
+    fn description(&self) -> &'static str {
+        "flat CAM-ISA tape engine (threaded sharding, device-exact stats)"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            supports_threads: true,
+            supports_sharding: true,
+            stats: StatsContract::DeviceExact,
+        }
+    }
+
+    fn compile(
+        &self,
+        module: &Module,
+        func: &str,
+        spec: &ArchSpec,
+    ) -> Result<Box<dyn Plan>, HalError> {
+        Ok(Box::new(TapePlan {
+            tape: Tape::compile(module, func)?,
+            spec: spec.clone(),
+        }))
+    }
+}
+
+impl Plan for TapePlan {
+    fn execute(&self, args: &[Value], opts: &ExecOptions) -> Result<Execution, HalError> {
+        let mut machine = machine_for(&self.spec, opts);
+        let outputs = self
+            .tape
+            .run_batched(&mut machine, args, opts.threads.max(1))?;
+        Ok(Execution {
+            outputs,
+            stats: machine.stats(),
+            phases: machine.phases().to_vec(),
+            trace: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// simd
+// ---------------------------------------------------------------------
+
+/// The CPU-native vectorized reference device: bit-identical outputs
+/// over flat byte planes, estimated statistics.
+pub struct SimdBackend;
+
+struct SimdPlan {
+    tape: Tape,
+    spec: ArchSpec,
+}
+
+impl Backend for SimdBackend {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn description(&self) -> &'static str {
+        "CPU-native vectorized reference (bit-identical outputs, estimated stats)"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            supports_threads: true,
+            supports_sharding: true,
+            stats: StatsContract::Estimated,
+        }
+    }
+
+    fn compile(
+        &self,
+        module: &Module,
+        func: &str,
+        spec: &ArchSpec,
+    ) -> Result<Box<dyn Plan>, HalError> {
+        Ok(Box::new(SimdPlan {
+            tape: Tape::compile(module, func)?,
+            spec: spec.clone(),
+        }))
+    }
+}
+
+impl Plan for SimdPlan {
+    fn execute(&self, args: &[Value], opts: &ExecOptions) -> Result<Execution, HalError> {
+        // The estimated cost model ignores `opts.tech` by contract.
+        let mut device = SimdDevice::new(&self.spec);
+        device.set_wta_window(opts.wta_window);
+        let outputs = self
+            .tape
+            .run_batched(&mut device, args, opts.threads.max(1))?;
+        Ok(Execution {
+            outputs,
+            stats: device.stats(),
+            phases: device.phases().to_vec(),
+            trace: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// trace
+// ---------------------------------------------------------------------
+
+/// The record/replay backend: executes the tape once on a scratch
+/// machine to record a deterministic op trace, then **replays the
+/// trace** on a fresh device-exact machine — the replay is the
+/// execution whose outputs and statistics are reported, so the trace
+/// is proven faithful on every run. The serialized trace rides along
+/// in [`Execution::trace`] for golden-file testing and offline
+/// analysis.
+pub struct TraceBackend;
+
+struct TracePlan {
+    tape: Tape,
+    spec: ArchSpec,
+}
+
+impl Backend for TraceBackend {
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn description(&self) -> &'static str {
+        "deterministic op-trace recorder with replayed execution (device-exact stats)"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            supports_threads: false,
+            supports_sharding: false,
+            stats: StatsContract::DeviceExact,
+        }
+    }
+
+    fn compile(
+        &self,
+        module: &Module,
+        func: &str,
+        spec: &ArchSpec,
+    ) -> Result<Box<dyn Plan>, HalError> {
+        Ok(Box::new(TracePlan {
+            tape: Tape::compile(module, func)?,
+            spec: spec.clone(),
+        }))
+    }
+}
+
+impl Plan for TracePlan {
+    fn execute(&self, args: &[Value], opts: &ExecOptions) -> Result<Execution, HalError> {
+        reject_threads("trace", opts)?;
+        let mut scratch = machine_for(&self.spec, opts);
+        let (_, trace) = self.tape.run_traced(&mut scratch, args)?;
+        let mut machine = machine_for(&self.spec, opts);
+        let outputs = trace.replay(&mut machine)?;
+        Ok(Execution {
+            outputs,
+            stats: machine.stats(),
+            phases: machine.phases().to_vec(),
+            trace: Some(trace.to_text()),
+        })
+    }
+}

@@ -1,0 +1,441 @@
+//! Backend hardware-abstraction layer (HAL) for c4cam execution.
+//!
+//! Every way of *running* a compiled (placed + lowered) module sits
+//! behind the same two-step contract:
+//!
+//! 1. [`Backend::compile`] turns a placed [`Module`] function into an
+//!    opaque, reusable [`Plan`];
+//! 2. [`Plan::execute`] runs the plan against concrete inputs and
+//!    returns an [`Execution`]: outputs, cumulative [`ExecStats`],
+//!    phase snapshots, and (for tracing backends) a replayable op
+//!    trace.
+//!
+//! Backends advertise what they can do through [`Capabilities`]
+//! (threaded query-loop sharding, intra-query sharding) and what their
+//! statistics *mean* through [`StatsContract`]: `DeviceExact` backends
+//! charge the calibrated [`CamMachine`](c4cam_camsim::CamMachine) cost
+//! model and are
+//! bit-identical to the walker oracle in outputs **and** statistics;
+//! `Estimated` backends guarantee bit-identical outputs but report
+//! their own deterministic work/latency estimates.
+//!
+//! The standard registry ([`BackendRegistry::standard`]) ships four
+//! backends:
+//!
+//! | name    | executes via                              | stats        |
+//! |---------|-------------------------------------------|--------------|
+//! | `walk`  | IR-walking interpreter (the oracle)       | device-exact |
+//! | `tape`  | flat CAM-ISA tape engine (sharding)       | device-exact |
+//! | `simd`  | CPU-native vectorized reference device    | estimated    |
+//! | `trace` | record → replay of a deterministic trace  | device-exact |
+//!
+//! Adding a backend means implementing the two traits and registering
+//! a boxed instance; the cross-backend conformance suite picks it up
+//! automatically through [`BackendRegistry::all`].
+
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use c4cam_arch::tech::TechnologyModel;
+use c4cam_arch::ArchSpec;
+use c4cam_camsim::ExecStats;
+use c4cam_ir::Module;
+use c4cam_runtime::Value;
+
+mod backends;
+mod registry;
+mod simd;
+
+pub use backends::{SimdBackend, TapeBackend, TraceBackend, WalkBackend};
+pub use registry::BackendRegistry;
+pub use simd::SimdDevice;
+
+/// HAL-level failure: compilation of a plan, execution, or a request a
+/// backend cannot honor (e.g. threads on a single-threaded backend).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HalError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl HalError {
+    /// Build an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> HalError {
+        HalError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for HalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "backend error: {}", self.message)
+    }
+}
+
+impl Error for HalError {}
+
+impl From<c4cam_engine::EngineError> for HalError {
+    fn from(e: c4cam_engine::EngineError) -> HalError {
+        HalError::new(e.to_string())
+    }
+}
+
+/// What a backend's reported statistics mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsContract {
+    /// Costs come from the calibrated [`CamMachine`]
+    /// (`c4cam_camsim`) technology model — bit-identical to the walker
+    /// oracle's statistics.
+    ///
+    /// [`CamMachine`]: c4cam_camsim::CamMachine
+    DeviceExact,
+    /// Costs are the backend's own deterministic estimate: operation
+    /// counts are exact, but energy/latency/work metrics follow the
+    /// backend's model (outputs are still bit-identical to the oracle).
+    Estimated,
+}
+
+/// What a backend supports, declared up front so drivers can reject
+/// impossible requests with a configuration error instead of a
+/// mid-execution surprise.
+#[derive(Debug, Clone, Copy)]
+pub struct Capabilities {
+    /// Whether [`ExecOptions::threads`] `> 1` shards the query loop
+    /// across worker threads.
+    pub supports_threads: bool,
+    /// Whether single-query workloads shard *within* a query across
+    /// independent subarray groups.
+    pub supports_sharding: bool,
+    /// Meaning of the statistics in [`Execution::stats`].
+    pub stats: StatsContract,
+}
+
+/// Knobs applied at execution time (not baked into the [`Plan`]).
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Worker threads for query-loop sharding; `0` or `1` runs
+    /// sequentially. Backends without thread support reject `> 1`.
+    pub threads: usize,
+    /// Winner-take-all sensing window (Hamming distances saturate at
+    /// this mismatch count).
+    pub wta_window: Option<u32>,
+    /// Technology model override for device-exact backends (estimated
+    /// backends use their own cost model and ignore this).
+    pub tech: Option<TechnologyModel>,
+}
+
+impl ExecOptions {
+    /// Sequential execution with default technology and no WTA window.
+    pub fn sequential() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    /// Set the worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> ExecOptions {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the winner-take-all sensing window.
+    #[must_use]
+    pub fn with_wta_window(mut self, window: Option<u32>) -> ExecOptions {
+        self.wta_window = window;
+        self
+    }
+
+    /// Set the technology model.
+    #[must_use]
+    pub fn with_tech(mut self, tech: TechnologyModel) -> ExecOptions {
+        self.tech = Some(tech);
+        self
+    }
+}
+
+/// Everything one execution produced.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// The function's return values.
+    pub outputs: Vec<Value>,
+    /// Cumulative statistics at function return.
+    pub stats: ExecStats,
+    /// Named mid-execution snapshots (`cam.phase_marker`), e.g.
+    /// `"setup-complete"` separating programming from querying.
+    pub phases: Vec<(String, ExecStats)>,
+    /// Serialized op trace, when the backend records one (the `trace`
+    /// backend); parseable by `c4cam_engine::Trace::parse`.
+    pub trace: Option<String>,
+}
+
+impl Execution {
+    /// The stats snapshot recorded under `name`, if any.
+    pub fn phase(&self, name: &str) -> Option<&ExecStats> {
+        self.phases
+            .iter()
+            .find_map(|(n, s)| if n == name { Some(s) } else { None })
+    }
+}
+
+/// One way of executing compiled modules (see the crate docs).
+///
+/// Implementations are stateless handles: per-run state lives in the
+/// [`Plan`]s they produce and the machines those plans build
+/// internally, so one registered backend instance serves any number of
+/// concurrent compilations.
+pub trait Backend: Send + Sync {
+    /// Stable registry key (`walk`, `tape`, `simd`, `trace`, ...).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description for CLI help and docs.
+    fn description(&self) -> &'static str;
+
+    /// What this backend supports and what its statistics mean.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Lower `func` of the placed `module` into an executable plan for
+    /// an accelerator described by `spec`.
+    ///
+    /// # Errors
+    /// Fails when the module cannot be lowered to this backend's
+    /// execution form (e.g. the function is missing or uses
+    /// constructs outside the flat-tape surface).
+    fn compile(
+        &self,
+        module: &Module,
+        func: &str,
+        spec: &ArchSpec,
+    ) -> Result<Box<dyn Plan>, HalError>;
+}
+
+/// An executable artifact produced by [`Backend::compile`], reusable
+/// across calls with different inputs and [`ExecOptions`].
+pub trait Plan {
+    /// Run the plan against `args`.
+    ///
+    /// # Errors
+    /// Fails on runtime errors (bad argument shapes, device budget
+    /// exhaustion) or options the backend cannot honor.
+    fn execute(&self, args: &[Value], opts: &ExecOptions) -> Result<Execution, HalError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4cam_arch::Optimization;
+    use c4cam_core::dialects::{cim, torch};
+    use c4cam_core::pipeline::C4camPipeline;
+    use c4cam_tensor::Tensor;
+
+    fn spec(n: usize, opt: Optimization) -> ArchSpec {
+        ArchSpec::builder()
+            .subarray(n, n)
+            .hierarchy(2, 2, 4)
+            .optimization(opt)
+            .build()
+            .unwrap()
+    }
+
+    fn hdc_inputs(nq: usize, classes: usize, dims: usize) -> (Tensor, Tensor) {
+        let mut stored = Vec::with_capacity(classes * dims);
+        for c in 0..classes {
+            for d in 0..dims {
+                stored.push(f32::from(u8::from((d + c) % 3 == 0)));
+            }
+        }
+        let mut queries = Vec::with_capacity(nq * dims);
+        for q in 0..nq {
+            for d in 0..dims {
+                let base = u8::from((d + (q % classes)).is_multiple_of(3));
+                let flip = u8::from(d % 31 == q);
+                queries.push(f32::from(base ^ flip));
+            }
+        }
+        (
+            Tensor::from_vec(vec![classes, dims], stored).unwrap(),
+            Tensor::from_vec(vec![nq, dims], queries).unwrap(),
+        )
+    }
+
+    fn assert_outputs_equal(a: &[Value], b: &[Value], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: result arity");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            let (x, y) = (x.snapshot_tensor().unwrap(), y.snapshot_tensor().unwrap());
+            assert_eq!(x.shape(), y.shape(), "{what}: result {i} shape");
+            let same = x
+                .data()
+                .iter()
+                .zip(y.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{what}: result {i} diverged");
+        }
+    }
+
+    #[test]
+    fn every_registered_backend_matches_the_walk_oracle() {
+        let mut m = Module::new();
+        torch::build_hdc_dot_with(&mut m, 3, 5, 200, 1, true);
+        let (stored, queries) = hdc_inputs(3, 5, 200);
+        let args = [Value::Tensor(queries), Value::Tensor(stored)];
+        let s = spec(16, Optimization::Power);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+
+        let reg = BackendRegistry::global();
+        let oracle = reg
+            .get("walk")
+            .unwrap()
+            .compile(&compiled.module, "forward", &s)
+            .unwrap()
+            .execute(&args, &ExecOptions::sequential())
+            .unwrap();
+
+        for backend in reg.all() {
+            let run = backend
+                .compile(&compiled.module, "forward", &s)
+                .unwrap()
+                .execute(&args, &ExecOptions::sequential())
+                .unwrap();
+            assert_outputs_equal(&run.outputs, &oracle.outputs, backend.name());
+            if backend.capabilities().stats == StatsContract::DeviceExact {
+                assert_eq!(run.stats, oracle.stats, "{} stats", backend.name());
+                assert_eq!(run.phases, oracle.phases, "{} phases", backend.name());
+            } else {
+                assert!(run.stats.search_ops > 0, "{} search_ops", backend.name());
+                assert!(run.stats.latency_ns > 0.0, "{} latency", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_execution_respects_capabilities() {
+        let mut m = Module::new();
+        cim::build_similarity_kernel(&mut m, "knn", "eucl", 40, 96, 8, 2, false);
+        let mut stored = Vec::new();
+        for p in 0..40 {
+            for d in 0..96 {
+                stored.push(f32::from(u8::from((d * 5 + p * 11) % 7 < 3)));
+            }
+        }
+        let stored = Tensor::from_vec(vec![40, 96], stored).unwrap();
+        let queries = stored.slice2d(4, 0, 8, 96).unwrap();
+        let args = [Value::Tensor(queries), Value::Tensor(stored)];
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+
+        let reg = BackendRegistry::global();
+        let oracle = reg
+            .get("walk")
+            .unwrap()
+            .compile(&compiled.module, "knn", &s)
+            .unwrap()
+            .execute(&args, &ExecOptions::sequential())
+            .unwrap();
+
+        let threaded = ExecOptions::sequential().with_threads(4);
+        for backend in reg.all() {
+            let plan = backend.compile(&compiled.module, "knn", &s).unwrap();
+            if backend.capabilities().supports_threads {
+                let run = plan.execute(&args, &threaded).unwrap();
+                assert_outputs_equal(&run.outputs, &oracle.outputs, backend.name());
+            } else {
+                let err = plan.execute(&args, &threaded).unwrap_err();
+                assert!(
+                    err.message.contains(backend.name()),
+                    "{}: {err}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_backend_emits_a_parseable_replayable_trace() {
+        let mut m = Module::new();
+        torch::build_hdc_dot_with(&mut m, 2, 4, 64, 1, true);
+        let (stored, queries) = hdc_inputs(2, 4, 64);
+        let args = [Value::Tensor(queries), Value::Tensor(stored)];
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+
+        let run = BackendRegistry::global()
+            .get("trace")
+            .unwrap()
+            .compile(&compiled.module, "forward", &s)
+            .unwrap()
+            .execute(&args, &ExecOptions::sequential())
+            .unwrap();
+        let text = run.trace.expect("trace backend records a trace");
+        let trace = c4cam_engine::Trace::parse(&text).unwrap();
+        assert!(!trace.is_empty());
+        assert_eq!(trace.to_text(), text, "re-emission is byte-exact");
+    }
+
+    #[test]
+    fn unknown_backend_error_lists_the_registered_names() {
+        let err = BackendRegistry::global()
+            .get("jit")
+            .err()
+            .expect("unknown name must fail");
+        for name in ["walk", "tape", "simd", "trace"] {
+            assert!(err.message.contains(name), "{err}");
+        }
+    }
+
+    #[test]
+    fn exec_options_builders_compose() {
+        let opts = ExecOptions::sequential();
+        assert_eq!(opts.threads, 0);
+        assert_eq!(opts.wta_window, None);
+        assert!(opts.tech.is_none());
+
+        let opts = ExecOptions::sequential()
+            .with_threads(4)
+            .with_wta_window(Some(7))
+            .with_tech(TechnologyModel::default());
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.wta_window, Some(7));
+        assert!(opts.tech.is_some());
+    }
+
+    #[test]
+    fn execution_phase_lookup_finds_named_snapshots() {
+        let mut m = Module::new();
+        torch::build_hdc_dot_with(&mut m, 2, 4, 64, 1, true);
+        let (stored, queries) = hdc_inputs(2, 4, 64);
+        let args = [Value::Tensor(queries), Value::Tensor(stored)];
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        let run = BackendRegistry::global()
+            .get("tape")
+            .unwrap()
+            .compile(&compiled.module, "forward", &s)
+            .unwrap()
+            .execute(&args, &ExecOptions::sequential())
+            .unwrap();
+        let setup = run.phase("setup-complete").expect("setup phase marker");
+        assert!(setup.latency_ns <= run.stats.latency_ns);
+        assert!(run.phase("no-such-phase").is_none());
+    }
+
+    #[test]
+    fn plans_are_reusable_and_deterministic_across_executions() {
+        // A compiled plan is stateless: executing it twice must give
+        // byte-identical outputs and statistics.
+        let mut m = Module::new();
+        torch::build_hdc_dot_with(&mut m, 2, 4, 64, 1, true);
+        let (stored, queries) = hdc_inputs(2, 4, 64);
+        let args = [Value::Tensor(queries), Value::Tensor(stored)];
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        for backend in BackendRegistry::global().all() {
+            let plan = backend.compile(&compiled.module, "forward", &s).unwrap();
+            let a = plan.execute(&args, &ExecOptions::sequential()).unwrap();
+            let b = plan.execute(&args, &ExecOptions::sequential()).unwrap();
+            assert_outputs_equal(&a.outputs, &b.outputs, backend.name());
+            assert_eq!(a.stats, b.stats, "{} rerun stats", backend.name());
+            assert_eq!(a.trace, b.trace, "{} rerun trace", backend.name());
+        }
+    }
+}

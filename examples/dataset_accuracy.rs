@@ -15,7 +15,7 @@
 use c4cam::accuracy::{evaluate, AccuracyReport};
 use c4cam::arch::Optimization;
 use c4cam::datasets::{Dataset, DatasetTask, DatasetWorkload};
-use c4cam::driver::{build_arch, Engine};
+use c4cam::driver::build_arch;
 use std::path::Path;
 
 fn main() {
@@ -28,7 +28,7 @@ fn main() {
         for bits in 1..=4u32 {
             let spec = build_arch((32, 32), (4, 4, 8), Optimization::Base, bits)
                 .expect("valid evaluation architecture");
-            let row = evaluate(&workload, &spec, Engine::Tape, 1).expect("experiment runs");
+            let row = evaluate(&workload, &spec, "tape", 1).expect("experiment runs");
             assert_eq!(
                 row.agreement, 1.0,
                 "CAM and CPU reference must retrieve identical rows"

@@ -2,30 +2,29 @@
 //! on the simulated CAM accelerator.
 //!
 //! ```text
-//! cargo run --example quickstart --release [-- --engine walk|tape]
+//! cargo run --example quickstart --release [-- --engine simd|tape|trace|walk]
 //! ```
 //!
-//! The default engine is the flat CAM-ISA tape; `--engine walk` selects
-//! the tree-walking reference interpreter. Both produce identical
-//! results and statistics.
+//! The default engine is the flat CAM-ISA tape; any name registered in
+//! the [`c4cam::hal::BackendRegistry`] works. Every backend produces
+//! identical results; the device-exact ones (`walk`, `tape`, `trace`)
+//! also report identical statistics.
 
 use c4cam::arch::ArchSpec;
-use c4cam::camsim::CamMachine;
 use c4cam::compiler::C4camPipeline;
-use c4cam::driver::Engine;
-use c4cam::engine::Tape;
 use c4cam::frontend::{parse_torchscript, FrontendConfig};
-use c4cam::runtime::{Executor, Value};
+use c4cam::hal::{BackendRegistry, ExecOptions};
+use c4cam::runtime::Value;
 use c4cam::tensor::Tensor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut engine = Engine::default();
+    let mut engine = "tape".to_string();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--engine" {
             let v = it.next().ok_or("--engine requires a value")?;
-            engine = v.parse::<Engine>()?;
+            engine = v.clone();
         }
     }
     // 1. The TorchScript program (the paper's HDC dot-similarity).
@@ -76,33 +75,21 @@ def forward(self, input: Tensor) -> Tensor:
         queries.insert2d(&row, q, 0)?;
     }
 
-    // 6. Execute on the simulated CAM machine with the chosen engine.
-    let mut machine = CamMachine::new(&spec);
+    // 6. Execute through the backend HAL: resolve the name in the
+    //    registry, compile a plan, run it.
+    let backend = BackendRegistry::global().get(&engine)?;
+    println!("\nengine: {} ({})", backend.name(), backend.description());
+    let plan = backend.compile(&compiled.module, "forward", &spec)?;
     let run_args = [Value::Tensor(queries), Value::Tensor(stored)];
-    let out = match engine {
-        Engine::Walk => {
-            println!("\nengine: walk (tree-walking reference interpreter)");
-            Executor::with_machine(&compiled.module, &mut machine).run("forward", &run_args)?
-        }
-        Engine::Tape => {
-            let tape = Tape::compile(&compiled.module, "forward")?;
-            println!(
-                "\nengine: tape ({} CAM-ISA instructions, query loop {})",
-                tape.len(),
-                if tape.query_loop().is_some() {
-                    "detected"
-                } else {
-                    "absent"
-                }
-            );
-            tape.run(&mut machine, &run_args)?
-        }
-    };
-    let indices = out[1].as_tensor().expect("indices tensor");
+    let execution = plan.execute(&run_args, &ExecOptions::sequential())?;
+    let indices = execution.outputs[1].as_tensor().expect("indices tensor");
     println!("\npredicted classes: {:?}", indices.data());
     assert_eq!(indices.data(), &[1.0, 3.0, 5.0, 7.0]);
+    if let Some(trace) = &execution.trace {
+        println!("\nrecorded {} trace lines", trace.lines().count());
+    }
 
     // 7. What did it cost?
-    println!("\nsimulator statistics:\n{}", machine.stats());
+    println!("\nsimulator statistics:\n{}", execution.stats);
     Ok(())
 }

@@ -14,7 +14,7 @@
 //! The `c4cam accuracy` subcommand is a thin wrapper over
 //! [`evaluate`] + [`AccuracyReport`].
 
-use crate::driver::{DriverError, Engine, Experiment, RunOutcome};
+use crate::driver::{DriverError, Experiment, RunOutcome};
 use c4cam_arch::ArchSpec;
 use c4cam_camsim::ExecStats;
 use c4cam_datasets::{DatasetTask, DatasetWorkload};
@@ -39,8 +39,8 @@ pub struct AccuracyRow {
     pub classes: usize,
     /// Cell width the data was quantized to.
     pub bits_per_cell: u32,
-    /// Execution engine.
-    pub engine: Engine,
+    /// Execution backend name (a [`c4cam_hal::BackendRegistry`] key).
+    pub engine: String,
     /// Worker threads.
     pub threads: usize,
     /// CAM classification accuracy against ground-truth classes.
@@ -80,12 +80,12 @@ impl AccuracyRow {
 pub fn evaluate(
     workload: &DatasetWorkload,
     spec: &ArchSpec,
-    engine: Engine,
+    engine: &str,
     threads: usize,
 ) -> Result<AccuracyRow, DriverError> {
     let outcome = Experiment::new(workload)
         .arch(spec.clone())
-        .engine(engine)
+        .backend(engine)
         .threads(threads)
         .run()?;
     // For the kNN task the experiment's ground-truth labels *are* the
@@ -105,7 +105,7 @@ pub fn evaluate(
         dims: workload.dims(),
         classes: workload.dataset().classes(),
         bits_per_cell: spec.bits_per_cell,
-        engine,
+        engine: engine.to_string(),
         threads,
         cam_accuracy: workload.class_accuracy(&outcome.predictions),
         cpu_accuracy: workload.class_accuracy(&cpu_rows),
@@ -280,7 +280,7 @@ mod tests {
         for task in [DatasetTask::Hdc, DatasetTask::Knn] {
             let w = fixture(task, 16);
             let spec = build_arch((32, 32), (4, 4, 8), Optimization::Base, 1).unwrap();
-            let row = evaluate(&w, &spec, Engine::Tape, 1).unwrap();
+            let row = evaluate(&w, &spec, "tape", 1).unwrap();
             assert_eq!(row.agreement, 1.0, "{task:?}: CAM must equal CPU");
             assert_eq!(row.cam_accuracy, row.cpu_accuracy, "{task:?}");
             assert!(row.latency_per_query_ns() > 0.0);
@@ -289,11 +289,37 @@ mod tests {
     }
 
     #[test]
+    fn every_registered_backend_reports_identical_accuracy() {
+        // The accuracy harness runs through the backend HAL, so every
+        // registered backend must classify identically — the numbers
+        // that differ per backend are latency/energy, not accuracy.
+        let w = fixture(DatasetTask::Hdc, 8);
+        let spec = build_arch((32, 32), (4, 4, 8), Optimization::Base, 1).unwrap();
+        let oracle = evaluate(&w, &spec, "walk", 1).unwrap();
+        for backend in crate::hal::BackendRegistry::global().all() {
+            let row = evaluate(&w, &spec, backend.name(), 1).unwrap();
+            assert_eq!(row.engine, backend.name());
+            assert_eq!(row.cam_accuracy, oracle.cam_accuracy, "{}", backend.name());
+            assert_eq!(row.cpu_accuracy, oracle.cpu_accuracy, "{}", backend.name());
+            assert_eq!(row.agreement, 1.0, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn unknown_engine_is_an_error_listing_the_registry() {
+        let w = fixture(DatasetTask::Hdc, 4);
+        let spec = build_arch((32, 32), (4, 4, 8), Optimization::Base, 1).unwrap();
+        let err = evaluate(&w, &spec, "jit", 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown engine 'jit'"), "{msg}");
+    }
+
+    #[test]
     fn report_renders_all_three_formats() {
         let w = fixture(DatasetTask::Hdc, 8);
         let spec = build_arch((32, 32), (4, 4, 8), Optimization::Base, 2).unwrap();
         let report = AccuracyReport {
-            rows: vec![evaluate(&w, &spec, Engine::Tape, 1).unwrap()],
+            rows: vec![evaluate(&w, &spec, "tape", 1).unwrap()],
         };
         let table = report.to_table();
         assert!(table.contains("dataset-hdc"), "{table}");
@@ -332,7 +358,7 @@ mod tests {
         let w = fixture(DatasetTask::Hdc, 32);
         let acc = |bits: u32| {
             let spec = build_arch((32, 32), (4, 4, 8), Optimization::Base, bits).unwrap();
-            evaluate(&w, &spec, Engine::Tape, 1).unwrap().cam_accuracy
+            evaluate(&w, &spec, "tape", 1).unwrap().cam_accuracy
         };
         let (one, four) = (acc(1), acc(4));
         assert!(four >= one, "4-bit {four} vs 1-bit {one}");

@@ -16,26 +16,30 @@
 //!               [--dataset DIR|FILE.csv [--limit N]]
 //! c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv]
 //!               [--workload hdc|knn] [--limit N] [--bits 1,2]
-//!               [--subarray N] [--engine walk|tape] [--threads N]
+//!               [--subarray N] [--engine NAME] [--threads N]
 //!               [--format table|json|csv]
 //! ```
+//!
+//! `--engine` names resolve through [`c4cam_hal::BackendRegistry`]
+//! (`simd`, `tape`, `trace`, `walk`); `sweep` accepts a
+//! comma-separated list as an extra grid axis.
 //!
 //! The argument parsing and command execution live here (unit-tested);
 //! `src/bin/c4cam.rs` is a thin wrapper.
 
 use crate::accuracy::{evaluate, AccuracyReport};
-use crate::driver::{build_arch, DriverError, Engine, Experiment, ParseKeywordError};
+use crate::driver::{build_arch, DriverError, Experiment, ParseKeywordError};
 use crate::sweep::SweepPlan;
 use c4cam_arch::tech::TechnologyModel;
 use c4cam_arch::{parse_spec, ArchSpec, Optimization};
-use c4cam_camsim::{CamMachine, ExecStats};
+use c4cam_camsim::ExecStats;
 use c4cam_core::mapping::{place, MappingProblem};
 use c4cam_core::pipeline::{C4camPipeline, PipelineOptions, Target};
 use c4cam_datasets::{Dataset, DatasetFormat, DatasetTask, DatasetWorkload};
-use c4cam_engine::Tape;
 use c4cam_frontend::{parse_torchscript, FrontendConfig};
+use c4cam_hal::{BackendRegistry, ExecOptions};
 use c4cam_ir::print::print_module;
-use c4cam_runtime::{Executor, Value};
+use c4cam_runtime::Value;
 use c4cam_tensor::Tensor;
 use c4cam_workloads::{DtreeWorkload, GpuComparisonWorkload, HdcWorkload, KnnWorkload, Workload};
 use std::fmt;
@@ -134,6 +138,8 @@ pub enum Command {
     Sweep(SweepArgs),
     /// CAM-vs-CPU accuracy evaluation on a real dataset.
     Accuracy(AccuracyArgs),
+    /// Print the usage text (also `--help` / `-h`).
+    Help,
 }
 
 /// Arguments of `c4cam compile`.
@@ -220,8 +226,9 @@ pub struct RunArgs {
     pub data: Vec<String>,
     /// Seed for synthetic 0/1 data when no CSV files are given.
     pub random_seed: u64,
-    /// Execution engine (flat tape by default; `walk` is the oracle).
-    pub engine: Engine,
+    /// Execution backend name (flat `tape` by default; `walk` is the
+    /// oracle) — a [`c4cam_hal::BackendRegistry`] key.
+    pub engine: String,
     /// Worker threads for the tape engine (`1` = sequential). With more
     /// than one thread the batch executor shards the query loop — or,
     /// for single-query workloads, the subarray groups within a query —
@@ -248,8 +255,8 @@ pub struct DatasetRunArgs {
     /// Optional architecture spec file (the default [`ArchSpec`]
     /// otherwise).
     pub arch: Option<String>,
-    /// Execution engine.
-    pub engine: Engine,
+    /// Execution backend name.
+    pub engine: String,
     /// Worker threads.
     pub threads: usize,
     /// Report format.
@@ -272,8 +279,8 @@ pub struct AccuracyArgs {
     pub bits: Vec<u32>,
     /// Square subarray size of the evaluation architecture.
     pub subarray: usize,
-    /// Execution engine.
-    pub engine: Engine,
+    /// Execution backend name.
+    pub engine: String,
     /// Worker threads.
     pub threads: usize,
     /// Report format.
@@ -312,8 +319,8 @@ pub struct SweepArgs {
     pub techs: Vec<String>,
     /// Bits-per-cell values to sweep.
     pub bits: Vec<u32>,
-    /// Execution engine.
-    pub engine: Engine,
+    /// Execution backend names to sweep (an extra grid axis).
+    pub engines: Vec<String>,
     /// Worker threads per grid point.
     pub threads: usize,
     /// Keep only the latency/energy/area Pareto frontier.
@@ -338,7 +345,7 @@ impl Default for SweepArgs {
             opts: crate::sweep::DEFAULT_OPTIMIZATIONS.to_vec(),
             techs: vec!["default".to_string()],
             bits: vec![1],
-            engine: Engine::default(),
+            engines: vec!["tape".to_string()],
             threads: 1,
             pareto: false,
             format: SweepFormat::Table,
@@ -388,7 +395,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut dims = None;
     let mut queries: Option<usize> = None;
     let mut classes: Option<usize> = None;
-    let mut engine = Engine::default();
+    let mut engine: Option<String> = None;
     let mut threads = 1usize;
     let mut format: Option<String> = None;
     let mut workload: Option<String> = None;
@@ -466,9 +473,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| cli_err("--classes expects an integer"))?,
                 );
             }
-            "--engine" => {
-                engine = next_value(&mut it, flag)?.parse().map_err(cli_err)?;
-            }
+            "--engine" => engine = Some(next_value(&mut it, flag)?),
             "--threads" => {
                 threads = next_value(&mut it, flag)?
                     .parse::<usize>()
@@ -655,13 +660,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         )?,
         _ => {}
     }
+    // Resolve an --engine name through the backend registry; unknown
+    // names fail with the registered list.
+    let resolve_engine = |name: &str| -> Result<String, CliError> {
+        BackendRegistry::global().get(name).map_err(cli_err)?;
+        Ok(name.to_string())
+    };
+    // Threaded execution needs backends whose capabilities allow it.
+    let check_threads = |names: &[String], threads: usize| -> Result<(), CliError> {
+        if threads > 1 {
+            for name in names {
+                let backend = BackendRegistry::global().get(name).map_err(cli_err)?;
+                if !backend.capabilities().supports_threads {
+                    return Err(cli_err(format!(
+                        "--threads requires a threaded backend \
+                         (the {name} backend is single-threaded)"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    };
     match cmd.as_str() {
         "run" if dataset.is_some() => {
-            if engine == Engine::Walk && threads > 1 {
-                return Err(cli_err(
-                    "--threads requires the tape engine (the walker oracle is single-threaded)",
-                ));
-            }
+            let engine = resolve_engine(engine.as_deref().unwrap_or("tape"))?;
+            check_threads(std::slice::from_ref(&engine), threads)?;
             Ok(Command::RunDataset(DatasetRunArgs {
                 dataset: dataset.expect("guarded"),
                 dataset_format,
@@ -685,11 +708,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             if cmd == "compile" {
                 Ok(Command::Compile(compile))
             } else {
-                if engine == Engine::Walk && threads > 1 {
-                    return Err(cli_err(
-                        "--threads requires the tape engine (the walker oracle is single-threaded)",
-                    ));
-                }
+                let engine = resolve_engine(engine.as_deref().unwrap_or("tape"))?;
+                check_threads(std::slice::from_ref(&engine), threads)?;
                 Ok(Command::Run(RunArgs {
                     compile,
                     data,
@@ -701,11 +721,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
         }
         "accuracy" => {
-            if engine == Engine::Walk && threads > 1 {
-                return Err(cli_err(
-                    "--threads requires the tape engine (the walker oracle is single-threaded)",
-                ));
-            }
+            let engine = resolve_engine(engine.as_deref().unwrap_or("tape"))?;
+            check_threads(std::slice::from_ref(&engine), threads)?;
             Ok(Command::Accuracy(AccuracyArgs {
                 dataset: require(dataset, "--dataset")?,
                 dataset_format,
@@ -729,11 +746,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             format: out_format(format)?,
         })),
         "sweep" => {
-            if engine == Engine::Walk && threads > 1 {
-                return Err(cli_err(
-                    "--threads requires the tape engine (the walker oracle is single-threaded)",
-                ));
-            }
+            // The sweep's --engine is a comma-separated list: an
+            // extra grid axis.
+            let engines = match engine {
+                None => vec!["tape".to_string()],
+                Some(list) => parse_list(&list, "--engine", |v| resolve_engine(v))?,
+            };
+            check_threads(&engines, threads)?;
             let defaults = SweepArgs::default();
             Ok(Command::Sweep(SweepArgs {
                 workload: workload.unwrap_or(defaults.workload),
@@ -747,7 +766,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 opts: opts.unwrap_or(defaults.opts),
                 techs: techs.unwrap_or(defaults.techs),
                 bits: bits.unwrap_or(defaults.bits),
-                engine,
+                engines,
                 threads,
                 pareto,
                 format: match format {
@@ -756,6 +775,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 },
             }))
         }
+        "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(cli_err(format!("unknown command '{other}'\n{}", usage()))),
     }
 }
@@ -788,9 +808,14 @@ fn parse_tech(name: &str) -> Result<Option<TechnologyModel>, CliError> {
     }
 }
 
-/// Usage text.
-pub fn usage() -> &'static str {
-    "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine walk|tape] [--threads N] [--format text|json]\n  c4cam run     --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--arch SPEC] [--engine walk|tape] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]\n  c4cam sweep   [--workload hdc|knn|dtree|gpu] [--queries N] [--classes N] [--dims D] [--subarrays N,N,...] [--opts base,power,density,power+density] [--techs default,fefet-45nm,cmos-16nm] [--bits 1,2] [--engine walk|tape] [--threads N] [--pareto] [--format table|json|csv] [--dataset DIR|FILE.csv [--dataset-format idx|csv] [--limit N]]\n  c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--bits 1,2] [--subarray N] [--engine walk|tape] [--threads N] [--format table|json|csv]"
+/// Usage text. The `--engine` alternatives are generated from the
+/// [`BackendRegistry`], so the help stays in sync with the registered
+/// backends.
+pub fn usage() -> String {
+    let engines = BackendRegistry::global().names().join("|");
+    format!(
+        "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam run     --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--arch SPEC] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]\n  c4cam sweep   [--workload hdc|knn|dtree|gpu] [--queries N] [--classes N] [--dims D] [--subarrays N,N,...] [--opts base,power,density,power+density] [--techs default,fefet-45nm,cmos-16nm] [--bits 1,2] [--engine {engines},...] [--threads N] [--pareto] [--format table|json|csv] [--dataset DIR|FILE.csv [--dataset-format idx|csv] [--limit N]]\n  c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--bits 1,2] [--subarray N] [--engine {engines}] [--threads N] [--format table|json|csv]\n  c4cam help"
+    )
 }
 
 fn load_arch(path: &str) -> Result<ArchSpec, CliError> {
@@ -920,21 +945,19 @@ pub fn run_run(args: &RunArgs) -> Result<RunReport, CliError> {
         values.push(Value::Tensor(tensor));
     }
 
-    let mut machine = CamMachine::new(&spec);
-    let out = match args.engine {
-        Engine::Walk => Executor::with_machine(&compiled.module, &mut machine)
-            .run(&lowered.name, &values)
-            .map_err(cli_err)?,
-        Engine::Tape => {
-            let tape = Tape::compile(&compiled.module, &lowered.name).map_err(cli_err)?;
-            if args.threads > 1 {
-                tape.run_batched(&mut machine, &values, args.threads)
-                    .map_err(cli_err)?
-            } else {
-                tape.run(&mut machine, &values).map_err(cli_err)?
-            }
-        }
-    };
+    let backend = BackendRegistry::global()
+        .get(&args.engine)
+        .map_err(cli_err)?;
+    let plan = backend
+        .compile(&compiled.module, &lowered.name, &spec)
+        .map_err(cli_err)?;
+    let execution = plan
+        .execute(
+            &values,
+            &ExecOptions::sequential().with_threads(args.threads),
+        )
+        .map_err(cli_err)?;
+    let out = execution.outputs;
     let outputs = out
         .iter()
         .enumerate()
@@ -961,7 +984,7 @@ pub fn run_run(args: &RunArgs) -> Result<RunReport, CliError> {
     Ok(RunReport {
         outputs,
         outputs_json,
-        stats: machine.stats(),
+        stats: execution.stats,
     })
 }
 
@@ -1106,7 +1129,7 @@ pub fn run_dataset(args: &DatasetRunArgs) -> Result<String, CliError> {
     };
     let outcome = Experiment::new(&workload)
         .arch(spec)
-        .engine(args.engine)
+        .backend(args.engine.as_str())
         .threads(args.threads)
         .run()?;
     let accuracy = workload.class_accuracy(&outcome.predictions);
@@ -1152,7 +1175,7 @@ pub fn run_accuracy(args: &AccuracyArgs) -> Result<String, CliError> {
             bits,
         )
         .map_err(cli_err)?;
-        rows.push(evaluate(&workload, &spec, args.engine, args.threads)?);
+        rows.push(evaluate(&workload, &spec, &args.engine, args.threads)?);
     }
     let report = AccuracyReport { rows };
     let rendered = match args.format {
@@ -1229,7 +1252,7 @@ pub fn run_sweep(args: &SweepArgs) -> Result<String, CliError> {
         .optimizations(args.opts.iter().copied())
         .technologies(technologies?)
         .bits(args.bits.iter().copied())
-        .engine(args.engine)
+        .backends(args.engines.iter().cloned())
         .threads(args.threads);
     let outcome = plan.run()?;
     let rendered = match args.format {
@@ -1253,6 +1276,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         Command::Place(args) => run_place(args),
         Command::Sweep(args) => run_sweep(args),
         Command::Accuracy(args) => run_accuracy(args),
+        Command::Help => Ok(usage()),
     }
 }
 
@@ -1380,7 +1404,7 @@ mats_per_bank: 2
             },
             data: vec![],
             random_seed: 7,
-            engine: Engine::default(),
+            engine: "tape".to_string(),
             threads: 1,
             format: OutputFormat::Text,
         };
@@ -1405,7 +1429,7 @@ mats_per_bank: 2
             },
             data: vec![],
             random_seed: 7,
-            engine: Engine::Tape,
+            engine: "tape".to_string(),
             threads: 1,
             format: OutputFormat::Json,
         };
@@ -1417,12 +1441,12 @@ mats_per_bank: 2
     }
 
     #[test]
-    fn walk_and_tape_cli_runs_agree() {
+    fn every_registered_engine_agrees_with_walk_on_cli_runs() {
         let spec = write_temp("spec_eng.txt", SPEC);
         let kernel = write_temp("kernel_eng.py", KERNEL);
-        let mk = |engine| RunArgs {
+        let mk = |engine: &str| RunArgs {
             compile: CompileArgs {
-                arch: write_temp("spec_eng.txt", SPEC),
+                arch: spec.clone(),
                 source: kernel.clone(),
                 inputs: vec![vec![2, 64]],
                 params: vec![("weight".to_string(), vec![4, 64])],
@@ -1431,15 +1455,20 @@ mats_per_bank: 2
             },
             data: vec![],
             random_seed: 11,
-            engine,
+            engine: engine.to_string(),
             threads: 1,
             format: OutputFormat::Text,
         };
-        let _ = spec;
-        let walk = run_run(&mk(Engine::Walk)).unwrap();
-        let tape = run_run(&mk(Engine::Tape)).unwrap();
-        assert_eq!(walk.outputs, tape.outputs);
+        let walk = run_run(&mk("walk")).unwrap();
+        for name in BackendRegistry::global().names() {
+            let report = run_run(&mk(name)).unwrap();
+            assert_eq!(walk.outputs, report.outputs, "{name}");
+        }
+        // Device-exact backends report identical statistics too.
+        let tape = run_run(&mk("tape")).unwrap();
+        let trace = run_run(&mk("trace")).unwrap();
         assert_eq!(walk.stats, tape.stats);
+        assert_eq!(walk.stats, trace.stats);
     }
 
     #[test]
@@ -1463,7 +1492,7 @@ mats_per_bank: 2
             },
             data: vec![q, w],
             random_seed: 0,
-            engine: Engine::default(),
+            engine: "tape".to_string(),
             threads: 1,
             format: OutputFormat::Text,
         };
@@ -1532,7 +1561,7 @@ optimization: density
         match cmd {
             Command::Run(r) => {
                 assert_eq!(r.threads, 4);
-                assert_eq!(r.engine, Engine::Tape);
+                assert_eq!(r.engine, "tape");
             }
             other => panic!("expected run, got {other:?}"),
         }
@@ -1587,7 +1616,7 @@ optimization: density
             },
             data: vec![],
             random_seed: 11,
-            engine: Engine::Tape,
+            engine: "tape".to_string(),
             threads,
             format: OutputFormat::Text,
         };
@@ -1611,6 +1640,7 @@ optimization: density
                 assert_eq!(s.opts.len(), 4);
                 assert_eq!(s.techs, vec!["default".to_string()]);
                 assert_eq!(s.bits, vec![1]);
+                assert_eq!(s.engines, vec!["tape".to_string()]);
                 assert_eq!(s.format, SweepFormat::Table);
                 assert!(!s.pareto);
                 assert_eq!(s.queries, None);
@@ -1635,6 +1665,8 @@ optimization: density
             "default,cmos-16nm",
             "--bits",
             "1,2",
+            "--engine",
+            "tape,simd",
             "--threads",
             "2",
             "--pareto",
@@ -1650,6 +1682,7 @@ optimization: density
                 assert_eq!(s.opts, vec![Optimization::Base, Optimization::PowerDensity]);
                 assert_eq!(s.techs.len(), 2);
                 assert_eq!(s.bits, vec![1, 2]);
+                assert_eq!(s.engines, vec!["tape".to_string(), "simd".to_string()]);
                 assert_eq!(s.threads, 2);
                 assert!(s.pareto);
                 assert_eq!(s.format, SweepFormat::Csv);
@@ -1750,7 +1783,7 @@ optimization: density
                 assert_eq!(a.limit, None);
                 assert_eq!(a.bits, vec![1, 2]);
                 assert_eq!(a.subarray, 32);
-                assert_eq!(a.engine, Engine::Tape);
+                assert_eq!(a.engine, "tape");
                 assert_eq!(a.threads, 1);
                 assert_eq!(a.format, SweepFormat::Table);
             }
@@ -1785,7 +1818,7 @@ optimization: density
                 assert_eq!(a.limit, Some(16));
                 assert_eq!(a.bits, vec![1, 4]);
                 assert_eq!(a.subarray, 64);
-                assert_eq!(a.engine, Engine::Walk);
+                assert_eq!(a.engine, "walk");
                 assert_eq!(a.format, SweepFormat::Csv);
             }
             other => panic!("expected accuracy, got {other:?}"),
@@ -1894,7 +1927,7 @@ optimization: density
             limit: Some(4),
             bits: vec![1],
             subarray: 32,
-            engine: Engine::Tape,
+            engine: "tape".to_string(),
             threads: 1,
             format: SweepFormat::Table,
         })
@@ -1939,7 +1972,7 @@ optimization: density
             limit: Some(16),
             bits: vec![1, 2],
             subarray: 32,
-            engine: Engine::Tape,
+            engine: "tape".to_string(),
             threads: 1,
             format,
         };
@@ -1963,20 +1996,20 @@ optimization: density
 
     #[test]
     fn accuracy_is_bit_identical_across_engines_and_threads() {
-        let mk = |engine, threads| AccuracyArgs {
+        let mk = |engine: &str, threads| AccuracyArgs {
             dataset: fixture_path(),
             dataset_format: Some(DatasetFormat::Idx),
             task: "knn".to_string(),
             limit: Some(12),
             bits: vec![2],
             subarray: 32,
-            engine,
+            engine: engine.to_string(),
             threads,
             format: SweepFormat::Csv,
         };
-        let walk = run_accuracy(&mk(Engine::Walk, 1)).unwrap();
-        let tape = run_accuracy(&mk(Engine::Tape, 1)).unwrap();
-        let sharded = run_accuracy(&mk(Engine::Tape, 4)).unwrap();
+        let walk = run_accuracy(&mk("walk", 1)).unwrap();
+        let tape = run_accuracy(&mk("tape", 1)).unwrap();
+        let sharded = run_accuracy(&mk("tape", 4)).unwrap();
         // The engine/threads columns differ by construction. The
         // accuracy columns must be bit-identical everywhere; the
         // stats columns are bit-identical between the sequential
@@ -2017,7 +2050,7 @@ optimization: density
             task: "hdc".to_string(),
             limit: Some(8),
             arch: None,
-            engine: Engine::Tape,
+            engine: "tape".to_string(),
             threads: 1,
             format: OutputFormat::Text,
         })
@@ -2030,7 +2063,7 @@ optimization: density
             task: "knn".to_string(),
             limit: Some(8),
             arch: None,
-            engine: Engine::Tape,
+            engine: "tape".to_string(),
             threads: 2,
             format: OutputFormat::Json,
         })
@@ -2092,7 +2125,7 @@ optimization: density
         .unwrap();
         match cmd {
             Command::Run(r) => {
-                assert_eq!(r.engine, Engine::Walk);
+                assert_eq!(r.engine, "walk");
                 assert_eq!(r.format, OutputFormat::Json);
                 assert_eq!(r.threads, 1);
             }
@@ -2112,6 +2145,87 @@ optimization: density
             "8",
             "--format",
             "yaml"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_engine_errors_list_the_registered_backends() {
+        for cmd in [
+            vec![
+                "run", "--arch", "a", "--source", "s", "--engine", "nonsense",
+            ],
+            vec!["run", "--dataset", "d", "--engine", "nonsense"],
+            vec!["accuracy", "--dataset", "d", "--engine", "nonsense"],
+            vec!["sweep", "--engine", "nonsense"],
+            vec!["sweep", "--engine", "tape,nonsense"],
+        ] {
+            let e = parse_args(&strings(&cmd)).unwrap_err();
+            assert!(e.message.contains("unknown engine 'nonsense'"), "{e}");
+            assert!(e.message.contains("simd, tape, trace, walk"), "{e}");
+        }
+        // The help text embeds the registry's names, so new backends
+        // show up without editing the usage string.
+        let help = usage();
+        for name in BackendRegistry::global().names() {
+            assert!(help.contains(name), "usage misses {name}: {help}");
+        }
+    }
+
+    #[test]
+    fn help_is_a_command_not_an_error() {
+        for spelling in ["help", "--help", "-h"] {
+            let cmd = parse_args(&strings(&[spelling])).unwrap();
+            assert!(matches!(cmd, Command::Help), "{spelling}");
+            let text = execute(&cmd).unwrap();
+            for name in BackendRegistry::global().names() {
+                assert!(text.contains(name), "help misses {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_threaded_engines_reject_threads_by_capability() {
+        for engine in ["walk", "trace"] {
+            let e = parse_args(&strings(&[
+                "run",
+                "--arch",
+                "a",
+                "--source",
+                "s",
+                "--engine",
+                engine,
+                "--threads",
+                "2",
+            ]))
+            .unwrap_err();
+            assert!(
+                e.message
+                    .contains(&format!("{engine} backend is single-threaded")),
+                "{e}"
+            );
+        }
+        // A threaded backend accepts the same flag.
+        assert!(parse_args(&strings(&[
+            "run",
+            "--arch",
+            "a",
+            "--source",
+            "s",
+            "--engine",
+            "simd",
+            "--threads",
+            "2",
+        ]))
+        .is_ok());
+        // A sweep rejects threads if ANY selected backend is
+        // single-threaded.
+        assert!(parse_args(&strings(&[
+            "sweep",
+            "--engine",
+            "tape,walk",
+            "--threads",
+            "2"
         ]))
         .is_err());
     }

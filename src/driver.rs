@@ -7,83 +7,36 @@
 //! configuration surface over any [`Workload`] implementation —
 //!
 //! ```no_run
-//! use c4cam::driver::{paper_arch, Engine, Experiment};
+//! use c4cam::driver::{paper_arch, Experiment};
 //! use c4cam::arch::Optimization;
 //! use c4cam::workloads::HdcWorkload;
 //!
 //! let hdc = HdcWorkload::paper(16);
 //! let out = Experiment::new(&hdc)
 //!     .arch(paper_arch(32, Optimization::Base, 1))
-//!     .engine(Engine::Tape)
+//!     .backend("tape")
 //!     .threads(4)
 //!     .run()
 //!     .unwrap();
 //! println!("{:.2} ns/query", out.latency_per_query_ns());
 //! ```
 //!
-//! The pre-PR-4 per-workload free functions (`run_hdc`,
-//! `run_knn_with_engine`, …) remain as deprecated shims over the
-//! builder; no internal call site uses them.
+//! Execution goes through the backend HAL
+//! ([`c4cam_hal::BackendRegistry`]): the experiment names a backend
+//! (`walk`, `tape`, `simd`, `trace`, or anything registered), the
+//! driver resolves it, checks its declared capabilities against the
+//! requested knobs, and runs the compiled plan.
 
 use c4cam_arch::tech::TechnologyModel;
 use c4cam_arch::{ArchSpec, CamKind, Optimization};
-use c4cam_camsim::{CamMachine, ExecStats};
+use c4cam_camsim::ExecStats;
 use c4cam_core::mapping::{place, MappingProblem, Placement};
 use c4cam_core::pipeline::C4camPipeline;
-use c4cam_engine::Tape;
-use c4cam_runtime::{Executor, Value};
-use c4cam_workloads::{accuracy, ArgOrder, HdcWorkload, KnnWorkload, Workload, WorkloadInputs};
+use c4cam_hal::{BackendRegistry, ExecOptions};
+use c4cam_runtime::Value;
+use c4cam_workloads::{accuracy, ArgOrder, Workload, WorkloadInputs};
 use std::error::Error;
 use std::fmt;
-use std::str::FromStr;
-
-/// Which execution engine drives the simulator.
-///
-/// [`Engine::Tape`] (the default) compiles the lowered module to a flat
-/// CAM-ISA tape and executes it on the register-machine VM;
-/// [`Engine::Walk`] re-walks the IR tree per op and is kept as the
-/// reference oracle. Both produce bit-identical outputs and statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Engine {
-    /// Tree-walking reference interpreter ([`Executor`]).
-    Walk,
-    /// Flat-tape VM ([`c4cam_engine::Tape`]).
-    #[default]
-    Tape,
-}
-
-impl Engine {
-    /// Keyword used on the command line.
-    pub fn keyword(self) -> &'static str {
-        match self {
-            Engine::Walk => "walk",
-            Engine::Tape => "tape",
-        }
-    }
-
-    /// Parse from the `--engine` keyword (delegates to [`FromStr`]).
-    pub fn from_keyword(s: &str) -> Option<Engine> {
-        s.parse().ok()
-    }
-}
-
-impl FromStr for Engine {
-    type Err = ParseKeywordError;
-
-    fn from_str(s: &str) -> Result<Engine, ParseKeywordError> {
-        match s {
-            "walk" => Ok(Engine::Walk),
-            "tape" => Ok(Engine::Tape),
-            _ => Err(ParseKeywordError::new("engine", s, &["walk", "tape"])),
-        }
-    }
-}
-
-impl fmt::Display for Engine {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.keyword())
-    }
-}
 
 /// Error of parsing a keyword-valued option (`--engine`, `--emit`,
 /// `--format`, …): carries the offending input and the accepted
@@ -230,6 +183,9 @@ pub struct RunOutcome {
     pub placement: Placement,
     /// Number of queries executed.
     pub queries: usize,
+    /// Serialized op trace, when the backend records one (the `trace`
+    /// backend); parseable by `c4cam_engine::Trace::parse`.
+    pub trace: Option<String>,
 }
 
 impl RunOutcome {
@@ -324,7 +280,7 @@ pub fn paper_arch(n: usize, optimization: Optimization, bits: u32) -> ArchSpec {
 }
 
 /// One configured experiment: a [`Workload`] bound to an architecture,
-/// technology, engine, and execution knobs. Construct with
+/// technology, backend, and execution knobs. Construct with
 /// [`Experiment::new`], chain the setters, then [`Experiment::run`].
 ///
 /// `run` borrows the builder, so one configuration can be re-run (the
@@ -335,7 +291,7 @@ pub struct Experiment<'w> {
     workload: &'w dyn Workload,
     spec: ArchSpec,
     tech: Option<TechnologyModel>,
-    engine: Engine,
+    backend: String,
     threads: usize,
     wta_window: Option<u32>,
     canonicalize: bool,
@@ -347,7 +303,7 @@ impl fmt::Debug for Experiment<'_> {
             .field("workload", &self.workload.name())
             .field("spec", &self.spec)
             .field("tech", &self.tech.as_ref().map(|t| t.name.as_str()))
-            .field("engine", &self.engine)
+            .field("backend", &self.backend)
             .field("threads", &self.threads)
             .field("wta_window", &self.wta_window)
             .field("canonicalize", &self.canonicalize)
@@ -358,13 +314,13 @@ impl fmt::Debug for Experiment<'_> {
 impl<'w> Experiment<'w> {
     /// Start configuring an experiment on `workload`, with the paper's
     /// default architecture ([`ArchSpec::default`]), the default
-    /// technology, the tape engine, and one thread.
+    /// technology, the `tape` backend, and one thread.
     pub fn new(workload: &'w dyn Workload) -> Experiment<'w> {
         Experiment {
             workload,
             spec: ArchSpec::default(),
             tech: None,
-            engine: Engine::default(),
+            backend: "tape".to_string(),
             threads: 1,
             wta_window: None,
             canonicalize: false,
@@ -385,16 +341,19 @@ impl<'w> Experiment<'w> {
         self
     }
 
-    /// Select the execution engine.
-    pub fn engine(mut self, engine: Engine) -> Self {
-        self.engine = engine;
+    /// Select the execution backend by registry name (`walk`, `tape`,
+    /// `simd`, `trace`, ...). Unknown names surface as a
+    /// [`DriverError::Config`] listing the registered backends when the
+    /// experiment runs.
+    pub fn backend(mut self, backend: impl Into<String>) -> Self {
+        self.backend = backend.into();
         self
     }
 
-    /// Worker threads for the tape engine (`1` = sequential). With more
-    /// than one thread the batch executor shards the query loop — or,
-    /// for single-query workloads, the subarray groups within a query —
-    /// across `std::thread` workers.
+    /// Worker threads for backends with thread support (`1` =
+    /// sequential). With more than one thread the batch executor shards
+    /// the query loop — or, for single-query workloads, the subarray
+    /// groups within a query — across `std::thread` workers.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -430,9 +389,13 @@ impl<'w> Experiment<'w> {
                 "threads must be >= 1 (got 0)".to_string(),
             ));
         }
-        if self.engine == Engine::Walk && self.threads > 1 {
+        let backend = BackendRegistry::global()
+            .get(&self.backend)
+            .map_err(|e| DriverError::Config(e.message))?;
+        if self.threads > 1 && !backend.capabilities().supports_threads {
             return Err(DriverError::Config(format!(
-                "the walk engine is single-threaded (got threads = {})",
+                "the {} backend is single-threaded (got threads = {})",
+                backend.name(),
                 self.threads
             )));
         }
@@ -465,35 +428,36 @@ impl<'w> Experiment<'w> {
             queries,
             labels,
         } = self.workload.inputs(&self.spec);
-        let mut machine = match self.tech {
-            Some(ref tech) => CamMachine::with_tech(&self.spec, tech.clone()),
-            None => CamMachine::new(&self.spec),
-        };
-        machine.set_wta_window(self.wta_window);
         // The workload declares its kernel's argument order — no shape
         // heuristics (those are ambiguous when queries == stored rows).
         let args = match built.arg_order {
             ArgOrder::QueriesThenStored => vec![Value::Tensor(queries), Value::Tensor(stored)],
             ArgOrder::StoredThenQueries => vec![Value::Tensor(stored), Value::Tensor(queries)],
         };
-        let out = match self.engine {
-            Engine::Walk => Executor::with_machine(&compiled.module, &mut machine)
-                .run(built.func, &args)
-                .map_err(|e| DriverError::Exec(Box::new(e)))?,
-            Engine::Tape => Tape::compile(&compiled.module, built.func)
-                .map_err(|e| DriverError::Compile(Box::new(e)))?
-                .run_batched(&mut machine, &args, self.threads)
-                .map_err(|e| DriverError::Exec(Box::new(e)))?,
+        let plan = backend
+            .compile(&compiled.module, built.func, &self.spec)
+            .map_err(|e| DriverError::Compile(Box::new(e)))?;
+        let opts = ExecOptions {
+            threads: self.threads,
+            wta_window: self.wta_window,
+            tech: self.tech.clone(),
         };
-        let indices = out
+        let execution = plan
+            .execute(&args, &opts)
+            .map_err(|e| DriverError::Exec(Box::new(e)))?;
+        let indices = execution
+            .outputs
             .get(1)
             .and_then(Value::as_tensor)
             .ok_or_else(|| DriverError::Exec("kernel returned no indices".to_string().into()))?;
         let predictions: Vec<usize> = (0..nq)
             .map(|q| indices.data()[q * indices.len() / nq.max(1)] as usize)
             .collect();
-        let total = machine.stats();
-        let setup = machine.phase("setup-complete").cloned().unwrap_or_default();
+        let total = execution.stats.clone();
+        let setup = execution
+            .phase("setup-complete")
+            .cloned()
+            .unwrap_or_default();
         let query_phase = total.delta(&setup);
         Ok(RunOutcome {
             total,
@@ -503,182 +467,15 @@ impl<'w> Experiment<'w> {
             labels,
             placement,
             queries: nq,
+            trace: execution.trace,
         })
     }
-}
-
-// ---------------------------------------------------------------------
-// Deprecated pre-Experiment shims. No internal call site uses these;
-// they are kept so external users of the old free-function API keep
-// compiling (against the same semantics — each is a thin builder call).
-// ---------------------------------------------------------------------
-
-/// HDC experiment configuration (legacy; superseded by
-/// [`HdcWorkload`] + [`Experiment`]).
-#[derive(Debug, Clone)]
-pub struct HdcConfig {
-    /// Architecture to compile for.
-    pub spec: ArchSpec,
-    /// Number of classes (stored hypervectors).
-    pub classes: usize,
-    /// Hypervector dimensionality.
-    pub dims: usize,
-    /// Queries to simulate.
-    pub queries: usize,
-    /// Fraction of query elements re-randomized.
-    pub flip_rate: f64,
-    /// RNG seed.
-    pub seed: u64,
-    /// Optional winner-take-all sensing window: best-match distances
-    /// saturate at this mismatch count (paper \[19\]).
-    pub wta_window: Option<u32>,
-    /// Run the canonicalize cleanup after lowering.
-    pub canonicalize: bool,
-}
-
-impl HdcConfig {
-    /// The paper's HDC setting (MNIST-like, 8k dims, 10 classes) on a
-    /// given architecture, with a reduced simulated query count
-    /// (costs extrapolate exactly; see
-    /// [`RunOutcome::scaled_query_phase`]).
-    pub fn paper(spec: ArchSpec, queries: usize) -> HdcConfig {
-        HdcConfig {
-            spec,
-            classes: 10,
-            dims: 8192,
-            queries,
-            flip_rate: 0.1,
-            seed: 42,
-            wta_window: None,
-            canonicalize: false,
-        }
-    }
-
-    fn workload(&self) -> HdcWorkload {
-        HdcWorkload {
-            classes: self.classes,
-            dims: self.dims,
-            queries: self.queries,
-            flip_rate: self.flip_rate,
-            seed: self.seed,
-        }
-    }
-
-    fn experiment_on<'w>(&self, workload: &'w HdcWorkload) -> Experiment<'w> {
-        Experiment::new(workload)
-            .arch(self.spec.clone())
-            .wta_window(self.wta_window)
-            .canonicalize(self.canonicalize)
-    }
-}
-
-/// Run the HDC workload through the full pipeline onto the simulator.
-///
-/// # Errors
-/// Propagates compile and execution failures.
-#[deprecated(note = "use `Experiment::new(&HdcWorkload { .. })` instead")]
-pub fn run_hdc(config: &HdcConfig) -> Result<RunOutcome, DriverError> {
-    let workload = config.workload();
-    config.experiment_on(&workload).run()
-}
-
-/// [`run_hdc`] with an explicit execution engine.
-///
-/// # Errors
-/// Propagates compile and execution failures.
-#[deprecated(note = "use `Experiment::new(..).engine(..)` instead")]
-pub fn run_hdc_with_engine(config: &HdcConfig, engine: Engine) -> Result<RunOutcome, DriverError> {
-    let workload = config.workload();
-    config.experiment_on(&workload).engine(engine).run()
-}
-
-/// [`run_hdc`] with an explicit technology model.
-///
-/// # Errors
-/// Propagates compile and execution failures.
-#[deprecated(note = "use `Experiment::new(..).tech(..)` instead")]
-pub fn run_hdc_with_tech(
-    config: &HdcConfig,
-    tech: TechnologyModel,
-) -> Result<RunOutcome, DriverError> {
-    let workload = config.workload();
-    config.experiment_on(&workload).tech(tech).run()
-}
-
-/// KNN experiment configuration (legacy; superseded by
-/// [`KnnWorkload`] + [`Experiment`]).
-#[derive(Debug, Clone)]
-pub struct KnnConfig {
-    /// Architecture to compile for.
-    pub spec: ArchSpec,
-    /// Stored training patterns.
-    pub patterns: usize,
-    /// Feature dimensionality.
-    pub dims: usize,
-    /// Queries to simulate.
-    pub queries: usize,
-    /// Neighbours to retrieve.
-    pub k: usize,
-    /// Feature noise.
-    pub noise: f64,
-    /// RNG seed.
-    pub seed: u64,
-}
-
-impl KnnConfig {
-    /// The paper's Pneumonia-scale setting (5216 patterns) on a given
-    /// architecture, with a reduced query count.
-    pub fn paper(spec: ArchSpec, queries: usize) -> KnnConfig {
-        KnnConfig {
-            spec,
-            patterns: 5216,
-            dims: 4096,
-            queries,
-            k: 5,
-            noise: 0.2,
-            seed: 7,
-        }
-    }
-
-    fn workload(&self) -> KnnWorkload {
-        KnnWorkload {
-            patterns: self.patterns,
-            dims: self.dims,
-            queries: self.queries,
-            k: self.k,
-            noise: self.noise,
-            seed: self.seed,
-        }
-    }
-}
-
-/// Run the KNN workload (batched queries enter at the fused `cim`
-/// stage, since the torch-level Euclidean pattern is single-query).
-///
-/// # Errors
-/// Propagates compile and execution failures.
-#[deprecated(note = "use `Experiment::new(&KnnWorkload { .. })` instead")]
-pub fn run_knn(config: &KnnConfig) -> Result<RunOutcome, DriverError> {
-    let workload = config.workload();
-    Experiment::new(&workload).arch(config.spec.clone()).run()
-}
-
-/// [`run_knn`] with an explicit execution engine.
-///
-/// # Errors
-/// Propagates compile and execution failures.
-#[deprecated(note = "use `Experiment::new(..).engine(..)` instead")]
-pub fn run_knn_with_engine(config: &KnnConfig, engine: Engine) -> Result<RunOutcome, DriverError> {
-    let workload = config.workload();
-    Experiment::new(&workload)
-        .arch(config.spec.clone())
-        .engine(engine)
-        .run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use c4cam_workloads::{HdcWorkload, KnnWorkload};
 
     fn small_hdc() -> HdcWorkload {
         HdcWorkload {
@@ -786,7 +583,7 @@ mod tests {
     }
 
     #[test]
-    fn walk_and_tape_engines_agree_on_outcome_and_stats() {
+    fn every_registered_backend_agrees_with_the_walk_oracle() {
         let hdc = HdcWorkload {
             classes: 4,
             dims: 128,
@@ -795,12 +592,44 @@ mod tests {
             seed: 9,
         };
         let exp = Experiment::new(&hdc).arch(paper_arch(16, Optimization::Base, 1));
-        let walk = exp.clone().engine(Engine::Walk).run().unwrap();
-        let tape = exp.engine(Engine::Tape).run().unwrap();
-        assert_eq!(walk.predictions, tape.predictions);
-        assert_eq!(walk.total, tape.total);
-        assert_eq!(walk.setup, tape.setup);
-        assert_eq!(walk.query_phase, tape.query_phase);
+        let walk = exp.clone().backend("walk").run().unwrap();
+        for backend in BackendRegistry::global().all() {
+            let out = exp.clone().backend(backend.name()).run().unwrap();
+            assert_eq!(out.predictions, walk.predictions, "{}", backend.name());
+            if backend.capabilities().stats == c4cam_hal::StatsContract::DeviceExact {
+                assert_eq!(out.total, walk.total, "{} total", backend.name());
+                assert_eq!(out.setup, walk.setup, "{} setup", backend.name());
+                assert_eq!(
+                    out.query_phase,
+                    walk.query_phase,
+                    "{} query phase",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_backend_surfaces_its_trace_in_the_outcome() {
+        let hdc = small_hdc();
+        let exp = Experiment::new(&hdc).arch(paper_arch(32, Optimization::Base, 1));
+        let tape = exp.clone().run().unwrap();
+        assert!(tape.trace.is_none(), "tape records no trace");
+        let traced = exp.backend("trace").run().unwrap();
+        let text = traced.trace.expect("trace backend records a trace");
+        assert!(!c4cam_engine::Trace::parse(&text).unwrap().is_empty());
+        assert_eq!(traced.predictions, tape.predictions);
+    }
+
+    #[test]
+    fn default_backend_is_the_tape_engine() {
+        let hdc = small_hdc();
+        let exp = Experiment::new(&hdc).arch(paper_arch(32, Optimization::Base, 1));
+        let default = exp.clone().run().unwrap();
+        let tape = exp.backend("tape").run().unwrap();
+        assert_eq!(default.predictions, tape.predictions);
+        assert_eq!(default.total, tape.total);
+        assert_eq!(default.query_phase, tape.query_phase);
     }
 
     #[test]
@@ -827,14 +656,29 @@ mod tests {
     }
 
     #[test]
-    fn threaded_walker_is_a_config_error() {
+    fn threads_on_a_single_threaded_backend_are_a_config_error() {
         let hdc = small_hdc();
-        let e = Experiment::new(&hdc)
-            .engine(Engine::Walk)
-            .threads(2)
-            .run()
-            .unwrap_err();
+        for name in ["walk", "trace"] {
+            let e = Experiment::new(&hdc)
+                .backend(name)
+                .threads(2)
+                .run()
+                .unwrap_err();
+            assert!(matches!(e, DriverError::Config(_)), "{name}: {e}");
+            assert!(e.to_string().contains(name), "{e}");
+        }
+    }
+
+    #[test]
+    fn unknown_backend_is_a_config_error_listing_registered_names() {
+        let hdc = small_hdc();
+        let e = Experiment::new(&hdc).backend("jit").run().unwrap_err();
         assert!(matches!(e, DriverError::Config(_)), "{e}");
+        let msg = e.to_string();
+        assert!(msg.contains("unknown engine 'jit'"), "{msg}");
+        for name in ["simd", "tape", "trace", "walk"] {
+            assert!(msg.contains(name), "{msg}");
+        }
     }
 
     #[test]
@@ -863,16 +707,6 @@ mod tests {
         );
         // The original cause is still on the chain.
         assert!(wrapped.source().unwrap().source().is_some());
-    }
-
-    #[test]
-    fn engine_parses_via_fromstr_and_from_keyword_delegates() {
-        assert_eq!("walk".parse::<Engine>().unwrap(), Engine::Walk);
-        assert_eq!("tape".parse::<Engine>().unwrap(), Engine::Tape);
-        assert_eq!(Engine::from_keyword("walk"), Some(Engine::Walk));
-        assert_eq!(Engine::from_keyword("jit"), None);
-        let e = "jit".parse::<Engine>().unwrap_err();
-        assert_eq!(e.to_string(), "unknown engine 'jit' (expected walk|tape)");
     }
 
     #[test]
@@ -917,51 +751,5 @@ mod tests {
         );
         assert!(power.query_phase.power_w() < base.query_phase.power_w());
         assert_eq!(base.predictions, power.predictions);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_route_through_the_builder() {
-        let config = HdcConfig {
-            spec: paper_arch(16, Optimization::Base, 1),
-            classes: 4,
-            dims: 128,
-            queries: 4,
-            flip_rate: 0.05,
-            seed: 9,
-            wta_window: None,
-            canonicalize: false,
-        };
-        let shim = run_hdc(&config).unwrap();
-        let hdc = HdcWorkload {
-            classes: 4,
-            dims: 128,
-            queries: 4,
-            flip_rate: 0.05,
-            seed: 9,
-        };
-        let direct = Experiment::new(&hdc)
-            .arch(config.spec.clone())
-            .run()
-            .unwrap();
-        assert_eq!(shim.predictions, direct.predictions);
-        assert_eq!(shim.total, direct.total);
-        let knn_cfg = KnnConfig {
-            spec: ArchSpec::builder()
-                .subarray(16, 16)
-                .hierarchy(2, 2, 4)
-                .build()
-                .unwrap(),
-            patterns: 32,
-            dims: 48,
-            queries: 4,
-            k: 1,
-            noise: 0.1,
-            seed: 3,
-        };
-        let walk = run_knn_with_engine(&knn_cfg, Engine::Walk).unwrap();
-        let tape = run_knn_with_engine(&knn_cfg, Engine::Tape).unwrap();
-        assert_eq!(walk.predictions, tape.predictions);
-        assert_eq!(walk.total, tape.total);
     }
 }

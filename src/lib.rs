@@ -25,6 +25,7 @@ pub use c4cam_core as compiler;
 pub use c4cam_datasets as datasets;
 pub use c4cam_engine as engine;
 pub use c4cam_frontend as frontend;
+pub use c4cam_hal as hal;
 pub use c4cam_ir as ir;
 pub use c4cam_runtime as runtime;
 pub use c4cam_tensor as tensor;

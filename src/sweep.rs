@@ -1,9 +1,10 @@
 //! Design-space exploration on top of the [`Experiment`] builder
 //! (paper §IV-C): a [`SweepPlan`] expands a grid over subarray geometry
-//! × [`Optimization`] configuration × CAM technology × bits-per-cell,
-//! runs every grid point through the same compiled pipeline, and
-//! reports the results as a table, CSV, or JSON — optionally filtered
-//! to the latency/energy/area Pareto frontier.
+//! × [`Optimization`] configuration × CAM technology × bits-per-cell
+//! × execution backend, runs every grid point through the same
+//! compiled pipeline, and reports the results as a table, CSV, or
+//! JSON — optionally filtered to the latency/energy/area Pareto
+//! frontier.
 //!
 //! ```no_run
 //! use c4cam::sweep::SweepPlan;
@@ -17,7 +18,7 @@
 //! The `c4cam sweep` subcommand and the `design_space_exploration`
 //! example are both thin wrappers over this module.
 
-use crate::driver::{DriverError, Engine, Experiment, RunOutcome};
+use crate::driver::{DriverError, Experiment, RunOutcome};
 use c4cam_arch::tech::TechnologyModel;
 use c4cam_arch::{ArchSpec, Optimization};
 use c4cam_workloads::Workload;
@@ -39,6 +40,9 @@ pub struct GridPoint {
     pub tech: Option<TechnologyModel>,
     /// Bits per cell (1 = TCAM, >1 = MCAM).
     pub bits_per_cell: u32,
+    /// Execution backend name (resolved through
+    /// [`c4cam_hal::BackendRegistry`] when the point runs).
+    pub engine: String,
 }
 
 impl GridPoint {
@@ -59,12 +63,13 @@ impl fmt::Display for GridPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}x{}/{}/{}/{}b",
+            "{}x{}/{}/{}/{}b/{}",
             self.subarray.0,
             self.subarray.1,
             self.optimization.keyword(),
             self.tech_name,
-            self.bits_per_cell
+            self.bits_per_cell,
+            self.engine
         )
     }
 }
@@ -168,12 +173,13 @@ impl SweepOutcome {
     pub fn to_table(&self, pareto_only: bool) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<10} {:>9} {:<14} {:<12} {:>4} {:>10} {:>6} {:>13} {:>12} {:>11} {:>12} {:>7}\n",
+            "{:<10} {:>9} {:<14} {:<12} {:>4} {:<6} {:>10} {:>6} {:>13} {:>12} {:>11} {:>12} {:>7}\n",
             "workload",
             "subarray",
             "optimization",
             "technology",
             "bits",
+            "engine",
             "subarrays",
             "banks",
             "lat/query ns",
@@ -185,12 +191,13 @@ impl SweepOutcome {
         for i in self.selected(pareto_only) {
             let p = &self.points[i];
             out.push_str(&format!(
-                "{:<10} {:>9} {:<14} {:<12} {:>4} {:>10} {:>6} {:>13.2} {:>12.2} {:>11.3} {:>12} {:>7}\n",
+                "{:<10} {:>9} {:<14} {:<12} {:>4} {:<6} {:>10} {:>6} {:>13.2} {:>12.2} {:>11.3} {:>12} {:>7}\n",
                 self.workload,
                 format!("{}x{}", p.grid.subarray.0, p.grid.subarray.1),
                 p.grid.optimization.keyword(),
                 p.grid.tech_name,
                 p.grid.bits_per_cell,
+                p.grid.engine,
                 p.outcome.placement.physical_subarrays,
                 p.outcome.placement.banks,
                 p.latency_per_query_ns(),
@@ -206,20 +213,21 @@ impl SweepOutcome {
     /// Render as CSV (stable header; one row per selected point).
     pub fn to_csv(&self, pareto_only: bool) -> String {
         let mut out = String::from(
-            "workload,subarray_rows,subarray_cols,optimization,technology,bits_per_cell,\
+            "workload,subarray_rows,subarray_cols,optimization,technology,bits_per_cell,engine,\
              physical_subarrays,banks,latency_per_query_ns,energy_per_query_pj,power_mw,\
              area_cells,accuracy,pareto\n",
         );
         for i in self.selected(pareto_only) {
             let p = &self.points[i];
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 self.workload,
                 p.grid.subarray.0,
                 p.grid.subarray.1,
                 p.grid.optimization.keyword(),
                 p.grid.tech_name,
                 p.grid.bits_per_cell,
+                p.grid.engine,
                 p.outcome.placement.physical_subarrays,
                 p.outcome.placement.banks,
                 json_f64(p.latency_per_query_ns()),
@@ -246,7 +254,7 @@ impl SweepOutcome {
                     concat!(
                         "{{\"subarray_rows\":{},\"subarray_cols\":{},",
                         "\"optimization\":\"{}\",\"technology\":\"{}\",\"bits_per_cell\":{},",
-                        "\"physical_subarrays\":{},\"banks\":{},",
+                        "\"engine\":\"{}\",\"physical_subarrays\":{},\"banks\":{},",
                         "\"latency_per_query_ns\":{},\"energy_per_query_pj\":{},",
                         "\"power_mw\":{},\"area_cells\":{},\"accuracy\":{},",
                         "\"pareto\":{},\"query_phase\":{}}}"
@@ -256,6 +264,7 @@ impl SweepOutcome {
                     p.grid.optimization.keyword(),
                     p.grid.tech_name,
                     p.grid.bits_per_cell,
+                    p.grid.engine,
                     p.outcome.placement.physical_subarrays,
                     p.outcome.placement.banks,
                     json_f64(p.latency_per_query_ns()),
@@ -301,7 +310,8 @@ pub const DEFAULT_OPTIMIZATIONS: [Optimization; 4] = [
 /// A design-space sweep over one workload: the grid dimensions with
 /// the §IV-C defaults (square subarrays 16..256, all four optimization
 /// configurations, the spec-default technology, 1 bit per cell, the
-/// paper hierarchy 4 mats × 4 arrays × 8 subarrays).
+/// `tape` backend, the paper hierarchy 4 mats × 4 arrays × 8
+/// subarrays).
 #[derive(Clone)]
 pub struct SweepPlan<'w> {
     workload: &'w dyn Workload,
@@ -310,7 +320,7 @@ pub struct SweepPlan<'w> {
     optimizations: Vec<Optimization>,
     technologies: Vec<(String, Option<TechnologyModel>)>,
     bits: Vec<u32>,
-    engine: Engine,
+    backends: Vec<String>,
     threads: usize,
 }
 
@@ -330,7 +340,7 @@ impl fmt::Debug for SweepPlan<'_> {
                     .collect::<Vec<_>>(),
             )
             .field("bits", &self.bits)
-            .field("engine", &self.engine)
+            .field("backends", &self.backends)
             .field("threads", &self.threads)
             .finish()
     }
@@ -346,7 +356,7 @@ impl<'w> SweepPlan<'w> {
             optimizations: DEFAULT_OPTIMIZATIONS.to_vec(),
             technologies: vec![("default".to_string(), None)],
             bits: vec![1],
-            engine: Engine::default(),
+            backends: vec!["tape".to_string()],
             threads: 1,
         }
     }
@@ -392,9 +402,11 @@ impl<'w> SweepPlan<'w> {
         self
     }
 
-    /// Execution engine for every grid point.
-    pub fn engine(mut self, engine: Engine) -> Self {
-        self.engine = engine;
+    /// Replace the execution backends (a sweep axis: every grid point
+    /// runs once per backend name). Names are resolved through
+    /// [`c4cam_hal::BackendRegistry`] when the sweep runs.
+    pub fn backends(mut self, backends: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.backends = backends.into_iter().map(Into::into).collect();
         self
     }
 
@@ -405,7 +417,8 @@ impl<'w> SweepPlan<'w> {
     }
 
     /// Expand the grid in deterministic order (optimization outermost,
-    /// then subarray, technology, bits — the §IV-C table order).
+    /// then subarray, technology, bits, backend — the §IV-C table
+    /// order with the backend axis innermost).
     ///
     /// # Errors
     /// [`DriverError::Config`] if any grid dimension is empty.
@@ -415,6 +428,7 @@ impl<'w> SweepPlan<'w> {
             ("optimizations", self.optimizations.len()),
             ("technologies", self.technologies.len()),
             ("bits-per-cell values", self.bits.len()),
+            ("backends", self.backends.len()),
         ] {
             if len == 0 {
                 return Err(DriverError::Config(format!(
@@ -426,19 +440,23 @@ impl<'w> SweepPlan<'w> {
             self.subarrays.len()
                 * self.optimizations.len()
                 * self.technologies.len()
-                * self.bits.len(),
+                * self.bits.len()
+                * self.backends.len(),
         );
         for &optimization in &self.optimizations {
             for &subarray in &self.subarrays {
                 for (tech_name, tech) in &self.technologies {
                     for &bits_per_cell in &self.bits {
-                        grid.push(GridPoint {
-                            subarray,
-                            optimization,
-                            tech_name: tech_name.clone(),
-                            tech: tech.clone(),
-                            bits_per_cell,
-                        });
+                        for engine in &self.backends {
+                            grid.push(GridPoint {
+                                subarray,
+                                optimization,
+                                tech_name: tech_name.clone(),
+                                tech: tech.clone(),
+                                bits_per_cell,
+                                engine: engine.clone(),
+                            });
+                        }
                     }
                 }
             }
@@ -465,7 +483,7 @@ impl<'w> SweepPlan<'w> {
             let spec = gp.spec(self.hierarchy)?;
             let mut experiment = Experiment::new(self.workload)
                 .arch(spec)
-                .engine(self.engine)
+                .backend(gp.engine.clone())
                 .threads(self.threads);
             if let Some(tech) = &gp.tech {
                 experiment = experiment.tech(tech.clone());
@@ -506,16 +524,54 @@ mod tests {
             .optimizations([Optimization::Base, Optimization::Power])
             .bits([1, 2]);
         let grid = plan.grid().unwrap();
-        // 2 opts × 2 subarrays × 1 tech × 2 bit widths.
+        // 2 opts × 2 subarrays × 1 tech × 2 bit widths × 1 backend.
         assert_eq!(grid.len(), 8);
-        // Optimization outermost, then subarray, tech, bits.
+        // Optimization outermost, then subarray, tech, bits, backend.
         assert_eq!(grid[0].subarray, (16, 16));
         assert_eq!(grid[0].optimization, Optimization::Base);
         assert_eq!(grid[0].bits_per_cell, 1);
         assert_eq!(grid[1].bits_per_cell, 2);
         assert_eq!(grid[2].subarray, (32, 32));
         assert_eq!(grid[4].optimization, Optimization::Power);
-        assert_eq!(grid[0].to_string(), "16x16/latency/default/1b");
+        assert_eq!(grid[0].engine, "tape");
+        assert_eq!(grid[0].to_string(), "16x16/latency/default/1b/tape");
+    }
+
+    #[test]
+    fn backend_axis_expands_innermost() {
+        let w = tiny_hdc();
+        let grid = SweepPlan::new(&w)
+            .square_subarrays([16])
+            .optimizations([Optimization::Base])
+            .bits([1, 2])
+            .backends(["tape", "simd"])
+            .grid()
+            .unwrap();
+        // 1 opt × 1 subarray × 1 tech × 2 bits × 2 backends.
+        assert_eq!(grid.len(), 4);
+        let coords: Vec<(u32, &str)> = grid
+            .iter()
+            .map(|g| (g.bits_per_cell, g.engine.as_str()))
+            .collect();
+        assert_eq!(
+            coords,
+            vec![(1, "tape"), (1, "simd"), (2, "tape"), (2, "simd")]
+        );
+    }
+
+    #[test]
+    fn table_output_carries_the_engine_column() {
+        let w = tiny_hdc();
+        let outcome = SweepPlan::new(&w)
+            .square_subarrays([16])
+            .optimizations([Optimization::Base])
+            .backends(["walk"])
+            .run()
+            .unwrap();
+        let table = outcome.to_table(false);
+        let header = table.lines().next().unwrap();
+        assert!(header.contains("engine"), "{header}");
+        assert!(table.lines().nth(1).unwrap().contains("walk"), "{table}");
     }
 
     #[test]
@@ -590,6 +646,45 @@ mod tests {
     }
 
     #[test]
+    fn backend_axis_runs_every_backend_and_agrees_on_predictions() {
+        let w = tiny_hdc();
+        let outcome = SweepPlan::new(&w)
+            .square_subarrays([32])
+            .optimizations([Optimization::Base])
+            .hierarchy(2, 2, 4)
+            .backends(["tape", "simd", "walk"])
+            .run()
+            .unwrap();
+        assert_eq!(outcome.points.len(), 3);
+        let engines: Vec<&str> = outcome
+            .points
+            .iter()
+            .map(|p| p.grid.engine.as_str())
+            .collect();
+        assert_eq!(engines, vec!["tape", "simd", "walk"]);
+        // Same workload, same geometry: every backend predicts the
+        // same classes (the HAL's bit-identical output contract).
+        for p in &outcome.points[1..] {
+            assert_eq!(p.outcome.predictions, outcome.points[0].outcome.predictions);
+        }
+        // The engine column flows through every renderer.
+        let csv = outcome.to_csv(false);
+        assert!(csv.contains("bits_per_cell,engine,"), "{csv}");
+        assert!(csv.contains(",1,simd,"), "{csv}");
+        assert!(outcome.to_json(false).contains("\"engine\":\"simd\""));
+        assert!(outcome.to_table(false).contains("simd"));
+        // An unknown backend fails at its grid point with the
+        // registry's name list.
+        let e = SweepPlan::new(&w)
+            .square_subarrays([32])
+            .optimizations([Optimization::Base])
+            .backends(["jit"])
+            .run()
+            .unwrap_err();
+        assert!(e.to_string().contains("unknown engine 'jit'"), "{e}");
+    }
+
+    #[test]
     fn dataset_workloads_flow_through_the_sweep_grid() {
         // Real data through the unchanged grid: the per-point outcome
         // must equal an individually built Experiment at that point,
@@ -635,7 +730,7 @@ mod tests {
         assert_eq!(e.stage(), "config");
         assert!(
             e.to_string()
-                .contains("grid point [16x16/latency/default/5b]"),
+                .contains("grid point [16x16/latency/default/5b/tape]"),
             "{e}"
         );
         // A zero-query workload fails inside the experiment and comes

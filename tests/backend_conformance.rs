@@ -1,0 +1,194 @@
+//! Cross-backend differential conformance suite: every backend
+//! registered in the [`BackendRegistry`] must reproduce the walker
+//! oracle's predictions bit-exactly over the full workload ×
+//! bits-per-cell grid, and must honor its declared stats contract.
+//!
+//! The suite iterates the registry, so adding a backend extends the
+//! coverage without editing a single test here — a new backend either
+//! conforms or these tests name it in the failure message.
+
+use c4cam::arch::Optimization;
+use c4cam::driver::{build_arch, Experiment, RunOutcome};
+use c4cam::hal::{BackendRegistry, StatsContract};
+use c4cam::workloads::{DtreeWorkload, HdcWorkload, KnnWorkload, Workload};
+
+/// The conformance workloads: one per compiled kernel family (HDC
+/// nearest-prototype, kNN nearest-sample, decision-tree path match),
+/// sized to exercise multi-subarray placements without being slow.
+fn workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(HdcWorkload {
+            classes: 5,
+            dims: 96,
+            queries: 6,
+            flip_rate: 0.1,
+            seed: 7,
+        }),
+        Box::new(KnnWorkload {
+            patterns: 40,
+            dims: 64,
+            queries: 5,
+            k: 3,
+            noise: 0.2,
+            seed: 11,
+        }),
+        Box::new(DtreeWorkload::new(10, 4, 4, 6, 2024)),
+    ]
+}
+
+const BITS: [u32; 3] = [1, 2, 4];
+
+fn run(workload: &dyn Workload, backend: &str, bits: u32) -> RunOutcome {
+    let spec = build_arch((32, 32), (2, 2, 4), Optimization::Base, bits).unwrap();
+    Experiment::new(workload)
+        .arch(spec)
+        .backend(backend)
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn every_backend_matches_the_walk_oracle_over_the_grid() {
+    let registry = BackendRegistry::global();
+    for workload in workloads() {
+        for bits in BITS {
+            let oracle = run(workload.as_ref(), "walk", bits);
+            for backend in registry.all() {
+                let name = backend.name();
+                let outcome = run(workload.as_ref(), name, bits);
+                assert_eq!(
+                    outcome.predictions,
+                    oracle.predictions,
+                    "{name} diverged from walk on {}/{bits}b",
+                    workload.name()
+                );
+                assert_eq!(outcome.labels, oracle.labels, "{name}");
+                assert_eq!(outcome.queries, oracle.queries, "{name}");
+                match backend.capabilities().stats {
+                    StatsContract::DeviceExact => {
+                        assert_eq!(
+                            outcome.total,
+                            oracle.total,
+                            "{name} total stats diverged on {}/{bits}b",
+                            workload.name()
+                        );
+                        assert_eq!(outcome.setup, oracle.setup, "{name}");
+                        assert_eq!(outcome.query_phase, oracle.query_phase, "{name}");
+                    }
+                    StatsContract::Estimated => {
+                        // Estimated backends still owe plausible,
+                        // self-consistent numbers.
+                        assert!(
+                            outcome.total.latency_ns >= outcome.query_phase.latency_ns,
+                            "{name}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stats_contract_invariants_hold_for_every_backend() {
+    // Regardless of contract flavor, a run that stored rows and
+    // searched them reports nonzero work and positive latency/energy.
+    let registry = BackendRegistry::global();
+    for workload in workloads() {
+        for backend in registry.all() {
+            let name = backend.name();
+            let outcome = run(workload.as_ref(), name, 1);
+            assert!(outcome.total.search_ops > 0, "{name}: no searches");
+            assert!(
+                outcome.total.searched_words > 0,
+                "{name}: zero searched_words"
+            );
+            assert!(outcome.total.write_ops > 0, "{name}: no writes");
+            assert!(outcome.total.latency_ns > 0.0, "{name}: zero latency");
+            assert!(outcome.total.total_energy_fj() > 0.0, "{name}: zero energy");
+            assert!(
+                outcome.query_phase.latency_ns > 0.0,
+                "{name}: empty query phase"
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_is_monotone_in_the_query_count_for_every_backend() {
+    // More queries = strictly more query-phase work, whatever the cost
+    // model: the stats contract requires latency monotonicity.
+    let registry = BackendRegistry::global();
+    let mk = |queries| HdcWorkload {
+        classes: 5,
+        dims: 96,
+        queries,
+        flip_rate: 0.1,
+        seed: 7,
+    };
+    let (few, many) = (mk(2), mk(8));
+    for backend in registry.all() {
+        let name = backend.name();
+        let small = run(&few, name, 1);
+        let large = run(&many, name, 1);
+        assert!(
+            large.query_phase.latency_ns > small.query_phase.latency_ns,
+            "{name}: latency not monotone in queries ({} vs {})",
+            small.query_phase.latency_ns,
+            large.query_phase.latency_ns
+        );
+        assert!(
+            large.total.search_ops > small.total.search_ops,
+            "{name}: search_ops not monotone"
+        );
+    }
+}
+
+#[test]
+fn threaded_backends_reproduce_sequential_outputs() {
+    // supports_threads is a promise: sharded execution must keep the
+    // outputs bit-identical and the operation counts exact.
+    let registry = BackendRegistry::global();
+    let workload = HdcWorkload {
+        classes: 5,
+        dims: 96,
+        queries: 8,
+        flip_rate: 0.1,
+        seed: 7,
+    };
+    let spec = build_arch((32, 32), (2, 2, 4), Optimization::Base, 2).unwrap();
+    for backend in registry.all() {
+        let name = backend.name();
+        if !backend.capabilities().supports_threads {
+            // Single-threaded backends must refuse, not silently run.
+            let err = Experiment::new(&workload)
+                .arch(spec.clone())
+                .backend(name)
+                .threads(4)
+                .run()
+                .unwrap_err();
+            assert!(err.to_string().contains(name), "{err}");
+            continue;
+        }
+        let sequential = Experiment::new(&workload)
+            .arch(spec.clone())
+            .backend(name)
+            .run()
+            .unwrap();
+        let sharded = Experiment::new(&workload)
+            .arch(spec.clone())
+            .backend(name)
+            .threads(4)
+            .run()
+            .unwrap();
+        assert_eq!(sharded.predictions, sequential.predictions, "{name}");
+        assert_eq!(
+            sharded.total.search_ops, sequential.total.search_ops,
+            "{name}"
+        );
+        assert_eq!(
+            sharded.total.searched_words, sequential.total.searched_words,
+            "{name}"
+        );
+    }
+}

@@ -1,16 +1,16 @@
 //! Property tests (vendored proptest): for randomly shaped hdc- and
-//! knn-style modules, the flat-tape engine must produce bit-identical
-//! results *and* identical energy/latency statistics to the
-//! tree-walking interpreter, and the sharded tape must reproduce the
-//! outputs exactly with equal operation counts.
+//! knn-style modules, EVERY backend registered in the HAL must produce
+//! bit-identical results to the tree-walking interpreter; the
+//! device-exact backends (`tape`, `trace`) must also report identical
+//! energy/latency statistics, and every thread-capable backend must
+//! reproduce the outputs exactly when the query loop is sharded.
 
 use c4cam::arch::{ArchSpec, Optimization};
-use c4cam::camsim::CamMachine;
 use c4cam::compiler::dialects::{cim, torch};
 use c4cam::compiler::pipeline::C4camPipeline;
-use c4cam::engine::Tape;
+use c4cam::hal::{BackendRegistry, ExecOptions, StatsContract};
 use c4cam::ir::Module;
-use c4cam::runtime::{Executor, Value};
+use c4cam::runtime::Value;
 use c4cam::tensor::Tensor;
 use proptest::prelude::*;
 
@@ -32,48 +32,72 @@ fn random_binary(rows: usize, cols: usize, next: &mut impl FnMut() -> u64) -> Te
     .unwrap()
 }
 
-/// Compile for `spec`, run walker + tape + sharded tape, and assert the
+/// Compile for `spec`, run the walker oracle, then every registered
+/// backend (sequential and, where supported, sharded), and assert the
 /// equivalence contract.
 fn check_engines(m: Module, func: &str, spec: &ArchSpec, args: &[Value]) {
     let compiled = C4camPipeline::new(spec.clone()).compile(m).unwrap();
 
-    let mut walk_machine = CamMachine::new(spec);
-    let walk_out = Executor::with_machine(&compiled.module, &mut walk_machine)
-        .run(func, args)
+    let registry = BackendRegistry::global();
+    let oracle = registry
+        .get("walk")
+        .unwrap()
+        .compile(&compiled.module, func, spec)
+        .unwrap()
+        .execute(args, &ExecOptions::sequential())
         .unwrap();
 
-    let tape = Tape::compile(&compiled.module, func).unwrap();
-    let mut tape_machine = CamMachine::new(spec);
-    let tape_out = tape.run(&mut tape_machine, args).unwrap();
+    for backend in registry.all() {
+        let name = backend.name();
+        let plan = backend.compile(&compiled.module, func, spec).unwrap();
+        let exec = plan.execute(args, &ExecOptions::sequential()).unwrap();
+        assert_eq!(oracle.outputs.len(), exec.outputs.len(), "{name}");
+        for (w, t) in oracle.outputs.iter().zip(&exec.outputs) {
+            assert_eq!(
+                w.snapshot_tensor().unwrap().data(),
+                t.snapshot_tensor().unwrap().data(),
+                "{name} output diverged"
+            );
+        }
+        match backend.capabilities().stats {
+            StatsContract::DeviceExact => {
+                assert_eq!(oracle.stats, exec.stats, "{name} stats diverged");
+            }
+            StatsContract::Estimated => {
+                assert!(exec.stats.search_ops > 0, "{name}");
+                assert!(exec.stats.searched_words > 0, "{name}");
+                assert!(exec.stats.latency_ns > 0.0, "{name}");
+            }
+        }
 
-    assert_eq!(walk_out.len(), tape_out.len());
-    for (w, t) in walk_out.iter().zip(&tape_out) {
-        assert_eq!(
-            w.snapshot_tensor().unwrap().data(),
-            t.snapshot_tensor().unwrap().data(),
-            "tape output diverged"
+        if !backend.capabilities().supports_threads {
+            continue;
+        }
+        let sharded = plan
+            .execute(args, &ExecOptions::sequential().with_threads(3))
+            .unwrap();
+        for (w, s) in oracle.outputs.iter().zip(&sharded.outputs) {
+            assert_eq!(
+                w.snapshot_tensor().unwrap().data(),
+                s.snapshot_tensor().unwrap().data(),
+                "{name} sharded output diverged"
+            );
+        }
+        let (a, b) = (&exec.stats, &sharded.stats);
+        assert_eq!(a.search_ops, b.search_ops, "{name}");
+        assert_eq!(a.read_ops, b.read_ops, "{name}");
+        assert_eq!(a.merge_ops, b.merge_ops, "{name}");
+        assert_eq!(a.write_ops, b.write_ops, "{name}");
+        assert!(
+            (a.latency_ns - b.latency_ns).abs() <= 1e-6 * a.latency_ns.max(1.0),
+            "{name}"
+        );
+        assert!(
+            (a.total_energy_fj() - b.total_energy_fj()).abs()
+                <= 1e-6 * a.total_energy_fj().max(1.0),
+            "{name}"
         );
     }
-    assert_eq!(walk_machine.stats(), tape_machine.stats(), "stats diverged");
-
-    let mut shard_machine = CamMachine::new(spec);
-    let shard_out = tape.run_batched(&mut shard_machine, args, 3).unwrap();
-    for (w, s) in walk_out.iter().zip(&shard_out) {
-        assert_eq!(
-            w.snapshot_tensor().unwrap().data(),
-            s.snapshot_tensor().unwrap().data(),
-            "sharded output diverged"
-        );
-    }
-    let (a, b) = (walk_machine.stats(), shard_machine.stats());
-    assert_eq!(a.search_ops, b.search_ops);
-    assert_eq!(a.read_ops, b.read_ops);
-    assert_eq!(a.merge_ops, b.merge_ops);
-    assert_eq!(a.write_ops, b.write_ops);
-    assert!((a.latency_ns - b.latency_ns).abs() <= 1e-6 * a.latency_ns.max(1.0));
-    assert!(
-        (a.total_energy_fj() - b.total_energy_fj()).abs() <= 1e-6 * a.total_energy_fj().max(1.0)
-    );
 }
 
 proptest! {

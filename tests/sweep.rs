@@ -4,7 +4,7 @@
 //! parse and carry the same numbers.
 
 use c4cam::cli::{execute, parse_args, Command};
-use c4cam::driver::{Engine, Experiment};
+use c4cam::driver::Experiment;
 use c4cam::sweep::SweepPlan;
 use c4cam::workloads::HdcWorkload;
 use c4cam_arch::{ArchSpec, CamKind, Optimization};
@@ -54,7 +54,7 @@ fn sweep_points_equal_individual_experiment_runs() {
         );
         let individual = Experiment::new(&workload)
             .arch(spec)
-            .engine(Engine::Tape)
+            .backend("tape")
             .run()
             .unwrap();
         assert_eq!(
@@ -81,7 +81,7 @@ fn sweep_engines_and_threads_agree() {
     let walk = SweepPlan::new(&workload)
         .square_subarrays([16])
         .optimizations([Optimization::Base])
-        .engine(Engine::Walk)
+        .backends(["walk"])
         .run()
         .unwrap();
     let threaded = SweepPlan::new(&workload)
@@ -366,7 +366,7 @@ fn cli_sweep_csv_has_stable_header_and_matching_rows() {
     let header = lines.next().unwrap();
     assert_eq!(
         header,
-        "workload,subarray_rows,subarray_cols,optimization,technology,bits_per_cell,\
+        "workload,subarray_rows,subarray_cols,optimization,technology,bits_per_cell,engine,\
          physical_subarrays,banks,latency_per_query_ns,energy_per_query_pj,power_mw,\
          area_cells,accuracy,pareto"
     );
@@ -384,7 +384,7 @@ fn cli_sweep_csv_has_stable_header_and_matching_rows() {
         .arch(grid_spec(32, Optimization::Base, 1))
         .run()
         .unwrap();
-    let lat: f64 = first[8].parse().unwrap();
+    let lat: f64 = first[9].parse().unwrap();
     assert!((lat - individual.latency_per_query_ns()).abs() < 1e-9);
 }
 

@@ -1,0 +1,158 @@
+//! Golden-trace tests: the `trace` backend's serialized op trace for
+//! the mini-MNIST HDC workload is pinned byte-exact against a
+//! committed fixture, the fixture replays to the tape backend's
+//! outputs and statistics, and corrupted traces fail with clear
+//! errors.
+//!
+//! Regenerate the fixture after an intentional trace-format or
+//! cost-model change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test trace_golden
+//! ```
+
+use c4cam::arch::{ArchSpec, Optimization};
+use c4cam::camsim::CamMachine;
+use c4cam::compiler::pipeline::C4camPipeline;
+use c4cam::datasets::{Dataset, DatasetTask, DatasetWorkload};
+use c4cam::driver::{build_arch, Experiment};
+use c4cam::engine::Trace;
+use c4cam::hal::{BackendRegistry, ExecOptions};
+use c4cam::runtime::Value;
+use c4cam::workloads::{ArgOrder, Workload};
+use std::path::{Path, PathBuf};
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/mini_mnist_hdc.trace")
+}
+
+fn mini_mnist_hdc() -> DatasetWorkload {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/data/mini-mnist");
+    let dataset = Dataset::load(&fixture, None).expect("committed fixture");
+    DatasetWorkload::new(dataset, DatasetTask::Hdc, Some(2)).expect("fixture covers all classes")
+}
+
+fn spec() -> ArchSpec {
+    build_arch((32, 32), (2, 2, 4), Optimization::Base, 1).unwrap()
+}
+
+/// Record the trace through the driver, exactly as `c4cam run-dataset
+/// --engine trace` would.
+fn record_trace() -> String {
+    let workload = mini_mnist_hdc();
+    let outcome = Experiment::new(&workload)
+        .arch(spec())
+        .backend("trace")
+        .run()
+        .unwrap();
+    outcome.trace.expect("trace backend always records")
+}
+
+fn read_golden() -> String {
+    std::fs::read_to_string(golden_path())
+        .expect("committed golden trace (regenerate with UPDATE_GOLDEN=1)")
+}
+
+#[test]
+fn trace_emission_is_byte_exact_against_the_committed_golden() {
+    let text = record_trace();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(golden_path(), &text).unwrap();
+    }
+    let golden = read_golden();
+    assert_eq!(
+        text, golden,
+        "trace emission drifted from tests/golden/mini_mnist_hdc.trace; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_trace_parses_and_round_trips_byte_exact() {
+    let golden = read_golden();
+    let trace = Trace::parse(&golden).unwrap();
+    assert!(!trace.is_empty());
+    assert_eq!(trace.to_text(), golden, "parse → to_text is not lossless");
+    // A second round trip is a fixed point.
+    assert_eq!(Trace::parse(&trace.to_text()).unwrap(), trace);
+}
+
+#[test]
+fn replaying_the_golden_trace_reproduces_tape_outputs_and_stats() {
+    let workload = mini_mnist_hdc();
+    let spec = spec();
+    let built = workload.build_module(&spec);
+    let compiled = C4camPipeline::new(spec.clone())
+        .compile(built.module)
+        .unwrap();
+    let inputs = workload.inputs(&spec);
+    let args = match built.arg_order {
+        ArgOrder::QueriesThenStored => {
+            vec![Value::Tensor(inputs.queries), Value::Tensor(inputs.stored)]
+        }
+        ArgOrder::StoredThenQueries => {
+            vec![Value::Tensor(inputs.stored), Value::Tensor(inputs.queries)]
+        }
+    };
+    let tape = BackendRegistry::global()
+        .get("tape")
+        .unwrap()
+        .compile(&compiled.module, built.func, &spec)
+        .unwrap()
+        .execute(&args, &ExecOptions::sequential())
+        .unwrap();
+
+    let trace = Trace::parse(&read_golden()).unwrap();
+    let mut machine = CamMachine::new(&spec);
+    let replayed = trace.replay(&mut machine).unwrap();
+
+    assert_eq!(replayed.len(), tape.outputs.len());
+    for (r, t) in replayed.iter().zip(&tape.outputs) {
+        assert_eq!(
+            r.snapshot_tensor().unwrap().data(),
+            t.snapshot_tensor().unwrap().data(),
+            "replay diverged from the tape execution"
+        );
+    }
+    assert_eq!(
+        machine.stats(),
+        tape.stats,
+        "replay cost model diverged from the tape execution"
+    );
+}
+
+#[test]
+fn corrupted_traces_are_rejected_with_clear_errors() {
+    let golden = read_golden();
+
+    let empty = Trace::parse("").unwrap_err();
+    assert!(empty.to_string().contains("empty trace"), "{empty}");
+
+    let bad_magic = Trace::parse(&golden.replacen("c4cam-trace v1", "c4cam-trace v9", 1));
+    let err = bad_magic.unwrap_err().to_string();
+    assert!(err.contains("bad trace magic"), "{err}");
+
+    // Drop the end marker (and anything after it).
+    let truncated = golden.split("\nend").next().unwrap();
+    let err = Trace::parse(truncated).unwrap_err().to_string();
+    assert!(err.contains("missing end marker"), "{err}");
+
+    let trailing = format!("{golden}bank\n");
+    let err = Trace::parse(&trailing).unwrap_err().to_string();
+    assert!(err.contains("content after end marker"), "{err}");
+
+    let unknown = "c4cam-trace v1\nteleport 0\nend\n";
+    let err = Trace::parse(unknown).unwrap_err().to_string();
+    assert!(err.contains("unknown trace record"), "{err}");
+
+    // Structurally valid text whose ops reference a subarray that was
+    // never allocated must fail at replay time, not corrupt the device.
+    let dangling = "c4cam-trace v1\nwrite 0 0 0\nend\n";
+    let trace = Trace::parse(dangling).unwrap();
+    let err = trace.replay(&mut CamMachine::new(&spec())).unwrap_err();
+    assert!(
+        err.to_string().contains("unallocated subarray"),
+        "{}",
+        err.to_string()
+    );
+}
