@@ -3,6 +3,8 @@
 
 use std::fmt;
 
+use c4cam_telemetry::json::num_f64 as json_f64;
+
 /// Accumulated costs of a simulated execution.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecStats {
@@ -180,15 +182,6 @@ impl ExecStats {
         self.mats_allocated = self.mats_allocated.max(other.mats_allocated);
         self.arrays_allocated = self.arrays_allocated.max(other.arrays_allocated);
         self.subarrays_allocated = self.subarrays_allocated.max(other.subarrays_allocated);
-    }
-}
-
-/// Format a float as a JSON number (`inf`/`NaN` degrade to `null`).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
     }
 }
 

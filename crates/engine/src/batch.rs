@@ -50,6 +50,7 @@ use crate::isa::QueryLoop;
 use crate::vm::TapeVm;
 use c4cam_camsim::{CamDevice, ExecStats};
 use c4cam_runtime::Value;
+use c4cam_telemetry::{cat, ArgValue, Telemetry};
 
 type BResult<T> = Result<T, EngineError>;
 
@@ -78,18 +79,38 @@ impl Tape {
         args: &[Value],
         threads: usize,
     ) -> BResult<Vec<Value>> {
+        self.run_batched_with_telemetry(machine, args, threads, &Telemetry::default())
+    }
+
+    /// [`Tape::run_batched`] with a telemetry handle: while the recorder
+    /// is enabled, the main lane records sampled per-op spans and each
+    /// worker shard records a `cat::SHARD` span on lane `1 + shard`.
+    /// Outputs and device statistics are unaffected.
+    ///
+    /// # Errors
+    /// Propagates compile-surface and runtime failures; a panicking
+    /// worker surfaces as an error.
+    pub fn run_batched_with_telemetry<D: CamDevice>(
+        &self,
+        machine: &mut D,
+        args: &[Value],
+        threads: usize,
+        telemetry: &Telemetry,
+    ) -> BResult<Vec<Value>> {
         if threads <= 1 {
-            return self.run(machine, args);
+            return self.run_with_telemetry(machine, args, telemetry);
         }
         let Some(ql) = self.query_loop else {
             // No query loop to shard across: fall back to intra-query
             // sharding of the parallel subarray-group loops.
             let mut vm = TapeVm::new(self, args)?;
+            vm.set_telemetry(telemetry.clone());
             vm.set_shard_threads(threads);
             let out = vm.exec(machine, 0, usize::MAX)?;
             return out.ok_or_else(|| EngineError::new("function body ended without func.return"));
         };
         let mut vm = TapeVm::new(self, args)?;
+        vm.set_telemetry(telemetry.clone());
         // Phase 1: setup.
         if vm.exec(machine, 0, ql.enter)?.is_some() {
             return Err(EngineError::new("function returned before the query loop"));
@@ -112,7 +133,7 @@ impl Tape {
         let snapshot: Vec<Frozen> = vm.slots().iter().map(freeze).collect();
         let chunk = iters.len().div_ceil(shard_count);
         let chunks: Vec<&[i64]> = iters.chunks(chunk).collect();
-        let shard_outs = run_shards(self, machine, &snapshot, &chunks, ql)?;
+        let shard_outs = run_shards(self, machine, &snapshot, &chunks, ql, telemetry)?;
 
         // Phase 3: deterministic merge, in shard order.
         for out in &shard_outs {
@@ -148,17 +169,34 @@ fn run_shards<D: CamDevice>(
     snapshot: &[Frozen],
     chunks: &[&[i64]],
     ql: QueryLoop,
+    telemetry: &Telemetry,
 ) -> BResult<Vec<ShardOut>> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
-            .map(|&chunk| {
+            .enumerate()
+            .map(|(shard, &chunk)| {
                 let mut shard_machine = machine.clone();
                 shard_machine.reset_stats();
+                let telemetry = telemetry.clone();
                 scope.spawn(move || -> BResult<ShardOut> {
+                    let lane = shard as u32 + 1;
+                    let start_ns = telemetry.now_ns();
                     let slots: Vec<Value> = snapshot.iter().map(thaw).collect();
                     let mut vm = TapeVm::with_slots(tape, slots);
+                    vm.set_telemetry_lane(telemetry.clone(), lane);
                     vm.exec_iterations(&mut shard_machine, ql.enter, ql.next, ql.iv, chunk, false)?;
+                    if telemetry.enabled() {
+                        let end_ns = telemetry.now_ns();
+                        telemetry.record_span(
+                            format!("shard-{shard}"),
+                            cat::SHARD,
+                            lane,
+                            start_ns,
+                            end_ns.saturating_sub(start_ns),
+                            vec![("iterations", ArgValue::Int(chunk.len() as i64))],
+                        );
+                    }
                     let buffers = vm
                         .slots()
                         .iter()

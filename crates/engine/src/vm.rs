@@ -18,6 +18,7 @@ use c4cam_runtime::kernels::{
     merge_partial_rows, read_tensors, reduce_scores, search_query_view, tensor_rows,
 };
 use c4cam_runtime::{Handle, Value};
+use c4cam_telemetry::{cat, ArgValue, Telemetry};
 use c4cam_tensor::Tensor;
 
 type VResult<T> = Result<T, EngineError>;
@@ -93,6 +94,15 @@ pub struct TapeVm<'t> {
     /// are recorded for offline replay (see the [`crate::trace`]
     /// module).
     trace: Option<TraceState>,
+    /// Span/counter sink; disabled by default.
+    telemetry: Telemetry,
+    /// Cached `telemetry.enabled()` so the dispatch loop pays one
+    /// branch, not an `Arc` deref, when telemetry is off.
+    tl_on: bool,
+    /// Logical telemetry lane (0 = main, `1 + shard` for workers).
+    lane: u32,
+    /// Device-op counter driving per-op span sampling.
+    op_seq: u32,
 }
 
 impl<'t> TapeVm<'t> {
@@ -120,6 +130,10 @@ impl<'t> TapeVm<'t> {
             shard_threads: 0,
             merge_log: None,
             trace: None,
+            telemetry: Telemetry::default(),
+            tl_on: false,
+            lane: 0,
+            op_seq: 0,
         })
     }
 
@@ -132,6 +146,10 @@ impl<'t> TapeVm<'t> {
             shard_threads: 0,
             merge_log: None,
             trace: None,
+            telemetry: Telemetry::default(),
+            tl_on: false,
+            lane: 0,
+            op_seq: 0,
         }
     }
 
@@ -139,6 +157,21 @@ impl<'t> TapeVm<'t> {
     /// at least two iterations fan out across `threads` workers.
     pub fn set_shard_threads(&mut self, threads: usize) {
         self.shard_threads = threads;
+    }
+
+    /// Attach a telemetry handle: sampled per-op spans (and per-shard
+    /// spans, when sharding) are recorded while it is enabled. The
+    /// disabled default keeps the dispatch loop on its fast path.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.tl_on = telemetry.enabled();
+        self.telemetry = telemetry;
+    }
+
+    /// Attach telemetry on an explicit lane (shard workers record op
+    /// spans on `1 + shard`).
+    pub(crate) fn set_telemetry_lane(&mut self, telemetry: Telemetry, lane: u32) {
+        self.lane = lane;
+        self.set_telemetry(telemetry);
     }
 
     pub(crate) fn slots(&self) -> &[Value] {
@@ -174,7 +207,12 @@ impl<'t> TapeVm<'t> {
                     Err(e) => return Err(self.tape.attach(pc, e)),
                 }
             }
-            match self.step(machine, pc) {
+            let stepped = if self.tl_on {
+                self.step_timed(machine, pc)
+            } else {
+                self.step(machine, pc)
+            };
+            match stepped {
                 Ok(Step::Next) => pc += 1,
                 Ok(Step::Jump(target)) => pc = target,
                 Ok(Step::Return(values)) => return Ok(Some(values)),
@@ -268,20 +306,37 @@ impl<'t> TapeVm<'t> {
         let chunk = ivs.len().div_ceil(shard_count);
         let chunks: Vec<&[i64]> = ivs.chunks(chunk).collect();
         let tape = self.tape;
+        let telemetry = &self.telemetry;
         let outs: Vec<(ExecStats, Vec<MergeRecord>)> = std::thread::scope(|scope| {
             let snapshot = &snapshot;
             let handles: Vec<_> = chunks
                 .iter()
-                .map(|&chunk| {
+                .enumerate()
+                .map(|(shard, &chunk)| {
                     let mut shard_machine = machine.clone();
                     shard_machine.reset_stats();
+                    let telemetry = telemetry.clone();
                     scope.spawn(move || -> VResult<(ExecStats, Vec<MergeRecord>)> {
+                        let lane = shard as u32 + 1;
+                        let start_ns = telemetry.now_ns();
                         let slots: Vec<Value> = snapshot.iter().map(thaw).collect();
                         let mut vm = TapeVm::with_slots(tape, slots);
+                        vm.set_telemetry_lane(telemetry.clone(), lane);
                         vm.merge_log = Some(Vec::new());
                         shard_machine.push_parallel();
                         vm.exec_iterations(&mut shard_machine, pc, next, iv, chunk, true)?;
                         shard_machine.pop_scope();
+                        if telemetry.enabled() {
+                            let end_ns = telemetry.now_ns();
+                            telemetry.record_span(
+                                format!("shard-{shard}"),
+                                cat::SHARD,
+                                lane,
+                                start_ns,
+                                end_ns.saturating_sub(start_ns),
+                                vec![("iterations", ArgValue::Int(chunk.len() as i64))],
+                            );
+                        }
                         Ok((shard_machine.stats(), vm.merge_log.take().unwrap()))
                     })
                 })
@@ -401,6 +456,58 @@ impl<'t> TapeVm<'t> {
     // ------------------------------------------------------------------
     // Dispatch
     // ------------------------------------------------------------------
+
+    /// Telemetry span name of a device-touching instruction; `None`
+    /// for host-side scalar/control ops, which are never recorded.
+    fn device_op_name(inst: &Inst) -> Option<&'static str> {
+        match inst {
+            Inst::Search(_) => Some("cam.search"),
+            Inst::Read { .. } => Some("cam.read"),
+            Inst::WriteValue { .. } => Some("cam.write"),
+            Inst::MergePartial { .. } => Some("cam.merge_partial"),
+            Inst::MergeLevel { .. } => Some("cam.merge_level"),
+            Inst::Reduce(_) => Some("cam.reduce"),
+            Inst::AllocBank { .. }
+            | Inst::AllocMat { .. }
+            | Inst::AllocArray { .. }
+            | Inst::AllocSubarray { .. } => Some("cam.alloc"),
+            _ => None,
+        }
+    }
+
+    /// Instrumented step: wraps device ops in a sampled telemetry span
+    /// carrying the host duration plus the simulated latency/energy
+    /// delta the op charged to the machine. Only reached when a live
+    /// recorder is attached (`tl_on`).
+    fn step_timed<D: CamDevice>(&mut self, machine: &mut D, pc: usize) -> VResult<Step> {
+        let Some(name) = Self::device_op_name(&self.tape.insts[pc]) else {
+            return self.step(machine, pc);
+        };
+        self.op_seq = self.op_seq.wrapping_add(1);
+        let stride = self.telemetry.sample_every();
+        if stride > 1 && !self.op_seq.is_multiple_of(stride) {
+            return self.step(machine, pc);
+        }
+        let before = machine.stats();
+        let start_ns = self.telemetry.now_ns();
+        let result = self.step(machine, pc);
+        let end_ns = self.telemetry.now_ns();
+        let delta = machine.stats().delta(&before);
+        self.telemetry.record_span(
+            name,
+            cat::OP,
+            self.lane,
+            start_ns,
+            end_ns.saturating_sub(start_ns),
+            vec![
+                ("pc", ArgValue::Int(pc as i64)),
+                ("sim_latency_ns", ArgValue::Num(delta.latency_ns)),
+                ("sim_energy_fj", ArgValue::Num(delta.total_energy_fj())),
+                ("searched_words", ArgValue::Int(delta.searched_words as i64)),
+            ],
+        );
+        result
+    }
 
     #[allow(clippy::too_many_lines)]
     fn step<D: CamDevice>(&mut self, machine: &mut D, pc: usize) -> VResult<Step> {
@@ -944,7 +1051,23 @@ impl Tape {
         machine: &mut D,
         args: &[Value],
     ) -> Result<Vec<Value>, EngineError> {
+        self.run_with_telemetry(machine, args, &Telemetry::default())
+    }
+
+    /// [`Tape::run`] with a telemetry handle: device ops are wrapped in
+    /// sampled `cat::OP` spans while the recorder is enabled, with zero
+    /// effect on outputs or device statistics.
+    ///
+    /// # Errors
+    /// Propagates compile-surface and runtime failures with op context.
+    pub fn run_with_telemetry<D: CamDevice>(
+        &self,
+        machine: &mut D,
+        args: &[Value],
+        telemetry: &Telemetry,
+    ) -> Result<Vec<Value>, EngineError> {
         let mut vm = TapeVm::new(self, args)?;
+        vm.set_telemetry(telemetry.clone());
         match vm.exec(machine, 0, usize::MAX)? {
             Some(values) => Ok(values),
             None => Err(EngineError::new("function body ended without func.return")),
@@ -964,7 +1087,22 @@ impl Tape {
         machine: &mut D,
         args: &[Value],
     ) -> Result<(Vec<Value>, Trace), EngineError> {
+        self.run_traced_with_telemetry(machine, args, &Telemetry::default())
+    }
+
+    /// [`Tape::run_traced`] with a telemetry handle (see
+    /// [`Tape::run_with_telemetry`]).
+    ///
+    /// # Errors
+    /// Propagates compile-surface and runtime failures with op context.
+    pub fn run_traced_with_telemetry<D: CamDevice>(
+        &self,
+        machine: &mut D,
+        args: &[Value],
+        telemetry: &Telemetry,
+    ) -> Result<(Vec<Value>, Trace), EngineError> {
         let mut vm = TapeVm::new(self, args)?;
+        vm.set_telemetry(telemetry.clone());
         vm.trace = Some(TraceState::new(self.n_slots));
         match vm.exec(machine, 0, usize::MAX)? {
             Some(values) => {

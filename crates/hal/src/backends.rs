@@ -5,6 +5,7 @@ use c4cam_camsim::{CamDevice, CamMachine};
 use c4cam_engine::Tape;
 use c4cam_ir::Module;
 use c4cam_runtime::{Executor, Value};
+use c4cam_telemetry::{cat, ArgValue};
 
 use crate::simd::SimdDevice;
 use crate::{Backend, Capabilities, ExecOptions, Execution, HalError, Plan, StatsContract};
@@ -79,10 +80,14 @@ impl Backend for WalkBackend {
 impl Plan for WalkPlan {
     fn execute(&self, args: &[Value], opts: &ExecOptions) -> Result<Execution, HalError> {
         reject_threads("walk", opts)?;
+        // The tree-walking interpreter has no per-op hook surface; the
+        // backend span plus the machine's final stats are its telemetry.
+        let span = opts.telemetry.span("backend:walk", cat::BACKEND);
         let mut machine = machine_for(&self.spec, opts);
         let outputs = Executor::with_machine(&self.module, &mut machine)
             .run(&self.func, args)
             .map_err(|e| HalError::new(e.to_string()))?;
+        span.finish();
         Ok(Execution {
             outputs,
             stats: machine.stats(),
@@ -137,10 +142,16 @@ impl Backend for TapeBackend {
 
 impl Plan for TapePlan {
     fn execute(&self, args: &[Value], opts: &ExecOptions) -> Result<Execution, HalError> {
+        let mut span = opts.telemetry.span("backend:tape", cat::BACKEND);
+        span.arg("threads", ArgValue::Int(opts.threads.max(1) as i64));
         let mut machine = machine_for(&self.spec, opts);
-        let outputs = self
-            .tape
-            .run_batched(&mut machine, args, opts.threads.max(1))?;
+        let outputs = self.tape.run_batched_with_telemetry(
+            &mut machine,
+            args,
+            opts.threads.max(1),
+            &opts.telemetry,
+        )?;
+        span.finish();
         Ok(Execution {
             outputs,
             stats: machine.stats(),
@@ -196,11 +207,17 @@ impl Backend for SimdBackend {
 impl Plan for SimdPlan {
     fn execute(&self, args: &[Value], opts: &ExecOptions) -> Result<Execution, HalError> {
         // The estimated cost model ignores `opts.tech` by contract.
+        let mut span = opts.telemetry.span("backend:simd", cat::BACKEND);
+        span.arg("threads", ArgValue::Int(opts.threads.max(1) as i64));
         let mut device = SimdDevice::new(&self.spec);
         device.set_wta_window(opts.wta_window);
-        let outputs = self
-            .tape
-            .run_batched(&mut device, args, opts.threads.max(1))?;
+        let outputs = self.tape.run_batched_with_telemetry(
+            &mut device,
+            args,
+            opts.threads.max(1),
+            &opts.telemetry,
+        )?;
+        span.finish();
         Ok(Execution {
             outputs,
             stats: device.stats(),
@@ -261,10 +278,18 @@ impl Backend for TraceBackend {
 impl Plan for TracePlan {
     fn execute(&self, args: &[Value], opts: &ExecOptions) -> Result<Execution, HalError> {
         reject_threads("trace", opts)?;
+        let span = opts.telemetry.span("backend:trace", cat::BACKEND);
+        let record = opts.telemetry.span("trace:record", cat::BACKEND);
         let mut scratch = machine_for(&self.spec, opts);
-        let (_, trace) = self.tape.run_traced(&mut scratch, args)?;
+        let (_, trace) =
+            self.tape
+                .run_traced_with_telemetry(&mut scratch, args, &opts.telemetry)?;
+        record.finish();
+        let replay_span = opts.telemetry.span("trace:replay", cat::BACKEND);
         let mut machine = machine_for(&self.spec, opts);
         let outputs = trace.replay(&mut machine)?;
+        replay_span.finish();
+        span.finish();
         Ok(Execution {
             outputs,
             stats: machine.stats(),

@@ -43,6 +43,7 @@ use c4cam_arch::ArchSpec;
 use c4cam_camsim::ExecStats;
 use c4cam_ir::Module;
 use c4cam_runtime::Value;
+use c4cam_telemetry::Telemetry;
 
 mod backends;
 mod registry;
@@ -125,6 +126,10 @@ pub struct ExecOptions {
     /// Technology model override for device-exact backends (estimated
     /// backends use their own cost model and ignore this).
     pub tech: Option<TechnologyModel>,
+    /// Telemetry handle: while enabled, backends record a `backend:*`
+    /// span around plan execution plus sampled per-op and per-shard
+    /// child spans. The disabled default costs one branch.
+    pub telemetry: Telemetry,
 }
 
 impl ExecOptions {
@@ -151,6 +156,13 @@ impl ExecOptions {
     #[must_use]
     pub fn with_tech(mut self, tech: TechnologyModel) -> ExecOptions {
         self.tech = Some(tech);
+        self
+    }
+
+    /// Attach a telemetry handle.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ExecOptions {
+        self.telemetry = telemetry;
         self
     }
 }

@@ -1,0 +1,90 @@
+//! Injectable monotonic clocks. Recorders stamp events through the
+//! [`Clock`] trait so tests can swap the wall clock for a deterministic
+//! [`ManualClock`] and pin byte-exact golden traces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic nanosecond clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall clock: nanoseconds since construction, via `std::time::Instant`.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock with origin = now.
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        let ns = self.origin.elapsed().as_nanos();
+        ns.min(u64::MAX as u128) as u64
+    }
+}
+
+/// Deterministic clock: every `now_ns` call advances by a fixed step.
+///
+/// The first call returns `step_ns`, the second `2 * step_ns`, and so
+/// on. Single-threaded runs therefore produce identical timestamps on
+/// every execution, which is what the golden Chrome-trace test relies
+/// on.
+#[derive(Debug)]
+pub struct ManualClock {
+    step_ns: u64,
+    ticks: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock advancing `step_ns` per call.
+    pub fn new(step_ns: u64) -> Self {
+        ManualClock {
+            step_ns,
+            ticks: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        let tick = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        tick * self.step_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_one_step_per_call() {
+        let c = ManualClock::new(250);
+        assert_eq!(c.now_ns(), 250);
+        assert_eq!(c.now_ns(), 500);
+        assert_eq!(c.now_ns(), 750);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

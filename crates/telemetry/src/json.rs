@@ -1,0 +1,85 @@
+//! Minimal JSON writing helpers shared by every serializer in the
+//! workspace (telemetry exporters, `ExecStats::to_json`, sweep and
+//! accuracy reports, CLI output). One escaping implementation, one
+//! float policy: non-finite numbers degrade to `null`.
+
+/// Escape a string for embedding inside a JSON string literal
+/// (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+/// Append the JSON-escaped form of `s` to `out` (quotes not included).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Quote and escape a string as a complete JSON string literal.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Format an `f64` as a JSON number (`inf`/`NaN` degrade to `null`).
+pub fn num_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Format an `f32` as a JSON number (`inf`/`NaN` degrade to `null`).
+pub fn num_f32(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_chars() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc\r"), "a\\nb\\tc\\r");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("ünïcode"), "ünïcode");
+    }
+
+    #[test]
+    fn string_adds_quotes() {
+        assert_eq!(string("x\"y"), "\"x\\\"y\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(num_f64(1.5), "1.5");
+        assert_eq!(num_f64(f64::NAN), "null");
+        assert_eq!(num_f64(f64::INFINITY), "null");
+        assert_eq!(num_f32(0.25), "0.25");
+        assert_eq!(num_f32(f32::NEG_INFINITY), "null");
+    }
+}

@@ -1,0 +1,146 @@
+//! Human-facing stderr diagnostics, kept separate from the telemetry
+//! event stream. The level comes from the `C4CAM_LOG` environment
+//! variable (`off`, `summary`, `debug`; default `off`) and can be
+//! overridden programmatically — the CLI's `--log-level` flag does so.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity of stderr diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// No diagnostics (default).
+    Off,
+    /// One-line progress notes per run/phase.
+    Summary,
+    /// Verbose internals.
+    Debug,
+}
+
+impl LogLevel {
+    fn as_u8(self) -> u8 {
+        match self {
+            LogLevel::Off => 0,
+            LogLevel::Summary => 1,
+            LogLevel::Debug => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> LogLevel {
+        match v {
+            1 => LogLevel::Summary,
+            2 => LogLevel::Debug,
+            _ => LogLevel::Off,
+        }
+    }
+
+    /// Stable lowercase name (matches the `C4CAM_LOG` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            LogLevel::Off => "off",
+            LogLevel::Summary => "summary",
+            LogLevel::Debug => "debug",
+        }
+    }
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(LogLevel::Off),
+            "summary" => Ok(LogLevel::Summary),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!(
+                "unknown log level `{other}` (expected off, summary or debug)"
+            )),
+        }
+    }
+}
+
+const UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+fn level_from_env() -> LogLevel {
+    match std::env::var("C4CAM_LOG") {
+        Ok(v) => v.parse().unwrap_or(LogLevel::Off),
+        Err(_) => LogLevel::Off,
+    }
+}
+
+/// Current level: the last `set_level` value, else `C4CAM_LOG`, else off.
+pub fn level() -> LogLevel {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw != UNSET {
+        return LogLevel::from_u8(raw);
+    }
+    let from_env = level_from_env();
+    // Racing initialisers read the same env var, so last-write-wins is fine.
+    let _ = LEVEL.compare_exchange(
+        UNSET,
+        from_env.as_u8(),
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    from_env
+}
+
+/// Override the level (takes precedence over `C4CAM_LOG`).
+pub fn set_level(l: LogLevel) {
+    LEVEL.store(l.as_u8(), Ordering::Relaxed);
+}
+
+/// Emit a diagnostic if `at` is enabled by the current level.
+pub fn log(at: LogLevel, msg: fmt::Arguments<'_>) {
+    if at == LogLevel::Off || level() < at {
+        return;
+    }
+    eprintln!("[c4cam:{}] {msg}", at.name());
+}
+
+/// Emit at `summary` level.
+pub fn summary(msg: fmt::Arguments<'_>) {
+    log(LogLevel::Summary, msg);
+}
+
+/// Emit at `debug` level.
+pub fn debug(msg: fmt::Arguments<'_>) {
+    log(LogLevel::Debug, msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("off".parse::<LogLevel>().unwrap(), LogLevel::Off);
+        assert_eq!("summary".parse::<LogLevel>().unwrap(), LogLevel::Summary);
+        assert_eq!("debug".parse::<LogLevel>().unwrap(), LogLevel::Debug);
+        assert!("verbose".parse::<LogLevel>().is_err());
+        assert!(LogLevel::Off < LogLevel::Summary && LogLevel::Summary < LogLevel::Debug);
+    }
+
+    #[test]
+    fn set_level_overrides_env() {
+        set_level(LogLevel::Debug);
+        assert_eq!(level(), LogLevel::Debug);
+        set_level(LogLevel::Off);
+        assert_eq!(level(), LogLevel::Off);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for l in [LogLevel::Off, LogLevel::Summary, LogLevel::Debug] {
+            assert_eq!(l.name().parse::<LogLevel>().unwrap(), l);
+        }
+    }
+}

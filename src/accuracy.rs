@@ -18,6 +18,7 @@ use crate::driver::{DriverError, Experiment, RunOutcome};
 use c4cam_arch::ArchSpec;
 use c4cam_camsim::ExecStats;
 use c4cam_datasets::{DatasetTask, DatasetWorkload};
+use c4cam_telemetry::{cat, Telemetry};
 use c4cam_workloads::Workload;
 use std::fmt::Write as _;
 
@@ -83,10 +84,32 @@ pub fn evaluate(
     engine: &str,
     threads: usize,
 ) -> Result<AccuracyRow, DriverError> {
+    evaluate_with_telemetry(workload, spec, engine, threads, &Telemetry::default())
+}
+
+/// [`evaluate`] with a telemetry handle: the experiment's phase/op
+/// spans are recorded under a `grid` span naming the evaluated
+/// configuration (`<task>/<bits>b/<engine>`).
+///
+/// # Errors
+/// Propagates the experiment's [`DriverError`] (config, place,
+/// compile, or exec stage).
+pub fn evaluate_with_telemetry(
+    workload: &DatasetWorkload,
+    spec: &ArchSpec,
+    engine: &str,
+    threads: usize,
+    telemetry: &Telemetry,
+) -> Result<AccuracyRow, DriverError> {
+    let _span = telemetry.span(
+        format!("{}/{}b/{}", workload.name(), spec.bits_per_cell, engine),
+        cat::GRID,
+    );
     let outcome = Experiment::new(workload)
         .arch(spec.clone())
         .backend(engine)
         .threads(threads)
+        .telemetry(telemetry.clone())
         .run()?;
     // For the kNN task the experiment's ground-truth labels *are* the
     // CPU reference (nearest stored row), so the O(queries × rows ×
@@ -232,30 +255,11 @@ impl AccuracyReport {
     }
 }
 
-/// Format a float as a JSON-safe number (`inf`/`NaN` degrade to
-/// `null`, matching [`ExecStats::to_json`]).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-/// Escape a string for embedding in a JSON string literal (the
-/// dataset name is a user-controlled file name).
-pub(crate) fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+// The report serializers share the workspace-wide JSON policy
+// (`c4cam_telemetry::json`): one escaping implementation, non-finite
+// numbers degrade to `null`, matching [`ExecStats::to_json`].
+pub(crate) use c4cam_telemetry::json::escape as json_escape;
+use c4cam_telemetry::json::num_f64 as json_f64;
 
 /// Sanitize a string for a bare CSV field: the report's columns are
 /// positional (CI cuts on commas), so separator-bearing names are
@@ -345,7 +349,7 @@ mod tests {
     fn report_strings_are_escaped() {
         assert_eq!(json_escape("plain.csv"), "plain.csv");
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
         assert_eq!(csv_field("a,b\"c\nd"), "a_b_c_d");
         assert_eq!(csv_field("mini-mnist"), "mini-mnist");
     }

@@ -27,7 +27,7 @@
 //! The argument parsing and command execution live here (unit-tested);
 //! `src/bin/c4cam.rs` is a thin wrapper.
 
-use crate::accuracy::{evaluate, AccuracyReport};
+use crate::accuracy::{evaluate_with_telemetry, AccuracyReport};
 use crate::driver::{build_arch, DriverError, Experiment, ParseKeywordError};
 use crate::sweep::SweepPlan;
 use c4cam_arch::tech::TechnologyModel;
@@ -40,10 +40,16 @@ use c4cam_frontend::{parse_torchscript, FrontendConfig};
 use c4cam_hal::{BackendRegistry, ExecOptions};
 use c4cam_ir::print::print_module;
 use c4cam_runtime::Value;
+use c4cam_telemetry::export::{chrome_trace, json_lines};
+use c4cam_telemetry::json::num_f32 as json_f32;
+use c4cam_telemetry::log::LogLevel;
+use c4cam_telemetry::metrics::MetricsReport;
+use c4cam_telemetry::{log as tlog, CollectingRecorder, Phase, Telemetry};
 use c4cam_tensor::Tensor;
 use c4cam_workloads::{DtreeWorkload, GpuComparisonWorkload, HdcWorkload, KnnWorkload, Workload};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// CLI failure: bad arguments or a failing underlying stage.
 #[derive(Debug)]
@@ -217,6 +223,115 @@ impl FromStr for SweepFormat {
     }
 }
 
+/// How much of the collected metrics a command prints after its
+/// report (`--metrics`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsMode {
+    /// No metrics output (default).
+    #[default]
+    None,
+    /// Phase breakdown plus the top ops by host time and sim energy.
+    Summary,
+    /// The summary plus per-op latency percentiles, shard utilization,
+    /// and final counter values.
+    Full,
+}
+
+impl FromStr for MetricsMode {
+    type Err = ParseKeywordError;
+
+    fn from_str(s: &str) -> Result<MetricsMode, ParseKeywordError> {
+        match s {
+            "none" => Ok(MetricsMode::None),
+            "summary" => Ok(MetricsMode::Summary),
+            "full" => Ok(MetricsMode::Full),
+            _ => Err(ParseKeywordError::new(
+                "--metrics",
+                s,
+                &["none", "summary", "full"],
+            )),
+        }
+    }
+}
+
+/// Telemetry configuration shared by `run`, `sweep`, and `accuracy`:
+/// the recorder is enabled exactly when a trace file or a metrics
+/// report was requested, so the default run pays nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryArgs {
+    /// Trace output path (`--trace-out`): Chrome trace-event JSON, or
+    /// JSON-lines when the path ends in `.jsonl`.
+    pub trace_out: Option<String>,
+    /// Metrics report appended to the command output (`--metrics`).
+    pub metrics: MetricsMode,
+    /// Stderr diagnostics level (`--log-level`, overriding the
+    /// `C4CAM_LOG` environment variable).
+    pub log_level: Option<LogLevel>,
+}
+
+/// A live recorder for one command invocation: [`TelemetrySession::start`]
+/// builds the [`Telemetry`] handle the pipeline records into, and
+/// [`TelemetrySession::finish`] writes the trace file and appends the
+/// requested metrics report to the command output.
+struct TelemetrySession {
+    recorder: Option<Arc<CollectingRecorder>>,
+    telemetry: Telemetry,
+    args: TelemetryArgs,
+}
+
+impl TelemetrySession {
+    fn start(args: &TelemetryArgs) -> TelemetrySession {
+        if let Some(level) = args.log_level {
+            tlog::set_level(level);
+        }
+        let wanted = args.trace_out.is_some() || args.metrics != MetricsMode::None;
+        let (recorder, telemetry) = if wanted {
+            let recorder = Arc::new(CollectingRecorder::new());
+            (
+                Some(Arc::clone(&recorder)),
+                Telemetry::new(recorder as Arc<dyn c4cam_telemetry::Recorder>),
+            )
+        } else {
+            (None, Telemetry::default())
+        };
+        TelemetrySession {
+            recorder,
+            telemetry,
+            args: args.clone(),
+        }
+    }
+
+    /// Drain the recorder: write `--trace-out` (if requested) and
+    /// append the `--metrics` report to `output`.
+    fn finish(self, output: &mut String) -> Result<(), CliError> {
+        let Some(recorder) = self.recorder else {
+            return Ok(());
+        };
+        let events = recorder.events();
+        if let Some(path) = &self.args.trace_out {
+            let text = if path.ends_with(".jsonl") {
+                json_lines(&events)
+            } else {
+                chrome_trace(&events)
+            };
+            std::fs::write(path, text)
+                .map_err(|e| cli_err(format!("cannot write trace file '{path}': {e}")))?;
+            tlog::summary(format_args!("wrote trace to {path}"));
+        }
+        let report = match self.args.metrics {
+            MetricsMode::None => return Ok(()),
+            MetricsMode::Summary => MetricsReport::from_events(&events).render_summary(5),
+            MetricsMode::Full => MetricsReport::from_events(&events).render_full(5),
+        };
+        if !output.is_empty() && !output.ends_with('\n') {
+            output.push('\n');
+        }
+        output.push('\n');
+        output.push_str(report.trim_end_matches('\n'));
+        Ok(())
+    }
+}
+
 /// Arguments of `c4cam run`.
 #[derive(Debug, Clone)]
 pub struct RunArgs {
@@ -236,6 +351,8 @@ pub struct RunArgs {
     pub threads: usize,
     /// Report format.
     pub format: OutputFormat,
+    /// Tracing/metrics/logging configuration.
+    pub telemetry: TelemetryArgs,
 }
 
 /// Arguments of `c4cam run --dataset`: execute a [`DatasetWorkload`]
@@ -261,6 +378,8 @@ pub struct DatasetRunArgs {
     pub threads: usize,
     /// Report format.
     pub format: OutputFormat,
+    /// Tracing/metrics/logging configuration.
+    pub telemetry: TelemetryArgs,
 }
 
 /// Arguments of `c4cam accuracy`: one dataset evaluated at each
@@ -285,6 +404,8 @@ pub struct AccuracyArgs {
     pub threads: usize,
     /// Report format.
     pub format: SweepFormat,
+    /// Tracing/metrics/logging configuration.
+    pub telemetry: TelemetryArgs,
 }
 
 /// Arguments of `c4cam sweep`: the grid dimensions plus the workload
@@ -327,6 +448,8 @@ pub struct SweepArgs {
     pub pareto: bool,
     /// Report format.
     pub format: SweepFormat,
+    /// Tracing/metrics/logging configuration.
+    pub telemetry: TelemetryArgs,
 }
 
 impl Default for SweepArgs {
@@ -349,6 +472,7 @@ impl Default for SweepArgs {
             threads: 1,
             pareto: false,
             format: SweepFormat::Table,
+            telemetry: TelemetryArgs::default(),
         }
     }
 }
@@ -408,6 +532,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut dataset_format: Option<DatasetFormat> = None;
     let mut limit: Option<usize> = None;
     let mut subarray: Option<usize> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics: Option<MetricsMode> = None;
+    let mut log_level: Option<LogLevel> = None;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -542,6 +669,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .ok_or_else(|| cli_err("--subarray expects a positive integer"))?,
                 );
             }
+            "--trace-out" => trace_out = Some(next_value(&mut it, flag)?),
+            "--metrics" => {
+                metrics = Some(next_value(&mut it, flag)?.parse().map_err(cli_err)?);
+            }
+            "--log-level" => {
+                log_level = Some(next_value(&mut it, flag)?.parse().map_err(cli_err)?);
+            }
             other => return Err(cli_err(format!("unknown flag '{other}'\n{}", usage()))),
         }
     }
@@ -599,6 +733,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         (canonicalize, "--canonicalize"),
         (random_seed.is_some(), "--random-seed"),
     ];
+    // Telemetry flags belong to the executing commands (run/sweep/
+    // accuracy); compile and place never execute anything to trace.
+    let telemetry_flags: &[(bool, &str)] = &[
+        (trace_out.is_some(), "--trace-out"),
+        (metrics.is_some(), "--metrics"),
+        (log_level.is_some(), "--log-level"),
+    ];
     match cmd.as_str() {
         "compile" | "place" => {
             reject(
@@ -608,6 +749,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     bits_flag,
                     subarray_flag,
                     workload_flag,
+                    telemetry_flags,
                 ],
                 cmd,
             )?;
@@ -681,6 +823,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         Ok(())
     };
+    let telemetry = TelemetryArgs {
+        trace_out,
+        metrics: metrics.unwrap_or_default(),
+        log_level,
+    };
     match cmd.as_str() {
         "run" if dataset.is_some() => {
             let engine = resolve_engine(engine.as_deref().unwrap_or("tape"))?;
@@ -694,6 +841,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 engine,
                 threads,
                 format: out_format(format)?,
+                telemetry,
             }))
         }
         "compile" | "run" => {
@@ -717,6 +865,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     engine,
                     threads,
                     format: out_format(format)?,
+                    telemetry,
                 }))
             }
         }
@@ -736,6 +885,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     None => SweepFormat::default(),
                     Some(v) => v.parse().map_err(cli_err)?,
                 },
+                telemetry,
             }))
         }
         "place" => Ok(Command::Place(PlaceArgs {
@@ -773,6 +923,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     None => SweepFormat::default(),
                     Some(v) => v.parse().map_err(cli_err)?,
                 },
+                telemetry,
             }))
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -814,7 +965,7 @@ fn parse_tech(name: &str) -> Result<Option<TechnologyModel>, CliError> {
 pub fn usage() -> String {
     let engines = BackendRegistry::global().names().join("|");
     format!(
-        "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam run     --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--arch SPEC] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]\n  c4cam sweep   [--workload hdc|knn|dtree|gpu] [--queries N] [--classes N] [--dims D] [--subarrays N,N,...] [--opts base,power,density,power+density] [--techs default,fefet-45nm,cmos-16nm] [--bits 1,2] [--engine {engines},...] [--threads N] [--pareto] [--format table|json|csv] [--dataset DIR|FILE.csv [--dataset-format idx|csv] [--limit N]]\n  c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--bits 1,2] [--subarray N] [--engine {engines}] [--threads N] [--format table|json|csv]\n  c4cam help"
+        "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam run     --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--arch SPEC] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]\n  c4cam sweep   [--workload hdc|knn|dtree|gpu] [--queries N] [--classes N] [--dims D] [--subarrays N,N,...] [--opts base,power,density,power+density] [--techs default,fefet-45nm,cmos-16nm] [--bits 1,2] [--engine {engines},...] [--threads N] [--pareto] [--format table|json|csv] [--dataset DIR|FILE.csv [--dataset-format idx|csv] [--limit N]]\n  c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--bits 1,2] [--subarray N] [--engine {engines}] [--threads N] [--format table|json|csv]\n  c4cam help\n\ntelemetry (run/sweep/accuracy):\n  --trace-out PATH           write a Chrome trace-event JSON (load in Perfetto / chrome://tracing); a .jsonl extension selects JSON-lines instead\n  --metrics none|summary|full  append a per-phase/per-op metrics report to the output\n  --log-level off|summary|debug  stderr diagnostics (alias for the C4CAM_LOG environment variable)"
     )
 }
 
@@ -912,7 +1063,18 @@ impl RunReport {
 
 /// Execute `run`.
 pub fn run_run(args: &RunArgs) -> Result<RunReport, CliError> {
-    let (lowered, spec) = compile_module(&args.compile)?;
+    run_run_with_telemetry(args, &Telemetry::default())
+}
+
+/// [`run_run`] recording into `telemetry`: the TorchScript path has no
+/// placement stage, so the phases are Parse (source → torch IR),
+/// Compile (pipeline + backend plan), Execute.
+fn run_run_with_telemetry(args: &RunArgs, telemetry: &Telemetry) -> Result<RunReport, CliError> {
+    let span = telemetry.phase(Phase::Parse);
+    let parsed = compile_module(&args.compile);
+    span.finish();
+    let (lowered, spec) = parsed?;
+    let span = telemetry.phase(Phase::Compile);
     let compiled = C4camPipeline::new(spec.clone())
         .with_options(PipelineOptions {
             canonicalize: args.compile.canonicalize,
@@ -920,6 +1082,13 @@ pub fn run_run(args: &RunArgs) -> Result<RunReport, CliError> {
         })
         .compile(lowered.module.clone())
         .map_err(cli_err)?;
+    let backend = BackendRegistry::global()
+        .get(&args.engine)
+        .map_err(cli_err)?;
+    let plan = backend
+        .compile(&compiled.module, &lowered.name, &spec)
+        .map_err(cli_err)?;
+    span.finish();
 
     // Assemble runtime arguments in arg_order.
     let m = &compiled.module;
@@ -945,18 +1114,16 @@ pub fn run_run(args: &RunArgs) -> Result<RunReport, CliError> {
         values.push(Value::Tensor(tensor));
     }
 
-    let backend = BackendRegistry::global()
-        .get(&args.engine)
-        .map_err(cli_err)?;
-    let plan = backend
-        .compile(&compiled.module, &lowered.name, &spec)
-        .map_err(cli_err)?;
+    let span = telemetry.phase(Phase::Execute);
     let execution = plan
         .execute(
             &values,
-            &ExecOptions::sequential().with_threads(args.threads),
+            &ExecOptions::sequential()
+                .with_threads(args.threads)
+                .with_telemetry(telemetry.clone()),
         )
         .map_err(cli_err)?;
+    span.finish();
     let out = execution.outputs;
     let outputs = out
         .iter()
@@ -1043,16 +1210,6 @@ pub fn run_place(args: &PlaceArgs) -> Result<String, CliError> {
     ))
 }
 
-/// Format a float as a JSON number (`inf`/`NaN` degrade to `null`,
-/// matching [`ExecStats::to_json`]).
-fn json_f32(v: f32) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
 /// Deterministic 0/1 tensor for `--random-seed` runs.
 fn deterministic_tensor(shape: &[usize], seed: u64) -> Tensor {
     let n: usize = shape.iter().product();
@@ -1121,6 +1278,13 @@ fn load_dataset_workload(
 
 /// Execute `run --dataset`: one experiment over the dataset workload.
 pub fn run_dataset(args: &DatasetRunArgs) -> Result<String, CliError> {
+    run_dataset_with_telemetry(args, &Telemetry::default())
+}
+
+fn run_dataset_with_telemetry(
+    args: &DatasetRunArgs,
+    telemetry: &Telemetry,
+) -> Result<String, CliError> {
     let workload =
         load_dataset_workload(&args.dataset, args.dataset_format, &args.task, args.limit)?;
     let spec = match &args.arch {
@@ -1131,6 +1295,7 @@ pub fn run_dataset(args: &DatasetRunArgs) -> Result<String, CliError> {
         .arch(spec)
         .backend(args.engine.as_str())
         .threads(args.threads)
+        .telemetry(telemetry.clone())
         .run()?;
     let accuracy = workload.class_accuracy(&outcome.predictions);
     Ok(match args.format {
@@ -1164,6 +1329,13 @@ pub fn run_dataset(args: &DatasetRunArgs) -> Result<String, CliError> {
 /// Execute `accuracy`: evaluate the dataset at each requested cell
 /// width and render the CAM-vs-CPU report.
 pub fn run_accuracy(args: &AccuracyArgs) -> Result<String, CliError> {
+    run_accuracy_with_telemetry(args, &Telemetry::default())
+}
+
+fn run_accuracy_with_telemetry(
+    args: &AccuracyArgs,
+    telemetry: &Telemetry,
+) -> Result<String, CliError> {
     let workload =
         load_dataset_workload(&args.dataset, args.dataset_format, &args.task, args.limit)?;
     let mut rows = Vec::with_capacity(args.bits.len());
@@ -1175,7 +1347,13 @@ pub fn run_accuracy(args: &AccuracyArgs) -> Result<String, CliError> {
             bits,
         )
         .map_err(cli_err)?;
-        rows.push(evaluate(&workload, &spec, &args.engine, args.threads)?);
+        rows.push(evaluate_with_telemetry(
+            &workload,
+            &spec,
+            &args.engine,
+            args.threads,
+            telemetry,
+        )?);
     }
     let report = AccuracyReport { rows };
     let rendered = match args.format {
@@ -1241,6 +1419,10 @@ pub fn build_sweep_workload(args: &SweepArgs) -> Result<Box<dyn Workload>, CliEr
 
 /// Execute `sweep`, returning the rendered report.
 pub fn run_sweep(args: &SweepArgs) -> Result<String, CliError> {
+    run_sweep_with_telemetry(args, &Telemetry::default())
+}
+
+fn run_sweep_with_telemetry(args: &SweepArgs, telemetry: &Telemetry) -> Result<String, CliError> {
     let workload = build_sweep_workload(args)?;
     let technologies: Result<Vec<(String, Option<TechnologyModel>)>, CliError> = args
         .techs
@@ -1253,7 +1435,8 @@ pub fn run_sweep(args: &SweepArgs) -> Result<String, CliError> {
         .technologies(technologies?)
         .bits(args.bits.iter().copied())
         .backends(args.engines.iter().cloned())
-        .threads(args.threads);
+        .threads(args.threads)
+        .telemetry(telemetry.clone());
     let outcome = plan.run()?;
     let rendered = match args.format {
         SweepFormat::Table => outcome.to_table(args.pareto),
@@ -1264,18 +1447,32 @@ pub fn run_sweep(args: &SweepArgs) -> Result<String, CliError> {
     Ok(rendered.trim_end_matches('\n').to_string())
 }
 
-/// Dispatch a parsed command; returns the text to print.
+/// Dispatch a parsed command; returns the text to print. Commands that
+/// execute (run/sweep/accuracy) record into a telemetry session
+/// when `--trace-out`/`--metrics` ask for it; the trace file is
+/// written and the metrics report appended before returning.
 pub fn execute(command: &Command) -> Result<String, CliError> {
+    let traced = |targs: &TelemetryArgs,
+                  run: &dyn Fn(&Telemetry) -> Result<String, CliError>|
+     -> Result<String, CliError> {
+        let session = TelemetrySession::start(targs);
+        let mut out = run(&session.telemetry)?;
+        session.finish(&mut out)?;
+        Ok(out)
+    };
     match command {
         Command::Compile(args) => run_compile(args),
-        Command::Run(args) => {
-            let report = run_run(args)?;
-            Ok(report.render(args.format))
+        Command::Run(args) => traced(&args.telemetry, &|t| {
+            Ok(run_run_with_telemetry(args, t)?.render(args.format))
+        }),
+        Command::RunDataset(args) => {
+            traced(&args.telemetry, &|t| run_dataset_with_telemetry(args, t))
         }
-        Command::RunDataset(args) => run_dataset(args),
         Command::Place(args) => run_place(args),
-        Command::Sweep(args) => run_sweep(args),
-        Command::Accuracy(args) => run_accuracy(args),
+        Command::Sweep(args) => traced(&args.telemetry, &|t| run_sweep_with_telemetry(args, t)),
+        Command::Accuracy(args) => {
+            traced(&args.telemetry, &|t| run_accuracy_with_telemetry(args, t))
+        }
         Command::Help => Ok(usage()),
     }
 }
@@ -1407,6 +1604,7 @@ mats_per_bank: 2
             engine: "tape".to_string(),
             threads: 1,
             format: OutputFormat::Text,
+            telemetry: TelemetryArgs::default(),
         };
         let report = run_run(&args).unwrap();
         assert_eq!(report.outputs.len(), 2);
@@ -1432,6 +1630,7 @@ mats_per_bank: 2
             engine: "tape".to_string(),
             threads: 1,
             format: OutputFormat::Json,
+            telemetry: TelemetryArgs::default(),
         };
         let out = execute(&Command::Run(args)).unwrap();
         assert!(out.starts_with("{\"results\":["), "{out}");
@@ -1458,6 +1657,7 @@ mats_per_bank: 2
             engine: engine.to_string(),
             threads: 1,
             format: OutputFormat::Text,
+            telemetry: TelemetryArgs::default(),
         };
         let walk = run_run(&mk("walk")).unwrap();
         for name in BackendRegistry::global().names() {
@@ -1495,6 +1695,7 @@ mats_per_bank: 2
             engine: "tape".to_string(),
             threads: 1,
             format: OutputFormat::Text,
+            telemetry: TelemetryArgs::default(),
         };
         let report = run_run(&args).unwrap();
         // Query 0 == weight row 0, query 1 == weight row 1.
@@ -1619,6 +1820,7 @@ optimization: density
             engine: "tape".to_string(),
             threads,
             format: OutputFormat::Text,
+            telemetry: TelemetryArgs::default(),
         };
         let seq = run_run(&mk(1)).unwrap();
         let par = run_run(&mk(4)).unwrap();
@@ -1930,6 +2132,7 @@ optimization: density
             engine: "tape".to_string(),
             threads: 1,
             format: SweepFormat::Table,
+            telemetry: TelemetryArgs::default(),
         })
         .unwrap_err();
         assert!(e.message.contains("expected hdc|knn"), "{e}");
@@ -1975,6 +2178,7 @@ optimization: density
             engine: "tape".to_string(),
             threads: 1,
             format,
+            telemetry: TelemetryArgs::default(),
         };
         let csv = run_accuracy(&args(SweepFormat::Csv)).unwrap();
         assert!(csv.starts_with(crate::accuracy::CSV_HEADER), "{csv}");
@@ -2006,6 +2210,7 @@ optimization: density
             engine: engine.to_string(),
             threads,
             format: SweepFormat::Csv,
+            telemetry: TelemetryArgs::default(),
         };
         let walk = run_accuracy(&mk("walk", 1)).unwrap();
         let tape = run_accuracy(&mk("tape", 1)).unwrap();
@@ -2053,6 +2258,7 @@ optimization: density
             engine: "tape".to_string(),
             threads: 1,
             format: OutputFormat::Text,
+            telemetry: TelemetryArgs::default(),
         })
         .unwrap();
         assert!(text.contains("mini-mnist"), "{text}");
@@ -2066,6 +2272,7 @@ optimization: density
             engine: "tape".to_string(),
             threads: 2,
             format: OutputFormat::Json,
+            telemetry: TelemetryArgs::default(),
         })
         .unwrap();
         assert!(json.starts_with("{\"dataset\":\"mini-mnist\""), "{json}");
@@ -2182,6 +2389,217 @@ optimization: density
                 assert!(text.contains(name), "help misses {name}");
             }
         }
+    }
+
+    #[test]
+    fn telemetry_flags_parse_on_executing_commands() {
+        let cmd = parse_args(&strings(&[
+            "run",
+            "--dataset",
+            "d",
+            "--trace-out",
+            "/tmp/t.json",
+            "--metrics",
+            "summary",
+            "--log-level",
+            "debug",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::RunDataset(r) => {
+                assert_eq!(r.telemetry.trace_out.as_deref(), Some("/tmp/t.json"));
+                assert_eq!(r.telemetry.metrics, MetricsMode::Summary);
+                assert_eq!(r.telemetry.log_level, Some(LogLevel::Debug));
+            }
+            other => panic!("expected run --dataset, got {other:?}"),
+        }
+        match parse_args(&strings(&["sweep", "--metrics", "full"])).unwrap() {
+            Command::Sweep(s) => assert_eq!(s.telemetry.metrics, MetricsMode::Full),
+            other => panic!("expected sweep, got {other:?}"),
+        }
+        match parse_args(&strings(&[
+            "accuracy",
+            "--dataset",
+            "d",
+            "--trace-out",
+            "t.jsonl",
+        ]))
+        .unwrap()
+        {
+            Command::Accuracy(a) => {
+                assert_eq!(a.telemetry.trace_out.as_deref(), Some("t.jsonl"));
+                assert_eq!(a.telemetry.metrics, MetricsMode::None);
+            }
+            other => panic!("expected accuracy, got {other:?}"),
+        }
+        // Defaults: telemetry fully off.
+        match parse_args(&strings(&["run", "--arch", "a", "--source", "s"])).unwrap() {
+            Command::Run(r) => assert_eq!(r.telemetry, TelemetryArgs::default()),
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_flags_are_rejected_on_non_executing_commands() {
+        for flags in [
+            vec![
+                "compile",
+                "--arch",
+                "a",
+                "--source",
+                "s",
+                "--trace-out",
+                "t",
+            ],
+            vec![
+                "compile",
+                "--arch",
+                "a",
+                "--source",
+                "s",
+                "--metrics",
+                "summary",
+            ],
+            vec![
+                "place",
+                "--arch",
+                "a",
+                "--stored-rows",
+                "4",
+                "--dims",
+                "8",
+                "--log-level",
+                "debug",
+            ],
+        ] {
+            let e = parse_args(&strings(&flags)).unwrap_err();
+            assert!(e.message.contains("is not supported by"), "{e}");
+        }
+        // Bad keyword values fail at parse time.
+        assert!(parse_args(&strings(&["sweep", "--metrics", "yaml"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--log-level", "verbose"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn dataset_run_writes_a_chrome_trace_and_appends_metrics() {
+        let dir = std::env::temp_dir().join("c4cam-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("run-trace.json");
+        let cmd = Command::RunDataset(DatasetRunArgs {
+            dataset: fixture_path(),
+            dataset_format: None,
+            task: "hdc".to_string(),
+            limit: Some(4),
+            arch: None,
+            engine: "tape".to_string(),
+            threads: 1,
+            format: OutputFormat::Text,
+            telemetry: TelemetryArgs {
+                trace_out: Some(trace.to_string_lossy().into_owned()),
+                metrics: MetricsMode::Summary,
+                log_level: None,
+            },
+        });
+        let out = execute(&cmd).unwrap();
+        // The metrics report rides after the normal report.
+        assert!(out.contains("accuracy:"), "{out}");
+        assert!(out.contains("phase breakdown"), "{out}");
+        assert!(out.contains("Execute"), "{out}");
+        // The trace file is a Chrome trace with all four phase spans.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+        for phase in Phase::ALL {
+            assert!(
+                text.contains(&format!("\"name\":\"{}\"", phase.name())),
+                "missing {phase} in {text}"
+            );
+        }
+        assert!(text.contains("\"cat\":\"op\""), "per-op spans: {text}");
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn jsonl_trace_extension_selects_json_lines() {
+        let dir = std::env::temp_dir().join("c4cam-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("run-trace.jsonl");
+        let cmd = Command::RunDataset(DatasetRunArgs {
+            dataset: fixture_path(),
+            dataset_format: None,
+            task: "hdc".to_string(),
+            limit: Some(4),
+            arch: None,
+            engine: "tape".to_string(),
+            threads: 1,
+            format: OutputFormat::Text,
+            telemetry: TelemetryArgs {
+                trace_out: Some(trace.to_string_lossy().into_owned()),
+                metrics: MetricsMode::None,
+                log_level: None,
+            },
+        });
+        execute(&cmd).unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("{\"type\":\""), "{first}");
+        assert!(text.lines().any(|l| l.contains("\"name\":\"Execute\"")));
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn torchscript_run_records_parse_compile_execute_phases() {
+        let spec = write_temp("spec_tel.txt", SPEC);
+        let kernel = write_temp("kernel_tel.py", KERNEL);
+        let dir = std::env::temp_dir().join("c4cam-cli-tests");
+        let trace = dir.join("ts-trace.json");
+        let cmd = Command::Run(RunArgs {
+            compile: CompileArgs {
+                arch: spec,
+                source: kernel,
+                inputs: vec![vec![2, 64]],
+                params: vec![("weight".to_string(), vec![4, 64])],
+                emit: EmitStage::Cam,
+                canonicalize: false,
+            },
+            data: vec![],
+            random_seed: 7,
+            engine: "tape".to_string(),
+            threads: 1,
+            format: OutputFormat::Text,
+            telemetry: TelemetryArgs {
+                trace_out: Some(trace.to_string_lossy().into_owned()),
+                metrics: MetricsMode::Full,
+                log_level: None,
+            },
+        });
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("phase breakdown"), "{out}");
+        let text = std::fs::read_to_string(&trace).unwrap();
+        // No placement stage on the TorchScript path.
+        for phase in [Phase::Parse, Phase::Compile, Phase::Execute] {
+            assert!(
+                text.contains(&format!("\"name\":\"{}\"", phase.name())),
+                "missing {phase} in {text}"
+            );
+        }
+        assert!(text.contains("\"name\":\"backend:tape\""), "{text}");
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn metrics_mode_keywords_parse() {
+        assert_eq!("none".parse::<MetricsMode>().unwrap(), MetricsMode::None);
+        assert_eq!(
+            "summary".parse::<MetricsMode>().unwrap(),
+            MetricsMode::Summary
+        );
+        assert_eq!("full".parse::<MetricsMode>().unwrap(), MetricsMode::Full);
+        let e = "yaml".parse::<MetricsMode>().unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "unknown --metrics 'yaml' (expected none|summary|full)"
+        );
     }
 
     #[test]

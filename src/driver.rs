@@ -34,6 +34,7 @@ use c4cam_core::mapping::{place, MappingProblem, Placement};
 use c4cam_core::pipeline::C4camPipeline;
 use c4cam_hal::{BackendRegistry, ExecOptions};
 use c4cam_runtime::Value;
+use c4cam_telemetry::{log as tlog, ArgValue, Phase, Telemetry};
 use c4cam_workloads::{accuracy, ArgOrder, Workload, WorkloadInputs};
 use std::error::Error;
 use std::fmt;
@@ -295,6 +296,7 @@ pub struct Experiment<'w> {
     threads: usize,
     wta_window: Option<u32>,
     canonicalize: bool,
+    telemetry: Telemetry,
 }
 
 impl fmt::Debug for Experiment<'_> {
@@ -307,6 +309,7 @@ impl fmt::Debug for Experiment<'_> {
             .field("threads", &self.threads)
             .field("wta_window", &self.wta_window)
             .field("canonicalize", &self.canonicalize)
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -324,6 +327,7 @@ impl<'w> Experiment<'w> {
             threads: 1,
             wta_window: None,
             canonicalize: false,
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -372,6 +376,15 @@ impl<'w> Experiment<'w> {
         self
     }
 
+    /// Attach a telemetry handle: while its recorder is enabled, `run`
+    /// records `Parse`/`Place`/`Compile`/`Execute` phase spans plus the
+    /// backend's per-op and per-shard child spans and post-run
+    /// simulator counters. The disabled default records nothing.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// The configured architecture.
     pub fn spec(&self) -> &ArchSpec {
         &self.spec
@@ -406,45 +419,89 @@ impl<'w> Experiment<'w> {
                 self.workload.name()
             )));
         }
-        let placement = place(
-            &self.spec,
-            &MappingProblem {
-                stored_rows: self.workload.stored_rows(),
-                feature_dims: self.workload.dims(),
-                queries: nq,
-            },
-        )
-        .map_err(|e| DriverError::Place(Box::new(e)))?;
-        let built = self.workload.build_module(&self.spec);
-        let compiled = C4camPipeline::new(self.spec.clone())
-            .with_options(c4cam_core::pipeline::PipelineOptions {
-                canonicalize: self.canonicalize,
-                ..Default::default()
-            })
-            .compile(built.module)
-            .map_err(|e| DriverError::Compile(Box::new(e)))?;
+        tlog::debug(format_args!(
+            "experiment: workload '{}' on backend '{}' ({} queries)",
+            self.workload.name(),
+            self.backend,
+            nq
+        ));
+        // Parse: workload → module plus input materialisation (pure
+        // functions of workload × spec, so hoisting them ahead of
+        // placement keeps the phase spans chronological).
+        let (built, inputs) = {
+            let mut span = self.telemetry.phase(Phase::Parse);
+            span.arg("workload", ArgValue::Str(self.workload.name().to_string()));
+            span.arg("queries", ArgValue::Int(nq as i64));
+            (
+                self.workload.build_module(&self.spec),
+                self.workload.inputs(&self.spec),
+            )
+        };
+        let placement = {
+            let _span = self.telemetry.phase(Phase::Place);
+            place(
+                &self.spec,
+                &MappingProblem {
+                    stored_rows: self.workload.stored_rows(),
+                    feature_dims: self.workload.dims(),
+                    queries: nq,
+                },
+            )
+            .map_err(|e| DriverError::Place(Box::new(e)))?
+        };
+        // Compile: pipeline lowering, then the backend's plan.
+        let plan = {
+            let mut span = self.telemetry.phase(Phase::Compile);
+            span.arg("backend", ArgValue::Str(self.backend.clone()));
+            let compiled = C4camPipeline::new(self.spec.clone())
+                .with_options(c4cam_core::pipeline::PipelineOptions {
+                    canonicalize: self.canonicalize,
+                    ..Default::default()
+                })
+                .compile(built.module)
+                .map_err(|e| DriverError::Compile(Box::new(e)))?;
+            backend
+                .compile(&compiled.module, built.func, &self.spec)
+                .map_err(|e| DriverError::Compile(Box::new(e)))?
+        };
         let WorkloadInputs {
             stored,
             queries,
             labels,
-        } = self.workload.inputs(&self.spec);
+        } = inputs;
         // The workload declares its kernel's argument order — no shape
         // heuristics (those are ambiguous when queries == stored rows).
         let args = match built.arg_order {
             ArgOrder::QueriesThenStored => vec![Value::Tensor(queries), Value::Tensor(stored)],
             ArgOrder::StoredThenQueries => vec![Value::Tensor(stored), Value::Tensor(queries)],
         };
-        let plan = backend
-            .compile(&compiled.module, built.func, &self.spec)
-            .map_err(|e| DriverError::Compile(Box::new(e)))?;
         let opts = ExecOptions {
             threads: self.threads,
             wta_window: self.wta_window,
             tech: self.tech.clone(),
+            telemetry: self.telemetry.clone(),
         };
-        let execution = plan
-            .execute(&args, &opts)
-            .map_err(|e| DriverError::Exec(Box::new(e)))?;
+        let execution = {
+            let mut span = self.telemetry.phase(Phase::Execute);
+            span.arg("backend", ArgValue::Str(self.backend.clone()));
+            span.arg("threads", ArgValue::Int(self.threads as i64));
+            plan.execute(&args, &opts)
+                .map_err(|e| DriverError::Exec(Box::new(e)))?
+        };
+        if self.telemetry.enabled() {
+            let s = &execution.stats;
+            self.telemetry.counter("sim.latency_ns", s.latency_ns);
+            self.telemetry.counter("sim.energy_fj", s.total_energy_fj());
+            self.telemetry
+                .counter("sim.search_ops", s.search_ops as f64);
+            self.telemetry
+                .counter("sim.searched_words", s.searched_words as f64);
+        }
+        tlog::debug(format_args!(
+            "experiment done: {} search ops, {:.3} ms simulated",
+            execution.stats.search_ops,
+            execution.stats.latency_ms()
+        ));
         let indices = execution
             .outputs
             .get(1)

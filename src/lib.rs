@@ -28,6 +28,7 @@ pub use c4cam_frontend as frontend;
 pub use c4cam_hal as hal;
 pub use c4cam_ir as ir;
 pub use c4cam_runtime as runtime;
+pub use c4cam_telemetry as telemetry;
 pub use c4cam_tensor as tensor;
 pub use c4cam_workloads as workloads;
 

@@ -21,6 +21,8 @@
 use crate::driver::{DriverError, Experiment, RunOutcome};
 use c4cam_arch::tech::TechnologyModel;
 use c4cam_arch::{ArchSpec, Optimization};
+use c4cam_telemetry::json::num_f64 as json_f64;
+use c4cam_telemetry::{cat, Telemetry};
 use c4cam_workloads::Workload;
 use std::fmt;
 
@@ -285,16 +287,6 @@ impl SweepOutcome {
     }
 }
 
-/// Format a float as a JSON-safe number (`inf`/`NaN` degrade to
-/// `null`, matching [`c4cam_camsim::ExecStats::to_json`]).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
 /// Default square subarray sizes of the §IV-C grid (shared by
 /// [`SweepPlan::new`] and the `c4cam sweep` CLI defaults).
 pub const DEFAULT_SUBARRAY_SIZES: [usize; 5] = [16, 32, 64, 128, 256];
@@ -322,6 +314,7 @@ pub struct SweepPlan<'w> {
     bits: Vec<u32>,
     backends: Vec<String>,
     threads: usize,
+    telemetry: Telemetry,
 }
 
 impl fmt::Debug for SweepPlan<'_> {
@@ -342,6 +335,7 @@ impl fmt::Debug for SweepPlan<'_> {
             .field("bits", &self.bits)
             .field("backends", &self.backends)
             .field("threads", &self.threads)
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -358,6 +352,7 @@ impl<'w> SweepPlan<'w> {
             bits: vec![1],
             backends: vec!["tape".to_string()],
             threads: 1,
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -413,6 +408,15 @@ impl<'w> SweepPlan<'w> {
     /// Worker threads for every grid point.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attach a telemetry handle: every grid point records a
+    /// [`c4cam_telemetry::cat::GRID`] span (named by the point's
+    /// `Display` coordinates) wrapping its full experiment, whose
+    /// phase and per-op child spans nest inside.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -484,11 +488,14 @@ impl<'w> SweepPlan<'w> {
             let mut experiment = Experiment::new(self.workload)
                 .arch(spec)
                 .backend(gp.engine.clone())
-                .threads(self.threads);
+                .threads(self.threads)
+                .telemetry(self.telemetry.clone());
             if let Some(tech) = &gp.tech {
                 experiment = experiment.tech(tech.clone());
             }
+            let span = self.telemetry.span(format!("{gp}"), cat::GRID);
             let outcome = experiment.run().map_err(|e| e.at_grid_point(&gp))?;
+            span.finish();
             points.push(SweepPoint { grid: gp, outcome });
         }
         let objectives: Vec<[f64; 3]> = points.iter().map(SweepPoint::objectives).collect();

@@ -10,7 +10,10 @@
 use c4cam::arch::Optimization;
 use c4cam::driver::{build_arch, Experiment, RunOutcome};
 use c4cam::hal::{BackendRegistry, StatsContract};
+use c4cam::telemetry::clock::ManualClock;
+use c4cam::telemetry::{cat, CollectingRecorder, Event, Telemetry};
 use c4cam::workloads::{DtreeWorkload, HdcWorkload, KnnWorkload, Workload};
+use std::sync::Arc;
 
 /// The conformance workloads: one per compiled kernel family (HDC
 /// nearest-prototype, kNN nearest-sample, decision-tree path match),
@@ -141,6 +144,90 @@ fn latency_is_monotone_in_the_query_count_for_every_backend() {
             large.total.search_ops > small.total.search_ops,
             "{name}: search_ops not monotone"
         );
+    }
+}
+
+#[test]
+fn telemetry_recording_never_perturbs_outputs_or_stats() {
+    // The recorder is an observer: with a live recorder attached,
+    // every backend must reproduce the telemetry-off run bit-exactly
+    // — outputs, labels, and all three stats blocks — while actually
+    // recording the Execute phase and its backend span.
+    let workload = HdcWorkload {
+        classes: 5,
+        dims: 96,
+        queries: 6,
+        flip_rate: 0.1,
+        seed: 7,
+    };
+    for backend in BackendRegistry::global().all() {
+        let name = backend.name();
+        let plain = run(&workload, name, 2);
+        let recorder = Arc::new(CollectingRecorder::with_clock(Box::new(ManualClock::new(
+            1_000,
+        ))));
+        let spec = build_arch((32, 32), (2, 2, 4), Optimization::Base, 2).unwrap();
+        let traced = Experiment::new(&workload)
+            .arch(spec)
+            .backend(name)
+            .telemetry(Telemetry::new(Arc::clone(&recorder) as _))
+            .run()
+            .unwrap();
+        assert_eq!(traced.predictions, plain.predictions, "{name}");
+        assert_eq!(traced.labels, plain.labels, "{name}");
+        assert_eq!(traced.total, plain.total, "{name} total stats");
+        assert_eq!(traced.setup, plain.setup, "{name} setup stats");
+        assert_eq!(traced.query_phase, plain.query_phase, "{name} query stats");
+        let events = recorder.events();
+        let spans: Vec<_> = events.iter().filter_map(Event::as_span).collect();
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.cat == cat::PHASE && s.name == "Execute"),
+            "{name}: no Execute phase span recorded"
+        );
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.cat == cat::BACKEND && s.name == format!("backend:{name}")),
+            "{name}: no backend span recorded"
+        );
+    }
+}
+
+#[test]
+fn sharded_runs_record_worker_lane_spans_without_perturbing_outputs() {
+    // Worker shards record their spans on lanes 1..=threads; the
+    // sharded result must still match the telemetry-off sequential run.
+    let workload = HdcWorkload {
+        classes: 5,
+        dims: 96,
+        queries: 8,
+        flip_rate: 0.1,
+        seed: 7,
+    };
+    let plain = run(&workload, "tape", 1);
+    let recorder = Arc::new(CollectingRecorder::new());
+    let spec = build_arch((32, 32), (2, 2, 4), Optimization::Base, 1).unwrap();
+    let traced = Experiment::new(&workload)
+        .arch(spec)
+        .backend("tape")
+        .threads(4)
+        .telemetry(Telemetry::new(Arc::clone(&recorder) as _))
+        .run()
+        .unwrap();
+    assert_eq!(traced.predictions, plain.predictions);
+    assert_eq!(traced.total.search_ops, plain.total.search_ops);
+    let events = recorder.events();
+    let shard_spans: Vec<_> = events
+        .iter()
+        .filter_map(Event::as_span)
+        .filter(|s| s.cat == cat::SHARD)
+        .collect();
+    assert!(!shard_spans.is_empty(), "no shard spans recorded");
+    for s in &shard_spans {
+        assert!(s.tid >= 1, "shard span on the main lane: {}", s.name);
+        assert!(s.name.starts_with("shard-"), "{}", s.name);
     }
 }
 
