@@ -53,6 +53,7 @@ pub mod machine;
 pub mod stats;
 pub mod subarray;
 
+pub use c4cam_faults::{CellFault, FaultConfig, FaultModel, Resilience, SubarrayFaults};
 pub use cell::CamCell;
 pub use device::CamDevice;
 pub use machine::{

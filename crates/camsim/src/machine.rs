@@ -17,6 +17,7 @@ use crate::stats::ExecStats;
 use crate::subarray::{RowSelection, SearchResult, SearchScratch, Subarray};
 use c4cam_arch::tech::{Level, TechnologyModel};
 use c4cam_arch::{ArchSpec, MatchKind, Metric};
+use c4cam_faults::{FaultConfig, SubarrayFaults};
 use std::error::Error;
 use std::fmt;
 
@@ -143,6 +144,8 @@ impl ExecStats {
         self.write_ops += delta.write_ops;
         self.read_ops += delta.read_ops;
         self.merge_ops += delta.merge_ops;
+        self.fault_cells += delta.fault_cells;
+        self.fault_transients += delta.fault_transients;
         self.cell_energy_fj += delta.cell_energy_fj;
         self.periph_energy_fj += delta.periph_energy_fj;
         self.merge_energy_fj += delta.merge_energy_fj;
@@ -202,6 +205,9 @@ pub struct CamMachine {
     scopes: Vec<Scope>,
     stats: ExecStats,
     phases: Vec<(String, ExecStats)>,
+    /// Fault-injection configuration; installed on every subarray at
+    /// allocation time (None = ideal device).
+    faults: Option<FaultConfig>,
 }
 
 impl CamMachine {
@@ -235,7 +241,33 @@ impl CamMachine {
             }],
             stats: ExecStats::default(),
             phases: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Install (or clear) a fault-injection configuration.
+    ///
+    /// The per-subarray fault state is generated deterministically from
+    /// `(seed, subarray index, geometry)` — installation order and
+    /// thread count cannot move a single fault site. Already-allocated
+    /// subarrays are re-seeded immediately; future allocations pick the
+    /// configuration up automatically.
+    pub fn set_faults(&mut self, faults: Option<FaultConfig>) {
+        self.faults = faults;
+        self.stats.rows_remapped = 0;
+        for (i, sub) in self.subs.iter_mut().enumerate() {
+            let state = self
+                .faults
+                .as_ref()
+                .map(|cfg| Box::new(SubarrayFaults::generate(cfg, i, self.rows, self.cols)));
+            self.stats.rows_remapped += state.as_ref().map_or(0, |f| f.rows_remapped());
+            sub.set_faults(state);
+        }
+    }
+
+    /// The installed fault configuration, if any.
+    pub fn faults(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref()
     }
 
     /// Model a bounded winner-take-all sensing circuit: best-match
@@ -345,7 +377,13 @@ impl CamMachine {
                 array.0, self.subarrays_per_array
             )));
         }
-        self.subs.push(Subarray::new(self.rows, self.cols));
+        let mut sub = Subarray::new(self.rows, self.cols);
+        if let Some(cfg) = &self.faults {
+            let state = SubarrayFaults::generate(cfg, self.subs.len(), self.rows, self.cols);
+            self.stats.rows_remapped += state.rows_remapped();
+            sub.set_faults(Some(Box::new(state)));
+        }
+        self.subs.push(sub);
         let id = self.subs.len() - 1;
         self.arrays[array.0].subarrays.push(id);
         self.stats.subarrays_allocated = self.subs.len();
@@ -453,9 +491,12 @@ impl CamMachine {
         data: &[Vec<f32>],
     ) -> Result<(), SimError> {
         let bits = self.bits_per_cell;
-        self.sub_mut(id)?
-            .write_rows(row_offset, data, bits)
+        let sub = self.sub_mut(id)?;
+        let faults_before = sub.faults().map_or(0, |f| f.fault_cells());
+        sub.write_rows(row_offset, data, bits)
             .map_err(SimError::new)?;
+        let faults_after = sub.faults().map_or(0, |f| f.fault_cells());
+        self.stats.fault_cells += faults_after - faults_before;
         let rows = data.len();
         let cols = self.cols;
         self.stats.write_ops += 1;
@@ -511,6 +552,7 @@ impl CamMachine {
             .subs
             .get_mut(id.0)
             .ok_or_else(|| SimError::new(format!("invalid subarray handle {}", id.0)))?;
+        let transients_before = sub.faults().map_or(0, |f| f.fault_transients());
         match path {
             SearchPath::Packed => sub
                 .search(
@@ -534,19 +576,27 @@ impl CamMachine {
                 )
                 .map_err(SimError::new)?,
         };
-        let (active_rows, words) = {
+        let (active_rows, words, transients_after, votes) = {
             let sub = &self.subs[id.0];
             (
                 sub.last_result().map_or(0, |r| r.rows.len()),
                 sub.last_searched_words(),
+                sub.faults().map_or(0, |f| f.fault_transients()),
+                sub.faults().map_or(1, |f| u64::from(f.vote())),
             )
         };
-        self.stats.search_ops += 1;
-        self.stats.searched_words += words;
-        self.stats.cell_energy_fj += self.tech.search_cell_energy_fj(active_rows, cols, bits);
+        self.stats.fault_transients += transients_after - transients_before;
+        // k-modular voting replicates the search across k module copies
+        // with a majority voter: dynamic search work scales by k while
+        // latency stays that of one (parallel) search.
+        self.stats.search_ops += votes;
+        self.stats.searched_words += words * votes;
+        self.stats.cell_energy_fj +=
+            self.tech.search_cell_energy_fj(active_rows, cols, bits) * votes as f64;
         self.stats.periph_energy_fj +=
             self.tech
-                .periph_energy_fj(active_rows.max(1), cols, bits, spec.broadcast_share);
+                .periph_energy_fj(active_rows.max(1), cols, bits, spec.broadcast_share)
+                * votes as f64;
         let mut lat = self.tech.search_latency_ns(cols, bits)
             + self.tech.sense_latency_ns(spec.kind, rows, cols);
         if selective {
@@ -622,11 +672,14 @@ impl CamMachine {
         let mats = self.stats.mats_allocated;
         let arrays = self.stats.arrays_allocated;
         let subs = self.stats.subarrays_allocated;
+        let remapped = self.stats.rows_remapped;
         self.stats = ExecStats {
             banks_allocated: banks,
             mats_allocated: mats,
             arrays_allocated: arrays,
             subarrays_allocated: subs,
+            // Alloc-time gauge, like the allocation counts.
+            rows_remapped: remapped,
             ..ExecStats::default()
         };
         for s in self.scopes.iter_mut() {
@@ -924,6 +977,101 @@ mod tests {
             )
             .unwrap();
         assert!(r.matching_rows().is_empty());
+    }
+
+    #[test]
+    fn fault_rate_zero_is_bit_identical_to_ideal_device() {
+        let run = |faults: Option<FaultConfig>| {
+            let mut m = machine();
+            m.set_faults(faults);
+            let sub = m.alloc_chain().unwrap();
+            m.write_rows(sub, 0, &[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 0.0]])
+                .unwrap();
+            let r = m
+                .search(
+                    sub,
+                    &[1.0, 0.0, 1.0],
+                    SearchSpec::new(MatchKind::Best, Metric::Hamming),
+                )
+                .unwrap()
+                .clone();
+            (r, m.stats())
+        };
+        let (ideal, ideal_stats) = run(None);
+        let (zero, zero_stats) = run(Some(FaultConfig::with_rate(0.0, 7)));
+        assert_eq!(ideal, zero);
+        assert_eq!(ideal_stats, zero_stats);
+        assert_eq!(zero_stats.fault_cells, 0);
+        assert_eq!(zero_stats.fault_transients, 0);
+        assert_eq!(zero_stats.rows_remapped, 0);
+    }
+
+    #[test]
+    fn seeded_faults_are_identical_across_packed_and_naive_paths() {
+        let run = |path: SearchPath| {
+            let mut m = machine();
+            m.set_search_path(path);
+            m.set_faults(Some(FaultConfig::with_rate(0.25, 42)));
+            let sub = m.alloc_chain().unwrap();
+            let rows: Vec<Vec<f32>> = (0..8).map(|i| vec![(i % 2) as f32; 8]).collect();
+            m.write_rows(sub, 0, &rows).unwrap();
+            let r = m
+                .search(
+                    sub,
+                    &[1.0; 8],
+                    SearchSpec::new(MatchKind::Best, Metric::Hamming),
+                )
+                .unwrap()
+                .clone();
+            (r, m.stats())
+        };
+        let (packed, ps) = run(SearchPath::Packed);
+        let (naive, ns) = run(SearchPath::Naive);
+        assert_eq!(packed, naive, "fault sites must not depend on the kernel");
+        assert_eq!(ps.fault_cells, ns.fault_cells);
+        assert_eq!(ps.fault_transients, ns.fault_transients);
+        assert!(ps.fault_cells > 0, "25% rate must hit some of 64 cells");
+    }
+
+    #[test]
+    fn voting_scales_dynamic_search_cost_not_latency() {
+        let run = |vote: usize| {
+            let mut m = machine();
+            let mut cfg = FaultConfig::with_rate(0.0, 1);
+            cfg.resilience.vote = vote;
+            m.set_faults(Some(cfg));
+            let sub = m.alloc_chain().unwrap();
+            m.write_rows(sub, 0, &[vec![1.0, 0.0, 1.0]]).unwrap();
+            m.reset_stats();
+            m.search(
+                sub,
+                &[1.0, 0.0, 1.0],
+                SearchSpec::new(MatchKind::Exact, Metric::Hamming),
+            )
+            .unwrap();
+            m.stats()
+        };
+        let one = run(1);
+        let three = run(3);
+        assert_eq!(three.search_ops, 3 * one.search_ops);
+        assert_eq!(three.searched_words, 3 * one.searched_words);
+        assert!(three.cell_energy_fj > 2.9 * one.cell_energy_fj);
+        assert_eq!(three.latency_ns.to_bits(), one.latency_ns.to_bits());
+    }
+
+    #[test]
+    fn spare_rows_remap_and_report_through_stats() {
+        let mut cfg = FaultConfig::with_rate(0.02, 3);
+        cfg.resilience.spare_rows = 8;
+        cfg.resilience.stuck_threshold = 1;
+        let mut m = machine();
+        m.set_faults(Some(cfg));
+        m.alloc_chain().unwrap();
+        let s = m.stats();
+        assert!(s.rows_remapped > 0, "1% stuck over 32×32 rows must remap");
+        // The gauge survives reset_stats, like the allocation gauges.
+        m.reset_stats();
+        assert_eq!(m.stats().rows_remapped, s.rows_remapped);
     }
 
     #[test]

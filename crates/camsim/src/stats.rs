@@ -20,6 +20,14 @@ pub struct ExecStats {
     pub read_ops: u64,
     /// Number of partial-result merge operations.
     pub merge_ops: u64,
+    /// Cells whose programmed value a permanent fault (stuck-at /
+    /// drift) altered. Zero on an ideal device.
+    pub fault_cells: u64,
+    /// Search-row distances a transient fault perturbed. Zero on an
+    /// ideal device.
+    pub fault_transients: u64,
+    /// Logical rows remapped onto spare rows at allocation time.
+    pub rows_remapped: u64,
     /// Dynamic cell search energy, fJ.
     pub cell_energy_fj: f64,
     /// Peripheral (sense amps, drivers, encoders) energy, fJ.
@@ -116,6 +124,11 @@ impl ExecStats {
             write_ops: self.write_ops - earlier.write_ops,
             read_ops: self.read_ops - earlier.read_ops,
             merge_ops: self.merge_ops - earlier.merge_ops,
+            fault_cells: self.fault_cells - earlier.fault_cells,
+            fault_transients: self.fault_transients - earlier.fault_transients,
+            // Alloc-time state, not a flow — gauge semantics like the
+            // allocation counts below.
+            rows_remapped: self.rows_remapped,
             cell_energy_fj: self.cell_energy_fj - earlier.cell_energy_fj,
             periph_energy_fj: self.periph_energy_fj - earlier.periph_energy_fj,
             merge_energy_fj: self.merge_energy_fj - earlier.merge_energy_fj,
@@ -140,7 +153,8 @@ impl ExecStats {
                 "\"write_energy_fj\":{},\"static_energy_fj\":{},\"total_energy_fj\":{},",
                 "\"latency_ns\":{},\"power_w\":{},\"queries_per_second\":{},\"edp_nj_s\":{},",
                 "\"banks_allocated\":{},\"mats_allocated\":{},\"arrays_allocated\":{},",
-                "\"subarrays_allocated\":{}}}"
+                "\"subarrays_allocated\":{},",
+                "\"fault_cells\":{},\"fault_transients\":{},\"rows_remapped\":{}}}"
             ),
             self.search_ops,
             self.searched_words,
@@ -161,6 +175,9 @@ impl ExecStats {
             self.mats_allocated,
             self.arrays_allocated,
             self.subarrays_allocated,
+            self.fault_cells,
+            self.fault_transients,
+            self.rows_remapped,
         )
     }
 
@@ -172,6 +189,9 @@ impl ExecStats {
         self.write_ops += other.write_ops;
         self.read_ops += other.read_ops;
         self.merge_ops += other.merge_ops;
+        self.fault_cells += other.fault_cells;
+        self.fault_transients += other.fault_transients;
+        self.rows_remapped = self.rows_remapped.max(other.rows_remapped);
         self.cell_energy_fj += other.cell_energy_fj;
         self.periph_energy_fj += other.periph_energy_fj;
         self.merge_energy_fj += other.merge_energy_fj;
@@ -192,6 +212,16 @@ impl fmt::Display for ExecStats {
             "ops: {} searches ({} words), {} writes, {} reads, {} merges",
             self.search_ops, self.searched_words, self.write_ops, self.read_ops, self.merge_ops
         )?;
+        // Fault counters only appear when something actually fired, so
+        // ideal-device output stays byte-identical to the pre-fault
+        // format.
+        if self.fault_cells > 0 || self.fault_transients > 0 || self.rows_remapped > 0 {
+            writeln!(
+                f,
+                "faults: {} stuck/drifted cells, {} transient mismatches, {} rows remapped",
+                self.fault_cells, self.fault_transients, self.rows_remapped
+            )?;
+        }
         writeln!(
             f,
             "alloc: {} banks, {} mats, {} arrays, {} subarrays",

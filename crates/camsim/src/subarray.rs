@@ -26,6 +26,7 @@
 
 use crate::cell::CamCell;
 use c4cam_arch::{MatchKind, Metric};
+use c4cam_faults::{query_hash, SubarrayFaults};
 
 /// Which rows participate in a search.
 ///
@@ -267,6 +268,10 @@ pub struct Subarray {
     /// Result of the most recent search (for `cam.read`); its buffers
     /// are reused across searches.
     last_result: Option<SearchResult>,
+    /// Injected fault state (None = ideal device; the hooks below are
+    /// a single branch on this option, mirroring the telemetry
+    /// zero-cost-when-disabled pattern).
+    faults: Option<Box<SubarrayFaults>>,
 }
 
 impl Subarray {
@@ -286,7 +291,19 @@ impl Subarray {
             kinds: vec![RowKind::Binary; rows],
             last_words: 0,
             last_result: None,
+            faults: None,
         }
+    }
+
+    /// Install (or clear) this subarray's fault state. Passing `None`
+    /// restores the ideal device.
+    pub fn set_faults(&mut self, faults: Option<Box<SubarrayFaults>>) {
+        self.faults = faults;
+    }
+
+    /// The installed fault state, if any.
+    pub fn faults(&self) -> Option<&SubarrayFaults> {
+        self.faults.as_deref()
     }
 
     /// Row count.
@@ -341,16 +358,51 @@ impl Subarray {
                     self.cols
                 ));
             }
+        }
+        let mut faults = self.faults.take();
+        let levels_max = if bits_per_cell <= 1 {
+            1u8
+        } else {
+            ((1u32 << bits_per_cell) - 1).min(255) as u8
+        };
+        for (i, row) in data.iter().enumerate() {
             let r = row_offset + i;
             for c in 0..self.cols {
                 self.cells[r * self.cols + c] = match row.get(c) {
-                    Some(&v) => CamCell::encode(v, bits_per_cell),
+                    Some(&v) => {
+                        let cell = CamCell::encode(v, bits_per_cell);
+                        match faults.as_deref_mut() {
+                            None => cell,
+                            // Permanent faults perturb only programmed
+                            // cells; don't-care padding has no device
+                            // state to get stuck.
+                            Some(f) => {
+                                let intended = match cell {
+                                    CamCell::Zero => 0,
+                                    CamCell::One => 1,
+                                    CamCell::Multi(l) => l,
+                                    _ => unreachable!("encode yields bits or levels"),
+                                };
+                                let stored = f.program_level(r, c, intended, levels_max);
+                                if bits_per_cell <= 1 {
+                                    if stored != 0 {
+                                        CamCell::One
+                                    } else {
+                                        CamCell::Zero
+                                    }
+                                } else {
+                                    CamCell::Multi(stored)
+                                }
+                            }
+                        }
+                    }
                     None => CamCell::DontCare,
                 };
             }
             self.valid[r] = true;
             self.repack_row(r);
         }
+        self.faults = faults;
         Ok(())
     }
 
@@ -635,6 +687,14 @@ impl Subarray {
             }
         }
 
+        // Transient faults key on the query's own bit pattern, so the
+        // packed path, the naive oracle and the SIMD backend all draw
+        // the same per-row flips for the same search.
+        let mut faults = self.faults.take();
+        let qh = match faults.as_deref() {
+            Some(f) if f.transient_enabled() => Some(query_hash(query)),
+            _ => None,
+        };
         let mut result = self.last_result.take().unwrap_or_default();
         result.clear();
         let mut words = 0u64;
@@ -673,6 +733,15 @@ impl Subarray {
                     dist = dist.min(f64::from(window));
                 }
             }
+            // A transient sense-amp misfire lands *after* the WTA
+            // discrimination: the row reports one spurious mismatch.
+            if let Some(qh) = qh {
+                if let Some(f) = faults.as_deref_mut() {
+                    if f.transient_hit(qh, r) {
+                        dist += SubarrayFaults::TRANSIENT_PENALTY;
+                    }
+                }
+            }
             // Work metric: 8-byte plane words the row kernel streams —
             // 64 cells/word for bit-plane rows, 8 cells/word for the
             // byte-granular level-plane rows, one "word" per walked
@@ -686,6 +755,7 @@ impl Subarray {
             result.distances.push(dist);
         }
         Self::flag_matches(&mut result, kind, threshold);
+        self.faults = faults;
         self.last_words = words;
         self.last_result = Some(result);
         Ok(self.last_result.as_ref().unwrap())
@@ -714,6 +784,11 @@ impl Subarray {
                 self.cols
             ));
         }
+        let mut faults = self.faults.take();
+        let qh = match faults.as_deref() {
+            Some(f) if f.transient_enabled() => Some(query_hash(query)),
+            _ => None,
+        };
         let mut result = SearchResult::default();
         for r in selection.range(self.rows) {
             if !self.valid[r] {
@@ -725,10 +800,18 @@ impl Subarray {
                     dist = dist.min(f64::from(window));
                 }
             }
+            if let Some(qh) = qh {
+                if let Some(f) = faults.as_deref_mut() {
+                    if f.transient_hit(qh, r) {
+                        dist += SubarrayFaults::TRANSIENT_PENALTY;
+                    }
+                }
+            }
             result.rows.push(r);
             result.distances.push(dist);
         }
         Self::flag_matches(&mut result, kind, threshold);
+        self.faults = faults;
         self.last_words = result.rows.len() as u64 * query.len() as u64;
         self.last_result = Some(result);
         Ok(self.last_result.as_ref().unwrap())

@@ -43,12 +43,18 @@
 //! bit-identical to the sequential run. Energy totals agree up to
 //! summation order, as with query-loop sharding.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+
 use crate::compile::Tape;
-use crate::error::EngineError;
+use crate::error::{EngineError, ShardPanic};
 use crate::frozen::{freeze, thaw, Frozen};
 use crate::isa::QueryLoop;
+use crate::pool;
 use crate::vm::TapeVm;
 use c4cam_camsim::{CamDevice, ExecStats};
+use c4cam_faults::{RetryPolicy, ShardChaos};
 use c4cam_runtime::Value;
 use c4cam_telemetry::{cat, ArgValue, Telemetry};
 
@@ -73,7 +79,7 @@ impl Tape {
     /// # Errors
     /// Propagates compile-surface and runtime failures; a panicking
     /// worker surfaces as an error.
-    pub fn run_batched<D: CamDevice>(
+    pub fn run_batched<D: CamDevice + 'static>(
         &self,
         machine: &mut D,
         args: &[Value],
@@ -90,12 +96,49 @@ impl Tape {
     /// # Errors
     /// Propagates compile-surface and runtime failures; a panicking
     /// worker surfaces as an error.
-    pub fn run_batched_with_telemetry<D: CamDevice>(
+    pub fn run_batched_with_telemetry<D: CamDevice + 'static>(
         &self,
         machine: &mut D,
         args: &[Value],
         threads: usize,
         telemetry: &Telemetry,
+    ) -> BResult<Vec<Value>> {
+        self.run_batched_resilient(
+            machine,
+            args,
+            threads,
+            telemetry,
+            &RetryPolicy::default(),
+            None,
+        )
+    }
+
+    /// [`Tape::run_batched_with_telemetry`] with an explicit
+    /// [`RetryPolicy`] for panicked or timed-out shard workers, plus an
+    /// optional [`ShardChaos`] fault injector for testing the retry
+    /// path end to end.
+    ///
+    /// A worker that panics (or exceeds `retry.attempt_timeout`) is
+    /// retried up to `retry.max_retries` times on a fresh machine
+    /// clone; when retries are exhausted the shard runs sequentially on
+    /// the calling thread if `retry.fallback_sequential`, otherwise the
+    /// run fails with a structured [`ShardPanic`] on the error. Real
+    /// execution errors (bad shapes, device budget) propagate
+    /// immediately without retry. Outputs remain bit-identical to the
+    /// sequential run on every successful path.
+    ///
+    /// # Errors
+    /// Propagates compile-surface and runtime failures; a shard that
+    /// exhausts its retries without a sequential fallback surfaces as
+    /// an [`EngineError`] carrying a [`ShardPanic`].
+    pub fn run_batched_resilient<D: CamDevice + 'static>(
+        &self,
+        machine: &mut D,
+        args: &[Value],
+        threads: usize,
+        telemetry: &Telemetry,
+        retry: &RetryPolicy,
+        chaos: Option<ShardChaos>,
     ) -> BResult<Vec<Value>> {
         if threads <= 1 {
             return self.run_with_telemetry(machine, args, telemetry);
@@ -106,6 +149,7 @@ impl Tape {
             let mut vm = TapeVm::new(self, args)?;
             vm.set_telemetry(telemetry.clone());
             vm.set_shard_threads(threads);
+            vm.set_shard_chaos(chaos);
             let out = vm.exec(machine, 0, usize::MAX)?;
             return out.ok_or_else(|| EngineError::new("function body ended without func.return"));
         };
@@ -124,16 +168,20 @@ impl Tape {
             // A single query cannot shard across iterations — shard the
             // subarray-group loops inside it instead.
             vm.set_shard_threads(threads);
+            vm.set_shard_chaos(chaos);
             let out = vm.exec(machine, ql.enter, usize::MAX)?;
             return out.ok_or_else(|| EngineError::new("function body ended without func.return"));
         }
 
-        // Phase 2: fork and run shards.
+        // Phase 2: fork and run shards on the pooled workers.
         let shard_count = threads.min(iters.len());
-        let snapshot: Vec<Frozen> = vm.slots().iter().map(freeze).collect();
+        let snapshot: Arc<Vec<Frozen>> = Arc::new(vm.slots().iter().map(freeze).collect());
         let chunk = iters.len().div_ceil(shard_count);
-        let chunks: Vec<&[i64]> = iters.chunks(chunk).collect();
-        let shard_outs = run_shards(self, machine, &snapshot, &chunks, ql, telemetry)?;
+        let chunks: Vec<Vec<i64>> = iters.chunks(chunk).map(<[i64]>::to_vec).collect();
+        let tape = Arc::new(self.clone());
+        let shard_outs = run_shards(
+            &tape, machine, &snapshot, &chunks, ql, telemetry, retry, chaos,
+        )?;
 
         // Phase 3: deterministic merge, in shard order.
         for out in &shard_outs {
@@ -163,62 +211,153 @@ impl Tape {
     }
 }
 
-fn run_shards<D: CamDevice>(
+/// One shard's iterations, exactly as the scoped-thread version ran
+/// them: thaw the snapshot, execute the chunk, collect buffers + stats.
+fn run_one_shard<D: CamDevice>(
     tape: &Tape,
-    machine: &D,
+    shard_machine: &mut D,
     snapshot: &[Frozen],
-    chunks: &[&[i64]],
+    chunk: &[i64],
     ql: QueryLoop,
     telemetry: &Telemetry,
-) -> BResult<Vec<ShardOut>> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .enumerate()
-            .map(|(shard, &chunk)| {
-                let mut shard_machine = machine.clone();
-                shard_machine.reset_stats();
-                let telemetry = telemetry.clone();
-                scope.spawn(move || -> BResult<ShardOut> {
-                    let lane = shard as u32 + 1;
-                    let start_ns = telemetry.now_ns();
-                    let slots: Vec<Value> = snapshot.iter().map(thaw).collect();
-                    let mut vm = TapeVm::with_slots(tape, slots);
-                    vm.set_telemetry_lane(telemetry.clone(), lane);
-                    vm.exec_iterations(&mut shard_machine, ql.enter, ql.next, ql.iv, chunk, false)?;
-                    if telemetry.enabled() {
-                        let end_ns = telemetry.now_ns();
-                        telemetry.record_span(
-                            format!("shard-{shard}"),
-                            cat::SHARD,
-                            lane,
-                            start_ns,
-                            end_ns.saturating_sub(start_ns),
-                            vec![("iterations", ArgValue::Int(chunk.len() as i64))],
-                        );
-                    }
-                    let buffers = vm
-                        .slots()
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, v)| match v {
-                            Value::Buffer(b) => Some((i, b.borrow().clone())),
-                            _ => None,
-                        })
-                        .collect();
-                    Ok(ShardOut {
-                        stats: shard_machine.stats(),
-                        buffers,
-                    })
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .map_err(|_| EngineError::new("worker shard panicked"))?
-            })
-            .collect()
+    shard: usize,
+) -> BResult<ShardOut> {
+    let lane = shard as u32 + 1;
+    let start_ns = telemetry.now_ns();
+    let slots: Vec<Value> = snapshot.iter().map(thaw).collect();
+    let mut vm = TapeVm::with_slots(tape, slots);
+    vm.set_telemetry_lane(telemetry.clone(), lane);
+    vm.exec_iterations(shard_machine, ql.enter, ql.next, ql.iv, chunk, false)?;
+    if telemetry.enabled() {
+        let end_ns = telemetry.now_ns();
+        telemetry.record_span(
+            format!("shard-{shard}"),
+            cat::SHARD,
+            lane,
+            start_ns,
+            end_ns.saturating_sub(start_ns),
+            vec![("iterations", ArgValue::Int(chunk.len() as i64))],
+        );
+    }
+    let buffers = vm
+        .slots()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| match v {
+            Value::Buffer(b) => Some((i, b.borrow().clone())),
+            _ => None,
+        })
+        .collect();
+    Ok(ShardOut {
+        stats: shard_machine.stats(),
+        buffers,
     })
+}
+
+/// Best-effort text from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_shards<D: CamDevice + 'static>(
+    tape: &Arc<Tape>,
+    machine: &D,
+    snapshot: &Arc<Vec<Frozen>>,
+    chunks: &[Vec<i64>],
+    ql: QueryLoop,
+    telemetry: &Telemetry,
+    retry: &RetryPolicy,
+    chaos: Option<ShardChaos>,
+) -> BResult<Vec<ShardOut>> {
+    // Launch one pooled job per shard; each job owns its data (Arc'd
+    // tape + snapshot, a machine clone, its chunk) so a panicking or
+    // abandoned worker can never corrupt the caller's state.
+    let launch = |shard: usize, attempt: u32| -> Receiver<Result<BResult<ShardOut>, String>> {
+        let (tx, rx) = channel();
+        let tape = Arc::clone(tape);
+        let snapshot = Arc::clone(snapshot);
+        let chunk = chunks[shard].clone();
+        let mut shard_machine = machine.clone();
+        shard_machine.reset_stats();
+        let telemetry = telemetry.clone();
+        pool::submit(Box::new(move || {
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(c) = chaos {
+                    if c.shard == shard && attempt < c.fail_attempts {
+                        panic!("chaos: injected shard {shard} failure (attempt {attempt})");
+                    }
+                }
+                run_one_shard(
+                    &tape,
+                    &mut shard_machine,
+                    &snapshot,
+                    &chunk,
+                    ql,
+                    &telemetry,
+                    shard,
+                )
+            }))
+            .map_err(|p| panic_message(p.as_ref()));
+            // The submitter may have timed out and dropped the receiver.
+            let _ = tx.send(out);
+        }));
+        rx
+    };
+
+    let first: Vec<Receiver<_>> = (0..chunks.len()).map(|s| launch(s, 0)).collect();
+    let mut outs = Vec::with_capacity(chunks.len());
+    for (shard, mut rx) in first.into_iter().enumerate() {
+        let mut attempt = 0u32;
+        let out = loop {
+            let received = match retry.attempt_timeout {
+                Some(t) => rx
+                    .recv_timeout(t)
+                    .map_err(|_| format!("shard {shard} exceeded its {t:?} attempt timeout")),
+                None => rx
+                    .recv()
+                    .map_err(|_| format!("shard {shard} worker died without reporting")),
+            };
+            match received.and_then(|r| r) {
+                // A real execution error is deterministic: retrying
+                // cannot help, so it propagates immediately.
+                Ok(Ok(out)) => break out,
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    if attempt < retry.max_retries {
+                        attempt += 1;
+                        rx = launch(shard, attempt);
+                    } else if retry.fallback_sequential {
+                        // Degraded mode: run the shard on the calling
+                        // thread (no chaos — it models crashy workers).
+                        let mut shard_machine = machine.clone();
+                        shard_machine.reset_stats();
+                        break run_one_shard(
+                            tape,
+                            &mut shard_machine,
+                            snapshot,
+                            &chunks[shard],
+                            ql,
+                            telemetry,
+                            shard,
+                        )?;
+                    } else {
+                        return Err(EngineError::from_shard_panic(ShardPanic {
+                            shard,
+                            attempts: attempt + 1,
+                            payload,
+                        }));
+                    }
+                }
+            }
+        };
+        outs.push(out);
+    }
+    Ok(outs)
 }

@@ -60,12 +60,15 @@ mod compile;
 mod error;
 mod frozen;
 pub mod isa;
+mod pool;
 pub mod trace;
 mod vm;
 
+pub use c4cam_faults::{RetryPolicy, ShardChaos};
 pub use compile::Tape;
-pub use error::EngineError;
+pub use error::{EngineError, ShardPanic};
 pub use isa::{Inst, QueryLoop};
+pub use pool::pooled_workers;
 pub use trace::{Trace, TraceOp};
 pub use vm::TapeVm;
 
@@ -319,6 +322,154 @@ mod tests {
         let out_b = tape.run_batched(&mut b, &args, 1).unwrap();
         assert_outputs_equal(&out_a, &out_b, "threads=1");
         assert_eq!(a.stats(), b.stats());
+    }
+
+    fn knn_tape_and_args() -> (Tape, [Value; 2], ArchSpec) {
+        let mut m = Module::new();
+        cim::build_similarity_kernel(&mut m, "knn", "eucl", 40, 96, 8, 2, false);
+        let mut stored = Vec::new();
+        for p in 0..40 {
+            for d in 0..96 {
+                stored.push(f32::from(u8::from((d * 5 + p * 11) % 7 < 3)));
+            }
+        }
+        let stored = Tensor::from_vec(vec![40, 96], stored).unwrap();
+        let queries = stored.slice2d(4, 0, 8, 96).unwrap();
+        let args = [Value::Tensor(stored), Value::Tensor(queries)];
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        let tape = Tape::compile(&compiled.module, "knn").unwrap();
+        (tape, args, s)
+    }
+
+    #[test]
+    fn panicked_shard_workers_retry_and_recover() {
+        use c4cam_telemetry::Telemetry;
+        let (tape, args, s) = knn_tape_and_args();
+        let mut seq_machine = CamMachine::new(&s);
+        let seq_out = tape.run(&mut seq_machine, &args).unwrap();
+
+        // One injected panic, one retry permitted: the retried worker
+        // succeeds and the run is bit-identical to sequential.
+        let chaos = ShardChaos {
+            shard: 1,
+            fail_attempts: 1,
+        };
+        let mut m1 = CamMachine::new(&s);
+        let out = tape
+            .run_batched_resilient(
+                &mut m1,
+                &args,
+                4,
+                &Telemetry::default(),
+                &RetryPolicy::default(),
+                Some(chaos),
+            )
+            .unwrap();
+        assert_outputs_equal(&seq_out, &out, "retry recovers");
+        assert_eq!(seq_machine.stats().search_ops, m1.stats().search_ops);
+
+        // Panics outlasting every retry degrade to a sequential
+        // fallback on the calling thread — still bit-identical.
+        let stubborn = ShardChaos {
+            shard: 0,
+            fail_attempts: u32::MAX,
+        };
+        let mut m2 = CamMachine::new(&s);
+        let out = tape
+            .run_batched_resilient(
+                &mut m2,
+                &args,
+                4,
+                &Telemetry::default(),
+                &RetryPolicy::default(),
+                Some(stubborn),
+            )
+            .unwrap();
+        assert_outputs_equal(&seq_out, &out, "sequential fallback");
+
+        // With the fallback disabled, the failure surfaces as a
+        // structured ShardPanic instead of a bare message.
+        let no_fallback = RetryPolicy {
+            max_retries: 2,
+            attempt_timeout: None,
+            fallback_sequential: false,
+        };
+        let mut m3 = CamMachine::new(&s);
+        let err = tape
+            .run_batched_resilient(
+                &mut m3,
+                &args,
+                4,
+                &Telemetry::default(),
+                &no_fallback,
+                Some(stubborn),
+            )
+            .unwrap_err();
+        assert!(err.message.contains("shard 0"), "{err}");
+        let panic = err.shard_panic.expect("structured shard panic");
+        assert_eq!(panic.shard, 0);
+        assert_eq!(panic.attempts, 3, "initial attempt + 2 retries");
+        assert!(panic.payload.contains("chaos"), "{}", panic.payload);
+    }
+
+    #[test]
+    fn intra_query_shard_panic_degrades_to_sequential() {
+        use c4cam_telemetry::Telemetry;
+        // nq = 1 forces intra-query sharding; chaos panics one worker
+        // and the VM must redo the loop sequentially, bit-identically.
+        let mut m = Module::new();
+        torch::build_hdc_dot_with(&mut m, 1, 6, 512, 1, true);
+        let (stored, queries) = hdc_inputs(1, 6, 512);
+        let args = [Value::Tensor(queries), Value::Tensor(stored)];
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        let tape = Tape::compile(&compiled.module, "forward").unwrap();
+
+        let mut seq_machine = CamMachine::new(&s);
+        let seq_out = tape.run(&mut seq_machine, &args).unwrap();
+        let mut par_machine = CamMachine::new(&s);
+        let out = tape
+            .run_batched_resilient(
+                &mut par_machine,
+                &args,
+                4,
+                &Telemetry::default(),
+                &RetryPolicy::default(),
+                Some(ShardChaos {
+                    shard: 0,
+                    fail_attempts: u32::MAX,
+                }),
+            )
+            .unwrap();
+        assert_outputs_equal(&seq_out, &out, "intra-query panic fallback");
+        assert_eq!(
+            seq_machine.stats().latency_ns.to_bits(),
+            par_machine.stats().latency_ns.to_bits(),
+            "sequential redo is bit-identical"
+        );
+    }
+
+    #[test]
+    fn worker_pool_is_reused_across_batched_runs() {
+        let (tape, args, s) = knn_tape_and_args();
+        // Warm the pool with one batched run, then prove later runs
+        // reuse the parked workers instead of spawning per batch.
+        let mut m0 = CamMachine::new(&s);
+        tape.run_batched(&mut m0, &args, 4).unwrap();
+        let warm = pooled_workers();
+        assert!(warm >= 1, "batched run must use the pool");
+        for _ in 0..5 {
+            let mut m = CamMachine::new(&s);
+            tape.run_batched(&mut m, &args, 4).unwrap();
+        }
+        let after = pooled_workers();
+        // Concurrent tests share the pool, so allow some slack — but 5
+        // runs x 4 shards would need 20 fresh threads without reuse.
+        assert!(
+            after <= warm + 8,
+            "pool grew from {warm} to {after} workers across 5 batched runs"
+        );
     }
 
     #[test]

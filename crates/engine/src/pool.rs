@@ -1,0 +1,86 @@
+//! A process-wide worker pool for batched shard execution.
+//!
+//! `run_batched` used to spawn fresh `std::thread::scope` workers on
+//! every call; repeated batched runs (sweeps, accuracy harnesses)
+//! therefore paid thread creation per batch. The pool keeps finished
+//! workers parked on a shared channel and grows only when a job is
+//! submitted while no worker is idle, so steady-state batched execution
+//! reuses the same OS threads across calls.
+//!
+//! Jobs are opaque `FnOnce` closures that own all their data; results
+//! travel back on per-job channels owned by the submitter. A job that
+//! panics is contained by the worker loop (the submitter's channel
+//! simply drops), so one poisoned shard cannot take the pool down.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Runaway guard: more concurrent shards than this queue up behind the
+/// existing workers instead of spawning new threads.
+const MAX_WORKERS: usize = 256;
+
+struct Pool {
+    tx: Mutex<Sender<Job>>,
+    rx: Arc<Mutex<Receiver<Job>>>,
+    idle: AtomicUsize,
+    spawned: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let (tx, rx) = channel();
+        Pool {
+            tx: Mutex::new(tx),
+            rx: Arc::new(Mutex::new(rx)),
+            idle: AtomicUsize::new(0),
+            spawned: AtomicUsize::new(0),
+        }
+    })
+}
+
+/// Enqueue a job, spawning a new worker only when none is idle (and the
+/// pool is under its cap).
+pub(crate) fn submit(job: Job) {
+    let p = pool();
+    if p.idle.load(Ordering::Acquire) == 0 && p.spawned.load(Ordering::Acquire) < MAX_WORKERS {
+        p.spawned.fetch_add(1, Ordering::AcqRel);
+        let rx = Arc::clone(&p.rx);
+        std::thread::Builder::new()
+            .name("c4cam-shard-worker".into())
+            .spawn(move || worker_loop(&rx))
+            .expect("spawn shard worker");
+    }
+    p.tx.lock()
+        .expect("worker pool sender lock")
+        .send(job)
+        .expect("worker pool receiver outlives the process");
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let p = pool();
+        p.idle.fetch_add(1, Ordering::AcqRel);
+        let job = rx.lock().expect("worker pool receiver lock").recv();
+        p.idle.fetch_sub(1, Ordering::AcqRel);
+        match job {
+            // Shard jobs catch their own panics; this outer guard keeps
+            // the worker (and the `spawned` accounting) alive even if a
+            // job leaks one.
+            Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+            Err(_) => return,
+        }
+    }
+}
+
+/// Number of pool workers spawned so far in this process — observable
+/// so tests can prove batched runs reuse threads instead of spawning
+/// per call.
+pub fn pooled_workers() -> usize {
+    pool().spawned.load(Ordering::Acquire)
+}

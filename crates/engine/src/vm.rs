@@ -87,6 +87,9 @@ pub struct TapeVm<'t> {
     /// Worker-thread fan-out for shardable `scf.parallel` loops
     /// (`0`/`1` = execute them sequentially).
     shard_threads: usize,
+    /// Test-only fault injector: force a worker panic on the named
+    /// shard so the panic-isolation path is exercisable.
+    shard_chaos: Option<c4cam_faults::ShardChaos>,
     /// When set (shard workers), `cam.merge_partial_subarray` logs its
     /// operands here in addition to applying them locally.
     merge_log: Option<Vec<MergeRecord>>,
@@ -128,6 +131,7 @@ impl<'t> TapeVm<'t> {
             slots,
             frames: Vec::new(),
             shard_threads: 0,
+            shard_chaos: None,
             merge_log: None,
             trace: None,
             telemetry: Telemetry::default(),
@@ -144,6 +148,7 @@ impl<'t> TapeVm<'t> {
             slots,
             frames: Vec::new(),
             shard_threads: 0,
+            shard_chaos: None,
             merge_log: None,
             trace: None,
             telemetry: Telemetry::default(),
@@ -157,6 +162,12 @@ impl<'t> TapeVm<'t> {
     /// at least two iterations fan out across `threads` workers.
     pub fn set_shard_threads(&mut self, threads: usize) {
         self.shard_threads = threads;
+    }
+
+    /// Inject a forced panic into one intra-query shard worker (tests
+    /// the panic-isolated fallback to sequential execution).
+    pub fn set_shard_chaos(&mut self, chaos: Option<c4cam_faults::ShardChaos>) {
+        self.shard_chaos = chaos;
     }
 
     /// Attach a telemetry handle: sampled per-op spans (and per-shard
@@ -307,7 +318,8 @@ impl<'t> TapeVm<'t> {
         let chunks: Vec<&[i64]> = ivs.chunks(chunk).collect();
         let tape = self.tape;
         let telemetry = &self.telemetry;
-        let outs: Vec<(ExecStats, Vec<MergeRecord>)> = std::thread::scope(|scope| {
+        let chaos = self.shard_chaos.take();
+        let outs: Option<Vec<(ExecStats, Vec<MergeRecord>)>> = std::thread::scope(|scope| {
             let snapshot = &snapshot;
             let handles: Vec<_> = chunks
                 .iter()
@@ -317,6 +329,11 @@ impl<'t> TapeVm<'t> {
                     shard_machine.reset_stats();
                     let telemetry = telemetry.clone();
                     scope.spawn(move || -> VResult<(ExecStats, Vec<MergeRecord>)> {
+                        if let Some(c) = chaos {
+                            if c.shard == shard && c.fail_attempts > 0 {
+                                panic!("chaos: injected intra-query shard {shard} failure");
+                            }
+                        }
                         let lane = shard as u32 + 1;
                         let start_ns = telemetry.now_ns();
                         let slots: Vec<Value> = snapshot.iter().map(thaw).collect();
@@ -341,14 +358,23 @@ impl<'t> TapeVm<'t> {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .map_err(|_| err("intra-query worker shard panicked"))?
-                })
-                .collect::<VResult<Vec<_>>>()
+            // No worker state has been absorbed or merged yet, so a
+            // panicked worker is fully isolated: discard every shard
+            // and re-run the loop sequentially (`None`), which is
+            // bit-identical by construction.
+            let mut outs = Vec::with_capacity(handles.len());
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(out)) => outs.push(out),
+                    Ok(Err(e)) => return Err(e),
+                    Err(_) => return Ok(None),
+                }
+            }
+            Ok(Some(outs))
         })?;
+        let Some(outs) = outs else {
+            return Ok(None);
+        };
         // Deterministic absorption: the loop's parallel scope folds each
         // shard's latency as max (bit-identical to the sequential fold);
         // energy and op counters add in shard order.

@@ -17,6 +17,7 @@ fn machine_for(spec: &ArchSpec, opts: &ExecOptions) -> CamMachine {
         None => CamMachine::new(spec),
     };
     machine.set_wta_window(opts.wta_window);
+    machine.set_faults(opts.faults.clone());
     machine
 }
 
@@ -145,11 +146,13 @@ impl Plan for TapePlan {
         let mut span = opts.telemetry.span("backend:tape", cat::BACKEND);
         span.arg("threads", ArgValue::Int(opts.threads.max(1) as i64));
         let mut machine = machine_for(&self.spec, opts);
-        let outputs = self.tape.run_batched_with_telemetry(
+        let outputs = self.tape.run_batched_resilient(
             &mut machine,
             args,
             opts.threads.max(1),
             &opts.telemetry,
+            &opts.retry,
+            opts.chaos,
         )?;
         span.finish();
         Ok(Execution {
@@ -211,11 +214,14 @@ impl Plan for SimdPlan {
         span.arg("threads", ArgValue::Int(opts.threads.max(1) as i64));
         let mut device = SimdDevice::new(&self.spec);
         device.set_wta_window(opts.wta_window);
-        let outputs = self.tape.run_batched_with_telemetry(
+        device.set_faults(opts.faults.clone());
+        let outputs = self.tape.run_batched_resilient(
             &mut device,
             args,
             opts.threads.max(1),
             &opts.telemetry,
+            &opts.retry,
+            opts.chaos,
         )?;
         span.finish();
         Ok(Execution {

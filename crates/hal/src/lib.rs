@@ -50,6 +50,7 @@ mod registry;
 mod simd;
 
 pub use backends::{SimdBackend, TapeBackend, TraceBackend, WalkBackend};
+pub use c4cam_faults::{FaultConfig, FaultModel, Resilience, RetryPolicy, ShardChaos};
 pub use registry::BackendRegistry;
 pub use simd::SimdDevice;
 
@@ -130,6 +131,17 @@ pub struct ExecOptions {
     /// span around plan execution plus sampled per-op and per-shard
     /// child spans. The disabled default costs one branch.
     pub telemetry: Telemetry,
+    /// Seeded device-fault injection (stuck-at cells, sensing drift,
+    /// transient mismatches) plus resilience knobs. `None` (the
+    /// default) runs the ideal device, bit-identical to today's
+    /// behavior.
+    pub faults: Option<FaultConfig>,
+    /// Retry policy for panicked or timed-out shard workers on
+    /// threaded backends.
+    pub retry: RetryPolicy,
+    /// Test-only chaos hook: force a shard worker to panic for its
+    /// first N attempts so the retry path is exercisable end to end.
+    pub chaos: Option<ShardChaos>,
 }
 
 impl ExecOptions {
@@ -163,6 +175,27 @@ impl ExecOptions {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> ExecOptions {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Enable seeded device-fault injection.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> ExecOptions {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Set the shard-worker retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ExecOptions {
+        self.retry = retry;
+        self
+    }
+
+    /// Inject a forced shard panic (testing the resilience path).
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ShardChaos) -> ExecOptions {
+        self.chaos = Some(chaos);
         self
     }
 }
@@ -405,10 +438,22 @@ mod tests {
         let opts = ExecOptions::sequential()
             .with_threads(4)
             .with_wta_window(Some(7))
-            .with_tech(TechnologyModel::default());
+            .with_tech(TechnologyModel::default())
+            .with_faults(FaultConfig::with_rate(0.01, 7))
+            .with_retry(RetryPolicy {
+                max_retries: 2,
+                ..RetryPolicy::default()
+            })
+            .with_chaos(ShardChaos {
+                shard: 0,
+                fail_attempts: 1,
+            });
         assert_eq!(opts.threads, 4);
         assert_eq!(opts.wta_window, Some(7));
         assert!(opts.tech.is_some());
+        assert!(opts.faults.is_some());
+        assert_eq!(opts.retry.max_retries, 2);
+        assert_eq!(opts.chaos.unwrap().fail_attempts, 1);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use c4cam_camsim::{
     ArrayId, BankId, CamDevice, ExecStats, MatId, RowSelection, SearchResult, SearchSpec, SimError,
     SubarrayId,
 };
+use c4cam_faults::{query_hash, FaultConfig, SubarrayFaults};
 
 /// Cells per SIMD word in the `searched_words` work metric.
 pub const LANES: usize = 16;
@@ -70,6 +71,10 @@ struct SimdSubarray {
     multi: Vec<bool>,
     /// Result of the most recent search (`cam.read` semantics).
     last: Option<SearchResult>,
+    /// Injected fault state — the same deterministic per-subarray
+    /// state the device model generates, so fault sites and transient
+    /// draws agree with `CamMachine` bit-for-bit.
+    faults: Option<Box<SubarrayFaults>>,
 }
 
 impl SimdSubarray {
@@ -80,6 +85,7 @@ impl SimdSubarray {
             valid: vec![false; rows],
             multi: vec![false; rows],
             last: None,
+            faults: None,
         }
     }
 }
@@ -109,6 +115,7 @@ pub struct SimdDevice {
     scopes: Vec<SimdScope>,
     stats: ExecStats,
     phases: Vec<(String, ExecStats)>,
+    faults: Option<FaultConfig>,
 }
 
 impl SimdDevice {
@@ -133,6 +140,7 @@ impl SimdDevice {
             }],
             stats: ExecStats::default(),
             phases: Vec::new(),
+            faults: None,
         }
     }
 
@@ -140,6 +148,22 @@ impl SimdDevice {
     /// distances saturate at `window` mismatches).
     pub fn set_wta_window(&mut self, window: Option<u32>) {
         self.wta_window = window;
+    }
+
+    /// Install (or clear) a fault-injection configuration — the same
+    /// seeded state `CamMachine::set_faults` generates, keyed only on
+    /// `(seed, subarray index, geometry)`.
+    pub fn set_faults(&mut self, faults: Option<FaultConfig>) {
+        self.faults = faults;
+        self.stats.rows_remapped = 0;
+        for (i, sub) in self.subs.iter_mut().enumerate() {
+            let state = self
+                .faults
+                .as_ref()
+                .map(|cfg| Box::new(SubarrayFaults::generate(cfg, i, self.rows, self.cols)));
+            self.stats.rows_remapped += state.as_ref().map_or(0, |f| f.rows_remapped());
+            sub.faults = state;
+        }
     }
 
     fn add_latency(&mut self, ns: f64) {
@@ -316,7 +340,13 @@ impl CamDevice for SimdDevice {
             )));
         }
         *subs += 1;
-        self.subs.push(SimdSubarray::new(self.rows, self.cols));
+        let mut sub = SimdSubarray::new(self.rows, self.cols);
+        if let Some(cfg) = &self.faults {
+            let state = SubarrayFaults::generate(cfg, self.subs.len(), self.rows, self.cols);
+            self.stats.rows_remapped += state.rows_remapped();
+            sub.faults = Some(Box::new(state));
+        }
+        self.subs.push(sub);
         self.stats.subarrays_allocated = self.subs.len();
         Ok(SubarrayId(self.subs.len() - 1))
     }
@@ -336,6 +366,7 @@ impl CamDevice for SimdDevice {
             )));
         }
         let levels_max = if bits <= 1 { 1 } else { (1u32 << bits) - 1 } as f32;
+        let levels_max_u8 = (levels_max as u32).min(255) as u8;
         let sub = &mut self.subs[idx];
         for (i, row) in data.iter().enumerate() {
             if row.len() > cols {
@@ -345,6 +376,9 @@ impl CamDevice for SimdDevice {
                     row.len()
                 )));
             }
+        }
+        let faults_before = sub.faults.as_ref().map_or(0, |f| f.fault_cells());
+        for (i, row) in data.iter().enumerate() {
             let r = row_offset + i;
             for c in 0..cols {
                 let (level, cared) = match row.get(c) {
@@ -352,12 +386,20 @@ impl CamDevice for SimdDevice {
                     Some(&v) => (v.round().clamp(0.0, levels_max) as u8, 1u8),
                     None => (0, 0),
                 };
+                let level = match sub.faults.as_deref_mut() {
+                    // Faults perturb only programmed cells, exactly as
+                    // the device model does.
+                    Some(f) if cared == 1 => f.program_level(r, c, level, levels_max_u8),
+                    _ => level,
+                };
                 sub.levels[r * cols + c] = level;
                 sub.care[r * cols + c] = cared;
             }
             sub.valid[r] = true;
             sub.multi[r] = bits > 1 && !row.is_empty();
         }
+        let faults_after = sub.faults.as_ref().map_or(0, |f| f.fault_cells());
+        self.stats.fault_cells += faults_after - faults_before;
         self.stats.write_ops += 1;
         self.stats.write_energy_fj +=
             (data.len() * cols) as f64 * f64::from(bits) * WRITE_FJ_PER_CELL_BIT;
@@ -416,6 +458,12 @@ impl CamDevice for SimdDevice {
         }
 
         let sub = &mut self.subs[idx];
+        let mut faults = sub.faults.take();
+        let qh = match faults.as_deref() {
+            Some(f) if f.transient_enabled() => Some(query_hash(query)),
+            _ => None,
+        };
+        let transients_before = faults.as_deref().map_or(0, |f| f.fault_transients());
         let mut result = sub.last.take().unwrap_or_default();
         result.rows.clear();
         result.distances.clear();
@@ -446,19 +494,31 @@ impl CamDevice for SimdDevice {
                     dist = dist.min(f64::from(window));
                 }
             }
+            if let Some(qh) = qh {
+                if let Some(f) = faults.as_deref_mut() {
+                    if f.transient_hit(qh, r) {
+                        dist += SubarrayFaults::TRANSIENT_PENALTY;
+                    }
+                }
+            }
             words += qlen.div_ceil(LANES).max(1) as u64;
             result.rows.push(r);
             result.distances.push(dist);
         }
         flag_matches(&mut result, spec.kind, spec.threshold);
         let active = result.rows.len();
+        let transients_after = faults.as_deref().map_or(0, |f| f.fault_transients());
+        let votes = faults.as_deref().map_or(1, |f| u64::from(f.vote()));
+        sub.faults = faults;
         sub.last = Some(result);
 
-        self.stats.search_ops += 1;
-        self.stats.searched_words += words;
+        self.stats.fault_transients += transients_after - transients_before;
+        self.stats.search_ops += votes;
+        self.stats.searched_words += words * votes;
         self.stats.cell_energy_fj +=
-            (active * qlen) as f64 * f64::from(self.bits_per_cell) * CELL_FJ;
-        self.stats.periph_energy_fj += cols as f64 * PERIPH_FJ_PER_COL * spec.broadcast_share;
+            (active * qlen) as f64 * f64::from(self.bits_per_cell) * CELL_FJ * votes as f64;
+        self.stats.periph_energy_fj +=
+            cols as f64 * PERIPH_FJ_PER_COL * spec.broadcast_share * votes as f64;
         let mut lat = SEARCH_BASE_NS + SEARCH_NS_PER_WORD * words as f64;
         if spec.selection != RowSelection::All {
             lat += SELECTIVE_NS;
@@ -531,11 +591,13 @@ impl CamDevice for SimdDevice {
         let mats = self.stats.mats_allocated;
         let arrays = self.stats.arrays_allocated;
         let subs = self.stats.subarrays_allocated;
+        let remapped = self.stats.rows_remapped;
         self.stats = ExecStats {
             banks_allocated: banks,
             mats_allocated: mats,
             arrays_allocated: arrays,
             subarrays_allocated: subs,
+            rows_remapped: remapped,
             ..ExecStats::default()
         };
         for s in self.scopes.iter_mut() {
@@ -554,6 +616,9 @@ impl CamDevice for SimdDevice {
         self.stats.periph_energy_fj += delta.periph_energy_fj;
         self.stats.merge_energy_fj += delta.merge_energy_fj;
         self.stats.write_energy_fj += delta.write_energy_fj;
+        self.stats.fault_cells += delta.fault_cells;
+        self.stats.fault_transients += delta.fault_transients;
+        self.stats.rows_remapped = self.stats.rows_remapped.max(delta.rows_remapped);
         self.add_latency(delta.latency_ns);
     }
 
@@ -769,5 +834,102 @@ mod tests {
         d.mark_phase("done");
         assert_eq!(d.phases().len(), 1);
         assert_eq!(d.phases()[0].0, "done");
+    }
+
+    #[test]
+    fn seeded_faults_match_the_machine_bit_for_bit() {
+        use c4cam_camsim::FaultConfig;
+        let data = vec![
+            vec![3.0, 0.0, 2.0, 1.0, 7.0, 4.0, 5.0, 6.0],
+            vec![7.0, 1.0, 2.0, 0.0, 3.0],
+            vec![0.0; 8],
+            vec![1.0, 2.0, 3.0],
+        ];
+        let queries = vec![
+            vec![3.0, 0.0, 2.0, 1.0, 7.0, 4.0, 5.0, 6.0],
+            vec![2.5, 0.5, 1.5],
+            vec![7.0, 1.0, 2.0, 0.0, 3.0],
+        ];
+        for bits in [1, 3] {
+            let arch = spec(bits);
+            let cfg = FaultConfig::with_rate(0.25, 42);
+            let mut machine = CamMachine::new(&arch);
+            let mut simd = SimdDevice::new(&arch);
+            machine.set_faults(Some(cfg.clone()));
+            simd.set_faults(Some(cfg));
+            let ms = machine.alloc_chain().unwrap();
+            let sb = simd.alloc_bank().unwrap();
+            let sm = simd.alloc_mat(sb).unwrap();
+            let sa = simd.alloc_array(sm).unwrap();
+            let ss = simd.alloc_subarray(sa).unwrap();
+            let bin: Vec<Vec<f32>> = data
+                .iter()
+                .map(|r| r.iter().map(|&v| f32::from(u8::from(v > 3.0))).collect())
+                .collect();
+            let rows = if bits <= 1 { &bin } else { &data };
+            CamDevice::write_rows(&mut machine, ms, 0, rows).unwrap();
+            simd.write_rows(ss, 0, rows).unwrap();
+            for metric in [Metric::Hamming, Metric::Euclidean, Metric::Dot] {
+                for q in &queries {
+                    let sp = SearchSpec::new(MatchKind::Best, metric);
+                    let want = CamDevice::search(&mut machine, ms, q, sp).unwrap().clone();
+                    let got = simd.search(ss, q, sp).unwrap();
+                    assert_eq!(got.rows, want.rows, "rows (bits={bits}, {metric:?})");
+                    assert_eq!(got.matched, want.matched, "matched (bits={bits})");
+                    let same = got
+                        .distances
+                        .iter()
+                        .zip(&want.distances)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(same, "distance bits (bits={bits}, {metric:?}, q={q:?})");
+                }
+            }
+            let (mw, sw) = (machine.stats(), simd.stats());
+            assert_eq!(mw.fault_cells, sw.fault_cells, "fault_cells (bits={bits})");
+            assert_eq!(
+                mw.fault_transients, sw.fault_transients,
+                "fault_transients (bits={bits})"
+            );
+            assert_eq!(mw.rows_remapped, sw.rows_remapped);
+            assert!(
+                sw.fault_cells > 0,
+                "25% fault rate over an 8x8 subarray must perturb cells"
+            );
+        }
+    }
+
+    #[test]
+    fn voting_scales_search_cost_like_the_machine() {
+        use c4cam_camsim::{FaultConfig, FaultModel, Resilience};
+        let arch = spec(1);
+        let cfg = FaultConfig {
+            model: FaultModel::none(7),
+            resilience: Resilience {
+                vote: 3,
+                ..Resilience::default()
+            },
+        };
+        let mut voted = SimdDevice::new(&arch);
+        voted.set_faults(Some(cfg));
+        let mut plain = SimdDevice::new(&arch);
+        for d in [&mut voted, &mut plain] {
+            let b = d.alloc_bank().unwrap();
+            let m = d.alloc_mat(b).unwrap();
+            let a = d.alloc_array(m).unwrap();
+            let s = d.alloc_subarray(a).unwrap();
+            d.write_rows(s, 0, &[vec![1.0, 0.0, 1.0, 0.0]]).unwrap();
+            d.search(
+                s,
+                &[1.0, 0.0, 1.0, 0.0],
+                SearchSpec::new(MatchKind::Best, Metric::Hamming),
+            )
+            .unwrap();
+        }
+        let (v, p) = (voted.stats(), plain.stats());
+        assert_eq!(v.search_ops, p.search_ops * 3);
+        assert_eq!(v.searched_words, p.searched_words * 3);
+        assert!(v.cell_energy_fj > p.cell_energy_fj * 2.9);
+        // Replicated modules vote in parallel: latency is unchanged.
+        assert_eq!(v.latency_ns.to_bits(), p.latency_ns.to_bits());
     }
 }

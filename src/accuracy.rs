@@ -18,9 +18,47 @@ use crate::driver::{DriverError, Experiment, RunOutcome};
 use c4cam_arch::ArchSpec;
 use c4cam_camsim::ExecStats;
 use c4cam_datasets::{DatasetTask, DatasetWorkload};
+use c4cam_hal::FaultConfig;
 use c4cam_telemetry::{cat, Telemetry};
 use c4cam_workloads::Workload;
 use std::fmt::Write as _;
+
+/// Fault-injection knobs for one accuracy evaluation: the seeded rate
+/// model plus the resilience levers the `c4cam accuracy` subcommand
+/// exposes (`--fault-rate`, `--fault-seed`, `--spare-rows`, `--vote`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultKnobs {
+    /// Headline fault rate: stuck-at faults split evenly between
+    /// stuck-0 and stuck-1, drift and transient mismatches both at
+    /// this rate (see [`c4cam_hal::FaultModel::with_rate`]).
+    pub rate: f64,
+    /// Seed for the deterministic fault-site hash streams.
+    pub seed: u64,
+    /// Spare rows reserved per subarray for stuck-row remapping.
+    pub spare_rows: usize,
+    /// k-modular redundant-search voting factor (1 = voting off).
+    pub vote: usize,
+}
+
+impl FaultKnobs {
+    /// Knobs for `rate` and `seed` with every resilience lever off.
+    pub fn new(rate: f64, seed: u64) -> FaultKnobs {
+        FaultKnobs {
+            rate,
+            seed,
+            spare_rows: 0,
+            vote: 1,
+        }
+    }
+
+    /// The [`FaultConfig`] these knobs describe.
+    pub fn config(&self) -> FaultConfig {
+        let mut cfg = FaultConfig::with_rate(self.rate, self.seed);
+        cfg.resilience.spare_rows = self.spare_rows;
+        cfg.resilience.vote = self.vote.max(1);
+        cfg
+    }
+}
 
 /// One evaluated configuration: a dataset workload on one
 /// architecture, with CAM and CPU-reference results side by side.
@@ -50,6 +88,11 @@ pub struct AccuracyRow {
     pub cpu_accuracy: f64,
     /// Fraction of queries where CAM and CPU retrieve the same row.
     pub agreement: f64,
+    /// Headline fault rate the run was evaluated under (0 = no
+    /// injection).
+    pub fault_rate: f64,
+    /// Seed of the fault-site hash streams (0 when faults are off).
+    pub fault_seed: u64,
     /// The full experiment outcome (stats, placement, predictions).
     pub outcome: RunOutcome,
 }
@@ -68,6 +111,23 @@ impl AccuracyRow {
     /// Query-phase statistics.
     pub fn query_phase(&self) -> &ExecStats {
         &self.outcome.query_phase
+    }
+
+    /// Stuck/drifted fault sites materialized while programming the
+    /// device (run total — they accrue in the setup phase, not the
+    /// query phase).
+    pub fn fault_cells(&self) -> u64 {
+        self.outcome.total.fault_cells
+    }
+
+    /// Transient per-search mismatches injected during queries.
+    pub fn fault_transients(&self) -> u64 {
+        self.outcome.total.fault_transients
+    }
+
+    /// Logical rows remapped onto spare rows.
+    pub fn rows_remapped(&self) -> u64 {
+        self.outcome.total.rows_remapped
     }
 }
 
@@ -101,16 +161,39 @@ pub fn evaluate_with_telemetry(
     threads: usize,
     telemetry: &Telemetry,
 ) -> Result<AccuracyRow, DriverError> {
+    evaluate_faulty(workload, spec, engine, threads, None, telemetry)
+}
+
+/// [`evaluate_with_telemetry`] under seeded fault injection: `faults`
+/// (when present) configures the device fault model and resilience
+/// levers through [`Experiment::faults`], and the resulting row carries
+/// the fault rate/seed plus the injected-fault counters. `None` is
+/// byte-for-byte the fault-free evaluation.
+///
+/// # Errors
+/// Propagates the experiment's [`DriverError`] (config, place,
+/// compile, or exec stage).
+pub fn evaluate_faulty(
+    workload: &DatasetWorkload,
+    spec: &ArchSpec,
+    engine: &str,
+    threads: usize,
+    faults: Option<&FaultKnobs>,
+    telemetry: &Telemetry,
+) -> Result<AccuracyRow, DriverError> {
     let _span = telemetry.span(
         format!("{}/{}b/{}", workload.name(), spec.bits_per_cell, engine),
         cat::GRID,
     );
-    let outcome = Experiment::new(workload)
+    let mut experiment = Experiment::new(workload)
         .arch(spec.clone())
         .backend(engine)
         .threads(threads)
-        .telemetry(telemetry.clone())
-        .run()?;
+        .telemetry(telemetry.clone());
+    if let Some(knobs) = faults {
+        experiment = experiment.faults(knobs.config());
+    }
+    let outcome = experiment.run()?;
     // For the kNN task the experiment's ground-truth labels *are* the
     // CPU reference (nearest stored row), so the O(queries × rows ×
     // dims) argmin the run already performed is reused instead of
@@ -133,6 +216,8 @@ pub fn evaluate_with_telemetry(
         cam_accuracy: workload.class_accuracy(&outcome.predictions),
         cpu_accuracy: workload.class_accuracy(&cpu_rows),
         agreement: outcome.prediction_agreement(&cpu_rows),
+        fault_rate: faults.map_or(0.0, |k| k.rate),
+        fault_seed: faults.map_or(0, |k| k.seed),
         outcome,
     })
 }
@@ -145,9 +230,12 @@ pub struct AccuracyReport {
     pub rows: Vec<AccuracyRow>,
 }
 
-/// The exact CSV header row (greppable by CI).
+/// The exact CSV header row (greppable by CI). Fault columns were
+/// appended after the original energy column so positional consumers
+/// (`cut -d, -f12` on agreement) keep working.
 pub const CSV_HEADER: &str = "task,dataset,stored_rows,queries,dims,classes,bits_per_cell,\
-engine,threads,cam_accuracy,cpu_accuracy,agreement,latency_per_query_ns,energy_per_query_pj";
+engine,threads,cam_accuracy,cpu_accuracy,agreement,latency_per_query_ns,energy_per_query_pj,\
+fault_rate,fault_seed,fault_cells,fault_transients,rows_remapped";
 
 impl AccuracyReport {
     /// Render as an aligned text table.
@@ -155,7 +243,7 @@ impl AccuracyReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<12} {:<12} {:>6} {:>7} {:>5} {:>4} {:>7} {:>9} {:>9} {:>9} {:>13} {:>12}",
+            "{:<12} {:<12} {:>6} {:>7} {:>5} {:>4} {:>7} {:>9} {:>9} {:>9} {:>13} {:>12} {:>10} {:>11} {:>6}",
             "task",
             "dataset",
             "stored",
@@ -167,12 +255,15 @@ impl AccuracyReport {
             "cpu acc",
             "agree",
             "lat/query ns",
-            "E/query pJ"
+            "E/query pJ",
+            "fault rate",
+            "fault cells",
+            "remap"
         );
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{:<12} {:<12} {:>6} {:>7} {:>5} {:>4} {:>7} {:>9.4} {:>9.4} {:>9.4} {:>13.2} {:>12.2}",
+                "{:<12} {:<12} {:>6} {:>7} {:>5} {:>4} {:>7} {:>9.4} {:>9.4} {:>9.4} {:>13.2} {:>12.2} {:>10.4} {:>11} {:>6}",
                 r.task,
                 r.dataset,
                 r.stored_rows,
@@ -184,7 +275,10 @@ impl AccuracyReport {
                 r.cpu_accuracy,
                 r.agreement,
                 r.latency_per_query_ns(),
-                r.energy_per_query_pj()
+                r.energy_per_query_pj(),
+                r.fault_rate,
+                r.fault_cells(),
+                r.rows_remapped()
             );
         }
         out
@@ -197,7 +291,7 @@ impl AccuracyReport {
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 r.task,
                 csv_field(&r.dataset),
                 r.stored_rows,
@@ -211,7 +305,12 @@ impl AccuracyReport {
                 json_f64(r.cpu_accuracy),
                 json_f64(r.agreement),
                 json_f64(r.latency_per_query_ns()),
-                json_f64(r.energy_per_query_pj())
+                json_f64(r.energy_per_query_pj()),
+                json_f64(r.fault_rate),
+                r.fault_seed,
+                r.fault_cells(),
+                r.fault_transients(),
+                r.rows_remapped()
             );
         }
         out
@@ -231,6 +330,8 @@ impl AccuracyReport {
                         "\"engine\":\"{}\",\"threads\":{},\"cam_accuracy\":{},",
                         "\"cpu_accuracy\":{},\"agreement\":{},",
                         "\"latency_per_query_ns\":{},\"energy_per_query_pj\":{},",
+                        "\"fault_rate\":{},\"fault_seed\":{},\"fault_cells\":{},",
+                        "\"fault_transients\":{},\"rows_remapped\":{},",
                         "\"query_phase\":{}}}"
                     ),
                     r.task,
@@ -247,6 +348,11 @@ impl AccuracyReport {
                     json_f64(r.agreement),
                     json_f64(r.latency_per_query_ns()),
                     json_f64(r.energy_per_query_pj()),
+                    json_f64(r.fault_rate),
+                    r.fault_seed,
+                    r.fault_cells(),
+                    r.fault_transients(),
+                    r.rows_remapped(),
                     r.query_phase().to_json()
                 )
             })
@@ -352,6 +458,91 @@ mod tests {
         assert_eq!(json_escape("tab\there"), "tab\\there");
         assert_eq!(csv_field("a,b\"c\nd"), "a_b_c_d");
         assert_eq!(csv_field("mini-mnist"), "mini-mnist");
+    }
+
+    #[test]
+    fn fault_rate_zero_is_byte_identical_to_the_fault_free_path() {
+        // The acceptance bar: installing the fault hooks at rate 0 must
+        // not perturb a single bit of output or stats.
+        let w = fixture(DatasetTask::Hdc, 8);
+        let spec = build_arch((32, 32), (4, 4, 8), Optimization::Base, 2).unwrap();
+        let clean = evaluate(&w, &spec, "tape", 1).unwrap();
+        let zero = evaluate_faulty(
+            &w,
+            &spec,
+            "tape",
+            1,
+            Some(&FaultKnobs::new(0.0, 7)),
+            &Telemetry::default(),
+        )
+        .unwrap();
+        assert_eq!(zero.outcome.predictions, clean.outcome.predictions);
+        assert_eq!(zero.outcome.total, clean.outcome.total);
+        assert_eq!(zero.cam_accuracy.to_bits(), clean.cam_accuracy.to_bits());
+        assert_eq!((zero.fault_cells(), zero.fault_transients()), (0, 0));
+        assert_eq!(zero.rows_remapped(), 0);
+        // The only CSV difference is the appended fault columns.
+        let row = AccuracyReport { rows: vec![zero] }.to_csv();
+        let row = row.lines().nth(1).unwrap().to_string();
+        assert!(row.ends_with(",0,7,0,0,0"), "{row}");
+    }
+
+    #[test]
+    fn seeded_faults_are_reproducible_and_backend_agnostic() {
+        // Same knobs, same seed: byte-identical reports across repeated
+        // runs, and identical predictions/fault counters across every
+        // device-exact path (walk oracle, tape, simd) and thread count.
+        let w = fixture(DatasetTask::Hdc, 8);
+        let spec = build_arch((32, 32), (4, 4, 8), Optimization::Base, 2).unwrap();
+        let knobs = FaultKnobs {
+            rate: 0.05,
+            seed: 9,
+            spare_rows: 2,
+            vote: 1,
+        };
+        let run = |engine: &str, threads: usize| {
+            evaluate_faulty(
+                &w,
+                &spec,
+                engine,
+                threads,
+                Some(&knobs),
+                &Telemetry::default(),
+            )
+            .unwrap()
+        };
+        let first = run("tape", 1);
+        assert!(first.fault_cells() > 0, "rate 0.05 must materialize faults");
+        assert_eq!((first.fault_rate, first.fault_seed), (0.05, 9));
+        let again = run("tape", 1);
+        assert_eq!(
+            AccuracyReport {
+                rows: vec![first.clone()]
+            }
+            .to_csv(),
+            AccuracyReport { rows: vec![again] }.to_csv(),
+            "seeded fault runs must be byte-reproducible"
+        );
+        for (engine, threads) in [("walk", 1), ("simd", 1), ("tape", 4)] {
+            let other = run(engine, threads);
+            assert_eq!(
+                other.outcome.predictions, first.outcome.predictions,
+                "{engine}/{threads}"
+            );
+            assert_eq!(
+                (
+                    other.fault_cells(),
+                    other.fault_transients(),
+                    other.rows_remapped()
+                ),
+                (
+                    first.fault_cells(),
+                    first.fault_transients(),
+                    first.rows_remapped()
+                ),
+                "{engine}/{threads}"
+            );
+        }
     }
 
     #[test]

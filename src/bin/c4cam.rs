@@ -7,12 +7,25 @@
 //!               --param weight=10x8192 --data q.csv --data w.csv
 //! c4cam place   --arch spec.txt --stored-rows 10 --dims 8192
 //! ```
+//!
+//! Reports go to stdout; diagnostics go to stderr. The exit code
+//! distinguishes usage errors (2: bad flags/values, rejected at parse
+//! time) from execution failures (1: a valid command whose pipeline,
+//! simulation, or I/O failed), so scripts can tell a typo from a real
+//! failure.
 
 use c4cam::cli;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match cli::parse_args(&args).and_then(|cmd| cli::execute(&cmd)) {
+    let command = match cli::parse_args(&args) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match cli::execute(&command) {
         Ok(output) => println!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");

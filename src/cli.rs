@@ -14,9 +14,12 @@
 //!               [--opts base,power,...] [--techs default,fefet-45nm,...]
 //!               [--bits 1,2] [--pareto] [--format table|json|csv]
 //!               [--dataset DIR|FILE.csv [--limit N]]
+//!               [--fault-rate R,R,...] [--fault-seed N]
 //! c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv]
 //!               [--workload hdc|knn] [--limit N] [--bits 1,2]
 //!               [--subarray N] [--engine NAME] [--threads N]
+//!               [--fault-rate R,R,...] [--fault-seed N]
+//!               [--spare-rows N] [--vote K]
 //!               [--format table|json|csv]
 //! ```
 //!
@@ -27,7 +30,7 @@
 //! The argument parsing and command execution live here (unit-tested);
 //! `src/bin/c4cam.rs` is a thin wrapper.
 
-use crate::accuracy::{evaluate_with_telemetry, AccuracyReport};
+use crate::accuracy::{evaluate_faulty, AccuracyReport, FaultKnobs};
 use crate::driver::{build_arch, DriverError, Experiment, ParseKeywordError};
 use crate::sweep::SweepPlan;
 use c4cam_arch::tech::TechnologyModel;
@@ -402,6 +405,15 @@ pub struct AccuracyArgs {
     pub engine: String,
     /// Worker threads.
     pub threads: usize,
+    /// Fault rates to evaluate (one report row per bits × rate;
+    /// `[0.0]` = no injection).
+    pub fault_rates: Vec<f64>,
+    /// Seed of the fault-site hash streams.
+    pub fault_seed: u64,
+    /// Spare rows reserved per subarray for stuck-row remapping.
+    pub spare_rows: usize,
+    /// k-modular redundant-search voting factor (1 = off).
+    pub vote: usize,
     /// Report format.
     pub format: SweepFormat,
     /// Tracing/metrics/logging configuration.
@@ -442,6 +454,10 @@ pub struct SweepArgs {
     pub bits: Vec<u32>,
     /// Execution backend names to sweep (an extra grid axis).
     pub engines: Vec<String>,
+    /// Fault rates to sweep (an extra grid axis; `[0.0]` = none).
+    pub fault_rates: Vec<f64>,
+    /// Seed of the fault-site hash streams for faulty grid points.
+    pub fault_seed: u64,
     /// Worker threads per grid point.
     pub threads: usize,
     /// Keep only the latency/energy/area Pareto frontier.
@@ -469,6 +485,8 @@ impl Default for SweepArgs {
             techs: vec!["default".to_string()],
             bits: vec![1],
             engines: vec!["tape".to_string()],
+            fault_rates: vec![0.0],
+            fault_seed: 0,
             threads: 1,
             pareto: false,
             format: SweepFormat::Table,
@@ -535,6 +553,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut trace_out: Option<String> = None;
     let mut metrics: Option<MetricsMode> = None;
     let mut log_level: Option<LogLevel> = None;
+    let mut fault_rates: Option<Vec<f64>> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut spare_rows: Option<usize> = None;
+    let mut vote: Option<usize> = None;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -669,6 +691,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .ok_or_else(|| cli_err("--subarray expects a positive integer"))?,
                 );
             }
+            "--fault-rate" => {
+                fault_rates = Some(parse_list(
+                    &next_value(&mut it, flag)?,
+                    "--fault-rate",
+                    |v| {
+                        v.parse::<f64>()
+                            .ok()
+                            .filter(|r| r.is_finite() && (0.0..=1.0).contains(r))
+                            .ok_or_else(|| {
+                                cli_err(format!("invalid fault rate '{v}' (expected 0.0..=1.0)"))
+                            })
+                    },
+                )?);
+            }
+            "--fault-seed" => {
+                fault_seed = Some(
+                    next_value(&mut it, flag)?
+                        .parse()
+                        .map_err(|_| cli_err("--fault-seed expects an integer"))?,
+                );
+            }
+            "--spare-rows" => {
+                spare_rows = Some(
+                    next_value(&mut it, flag)?
+                        .parse()
+                        .map_err(|_| cli_err("--spare-rows expects an integer"))?,
+                );
+            }
+            "--vote" => {
+                vote = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&k| k >= 1)
+                        .ok_or_else(|| cli_err("--vote expects a positive integer"))?,
+                );
+            }
             "--trace-out" => trace_out = Some(next_value(&mut it, flag)?),
             "--metrics" => {
                 metrics = Some(next_value(&mut it, flag)?.parse().map_err(cli_err)?);
@@ -740,6 +799,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         (metrics.is_some(), "--metrics"),
         (log_level.is_some(), "--log-level"),
     ];
+    // Fault injection is a sweep/accuracy concern; the resilience
+    // levers (--spare-rows/--vote) are accuracy-only.
+    let fault_axis_flags: &[(bool, &str)] = &[
+        (fault_rates.is_some(), "--fault-rate"),
+        (fault_seed.is_some(), "--fault-seed"),
+    ];
+    let resilience_flags: &[(bool, &str)] = &[
+        (spare_rows.is_some(), "--spare-rows"),
+        (vote.is_some(), "--vote"),
+    ];
     match cmd.as_str() {
         "compile" | "place" => {
             reject(
@@ -750,6 +819,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     subarray_flag,
                     workload_flag,
                     telemetry_flags,
+                    fault_axis_flags,
+                    resilience_flags,
                 ],
                 cmd,
             )?;
@@ -758,7 +829,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
         }
         "run" => {
-            reject(&[sweep_only, bits_flag, subarray_flag], cmd)?;
+            reject(
+                &[
+                    sweep_only,
+                    bits_flag,
+                    subarray_flag,
+                    fault_axis_flags,
+                    resilience_flags,
+                ],
+                cmd,
+            )?;
             if dataset.is_some() {
                 // A dataset run replaces the TorchScript source; only
                 // --arch carries over (the spec to simulate on).
@@ -783,7 +863,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
         }
         "sweep" => {
-            reject(&[compile_flags, subarray_flag, source_run_flags], cmd)?;
+            reject(
+                &[
+                    compile_flags,
+                    subarray_flag,
+                    source_run_flags,
+                    resilience_flags,
+                ],
+                cmd,
+            )?;
             if dataset.is_some() && (classes.is_some() || dims.is_some() || queries.is_some()) {
                 return Err(cli_err(
                     "--classes/--dims/--queries are not supported with 'sweep --dataset' \
@@ -881,6 +969,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 subarray: subarray.unwrap_or(32),
                 engine,
                 threads,
+                fault_rates: fault_rates.unwrap_or_else(|| vec![0.0]),
+                fault_seed: fault_seed.unwrap_or(0),
+                spare_rows: spare_rows.unwrap_or(0),
+                vote: vote.unwrap_or(1),
                 format: match format {
                     None => SweepFormat::default(),
                     Some(v) => v.parse().map_err(cli_err)?,
@@ -917,6 +1009,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 techs: techs.unwrap_or(defaults.techs),
                 bits: bits.unwrap_or(defaults.bits),
                 engines,
+                fault_rates: fault_rates.unwrap_or(defaults.fault_rates),
+                fault_seed: fault_seed.unwrap_or(defaults.fault_seed),
                 threads,
                 pareto,
                 format: match format {
@@ -965,7 +1059,7 @@ fn parse_tech(name: &str) -> Result<Option<TechnologyModel>, CliError> {
 pub fn usage() -> String {
     let engines = BackendRegistry::global().names().join("|");
     format!(
-        "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam run     --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--arch SPEC] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]\n  c4cam sweep   [--workload hdc|knn|dtree|gpu] [--queries N] [--classes N] [--dims D] [--subarrays N,N,...] [--opts base,power,density,power+density] [--techs default,fefet-45nm,cmos-16nm] [--bits 1,2] [--engine {engines},...] [--threads N] [--pareto] [--format table|json|csv] [--dataset DIR|FILE.csv [--dataset-format idx|csv] [--limit N]]\n  c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--bits 1,2] [--subarray N] [--engine {engines}] [--threads N] [--format table|json|csv]\n  c4cam help\n\ntelemetry (run/sweep/accuracy):\n  --trace-out PATH           write a Chrome trace-event JSON (load in Perfetto / chrome://tracing); a .jsonl extension selects JSON-lines instead\n  --metrics none|summary|full  append a per-phase/per-op metrics report to the output\n  --log-level off|summary|debug  stderr diagnostics (alias for the C4CAM_LOG environment variable)"
+        "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam run     --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--arch SPEC] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]\n  c4cam sweep   [--workload hdc|knn|dtree|gpu] [--queries N] [--classes N] [--dims D] [--subarrays N,N,...] [--opts base,power,density,power+density] [--techs default,fefet-45nm,cmos-16nm] [--bits 1,2] [--engine {engines},...] [--threads N] [--pareto] [--format table|json|csv] [--dataset DIR|FILE.csv [--dataset-format idx|csv] [--limit N]] [--fault-rate R,R,...] [--fault-seed N]\n  c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--bits 1,2] [--subarray N] [--engine {engines}] [--threads N] [--fault-rate R,R,...] [--fault-seed N] [--spare-rows N] [--vote K] [--format table|json|csv]\n  c4cam help\n\nfault injection (sweep/accuracy):\n  --fault-rate R,R,...       seeded device fault rates to evaluate (stuck-at + drift + transient; 0 = off)\n  --fault-seed N             seed of the deterministic fault-site hash streams\n  --spare-rows N             spare rows per subarray for stuck-row remapping (accuracy only)\n  --vote K                   k-modular redundant-search voting (accuracy only)\n\ntelemetry (run/sweep/accuracy):\n  --trace-out PATH           write a Chrome trace-event JSON (load in Perfetto / chrome://tracing); a .jsonl extension selects JSON-lines instead\n  --metrics none|summary|full  append a per-phase/per-op metrics report to the output\n  --log-level off|summary|debug  stderr diagnostics (alias for the C4CAM_LOG environment variable)"
     )
 }
 
@@ -1338,7 +1432,7 @@ fn run_accuracy_with_telemetry(
 ) -> Result<String, CliError> {
     let workload =
         load_dataset_workload(&args.dataset, args.dataset_format, &args.task, args.limit)?;
-    let mut rows = Vec::with_capacity(args.bits.len());
+    let mut rows = Vec::with_capacity(args.bits.len() * args.fault_rates.len());
     for &bits in &args.bits {
         let spec = build_arch(
             (args.subarray, args.subarray),
@@ -1347,13 +1441,25 @@ fn run_accuracy_with_telemetry(
             bits,
         )
         .map_err(cli_err)?;
-        rows.push(evaluate_with_telemetry(
-            &workload,
-            &spec,
-            &args.engine,
-            args.threads,
-            telemetry,
-        )?);
+        for &rate in &args.fault_rates {
+            // Rate 0 with no resilience levers is the plain fault-free
+            // path (bit-identical, no fault hooks installed).
+            let knobs =
+                (rate > 0.0 || args.spare_rows > 0 || args.vote > 1).then_some(FaultKnobs {
+                    rate,
+                    seed: args.fault_seed,
+                    spare_rows: args.spare_rows,
+                    vote: args.vote,
+                });
+            rows.push(evaluate_faulty(
+                &workload,
+                &spec,
+                &args.engine,
+                args.threads,
+                knobs.as_ref(),
+                telemetry,
+            )?);
+        }
     }
     let report = AccuracyReport { rows };
     let rendered = match args.format {
@@ -1435,6 +1541,8 @@ fn run_sweep_with_telemetry(args: &SweepArgs, telemetry: &Telemetry) -> Result<S
         .technologies(technologies?)
         .bits(args.bits.iter().copied())
         .backends(args.engines.iter().cloned())
+        .fault_rates(args.fault_rates.iter().copied())
+        .fault_seed(args.fault_seed)
         .threads(args.threads)
         .telemetry(telemetry.clone());
     let outcome = plan.run()?;
@@ -2131,6 +2239,10 @@ optimization: density
             subarray: 32,
             engine: "tape".to_string(),
             threads: 1,
+            fault_rates: vec![0.0],
+            fault_seed: 0,
+            spare_rows: 0,
+            vote: 1,
             format: SweepFormat::Table,
             telemetry: TelemetryArgs::default(),
         })
@@ -2177,6 +2289,10 @@ optimization: density
             subarray: 32,
             engine: "tape".to_string(),
             threads: 1,
+            fault_rates: vec![0.0],
+            fault_seed: 0,
+            spare_rows: 0,
+            vote: 1,
             format,
             telemetry: TelemetryArgs::default(),
         };
@@ -2209,6 +2325,10 @@ optimization: density
             subarray: 32,
             engine: engine.to_string(),
             threads,
+            fault_rates: vec![0.0],
+            fault_seed: 0,
+            spare_rows: 0,
+            vote: 1,
             format: SweepFormat::Csv,
             telemetry: TelemetryArgs::default(),
         };
@@ -2600,6 +2720,144 @@ optimization: density
             e.to_string(),
             "unknown --metrics 'yaml' (expected none|summary|full)"
         );
+    }
+
+    #[test]
+    fn fault_flags_parse_with_defaults_and_validation() {
+        // Defaults: fault injection fully off.
+        match parse_args(&strings(&["accuracy", "--dataset", "d"])).unwrap() {
+            Command::Accuracy(a) => {
+                assert_eq!(a.fault_rates, vec![0.0]);
+                assert_eq!(a.fault_seed, 0);
+                assert_eq!(a.spare_rows, 0);
+                assert_eq!(a.vote, 1);
+            }
+            other => panic!("expected accuracy, got {other:?}"),
+        }
+        // Full override on accuracy.
+        match parse_args(&strings(&[
+            "accuracy",
+            "--dataset",
+            "d",
+            "--fault-rate",
+            "0,0.01,0.05",
+            "--fault-seed",
+            "7",
+            "--spare-rows",
+            "2",
+            "--vote",
+            "3",
+        ]))
+        .unwrap()
+        {
+            Command::Accuracy(a) => {
+                assert_eq!(a.fault_rates, vec![0.0, 0.01, 0.05]);
+                assert_eq!(a.fault_seed, 7);
+                assert_eq!(a.spare_rows, 2);
+                assert_eq!(a.vote, 3);
+            }
+            other => panic!("expected accuracy, got {other:?}"),
+        }
+        // The sweep grid takes the fault axis but not the resilience
+        // levers.
+        match parse_args(&strings(&[
+            "sweep",
+            "--fault-rate",
+            "0,0.02",
+            "--fault-seed",
+            "9",
+        ]))
+        .unwrap()
+        {
+            Command::Sweep(s) => {
+                assert_eq!(s.fault_rates, vec![0.0, 0.02]);
+                assert_eq!(s.fault_seed, 9);
+            }
+            other => panic!("expected sweep, got {other:?}"),
+        }
+        let e = parse_args(&strings(&["sweep", "--spare-rows", "2"])).unwrap_err();
+        assert!(e.message.contains("not supported by 'sweep'"), "{e}");
+        assert!(parse_args(&strings(&["sweep", "--vote", "3"])).is_err());
+        // Out-of-range and malformed values fail at parse time.
+        assert!(parse_args(&strings(&[
+            "accuracy",
+            "--dataset",
+            "d",
+            "--fault-rate",
+            "1.5"
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&[
+            "accuracy",
+            "--dataset",
+            "d",
+            "--fault-rate",
+            "-0.1"
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&["accuracy", "--dataset", "d", "--vote", "0"])).is_err());
+        // Commands without a device fault surface reject the flags.
+        assert!(parse_args(&strings(&[
+            "run",
+            "--arch",
+            "a",
+            "--source",
+            "s",
+            "--fault-rate",
+            "0.01"
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&["run", "--dataset", "d", "--fault-seed", "7"])).is_err());
+        assert!(parse_args(&strings(&[
+            "place",
+            "--arch",
+            "a",
+            "--stored-rows",
+            "4",
+            "--dims",
+            "8",
+            "--spare-rows",
+            "1"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn accuracy_reports_a_fault_rate_sweep_on_the_fixture() {
+        let args = |rates: Vec<f64>| AccuracyArgs {
+            dataset: fixture_path(),
+            dataset_format: None,
+            task: "hdc".to_string(),
+            limit: Some(8),
+            bits: vec![1, 2],
+            subarray: 32,
+            engine: "tape".to_string(),
+            threads: 1,
+            fault_rates: rates,
+            fault_seed: 7,
+            spare_rows: 1,
+            vote: 1,
+            format: SweepFormat::Csv,
+            telemetry: TelemetryArgs::default(),
+        };
+        let csv = run_accuracy(&args(vec![0.0, 0.02])).unwrap();
+        // One row per bits × fault rate.
+        assert_eq!(csv.lines().count(), 1 + 4, "{csv}");
+        let fields: Vec<Vec<String>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect();
+        // Columns 14..19 are the appended fault columns.
+        assert_eq!(fields[0][14], "0", "rate-0 row: {csv}");
+        assert_eq!(fields[1][14], "0.02", "{csv}");
+        assert_eq!(fields[1][15], "7", "{csv}");
+        // The faulty rows materialized fault sites; the seeded run is
+        // reproducible byte for byte.
+        assert!(fields[1][16].parse::<u64>().unwrap() > 0, "{csv}");
+        assert_eq!(csv, run_accuracy(&args(vec![0.0, 0.02])).unwrap());
+        // Agreement stays exact on the fault-free rows.
+        assert_eq!(fields[0][11], "1", "{csv}");
     }
 
     #[test]

@@ -32,7 +32,7 @@ use c4cam_arch::{ArchSpec, CamKind, Optimization};
 use c4cam_camsim::ExecStats;
 use c4cam_core::mapping::{place, MappingProblem, Placement};
 use c4cam_core::pipeline::C4camPipeline;
-use c4cam_hal::{BackendRegistry, ExecOptions};
+use c4cam_hal::{BackendRegistry, ExecOptions, FaultConfig, RetryPolicy};
 use c4cam_runtime::Value;
 use c4cam_telemetry::{log as tlog, ArgValue, Phase, Telemetry};
 use c4cam_workloads::{accuracy, ArgOrder, Workload, WorkloadInputs};
@@ -297,6 +297,8 @@ pub struct Experiment<'w> {
     wta_window: Option<u32>,
     canonicalize: bool,
     telemetry: Telemetry,
+    faults: Option<FaultConfig>,
+    retry: RetryPolicy,
 }
 
 impl fmt::Debug for Experiment<'_> {
@@ -310,6 +312,8 @@ impl fmt::Debug for Experiment<'_> {
             .field("wta_window", &self.wta_window)
             .field("canonicalize", &self.canonicalize)
             .field("telemetry", &self.telemetry)
+            .field("faults", &self.faults)
+            .field("retry", &self.retry)
             .finish()
     }
 }
@@ -328,6 +332,8 @@ impl<'w> Experiment<'w> {
             wta_window: None,
             canonicalize: false,
             telemetry: Telemetry::default(),
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -385,9 +391,50 @@ impl<'w> Experiment<'w> {
         self
     }
 
+    /// Inject seeded device faults (stuck-at cells, sensing drift,
+    /// transient mismatches) with the configured resilience mechanisms
+    /// (spare rows, redundant-search voting). `spare_rows > 0` reserves
+    /// that many physical rows per subarray: placement and compilation
+    /// see a subarray derated by the reserve, and rows whose stuck-cell
+    /// count crosses the threshold are remapped onto the spares.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Retry policy for panicked or timed-out shard workers on threaded
+    /// backends (the default retries once, then falls back to
+    /// sequential execution).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// The configured architecture.
     pub fn spec(&self) -> &ArchSpec {
         &self.spec
+    }
+
+    /// The architecture placement and compilation actually target:
+    /// [`Experiment::spec`] with `rows_per_subarray` derated by the
+    /// fault model's spare-row reserve.
+    ///
+    /// # Errors
+    /// [`DriverError::Config`] when the reserve leaves no data rows.
+    fn effective_spec(&self) -> Result<ArchSpec, DriverError> {
+        let mut spec = self.spec.clone();
+        if let Some(cfg) = &self.faults {
+            let spare = cfg.resilience.spare_rows;
+            if spare >= spec.rows_per_subarray {
+                return Err(DriverError::Config(format!(
+                    "spare_rows ({spare}) must leave at least one data row \
+                     per subarray (rows_per_subarray = {})",
+                    spec.rows_per_subarray
+                )));
+            }
+            spec.rows_per_subarray -= spare;
+        }
+        Ok(spec)
     }
 
     /// Compile, place, and execute on a fresh machine; collect
@@ -425,6 +472,10 @@ impl<'w> Experiment<'w> {
             self.backend,
             nq
         ));
+        // Placement, compilation, and the simulated machine all target
+        // the spec derated by the spare-row reserve: spares are real
+        // physical rows, but no data row maps onto them.
+        let spec = self.effective_spec()?;
         // Parse: workload → module plus input materialisation (pure
         // functions of workload × spec, so hoisting them ahead of
         // placement keeps the phase spans chronological).
@@ -433,14 +484,14 @@ impl<'w> Experiment<'w> {
             span.arg("workload", ArgValue::Str(self.workload.name().to_string()));
             span.arg("queries", ArgValue::Int(nq as i64));
             (
-                self.workload.build_module(&self.spec),
-                self.workload.inputs(&self.spec),
+                self.workload.build_module(&spec),
+                self.workload.inputs(&spec),
             )
         };
         let placement = {
             let _span = self.telemetry.phase(Phase::Place);
             place(
-                &self.spec,
+                &spec,
                 &MappingProblem {
                     stored_rows: self.workload.stored_rows(),
                     feature_dims: self.workload.dims(),
@@ -453,7 +504,7 @@ impl<'w> Experiment<'w> {
         let plan = {
             let mut span = self.telemetry.phase(Phase::Compile);
             span.arg("backend", ArgValue::Str(self.backend.clone()));
-            let compiled = C4camPipeline::new(self.spec.clone())
+            let compiled = C4camPipeline::new(spec.clone())
                 .with_options(c4cam_core::pipeline::PipelineOptions {
                     canonicalize: self.canonicalize,
                     ..Default::default()
@@ -461,7 +512,7 @@ impl<'w> Experiment<'w> {
                 .compile(built.module)
                 .map_err(|e| DriverError::Compile(Box::new(e)))?;
             backend
-                .compile(&compiled.module, built.func, &self.spec)
+                .compile(&compiled.module, built.func, &spec)
                 .map_err(|e| DriverError::Compile(Box::new(e)))?
         };
         let WorkloadInputs {
@@ -480,6 +531,9 @@ impl<'w> Experiment<'w> {
             wta_window: self.wta_window,
             tech: self.tech.clone(),
             telemetry: self.telemetry.clone(),
+            faults: self.faults.clone(),
+            retry: self.retry.clone(),
+            chaos: None,
         };
         let execution = {
             let mut span = self.telemetry.phase(Phase::Execute);
@@ -496,6 +550,14 @@ impl<'w> Experiment<'w> {
                 .counter("sim.search_ops", s.search_ops as f64);
             self.telemetry
                 .counter("sim.searched_words", s.searched_words as f64);
+            if self.faults.is_some() {
+                self.telemetry
+                    .counter("sim.fault_cells", s.fault_cells as f64);
+                self.telemetry
+                    .counter("sim.fault_transients", s.fault_transients as f64);
+                self.telemetry
+                    .counter("sim.rows_remapped", s.rows_remapped as f64);
+            }
         }
         tlog::debug(format_args!(
             "experiment done: {} search ops, {:.3} ms simulated",

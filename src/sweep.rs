@@ -21,6 +21,7 @@
 use crate::driver::{DriverError, Experiment, RunOutcome};
 use c4cam_arch::tech::TechnologyModel;
 use c4cam_arch::{ArchSpec, Optimization};
+use c4cam_hal::FaultConfig;
 use c4cam_telemetry::json::num_f64 as json_f64;
 use c4cam_telemetry::{cat, Telemetry};
 use c4cam_workloads::Workload;
@@ -45,6 +46,11 @@ pub struct GridPoint {
     /// Execution backend name (resolved through
     /// [`c4cam_hal::BackendRegistry`] when the point runs).
     pub engine: String,
+    /// Seeded device fault rate for this point (0 = no injection;
+    /// see [`FaultConfig::with_rate`]).
+    pub fault_rate: f64,
+    /// Fault-stream seed shared by every faulty point of the sweep.
+    pub fault_seed: u64,
 }
 
 impl GridPoint {
@@ -72,7 +78,12 @@ impl fmt::Display for GridPoint {
             self.tech_name,
             self.bits_per_cell,
             self.engine
-        )
+        )?;
+        // Fault-free points keep the historical coordinate format.
+        if self.fault_rate > 0.0 {
+            write!(f, "/f{}", json_f64(self.fault_rate))?;
+        }
+        Ok(())
     }
 }
 
@@ -175,7 +186,7 @@ impl SweepOutcome {
     pub fn to_table(&self, pareto_only: bool) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<10} {:>9} {:<14} {:<12} {:>4} {:<6} {:>10} {:>6} {:>13} {:>12} {:>11} {:>12} {:>7}\n",
+            "{:<10} {:>9} {:<14} {:<12} {:>4} {:<6} {:>10} {:>6} {:>13} {:>12} {:>11} {:>12} {:>7} {:>7}\n",
             "workload",
             "subarray",
             "optimization",
@@ -188,12 +199,13 @@ impl SweepOutcome {
             "E/query pJ",
             "power mW",
             "area cells",
+            "fault",
             "pareto"
         ));
         for i in self.selected(pareto_only) {
             let p = &self.points[i];
             out.push_str(&format!(
-                "{:<10} {:>9} {:<14} {:<12} {:>4} {:<6} {:>10} {:>6} {:>13.2} {:>12.2} {:>11.3} {:>12} {:>7}\n",
+                "{:<10} {:>9} {:<14} {:<12} {:>4} {:<6} {:>10} {:>6} {:>13.2} {:>12.2} {:>11.3} {:>12} {:>7.3} {:>7}\n",
                 self.workload,
                 format!("{}x{}", p.grid.subarray.0, p.grid.subarray.1),
                 p.grid.optimization.keyword(),
@@ -206,6 +218,7 @@ impl SweepOutcome {
                 p.energy_per_query_pj(),
                 p.power_mw(),
                 p.area_cells(),
+                p.grid.fault_rate,
                 if self.is_pareto(i) { "*" } else { "" }
             ));
         }
@@ -217,12 +230,12 @@ impl SweepOutcome {
         let mut out = String::from(
             "workload,subarray_rows,subarray_cols,optimization,technology,bits_per_cell,engine,\
              physical_subarrays,banks,latency_per_query_ns,energy_per_query_pj,power_mw,\
-             area_cells,accuracy,pareto\n",
+             area_cells,accuracy,pareto,fault_rate\n",
         );
         for i in self.selected(pareto_only) {
             let p = &self.points[i];
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 self.workload,
                 p.grid.subarray.0,
                 p.grid.subarray.1,
@@ -237,7 +250,8 @@ impl SweepOutcome {
                 json_f64(p.power_mw()),
                 p.area_cells(),
                 json_f64(p.outcome.accuracy()),
-                self.is_pareto(i)
+                self.is_pareto(i),
+                json_f64(p.grid.fault_rate)
             ));
         }
         out
@@ -259,7 +273,7 @@ impl SweepOutcome {
                         "\"engine\":\"{}\",\"physical_subarrays\":{},\"banks\":{},",
                         "\"latency_per_query_ns\":{},\"energy_per_query_pj\":{},",
                         "\"power_mw\":{},\"area_cells\":{},\"accuracy\":{},",
-                        "\"pareto\":{},\"query_phase\":{}}}"
+                        "\"pareto\":{},\"fault_rate\":{},\"query_phase\":{}}}"
                     ),
                     p.grid.subarray.0,
                     p.grid.subarray.1,
@@ -275,6 +289,7 @@ impl SweepOutcome {
                     p.area_cells(),
                     json_f64(p.outcome.accuracy()),
                     self.is_pareto(i),
+                    json_f64(p.grid.fault_rate),
                     p.outcome.query_phase.to_json()
                 )
             })
@@ -313,6 +328,8 @@ pub struct SweepPlan<'w> {
     technologies: Vec<(String, Option<TechnologyModel>)>,
     bits: Vec<u32>,
     backends: Vec<String>,
+    fault_rates: Vec<f64>,
+    fault_seed: u64,
     threads: usize,
     telemetry: Telemetry,
 }
@@ -334,6 +351,8 @@ impl fmt::Debug for SweepPlan<'_> {
             )
             .field("bits", &self.bits)
             .field("backends", &self.backends)
+            .field("fault_rates", &self.fault_rates)
+            .field("fault_seed", &self.fault_seed)
             .field("threads", &self.threads)
             .field("telemetry", &self.telemetry)
             .finish()
@@ -351,6 +370,8 @@ impl<'w> SweepPlan<'w> {
             technologies: vec![("default".to_string(), None)],
             bits: vec![1],
             backends: vec!["tape".to_string()],
+            fault_rates: vec![0.0],
+            fault_seed: 0,
             threads: 1,
             telemetry: Telemetry::default(),
         }
@@ -405,6 +426,21 @@ impl<'w> SweepPlan<'w> {
         self
     }
 
+    /// Replace the fault-rate axis (default `[0.0]` — no injection).
+    /// Every grid point runs once per rate; rate 0 points are
+    /// bit-identical to a fault-free sweep.
+    pub fn fault_rates(mut self, rates: impl IntoIterator<Item = f64>) -> Self {
+        self.fault_rates = rates.into_iter().collect();
+        self
+    }
+
+    /// Seed for the fault-site hash streams of every faulty grid
+    /// point (default 0).
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
     /// Worker threads for every grid point.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
@@ -421,8 +457,8 @@ impl<'w> SweepPlan<'w> {
     }
 
     /// Expand the grid in deterministic order (optimization outermost,
-    /// then subarray, technology, bits, backend — the §IV-C table
-    /// order with the backend axis innermost).
+    /// then subarray, technology, bits, backend, fault rate — the
+    /// §IV-C table order with the fault axis innermost).
     ///
     /// # Errors
     /// [`DriverError::Config`] if any grid dimension is empty.
@@ -433,6 +469,7 @@ impl<'w> SweepPlan<'w> {
             ("technologies", self.technologies.len()),
             ("bits-per-cell values", self.bits.len()),
             ("backends", self.backends.len()),
+            ("fault rates", self.fault_rates.len()),
         ] {
             if len == 0 {
                 return Err(DriverError::Config(format!(
@@ -445,21 +482,26 @@ impl<'w> SweepPlan<'w> {
                 * self.optimizations.len()
                 * self.technologies.len()
                 * self.bits.len()
-                * self.backends.len(),
+                * self.backends.len()
+                * self.fault_rates.len(),
         );
         for &optimization in &self.optimizations {
             for &subarray in &self.subarrays {
                 for (tech_name, tech) in &self.technologies {
                     for &bits_per_cell in &self.bits {
                         for engine in &self.backends {
-                            grid.push(GridPoint {
-                                subarray,
-                                optimization,
-                                tech_name: tech_name.clone(),
-                                tech: tech.clone(),
-                                bits_per_cell,
-                                engine: engine.clone(),
-                            });
+                            for &fault_rate in &self.fault_rates {
+                                grid.push(GridPoint {
+                                    subarray,
+                                    optimization,
+                                    tech_name: tech_name.clone(),
+                                    tech: tech.clone(),
+                                    bits_per_cell,
+                                    engine: engine.clone(),
+                                    fault_rate,
+                                    fault_seed: self.fault_seed,
+                                });
+                            }
                         }
                     }
                 }
@@ -492,6 +534,10 @@ impl<'w> SweepPlan<'w> {
                 .telemetry(self.telemetry.clone());
             if let Some(tech) = &gp.tech {
                 experiment = experiment.tech(tech.clone());
+            }
+            if gp.fault_rate > 0.0 {
+                experiment =
+                    experiment.faults(FaultConfig::with_rate(gp.fault_rate, gp.fault_seed));
             }
             let span = self.telemetry.span(format!("{gp}"), cat::GRID);
             let outcome = experiment.run().map_err(|e| e.at_grid_point(&gp))?;
@@ -721,6 +767,55 @@ mod tests {
         // The two bit widths genuinely quantize differently.
         let csv = outcome.to_csv(false);
         assert!(csv.contains("dataset-hdc,32,32"), "{csv}");
+    }
+
+    #[test]
+    fn fault_axis_expands_innermost_and_registers_faults() {
+        let w = tiny_hdc();
+        let plan = SweepPlan::new(&w)
+            .square_subarrays([32])
+            .optimizations([Optimization::Base])
+            .hierarchy(2, 2, 4)
+            .fault_rates([0.0, 0.05])
+            .fault_seed(9);
+        let grid = plan.grid().unwrap();
+        assert_eq!(grid.len(), 2);
+        // Rate-0 points keep the historical coordinate label; faulty
+        // points append the rate.
+        assert_eq!(grid[0].to_string(), "32x32/latency/default/1b/tape");
+        assert_eq!(grid[1].to_string(), "32x32/latency/default/1b/tape/f0.05");
+        let outcome = plan.run().unwrap();
+        // The rate-0 point is bit-identical to a fault-free sweep of
+        // the same grid.
+        let clean = SweepPlan::new(&w)
+            .square_subarrays([32])
+            .optimizations([Optimization::Base])
+            .hierarchy(2, 2, 4)
+            .run()
+            .unwrap();
+        assert_eq!(
+            outcome.points[0].outcome.predictions,
+            clean.points[0].outcome.predictions
+        );
+        assert_eq!(
+            outcome.points[0].outcome.total,
+            clean.points[0].outcome.total
+        );
+        // The faulty point materialized seeded fault sites.
+        assert!(outcome.points[1].outcome.total.fault_cells > 0);
+        // The fault rate flows through every renderer, appended last
+        // in the CSV so positional consumers keep working.
+        let csv = outcome.to_csv(false);
+        assert!(csv.lines().next().unwrap().ends_with(",pareto,fault_rate"));
+        assert!(csv.lines().nth(2).unwrap().ends_with(",0.05"), "{csv}");
+        assert!(outcome.to_json(false).contains("\"fault_rate\":0.05"));
+        assert!(outcome.to_table(false).contains("0.050"));
+        // An empty fault axis fails up front like every other axis.
+        let e = SweepPlan::new(&w)
+            .fault_rates(std::iter::empty())
+            .grid()
+            .unwrap_err();
+        assert!(e.to_string().contains("no fault rates"), "{e}");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use c4cam::arch::Optimization;
 use c4cam::driver::{build_arch, Experiment, RunOutcome};
-use c4cam::hal::{BackendRegistry, StatsContract};
+use c4cam::hal::{BackendRegistry, FaultConfig, StatsContract};
 use c4cam::telemetry::clock::ManualClock;
 use c4cam::telemetry::{cat, CollectingRecorder, Event, Telemetry};
 use c4cam::workloads::{DtreeWorkload, HdcWorkload, KnnWorkload, Workload};
@@ -228,6 +228,106 @@ fn sharded_runs_record_worker_lane_spans_without_perturbing_outputs() {
     for s in &shard_spans {
         assert!(s.tid >= 1, "shard span on the main lane: {}", s.name);
         assert!(s.name.starts_with("shard-"), "{}", s.name);
+    }
+}
+
+#[test]
+fn fault_rate_zero_is_bit_identical_to_the_oracle_on_every_backend() {
+    // The resilient-execution acceptance bar: installing the fault
+    // hooks at rate 0 must not perturb a single output bit or — for
+    // DeviceExact backends — a single stats field, on any registered
+    // backend.
+    let registry = BackendRegistry::global();
+    for workload in workloads() {
+        for bits in [1, 2] {
+            let oracle = run(workload.as_ref(), "walk", bits);
+            for backend in registry.all() {
+                let name = backend.name();
+                let spec = build_arch((32, 32), (2, 2, 4), Optimization::Base, bits).unwrap();
+                let outcome = Experiment::new(workload.as_ref())
+                    .arch(spec)
+                    .backend(name)
+                    .faults(FaultConfig::with_rate(0.0, 7))
+                    .run()
+                    .unwrap();
+                assert_eq!(
+                    outcome.predictions,
+                    oracle.predictions,
+                    "{name} perturbed outputs at fault rate 0 on {}/{bits}b",
+                    workload.name()
+                );
+                if backend.capabilities().stats == StatsContract::DeviceExact {
+                    assert_eq!(outcome.total, oracle.total, "{name} total stats");
+                    assert_eq!(outcome.setup, oracle.setup, "{name} setup stats");
+                    assert_eq!(
+                        outcome.query_phase, oracle.query_phase,
+                        "{name} query stats"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_fault_injection_is_deterministic_across_backends_and_threads() {
+    // Property (hand-rolled over a seed × rate grid, no external
+    // proptest dependency): for any seed and rate, the fault sites,
+    // fault events, and outputs are a pure function of (model, seed,
+    // geometry) — identical across every backend, across repeated
+    // runs, and across thread counts.
+    let workload = HdcWorkload {
+        classes: 5,
+        dims: 96,
+        queries: 6,
+        flip_rate: 0.1,
+        seed: 7,
+    };
+    for seed in [1u64, 9, 42] {
+        for rate in [0.01, 0.05] {
+            let mut faults = FaultConfig::with_rate(rate, seed);
+            faults.resilience.spare_rows = 2;
+            let run_with = |engine: &str, threads: usize| {
+                let spec = build_arch((32, 32), (2, 2, 4), Optimization::Base, 2).unwrap();
+                Experiment::new(&workload)
+                    .arch(spec)
+                    .backend(engine)
+                    .threads(threads)
+                    .faults(faults.clone())
+                    .run()
+                    .unwrap()
+            };
+            let reference = run_with("walk", 1);
+            let again = run_with("walk", 1);
+            assert_eq!(reference.predictions, again.predictions, "seed {seed}");
+            assert_eq!(reference.total, again.total, "seed {seed} not reproducible");
+            for (engine, threads) in [
+                ("tape", 1),
+                ("tape", 4),
+                ("simd", 1),
+                ("simd", 4),
+                ("trace", 1),
+            ] {
+                let outcome = run_with(engine, threads);
+                assert_eq!(
+                    outcome.predictions, reference.predictions,
+                    "{engine}/{threads} diverged at seed {seed} rate {rate}"
+                );
+                assert_eq!(
+                    (
+                        outcome.total.fault_cells,
+                        outcome.total.fault_transients,
+                        outcome.total.rows_remapped
+                    ),
+                    (
+                        reference.total.fault_cells,
+                        reference.total.fault_transients,
+                        reference.total.rows_remapped
+                    ),
+                    "{engine}/{threads} fault events diverged at seed {seed} rate {rate}"
+                );
+            }
+        }
     }
 }
 

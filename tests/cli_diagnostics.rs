@@ -1,0 +1,155 @@
+//! Process-level regression tests for the `c4cam` binary's diagnostic
+//! contract: reports on stdout, errors on stderr, exit code 2 for
+//! usage errors (rejected at parse time) and 1 for execution failures.
+
+use std::process::{Command, Output};
+
+fn c4cam(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_c4cam"))
+        .args(args)
+        .output()
+        .expect("spawn c4cam")
+}
+
+fn fixture_path() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/examples/data/mini-mnist").to_string()
+}
+
+#[test]
+fn usage_errors_exit_2_with_stderr_only() {
+    for args in [
+        vec!["frobnicate"],
+        vec![],
+        vec!["run", "--arch", "a", "--source", "s", "--threads", "0"],
+        vec!["sweep", "--bits", "9"],
+        vec!["accuracy"],
+        vec!["accuracy", "--dataset", "d", "--fault-rate", "1.5"],
+        vec!["accuracy", "--dataset", "d", "--engine", "nonsense"],
+        vec!["sweep", "--spare-rows", "2"],
+    ] {
+        let out = c4cam(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(out.stdout.is_empty(), "{args:?} wrote to stdout");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.starts_with("error: "), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn execution_failures_exit_1_with_stderr_only() {
+    // Valid flags, but the dataset does not exist: the parse succeeds
+    // and the execution fails.
+    for args in [
+        vec!["accuracy", "--dataset", "/nonexistent/dataset"],
+        vec!["run", "--dataset", "/nonexistent/dataset"],
+        vec![
+            "run",
+            "--arch",
+            "/nonexistent/spec.txt",
+            "--source",
+            "/nonexistent/kernel.py",
+        ],
+    ] {
+        let out = c4cam(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(out.stdout.is_empty(), "{args:?} wrote to stdout");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.starts_with("error: "), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn successful_runs_exit_0_with_stdout_only() {
+    let dataset = fixture_path();
+    let out = c4cam(&[
+        "accuracy",
+        "--dataset",
+        &dataset,
+        "--limit",
+        "4",
+        "--bits",
+        "1",
+        "--format",
+        "csv",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stderr.is_empty(), "clean runs keep stderr empty");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("task,dataset,"), "{stdout}");
+    // Help is a successful command, not an error.
+    let help = c4cam(&["help"]);
+    assert_eq!(help.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&help.stdout).contains("usage:"));
+}
+
+#[test]
+fn fault_injection_smoke_run_parses_and_reports() {
+    // The CI smoke command: a seeded fault-rate accuracy run whose CSV
+    // must parse with the appended fault columns populated.
+    let dataset = fixture_path();
+    let out = c4cam(&[
+        "accuracy",
+        "--dataset",
+        &dataset,
+        "--limit",
+        "8",
+        "--bits",
+        "2",
+        "--fault-rate",
+        "0.01",
+        "--fault-seed",
+        "7",
+        "--format",
+        "csv",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("header row");
+    assert!(
+        header.ends_with("fault_rate,fault_seed,fault_cells,fault_transients,rows_remapped"),
+        "{header}"
+    );
+    let row: Vec<&str> = lines.next().expect("data row").split(',').collect();
+    assert_eq!(row.len(), header.split(',').count(), "{stdout}");
+    assert_eq!(row[14], "0.01", "{stdout}");
+    assert_eq!(row[15], "7", "{stdout}");
+    assert!(row[16].parse::<u64>().unwrap() > 0, "fault sites: {stdout}");
+    // The seeded run is byte-reproducible.
+    let again = c4cam(&[
+        "accuracy",
+        "--dataset",
+        &dataset,
+        "--limit",
+        "8",
+        "--bits",
+        "2",
+        "--fault-rate",
+        "0.01",
+        "--fault-seed",
+        "7",
+        "--format",
+        "csv",
+    ]);
+    assert_eq!(out.stdout, again.stdout);
+}

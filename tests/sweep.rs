@@ -368,7 +368,7 @@ fn cli_sweep_csv_has_stable_header_and_matching_rows() {
         header,
         "workload,subarray_rows,subarray_cols,optimization,technology,bits_per_cell,engine,\
          physical_subarrays,banks,latency_per_query_ns,energy_per_query_pj,power_mw,\
-         area_cells,accuracy,pareto"
+         area_cells,accuracy,pareto,fault_rate"
     );
     let rows: Vec<&str> = lines.collect();
     assert_eq!(rows.len(), 4, "2x2 grid");
@@ -419,7 +419,7 @@ fn cli_sweep_pareto_filter_returns_a_subset() {
     assert!(pareto_rows >= 1 && pareto_rows <= all_rows);
     // Every pareto row appears among the full rows, flagged true.
     for row in pareto.lines().skip(1) {
-        assert!(row.ends_with(",true"), "{row}");
+        assert!(row.ends_with(",true,0"), "{row}");
         assert!(all.contains(row), "pareto row missing from full output");
     }
 }
