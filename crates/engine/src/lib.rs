@@ -60,7 +60,7 @@ mod compile;
 mod error;
 mod frozen;
 pub mod isa;
-mod pool;
+pub mod pool;
 pub mod trace;
 mod vm;
 

@@ -28,6 +28,7 @@ struct Pool {
     rx: Arc<Mutex<Receiver<Job>>>,
     idle: AtomicUsize,
     spawned: AtomicUsize,
+    pending: AtomicUsize,
 }
 
 static POOL: OnceLock<Pool> = OnceLock::new();
@@ -40,15 +41,26 @@ fn pool() -> &'static Pool {
             rx: Arc::new(Mutex::new(rx)),
             idle: AtomicUsize::new(0),
             spawned: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
         }
     })
 }
 
-/// Enqueue a job, spawning a new worker only when none is idle (and the
-/// pool is under its cap).
+/// Enqueue a job, spawning a new worker whenever fewer workers are
+/// idle than jobs are pending (and the pool is under its cap).
+///
+/// The comparison must be against the *pending* count, not "is anyone
+/// idle": two jobs submitted back to back can both observe the same
+/// lone idle worker, and if only one worker exists the second job
+/// waits until the first finishes. Short shard jobs would self-heal,
+/// but long-lived jobs (the resident server parks a connection handler
+/// per client) would strand the queued job indefinitely. Counting
+/// pending jobs errs toward spawning a worker that ends up parked —
+/// harmless — and never under-provisions.
 pub(crate) fn submit(job: Job) {
     let p = pool();
-    if p.idle.load(Ordering::Acquire) == 0 && p.spawned.load(Ordering::Acquire) < MAX_WORKERS {
+    let pending = p.pending.fetch_add(1, Ordering::AcqRel) + 1;
+    if p.idle.load(Ordering::Acquire) < pending && p.spawned.load(Ordering::Acquire) < MAX_WORKERS {
         p.spawned.fetch_add(1, Ordering::AcqRel);
         let rx = Arc::clone(&p.rx);
         std::thread::Builder::new()
@@ -72,10 +84,23 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
             // Shard jobs catch their own panics; this outer guard keeps
             // the worker (and the `spawned` accounting) alive even if a
             // job leaks one.
-            Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+            Ok(job) => {
+                p.pending.fetch_sub(1, Ordering::AcqRel);
+                drop(catch_unwind(AssertUnwindSafe(job)));
+            }
             Err(_) => return,
         }
     }
+}
+
+/// Run an arbitrary job on the shared worker pool.
+///
+/// Public entry point for long-lived services (e.g. the resident
+/// server's connection handlers) that want to reuse the shard workers
+/// instead of spawning ad-hoc threads. A panicking job is contained by
+/// the worker loop and cannot take the pool down.
+pub fn spawn(job: impl FnOnce() + Send + 'static) {
+    submit(Box::new(job));
 }
 
 /// Number of pool workers spawned so far in this process — observable
@@ -83,4 +108,63 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
 /// per call.
 pub fn pooled_workers() -> usize {
     pool().spawned.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel as mpsc_channel;
+    use std::sync::{Condvar, Mutex as StdMutex};
+    use std::time::Duration;
+
+    /// Regression: jobs submitted while a worker *looks* idle must all
+    /// get workers even if every one of them blocks indefinitely. The
+    /// old `idle == 0` spawn heuristic let two quick submissions both
+    /// observe the same lone idle worker, stranding one job in the
+    /// queue — fatal for the server's parked connection handlers.
+    #[test]
+    fn concurrent_blocking_jobs_all_get_workers() {
+        // Run a trivial job and give its worker time to park, so the
+        // pool has a nonzero idle count when the blocking jobs arrive.
+        let (warm_tx, warm_rx) = mpsc_channel();
+        spawn(move || {
+            let _ = warm_tx.send(());
+        });
+        warm_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("warmup job ran");
+        std::thread::sleep(Duration::from_millis(50));
+
+        const N: usize = 4;
+        let gate = Arc::new((StdMutex::new(0usize), Condvar::new()));
+        let (done_tx, done_rx) = mpsc_channel();
+        for _ in 0..N {
+            let gate = Arc::clone(&gate);
+            let done = done_tx.clone();
+            spawn(move || {
+                let (count, cv) = &*gate;
+                let mut n = count.lock().expect("gate lock");
+                *n += 1;
+                cv.notify_all();
+                // Block until every job holds a worker; an
+                // under-provisioned pool times out with *n < N.
+                while *n < N {
+                    let (guard, timeout) = cv
+                        .wait_timeout(n, Duration::from_secs(30))
+                        .expect("gate wait");
+                    n = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+                let _ = done.send(*n);
+            });
+        }
+        for _ in 0..N {
+            let seen = done_rx
+                .recv_timeout(Duration::from_secs(60))
+                .expect("a blocking job stranded in the pool queue");
+            assert_eq!(seen, N, "not every blocking job got its own worker");
+        }
+    }
 }

@@ -37,6 +37,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use c4cam_arch::tech::TechnologyModel;
 use c4cam_arch::ArchSpec;
@@ -253,11 +254,36 @@ pub trait Backend: Send + Sync {
         func: &str,
         spec: &ArchSpec,
     ) -> Result<Box<dyn Plan>, HalError>;
+
+    /// Like [`Backend::compile`], but returns the plan behind an
+    /// [`Arc`] so long-lived services can cache one compiled artifact
+    /// and execute it from any number of threads without recompiling.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Backend::compile`].
+    fn compile_shared(
+        &self,
+        module: &Module,
+        func: &str,
+        spec: &ArchSpec,
+    ) -> Result<SharedPlan, HalError> {
+        self.compile(module, func, spec).map(Arc::from)
+    }
 }
+
+/// A compiled plan shared across threads (e.g. by a resident server's
+/// plan cache): cloning the handle is cheap and every clone executes
+/// the same immutable artifact.
+pub type SharedPlan = Arc<dyn Plan>;
 
 /// An executable artifact produced by [`Backend::compile`], reusable
 /// across calls with different inputs and [`ExecOptions`].
-pub trait Plan {
+///
+/// Plans are immutable after compilation and `Send + Sync`: per-run
+/// state (the simulated machine, slot frames) is built inside
+/// [`Plan::execute`], so one plan may execute concurrently from many
+/// threads — each execution is independent and deterministic.
+pub trait Plan: Send + Sync {
     /// Run the plan against `args`.
     ///
     /// # Errors
@@ -493,6 +519,76 @@ mod tests {
             assert_outputs_equal(&a.outputs, &b.outputs, backend.name());
             assert_eq!(a.stats, b.stats, "{} rerun stats", backend.name());
             assert_eq!(a.trace, b.trace, "{} rerun trace", backend.name());
+        }
+    }
+
+    #[test]
+    fn shared_plans_execute_concurrently_and_bit_identically() {
+        // One `Arc<dyn Plan>` executed from two threads at once must
+        // give byte-identical outputs and statistics on both, and must
+        // match a sequential execution of the same plan — the contract
+        // the resident server's plan cache depends on.
+        let mut m = Module::new();
+        torch::build_hdc_dot_with(&mut m, 3, 5, 128, 1, true);
+        let (stored, queries) = hdc_inputs(3, 5, 128);
+        let s = spec(16, Optimization::Base);
+        let compiled = C4camPipeline::new(s.clone()).compile(m).unwrap();
+        for backend in BackendRegistry::global().all() {
+            let plan: SharedPlan = backend
+                .compile_shared(&compiled.module, "forward", &s)
+                .unwrap();
+            // `Value` is not `Send` (buffers are `Rc`-backed), so each
+            // thread builds its own argument list from cloned tensors.
+            let reference = plan
+                .execute(
+                    &[
+                        Value::Tensor(queries.clone()),
+                        Value::Tensor(stored.clone()),
+                    ],
+                    &ExecOptions::sequential(),
+                )
+                .unwrap();
+            // `Execution` is not `Send` either (outputs hold `Value`s),
+            // so each thread snapshots its outputs to plain tensors
+            // before handing them back.
+            let runs: Vec<(Vec<Tensor>, ExecStats, Option<String>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let plan = Arc::clone(&plan);
+                        let (stored, queries) = (stored.clone(), queries.clone());
+                        scope.spawn(move || {
+                            let args = [Value::Tensor(queries), Value::Tensor(stored)];
+                            let run = plan.execute(&args, &ExecOptions::sequential()).unwrap();
+                            let outputs: Vec<Tensor> = run
+                                .outputs
+                                .iter()
+                                .map(|v| v.snapshot_tensor().unwrap())
+                                .collect();
+                            (outputs, run.stats, run.trace)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let expected: Vec<Tensor> = reference
+                .outputs
+                .iter()
+                .map(|v| v.snapshot_tensor().unwrap())
+                .collect();
+            for (outputs, stats, trace) in &runs {
+                assert_eq!(outputs.len(), expected.len(), "{} arity", backend.name());
+                for (i, (got, want)) in outputs.iter().zip(&expected).enumerate() {
+                    assert_eq!(got.shape(), want.shape(), "{} result {i}", backend.name());
+                    let same = got
+                        .data()
+                        .iter()
+                        .zip(want.data())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(same, "{}: result {i} diverged", backend.name());
+                }
+                assert_eq!(*stats, reference.stats, "{} shared stats", backend.name());
+                assert_eq!(*trace, reference.trace, "{} shared trace", backend.name());
+            }
         }
     }
 }

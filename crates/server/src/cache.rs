@@ -1,0 +1,216 @@
+//! Keyed, size-bounded LRU cache of compiled plans.
+//!
+//! The whole point of service mode: Parse/Place/Compile run once per
+//! [`PlanKey`], and every later request for that key
+//! goes straight to execution. The cache is bounded (least-recently
+//! used entry evicted at capacity) so a key-scanning client cannot
+//! grow the resident set without limit.
+
+use crate::protocol::PlanKey;
+use crate::{BatchRunner, PlanSource};
+use std::sync::{Arc, Mutex};
+
+/// Cache statistics (monotonic counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled a new plan.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+struct Inner {
+    /// LRU order: most recently used last.
+    entries: Vec<(PlanKey, Arc<dyn BatchRunner>)>,
+    stats: CacheStats,
+}
+
+/// A bounded, thread-safe plan cache over a [`PlanSource`].
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    /// Cache holding at most `capacity` compiled plans (min 1).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                stats: CacheStats::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Fetch the plan for `key`, compiling through `source` on a miss.
+    /// Returns the runner and whether it was a cache hit.
+    ///
+    /// Compilation happens under the cache lock: concurrent requests
+    /// for the same cold key compile exactly once, at the cost of
+    /// briefly serializing misses for different keys (compiles are
+    /// startup/first-touch events, not steady state).
+    ///
+    /// # Errors
+    /// Propagates the source's compile error (nothing is cached).
+    pub fn get_or_compile(
+        &self,
+        key: &PlanKey,
+        source: &dyn PlanSource,
+    ) -> Result<(Arc<dyn BatchRunner>, bool), String> {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        if let Some(pos) = inner.entries.iter().position(|(k, _)| k == key) {
+            let entry = inner.entries.remove(pos);
+            let runner = Arc::clone(&entry.1);
+            inner.entries.push(entry);
+            inner.stats.hits += 1;
+            return Ok((runner, true));
+        }
+        let runner = source.compile(key)?;
+        inner.entries.push((key.clone(), Arc::clone(&runner)));
+        inner.stats.misses += 1;
+        if inner.entries.len() > self.capacity {
+            inner.entries.remove(0);
+            inner.stats.evictions += 1;
+        }
+        Ok((runner, false))
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("plan cache lock").stats
+    }
+
+    /// The cached keys, least recently used first.
+    pub fn keys(&self) -> Vec<PlanKey> {
+        self.inner
+            .lock()
+            .expect("plan cache lock")
+            .entries
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Number of plans currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache lock").entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RowsOutcome;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct StubRunner;
+
+    impl BatchRunner for StubRunner {
+        fn capacity(&self) -> usize {
+            8
+        }
+        fn pool_size(&self) -> usize {
+            64
+        }
+        fn run_rows(&self, rows: &[usize]) -> Result<RowsOutcome, String> {
+            Ok(RowsOutcome {
+                predictions: rows.to_vec(),
+                classes: rows.to_vec(),
+                sim_latency_ns_per_query: 1.0,
+                sim_energy_pj_per_query: 1.0,
+            })
+        }
+    }
+
+    struct CountingSource {
+        compiles: AtomicUsize,
+        fail_backend: &'static str,
+    }
+
+    impl PlanSource for CountingSource {
+        fn default_key(&self) -> PlanKey {
+            key("tape")
+        }
+        fn compile(&self, key: &PlanKey) -> Result<Arc<dyn BatchRunner>, String> {
+            if key.backend == self.fail_backend {
+                return Err(format!("unknown backend '{}'", key.backend));
+            }
+            self.compiles.fetch_add(1, Ordering::SeqCst);
+            Ok(Arc::new(StubRunner))
+        }
+    }
+
+    fn key(backend: &str) -> PlanKey {
+        PlanKey {
+            task: "hdc".into(),
+            bits: 2,
+            subarray: 32,
+            backend: backend.into(),
+        }
+    }
+
+    fn source() -> CountingSource {
+        CountingSource {
+            compiles: AtomicUsize::new(0),
+            fail_backend: "jit",
+        }
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_compiles_once() {
+        let cache = PlanCache::new(4);
+        let src = source();
+        let (_, hit) = cache.get_or_compile(&key("tape"), &src).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.get_or_compile(&key("tape"), &src).unwrap();
+        assert!(hit);
+        assert_eq!(src.compiles.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest_key() {
+        let cache = PlanCache::new(2);
+        let src = source();
+        cache.get_or_compile(&key("tape"), &src).unwrap();
+        cache.get_or_compile(&key("simd"), &src).unwrap();
+        // Touch "tape" so "simd" is now the LRU entry.
+        cache.get_or_compile(&key("tape"), &src).unwrap();
+        cache.get_or_compile(&key("walk"), &src).unwrap();
+        let keys: Vec<String> = cache.keys().iter().map(|k| k.backend.clone()).collect();
+        assert_eq!(keys, ["tape", "walk"], "simd evicted as LRU");
+        assert_eq!(cache.stats().evictions, 1);
+        // Re-requesting the evicted key recompiles.
+        let (_, hit) = cache.get_or_compile(&key("simd"), &src).unwrap();
+        assert!(!hit);
+        assert_eq!(src.compiles.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn compile_failures_are_not_cached() {
+        let cache = PlanCache::new(2);
+        let src = source();
+        let e = match cache.get_or_compile(&key("jit"), &src) {
+            Err(e) => e,
+            Ok(_) => panic!("expected compile failure"),
+        };
+        assert!(e.contains("jit"), "{e}");
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 0);
+    }
+}

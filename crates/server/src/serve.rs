@@ -1,0 +1,405 @@
+//! The resident TCP server: accept loop, connection handlers, and
+//! graceful shutdown.
+//!
+//! One dedicated thread runs the admission dispatcher; connection
+//! handlers run on the shared engine worker pool
+//! ([`c4cam_engine::pool`]), so steady-state serving spawns no
+//! per-connection OS threads. Shutdown is cooperative: a SIGTERM /
+//! SIGINT (ctrl-c) or a `{"cmd":"shutdown"}` request flips one flag;
+//! the accept loop stops admitting connections, the admission queue
+//! drains every in-flight batch, and [`serve`] returns a final
+//! [`ServeReport`] so the process can exit 0.
+
+use crate::admission::{Admission, AdmissionConfig, AdmitError};
+use crate::cache::PlanCache;
+use crate::protocol::{
+    classify_response, error_response, parse_request, ClassifyReply, Cmd, ErrorCode, PlanKey,
+    Request,
+};
+use crate::PlanSource;
+use c4cam_telemetry::{cat, ArgValue, Telemetry};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind host (default loopback).
+    pub host: String,
+    /// Bind port; `0` picks an ephemeral port (reported via the
+    /// `on_ready` callback and the startup line).
+    pub port: u16,
+    /// Batching and backpressure knobs.
+    pub admission: AdmissionConfig,
+    /// Maximum compiled plans kept resident.
+    pub cache_capacity: usize,
+    /// Telemetry handle shared by compilation, batches, and requests.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            admission: AdmissionConfig::default(),
+            cache_capacity: 8,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Final counters reported when the server exits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Classify requests admitted and answered.
+    pub requests: u64,
+    /// Requests rejected (overloaded / too large / shutting down /
+    /// bad request).
+    pub rejected: u64,
+    /// Coalesced device batches executed.
+    pub batches: u64,
+    /// Query rows across all batches.
+    pub batched_rows: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses (compiles).
+    pub cache_misses: u64,
+}
+
+impl ServeReport {
+    /// One-line human summary for the CLI.
+    pub fn summary(&self) -> String {
+        format!(
+            "served {} requests in {} batches ({} rows; {:.2} requests/batch), \
+             cache {} hits / {} misses, {} rejected",
+            self.requests,
+            self.batches,
+            self.batched_rows,
+            self.requests as f64 / (self.batches.max(1)) as f64,
+            self.cache_hits,
+            self.cache_misses,
+            self.rejected
+        )
+    }
+}
+
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handle(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Route SIGINT (2) and SIGTERM (15) to a flag the accept loop
+    /// polls. Uses the libc `signal` symbol std already links; the
+    /// handler only does an atomic store, which is async-signal-safe.
+    pub fn install() {
+        unsafe {
+            signal(2, handle as *const () as usize);
+            signal(15, handle as *const () as usize);
+        }
+    }
+
+    pub fn signalled() -> bool {
+        SIGNALLED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+    pub fn signalled() -> bool {
+        false
+    }
+}
+
+struct Shared {
+    admission: Admission,
+    cache: PlanCache,
+    source: Arc<dyn PlanSource>,
+    telemetry: Telemetry,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    started: Instant,
+    default_key: PlanKey,
+}
+
+/// Run the resident server until shutdown; returns the final report.
+///
+/// `on_ready` fires once, after the default plan is precompiled and
+/// the socket is bound, with the actual listening address (useful with
+/// `port: 0`).
+///
+/// # Errors
+/// Bind failures and a default plan that does not compile are startup
+/// errors; per-request failures are reported to the requesting client
+/// instead.
+pub fn serve(
+    cfg: &ServeConfig,
+    source: Arc<dyn PlanSource>,
+    on_ready: impl FnOnce(SocketAddr),
+) -> Result<ServeReport, String> {
+    let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))
+        .map_err(|e| format!("bind {}:{}: {e}", cfg.host, cfg.port))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    signals::install();
+
+    let default_key = source.default_key();
+    let shared = Arc::new(Shared {
+        admission: Admission::new(cfg.admission.clone()),
+        cache: PlanCache::new(cfg.cache_capacity),
+        source,
+        telemetry: cfg.telemetry.clone(),
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        started: Instant::now(),
+        default_key,
+    });
+    // Compile the default plan up front: the first request hits a warm
+    // cache, and a misconfigured server fails at startup, not on
+    // first traffic.
+    shared
+        .cache
+        .get_or_compile(&shared.default_key, shared.source.as_ref())
+        .map_err(|e| format!("precompile {}: {e}", shared.default_key))?;
+
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("c4cam-dispatch".into())
+            .spawn(move || shared.admission.dispatch_loop(&shared.telemetry))
+            .map_err(|e| format!("spawn dispatcher: {e}"))?
+    };
+
+    on_ready(addr);
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) || signals::signalled() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Accepted sockets can inherit the listener's
+                // non-blocking mode on some platforms; handlers use
+                // blocking reads.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(&shared);
+                c4cam_engine::pool::spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+
+    // Drain: no new admissions; the dispatcher finishes every queued
+    // batch, then exits.
+    shared.admission.drain();
+    dispatcher.join().map_err(|_| "dispatcher panicked")?;
+
+    let cache = shared.cache.stats();
+    let (batches, batched_rows, _max) = shared.admission.batch_stats();
+    Ok(ServeReport {
+        requests: shared.requests.load(Ordering::SeqCst),
+        rejected: shared.rejected.load(Ordering::SeqCst),
+        batches,
+        batched_rows,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+    })
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // peer went away
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, close) = handle_line(&line, shared);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if close {
+            break;
+        }
+    }
+}
+
+/// Handle one request line; returns the response line and whether the
+/// connection should close.
+fn handle_line(line: &str, shared: &Shared) -> (String, bool) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(detail) => {
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            return (error_response(0, ErrorCode::BadRequest, &detail), false);
+        }
+    };
+    match request.cmd {
+        Cmd::Classify { .. } => (classify(&request, shared), false),
+        Cmd::Info => (info_response(shared), false),
+        Cmd::Stats => (stats_response(shared), false),
+        Cmd::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (
+                format!(
+                    "{{\"id\":{},\"ok\":true,\"shutting_down\":true}}",
+                    request.id
+                ),
+                true,
+            )
+        }
+    }
+}
+
+fn classify(request: &Request, shared: &Shared) -> String {
+    let Cmd::Classify { rows, key } = &request.cmd else {
+        unreachable!("caller matched Classify");
+    };
+    let id = request.id;
+    let t0 = Instant::now();
+    let key = key.resolve(&shared.default_key);
+    let mut span = shared.telemetry.span(format!("req-{id}"), cat::REQUEST);
+    span.arg("key", ArgValue::Str(key.to_string()));
+    span.arg("rows", ArgValue::Int(rows.len() as i64));
+
+    let (runner, cache_hit) = match shared.cache.get_or_compile(&key, shared.source.as_ref()) {
+        Ok(x) => x,
+        Err(detail) => {
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            return error_response(id, ErrorCode::CompileFailed, &detail);
+        }
+    };
+    span.arg("cache_hit", ArgValue::Int(i64::from(cache_hit)));
+    let pool = runner.pool_size();
+    if let Some(&bad) = rows.iter().find(|&&r| r >= pool) {
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        return error_response(
+            id,
+            ErrorCode::BadRequest,
+            &format!("row {bad} out of range (query pool has {pool} rows)"),
+        );
+    }
+    let ticket = match shared.admission.submit(&key, runner, rows.clone()) {
+        Ok(t) => t,
+        Err(e) => {
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            let code = match e {
+                AdmitError::Overloaded { .. } => ErrorCode::Overloaded,
+                AdmitError::TooLarge { .. } => ErrorCode::TooLarge,
+                AdmitError::ShuttingDown => ErrorCode::ShuttingDown,
+            };
+            return error_response(id, code, &e.to_string());
+        }
+    };
+    match ticket.recv() {
+        Ok(Ok(slice)) => {
+            shared.requests.fetch_add(1, Ordering::SeqCst);
+            let reply = ClassifyReply {
+                predictions: slice.predictions,
+                classes: slice.classes,
+                cache_hit,
+                batch_rows: slice.batch_rows,
+                batch_requests: slice.batch_requests,
+                sim_latency_ns_per_query: slice.sim_latency_ns_per_query,
+                sim_energy_pj_per_query: slice.sim_energy_pj_per_query,
+                host_us: t0.elapsed().as_secs_f64() * 1e6,
+            };
+            classify_response(id, &reply)
+        }
+        Ok(Err(detail)) => {
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            error_response(id, ErrorCode::ExecFailed, &detail)
+        }
+        Err(_) => {
+            // Dispatcher exited mid-drain before reaching this batch.
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            error_response(
+                id,
+                ErrorCode::ShuttingDown,
+                "server drained before execution",
+            )
+        }
+    }
+}
+
+fn info_response(shared: &Shared) -> String {
+    let (capacity, pool_size) = match shared
+        .cache
+        .get_or_compile(&shared.default_key, shared.source.as_ref())
+    {
+        Ok((runner, _)) => (runner.capacity(), runner.pool_size()),
+        Err(_) => (0, 0),
+    };
+    let keys: Vec<String> = shared
+        .cache
+        .keys()
+        .iter()
+        .map(|k| c4cam_telemetry::json::string(&k.to_string()))
+        .collect();
+    format!(
+        "{{\"ok\":true,\"default_key\":{},\"capacity\":{},\"pool_size\":{},\
+         \"max_linger_ms\":{},\"queue_depth\":{},\"cached_plans\":{},\"cached_keys\":[{}]}}",
+        c4cam_telemetry::json::string(&shared.default_key.to_string()),
+        capacity,
+        pool_size,
+        c4cam_telemetry::json::num_f64(shared.admission.config().max_linger.as_secs_f64() * 1e3),
+        shared.admission.config().queue_depth,
+        shared.cache.len(),
+        keys.join(","),
+    )
+}
+
+fn stats_response(shared: &Shared) -> String {
+    let cache = shared.cache.stats();
+    let (batches, batched_rows, max_batch_requests) = shared.admission.batch_stats();
+    let requests = shared.requests.load(Ordering::SeqCst);
+    format!(
+        "{{\"ok\":true,\"requests\":{},\"rejected\":{},\"pending\":{},\
+         \"batches\":{},\"batched_rows\":{},\"max_batch_requests\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\"uptime_s\":{}}}",
+        requests,
+        shared.rejected.load(Ordering::SeqCst),
+        shared.admission.pending(),
+        batches,
+        batched_rows,
+        max_batch_requests,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        c4cam_telemetry::json::num_f64(shared.started.elapsed().as_secs_f64()),
+    )
+}

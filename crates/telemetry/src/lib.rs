@@ -71,6 +71,11 @@ pub mod cat {
     pub const SHARD: &str = "shard";
     /// Per-grid-point spans from sweeps and accuracy scans.
     pub const GRID: &str = "grid";
+    /// Per-request spans from the resident service (`c4cam serve`).
+    pub const REQUEST: &str = "request";
+    /// Per-coalesced-batch spans from the service's admission
+    /// controller.
+    pub const BATCH: &str = "batch";
 }
 
 /// A typed span/counter argument value.

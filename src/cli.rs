@@ -21,6 +21,14 @@
 //!               [--fault-rate R,R,...] [--fault-seed N]
 //!               [--spare-rows N] [--vote K]
 //!               [--format table|json|csv]
+//! c4cam serve   --dataset DIR|FILE.csv [--workload hdc|knn] [--bits B]
+//!               [--subarray N] [--engine NAME] [--threads N]
+//!               [--host H] [--port P] [--max-batch N] [--linger-ms MS]
+//!               [--queue-depth N] [--cache-cap N]
+//! c4cam loadgen --addr HOST:PORT [--requests N] [--concurrency N]
+//!               [--rows-per-request N] [--mode closed|open [--rate R]]
+//!               [--verify-dataset DIR|FILE.csv] [--shutdown]
+//!               [--out FILE.json]
 //! ```
 //!
 //! `--engine` names resolve through [`c4cam_hal::BackendRegistry`]
@@ -32,6 +40,7 @@
 
 use crate::accuracy::{evaluate_faulty, AccuracyReport, FaultKnobs};
 use crate::driver::{build_arch, DriverError, Experiment, ParseKeywordError};
+use crate::service::{reference_pool_classes, DatasetPlanSource};
 use crate::sweep::SweepPlan;
 use c4cam_arch::tech::TechnologyModel;
 use c4cam_arch::{parse_spec, ArchSpec, Optimization};
@@ -43,6 +52,8 @@ use c4cam_frontend::{parse_torchscript, FrontendConfig};
 use c4cam_hal::{BackendRegistry, ExecOptions};
 use c4cam_ir::print::print_module;
 use c4cam_runtime::Value;
+use c4cam_server::protocol::PlanKey;
+use c4cam_server::{AdmissionConfig, LoadMode, LoadgenConfig, ServeConfig};
 use c4cam_telemetry::export::{chrome_trace, json_lines};
 use c4cam_telemetry::json::num_f32 as json_f32;
 use c4cam_telemetry::log::LogLevel;
@@ -147,6 +158,10 @@ pub enum Command {
     Sweep(SweepArgs),
     /// CAM-vs-CPU accuracy evaluation on a real dataset.
     Accuracy(AccuracyArgs),
+    /// Start the resident service (`c4cam serve`).
+    Serve(ServeArgs),
+    /// Drive a running service and report throughput/latency.
+    Loadgen(LoadgenArgs),
     /// Print the usage text (also `--help` / `-h`).
     Help,
 }
@@ -420,6 +435,73 @@ pub struct AccuracyArgs {
     pub telemetry: TelemetryArgs,
 }
 
+/// Arguments of `c4cam serve`: the resident service over one dataset.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Dataset path (IDX directory or CSV file).
+    pub dataset: String,
+    /// Explicit dataset format (inferred from the path when `None`).
+    pub dataset_format: Option<DatasetFormat>,
+    /// Default task keyword (`hdc` or `knn`).
+    pub task: String,
+    /// Default cell width in bits.
+    pub bits: u32,
+    /// Default square subarray size.
+    pub subarray: usize,
+    /// Default execution backend name.
+    pub engine: String,
+    /// Worker threads per plan execution.
+    pub threads: usize,
+    /// Bind host.
+    pub host: String,
+    /// Bind port (`0` = ephemeral; the bound address is printed on
+    /// startup).
+    pub port: u16,
+    /// Maximum rows coalesced into one batch (the compiled capacity,
+    /// clamped to the query-pool size).
+    pub max_batch: usize,
+    /// Longest a request waits for batch-mates, milliseconds.
+    pub linger_ms: u64,
+    /// Maximum queued requests before `overloaded` rejections.
+    pub queue_depth: usize,
+    /// Maximum compiled plans kept resident.
+    pub cache_cap: usize,
+    /// Tracing/metrics/logging configuration.
+    pub telemetry: TelemetryArgs,
+}
+
+/// Arguments of `c4cam loadgen`: drive a running service.
+#[derive(Debug, Clone)]
+pub struct LoadgenArgs {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Total requests to send.
+    pub requests: usize,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Query-pool rows per request.
+    pub rows_per_request: usize,
+    /// Arrival mode (`closed` or `open`).
+    pub mode: String,
+    /// Target request rate for open-loop mode, requests/second.
+    pub rate: Option<f64>,
+    /// Dataset path for exact verification against the CPU reference
+    /// (must be the dataset the server loaded).
+    pub verify_dataset: Option<String>,
+    /// Explicit dataset format (inferred from the path when `None`).
+    pub dataset_format: Option<DatasetFormat>,
+    /// Task keyword of the server's default plan key.
+    pub task: String,
+    /// Cell width of the server's default plan key.
+    pub bits: u32,
+    /// Subarray size of the server's default plan key.
+    pub subarray: usize,
+    /// Send `{"cmd":"shutdown"}` after the run.
+    pub shutdown: bool,
+    /// Write the JSON report to this path.
+    pub out: Option<String>,
+}
+
 /// Arguments of `c4cam sweep`: the grid dimensions plus the workload
 /// shape overrides. Unset shape fields fall back to the selected
 /// workload's paper defaults (see [`build_sweep_workload`]); with
@@ -557,6 +639,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut fault_seed: Option<u64> = None;
     let mut spare_rows: Option<usize> = None;
     let mut vote: Option<usize> = None;
+    let mut host: Option<String> = None;
+    let mut port: Option<u16> = None;
+    let mut max_batch: Option<usize> = None;
+    let mut linger_ms: Option<u64> = None;
+    let mut queue_depth: Option<usize> = None;
+    let mut cache_cap: Option<usize> = None;
+    let mut addr: Option<String> = None;
+    let mut requests: Option<usize> = None;
+    let mut concurrency: Option<usize> = None;
+    let mut rows_per_request: Option<usize> = None;
+    let mut mode: Option<String> = None;
+    let mut rate: Option<f64> = None;
+    let mut verify_dataset: Option<String> = None;
+    let mut shutdown = false;
+    let mut out: Option<String> = None;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -728,6 +825,89 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .ok_or_else(|| cli_err("--vote expects a positive integer"))?,
                 );
             }
+            "--host" => host = Some(next_value(&mut it, flag)?),
+            "--port" => {
+                port = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<u16>()
+                        .map_err(|_| cli_err("--port expects 0..=65535"))?,
+                );
+            }
+            "--max-batch" => {
+                max_batch = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| cli_err("--max-batch expects a positive integer"))?,
+                );
+            }
+            "--linger-ms" => {
+                linger_ms = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<u64>()
+                        .map_err(|_| cli_err("--linger-ms expects an integer"))?,
+                );
+            }
+            "--queue-depth" => {
+                queue_depth = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| cli_err("--queue-depth expects a positive integer"))?,
+                );
+            }
+            "--cache-cap" => {
+                cache_cap = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| cli_err("--cache-cap expects a positive integer"))?,
+                );
+            }
+            "--addr" => addr = Some(next_value(&mut it, flag)?),
+            "--requests" => {
+                requests = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| cli_err("--requests expects a positive integer"))?,
+                );
+            }
+            "--concurrency" => {
+                concurrency = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| cli_err("--concurrency expects a positive integer"))?,
+                );
+            }
+            "--rows-per-request" => {
+                rows_per_request = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| cli_err("--rows-per-request expects a positive integer"))?,
+                );
+            }
+            "--mode" => mode = Some(next_value(&mut it, flag)?),
+            "--rate" => {
+                rate = Some(
+                    next_value(&mut it, flag)?
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|r| r.is_finite() && *r > 0.0)
+                        .ok_or_else(|| cli_err("--rate expects a positive number"))?,
+                );
+            }
+            "--verify-dataset" => verify_dataset = Some(next_value(&mut it, flag)?),
+            "--shutdown" => shutdown = true,
+            "--out" => out = Some(next_value(&mut it, flag)?),
             "--trace-out" => trace_out = Some(next_value(&mut it, flag)?),
             "--metrics" => {
                 metrics = Some(next_value(&mut it, flag)?.parse().map_err(cli_err)?);
@@ -809,6 +989,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         (spare_rows.is_some(), "--spare-rows"),
         (vote.is_some(), "--vote"),
     ];
+    // Service-mode flag groups: server knobs belong to `serve`, client
+    // knobs to `loadgen`.
+    let serve_flags: &[(bool, &str)] = &[
+        (host.is_some(), "--host"),
+        (port.is_some(), "--port"),
+        (max_batch.is_some(), "--max-batch"),
+        (linger_ms.is_some(), "--linger-ms"),
+        (queue_depth.is_some(), "--queue-depth"),
+        (cache_cap.is_some(), "--cache-cap"),
+    ];
+    let loadgen_flags: &[(bool, &str)] = &[
+        (addr.is_some(), "--addr"),
+        (requests.is_some(), "--requests"),
+        (concurrency.is_some(), "--concurrency"),
+        (rows_per_request.is_some(), "--rows-per-request"),
+        (mode.is_some(), "--mode"),
+        (rate.is_some(), "--rate"),
+        (verify_dataset.is_some(), "--verify-dataset"),
+        (shutdown, "--shutdown"),
+        (out.is_some(), "--out"),
+    ];
     match cmd.as_str() {
         "compile" | "place" => {
             reject(
@@ -821,6 +1022,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     telemetry_flags,
                     fault_axis_flags,
                     resilience_flags,
+                    serve_flags,
+                    loadgen_flags,
                 ],
                 cmd,
             )?;
@@ -836,6 +1039,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     subarray_flag,
                     fault_axis_flags,
                     resilience_flags,
+                    serve_flags,
+                    loadgen_flags,
                 ],
                 cmd,
             )?;
@@ -869,6 +1074,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     subarray_flag,
                     source_run_flags,
                     resilience_flags,
+                    serve_flags,
+                    loadgen_flags,
                 ],
                 cmd,
             )?;
@@ -884,7 +1091,49 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 compile_flags,
                 sweep_only,
                 source_run_flags,
+                serve_flags,
+                loadgen_flags,
                 &[(queries.is_some(), "--queries"), (dims.is_some(), "--dims")],
+            ],
+            cmd,
+        )?,
+        "serve" => reject(
+            &[
+                compile_flags,
+                sweep_only,
+                source_run_flags,
+                fault_axis_flags,
+                resilience_flags,
+                loadgen_flags,
+                &[
+                    (queries.is_some(), "--queries"),
+                    (dims.is_some(), "--dims"),
+                    (format.is_some(), "--format"),
+                    (
+                        limit.is_some(),
+                        "--limit (serve keeps the whole query pool addressable)",
+                    ),
+                ],
+            ],
+            cmd,
+        )?,
+        "loadgen" => reject(
+            &[
+                compile_flags,
+                sweep_only,
+                source_run_flags,
+                fault_axis_flags,
+                resilience_flags,
+                serve_flags,
+                telemetry_flags,
+                &[
+                    (dataset.is_some(), "--dataset (use --verify-dataset)"),
+                    (limit.is_some(), "--limit"),
+                    (engine.is_some(), "--engine"),
+                    (queries.is_some(), "--queries"),
+                    (dims.is_some(), "--dims"),
+                    (format.is_some(), "--format"),
+                ],
             ],
             cmd,
         )?,
@@ -1020,6 +1269,80 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 telemetry,
             }))
         }
+        "serve" => {
+            let engine = resolve_engine(engine.as_deref().unwrap_or("tape"))?;
+            check_threads(std::slice::from_ref(&engine), threads)?;
+            // Serve takes one default cell width, not a grid axis.
+            let bits = match bits {
+                None => 2,
+                Some(list) if list.len() == 1 => list[0],
+                Some(_) => {
+                    return Err(cli_err(
+                        "serve expects a single --bits value (clients override per request)",
+                    ))
+                }
+            };
+            Ok(Command::Serve(ServeArgs {
+                dataset: require(dataset, "--dataset")?,
+                dataset_format,
+                task: workload.unwrap_or_else(|| "hdc".to_string()),
+                bits,
+                subarray: subarray.unwrap_or(32),
+                engine,
+                threads,
+                host: host.unwrap_or_else(|| "127.0.0.1".to_string()),
+                port: port.unwrap_or(0),
+                max_batch: max_batch.unwrap_or(16),
+                linger_ms: linger_ms.unwrap_or(2),
+                queue_depth: queue_depth.unwrap_or(256),
+                cache_cap: cache_cap.unwrap_or(8),
+                telemetry,
+            }))
+        }
+        "loadgen" => {
+            let mode = mode.unwrap_or_else(|| "closed".to_string());
+            match mode.as_str() {
+                "closed" => {
+                    if rate.is_some() {
+                        return Err(cli_err("--rate is only meaningful with --mode open"));
+                    }
+                }
+                "open" => {
+                    if rate.is_none() {
+                        return Err(cli_err("--mode open requires --rate"));
+                    }
+                }
+                other => {
+                    return Err(cli_err(format!(
+                        "unknown --mode '{other}' (expected closed|open)"
+                    )))
+                }
+            }
+            let bits = match bits {
+                None => 2,
+                Some(list) if list.len() == 1 => list[0],
+                Some(_) => {
+                    return Err(cli_err(
+                        "loadgen expects a single --bits value (the server's default key)",
+                    ))
+                }
+            };
+            Ok(Command::Loadgen(LoadgenArgs {
+                addr: require(addr, "--addr")?,
+                requests: requests.unwrap_or(64),
+                concurrency: concurrency.unwrap_or(4),
+                rows_per_request: rows_per_request.unwrap_or(1),
+                mode,
+                rate,
+                verify_dataset,
+                dataset_format,
+                task: workload.unwrap_or_else(|| "hdc".to_string()),
+                bits,
+                subarray: subarray.unwrap_or(32),
+                shutdown,
+                out,
+            }))
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(cli_err(format!("unknown command '{other}'\n{}", usage()))),
     }
@@ -1059,7 +1382,7 @@ fn parse_tech(name: &str) -> Result<Option<TechnologyModel>, CliError> {
 pub fn usage() -> String {
     let engines = BackendRegistry::global().names().join("|");
     format!(
-        "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam run     --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--arch SPEC] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]\n  c4cam sweep   [--workload hdc|knn|dtree|gpu] [--queries N] [--classes N] [--dims D] [--subarrays N,N,...] [--opts base,power,density,power+density] [--techs default,fefet-45nm,cmos-16nm] [--bits 1,2] [--engine {engines},...] [--threads N] [--pareto] [--format table|json|csv] [--dataset DIR|FILE.csv [--dataset-format idx|csv] [--limit N]] [--fault-rate R,R,...] [--fault-seed N]\n  c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--bits 1,2] [--subarray N] [--engine {engines}] [--threads N] [--fault-rate R,R,...] [--fault-seed N] [--spare-rows N] [--vote K] [--format table|json|csv]\n  c4cam help\n\nfault injection (sweep/accuracy):\n  --fault-rate R,R,...       seeded device fault rates to evaluate (stuck-at + drift + transient; 0 = off)\n  --fault-seed N             seed of the deterministic fault-site hash streams\n  --spare-rows N             spare rows per subarray for stuck-row remapping (accuracy only)\n  --vote K                   k-modular redundant-search voting (accuracy only)\n\ntelemetry (run/sweep/accuracy):\n  --trace-out PATH           write a Chrome trace-event JSON (load in Perfetto / chrome://tracing); a .jsonl extension selects JSON-lines instead\n  --metrics none|summary|full  append a per-phase/per-op metrics report to the output\n  --log-level off|summary|debug  stderr diagnostics (alias for the C4CAM_LOG environment variable)"
+        "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam run     --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--arch SPEC] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]\n  c4cam sweep   [--workload hdc|knn|dtree|gpu] [--queries N] [--classes N] [--dims D] [--subarrays N,N,...] [--opts base,power,density,power+density] [--techs default,fefet-45nm,cmos-16nm] [--bits 1,2] [--engine {engines},...] [--threads N] [--pareto] [--format table|json|csv] [--dataset DIR|FILE.csv [--dataset-format idx|csv] [--limit N]] [--fault-rate R,R,...] [--fault-seed N]\n  c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--bits 1,2] [--subarray N] [--engine {engines}] [--threads N] [--fault-rate R,R,...] [--fault-seed N] [--spare-rows N] [--vote K] [--format table|json|csv]\n  c4cam serve   --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--bits B] [--subarray N] [--engine {engines}] [--threads N] [--host H] [--port P] [--max-batch N] [--linger-ms MS] [--queue-depth N] [--cache-cap N]\n  c4cam loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--rows-per-request N] [--mode closed|open [--rate R]] [--verify-dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--bits B] [--subarray N]] [--shutdown] [--out FILE.json]\n  c4cam help\n\nservice mode:\n  serve loads the dataset and compiles the default plan once, then answers line-delimited JSON classify requests over TCP, coalescing concurrent requests into batched device runs; loadgen drives a running server and reports sustained qps and p50/p90/p99 latency (--verify-dataset checks every response against the CPU reference exactly)\n\nfault injection (sweep/accuracy):\n  --fault-rate R,R,...       seeded device fault rates to evaluate (stuck-at + drift + transient; 0 = off)\n  --fault-seed N             seed of the deterministic fault-site hash streams\n  --spare-rows N             spare rows per subarray for stuck-row remapping (accuracy only)\n  --vote K                   k-modular redundant-search voting (accuracy only)\n\ntelemetry (run/sweep/accuracy):\n  --trace-out PATH           write a Chrome trace-event JSON (load in Perfetto / chrome://tracing); a .jsonl extension selects JSON-lines instead\n  --metrics none|summary|full  append a per-phase/per-op metrics report to the output\n  --log-level off|summary|debug  stderr diagnostics (alias for the C4CAM_LOG environment variable)"
     )
 }
 
@@ -1471,6 +1794,103 @@ fn run_accuracy_with_telemetry(
     Ok(rendered.trim_end_matches('\n').to_string())
 }
 
+/// Execute `serve`: load the dataset, precompile the default plan,
+/// and run the resident service until shutdown. The bound address is
+/// printed (and flushed) the moment the listener is ready, so scripts
+/// can start a client as soon as the line appears.
+pub fn run_serve(args: &ServeArgs) -> Result<String, CliError> {
+    run_serve_with_telemetry(args, &Telemetry::default())
+}
+
+fn run_serve_with_telemetry(args: &ServeArgs, telemetry: &Telemetry) -> Result<String, CliError> {
+    let dataset =
+        Dataset::load(std::path::Path::new(&args.dataset), args.dataset_format).map_err(cli_err)?;
+    let defaults = PlanKey {
+        task: args.task.clone(),
+        bits: args.bits,
+        subarray: args.subarray,
+        backend: args.engine.clone(),
+    };
+    let source = DatasetPlanSource::new(
+        dataset,
+        defaults,
+        args.max_batch,
+        args.threads,
+        telemetry.clone(),
+    );
+    let cfg = ServeConfig {
+        host: args.host.clone(),
+        port: args.port,
+        admission: AdmissionConfig {
+            max_linger: std::time::Duration::from_millis(args.linger_ms),
+            queue_depth: args.queue_depth,
+        },
+        cache_capacity: args.cache_cap,
+        telemetry: telemetry.clone(),
+    };
+    let report = c4cam_server::serve(&cfg, Arc::new(source), |bound| {
+        use std::io::Write as _;
+        println!("listening on {bound}");
+        let _ = std::io::stdout().flush();
+    })
+    .map_err(cli_err)?;
+    Ok(report.summary())
+}
+
+/// Execute `loadgen`: probe the server, drive it, and render the
+/// report (optionally writing the JSON document to `--out`).
+pub fn run_loadgen(args: &LoadgenArgs) -> Result<String, CliError> {
+    let (pool_size, _capacity) = c4cam_server::probe_info(&args.addr).map_err(cli_err)?;
+    let expected_classes = match &args.verify_dataset {
+        Some(path) => {
+            let dataset =
+                Dataset::load(std::path::Path::new(path), args.dataset_format).map_err(cli_err)?;
+            // The backend never affects the reference (quantization
+            // depends on bits; the reduction is backend-independent).
+            let key = PlanKey {
+                task: args.task.clone(),
+                bits: args.bits,
+                subarray: args.subarray,
+                backend: "cpu-reference".to_string(),
+            };
+            let classes = reference_pool_classes(&dataset, &key).map_err(cli_err)?;
+            if classes.len() != pool_size {
+                return Err(cli_err(format!(
+                    "--verify-dataset has a query pool of {} rows but the server reports {}; \
+                     point it at the dataset the server loaded",
+                    classes.len(),
+                    pool_size
+                )));
+            }
+            Some(classes)
+        }
+        None => None,
+    };
+    let mode = match args.mode.as_str() {
+        "open" => LoadMode::Open {
+            rate: args.rate.expect("parser guarantees --rate with open"),
+        },
+        _ => LoadMode::Closed,
+    };
+    let cfg = LoadgenConfig {
+        addr: args.addr.clone(),
+        requests: args.requests,
+        concurrency: args.concurrency,
+        rows_per_request: args.rows_per_request,
+        mode,
+        pool_size,
+        expected_classes,
+        shutdown_after: args.shutdown,
+    };
+    let report = c4cam_server::loadgen(&cfg).map_err(cli_err)?;
+    if let Some(path) = &args.out {
+        std::fs::write(path, report.to_json() + "\n")
+            .map_err(|e| cli_err(format!("cannot write report '{path}': {e}")))?;
+        tlog::summary(format_args!("wrote load report to {path}"));
+    }
+    Ok(report.summary())
+}
+
 /// Build the workload a `sweep` invocation selects, applying the shape
 /// overrides over the workload's paper defaults (dataset sweeps fix
 /// the shape from the data).
@@ -1581,6 +2001,8 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         Command::Accuracy(args) => {
             traced(&args.telemetry, &|t| run_accuracy_with_telemetry(args, t))
         }
+        Command::Serve(args) => traced(&args.telemetry, &|t| run_serve_with_telemetry(args, t)),
+        Command::Loadgen(args) => run_loadgen(args),
         Command::Help => Ok(usage()),
     }
 }
@@ -2904,5 +3326,151 @@ optimization: density
             "2"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn serve_args_parse_with_defaults_and_overrides() {
+        let cmd = parse_args(&strings(&["serve", "--dataset", "d"])).unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.dataset, "d");
+                assert_eq!(a.task, "hdc");
+                assert_eq!(a.bits, 2);
+                assert_eq!(a.subarray, 32);
+                assert_eq!(a.engine, "tape");
+                assert_eq!(a.host, "127.0.0.1");
+                assert_eq!(a.port, 0);
+                assert_eq!(a.max_batch, 16);
+                assert_eq!(a.linger_ms, 2);
+                assert_eq!(a.queue_depth, 256);
+                assert_eq!(a.cache_cap, 8);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        let cmd = parse_args(&strings(&[
+            "serve",
+            "--dataset",
+            "d",
+            "--workload",
+            "knn",
+            "--bits",
+            "1",
+            "--subarray",
+            "64",
+            "--engine",
+            "simd",
+            "--threads",
+            "4",
+            "--port",
+            "9000",
+            "--max-batch",
+            "8",
+            "--linger-ms",
+            "5",
+            "--queue-depth",
+            "32",
+            "--cache-cap",
+            "2",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.task, "knn");
+                assert_eq!(a.bits, 1);
+                assert_eq!(a.subarray, 64);
+                assert_eq!(a.engine, "simd");
+                assert_eq!(a.threads, 4);
+                assert_eq!(a.port, 9000);
+                assert_eq!(a.max_batch, 8);
+                assert_eq!(a.linger_ms, 5);
+                assert_eq!(a.queue_depth, 32);
+                assert_eq!(a.cache_cap, 2);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_foreign_flags_grids_and_missing_dataset() {
+        assert!(parse_args(&strings(&["serve"])).is_err());
+        let e = parse_args(&strings(&["serve", "--dataset", "d", "--bits", "1,2"])).unwrap_err();
+        assert!(e.message.contains("single --bits"), "{e}");
+        for flags in [
+            ["--source", "k.py"],
+            ["--addr", "h:1"],
+            ["--pareto", ""],
+            ["--fault-rate", "0.1"],
+            ["--limit", "4"],
+        ] {
+            let mut args = strings(&["serve", "--dataset", "d"]);
+            args.push(flags[0].to_string());
+            if !flags[1].is_empty() {
+                args.push(flags[1].to_string());
+            }
+            assert!(parse_args(&args).is_err(), "{flags:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn loadgen_args_parse_with_defaults_modes_and_rejections() {
+        let cmd = parse_args(&strings(&["loadgen", "--addr", "h:1"])).unwrap();
+        match cmd {
+            Command::Loadgen(a) => {
+                assert_eq!(a.addr, "h:1");
+                assert_eq!(a.requests, 64);
+                assert_eq!(a.concurrency, 4);
+                assert_eq!(a.rows_per_request, 1);
+                assert_eq!(a.mode, "closed");
+                assert_eq!(a.rate, None);
+                assert_eq!(a.verify_dataset, None);
+                assert!(!a.shutdown);
+                assert_eq!(a.out, None);
+            }
+            other => panic!("expected Loadgen, got {other:?}"),
+        }
+        let cmd = parse_args(&strings(&[
+            "loadgen",
+            "--addr",
+            "h:1",
+            "--requests",
+            "128",
+            "--concurrency",
+            "8",
+            "--rows-per-request",
+            "2",
+            "--mode",
+            "open",
+            "--rate",
+            "50",
+            "--verify-dataset",
+            "d",
+            "--shutdown",
+            "--out",
+            "r.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Loadgen(a) => {
+                assert_eq!(a.requests, 128);
+                assert_eq!(a.concurrency, 8);
+                assert_eq!(a.rows_per_request, 2);
+                assert_eq!(a.mode, "open");
+                assert_eq!(a.rate, Some(50.0));
+                assert_eq!(a.verify_dataset.as_deref(), Some("d"));
+                assert!(a.shutdown);
+                assert_eq!(a.out.as_deref(), Some("r.json"));
+            }
+            other => panic!("expected Loadgen, got {other:?}"),
+        }
+        // Mode/rate pairing is validated at parse time.
+        assert!(parse_args(&strings(&["loadgen", "--addr", "h:1", "--mode", "open"])).is_err());
+        assert!(parse_args(&strings(&["loadgen", "--addr", "h:1", "--rate", "9"])).is_err());
+        assert!(parse_args(&strings(&["loadgen", "--addr", "h:1", "--mode", "poisson"])).is_err());
+        // Server knobs and --dataset don't belong to loadgen.
+        assert!(parse_args(&strings(&["loadgen", "--addr", "h:1", "--port", "1"])).is_err());
+        assert!(parse_args(&strings(&["loadgen", "--addr", "h:1", "--dataset", "d"])).is_err());
+        // Other commands reject the service flags.
+        assert!(parse_args(&strings(&["accuracy", "--dataset", "d", "--addr", "h:1"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--max-batch", "4"])).is_err());
     }
 }

@@ -32,9 +32,10 @@ use c4cam_arch::{ArchSpec, CamKind, Optimization};
 use c4cam_camsim::ExecStats;
 use c4cam_core::mapping::{place, MappingProblem, Placement};
 use c4cam_core::pipeline::C4camPipeline;
-use c4cam_hal::{BackendRegistry, ExecOptions, FaultConfig, RetryPolicy};
+use c4cam_hal::{BackendRegistry, ExecOptions, FaultConfig, RetryPolicy, SharedPlan};
 use c4cam_runtime::Value;
 use c4cam_telemetry::{log as tlog, ArgValue, Phase, Telemetry};
+use c4cam_tensor::Tensor;
 use c4cam_workloads::{accuracy, ArgOrder, Workload, WorkloadInputs};
 use std::error::Error;
 use std::fmt;
@@ -440,10 +441,27 @@ impl<'w> Experiment<'w> {
     /// Compile, place, and execute on a fresh machine; collect
     /// phase-separated statistics.
     ///
+    /// Equivalent to [`Experiment::compile`] followed by
+    /// [`CompiledExperiment::run`] — call those separately to pay the
+    /// Parse/Place/Compile phases once and execute many times.
+    ///
     /// # Errors
     /// [`DriverError::Config`] for invalid knob combinations (checked
     /// up front), otherwise the failing stage's error.
     pub fn run(&self) -> Result<RunOutcome, DriverError> {
+        self.compile()?.run()
+    }
+
+    /// Run the Parse/Place/Compile phases once and return a reusable
+    /// [`CompiledExperiment`]: an owned, `Send + Sync` artifact that
+    /// executes the compiled plan any number of times without
+    /// recompiling. This is the entry point the resident server's plan
+    /// cache builds on.
+    ///
+    /// # Errors
+    /// [`DriverError::Config`] for invalid knob combinations (checked
+    /// up front), otherwise the failing stage's error.
+    pub fn compile(&self) -> Result<CompiledExperiment, DriverError> {
         if self.threads == 0 {
             return Err(DriverError::Config(
                 "threads must be >= 1 (got 0)".to_string(),
@@ -512,17 +530,131 @@ impl<'w> Experiment<'w> {
                 .compile(built.module)
                 .map_err(|e| DriverError::Compile(Box::new(e)))?;
             backend
-                .compile(&compiled.module, built.func, &spec)
+                .compile_shared(&compiled.module, built.func, &spec)
                 .map_err(|e| DriverError::Compile(Box::new(e)))?
         };
-        let WorkloadInputs {
-            stored,
-            queries,
-            labels,
-        } = inputs;
+        Ok(CompiledExperiment {
+            plan,
+            placement,
+            inputs,
+            arg_order: built.arg_order,
+            queries: nq,
+            backend: self.backend.clone(),
+            threads: self.threads,
+            wta_window: self.wta_window,
+            tech: self.tech.clone(),
+            telemetry: self.telemetry.clone(),
+            faults: self.faults.clone(),
+            retry: self.retry.clone(),
+        })
+    }
+}
+
+/// A compiled, placed, ready-to-execute experiment: the product of
+/// [`Experiment::compile`]. Owns the backend plan (behind a
+/// [`SharedPlan`]), the placement, and the workload's materialised
+/// inputs, so it has no borrow of the originating workload and is
+/// `Send + Sync` — a resident service can cache one per
+/// `(workload, ArchSpec, backend)` key and execute it from any thread.
+///
+/// Every execution pays only the Execute phase: Parse/Place/Compile
+/// happened once in [`Experiment::compile`].
+#[derive(Clone)]
+pub struct CompiledExperiment {
+    plan: SharedPlan,
+    placement: Placement,
+    inputs: WorkloadInputs,
+    arg_order: ArgOrder,
+    queries: usize,
+    backend: String,
+    threads: usize,
+    wta_window: Option<u32>,
+    tech: Option<TechnologyModel>,
+    telemetry: Telemetry,
+    faults: Option<FaultConfig>,
+    retry: RetryPolicy,
+}
+
+impl fmt::Debug for CompiledExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledExperiment")
+            .field("backend", &self.backend)
+            .field("queries", &self.queries)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledExperiment {
+    /// The query count the plan was compiled for (the tape bakes the
+    /// query-loop trip count in, so every execution runs exactly this
+    /// many queries).
+    pub fn query_count(&self) -> usize {
+        self.queries
+    }
+
+    /// Per-query feature dimensionality the plan expects.
+    pub fn dims(&self) -> usize {
+        self.inputs.queries.shape().get(1).copied().unwrap_or(0)
+    }
+
+    /// The placement chosen by the mapping pass.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The workload's own (quantized) query tensor, as compiled — the
+    /// rows [`CompiledExperiment::run`] executes.
+    pub fn compiled_queries(&self) -> &Tensor {
+        &self.inputs.queries
+    }
+
+    /// Swap the telemetry handle for subsequent executions (e.g. to
+    /// give each service request its own recorder).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> CompiledExperiment {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Execute the compiled plan against the workload's own inputs.
+    ///
+    /// # Errors
+    /// [`DriverError::Exec`] on simulator failure.
+    pub fn run(&self) -> Result<RunOutcome, DriverError> {
+        self.execute(self.inputs.queries.clone(), self.inputs.labels.clone())
+    }
+
+    /// Execute the compiled plan against caller-supplied query rows
+    /// (the dynamic-batching entry point: the service pads a coalesced
+    /// batch to the compiled capacity and substitutes it here).
+    ///
+    /// The returned outcome has no ground-truth labels, so
+    /// [`RunOutcome::accuracy`] is not meaningful on it (the caller
+    /// compares predictions directly).
+    ///
+    /// # Errors
+    /// [`DriverError::Config`] when `queries` does not match the
+    /// compiled shape; [`DriverError::Exec`] on simulator failure.
+    pub fn run_with_queries(&self, queries: Tensor) -> Result<RunOutcome, DriverError> {
+        let expected = self.inputs.queries.shape();
+        if queries.shape() != expected {
+            return Err(DriverError::Config(format!(
+                "query tensor shape {:?} does not match the compiled shape {:?} \
+                 (the plan bakes the query count in; pad the batch to capacity)",
+                queries.shape(),
+                expected
+            )));
+        }
+        self.execute(queries, Vec::new())
+    }
+
+    fn execute(&self, queries: Tensor, labels: Vec<usize>) -> Result<RunOutcome, DriverError> {
+        let nq = self.queries;
+        let stored = self.inputs.stored.clone();
         // The workload declares its kernel's argument order — no shape
         // heuristics (those are ambiguous when queries == stored rows).
-        let args = match built.arg_order {
+        let args = match self.arg_order {
             ArgOrder::QueriesThenStored => vec![Value::Tensor(queries), Value::Tensor(stored)],
             ArgOrder::StoredThenQueries => vec![Value::Tensor(stored), Value::Tensor(queries)],
         };
@@ -539,7 +671,8 @@ impl<'w> Experiment<'w> {
             let mut span = self.telemetry.phase(Phase::Execute);
             span.arg("backend", ArgValue::Str(self.backend.clone()));
             span.arg("threads", ArgValue::Int(self.threads as i64));
-            plan.execute(&args, &opts)
+            self.plan
+                .execute(&args, &opts)
                 .map_err(|e| DriverError::Exec(Box::new(e)))?
         };
         if self.telemetry.enabled() {
@@ -584,7 +717,7 @@ impl<'w> Experiment<'w> {
             query_phase,
             predictions,
             labels,
-            placement,
+            placement: self.placement,
             queries: nq,
             trace: execution.trace,
         })

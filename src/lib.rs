@@ -35,4 +35,5 @@ pub use c4cam_workloads as workloads;
 pub mod accuracy;
 pub mod cli;
 pub mod driver;
+pub mod service;
 pub mod sweep;
