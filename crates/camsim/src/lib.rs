@@ -60,4 +60,4 @@ pub use machine::{
     ArrayId, BankId, CamMachine, MatId, SearchPath, SearchSpec, SimError, SubarrayId,
 };
 pub use stats::ExecStats;
-pub use subarray::{RowSelection, SearchResult, SearchScratch, Subarray};
+pub use subarray::{resolve_tier, KernelTier, RowSelection, SearchResult, SearchScratch, Subarray};

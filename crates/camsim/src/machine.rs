@@ -14,7 +14,7 @@
 //! sums — concurrency changes time, not work.
 
 use crate::stats::ExecStats;
-use crate::subarray::{RowSelection, SearchResult, SearchScratch, Subarray};
+use crate::subarray::{KernelTier, RowSelection, SearchResult, SearchScratch, Subarray};
 use c4cam_arch::tech::{Level, TechnologyModel};
 use c4cam_arch::{ArchSpec, MatchKind, Metric};
 use c4cam_faults::{FaultConfig, SubarrayFaults};
@@ -285,6 +285,21 @@ impl CamMachine {
     /// The search kernel in use.
     pub fn search_path(&self) -> SearchPath {
         self.search_path
+    }
+
+    /// Force a SIMD kernel tier for this machine's packed searches
+    /// (`None` restores the process default — the `C4CAM_KERNEL_TIER`
+    /// override, else the detected best).
+    ///
+    /// # Errors
+    /// Fails when the host does not support the requested tier.
+    pub fn set_kernel_tier(&mut self, tier: Option<KernelTier>) -> Result<(), SimError> {
+        self.scratch.set_kernel_tier(tier).map_err(SimError::new)
+    }
+
+    /// The forced kernel tier, if any.
+    pub fn kernel_tier(&self) -> Option<KernelTier> {
+        self.scratch.kernel_tier()
     }
 
     /// Subarray geometry `(rows, cols)` of this machine.

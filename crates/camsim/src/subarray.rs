@@ -27,6 +27,114 @@
 use crate::cell::CamCell;
 use c4cam_arch::{MatchKind, Metric};
 use c4cam_faults::{query_hash, SubarrayFaults};
+use std::sync::OnceLock;
+
+/// SIMD dispatch tier of the packed row kernels.
+///
+/// Tiers are ordered by capability (`Scalar < Avx2 < Avx512`); a host
+/// that supports a tier supports every tier below it. Every tier runs
+/// the same integer kernel bodies, so distances are bit-identical
+/// across tiers by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KernelTier {
+    /// Portable scalar bodies (always available).
+    Scalar,
+    /// AVX2 + POPCNT auto-vectorized variants.
+    Avx2,
+    /// AVX-512 (F/BW/VL + VPOPCNTDQ) variants.
+    Avx512,
+}
+
+impl KernelTier {
+    /// Environment variable forcing a tier process-wide.
+    pub const ENV: &'static str = "C4CAM_KERNEL_TIER";
+
+    /// The tier's canonical keyword (the `C4CAM_KERNEL_TIER` value).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Avx512 => "avx512",
+        }
+    }
+
+    /// Parse a tier keyword.
+    ///
+    /// # Errors
+    /// Fails with a structured message naming the valid keywords.
+    pub fn from_keyword(s: &str) -> Result<KernelTier, String> {
+        match s {
+            "scalar" => Ok(KernelTier::Scalar),
+            "avx2" => Ok(KernelTier::Avx2),
+            "avx512" => Ok(KernelTier::Avx512),
+            other => Err(format!(
+                "unknown kernel tier '{other}' (expected 'scalar', 'avx2' or 'avx512')"
+            )),
+        }
+    }
+
+    /// Best tier this host supports. Feature detection runs once per
+    /// process; later calls are a single atomic load.
+    pub fn detect() -> KernelTier {
+        static BEST: OnceLock<KernelTier> = OnceLock::new();
+        *BEST.get_or_init(detect_best_tier)
+    }
+}
+
+fn detect_best_tier() -> KernelTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+        {
+            return KernelTier::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("popcnt")
+        {
+            return KernelTier::Avx2;
+        }
+    }
+    KernelTier::Scalar
+}
+
+/// Validate a tier request against an explicit host capability.
+///
+/// Pure so the unsupported-host rejection is testable on any machine:
+/// pass [`KernelTier::detect`] as `best` for the real check.
+///
+/// # Errors
+/// Fails when `requested` exceeds `best`.
+pub fn resolve_tier(requested: Option<KernelTier>, best: KernelTier) -> Result<KernelTier, String> {
+    match requested {
+        None => Ok(best),
+        Some(t) if t <= best => Ok(t),
+        Some(t) => Err(format!(
+            "kernel tier '{}' is not supported by this host (best supported: '{}')",
+            t.keyword(),
+            best.keyword()
+        )),
+    }
+}
+
+/// Process-wide tier: `C4CAM_KERNEL_TIER` when set (validated against
+/// the host), else the detected best. Resolved once and cached — the
+/// search hot path pays one load, not an env lookup plus CPUID walk
+/// per dispatch.
+fn env_tier() -> &'static Result<KernelTier, String> {
+    static TIER: OnceLock<Result<KernelTier, String>> = OnceLock::new();
+    TIER.get_or_init(|| match std::env::var(KernelTier::ENV) {
+        Err(_) => Ok(KernelTier::detect()),
+        Ok(s) => {
+            let t =
+                KernelTier::from_keyword(&s).map_err(|e| format!("{}: {e}", KernelTier::ENV))?;
+            resolve_tier(Some(t), KernelTier::detect())
+                .map_err(|e| format!("{}: {e}", KernelTier::ENV))
+        }
+    })
+}
 
 /// Which rows participate in a search.
 ///
@@ -123,12 +231,36 @@ pub struct SearchScratch {
     qvalid: Vec<u8>,
     /// Integral query values (exact-integer Euclidean accumulation).
     qint: Vec<i64>,
-    /// `i32` copy of `qint` for the vectorizable small-magnitude path.
-    qint32: Vec<i32>,
+    /// `i16` copy of `qint` for the vectorizable small-magnitude path.
+    qint16: Vec<i16>,
     /// Per-column squared distance to a stored `0` bit.
     sq0: Vec<f64>,
     /// Per-column squared distance to a stored `1` bit.
     sq1: Vec<f64>,
+    /// Forced kernel tier (`None` = process default: the
+    /// `C4CAM_KERNEL_TIER` override, else the detected best).
+    tier: Option<KernelTier>,
+}
+
+impl SearchScratch {
+    /// Force a kernel tier for searches using this scratch; `None`
+    /// restores the process default. The request is validated against
+    /// the host immediately.
+    ///
+    /// # Errors
+    /// Fails when the host does not support the requested tier.
+    pub fn set_kernel_tier(&mut self, tier: Option<KernelTier>) -> Result<(), String> {
+        if let Some(t) = tier {
+            resolve_tier(Some(t), KernelTier::detect())?;
+        }
+        self.tier = tier;
+        Ok(())
+    }
+
+    /// The forced kernel tier, if any.
+    pub fn kernel_tier(&self) -> Option<KernelTier> {
+        self.tier
+    }
 }
 
 /// How a row participates in the packed fast path.
@@ -150,41 +282,37 @@ const INT_QUERY_BOUND: f64 = 1_048_576.0; // 2^20
 // Integer row kernels
 //
 // The workspace compiles for baseline x86-64 (SSE2), which cannot
-// vectorize 32-bit multiplies; the hot integer folds therefore carry a
-// runtime-dispatched AVX2 variant (`#[target_feature]` on the same
-// body, auto-vectorized by LLVM). Integer addition is associative, so
-// lane order cannot change a single bit of the result.
+// vectorize 32-bit multiplies or emit VPOPCNTQ; the hot integer folds
+// therefore carry runtime-dispatched AVX2 and AVX-512 variants
+// (`#[target_feature]` on the same body, auto-vectorized by LLVM).
+// Integer addition is associative, so lane order cannot change a
+// single bit of the result — every tier is bit-identical.
+//
+// The tier is resolved once per search (`env_tier`, a cached load) and
+// dispatched once per search at the whole row-sweep level
+// (`Subarray::sweep_rows`): the `#[target_feature]` wrappers wrap the
+// entire row loop, so these bodies inline into it and rows of a few
+// plane words pay no per-row call or dispatch overhead.
 // ---------------------------------------------------------------------
 
-/// Exact-integer small-magnitude squared-Euclidean fold: per-cell
-/// products fit `u32` (|d| ≤ 1024 + 255), folded in 1024-cell blocks.
+/// Exact-integer small-magnitude squared-Euclidean fold: the caller
+/// guarantees `|q| ≤ 1024`, so `q - level` fits `i16` and the per-cell
+/// squares fit `u32`; folding in 1024-cell blocks keeps the block sum
+/// in `u32` too. The narrow difference lets the vectorizer run the
+/// subtract/mask at 16-bit width (twice the lanes) before widening for
+/// the square.
 #[inline(always)]
-fn euclid_int_small_body(lv: &[u8], care: &[u8], q: &[i32]) -> u64 {
+fn euclid_int_small_body(lv: &[u8], care: &[u8], q: &[i16]) -> u64 {
     let mut acc = 0u64;
     for ((lvb, careb), qb) in lv.chunks(1024).zip(care.chunks(1024)).zip(q.chunks(1024)) {
         let mut s = 0u32;
         for ((&l, &cb), &qv) in lvb.iter().zip(careb).zip(qb) {
-            let d = (qv - i32::from(l)) * i32::from(cb);
-            s += (d * d) as u32;
+            let d = (qv - i16::from(l)) * i16::from(cb);
+            s += (i32::from(d) * i32::from(d)) as u32;
         }
         acc += u64::from(s);
     }
     acc
-}
-
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn euclid_int_small_avx2(lv: &[u8], care: &[u8], q: &[i32]) -> u64 {
-    euclid_int_small_body(lv, care, q)
-}
-
-fn euclid_int_small(lv: &[u8], care: &[u8], q: &[i32]) -> u64 {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { euclid_int_small_avx2(lv, care, q) };
-    }
-    euclid_int_small_body(lv, care, q)
 }
 
 /// Branchless level-plane mismatch count (byte compares).
@@ -198,48 +326,21 @@ fn mismatch_levels_body(lv: &[u8], care: &[u8], qlvl8: &[u8], qvalid: &[u8]) -> 
     u64::from(n)
 }
 
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn mismatch_levels_avx2(lv: &[u8], care: &[u8], qlvl8: &[u8], qvalid: &[u8]) -> u64 {
-    mismatch_levels_body(lv, care, qlvl8, qvalid)
-}
-
-fn mismatch_levels_kernel(lv: &[u8], care: &[u8], qlvl8: &[u8], qvalid: &[u8]) -> u64 {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { mismatch_levels_avx2(lv, care, qlvl8, qvalid) };
-    }
-    mismatch_levels_body(lv, care, qlvl8, qvalid)
-}
-
-/// Word fold of a binary row: `XOR → AND care → popcount`.
+/// Word fold of a binary row: `XOR → AND care → popcount`. Full words
+/// stream branch-free (the AVX-512 variant folds them as VPOPCNTQ
+/// lanes); a ragged tail word is masked separately.
 #[inline(always)]
 fn mismatch_binary_body(bits: &[u64], care: &[u64], qbits: &[u64], qlen: usize) -> u64 {
+    let full = qlen / 64;
     let mut n = 0u64;
-    for (w, (&b, (&cm, &qb))) in bits.iter().zip(care.iter().zip(qbits)).enumerate() {
-        let mut x = (b ^ qb) & cm;
-        if (w + 1) * 64 > qlen {
-            x &= (1u64 << (qlen % 64)) - 1;
-        }
+    for ((&b, &cm), &qb) in bits[..full].iter().zip(&care[..full]).zip(&qbits[..full]) {
+        n += u64::from(((b ^ qb) & cm).count_ones());
+    }
+    if !qlen.is_multiple_of(64) {
+        let x = (bits[full] ^ qbits[full]) & care[full] & ((1u64 << (qlen % 64)) - 1);
         n += u64::from(x.count_ones());
     }
     n
-}
-
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "popcnt")]
-unsafe fn mismatch_binary_popcnt(bits: &[u64], care: &[u64], qbits: &[u64], qlen: usize) -> u64 {
-    mismatch_binary_body(bits, care, qbits, qlen)
-}
-
-fn mismatch_binary_kernel(bits: &[u64], care: &[u64], qbits: &[u64], qlen: usize) -> u64 {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("popcnt") {
-        // SAFETY: POPCNT support was just verified at runtime.
-        return unsafe { mismatch_binary_popcnt(bits, care, qbits, qlen) };
-    }
-    mismatch_binary_body(bits, care, qbits, qlen)
 }
 
 /// A single `rows × cols` CAM subarray.
@@ -262,6 +363,10 @@ pub struct Subarray {
     levels: Vec<u8>,
     /// Packed classification per row.
     kinds: Vec<RowKind>,
+    /// Valid-row counts by [`RowKind`] (`[Binary, Levels, Other]`),
+    /// maintained at write time so a full-window search skips the
+    /// per-row classification scan.
+    kind_mix: [usize; 3],
     /// Plane words (packed rows) / cells (fallback rows) visited by the
     /// most recent search.
     last_words: u64,
@@ -289,6 +394,7 @@ impl Subarray {
             care_bytes: vec![0; rows * cols],
             levels: vec![0; rows * cols],
             kinds: vec![RowKind::Binary; rows],
+            kind_mix: [0; 3],
             last_words: 0,
             last_result: None,
             faults: None,
@@ -399,8 +505,7 @@ impl Subarray {
                     None => CamCell::DontCare,
                 };
             }
-            self.valid[r] = true;
-            self.repack_row(r);
+            self.mark_valid_and_repack(r);
         }
         self.faults = faults;
         Ok(())
@@ -422,10 +527,20 @@ impl Subarray {
             for c in 0..self.cols {
                 self.cells[r * self.cols + c] = row.get(c).copied().unwrap_or(CamCell::DontCare);
             }
-            self.valid[r] = true;
-            self.repack_row(r);
+            self.mark_valid_and_repack(r);
         }
         Ok(())
+    }
+
+    /// Mark row `r` programmed, rebuild its planes, and keep the
+    /// valid-row kind counts in step.
+    fn mark_valid_and_repack(&mut self, r: usize) {
+        if self.valid[r] {
+            self.kind_mix[self.kinds[r] as usize] -= 1;
+        }
+        self.valid[r] = true;
+        self.repack_row(r);
+        self.kind_mix[self.kinds[r] as usize] += 1;
     }
 
     /// Rebuild row `r`'s match planes and classification from its cells.
@@ -483,10 +598,11 @@ impl Subarray {
     // ------------------------------------------------------------------
 
     /// Mismatch count of a binary row: `XOR → AND care → popcount`.
+    #[inline(always)]
     fn mismatch_binary(&self, r: usize, qlen: usize, qbits: &[u64]) -> u64 {
         let wpr = self.words_per_row;
         let words = qlen.div_ceil(64);
-        mismatch_binary_kernel(
+        mismatch_binary_body(
             &self.bits[r * wpr..r * wpr + words],
             &self.care[r * wpr..r * wpr + words],
             qbits,
@@ -496,8 +612,9 @@ impl Subarray {
 
     /// Mismatch count of a multi-bit row over the level plane:
     /// branchless byte compares against the packed query levels.
+    #[inline(always)]
     fn mismatch_levels(&self, r: usize, qlen: usize, qlvl8: &[u8], qvalid: &[u8]) -> u64 {
-        mismatch_levels_kernel(
+        mismatch_levels_body(
             &self.levels[r * self.cols..r * self.cols + qlen],
             &self.care_bytes[r * self.cols..r * self.cols + qlen],
             qlvl8,
@@ -514,11 +631,12 @@ impl Subarray {
     /// associative, so both orders are exact — and therefore identical
     /// to the naive column-order `f64` walk while the total stays below
     /// 2^53 (guaranteed by the caller's packing guard).
-    fn euclid_int(&self, r: usize, qlen: usize, qint: &[i64], qint32: &[i32]) -> u64 {
+    #[inline(always)]
+    fn euclid_int(&self, r: usize, qlen: usize, qint: &[i64], qint16: &[i16]) -> u64 {
         let lv = &self.levels[r * self.cols..r * self.cols + qlen];
         let care = &self.care_bytes[r * self.cols..r * self.cols + qlen];
-        if qint32.len() == qlen {
-            euclid_int_small(lv, care, qint32)
+        if qint16.len() == qlen {
+            euclid_int_small_body(lv, care, qint16)
         } else {
             let mut acc = 0u64;
             for ((&l, &cb), &q) in lv.iter().zip(care).zip(qint) {
@@ -534,6 +652,7 @@ impl Subarray {
     /// don't-care cells contribute exactly `+0.0`, and every partial
     /// sum is non-negative-or-NaN, so skipping the `+0.0` cannot change
     /// a single bit).
+    #[inline(always)]
     fn euclid_f64_binary(&self, r: usize, qlen: usize, sq0: &[f64], sq1: &[f64]) -> f64 {
         let lv = &self.levels[r * self.cols..r * self.cols + qlen];
         let care = &self.care_bytes[r * self.cols..r * self.cols + qlen];
@@ -546,6 +665,7 @@ impl Subarray {
     }
 
     /// Column-order `f64` squared-Euclidean of a multi-bit row.
+    #[inline(always)]
     fn euclid_f64_levels(&self, r: usize, qlen: usize, query: &[f32]) -> f64 {
         let lv = &self.levels[r * self.cols..r * self.cols + qlen];
         let care = &self.care_bytes[r * self.cols..r * self.cols + qlen];
@@ -587,116 +707,31 @@ impl Subarray {
         }
     }
 
-    /// Search all selected valid rows against `query` using the packed
-    /// match planes (bit-identical to [`Subarray::search_naive`]).
+    /// One whole-window row sweep: distances, the WTA clamp, transient
+    /// fault penalties, work accounting and the result pushes.
     ///
-    /// `threshold` is only meaningful for [`MatchKind::Threshold`];
-    /// `wta_window` models a winner-take-all sensing circuit that can
-    /// only discriminate best matches within a bounded mismatch count
-    /// (paper \[19\]) — rows beyond the window saturate to the window
-    /// value. `scratch` holds the reusable query-side packing buffers.
-    ///
-    /// # Errors
-    /// Fails if the query is wider than the subarray.
+    /// The body is wrapped per kernel tier (`sweep_rows_avx2` /
+    /// `sweep_rows_avx512` below), so the tier is dispatched **once per
+    /// search** and the tiny per-row kernels inline straight into the
+    /// loop — rows of one to four plane words pay no per-row call or
+    /// dispatch overhead. The `f64` fallbacks stay bit-identical under
+    /// wider features: Rust emits no fast-math flags, so LLVM cannot
+    /// contract or reassociate the float sums.
     #[allow(clippy::too_many_arguments)]
-    pub fn search(
-        &mut self,
+    #[inline(always)]
+    fn sweep_rows_body(
+        &self,
+        window: std::ops::Range<usize>,
         query: &[f32],
-        kind: MatchKind,
         metric: Metric,
-        selection: RowSelection,
-        threshold: f64,
+        int_mode: bool,
         wta_window: Option<u32>,
-        scratch: &mut SearchScratch,
-    ) -> Result<&SearchResult, String> {
-        if query.len() > self.cols {
-            return Err(format!(
-                "query width {} exceeds {} columns",
-                query.len(),
-                self.cols
-            ));
-        }
+        qh: Option<u64>,
+        faults: &mut Option<Box<SubarrayFaults>>,
+        scratch: &SearchScratch,
+        result: &mut SearchResult,
+    ) -> u64 {
         let qlen = query.len();
-        let window = selection.range(self.rows);
-        let (mut has_binary, mut has_levels) = (false, false);
-        for r in window.clone() {
-            if self.valid[r] {
-                match self.kinds[r] {
-                    RowKind::Binary => has_binary = true,
-                    RowKind::Levels => has_levels = true,
-                    RowKind::Other => {}
-                }
-            }
-        }
-
-        // Pack the query once, per what the selected rows need.
-        let mut int_mode = false;
-        match metric {
-            Metric::Hamming | Metric::Dot => {
-                if has_binary {
-                    scratch.qbits.clear();
-                    scratch.qbits.resize(qlen.div_ceil(64), 0);
-                    for (c, &q) in query.iter().enumerate() {
-                        scratch.qbits[c / 64] |= u64::from(q != 0.0) << (c % 64);
-                    }
-                }
-                if has_levels {
-                    scratch.qlvl8.clear();
-                    scratch.qvalid.clear();
-                    for &q in query {
-                        // Exactly the naive `Multi` comparison: the
-                        // rounded query as i64 (NaN → 0, ±inf saturate)
-                        // equals a stored u8 level iff it is in range.
-                        let l = q.round() as i64;
-                        scratch.qlvl8.push(l.clamp(0, 255) as u8);
-                        scratch.qvalid.push(u8::from((0..=255).contains(&l)));
-                    }
-                }
-            }
-            Metric::Euclidean => {
-                if has_binary || has_levels {
-                    int_mode = query
-                        .iter()
-                        .all(|&q| q.fract() == 0.0 && q.abs() <= INT_QUERY_BOUND as f32);
-                    if int_mode {
-                        scratch.qint.clear();
-                        scratch.qint.extend(query.iter().map(|&q| q as i64));
-                        // The u64 accumulator and the final f64 convert
-                        // are exact only below 2^53.
-                        let maxq = scratch.qint.iter().map(|q| q.abs()).max().unwrap_or(0);
-                        let maxd = maxq + 255;
-                        int_mode = (qlen as f64) * (maxd as f64) * (maxd as f64) < 2f64.powi(53);
-                        scratch.qint32.clear();
-                        if int_mode && maxq <= 1024 {
-                            scratch
-                                .qint32
-                                .extend(scratch.qint.iter().map(|&q| q as i32));
-                        }
-                    }
-                    if !int_mode && has_binary {
-                        scratch.sq0.clear();
-                        scratch.sq1.clear();
-                        for &q in query {
-                            let d = f64::from(q);
-                            scratch.sq0.push(d * d);
-                            let d = f64::from(q) - 1.0;
-                            scratch.sq1.push(d * d);
-                        }
-                    }
-                }
-            }
-        }
-
-        // Transient faults key on the query's own bit pattern, so the
-        // packed path, the naive oracle and the SIMD backend all draw
-        // the same per-row flips for the same search.
-        let mut faults = self.faults.take();
-        let qh = match faults.as_deref() {
-            Some(f) if f.transient_enabled() => Some(query_hash(query)),
-            _ => None,
-        };
-        let mut result = self.last_result.take().unwrap_or_default();
-        result.clear();
         let mut words = 0u64;
         for r in window {
             if !self.valid[r] {
@@ -720,7 +755,7 @@ impl Subarray {
                 }
                 (RowKind::Binary | RowKind::Levels, Metric::Euclidean) => {
                     if int_mode {
-                        self.euclid_int(r, qlen, &scratch.qint, &scratch.qint32) as f64
+                        self.euclid_int(r, qlen, &scratch.qint, &scratch.qint16) as f64
                     } else if kind_r == RowKind::Binary {
                         self.euclid_f64_binary(r, qlen, &scratch.sq0, &scratch.sq1)
                     } else {
@@ -754,6 +789,234 @@ impl Subarray {
             result.rows.push(r);
             result.distances.push(dist);
         }
+        words
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,popcnt")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn sweep_rows_avx2(
+        &self,
+        window: std::ops::Range<usize>,
+        query: &[f32],
+        metric: Metric,
+        int_mode: bool,
+        wta_window: Option<u32>,
+        qh: Option<u64>,
+        faults: &mut Option<Box<SubarrayFaults>>,
+        scratch: &SearchScratch,
+        result: &mut SearchResult,
+    ) -> u64 {
+        self.sweep_rows_body(
+            window, query, metric, int_mode, wta_window, qh, faults, scratch, result,
+        )
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512bw,avx512vl,avx512vpopcntdq")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn sweep_rows_avx512(
+        &self,
+        window: std::ops::Range<usize>,
+        query: &[f32],
+        metric: Metric,
+        int_mode: bool,
+        wta_window: Option<u32>,
+        qh: Option<u64>,
+        faults: &mut Option<Box<SubarrayFaults>>,
+        scratch: &SearchScratch,
+        result: &mut SearchResult,
+    ) -> u64 {
+        self.sweep_rows_body(
+            window, query, metric, int_mode, wta_window, qh, faults, scratch, result,
+        )
+    }
+
+    /// Dispatch the row sweep once on the resolved kernel tier.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_rows(
+        &self,
+        tier: KernelTier,
+        window: std::ops::Range<usize>,
+        query: &[f32],
+        metric: Metric,
+        int_mode: bool,
+        wta_window: Option<u32>,
+        qh: Option<u64>,
+        faults: &mut Option<Box<SubarrayFaults>>,
+        scratch: &SearchScratch,
+        result: &mut SearchResult,
+    ) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: tier resolution verified the target features at startup.
+        match tier {
+            KernelTier::Avx512 => {
+                return unsafe {
+                    self.sweep_rows_avx512(
+                        window, query, metric, int_mode, wta_window, qh, faults, scratch, result,
+                    )
+                }
+            }
+            KernelTier::Avx2 => {
+                return unsafe {
+                    self.sweep_rows_avx2(
+                        window, query, metric, int_mode, wta_window, qh, faults, scratch, result,
+                    )
+                }
+            }
+            KernelTier::Scalar => {}
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = tier;
+        self.sweep_rows_body(
+            window, query, metric, int_mode, wta_window, qh, faults, scratch, result,
+        )
+    }
+
+    /// Search all selected valid rows against `query` using the packed
+    /// match planes (bit-identical to [`Subarray::search_naive`]).
+    ///
+    /// `threshold` is only meaningful for [`MatchKind::Threshold`];
+    /// `wta_window` models a winner-take-all sensing circuit that can
+    /// only discriminate best matches within a bounded mismatch count
+    /// (paper \[19\]) — rows beyond the window saturate to the window
+    /// value. `scratch` holds the reusable query-side packing buffers.
+    ///
+    /// # Errors
+    /// Fails if the query is wider than the subarray.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search(
+        &mut self,
+        query: &[f32],
+        kind: MatchKind,
+        metric: Metric,
+        selection: RowSelection,
+        threshold: f64,
+        wta_window: Option<u32>,
+        scratch: &mut SearchScratch,
+    ) -> Result<&SearchResult, String> {
+        if query.len() > self.cols {
+            return Err(format!(
+                "query width {} exceeds {} columns",
+                query.len(),
+                self.cols
+            ));
+        }
+        // One tier decision per search; the whole row sweep below is
+        // dispatched once on this value (never per row) and feature
+        // detection is not touched again.
+        let tier = match scratch.tier {
+            Some(t) => t,
+            None => env_tier().clone()?,
+        };
+        let qlen = query.len();
+        let window = selection.range(self.rows);
+        // Full-window searches (the common case) read the write-time
+        // kind counts; selective windows still scan their row range.
+        let (has_binary, has_levels) = if window == (0..self.rows) {
+            (
+                self.kind_mix[RowKind::Binary as usize] > 0,
+                self.kind_mix[RowKind::Levels as usize] > 0,
+            )
+        } else {
+            let (mut has_binary, mut has_levels) = (false, false);
+            for r in window.clone() {
+                if self.valid[r] {
+                    match self.kinds[r] {
+                        RowKind::Binary => has_binary = true,
+                        RowKind::Levels => has_levels = true,
+                        RowKind::Other => {}
+                    }
+                }
+            }
+            (has_binary, has_levels)
+        };
+
+        // Pack the query once, per what the selected rows need.
+        let mut int_mode = false;
+        match metric {
+            Metric::Hamming | Metric::Dot => {
+                if has_binary {
+                    scratch.qbits.clear();
+                    scratch.qbits.resize(qlen.div_ceil(64), 0);
+                    for (c, &q) in query.iter().enumerate() {
+                        scratch.qbits[c / 64] |= u64::from(q != 0.0) << (c % 64);
+                    }
+                }
+                if has_levels {
+                    scratch.qlvl8.clear();
+                    scratch.qvalid.clear();
+                    for &q in query {
+                        // Exactly the naive `Multi` comparison: the
+                        // rounded query as i64 (NaN → 0, ±inf saturate)
+                        // equals a stored u8 level iff it is in range.
+                        let l = q.round() as i64;
+                        scratch.qlvl8.push(l.clamp(0, 255) as u8);
+                        scratch.qvalid.push(u8::from((0..=255).contains(&l)));
+                    }
+                }
+            }
+            Metric::Euclidean => {
+                if has_binary || has_levels {
+                    // One pass: integrality check, `i64` convert and the
+                    // magnitude bound together (the packing runs per
+                    // search, so passes over the query are not free).
+                    scratch.qint.clear();
+                    let mut integral = true;
+                    let mut maxq = 0i64;
+                    for &q in query {
+                        integral &= q.fract() == 0.0 && q.abs() <= INT_QUERY_BOUND as f32;
+                        let v = q as i64;
+                        maxq = maxq.max(v.abs());
+                        scratch.qint.push(v);
+                    }
+                    // The u64 accumulator and the final f64 convert
+                    // are exact only below 2^53.
+                    let maxd = maxq + 255;
+                    int_mode =
+                        integral && (qlen as f64) * (maxd as f64) * (maxd as f64) < 2f64.powi(53);
+                    scratch.qint16.clear();
+                    if int_mode && maxq <= 1024 {
+                        scratch
+                            .qint16
+                            .extend(scratch.qint.iter().map(|&q| q as i16));
+                    }
+                    if !int_mode && has_binary {
+                        scratch.sq0.clear();
+                        scratch.sq1.clear();
+                        for &q in query {
+                            let d = f64::from(q);
+                            scratch.sq0.push(d * d);
+                            let d = f64::from(q) - 1.0;
+                            scratch.sq1.push(d * d);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Transient faults key on the query's own bit pattern, so the
+        // packed path, the naive oracle and the SIMD backend all draw
+        // the same per-row flips for the same search.
+        let mut faults = self.faults.take();
+        let qh = match faults.as_deref() {
+            Some(f) if f.transient_enabled() => Some(query_hash(query)),
+            _ => None,
+        };
+        let mut result = self.last_result.take().unwrap_or_default();
+        result.clear();
+        let words = self.sweep_rows(
+            tier,
+            window,
+            query,
+            metric,
+            int_mode,
+            wta_window,
+            qh,
+            &mut faults,
+            scratch,
+            &mut result,
+        );
         Self::flag_matches(&mut result, kind, threshold);
         self.faults = faults;
         self.last_words = words;
@@ -1233,6 +1496,139 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tier_resolution_orders_and_rejects() {
+        // No request: the host's best tier wins.
+        assert_eq!(
+            resolve_tier(None, KernelTier::Avx2).unwrap(),
+            KernelTier::Avx2
+        );
+        // Requests at or below the host capability pass through.
+        assert_eq!(
+            resolve_tier(Some(KernelTier::Scalar), KernelTier::Avx512).unwrap(),
+            KernelTier::Scalar
+        );
+        // Requests above it are rejected with a structured error.
+        let e = resolve_tier(Some(KernelTier::Avx512), KernelTier::Avx2).unwrap_err();
+        assert!(e.contains("avx512") && e.contains("not supported"), "{e}");
+        assert!(e.contains("best supported: 'avx2'"), "{e}");
+    }
+
+    #[test]
+    fn tier_keywords_round_trip_and_reject_unknowns() {
+        for t in [KernelTier::Scalar, KernelTier::Avx2, KernelTier::Avx512] {
+            assert_eq!(KernelTier::from_keyword(t.keyword()).unwrap(), t);
+        }
+        let e = KernelTier::from_keyword("sse9").unwrap_err();
+        assert!(e.contains("sse9") && e.contains("expected"), "{e}");
+    }
+
+    #[test]
+    fn forced_scalar_tier_matches_default_tier_bitwise() {
+        let mut s = programmed();
+        let q = [1.0f32, 0.0, 1.0, 1.0];
+        let default = s
+            .search(
+                &q,
+                MatchKind::Best,
+                Metric::Hamming,
+                RowSelection::All,
+                0.0,
+                None,
+                &mut scratch(),
+            )
+            .unwrap()
+            .clone();
+        let mut forced = scratch();
+        forced.set_kernel_tier(Some(KernelTier::Scalar)).unwrap();
+        assert_eq!(forced.kernel_tier(), Some(KernelTier::Scalar));
+        let scalar = s
+            .search(
+                &q,
+                MatchKind::Best,
+                Metric::Hamming,
+                RowSelection::All,
+                0.0,
+                None,
+                &mut forced,
+            )
+            .unwrap();
+        assert_eq!(&default, scalar);
+    }
+
+    #[test]
+    fn every_supported_tier_is_bit_identical_on_all_kernels() {
+        // One subarray exercising all three kernel families: binary
+        // rows (bit-plane fold), multi-bit rows (byte compares), and
+        // integral Euclidean queries (exact-integer fold).
+        let mut s = Subarray::new(4, 70);
+        s.write_rows(0, &[vec![1.0; 70], vec![0.0; 70]], 1).unwrap();
+        s.write_rows(2, &[vec![3.0; 70], vec![2.0; 70]], 2).unwrap();
+        let queries = [vec![1.0f32; 70], vec![2.0; 70]];
+        let best = KernelTier::detect();
+        for metric in [Metric::Hamming, Metric::Euclidean, Metric::Dot] {
+            for q in &queries {
+                let mut base = scratch();
+                base.set_kernel_tier(Some(KernelTier::Scalar)).unwrap();
+                let want = s
+                    .search(
+                        q,
+                        MatchKind::Best,
+                        metric,
+                        RowSelection::All,
+                        0.0,
+                        None,
+                        &mut base,
+                    )
+                    .unwrap()
+                    .clone();
+                for t in [KernelTier::Avx2, KernelTier::Avx512] {
+                    if t > best {
+                        continue;
+                    }
+                    let mut forced = scratch();
+                    forced.set_kernel_tier(Some(t)).unwrap();
+                    let got = s
+                        .search(
+                            q,
+                            MatchKind::Best,
+                            metric,
+                            RowSelection::All,
+                            0.0,
+                            None,
+                            &mut forced,
+                        )
+                        .unwrap();
+                    assert_eq!(want.rows, got.rows, "{t:?}/{metric:?}");
+                    let same = want
+                        .distances
+                        .iter()
+                        .zip(&got.distances)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(
+                        same,
+                        "{t:?}/{metric:?}: {:?} vs {:?}",
+                        want.distances, got.distances
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_forced_tier_is_rejected_at_set_time() {
+        // `resolve_tier` covers the pure rejection on any host; here we
+        // additionally pin the scratch-level behavior when the host
+        // really is below Avx512.
+        if KernelTier::detect() >= KernelTier::Avx512 {
+            return;
+        }
+        let mut sc = scratch();
+        let e = sc.set_kernel_tier(Some(KernelTier::Avx512)).unwrap_err();
+        assert!(e.contains("not supported"), "{e}");
+        assert_eq!(sc.kernel_tier(), None);
     }
 
     #[test]

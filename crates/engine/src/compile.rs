@@ -41,7 +41,8 @@
 
 use crate::error::EngineError;
 use crate::isa::{
-    CmpPred, FloatBinOp, Inst, IntBinOp, QueryLoop, ReduceInst, SearchInst, SliceOffset, Slot,
+    CmpPred, FloatBinOp, Inst, IntBinOp, PreConst, QueryLoop, ReduceInst, SearchInst, SliceOffset,
+    Slot,
 };
 use c4cam_arch::tech::Level;
 use c4cam_arch::{MatchKind, Metric};
@@ -64,6 +65,9 @@ pub struct Tape {
     pub(crate) op_names: Vec<String>,
     pub(crate) n_slots: usize,
     pub(crate) arg_slots: Vec<Slot>,
+    /// Slots the optimizer preloads at VM construction in place of the
+    /// stripped `Const*` instructions (see [`crate::opt`]).
+    pub(crate) preload: Vec<(Slot, PreConst)>,
     pub(crate) query_loop: Option<QueryLoop>,
     /// `LoopEnter` pcs of parallel loops whose iterations may be
     /// sharded across worker threads *within* one query (see
@@ -122,7 +126,7 @@ impl Tape {
 }
 
 /// Visit every slot an instruction (re)defines.
-fn inst_defs(inst: &Inst, mut f: impl FnMut(Slot)) {
+pub(crate) fn inst_defs(inst: &Inst, mut f: impl FnMut(Slot)) {
     match inst {
         Inst::ConstInt { out, .. }
         | Inst::ConstFloat { out, .. }
@@ -130,8 +134,10 @@ fn inst_defs(inst: &Inst, mut f: impl FnMut(Slot)) {
         | Inst::ConstTensor { out, .. }
         | Inst::Copy { out, .. }
         | Inst::IntBin { out, .. }
+        | Inst::IntBinImm { out, .. }
         | Inst::FloatBin { out, .. }
         | Inst::IntCmp { out, .. }
+        | Inst::IntCmpImm { out, .. }
         | Inst::CastIntLike { out, .. }
         | Inst::ExtractSlice { out, .. }
         | Inst::AllocBuffer { out, .. }
@@ -236,34 +242,39 @@ impl<'m> Compiler<'m> {
     }
 
     fn finish(self) -> CResult<Tape> {
+        let mut tape = Tape {
+            insts: self.insts,
+            src_ops: self.src_ops,
+            src_names: self.src_names,
+            op_names: self.op_names,
+            n_slots: self.next_slot as usize,
+            arg_slots: self.arg_slots,
+            preload: Vec::new(),
+            query_loop: self.query_loop,
+            shard_loops: self.shard_loops,
+            func: self.func,
+        };
+        // Peephole pass: fold constants into immediates and strip the
+        // dead `Const*` instructions (remaps all pcs, including the
+        // shard-loop candidates filtered below).
+        crate::opt::optimize(&mut tape);
         // A shard loop's searches run only on worker machine clones, so
         // the main machine's subarrays keep no `last_result` from it: a
         // `cam.read` anywhere outside the loop body — after it in pc
         // order, or before it inside an enclosing loop that repeats —
         // could observe that difference. Keep only candidates whose
         // body contains every read of the tape.
-        let insts = self.insts;
-        let shard_loops = self
-            .shard_loops
+        let shard_loops = std::mem::take(&mut tape.shard_loops);
+        tape.shard_loops = shard_loops
             .into_iter()
             .filter(|&enter| {
-                let Inst::LoopEnter { exit, .. } = insts[enter] else {
+                let Inst::LoopEnter { exit, .. } = tape.insts[enter] else {
                     return false;
                 };
-                reads_confined_to_body(&insts, enter, exit - 1)
+                reads_confined_to_body(&tape.insts, enter, exit - 1)
             })
             .collect();
-        Ok(Tape {
-            insts,
-            src_ops: self.src_ops,
-            src_names: self.src_names,
-            op_names: self.op_names,
-            n_slots: self.next_slot as usize,
-            arg_slots: self.arg_slots,
-            query_loop: self.query_loop,
-            shard_loops,
-            func: self.func,
-        })
+        Ok(tape)
     }
 
     // ------------------------------------------------------------------

@@ -48,6 +48,18 @@ pub enum IntBinOp {
     MaxU,
 }
 
+impl IntBinOp {
+    /// Whether `op(a, b) == op(b, a)` — the condition for folding a
+    /// constant *left* operand into [`Inst::IntBinImm`], whose
+    /// immediate sits on the right.
+    pub fn commutes(self) -> bool {
+        matches!(
+            self,
+            IntBinOp::Add | IntBinOp::Mul | IntBinOp::MinU | IntBinOp::MaxU
+        )
+    }
+}
+
 /// Float ALU operations (`arith.*f`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FloatBinOp {
@@ -87,6 +99,24 @@ pub enum CmpPred {
 }
 
 impl CmpPred {
+    /// The predicate with its operands exchanged: `swap().eval(b, a)`
+    /// equals `eval(a, b)` (used when folding a constant *left* operand
+    /// into [`Inst::IntCmpImm`], whose immediate sits on the right).
+    pub fn swap(self) -> CmpPred {
+        match self {
+            CmpPred::Eq => CmpPred::Eq,
+            CmpPred::Ne => CmpPred::Ne,
+            CmpPred::Slt => CmpPred::Sgt,
+            CmpPred::Sle => CmpPred::Sge,
+            CmpPred::Sgt => CmpPred::Slt,
+            CmpPred::Sge => CmpPred::Sle,
+            CmpPred::Ult => CmpPred::Ugt,
+            CmpPred::Ule => CmpPred::Uge,
+            CmpPred::Ugt => CmpPred::Ult,
+            CmpPred::Uge => CmpPred::Ule,
+        }
+    }
+
     /// Parse the `arith.cmpi` predicate keyword.
     pub fn from_keyword(s: &str) -> Option<CmpPred> {
         Some(match s {
@@ -238,6 +268,20 @@ pub enum Inst {
         /// Destination slot.
         out: Slot,
     },
+    /// Integer ALU op with a constant right operand (peephole-fused
+    /// from [`Inst::IntBin`] by the tape optimizer).
+    IntBinImm {
+        /// Operation.
+        op: IntBinOp,
+        /// Left operand slot.
+        lhs: Slot,
+        /// Constant right operand.
+        imm: i64,
+        /// Destination slot.
+        out: Slot,
+        /// Whether the result is `index`-typed.
+        index: bool,
+    },
     /// Integer comparison.
     IntCmp {
         /// Predicate.
@@ -246,6 +290,18 @@ pub enum Inst {
         lhs: Slot,
         /// Right operand slot.
         rhs: Slot,
+        /// Destination slot.
+        out: Slot,
+    },
+    /// Integer comparison against a constant right operand
+    /// (peephole-fused from [`Inst::IntCmp`] by the tape optimizer).
+    IntCmpImm {
+        /// Predicate.
+        pred: CmpPred,
+        /// Left operand slot.
+        lhs: Slot,
+        /// Constant right operand.
+        imm: i64,
         /// Destination slot.
         out: Slot,
     },
@@ -420,6 +476,23 @@ pub enum Inst {
     },
     /// `cam.reduce` with a pre-resolved [`ReduceInst`].
     Reduce(Box<ReduceInst>),
+}
+
+/// A scalar constant the tape optimizer stripped from the instruction
+/// stream: its slot is preloaded once at VM construction instead of
+/// being rewritten on every pass over the tape. (A dedicated plain-data
+/// enum rather than a runtime `Value` so `Tape` stays `Send + Sync` —
+/// tapes are shared across shard worker threads.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PreConst {
+    /// `index`-typed integer.
+    Index(i64),
+    /// `iN`-typed integer.
+    Int(i64),
+    /// Float constant.
+    Float(f64),
+    /// Boolean constant.
+    Bool(bool),
 }
 
 /// The sequential query loop the batched executor shards across worker

@@ -60,6 +60,7 @@ mod compile;
 mod error;
 mod frozen;
 pub mod isa;
+mod opt;
 pub mod pool;
 pub mod trace;
 mod vm;

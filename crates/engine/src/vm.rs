@@ -11,20 +11,65 @@
 use crate::compile::Tape;
 use crate::error::EngineError;
 use crate::frozen::{freeze, thaw, Frozen};
-use crate::isa::{FloatBinOp, Inst, IntBinOp, SliceOffset, Slot};
+use crate::isa::{FloatBinOp, Inst, IntBinOp, PreConst, SliceOffset, Slot};
 use crate::trace::{Trace, TraceOp, TraceState};
 use c4cam_camsim::{CamDevice, ExecStats, RowSelection, SearchSpec, SubarrayId};
 use c4cam_runtime::kernels::{
-    merge_partial_rows, read_tensors, reduce_scores, search_query_view, tensor_rows,
+    merge_partial_rows, read_tensors, read_tensors_into, reduce_scores, search_query_view,
+    tensor_rows,
 };
 use c4cam_runtime::{Handle, Value};
 use c4cam_telemetry::{cat, ArgValue, Telemetry};
 use c4cam_tensor::Tensor;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 type VResult<T> = Result<T, EngineError>;
 
 fn err(message: impl Into<String>) -> EngineError {
     EngineError::new(message)
+}
+
+/// Upper bound on tensors parked in a VM's merge arena (a backstop
+/// against pathological shard logs, not a tuning knob: merge-record
+/// tensors are small per-subarray partials).
+const MERGE_ARENA_CAP: usize = 4096;
+
+/// Clone `src`, drawing the backing allocation from `pool` when a
+/// recycled tensor of the same shape is available.
+fn copy_into_recycled(pool: &mut Vec<Tensor>, src: &Tensor) -> Tensor {
+    match pool.pop() {
+        Some(mut t) if t.shape() == src.shape() => {
+            t.data_mut().copy_from_slice(src.data());
+            t
+        }
+        _ => src.clone(),
+    }
+}
+
+/// Integer ALU semantics shared by [`Inst::IntBin`] and its fused
+/// immediate form [`Inst::IntBinImm`].
+#[inline]
+fn int_bin_eval(op: IntBinOp, a: i64, b: i64) -> VResult<i64> {
+    Ok(match op {
+        IntBinOp::Add => a.wrapping_add(b),
+        IntBinOp::Sub => a.wrapping_sub(b),
+        IntBinOp::Mul => a.wrapping_mul(b),
+        IntBinOp::DivU => {
+            if b == 0 {
+                return Err(err("division by zero in arith.divui"));
+            }
+            ((a as u64) / (b as u64)) as i64
+        }
+        IntBinOp::RemU => {
+            if b == 0 {
+                return Err(err("division by zero in arith.remui"));
+            }
+            ((a as u64) % (b as u64)) as i64
+        }
+        IntBinOp::MinU => ((a as u64).min(b as u64)) as i64,
+        IntBinOp::MaxU => ((a as u64).max(b as u64)) as i64,
+    })
 }
 
 /// An active counted loop.
@@ -93,6 +138,11 @@ pub struct TapeVm<'t> {
     /// When set (shard workers), `cam.merge_partial_subarray` logs its
     /// operands here in addition to applying them locally.
     merge_log: Option<Vec<MergeRecord>>,
+    /// Freelist of merge-record tensors. Shard workers draw their
+    /// [`MergeRecord`] copies from here; the main thread's replay
+    /// returns them, so repeated shard loops in one VM (one per query
+    /// under intra-query sharding) stop allocating once warm.
+    merge_arena: Vec<Tensor>,
     /// When set, device-relevant operations and their value dataflow
     /// are recorded for offline replay (see the [`crate::trace`]
     /// module).
@@ -123,6 +173,16 @@ impl<'t> TapeVm<'t> {
             )));
         }
         let mut slots = vec![Value::Int(0); tape.n_slots];
+        // Constants the optimizer stripped from the instruction stream
+        // are loaded once here instead of on every pass over the tape.
+        for &(s, c) in &tape.preload {
+            slots[s as usize] = match c {
+                PreConst::Index(v) => Value::Index(v),
+                PreConst::Int(v) => Value::Int(v),
+                PreConst::Float(v) => Value::Float(v),
+                PreConst::Bool(v) => Value::Bool(v),
+            };
+        }
         for (&s, a) in tape.arg_slots.iter().zip(args) {
             slots[s as usize] = a.clone();
         }
@@ -133,6 +193,7 @@ impl<'t> TapeVm<'t> {
             shard_threads: 0,
             shard_chaos: None,
             merge_log: None,
+            merge_arena: Vec::new(),
             trace: None,
             telemetry: Telemetry::default(),
             tl_on: false,
@@ -150,6 +211,7 @@ impl<'t> TapeVm<'t> {
             shard_threads: 0,
             shard_chaos: None,
             merge_log: None,
+            merge_arena: Vec::new(),
             trace: None,
             telemetry: Telemetry::default(),
             tl_on: false,
@@ -316,6 +378,15 @@ impl<'t> TapeVm<'t> {
         let snapshot: Vec<Frozen> = self.slots.iter().map(freeze).collect();
         let chunk = ivs.len().div_ceil(shard_count);
         let chunks: Vec<&[i64]> = ivs.chunks(chunk).collect();
+        // Seed each worker with a slice of the merge arena; replay
+        // returns the record tensors below, so repeated shard loops in
+        // this VM recycle instead of allocating.
+        let mut arena = std::mem::take(&mut self.merge_arena);
+        let per_shard = arena.len() / chunks.len();
+        let mut pools: Vec<Vec<Tensor>> = chunks
+            .iter()
+            .map(|_| arena.split_off(arena.len().saturating_sub(per_shard)))
+            .collect();
         let tape = self.tape;
         let telemetry = &self.telemetry;
         let chaos = self.shard_chaos.take();
@@ -323,8 +394,9 @@ impl<'t> TapeVm<'t> {
             let snapshot = &snapshot;
             let handles: Vec<_> = chunks
                 .iter()
+                .zip(pools.drain(..))
                 .enumerate()
-                .map(|(shard, &chunk)| {
+                .map(|(shard, (&chunk, pool))| {
                     let mut shard_machine = machine.clone();
                     shard_machine.reset_stats();
                     let telemetry = telemetry.clone();
@@ -340,6 +412,7 @@ impl<'t> TapeVm<'t> {
                         let mut vm = TapeVm::with_slots(tape, slots);
                         vm.set_telemetry_lane(telemetry.clone(), lane);
                         vm.merge_log = Some(Vec::new());
+                        vm.merge_arena = pool;
                         shard_machine.push_parallel();
                         vm.exec_iterations(&mut shard_machine, pc, next, iv, chunk, true)?;
                         shard_machine.pop_scope();
@@ -385,7 +458,7 @@ impl<'t> TapeVm<'t> {
         machine.pop_scope();
         // Replay the merges in global iteration order (shard order ∘
         // within-shard order) against the main slot file's buffers.
-        for (_, log) in &outs {
+        for (_, log) in outs {
             for rec in log {
                 let acc = self.slots[rec.acc as usize]
                     .as_buffer()
@@ -393,8 +466,13 @@ impl<'t> TapeVm<'t> {
                     .ok_or_else(|| err("sharded merge target is not a buffer"))?;
                 let mut a = acc.borrow_mut();
                 merge_partial_rows(&mut a, &rec.vals, &rec.idx, rec.q, rec.offset).map_err(err)?;
+                drop(a);
+                arena.push(rec.vals);
+                arena.push(rec.idx);
             }
         }
+        arena.truncate(MERGE_ARENA_CAP);
+        self.merge_arena = arena;
         Ok(Some(exit))
     }
 
@@ -432,6 +510,21 @@ impl<'t> TapeVm<'t> {
                 "expected a tensor value, got {}",
                 other.kind_name()
             ))),
+        }
+    }
+
+    /// A slot's buffer when it can be overwritten in place: uniquely
+    /// owned (no alias can observe the write) and already `shape`.
+    /// Never taken while tracing — the trace wants fresh value ids.
+    fn reusable_buffer(&self, s: Slot, shape: &[usize]) -> Option<Rc<RefCell<Tensor>>> {
+        if self.trace.is_some() {
+            return None;
+        }
+        match &self.slots[s as usize] {
+            Value::Buffer(b) if Rc::strong_count(b) == 1 && b.borrow().shape() == shape => {
+                Some(Rc::clone(b))
+            }
+            _ => None,
         }
     }
 
@@ -579,25 +672,19 @@ impl<'t> TapeVm<'t> {
             } => {
                 let a = self.int(*lhs)?;
                 let b = self.int(*rhs)?;
-                let r = match op {
-                    IntBinOp::Add => a.wrapping_add(b),
-                    IntBinOp::Sub => a.wrapping_sub(b),
-                    IntBinOp::Mul => a.wrapping_mul(b),
-                    IntBinOp::DivU => {
-                        if b == 0 {
-                            return Err(err("division by zero in arith.divui"));
-                        }
-                        ((a as u64) / (b as u64)) as i64
-                    }
-                    IntBinOp::RemU => {
-                        if b == 0 {
-                            return Err(err("division by zero in arith.remui"));
-                        }
-                        ((a as u64) % (b as u64)) as i64
-                    }
-                    IntBinOp::MinU => ((a as u64).min(b as u64)) as i64,
-                    IntBinOp::MaxU => ((a as u64).max(b as u64)) as i64,
-                };
+                let r = int_bin_eval(*op, a, b)?;
+                let (out, v) = (*out, Self::int_like(*index, r));
+                self.set(out, v);
+            }
+            Inst::IntBinImm {
+                op,
+                lhs,
+                imm,
+                out,
+                index,
+            } => {
+                let a = self.int(*lhs)?;
+                let r = int_bin_eval(*op, a, *imm)?;
                 let (out, v) = (*out, Self::int_like(*index, r));
                 self.set(out, v);
             }
@@ -622,6 +709,16 @@ impl<'t> TapeVm<'t> {
                 let a = self.int(*lhs)?;
                 let b = self.int(*rhs)?;
                 let (out, v) = (*out, Value::Bool(pred.eval(a, b)));
+                self.set(out, v);
+            }
+            Inst::IntCmpImm {
+                pred,
+                lhs,
+                imm,
+                out,
+            } => {
+                let a = self.int(*lhs)?;
+                let (out, v) = (*out, Value::Bool(pred.eval(a, *imm)));
                 self.set(out, v);
             }
             Inst::CastIntLike { src, out, index } => {
@@ -724,8 +821,20 @@ impl<'t> TapeVm<'t> {
                 sizes,
                 out,
             } => {
-                let t = self.exec_extract_slice(*src, *offsets, *sizes)?;
-                let out = *out;
+                let (src, sizes, out) = (*src, *sizes, *out);
+                // Steady-state loop iterations overwrite the previous
+                // slice's tensor in place instead of allocating (slot
+                // tensors are uniquely owned — clones are deep). Never
+                // while tracing: the trace wants fresh value ids.
+                let recycled = if self.trace.is_none() && src != out {
+                    match std::mem::replace(&mut self.slots[out as usize], Value::Int(0)) {
+                        Value::Tensor(t) if t.shape() == sizes => Some(t),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                let t = self.exec_extract_slice(src, *offsets, sizes, recycled)?;
                 self.set(out, Value::Tensor(t));
             }
             Inst::AllocBuffer { shape, out } => {
@@ -867,13 +976,10 @@ impl<'t> TapeVm<'t> {
                 let traced_query = {
                     let query = self.tensor_view(s.query)?;
                     let q = search_query_view(&query).map_err(err)?;
-                    self.trace.is_some().then(|| q.to_vec())
-                };
-                {
-                    let query = self.tensor_view(s.query)?;
-                    let q = search_query_view(&query).map_err(err)?;
+                    let traced = self.trace.is_some().then(|| q.to_vec());
                     machine.search(sub, q, spec).map_err(|e| err(e.message))?;
-                }
+                    traced
+                };
                 if let Some(query) = traced_query {
                     self.trace_push(|| TraceOp::Search {
                         sub: sub.0,
@@ -893,11 +999,26 @@ impl<'t> TapeVm<'t> {
                 idx,
             } => {
                 let sub = self.subarray(*sub)?;
-                let result = machine.read(sub).map_err(|e| err(e.message))?;
-                let (v, i) = read_tensors(result, shape).map_err(err)?;
                 let (vals, idx) = (*vals, *idx);
-                self.set(vals, Value::buffer_from(v));
-                self.set(idx, Value::buffer_from(i));
+                // Steady-state loop iterations overwrite the previous
+                // read's buffers in place instead of allocating; the
+                // first iteration (or an aliased/reshaped slot) takes
+                // the allocating path.
+                let reuse = self
+                    .reusable_buffer(vals, shape)
+                    .zip(self.reusable_buffer(idx, shape));
+                let result = machine.read(sub).map_err(|e| err(e.message))?;
+                match reuse {
+                    Some((vb, ib)) => {
+                        read_tensors_into(result, &mut vb.borrow_mut(), &mut ib.borrow_mut())
+                            .map_err(err)?;
+                    }
+                    None => {
+                        let (v, i) = read_tensors(result, shape).map_err(err)?;
+                        self.set(vals, Value::buffer_from(v));
+                        self.set(idx, Value::buffer_from(i));
+                    }
+                }
                 if let Some(tr) = &mut self.trace {
                     let (vv, vi) = (tr.fresh(), tr.fresh());
                     tr.push(TraceOp::Read {
@@ -935,6 +1056,7 @@ impl<'t> TapeVm<'t> {
                     .as_buffer()
                     .cloned()
                     .ok_or_else(|| err("merge expects an accumulator buffer"))?;
+                let mut pool = std::mem::take(&mut self.merge_arena);
                 let record = {
                     let vals = self.tensor_view(*vals)?;
                     let idx = self.tensor_view(*idx)?;
@@ -944,10 +1066,11 @@ impl<'t> TapeVm<'t> {
                         acc: acc_slot,
                         q,
                         offset,
-                        vals: vals.clone(),
-                        idx: idx.clone(),
+                        vals: copy_into_recycled(&mut pool, &vals),
+                        idx: copy_into_recycled(&mut pool, &idx),
                     })
                 };
+                self.merge_arena = pool;
                 if let Some(record) = record {
                     if let Some(log) = &mut self.merge_log {
                         log.push(record);
@@ -1021,6 +1144,7 @@ impl<'t> TapeVm<'t> {
         src: Slot,
         offsets: [SliceOffset; 2],
         sizes: [usize; 2],
+        recycled: Option<Tensor>,
     ) -> VResult<Tensor> {
         let mut off = [0i64; 2];
         for (o, spec) in off.iter_mut().zip(&offsets) {
@@ -1039,20 +1163,30 @@ impl<'t> TapeVm<'t> {
         let (r, c) = (sizes[0], sizes[1]);
         let (off0, off1) = (off[0] as usize, off[1] as usize);
         let (sr, sc) = (src.shape()[0], src.shape()[1]);
-        let mut out = Tensor::zeros(vec![r, c]);
+        // A recycled tensor (same shape, previous iteration's slice)
+        // carries stale data, so clamped regions must be re-zeroed;
+        // a fresh allocation is already zero-padded.
+        let stale = recycled.is_some();
+        let mut out = recycled.unwrap_or_else(|| Tensor::zeros(vec![r, c]));
         for i in 0..r {
             let si = off0 + i;
-            if si >= sr {
-                break;
-            }
-            let copy = c.min(sc.saturating_sub(off1));
-            if copy == 0 {
-                break;
-            }
-            let src_start = si * sc + off1;
+            let copy = if si >= sr {
+                0
+            } else {
+                c.min(sc.saturating_sub(off1))
+            };
             let dst_start = i * c;
-            out.data_mut()[dst_start..dst_start + copy]
-                .copy_from_slice(&src.data()[src_start..src_start + copy]);
+            if copy > 0 {
+                let src_start = si * sc + off1;
+                out.data_mut()[dst_start..dst_start + copy]
+                    .copy_from_slice(&src.data()[src_start..src_start + copy]);
+            }
+            if stale && copy < c {
+                out.data_mut()[dst_start + copy..dst_start + c].fill(0.0);
+            }
+            if !stale && copy == 0 {
+                break;
+            }
         }
         Ok(out)
     }

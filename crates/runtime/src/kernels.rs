@@ -65,19 +65,43 @@ pub fn search_query(t: &Tensor) -> Result<Vec<f32>, String> {
 /// # Errors
 /// Fails if `shape` is inconsistent with itself (tensor construction).
 pub fn read_tensors(result: &SearchResult, shape: &[usize]) -> Result<(Tensor, Tensor), String> {
-    let n = shape.iter().product::<usize>();
-    let mut vals = vec![f32::INFINITY; n];
-    let mut idx = vec![-1.0f32; n];
+    let mut vals = Tensor::zeros(shape.to_vec());
+    let mut idx = Tensor::zeros(shape.to_vec());
+    read_tensors_into(result, &mut vals, &mut idx)?;
+    Ok((vals, idx))
+}
+
+/// In-place variant of [`read_tensors`]: overwrite two existing
+/// same-shape tensors instead of allocating. The tape VM's `Read` path
+/// uses this to recycle its output buffers across loop iterations.
+///
+/// # Errors
+/// Fails when the two tensors disagree in element count.
+pub fn read_tensors_into(
+    result: &SearchResult,
+    vals: &mut Tensor,
+    idx: &mut Tensor,
+) -> Result<(), String> {
+    let n = vals.len();
+    if idx.len() != n {
+        return Err(format!(
+            "read targets disagree: {} values vs {} indices",
+            n,
+            idx.len()
+        ));
+    }
+    let vd = vals.data_mut();
+    let id = idx.data_mut();
+    vd.fill(f32::INFINITY);
+    id.fill(-1.0);
     for (j, (&row, &dist)) in result.rows.iter().zip(&result.distances).enumerate() {
         if j >= n {
             break;
         }
-        vals[j] = dist as f32;
-        idx[j] = row as f32;
+        vd[j] = dist as f32;
+        id[j] = row as f32;
     }
-    let vals = Tensor::from_vec(shape.to_vec(), vals).map_err(|e| e.message)?;
-    let idx = Tensor::from_vec(shape.to_vec(), idx).map_err(|e| e.message)?;
-    Ok((vals, idx))
+    Ok(())
 }
 
 /// `cam.merge_partial_subarray`: scatter-accumulate one subarray's
@@ -181,6 +205,24 @@ mod tests {
         let (vals, idx) = read_tensors(&r, &[4]).unwrap();
         assert_eq!(vals.data(), &[1.0, 3.0, f32::INFINITY, f32::INFINITY]);
         assert_eq!(idx.data(), &[2.0, 5.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn read_tensors_into_recycles_stale_buffers() {
+        let r = SearchResult {
+            rows: vec![7],
+            distances: vec![4.0],
+            matched: vec![true],
+        };
+        // Stale contents from a previous iteration must be fully
+        // overwritten, including the padded tail.
+        let mut vals = Tensor::from_slice(&[9.0, 9.0, 9.0]);
+        let mut idx = Tensor::from_slice(&[9.0, 9.0, 9.0]);
+        read_tensors_into(&r, &mut vals, &mut idx).unwrap();
+        assert_eq!(vals.data(), &[4.0, f32::INFINITY, f32::INFINITY]);
+        assert_eq!(idx.data(), &[7.0, -1.0, -1.0]);
+        let mut short = Tensor::from_slice(&[0.0]);
+        assert!(read_tensors_into(&r, &mut vals, &mut short).is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::protocol::PlanKey;
 use crate::{BatchRunner, PlanSource};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Cache statistics (monotonic counters).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -24,13 +24,37 @@ pub struct CacheStats {
 struct Inner {
     /// LRU order: most recently used last.
     entries: Vec<(PlanKey, Arc<dyn BatchRunner>)>,
+    /// Keys with a compile in flight; lookups for these wait on
+    /// [`PlanCache::done`] instead of compiling a duplicate.
+    in_flight: Vec<PlanKey>,
     stats: CacheStats,
 }
 
 /// A bounded, thread-safe plan cache over a [`PlanSource`].
 pub struct PlanCache {
     inner: Mutex<Inner>,
+    /// Signalled whenever an in-flight compile settles.
+    done: Condvar,
     capacity: usize,
+}
+
+/// Clears `key`'s in-flight marker and wakes waiters on every exit
+/// path of the compile — success, error, or a panicking source (a
+/// leaked marker would park later lookups for the key forever).
+struct InFlightGuard<'a> {
+    cache: &'a PlanCache,
+    key: &'a PlanKey,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut inner) = self.cache.inner.lock() {
+            if let Some(pos) = inner.in_flight.iter().position(|k| k == self.key) {
+                inner.in_flight.swap_remove(pos);
+            }
+        }
+        self.cache.done.notify_all();
+    }
 }
 
 impl PlanCache {
@@ -39,8 +63,10 @@ impl PlanCache {
         PlanCache {
             inner: Mutex::new(Inner {
                 entries: Vec::new(),
+                in_flight: Vec::new(),
                 stats: CacheStats::default(),
             }),
+            done: Condvar::new(),
             capacity: capacity.max(1),
         }
     }
@@ -48,10 +74,13 @@ impl PlanCache {
     /// Fetch the plan for `key`, compiling through `source` on a miss.
     /// Returns the runner and whether it was a cache hit.
     ///
-    /// Compilation happens under the cache lock: concurrent requests
-    /// for the same cold key compile exactly once, at the cost of
-    /// briefly serializing misses for different keys (compiles are
-    /// startup/first-touch events, not steady state).
+    /// Concurrent requests for the same cold key compile exactly once:
+    /// the first thread marks the key in flight and compiles *outside*
+    /// the cache lock (lookups and compiles for other keys proceed);
+    /// the others wait and are served the winner's plan as hits, so
+    /// the reported hit rate stays honest — one miss per cold key, not
+    /// one per waiter. If the winning compile fails, one waiter at a
+    /// time retries as the new winner.
     ///
     /// # Errors
     /// Propagates the source's compile error (nothing is cached).
@@ -61,14 +90,25 @@ impl PlanCache {
         source: &dyn PlanSource,
     ) -> Result<(Arc<dyn BatchRunner>, bool), String> {
         let mut inner = self.inner.lock().expect("plan cache lock");
-        if let Some(pos) = inner.entries.iter().position(|(k, _)| k == key) {
-            let entry = inner.entries.remove(pos);
-            let runner = Arc::clone(&entry.1);
-            inner.entries.push(entry);
-            inner.stats.hits += 1;
-            return Ok((runner, true));
+        loop {
+            if let Some(pos) = inner.entries.iter().position(|(k, _)| k == key) {
+                let entry = inner.entries.remove(pos);
+                let runner = Arc::clone(&entry.1);
+                inner.entries.push(entry);
+                inner.stats.hits += 1;
+                return Ok((runner, true));
+            }
+            if inner.in_flight.iter().any(|k| k == key) {
+                inner = self.done.wait(inner).expect("plan cache lock");
+                continue;
+            }
+            inner.in_flight.push(key.clone());
+            break;
         }
+        drop(inner);
+        let _guard = InFlightGuard { cache: self, key };
         let runner = source.compile(key)?;
+        let mut inner = self.inner.lock().expect("plan cache lock");
         inner.entries.push((key.clone(), Arc::clone(&runner)));
         inner.stats.misses += 1;
         if inner.entries.len() > self.capacity {
@@ -110,6 +150,7 @@ mod tests {
     use super::*;
     use crate::RowsOutcome;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
 
     struct StubRunner;
 
@@ -199,6 +240,89 @@ mod tests {
         let (_, hit) = cache.get_or_compile(&key("simd"), &src).unwrap();
         assert!(!hit);
         assert_eq!(src.compiles.load(Ordering::SeqCst), 4);
+    }
+
+    /// A source whose compile rendezvouses on `enter` when it starts
+    /// and blocks on `exit` before returning, so tests can overlap
+    /// other cache operations with a compile that is provably in
+    /// flight.
+    struct GatedSource {
+        compiles: AtomicUsize,
+        enter: Barrier,
+        exit: Barrier,
+    }
+
+    impl PlanSource for GatedSource {
+        fn default_key(&self) -> PlanKey {
+            key("tape")
+        }
+        fn compile(&self, _key: &PlanKey) -> Result<Arc<dyn BatchRunner>, String> {
+            self.compiles.fetch_add(1, Ordering::SeqCst);
+            self.enter.wait();
+            self.exit.wait();
+            Ok(Arc::new(StubRunner))
+        }
+    }
+
+    #[test]
+    fn racing_cold_key_records_exactly_one_miss_and_compile() {
+        let cache = Arc::new(PlanCache::new(4));
+        let src = Arc::new(GatedSource {
+            compiles: AtomicUsize::new(0),
+            enter: Barrier::new(2),
+            exit: Barrier::new(2),
+        });
+        let winner = {
+            let (cache, src) = (Arc::clone(&cache), Arc::clone(&src));
+            std::thread::spawn(move || cache.get_or_compile(&key("tape"), &*src).unwrap())
+        };
+        // The winner's compile has started (and is parked on `exit`),
+        // so this second lookup for the same cold key must coalesce
+        // onto it instead of compiling again.
+        src.enter.wait();
+        let waiter = {
+            let (cache, src) = (Arc::clone(&cache), Arc::clone(&src));
+            std::thread::spawn(move || cache.get_or_compile(&key("tape"), &*src).unwrap())
+        };
+        src.exit.wait();
+        let (_, winner_hit) = winner.join().unwrap();
+        let (_, waiter_hit) = waiter.join().unwrap();
+        assert!(!winner_hit, "the compiling thread reports a miss");
+        assert!(waiter_hit, "the coalesced thread is served a hit");
+        assert_eq!(src.compiles.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn cold_compile_does_not_serialize_other_keys() {
+        let cache = Arc::new(PlanCache::new(4));
+        let fast = source();
+        cache.get_or_compile(&key("simd"), &fast).unwrap();
+        let src = Arc::new(GatedSource {
+            compiles: AtomicUsize::new(0),
+            enter: Barrier::new(2),
+            exit: Barrier::new(2),
+        });
+        let slow = {
+            let (cache, src) = (Arc::clone(&cache), Arc::clone(&src));
+            std::thread::spawn(move || cache.get_or_compile(&key("tape"), &*src).unwrap())
+        };
+        src.enter.wait();
+        // "tape" is mid-compile and will not finish until we release
+        // `exit` below; a hot lookup for a different key must still
+        // complete. Under compile-under-the-lock this deadlocks.
+        let (_, hit) = cache.get_or_compile(&key("simd"), &fast).unwrap();
+        assert!(hit);
+        src.exit.wait();
+        slow.join().unwrap();
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -197,13 +197,21 @@ impl LoadgenReport {
 }
 
 /// Nearest-rank percentile of an unsorted sample (p in [0, 100]).
+///
+/// Total on degenerate inputs: an empty sample reports `0.0`
+/// (`--requests 1` with the lone request failing gets here), a
+/// one-element sample reports that element for every `p`, and `p = 0`
+/// reports the minimum. The rank is bounded with saturating `max`/`min`
+/// — unlike `clamp(1, len)`, which panics when `len == 0` — so no
+/// input can index out of range.
 pub fn percentile_us(latencies_us: &mut [f64], p: f64) -> f64 {
-    if latencies_us.is_empty() {
+    let n = latencies_us.len();
+    if n == 0 {
         return 0.0;
     }
     latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let rank = ((p / 100.0) * latencies_us.len() as f64).ceil() as usize;
-    latencies_us[rank.clamp(1, latencies_us.len()) - 1]
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    latencies_us[rank.max(1).min(n) - 1]
 }
 
 #[derive(Default)]
@@ -477,6 +485,34 @@ mod tests {
         assert_eq!(percentile_us(&mut one, 99.0), 42.0);
         let mut none: Vec<f64> = vec![];
         assert_eq!(percentile_us(&mut none, 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_rank_selection_is_total_at_the_boundaries() {
+        // Every percentile of the empty sample is 0 (no panic — the
+        // `--requests 1` loadgen with a failed request lands here).
+        for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            let mut none: Vec<f64> = vec![];
+            assert_eq!(percentile_us(&mut none, p), 0.0, "p={p}");
+        }
+        // A single sample (`--requests 1`) answers every percentile,
+        // including the rank-0 edge at p = 0.
+        for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            let mut one = vec![7.5];
+            assert_eq!(percentile_us(&mut one, p), 7.5, "p={p}");
+        }
+        // Two samples: nearest-rank puts p <= 50 on the first element
+        // and everything above on the second; p = 0 is the minimum.
+        let mut two = vec![20.0, 10.0];
+        assert_eq!(percentile_us(&mut two, 0.0), 10.0);
+        assert_eq!(percentile_us(&mut two, 50.0), 10.0);
+        assert_eq!(percentile_us(&mut two, 50.1), 20.0);
+        assert_eq!(percentile_us(&mut two, 99.0), 20.0);
+        assert_eq!(percentile_us(&mut two, 100.0), 20.0);
+        // An over-range p saturates to the maximum instead of indexing
+        // out of bounds.
+        let mut xs: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile_us(&mut xs, 150.0), 10.0);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! `src/bin/c4cam.rs` is a thin wrapper.
 
 use crate::accuracy::{evaluate_faulty, AccuracyReport, FaultKnobs};
+use crate::benchgate::{run_bench_gate, BenchGateArgs};
 use crate::driver::{build_arch, DriverError, Experiment, ParseKeywordError};
 use crate::service::{reference_pool_classes, DatasetPlanSource};
 use crate::sweep::SweepPlan;
@@ -162,6 +163,8 @@ pub enum Command {
     Serve(ServeArgs),
     /// Drive a running service and report throughput/latency.
     Loadgen(LoadgenArgs),
+    /// Run the perf-regression gate against the committed baseline.
+    BenchGate(BenchGateArgs),
     /// Print the usage text (also `--help` / `-h`).
     Help,
 }
@@ -654,6 +657,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut verify_dataset: Option<String> = None;
     let mut shutdown = false;
     let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut short = false;
 
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                       flag: &str|
@@ -908,6 +913,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--verify-dataset" => verify_dataset = Some(next_value(&mut it, flag)?),
             "--shutdown" => shutdown = true,
             "--out" => out = Some(next_value(&mut it, flag)?),
+            "--baseline" => baseline = Some(next_value(&mut it, flag)?),
+            "--short" => short = true,
             "--trace-out" => trace_out = Some(next_value(&mut it, flag)?),
             "--metrics" => {
                 metrics = Some(next_value(&mut it, flag)?.parse().map_err(cli_err)?);
@@ -1010,6 +1017,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         (shutdown, "--shutdown"),
         (out.is_some(), "--out"),
     ];
+    // Gate knobs belong to `bench-gate` alone (--out is shared with
+    // loadgen, so it lives in that group, not here).
+    let gate_flags: &[(bool, &str)] = &[(baseline.is_some(), "--baseline"), (short, "--short")];
     match cmd.as_str() {
         "compile" | "place" => {
             reject(
@@ -1024,6 +1034,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     resilience_flags,
                     serve_flags,
                     loadgen_flags,
+                    gate_flags,
                 ],
                 cmd,
             )?;
@@ -1041,6 +1052,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     resilience_flags,
                     serve_flags,
                     loadgen_flags,
+                    gate_flags,
                 ],
                 cmd,
             )?;
@@ -1076,6 +1088,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     resilience_flags,
                     serve_flags,
                     loadgen_flags,
+                    gate_flags,
                 ],
                 cmd,
             )?;
@@ -1093,6 +1106,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 source_run_flags,
                 serve_flags,
                 loadgen_flags,
+                gate_flags,
                 &[(queries.is_some(), "--queries"), (dims.is_some(), "--dims")],
             ],
             cmd,
@@ -1105,6 +1119,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 fault_axis_flags,
                 resilience_flags,
                 loadgen_flags,
+                gate_flags,
                 &[
                     (queries.is_some(), "--queries"),
                     (dims.is_some(), "--dims"),
@@ -1126,6 +1141,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 resilience_flags,
                 serve_flags,
                 telemetry_flags,
+                gate_flags,
                 &[
                     (dataset.is_some(), "--dataset (use --verify-dataset)"),
                     (limit.is_some(), "--limit"),
@@ -1133,6 +1149,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     (queries.is_some(), "--queries"),
                     (dims.is_some(), "--dims"),
                     (format.is_some(), "--format"),
+                ],
+            ],
+            cmd,
+        )?,
+        "bench-gate" => reject(
+            &[
+                compile_flags,
+                sweep_only,
+                dataset_flags,
+                bits_flag,
+                subarray_flag,
+                workload_flag,
+                source_run_flags,
+                telemetry_flags,
+                fault_axis_flags,
+                resilience_flags,
+                serve_flags,
+                // Loadgen's client knobs, minus --out (the gate writes
+                // its measurement artifact there too).
+                &[
+                    (addr.is_some(), "--addr"),
+                    (requests.is_some(), "--requests"),
+                    (concurrency.is_some(), "--concurrency"),
+                    (rows_per_request.is_some(), "--rows-per-request"),
+                    (mode.is_some(), "--mode"),
+                    (rate.is_some(), "--rate"),
+                    (verify_dataset.is_some(), "--verify-dataset"),
+                    (shutdown, "--shutdown"),
+                    (queries.is_some(), "--queries"),
+                    (dims.is_some(), "--dims"),
+                    (format.is_some(), "--format"),
+                    (engine.is_some(), "--engine"),
                 ],
             ],
             cmd,
@@ -1343,6 +1391,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 out,
             }))
         }
+        "bench-gate" => Ok(Command::BenchGate(BenchGateArgs {
+            baseline: baseline.unwrap_or_else(|| "BENCH_baseline.json".to_string()),
+            short,
+            out,
+        })),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(cli_err(format!("unknown command '{other}'\n{}", usage()))),
     }
@@ -1382,7 +1435,7 @@ fn parse_tech(name: &str) -> Result<Option<TechnologyModel>, CliError> {
 pub fn usage() -> String {
     let engines = BackendRegistry::global().names().join("|");
     format!(
-        "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam run     --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--arch SPEC] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]\n  c4cam sweep   [--workload hdc|knn|dtree|gpu] [--queries N] [--classes N] [--dims D] [--subarrays N,N,...] [--opts base,power,density,power+density] [--techs default,fefet-45nm,cmos-16nm] [--bits 1,2] [--engine {engines},...] [--threads N] [--pareto] [--format table|json|csv] [--dataset DIR|FILE.csv [--dataset-format idx|csv] [--limit N]] [--fault-rate R,R,...] [--fault-seed N]\n  c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--bits 1,2] [--subarray N] [--engine {engines}] [--threads N] [--fault-rate R,R,...] [--fault-seed N] [--spare-rows N] [--vote K] [--format table|json|csv]\n  c4cam serve   --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--bits B] [--subarray N] [--engine {engines}] [--threads N] [--host H] [--port P] [--max-batch N] [--linger-ms MS] [--queue-depth N] [--cache-cap N]\n  c4cam loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--rows-per-request N] [--mode closed|open [--rate R]] [--verify-dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--bits B] [--subarray N]] [--shutdown] [--out FILE.json]\n  c4cam help\n\nservice mode:\n  serve loads the dataset and compiles the default plan once, then answers line-delimited JSON classify requests over TCP, coalescing concurrent requests into batched device runs; loadgen drives a running server and reports sustained qps and p50/p90/p99 latency (--verify-dataset checks every response against the CPU reference exactly)\n\nfault injection (sweep/accuracy):\n  --fault-rate R,R,...       seeded device fault rates to evaluate (stuck-at + drift + transient; 0 = off)\n  --fault-seed N             seed of the deterministic fault-site hash streams\n  --spare-rows N             spare rows per subarray for stuck-row remapping (accuracy only)\n  --vote K                   k-modular redundant-search voting (accuracy only)\n\ntelemetry (run/sweep/accuracy):\n  --trace-out PATH           write a Chrome trace-event JSON (load in Perfetto / chrome://tracing); a .jsonl extension selects JSON-lines instead\n  --metrics none|summary|full  append a per-phase/per-op metrics report to the output\n  --log-level off|summary|debug  stderr diagnostics (alias for the C4CAM_LOG environment variable)"
+        "usage:\n  c4cam compile --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--emit torch|cim|cim-fused|partitioned|cam] [--canonicalize]\n  c4cam run     --arch SPEC --source KERNEL.py --input SHAPE [--param name=SHAPE]... [--data file.csv]... [--random-seed N] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam run     --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--arch SPEC] [--engine {engines}] [--threads N] [--format text|json]\n  c4cam place   --arch SPEC --stored-rows N --dims D [--queries Q] [--format text|json]\n  c4cam sweep   [--workload hdc|knn|dtree|gpu] [--queries N] [--classes N] [--dims D] [--subarrays N,N,...] [--opts base,power,density,power+density] [--techs default,fefet-45nm,cmos-16nm] [--bits 1,2] [--engine {engines},...] [--threads N] [--pareto] [--format table|json|csv] [--dataset DIR|FILE.csv [--dataset-format idx|csv] [--limit N]] [--fault-rate R,R,...] [--fault-seed N]\n  c4cam accuracy --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--limit N] [--bits 1,2] [--subarray N] [--engine {engines}] [--threads N] [--fault-rate R,R,...] [--fault-seed N] [--spare-rows N] [--vote K] [--format table|json|csv]\n  c4cam serve   --dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--bits B] [--subarray N] [--engine {engines}] [--threads N] [--host H] [--port P] [--max-batch N] [--linger-ms MS] [--queue-depth N] [--cache-cap N]\n  c4cam loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--rows-per-request N] [--mode closed|open [--rate R]] [--verify-dataset DIR|FILE.csv [--dataset-format idx|csv] [--workload hdc|knn] [--bits B] [--subarray N]] [--shutdown] [--out FILE.json]\n  c4cam bench-gate [--baseline FILE.json] [--short] [--out FILE.json]\n  c4cam help\n\nbench gate:\n  bench-gate re-runs the search/engine microbenchmark workloads in-process and fails when any is more than 25% over the committed baseline (default BENCH_baseline.json), after scaling budgets by a host-calibration anchor; bless a new baseline with UPDATE_BASELINE=1 c4cam bench-gate; --short uses the small CI measurement window and --out writes the measurements as JSON\n\nservice mode:\n  serve loads the dataset and compiles the default plan once, then answers line-delimited JSON classify requests over TCP, coalescing concurrent requests into batched device runs; loadgen drives a running server and reports sustained qps and p50/p90/p99 latency (--verify-dataset checks every response against the CPU reference exactly)\n\nfault injection (sweep/accuracy):\n  --fault-rate R,R,...       seeded device fault rates to evaluate (stuck-at + drift + transient; 0 = off)\n  --fault-seed N             seed of the deterministic fault-site hash streams\n  --spare-rows N             spare rows per subarray for stuck-row remapping (accuracy only)\n  --vote K                   k-modular redundant-search voting (accuracy only)\n\ntelemetry (run/sweep/accuracy):\n  --trace-out PATH           write a Chrome trace-event JSON (load in Perfetto / chrome://tracing); a .jsonl extension selects JSON-lines instead\n  --metrics none|summary|full  append a per-phase/per-op metrics report to the output\n  --log-level off|summary|debug  stderr diagnostics (alias for the C4CAM_LOG environment variable)"
     )
 }
 
@@ -2003,6 +2056,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         }
         Command::Serve(args) => traced(&args.telemetry, &|t| run_serve_with_telemetry(args, t)),
         Command::Loadgen(args) => run_loadgen(args),
+        Command::BenchGate(args) => run_bench_gate(args).map_err(cli_err),
         Command::Help => Ok(usage()),
     }
 }
@@ -3472,5 +3526,41 @@ optimization: density
         // Other commands reject the service flags.
         assert!(parse_args(&strings(&["accuracy", "--dataset", "d", "--addr", "h:1"])).is_err());
         assert!(parse_args(&strings(&["sweep", "--max-batch", "4"])).is_err());
+    }
+
+    #[test]
+    fn bench_gate_args_parse_with_defaults_and_rejections() {
+        let cmd = parse_args(&strings(&["bench-gate"])).unwrap();
+        match cmd {
+            Command::BenchGate(a) => {
+                assert_eq!(a.baseline, "BENCH_baseline.json");
+                assert!(!a.short);
+                assert_eq!(a.out, None);
+            }
+            other => panic!("expected BenchGate, got {other:?}"),
+        }
+        let cmd = parse_args(&strings(&[
+            "bench-gate",
+            "--baseline",
+            "b.json",
+            "--short",
+            "--out",
+            "report.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::BenchGate(a) => {
+                assert_eq!(a.baseline, "b.json");
+                assert!(a.short);
+                assert_eq!(a.out.as_deref(), Some("report.json"));
+            }
+            other => panic!("expected BenchGate, got {other:?}"),
+        }
+        // Foreign flags are rejected; gate flags are rejected elsewhere.
+        assert!(parse_args(&strings(&["bench-gate", "--dataset", "d"])).is_err());
+        assert!(parse_args(&strings(&["bench-gate", "--addr", "h:1"])).is_err());
+        assert!(parse_args(&strings(&["sweep", "--baseline", "b.json"])).is_err());
+        assert!(parse_args(&strings(&["loadgen", "--addr", "h:1", "--short"])).is_err());
+        assert!(usage().contains("bench-gate"));
     }
 }

@@ -33,6 +33,7 @@ pub use c4cam_tensor as tensor;
 pub use c4cam_workloads as workloads;
 
 pub mod accuracy;
+pub mod benchgate;
 pub mod cli;
 pub mod driver;
 pub mod service;

@@ -1,0 +1,128 @@
+//! End-to-end tests for the `C4CAM_KERNEL_TIER` environment override.
+//!
+//! The override is resolved once per process (a `OnceLock` latches the
+//! first lookup), so each scenario runs in a *child* process: the
+//! driver tests re-execute this test binary with `--exact --ignored`
+//! pointing at an `#[ignore]`d scenario and the env var under test set
+//! before the first search.
+
+use c4cam::arch::{MatchKind, Metric};
+use c4cam::camsim::{KernelTier, RowSelection, SearchScratch, Subarray};
+use std::process::Command;
+
+const ENV: &str = "C4CAM_KERNEL_TIER";
+
+fn demo_subarray() -> (Subarray, Vec<f32>) {
+    let mut s = Subarray::new(8, 70);
+    let rows: Vec<Vec<f32>> = (0..6)
+        .map(|r| (0..70).map(|c| ((r + c) % 2) as f32).collect())
+        .collect();
+    s.write_rows(0, &rows, 1).unwrap();
+    let q: Vec<f32> = (0..70).map(|c| (c % 2) as f32).collect();
+    (s, q)
+}
+
+fn search_all(s: &mut Subarray, q: &[f32]) -> Result<c4cam::camsim::SearchResult, String> {
+    s.search(
+        q,
+        MatchKind::Best,
+        Metric::Hamming,
+        RowSelection::All,
+        2.0,
+        None,
+        &mut SearchScratch::default(),
+    )
+    .cloned()
+}
+
+/// Child scenario: the env var holds a tier this host supports; the
+/// search must succeed and stay bit-identical to the oracle.
+#[test]
+#[ignore = "driver-spawned child scenario"]
+fn scenario_supported_tier_is_bit_identical() {
+    let (mut s, q) = demo_subarray();
+    let naive = s
+        .search_naive(
+            &q,
+            MatchKind::Best,
+            Metric::Hamming,
+            RowSelection::All,
+            2.0,
+            None,
+        )
+        .unwrap()
+        .clone();
+    let packed = search_all(&mut s, &q).expect("env-selected tier must search");
+    assert_eq!(naive.rows, packed.rows);
+    assert_eq!(naive.matched, packed.matched);
+    for (a, b) in naive.distances.iter().zip(&packed.distances) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+/// Child scenario: the env var holds garbage; the search must fail
+/// with the structured unknown-keyword error, not panic or fall back.
+#[test]
+#[ignore = "driver-spawned child scenario"]
+fn scenario_unknown_keyword_is_rejected() {
+    let (mut s, q) = demo_subarray();
+    let err = search_all(&mut s, &q).expect_err("unknown tier keyword must fail");
+    assert!(err.contains(ENV), "error names the env var: {err}");
+    assert!(
+        err.contains("unknown kernel tier 'turbo'"),
+        "error names the bad keyword: {err}"
+    );
+}
+
+/// Child scenario: the env var asks for a tier above the host's
+/// capability; the search must fail with the unsupported-host error.
+#[test]
+#[ignore = "driver-spawned child scenario"]
+fn scenario_unsupported_tier_is_rejected() {
+    let (mut s, q) = demo_subarray();
+    let err = search_all(&mut s, &q).expect_err("unsupported tier must fail");
+    assert!(err.contains(ENV), "error names the env var: {err}");
+    assert!(
+        err.contains("not supported by this host"),
+        "error explains the rejection: {err}"
+    );
+}
+
+fn run_scenario(name: &str, tier: &str) {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = Command::new(exe)
+        .args(["--exact", name, "--ignored"])
+        .env(ENV, tier)
+        .output()
+        .expect("spawn child scenario");
+    assert!(
+        out.status.success(),
+        "scenario {name} with {ENV}={tier} failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn env_override_applies_every_supported_tier() {
+    let best = KernelTier::detect();
+    for tier in [KernelTier::Scalar, KernelTier::Avx2, KernelTier::Avx512] {
+        if tier <= best {
+            run_scenario("scenario_supported_tier_is_bit_identical", tier.keyword());
+        }
+    }
+}
+
+#[test]
+fn env_override_rejects_unknown_keywords() {
+    run_scenario("scenario_unknown_keyword_is_rejected", "turbo");
+}
+
+#[test]
+fn env_override_rejects_tiers_above_the_host() {
+    // Only demonstrable on hosts that cannot run the top tier; the
+    // pure `resolve_tier` unit tests cover the logic everywhere else.
+    if KernelTier::detect() < KernelTier::Avx512 {
+        run_scenario("scenario_unsupported_tier_is_rejected", "avx512");
+    }
+}

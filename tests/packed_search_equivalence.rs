@@ -6,10 +6,24 @@
 //! and the raw `f64` bits of every distance.
 
 use c4cam::arch::{MatchKind, Metric};
-use c4cam::camsim::{CamCell, RowSelection, SearchScratch, Subarray};
+use c4cam::camsim::{CamCell, KernelTier, RowSelection, SearchScratch, Subarray};
 use proptest::prelude::*;
 
 const COLS: usize = 70; // crosses a u64 plane-word boundary
+
+/// Every kernel tier this host can run, plus `None` for the default
+/// (auto-detected) dispatch path. Tiers above the host's capability
+/// are skipped, not failed — the unit suite covers their rejection.
+fn supported_tiers() -> Vec<Option<KernelTier>> {
+    let best = KernelTier::detect();
+    let mut tiers = vec![None];
+    for t in [KernelTier::Scalar, KernelTier::Avx2, KernelTier::Avx512] {
+        if t <= best {
+            tiers.push(Some(t));
+        }
+    }
+    tiers
+}
 
 fn assert_bit_identical(s: &mut Subarray, q: &[f32], kind: MatchKind, metric: Metric) {
     for selection in [
@@ -25,29 +39,28 @@ fn assert_bit_identical(s: &mut Subarray, q: &[f32], kind: MatchKind, metric: Me
                 .search_naive(q, kind, metric, selection, 2.0, wta)
                 .unwrap()
                 .clone();
-            let packed = s
-                .search(
-                    q,
-                    kind,
-                    metric,
-                    selection,
-                    2.0,
-                    wta,
-                    &mut SearchScratch::default(),
-                )
-                .unwrap();
-            assert_eq!(naive.rows, packed.rows, "{kind:?}/{metric:?}/{selection:?}");
-            assert_eq!(
-                naive.matched, packed.matched,
-                "{kind:?}/{metric:?}/{selection:?}"
-            );
-            assert_eq!(naive.distances.len(), packed.distances.len());
-            for (i, (a, b)) in naive.distances.iter().zip(&packed.distances).enumerate() {
+            for tier in supported_tiers() {
+                let mut scratch = SearchScratch::default();
+                scratch.set_kernel_tier(tier).unwrap();
+                let packed = s
+                    .search(q, kind, metric, selection, 2.0, wta, &mut scratch)
+                    .unwrap();
                 assert_eq!(
-                    a.to_bits(),
-                    b.to_bits(),
-                    "distance {i} diverged under {kind:?}/{metric:?}/{selection:?}/wta={wta:?}: {a} vs {b}"
+                    naive.rows, packed.rows,
+                    "{kind:?}/{metric:?}/{selection:?}/tier={tier:?}"
                 );
+                assert_eq!(
+                    naive.matched, packed.matched,
+                    "{kind:?}/{metric:?}/{selection:?}/tier={tier:?}"
+                );
+                assert_eq!(naive.distances.len(), packed.distances.len());
+                for (i, (a, b)) in naive.distances.iter().zip(&packed.distances).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "distance {i} diverged under {kind:?}/{metric:?}/{selection:?}/wta={wta:?}/tier={tier:?}: {a} vs {b}"
+                    );
+                }
             }
         }
     }
@@ -171,13 +184,17 @@ proptest! {
                     .search_naive(&q, kind, metric, selection, 1.0, None)
                     .unwrap()
                     .clone();
-                let packed = s
-                    .search(&q, kind, metric, selection, 1.0, None, &mut SearchScratch::default())
-                    .unwrap();
-                prop_assert_eq!(&naive.rows, &packed.rows);
-                prop_assert_eq!(&naive.matched, &packed.matched);
-                for (a, b) in naive.distances.iter().zip(&packed.distances) {
-                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                for tier in supported_tiers() {
+                    let mut scratch = SearchScratch::default();
+                    scratch.set_kernel_tier(tier).unwrap();
+                    let packed = s
+                        .search(&q, kind, metric, selection, 1.0, None, &mut scratch)
+                        .unwrap();
+                    prop_assert_eq!(&naive.rows, &packed.rows);
+                    prop_assert_eq!(&naive.matched, &packed.matched);
+                    for (a, b) in naive.distances.iter().zip(&packed.distances) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
                 }
             }
         }
